@@ -1,0 +1,32 @@
+"""Shared fixtures and reporting helpers for the reproduction benches.
+
+Each bench module regenerates one table or figure from the paper's
+evaluation and asserts its *shape* (who wins, rough magnitudes,
+crossovers) while timing a representative kernel with pytest-benchmark.
+Set ``REPRO_T4_DAYS`` to lengthen the Table IV campaign (default 6 days;
+the paper replays 183).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.config.frontier import frontier_spec
+
+
+@pytest.fixture(scope="session")
+def frontier():
+    return frontier_spec()
+
+
+@pytest.fixture(scope="session")
+def t4_days() -> int:
+    return int(os.environ.get("REPRO_T4_DAYS", "6"))
+
+
+def emit(title: str, body: str) -> None:
+    """Print a reproduction artifact under a banner (shown with -s)."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")

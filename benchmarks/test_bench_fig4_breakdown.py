@@ -1,0 +1,50 @@
+"""Paper Fig. 4: Frontier power utilization breakdown at peak.
+
+Regenerates the peak-power decomposition (28.2 MW total at full
+CPU/GPU utilization on all 9472 nodes) and asserts the published
+shape: GPUs dominate (~21.2 MW), the conversion losses are ~1.8 MW
+combined, and everything sums to the headline total.  The timed kernel
+is one full-system vectorized power evaluation.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.power.system import SystemPowerModel
+
+
+@pytest.fixture(scope="module")
+def model(frontier):
+    return SystemPowerModel(frontier)
+
+
+def test_fig4_breakdown(model, benchmark):
+    parts = model.breakdown_at_peak()
+    total = parts["total"]
+    order = [
+        "gpus", "cpus", "rectifier_loss", "nics", "ram", "sivoc_loss",
+        "switches", "nvme", "cdu_pumps", "switches",
+    ]
+    lines = [f"{'Contributor':18s} {'MW':>8s} {'share':>7s}"]
+    for key in dict.fromkeys(order):
+        mw = parts[key] / 1e6
+        lines.append(f"{key:18s} {mw:8.3f} {mw / (total / 1e6) * 100:6.1f}%")
+    lines.append(f"{'total':18s} {total / 1e6:8.3f}")
+    emit("Fig. 4 - Frontier power utilization breakdown (peak)", "\n".join(lines))
+
+    # Shape assertions against the paper.
+    assert total / 1e6 == pytest.approx(28.2, abs=0.1)
+    assert parts["gpus"] / 1e6 == pytest.approx(21.2, abs=0.1)
+    assert parts["gpus"] > 0.7 * total
+    assert parts["cpus"] / 1e6 == pytest.approx(2.65, abs=0.05)
+    # Conversion losses: ~1.8 MW combined at peak (paper Finding 9 max).
+    loss = (parts["rectifier_loss"] + parts["sivoc_loss"]) / 1e6
+    assert 1.4 < loss < 2.2
+    # Everything accounted for.
+    assert sum(v for k, v in parts.items() if k != "total") == pytest.approx(
+        total, rel=1e-9
+    )
+
+    # Timed kernel: one full-system power evaluation (9472 nodes).
+    result = benchmark(model.evaluate_uniform, 1.0, 1.0)
+    assert result.system_power_w == pytest.approx(total)

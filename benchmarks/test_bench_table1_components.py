@@ -1,0 +1,61 @@
+"""Paper Table I: component overview of the Frontier supercomputer.
+
+Regenerates both columns of Table I from the system specification and
+checks every quantity against the published values.  The timed kernel
+is the JSON round-trip of the full system spec (the generalization
+layer's hot path).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.config.loader import dumps_system, loads_system
+
+
+def table1_rows(spec):
+    part = spec.primary_partition
+    rack = part.rack
+    node = part.node
+    quantities = [
+        ("Number of CDUs", spec.cooling.num_cdus, 25),
+        ("Racks per CDU", spec.cooling.racks_per_cdu, 3),
+        ("Chassis per Rack", rack.chassis_per_rack, 8),
+        ("Rectifiers per Rack", rack.rectifiers_per_rack, 32),
+        ("Blades per Rack", rack.blades_per_rack, 64),
+        ("Nodes per Rack", rack.nodes_per_rack, 128),
+        ("SIVOCs per Rack", rack.sivocs_per_rack, 128),
+        ("Switches per Rack", rack.switches_per_rack, 32),
+        ("Nodes Total", spec.total_nodes, 9472),
+    ]
+    powers = [
+        ("GPU (Idle)", node.gpu_power_idle_w, 88.0),
+        ("GPU (Max)", node.gpu_power_max_w, 560.0),
+        ("CPU (Idle)", node.cpu_power_idle_w, 90.0),
+        ("CPU (Max)", node.cpu_power_max_w, 280.0),
+        ("RAM (Avg)", node.ram_power_w, 74.0),
+        ("NVMe (Avg)", node.nvme_per_node * node.nvme_power_w, 30.0),
+        ("NIC (Avg)", node.nics_per_node * node.nic_power_w, 80.0),
+        ("Switch (Avg)", rack.switch_power_w, 250.0),
+        ("CDU (Avg)", spec.power.cdu_pump_power_w, 8700.0),
+    ]
+    return quantities, powers
+
+
+def test_table1_reproduction(frontier, benchmark):
+    quantities, powers = table1_rows(frontier)
+    lines = [f"{'Component':24s} {'Repro':>8s} {'Paper':>8s}"]
+    for name, got, want in quantities:
+        lines.append(f"{name:24s} {got:8d} {want:8d}")
+        assert got == want, name
+    lines.append("")
+    lines.append(f"{'Component Power':24s} {'Repro':>8s} {'Paper':>8s}")
+    for name, got, want in powers:
+        lines.append(f"{name:24s} {got:8.0f} {want:8.0f}")
+        assert got == pytest.approx(want), name
+    emit("Table I - Component overview of the Frontier supercomputer",
+         "\n".join(lines))
+
+    # Timed kernel: spec JSON round-trip.
+    doc = dumps_system(frontier)
+    result = benchmark(lambda: loads_system(doc))
+    assert result.total_nodes == 9472

@@ -1,0 +1,74 @@
+"""Paper Table III: RAPS power verification tests.
+
+Reproduces the three verification rows — idle, HPL core phase, and
+peak — through the full engine and compares against both the paper's
+RAPS predictions and its telemetry values:
+
+    Test        Nodes  Telemetry  RAPS(paper)  RAPS(repro)
+    Idle power  9472   7.4 MW     7.24 MW      ~7.24
+    HPL (core)  9216   21.3 MW    22.3 MW      ~22.3
+    Peak power  9472   27.4 MW    28.2 MW      ~28.2
+
+The repro must match the paper's RAPS column tightly and stay within a
+few percent of the paper's telemetry column (the paper reports 2.1 to
+4.7 % errors).  The timed kernel is the HPL-point evaluation.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.simulation import Simulation
+from repro.core.validate import percent_error
+
+PAPER_ROWS = {
+    # name: (nodes, telemetry_mw, raps_paper_mw)
+    "idle": (9472, 7.4, 7.24),
+    "hpl": (9216, 21.3, 22.3),
+    "peak": (9472, 27.4, 28.2),
+}
+
+
+@pytest.fixture(scope="module")
+def predictions(frontier):
+    sim = Simulation(frontier, with_cooling=False)
+    out = {}
+    for point in PAPER_ROWS:
+        result = sim.run_verification(point, 600.0)
+        out[point] = result.mean_power_w / 1e6
+    return out
+
+
+def test_table3_reproduction(predictions, benchmark):
+    lines = [
+        f"{'Test':12s} {'Nodes':>6s} {'Telemetry':>10s} "
+        f"{'RAPS paper':>11s} {'RAPS repro':>11s} {'% err vs tel':>13s}"
+    ]
+    for point, (nodes, tel, paper) in PAPER_ROWS.items():
+        got = predictions[point]
+        err = percent_error(got, tel)
+        lines.append(
+            f"{point:12s} {nodes:6d} {tel:9.1f}M {paper:10.2f}M "
+            f"{got:10.2f}M {err:12.1f}%"
+        )
+        # Tight agreement with the paper's RAPS predictions...
+        assert got == pytest.approx(paper, abs=0.15), point
+        # ...and telemetry-level agreement comparable to the paper's.
+        assert err < 6.0, point
+    emit("Table III - RAPS power verification tests", "\n".join(lines))
+
+    # Ordering shape: idle < HPL < peak.
+    assert predictions["idle"] < predictions["hpl"] < predictions["peak"]
+
+    # Timed kernel: the HPL operating-point evaluation.
+    from repro.power.system import SystemPowerModel
+    from repro.config.frontier import frontier_spec
+
+    model = SystemPowerModel(frontier_spec())
+    n = model.nodes.total_nodes
+    cpu = np.zeros(n)
+    gpu = np.zeros(n)
+    cpu[:9216] = 0.33
+    gpu[:9216] = 0.79
+    result = benchmark(model.evaluate, cpu, gpu)
+    assert result.system_power_w / 1e6 == pytest.approx(22.3, abs=0.15)

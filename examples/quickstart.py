@@ -1,0 +1,33 @@
+#!/usr/bin/env python
+"""Quickstart: simulate Frontier for two hours and read the reports.
+
+Runs a synthetic Poisson workload (paper section III-B3) through the
+full digital twin — scheduler, power model with conversion losses, and
+the transient cooling plant — then prints the end-of-run statistics
+(section III-B5), a terminal dashboard (Fig. 6's console view), and a
+per-CDU heat map.
+"""
+
+from repro import Simulation
+from repro.viz.dashboard import render_dashboard
+from repro.viz.heatmap import cdu_heatmap
+
+
+def main() -> None:
+    sim = Simulation("frontier", with_cooling=True, seed=42)
+    print("Simulating 2 hours of synthetic workload on Frontier...")
+    result = sim.run_synthetic(duration_s=2 * 3600)
+
+    print()
+    print(sim.statistics().report())
+    print()
+    print(render_dashboard(result, title="Frontier digital twin"))
+    print()
+    print("Per-CDU power at the final step (W):")
+    print(cdu_heatmap(sim.spec, result.cdu_power_w[-1]))
+    print()
+    print(f"Mean PUE over the run: {sim.mean_pue():.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Climbing the twin levels: L3 surrogates and L5 setpoint optimization.
+
+The paper (Fig. 2) positions L4 first-principles simulation as the
+engine of the digital twin and proposes two layers on top:
+
+- **L3 predictive twin**: train fast data-driven surrogates on
+  simulation output — here a polynomial ridge model of system power
+  from workload features, and of steady-state PUE from (load,
+  wet-bulb).  Surrogate queries take microseconds vs seconds for the
+  transient plant.
+- **L5 autonomous twin**: close the loop — search the cooling
+  setpoints against the plant model to minimize PUE subject to thermal
+  constraints (the paper's "automated setpoint control for improved
+  cooling efficiency" example).
+"""
+
+import time
+
+import numpy as np
+
+from repro import FRONTIER
+from repro.optimize import SetpointOptimizer
+from repro.surrogate import CoolingSurrogate, PowerSurrogate
+
+
+def l3_power_surrogate() -> None:
+    print("--- L3: power surrogate ---")
+    t0 = time.perf_counter()
+    surrogate = PowerSurrogate.fit_from_simulation(
+        FRONTIER, n_samples=300, seed=1
+    )
+    fit_s = time.perf_counter() - t0
+    q = surrogate.quality
+    assert q is not None
+    print(f"trained on {q.n_train} simulated states in {fit_s:.1f} s; "
+          f"held-out R^2 = {q.r2:.5f}, RMSE = {q.rmse / 1e3:.0f} kW")
+    t0 = time.perf_counter()
+    pred = surrogate.predict_power_w(1.0, 0.33, 0.79)
+    dt_us = (time.perf_counter() - t0) * 1e6
+    print(f"HPL-point query: {float(pred[0]) / 1e6:.2f} MW in {dt_us:.0f} us "
+          "(paper Table III: 22.3 MW)")
+
+
+def l3_cooling_surrogate() -> CoolingSurrogate:
+    print()
+    print("--- L3: cooling surrogate (PUE from load + wet-bulb) ---")
+    t0 = time.perf_counter()
+    surrogate = CoolingSurrogate.fit_from_simulation(
+        FRONTIER, grid=4, settle_s=2700.0
+    )
+    print(f"trained on a 4x4 (power, wet-bulb) grid of plant steady "
+          f"states in {time.perf_counter() - t0:.0f} s; "
+          f"held-out PUE R^2 = {surrogate.quality.r2:.3f}")
+    for wb in (0.0, 12.0, 24.0):
+        pue = float(surrogate.predict_pue(17.0e6, wb)[0])
+        print(f"  17 MW load, wet-bulb {wb:5.1f} C -> predicted PUE {pue:.4f}")
+    return surrogate
+
+
+def l5_setpoint_optimization() -> None:
+    print()
+    print("--- L5: autonomous setpoint optimization ---")
+    optimizer = SetpointOptimizer(
+        FRONTIER,
+        system_power_w=17.0e6,
+        wetbulb_c=12.0,
+        settle_s=1800.0,
+        score_s=900.0,
+    )
+    result = optimizer.optimize(
+        htw_range_c=(27.0, 33.0), cdu_range_c=(32.0, 35.0),
+        grid=3, refinements=0,
+    )
+    print(result.report())
+    print(f"best candidate: fan speed {result.best.mean_fan_speed:.2f}, "
+          f"max CDU supply {result.best.max_cdu_supply_c:.1f} C "
+          f"(ceiling {optimizer.cdu_supply_ceiling_c:.0f} C)")
+
+
+def main() -> None:
+    l3_power_surrogate()
+    l3_cooling_surrogate()
+    l5_setpoint_optimization()
+
+
+if __name__ == "__main__":
+    main()

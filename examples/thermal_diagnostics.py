@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Forensic diagnostics: coolant blockage and thermal throttling.
+
+Two use cases from the paper's requirements analysis (section III-A):
+
+- "Water-based coolants can suffer from biological growth ... causing
+  blockage to specific nodes.  Can these types of blockages be
+  detected?" — we starve one CDU's secondary flow and watch its return
+  temperature separate from the fleet in the heat map.
+- "Early detection of thermal throttling" — the cold-plate model flags
+  GPUs whose junction temperature crosses the throttle limit as flow
+  drops.
+"""
+
+import numpy as np
+
+from repro import FRONTIER
+from repro.cooling import CoolingPlant
+from repro.cooling.components.coldplate import default_gpu_coldplate
+from repro.viz.heatmap import cdu_heatmap
+
+
+def blockage_study() -> None:
+    print("--- Coolant blockage detection ---")
+    plant = CoolingPlant(FRONTIER.cooling)
+    heat = np.full(25, 650e3)  # uniform ~20 MW system load
+    plant.warmup(heat, 15.0, duration_s=3600.0)
+
+    # Biological growth partially blocks CDU 7's secondary loop: its
+    # pumps now work against 4x the design resistance.
+    plant.cdus.set_blockage(7, severity=4.0)
+    state = plant.warmup(heat, 15.0, duration_s=3600.0)
+
+    temps = state.cdu_secondary_return_temp_c
+    flows = state.cdu_secondary_flow_m3s
+    print("CDU secondary return temperatures (degC):")
+    print(cdu_heatmap(FRONTIER, temps))
+    print(
+        f"CDU 7 flow {flows[7] * 1000:.1f} L/s vs fleet median "
+        f"{np.median(flows) * 1000:.1f} L/s; return temp "
+        f"{temps[7]:.1f} C vs fleet median {np.median(temps):.1f} C"
+    )
+    # Simple detector: flag CDUs whose return temp deviates > 3 sigma
+    # from the fleet (robust statistics against the outlier itself).
+    med = np.median(temps)
+    mad = np.median(np.abs(temps - med)) + 1e-9
+    z = (temps - med) / (1.4826 * mad)
+    flagged = np.flatnonzero(np.abs(z) > 3.0)
+    print(f"anomalous CDUs flagged by robust z-score: {flagged.tolist()}")
+
+
+def throttling_study() -> None:
+    print()
+    print("--- Thermal throttling detection ---")
+    plate = default_gpu_coldplate()
+    coolant_c = 33.0
+    gpu_power = np.full(8, 560.0)  # one blade's GPUs at max power
+    print(f"{'flow (% design)':>16s} {'T_die (C)':>10s} {'throttling':>11s}")
+    for frac in (1.0, 0.6, 0.4, 0.25, 0.15):
+        flow = plate.design_flow * frac
+        t_die = float(np.max(plate.die_temperature(coolant_c, gpu_power, flow)))
+        hot = bool(np.any(plate.throttling(coolant_c, gpu_power, flow)))
+        print(f"{frac * 100:15.0f}% {t_die:10.1f} {str(hot):>11s}")
+    print(f"(throttle limit {plate.throttle_limit_c:.0f} C)")
+
+
+def main() -> None:
+    blockage_study()
+    throttling_study()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""What-if studies: smart load-sharing rectifiers and 380 V direct DC.
+
+Reproduces the two virtual modifications of paper section IV-3 on a
+synthesized workload day:
+
+- *Smart load-sharing rectifiers*: rectifiers are staged on per chassis
+  so the energized units sit in their peak-efficiency region.  The paper
+  reports a modest ~0.1 % efficiency gain.
+- *Direct 380 V DC distribution*: rectification is removed entirely,
+  lifting the chain efficiency from ~93.3 % to ~97.3 % and saving
+  ~$542k/year with an ~8 % smaller carbon footprint.
+"""
+
+from repro import FRONTIER, run_whatif
+from repro.core.replay import replay_dataset
+from repro.telemetry import SyntheticTelemetryGenerator
+from repro.telemetry.synthesis import WorkloadDayParams
+
+HOURS = 4.0
+
+
+def main() -> None:
+    duration = HOURS * 3600.0
+    gen = SyntheticTelemetryGenerator(FRONTIER, seed=99)
+    # A busy production day (~17 MW average, like the paper's replay mean).
+    params = WorkloadDayParams(
+        mean_arrival_s=45.0,
+        mean_nodes_per_job=300.0,
+        mean_runtime_s=2400.0,
+        mean_gpu_util=0.7,
+    )
+    day = gen.day(42, params=params)
+    print(f"Workload: {len(day.jobs)} jobs over {HOURS:.0f} h")
+
+    print("Baseline replay...")
+    baseline = replay_dataset(FRONTIER, day, duration, with_cooling=False)
+    print(
+        f"  mean power {baseline.mean_power_w / 1e6:.2f} MW, "
+        f"chain efficiency {baseline.mean_chain_efficiency * 100:.2f} %, "
+        f"loss {baseline.mean_loss_w / 1e6:.2f} MW"
+    )
+
+    for scenario in ("smart-rectifier", "direct-dc"):
+        comparison = run_whatif(
+            FRONTIER, day, duration, scenario, baseline_result=baseline
+        )
+        print()
+        print(comparison.report())
+
+    print()
+    print(
+        "Paper reference: smart rectifiers ~ +0.1 % efficiency; direct DC\n"
+        "93.3 % -> 97.3 % chain efficiency, ~$542k/yr, -8.2 % CO2."
+    )
+
+
+if __name__ == "__main__":
+    main()

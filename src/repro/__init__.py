@@ -1,0 +1,60 @@
+"""ExaDigiT reproduction: a digital twin for liquid-cooled supercomputers.
+
+A complete Python reimplementation of the ExaDigiT framework (Brewer et
+al., "A Digital Twin Framework for Liquid-cooled Supercomputers as
+Demonstrated at Exascale", SC 2024):
+
+- **RAPS** -- resource allocation + dynamic power simulation with
+  conversion-loss modeling (:mod:`repro.scheduler`, :mod:`repro.power`,
+  :mod:`repro.core`),
+- **Cooling model** -- a transient thermo-fluid model of the central
+  energy plant and the 25 CDU loops behind an FMI-like interface
+  (:mod:`repro.cooling`),
+- **Visual analytics** -- scene generation, dashboards, and exports
+  (:mod:`repro.viz`),
+- **Generalization** -- JSON system specs, pluggable telemetry parsers,
+  and automated cooling-model generation (:mod:`repro.config`,
+  :mod:`repro.telemetry`, :mod:`repro.cooling.autocsm`).
+
+Quickstart::
+
+    from repro import Simulation
+    sim = Simulation("frontier")
+    result = sim.run_synthetic(duration_s=4 * 3600)
+    print(sim.statistics().report())
+"""
+
+from repro.config import FRONTIER, frontier_spec, load_system, load_builtin_system
+from repro.core import (
+    RapsEngine,
+    Simulation,
+    SimulationResult,
+    PhysicalTwin,
+    ReplayValidation,
+    run_whatif,
+)
+from repro.cooling import CoolingFMU, CoolingPlant, generate_plant
+from repro.power import SystemPowerModel
+from repro.telemetry import SyntheticTelemetryGenerator, TelemetryDataset
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FRONTIER",
+    "frontier_spec",
+    "load_system",
+    "load_builtin_system",
+    "RapsEngine",
+    "Simulation",
+    "SimulationResult",
+    "PhysicalTwin",
+    "ReplayValidation",
+    "run_whatif",
+    "CoolingFMU",
+    "CoolingPlant",
+    "generate_plant",
+    "SystemPowerModel",
+    "SyntheticTelemetryGenerator",
+    "TelemetryDataset",
+    "__version__",
+]

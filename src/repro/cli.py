@@ -1,0 +1,184 @@
+"""Command-line interface: the paper's terminal console (Fig. 6).
+
+Subcommands mirror the operations the paper exposes through its console
+and dashboard:
+
+- ``run`` — synthetic-workload simulation with the end-of-run report,
+- ``verify`` — the Table III verification points,
+- ``replay`` — replay a saved telemetry dataset (native format),
+- ``whatif`` — the section IV-3 counterfactual studies,
+- ``scene`` — emit the descriptive-twin scene graph as JSON,
+- ``autocsm`` — print the generated cooling-model inventory,
+- ``systems`` — list bundled machine specifications.
+
+Entry point::
+
+    python -m repro.cli <subcommand> [options]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.config.loader import builtin_system_names
+from repro.cooling.autocsm import autocsm_report
+from repro.core.replay import replay_dataset
+from repro.core.scenarios import run_whatif
+from repro.core.simulation import Simulation
+from repro.core.stats import compute_statistics
+from repro.exceptions import ExaDigiTError
+from repro.telemetry.dataset import TelemetryDataset
+from repro.viz.dashboard import render_dashboard
+from repro.viz.export import export_result
+from repro.viz.scene import build_scene
+
+
+def _add_system_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--system",
+        default="frontier",
+        help="builtin system name or path to a JSON spec (default: frontier)",
+    )
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    _add_system_arg(parser)
+    parser.add_argument(
+        "--hours", type=float, default=2.0, help="simulated hours (default 2)"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="RNG seed")
+    parser.add_argument(
+        "--no-cooling",
+        action="store_true",
+        help="skip the cooling model (paper: 3x faster replays)",
+    )
+    parser.add_argument(
+        "--export",
+        metavar="PATH",
+        help="write the run series to PATH.json",
+    )
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    sim = Simulation(
+        args.system, with_cooling=not args.no_cooling, seed=args.seed
+    )
+    result = sim.run_synthetic(args.hours * 3600.0)
+    print(sim.statistics().report())
+    print()
+    print(render_dashboard(result, title=sim.spec.name))
+    if args.export:
+        path = export_result(result, args.export)
+        print(f"\nseries written to {path}")
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    sim = Simulation(args.system, with_cooling=False)
+    print(f"{'point':8s} {'MW':>8s}")
+    for point in ("idle", "hpl", "peak"):
+        result = sim.run_verification(point, 600.0)
+        print(f"{point:8s} {result.mean_power_w / 1e6:8.2f}")
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    sim = Simulation(
+        args.system, with_cooling=not args.no_cooling, seed=args.seed
+    )
+    dataset = TelemetryDataset.load(args.dataset)
+    result = sim.run_replay(dataset, args.hours * 3600.0)
+    print(compute_statistics(result, sim.spec.economics).report())
+    if args.export:
+        path = export_result(result, args.export)
+        print(f"\nseries written to {path}")
+    return 0
+
+
+def cmd_whatif(args: argparse.Namespace) -> int:
+    from repro.telemetry.synthesis import SyntheticTelemetryGenerator
+
+    sim = Simulation(args.system, with_cooling=False, seed=args.seed)
+    gen = SyntheticTelemetryGenerator(sim.spec, seed=args.seed)
+    day = gen.day(0)
+    comparison = run_whatif(
+        sim.spec, day, args.hours * 3600.0, args.scenario
+    )
+    print(comparison.report())
+    return 0
+
+
+def cmd_scene(args: argparse.Namespace) -> int:
+    sim = Simulation(args.system, with_cooling=False)
+    print(build_scene(sim.spec).to_json())
+    return 0
+
+
+def cmd_autocsm(args: argparse.Namespace) -> int:
+    sim = Simulation(args.system, with_cooling=False)
+    print(autocsm_report(sim.spec))
+    return 0
+
+
+def cmd_systems(args: argparse.Namespace) -> int:
+    for name in builtin_system_names():
+        print(name)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ExaDigiT digital-twin console",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("run", help="synthetic-workload simulation")
+    _add_common(p)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("verify", help="Table III verification points")
+    _add_system_arg(p)
+    p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser("replay", help="replay a saved telemetry dataset")
+    _add_common(p)
+    p.add_argument("dataset", help="path prefix of a saved dataset")
+    p.set_defaults(func=cmd_replay)
+
+    p = sub.add_parser("whatif", help="counterfactual studies (IV-3)")
+    _add_common(p)
+    p.add_argument(
+        "scenario",
+        choices=("smart-rectifier", "direct-dc"),
+        help="which modification to evaluate",
+    )
+    p.set_defaults(func=cmd_whatif)
+
+    p = sub.add_parser("scene", help="emit the L1 scene graph as JSON")
+    _add_system_arg(p)
+    p.set_defaults(func=cmd_scene)
+
+    p = sub.add_parser("autocsm", help="generated cooling-model inventory")
+    _add_system_arg(p)
+    p.set_defaults(func=cmd_autocsm)
+
+    p = sub.add_parser("systems", help="list bundled machine specs")
+    p.set_defaults(func=cmd_systems)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ExaDigiTError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,61 @@
+"""System configuration: schemas, JSON loading, and built-in machine specs.
+
+The paper's Section V describes generalizing ExaDigiT through JSON input
+specifications covering the system architecture, the cooling system, the
+scheduler, and the power system.  This package implements that layer:
+
+- :mod:`repro.config.schema` — typed specification dataclasses,
+- :mod:`repro.config.loader` — JSON (de)serialization + validation,
+- :mod:`repro.config.frontier` — the Frontier spec used throughout the paper.
+"""
+
+from repro.config.schema import (
+    SystemSpec,
+    PartitionSpec,
+    NodeSpec,
+    RackSpec,
+    PowerSpec,
+    RectifierSpec,
+    SivocSpec,
+    CoolingSpec,
+    CoolingLoopSpec,
+    PumpSpec,
+    HeatExchangerSpec,
+    CoolingTowerSpec,
+    SchedulerSpec,
+    EconomicsSpec,
+)
+from repro.config.loader import (
+    load_system,
+    loads_system,
+    dump_system,
+    dumps_system,
+    builtin_system_names,
+    load_builtin_system,
+)
+from repro.config.frontier import frontier_spec, FRONTIER
+
+__all__ = [
+    "SystemSpec",
+    "PartitionSpec",
+    "NodeSpec",
+    "RackSpec",
+    "PowerSpec",
+    "RectifierSpec",
+    "SivocSpec",
+    "CoolingSpec",
+    "CoolingLoopSpec",
+    "PumpSpec",
+    "HeatExchangerSpec",
+    "CoolingTowerSpec",
+    "SchedulerSpec",
+    "EconomicsSpec",
+    "load_system",
+    "loads_system",
+    "dump_system",
+    "dumps_system",
+    "builtin_system_names",
+    "load_builtin_system",
+    "frontier_spec",
+    "FRONTIER",
+]

@@ -1,0 +1,83 @@
+"""The Frontier system specification (paper Table I, Figs. 3 and 5).
+
+Frontier: 9472 "Bard Peak" nodes, 74 racks, 25 CDUs serving three racks
+each (the last CDU group is short), 64 blades / 128 nodes / 32 rectifiers /
+128 SIVOCs / 32 Slingshot switches per rack.  Per-component power values
+come from Table I; conversion-chain efficiency anchors are calibrated so
+the verification targets of Table III hold (idle 7.24 MW, HPL-core
+22.3 MW, peak 28.2 MW).
+"""
+
+from __future__ import annotations
+
+from repro.config.schema import (
+    CoolingSpec,
+    EconomicsSpec,
+    NodeSpec,
+    PartitionSpec,
+    PowerSpec,
+    RackSpec,
+    SchedulerSpec,
+    SystemSpec,
+)
+
+#: Total compute nodes in Frontier (paper Table I).
+FRONTIER_TOTAL_NODES = 9472
+
+#: Racks in Frontier; 9472 nodes / 128 nodes-per-rack.
+FRONTIER_TOTAL_RACKS = 74
+
+#: Cooling distribution units (paper Table I).
+FRONTIER_NUM_CDUS = 25
+
+
+def frontier_node_spec() -> NodeSpec:
+    """Node power characteristics from paper Table I / Eq. 3."""
+    return NodeSpec(
+        cpus_per_node=1,
+        gpus_per_node=4,
+        nics_per_node=4,
+        nvme_per_node=2,
+        cpu_power_idle_w=90.0,
+        cpu_power_max_w=280.0,
+        gpu_power_idle_w=88.0,
+        gpu_power_max_w=560.0,
+        ram_power_w=74.0,
+        nvme_power_w=15.0,
+        nic_power_w=20.0,
+    )
+
+
+def frontier_rack_spec() -> RackSpec:
+    """Rack composition from paper Table I / Fig. 3."""
+    return RackSpec(
+        nodes_per_rack=128,
+        blades_per_rack=64,
+        chassis_per_rack=8,
+        rectifiers_per_rack=32,
+        sivocs_per_rack=128,
+        switches_per_rack=32,
+        switch_power_w=250.0,
+    )
+
+
+def frontier_spec() -> SystemSpec:
+    """Build the full Frontier :class:`~repro.config.schema.SystemSpec`."""
+    partition = PartitionSpec(
+        name="frontier",
+        total_nodes=FRONTIER_TOTAL_NODES,
+        node=frontier_node_spec(),
+        rack=frontier_rack_spec(),
+    )
+    return SystemSpec(
+        name="frontier",
+        partitions=(partition,),
+        power=PowerSpec(),
+        cooling=CoolingSpec(num_cdus=FRONTIER_NUM_CDUS, racks_per_cdu=3),
+        scheduler=SchedulerSpec(policy="fcfs", mean_arrival_s=138.0),
+        economics=EconomicsSpec(),
+    )
+
+
+#: Module-level singleton Frontier spec (immutable, safe to share).
+FRONTIER = frontier_spec()

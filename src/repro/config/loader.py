@@ -1,0 +1,175 @@
+"""JSON (de)serialization of system specifications.
+
+Implements the generalization layer of the paper's Section V: a system is
+fully described by a JSON document covering the architecture, cooling
+plant, scheduler, and power system, so modeling a new machine requires no
+code changes.  The loader validates the document against the dataclass
+schema and reports precise error paths.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from importlib import resources
+from pathlib import Path
+from typing import Any
+
+from repro.config import schema as _schema
+from repro.config.schema import (
+    CoolingLoopSpec,
+    CoolingSpec,
+    CoolingTowerSpec,
+    EconomicsSpec,
+    HeatExchangerSpec,
+    NodeSpec,
+    PartitionSpec,
+    PowerSpec,
+    PumpSpec,
+    RackSpec,
+    RectifierSpec,
+    SchedulerSpec,
+    SivocSpec,
+    SystemSpec,
+)
+from repro.exceptions import ConfigError
+
+#: Schema version written into every dumped document.
+SCHEMA_VERSION = 1
+
+_NESTED_TYPES = {
+    NodeSpec,
+    RackSpec,
+    RectifierSpec,
+    SivocSpec,
+    PowerSpec,
+    PumpSpec,
+    HeatExchangerSpec,
+    CoolingTowerSpec,
+    CoolingLoopSpec,
+    CoolingSpec,
+    SchedulerSpec,
+    EconomicsSpec,
+    PartitionSpec,
+}
+
+
+def _to_jsonable(obj: Any) -> Any:
+    """Recursively convert spec dataclasses to JSON-compatible values."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: _to_jsonable(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, (list, tuple)):
+        return [_to_jsonable(v) for v in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    raise ConfigError(f"cannot serialize value of type {type(obj).__name__}")
+
+
+def _from_jsonable(cls: type, data: Any, path: str) -> Any:
+    """Instantiate dataclass ``cls`` from JSON data with error paths."""
+    if not isinstance(data, dict):
+        raise ConfigError(f"{path}: expected object, got {type(data).__name__}")
+    fields = {f.name: f for f in dataclasses.fields(cls)}
+    unknown = set(data) - set(fields)
+    if unknown:
+        raise ConfigError(f"{path}: unknown keys {sorted(unknown)}")
+    kwargs: dict[str, Any] = {}
+    for name, value in data.items():
+        f = fields[name]
+        kwargs[name] = _coerce_field(f, value, f"{path}.{name}")
+    try:
+        return cls(**kwargs)
+    except TypeError as exc:
+        raise ConfigError(f"{path}: {exc}") from exc
+
+
+def _coerce_field(f: dataclasses.Field, value: Any, path: str) -> Any:
+    ftype = f.type if isinstance(f.type, str) else getattr(f.type, "__name__", "")
+    # Nested dataclass fields: resolve by annotation name.
+    for nested in _NESTED_TYPES:
+        if nested.__name__ == ftype or ftype == nested.__name__:
+            return _from_jsonable(nested, value, path)
+    if ftype.startswith("tuple[PartitionSpec"):
+        if not isinstance(value, list):
+            raise ConfigError(f"{path}: expected list of partitions")
+        return tuple(
+            _from_jsonable(PartitionSpec, v, f"{path}[{i}]")
+            for i, v in enumerate(value)
+        )
+    if ftype.startswith("tuple[float"):
+        if not isinstance(value, list):
+            raise ConfigError(f"{path}: expected list of numbers")
+        try:
+            return tuple(float(v) for v in value)
+        except (TypeError, ValueError) as exc:
+            raise ConfigError(f"{path}: non-numeric entry") from exc
+    return value
+
+
+def dumps_system(spec: SystemSpec, *, indent: int | None = 2) -> str:
+    """Serialize a :class:`SystemSpec` to a JSON string."""
+    doc = {"schema_version": SCHEMA_VERSION, "system": _to_jsonable(spec)}
+    return json.dumps(doc, indent=indent, sort_keys=False)
+
+
+def dump_system(spec: SystemSpec, path: str | Path) -> None:
+    """Serialize a :class:`SystemSpec` to a JSON file."""
+    Path(path).write_text(dumps_system(spec), encoding="utf-8")
+
+
+def loads_system(text: str) -> SystemSpec:
+    """Parse a :class:`SystemSpec` from a JSON string."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"invalid JSON: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise ConfigError("top-level JSON value must be an object")
+    version = doc.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ConfigError(
+            f"unsupported schema_version {version!r}; expected {SCHEMA_VERSION}"
+        )
+    if "system" not in doc:
+        raise ConfigError("missing 'system' key")
+    return _from_jsonable(SystemSpec, doc["system"], "system")
+
+
+def load_system(path: str | Path) -> SystemSpec:
+    """Load a :class:`SystemSpec` from a JSON file."""
+    p = Path(path)
+    if not p.exists():
+        raise ConfigError(f"system spec file not found: {p}")
+    return loads_system(p.read_text(encoding="utf-8"))
+
+
+def builtin_system_names() -> list[str]:
+    """Names of JSON system specs shipped with the package."""
+    pkg = resources.files("repro.config") / "systems"
+    return sorted(p.name[: -len(".json")] for p in pkg.iterdir() if p.name.endswith(".json"))
+
+
+def load_builtin_system(name: str) -> SystemSpec:
+    """Load a packaged system spec by name (e.g. ``"frontier"``)."""
+    pkg = resources.files("repro.config") / "systems" / f"{name}.json"
+    try:
+        text = pkg.read_text(encoding="utf-8")
+    except FileNotFoundError as exc:
+        raise ConfigError(
+            f"unknown builtin system {name!r}; available: {builtin_system_names()}"
+        ) from exc
+    return loads_system(text)
+
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "dumps_system",
+    "dump_system",
+    "loads_system",
+    "load_system",
+    "builtin_system_names",
+    "load_builtin_system",
+]

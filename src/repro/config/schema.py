@@ -1,0 +1,519 @@
+"""Typed specification dataclasses for a digital-twin system description.
+
+These mirror the JSON input specification of the generalized ExaDigiT
+(paper Section V): one document describes the system architecture, the
+power-conversion chain, the cooling plant, the scheduler, and economics.
+All quantities are SI unless the field name says otherwise.
+
+The dataclasses are deliberately plain (no behaviour beyond derived
+quantities and validation) so they can round-trip through JSON losslessly;
+see :mod:`repro.config.loader`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ConfigError
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigError(message)
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Per-node hardware and power characteristics (paper Table I, Eq. 3).
+
+    Power is linearly interpolated between idle and max with utilization
+    for the CPU and GPU; RAM/NVMe/NIC use mean values, as in the paper.
+    """
+
+    cpus_per_node: int = 1
+    gpus_per_node: int = 4
+    nics_per_node: int = 4
+    nvme_per_node: int = 2
+    cpu_power_idle_w: float = 90.0
+    cpu_power_max_w: float = 280.0
+    gpu_power_idle_w: float = 88.0
+    gpu_power_max_w: float = 560.0
+    ram_power_w: float = 74.0
+    nvme_power_w: float = 15.0
+    nic_power_w: float = 20.0
+
+    def __post_init__(self) -> None:
+        _require(self.cpus_per_node >= 0, "cpus_per_node must be >= 0")
+        _require(self.gpus_per_node >= 0, "gpus_per_node must be >= 0")
+        _require(
+            self.cpu_power_idle_w <= self.cpu_power_max_w,
+            "CPU idle power must not exceed max power",
+        )
+        _require(
+            self.gpu_power_idle_w <= self.gpu_power_max_w,
+            "GPU idle power must not exceed max power",
+        )
+        for name in ("ram_power_w", "nvme_power_w", "nic_power_w"):
+            _require(getattr(self, name) >= 0.0, f"{name} must be >= 0")
+
+    @property
+    def idle_power_w(self) -> float:
+        """Node power at zero CPU/GPU utilization (Eq. 3 at idle)."""
+        return (
+            self.cpus_per_node * self.cpu_power_idle_w
+            + self.gpus_per_node * self.gpu_power_idle_w
+            + self.nics_per_node * self.nic_power_w
+            + self.ram_power_w
+            + self.nvme_per_node * self.nvme_power_w
+        )
+
+    @property
+    def max_power_w(self) -> float:
+        """Node power at full CPU/GPU utilization (Eq. 3 at peak)."""
+        return (
+            self.cpus_per_node * self.cpu_power_max_w
+            + self.gpus_per_node * self.gpu_power_max_w
+            + self.nics_per_node * self.nic_power_w
+            + self.ram_power_w
+            + self.nvme_per_node * self.nvme_power_w
+        )
+
+
+@dataclass(frozen=True)
+class RackSpec:
+    """Rack composition (paper Fig. 3 / Table I)."""
+
+    nodes_per_rack: int = 128
+    blades_per_rack: int = 64
+    chassis_per_rack: int = 8
+    rectifiers_per_rack: int = 32
+    sivocs_per_rack: int = 128
+    switches_per_rack: int = 32
+    switch_power_w: float = 250.0
+
+    def __post_init__(self) -> None:
+        _require(self.nodes_per_rack > 0, "nodes_per_rack must be positive")
+        _require(self.blades_per_rack > 0, "blades_per_rack must be positive")
+        _require(self.chassis_per_rack > 0, "chassis_per_rack must be positive")
+        _require(
+            self.nodes_per_rack % self.chassis_per_rack == 0,
+            "nodes_per_rack must be divisible by chassis_per_rack",
+        )
+        _require(
+            self.rectifiers_per_rack % self.chassis_per_rack == 0,
+            "rectifiers_per_rack must be divisible by chassis_per_rack",
+        )
+        _require(self.switch_power_w >= 0.0, "switch_power_w must be >= 0")
+
+    @property
+    def nodes_per_chassis(self) -> int:
+        return self.nodes_per_rack // self.chassis_per_rack
+
+    @property
+    def rectifiers_per_chassis(self) -> int:
+        return self.rectifiers_per_rack // self.chassis_per_rack
+
+    @property
+    def switch_power_per_rack_w(self) -> float:
+        return self.switches_per_rack * self.switch_power_w
+
+
+@dataclass(frozen=True)
+class RectifierSpec:
+    """AC->DC active rectifier efficiency curve (paper section III-B1, IV-3).
+
+    ``load_points_w`` / ``efficiency_points`` define an efficiency-vs-output
+    curve sampled at anchor loads; the model interpolates monotonically.
+    The paper reports a peak efficiency of 96.3 % at 7.5 kW with a 1-2 %
+    droop near idle.
+    """
+
+    rated_output_w: float = 12000.0
+    optimal_load_w: float = 7500.0
+    load_points_w: tuple[float, ...] = (
+        0.0,
+        500.0,
+        1000.0,
+        2570.0,
+        5000.0,
+        6400.0,
+        7500.0,
+        8900.0,
+        11040.0,
+        13000.0,
+    )
+    efficiency_points: tuple[float, ...] = (
+        0.800,
+        0.880,
+        0.916,
+        0.9450,
+        0.9550,
+        0.9560,
+        0.9630,
+        0.9625,
+        0.9565,
+        0.9520,
+    )
+
+    def __post_init__(self) -> None:
+        _require(
+            len(self.load_points_w) == len(self.efficiency_points),
+            "rectifier curve load/efficiency point counts must match",
+        )
+        _require(len(self.load_points_w) >= 2, "rectifier curve needs >= 2 points")
+        _require(
+            all(b > a for a, b in zip(self.load_points_w, self.load_points_w[1:])),
+            "rectifier curve load points must be strictly increasing",
+        )
+        _require(
+            all(0.0 < e <= 1.0 for e in self.efficiency_points),
+            "rectifier efficiencies must be in (0, 1]",
+        )
+        _require(self.rated_output_w > 0.0, "rated_output_w must be positive")
+
+
+@dataclass(frozen=True)
+class SivocSpec:
+    """DC-DC step-down (SIVOC) converter efficiency curve (paper Fig. 3).
+
+    Loads are per-SIVOC output watts; one SIVOC feeds one node in Frontier
+    (128 SIVOCs, 128 nodes per rack).
+    """
+
+    load_points_w: tuple[float, ...] = (
+        0.0,
+        300.0,
+        626.0,
+        1500.0,
+        2180.0,
+        2704.0,
+        3200.0,
+    )
+    efficiency_points: tuple[float, ...] = (
+        0.930,
+        0.968,
+        0.9757,
+        0.9725,
+        0.9770,
+        0.9775,
+        0.9775,
+    )
+
+    def __post_init__(self) -> None:
+        _require(
+            len(self.load_points_w) == len(self.efficiency_points),
+            "SIVOC curve load/efficiency point counts must match",
+        )
+        _require(len(self.load_points_w) >= 2, "SIVOC curve needs >= 2 points")
+        _require(
+            all(b > a for a, b in zip(self.load_points_w, self.load_points_w[1:])),
+            "SIVOC curve load points must be strictly increasing",
+        )
+        _require(
+            all(0.0 < e <= 1.0 for e in self.efficiency_points),
+            "SIVOC efficiencies must be in (0, 1]",
+        )
+
+
+@dataclass(frozen=True)
+class PowerSpec:
+    """Power-distribution chain parameters (paper section III-B)."""
+
+    rectifier: RectifierSpec = field(default_factory=RectifierSpec)
+    sivoc: SivocSpec = field(default_factory=SivocSpec)
+    #: Nameplate efficiencies quoted in the paper (Eq. 1 discussion).
+    nameplate_rectifier_efficiency: float = 0.96
+    nameplate_sivoc_efficiency: float = 0.98
+    #: Power drawn by each CDU's pumps, W (paper: 8.7 kW per CDU).
+    cdu_pump_power_w: float = 8700.0
+    #: Fraction of IT power removed by the liquid loop (paper: 0.945).
+    cooling_efficiency: float = 0.945
+    #: Direct-DC distribution efficiency used by the 380 V DC what-if.
+    dc_distribution_efficiency: float = 1.0
+
+    def __post_init__(self) -> None:
+        _require(
+            0.0 < self.nameplate_rectifier_efficiency <= 1.0,
+            "nameplate rectifier efficiency must be in (0, 1]",
+        )
+        _require(
+            0.0 < self.nameplate_sivoc_efficiency <= 1.0,
+            "nameplate SIVOC efficiency must be in (0, 1]",
+        )
+        _require(self.cdu_pump_power_w >= 0.0, "cdu_pump_power_w must be >= 0")
+        _require(
+            0.0 < self.cooling_efficiency <= 1.0,
+            "cooling_efficiency must be in (0, 1]",
+        )
+        _require(
+            0.0 < self.dc_distribution_efficiency <= 1.0,
+            "dc_distribution_efficiency must be in (0, 1]",
+        )
+
+
+@dataclass(frozen=True)
+class PumpSpec:
+    """A facility pump group (e.g. HTWP1-4 or CTWP1-4).
+
+    ``rated_flow_m3s`` and ``rated_head_pa`` define the design point of one
+    pump at 100 % speed; ``rated_power_w`` is shaft+motor power there.
+    """
+
+    name: str
+    count: int
+    rated_flow_m3s: float
+    rated_head_pa: float
+    rated_power_w: float
+    min_speed_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        _require(self.count >= 1, "pump count must be >= 1")
+        _require(self.rated_flow_m3s > 0.0, "rated_flow_m3s must be positive")
+        _require(self.rated_head_pa > 0.0, "rated_head_pa must be positive")
+        _require(self.rated_power_w > 0.0, "rated_power_w must be positive")
+        _require(
+            0.0 < self.min_speed_fraction < 1.0,
+            "min_speed_fraction must be in (0, 1)",
+        )
+
+
+@dataclass(frozen=True)
+class HeatExchangerSpec:
+    """A counterflow heat exchanger group (EHX1-5 or the HEX-1600s)."""
+
+    name: str
+    count: int
+    #: Overall conductance UA of one exchanger, W/K.
+    ua_w_per_k: float
+
+    def __post_init__(self) -> None:
+        _require(self.count >= 1, "heat exchanger count must be >= 1")
+        _require(self.ua_w_per_k > 0.0, "ua_w_per_k must be positive")
+
+
+@dataclass(frozen=True)
+class CoolingTowerSpec:
+    """Evaporative cooling tower farm (paper: 5 towers x 4 cells)."""
+
+    towers: int = 5
+    cells_per_tower: int = 4
+    #: Fan power of one cell at 100 % speed, W.
+    fan_power_w: float = 30000.0
+    #: Tower thermal effectiveness at design flow and full fan speed.
+    design_effectiveness: float = 0.65
+    #: Design approach to wet-bulb at full load, degC.
+    design_approach_c: float = 4.0
+
+    def __post_init__(self) -> None:
+        _require(self.towers >= 1, "towers must be >= 1")
+        _require(self.cells_per_tower >= 1, "cells_per_tower must be >= 1")
+        _require(self.fan_power_w >= 0.0, "fan_power_w must be >= 0")
+        _require(
+            0.0 < self.design_effectiveness < 1.0,
+            "design_effectiveness must be in (0, 1)",
+        )
+
+    @property
+    def total_cells(self) -> int:
+        return self.towers * self.cells_per_tower
+
+
+@dataclass(frozen=True)
+class CoolingLoopSpec:
+    """Thermal/hydraulic parameters of one cooling loop."""
+
+    name: str
+    #: Total coolant volume participating in the loop's thermal mass, m^3.
+    volume_m3: float
+    #: Supply temperature setpoint, degC (where applicable).
+    supply_setpoint_c: float
+    #: Loop design flow rate (total across the loop), m^3/s.
+    design_flow_m3s: float
+    #: Hydraulic resistance coefficient: dp = k * Q^2 at design flow.
+    design_dp_pa: float
+
+    def __post_init__(self) -> None:
+        _require(self.volume_m3 > 0.0, "volume_m3 must be positive")
+        _require(self.design_flow_m3s > 0.0, "design_flow_m3s must be positive")
+        _require(self.design_dp_pa > 0.0, "design_dp_pa must be positive")
+
+
+@dataclass(frozen=True)
+class CoolingSpec:
+    """The Central Energy Plant + CDU description (paper Fig. 5)."""
+
+    num_cdus: int = 25
+    racks_per_cdu: int = 3
+    cdu_loop: CoolingLoopSpec = field(
+        default_factory=lambda: CoolingLoopSpec(
+            name="cdu",
+            volume_m3=0.8,
+            supply_setpoint_c=33.0,
+            design_flow_m3s=0.0267,  # HEX-1600: 1600 L/min secondary
+            design_dp_pa=250.0e3,
+        )
+    )
+    primary_loop: CoolingLoopSpec = field(
+        default_factory=lambda: CoolingLoopSpec(
+            name="primary",
+            volume_m3=120.0,
+            supply_setpoint_c=29.0,
+            design_flow_m3s=0.347,  # ~5500 gpm HTW loop
+            design_dp_pa=300.0e3,
+        )
+    )
+    tower_loop: CoolingLoopSpec = field(
+        default_factory=lambda: CoolingLoopSpec(
+            name="tower",
+            volume_m3=220.0,
+            supply_setpoint_c=25.0,
+            design_flow_m3s=0.60,  # ~9500 gpm CT loop
+            design_dp_pa=250.0e3,
+        )
+    )
+    cdu_pumps: PumpSpec = field(
+        default_factory=lambda: PumpSpec(
+            name="CDUP",
+            count=2,
+            rated_flow_m3s=0.0267,
+            rated_head_pa=300.0e3,
+            rated_power_w=4350.0,  # two pumps -> 8.7 kW per CDU
+        )
+    )
+    htw_pumps: PumpSpec = field(
+        default_factory=lambda: PumpSpec(
+            name="HTWP",
+            count=4,
+            rated_flow_m3s=0.13,  # ~2050 gpm each
+            rated_head_pa=350.0e3,
+            rated_power_w=75000.0,
+        )
+    )
+    ctw_pumps: PumpSpec = field(
+        default_factory=lambda: PumpSpec(
+            name="CTWP",
+            count=4,
+            rated_flow_m3s=0.21,  # ~3300 gpm each
+            rated_head_pa=300.0e3,
+            rated_power_w=90000.0,
+        )
+    )
+    intermediate_hx: HeatExchangerSpec = field(
+        default_factory=lambda: HeatExchangerSpec(
+            name="EHX", count=5, ua_w_per_k=1.2e6
+        )
+    )
+    cdu_hx: HeatExchangerSpec = field(
+        default_factory=lambda: HeatExchangerSpec(
+            name="HEX-1600", count=25, ua_w_per_k=3.0e5
+        )
+    )
+    cooling_towers: CoolingTowerSpec = field(default_factory=CoolingTowerSpec)
+    #: Cooling-model coupling interval, seconds (paper: 15 s).
+    step_seconds: float = 15.0
+
+    def __post_init__(self) -> None:
+        _require(self.num_cdus >= 1, "num_cdus must be >= 1")
+        _require(self.racks_per_cdu >= 1, "racks_per_cdu must be >= 1")
+        _require(self.step_seconds > 0.0, "step_seconds must be positive")
+
+
+@dataclass(frozen=True)
+class SchedulerSpec:
+    """Scheduler behaviour (paper section III-B4)."""
+
+    policy: str = "fcfs"
+    #: Average job inter-arrival time for Poisson submission, seconds.
+    mean_arrival_s: float = 138.0
+    #: Queue depth limit (0 = unlimited).
+    max_queue_depth: int = 0
+    #: Whether replayed telemetry jobs honour recorded start times.
+    replay_uses_recorded_start: bool = True
+
+    _KNOWN_POLICIES = ("fcfs", "sjf", "backfill", "priority", "replay")
+
+    def __post_init__(self) -> None:
+        _require(
+            self.policy in self._KNOWN_POLICIES,
+            f"unknown scheduler policy {self.policy!r}; "
+            f"expected one of {self._KNOWN_POLICIES}",
+        )
+        _require(self.mean_arrival_s > 0.0, "mean_arrival_s must be positive")
+        _require(self.max_queue_depth >= 0, "max_queue_depth must be >= 0")
+
+
+@dataclass(frozen=True)
+class EconomicsSpec:
+    """Energy economics and emissions (paper Eq. 6, section IV-3)."""
+
+    #: Electricity price in USD per kWh.
+    electricity_usd_per_kwh: float = 0.09
+    #: Emission intensity in lbs CO2 per MWh (paper: 852.3).
+    emission_intensity_lb_per_mwh: float = 852.3
+
+    def __post_init__(self) -> None:
+        _require(
+            self.electricity_usd_per_kwh >= 0.0,
+            "electricity_usd_per_kwh must be >= 0",
+        )
+        _require(
+            self.emission_intensity_lb_per_mwh >= 0.0,
+            "emission_intensity_lb_per_mwh must be >= 0",
+        )
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """One partition of a (possibly multi-partition) system (paper V).
+
+    Frontier is a single partition; systems such as Setonix have separate
+    CPU-only and CPU+GPU partitions, each with its own node/rack spec.
+    """
+
+    name: str
+    total_nodes: int
+    node: NodeSpec
+    rack: RackSpec
+
+    def __post_init__(self) -> None:
+        _require(self.total_nodes >= 1, "total_nodes must be >= 1")
+        _require(bool(self.name), "partition name must be non-empty")
+
+    @property
+    def total_racks(self) -> int:
+        """Number of racks, rounding up for a partially filled last rack."""
+        per = self.rack.nodes_per_rack
+        return -(-self.total_nodes // per)
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """Complete digital-twin description of one supercomputer."""
+
+    name: str
+    partitions: tuple[PartitionSpec, ...]
+    power: PowerSpec = field(default_factory=PowerSpec)
+    cooling: CoolingSpec = field(default_factory=CoolingSpec)
+    scheduler: SchedulerSpec = field(default_factory=SchedulerSpec)
+    economics: EconomicsSpec = field(default_factory=EconomicsSpec)
+
+    def __post_init__(self) -> None:
+        _require(bool(self.name), "system name must be non-empty")
+        _require(len(self.partitions) >= 1, "at least one partition is required")
+        names = [p.name for p in self.partitions]
+        _require(
+            len(names) == len(set(names)), "partition names must be unique"
+        )
+
+    @property
+    def total_nodes(self) -> int:
+        return sum(p.total_nodes for p in self.partitions)
+
+    @property
+    def total_racks(self) -> int:
+        return sum(p.total_racks for p in self.partitions)
+
+    @property
+    def primary_partition(self) -> PartitionSpec:
+        """The first (and for Frontier, only) partition."""
+        return self.partitions[0]

@@ -1,0 +1,30 @@
+"""Transient thermo-fluid cooling model of the CEP + CDU loops.
+
+This package is the Python substitution for the paper's Modelica
+(TRANSFORM + Modelica Buildings Library) cooling model exported as an
+FMU: a lumped-parameter transient network of thermal capacitance
+volumes, quadratic pump/resistance hydraulics, epsilon-NTU heat
+exchangers, Merkel-style evaporative cooling towers, PID controllers,
+and the staging state machines of paper section III-C5, assembled per
+Fig. 5 and wrapped in an FMI-like stepping interface
+(:class:`repro.cooling.fmu.CoolingFMU`).
+
+Inputs per 15 s step: heat extracted per CDU (W, 25 values) and wet-bulb
+temperature; outputs: the 317 quantities enumerated in section III-C4.
+"""
+
+from repro.cooling.properties import CoolantProperties, WATER
+from repro.cooling.plant import CoolingPlant, PlantState
+from repro.cooling.fmu import CoolingFMU, FmuState
+from repro.cooling.autocsm import generate_plant, autocsm_report
+
+__all__ = [
+    "CoolantProperties",
+    "WATER",
+    "CoolingPlant",
+    "PlantState",
+    "CoolingFMU",
+    "FmuState",
+    "generate_plant",
+    "autocsm_report",
+]

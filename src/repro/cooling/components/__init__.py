@@ -1,0 +1,20 @@
+"""Thermo-fluid component models: volumes, pumps, HXs, towers, valves."""
+
+from repro.cooling.components.volume import ThermalVolume
+from repro.cooling.components.pipe import FlowResistance
+from repro.cooling.components.pump import PumpCurve, PumpGroup
+from repro.cooling.components.heat_exchanger import CounterflowHX
+from repro.cooling.components.cooling_tower import CoolingTowerFarm
+from repro.cooling.components.valve import ControlValve
+from repro.cooling.components.coldplate import ColdPlate
+
+__all__ = [
+    "ThermalVolume",
+    "FlowResistance",
+    "PumpCurve",
+    "PumpGroup",
+    "CounterflowHX",
+    "CoolingTowerFarm",
+    "ControlValve",
+    "ColdPlate",
+]

@@ -1,0 +1,95 @@
+"""CPU/GPU cold plates: junction temperature from thermal resistance.
+
+Each Frontier blade carries two CPU cold plates and eight GPU cold plates
+(paper section III-C1).  A cold plate is a thermal resistance between the
+die and the blade coolant:
+
+    T_die = T_coolant + R_th(Q) * P_die
+
+with the convective part of ``R_th`` falling with coolant flow ^0.8
+(Dittus-Boelter scaling).  This feeds the thermal-throttling detection
+use case from the requirements analysis (section III-A): dies crossing
+their throttle limit are flagged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import CoolingModelError
+
+
+class ColdPlate:
+    """Die-to-coolant thermal resistance model (vectorized over dies)."""
+
+    def __init__(
+        self,
+        r_conduction_c_per_w: float,
+        r_convection_design_c_per_w: float,
+        design_flow_m3s: float,
+        *,
+        throttle_limit_c: float = 95.0,
+    ) -> None:
+        if r_conduction_c_per_w < 0 or r_convection_design_c_per_w <= 0:
+            raise CoolingModelError("thermal resistances must be positive")
+        if design_flow_m3s <= 0:
+            raise CoolingModelError("design flow must be positive")
+        self.r_cond = float(r_conduction_c_per_w)
+        self.r_conv_design = float(r_convection_design_c_per_w)
+        self.design_flow = float(design_flow_m3s)
+        self.throttle_limit_c = float(throttle_limit_c)
+
+    def thermal_resistance(self, flow_m3s: np.ndarray | float) -> np.ndarray | float:
+        """R_th at the given per-plate coolant flow, degC/W."""
+        flow = np.asarray(flow_m3s, dtype=np.float64)
+        if np.any(flow < 0):
+            raise CoolingModelError("flow must be non-negative")
+        ratio = np.maximum(flow / self.design_flow, 1e-3)
+        return self.r_cond + self.r_conv_design * ratio**-0.8
+
+    def die_temperature(
+        self,
+        coolant_temp_c: np.ndarray | float,
+        die_power_w: np.ndarray | float,
+        flow_m3s: np.ndarray | float,
+    ) -> np.ndarray | float:
+        """Junction temperature for the given load and coolant state."""
+        power = np.asarray(die_power_w, dtype=np.float64)
+        if np.any(power < 0):
+            raise CoolingModelError("die power must be non-negative")
+        return np.asarray(coolant_temp_c) + self.thermal_resistance(flow_m3s) * power
+
+    def throttling(
+        self,
+        coolant_temp_c: np.ndarray | float,
+        die_power_w: np.ndarray | float,
+        flow_m3s: np.ndarray | float,
+    ) -> np.ndarray:
+        """Boolean mask of dies exceeding the throttle limit."""
+        t = self.die_temperature(coolant_temp_c, die_power_w, flow_m3s)
+        return np.asarray(t) > self.throttle_limit_c
+
+
+#: Default GPU cold plate: ~0.08 degC/W total at design flow.
+def default_gpu_coldplate() -> ColdPlate:
+    """MI250X-class cold plate at ~0.5 L/min per plate design flow."""
+    return ColdPlate(
+        r_conduction_c_per_w=0.02,
+        r_convection_design_c_per_w=0.06,
+        design_flow_m3s=8.3e-6,
+        throttle_limit_c=95.0,
+    )
+
+
+#: Default CPU cold plate: ~0.15 degC/W total at design flow.
+def default_cpu_coldplate() -> ColdPlate:
+    """Trento-class cold plate at ~0.4 L/min per plate design flow."""
+    return ColdPlate(
+        r_conduction_c_per_w=0.04,
+        r_convection_design_c_per_w=0.11,
+        design_flow_m3s=6.7e-6,
+        throttle_limit_c=90.0,
+    )
+
+
+__all__ = ["ColdPlate", "default_gpu_coldplate", "default_cpu_coldplate"]

@@ -1,0 +1,93 @@
+"""Counterflow heat exchangers via the effectiveness-NTU method.
+
+Covers both the five intermediate EHXs (tower loop <-> HTW loop) and the
+25 HEX-1600s (HTW loop <-> CDU secondary loop).  Effectiveness for a
+counterflow exchanger:
+
+    NTU = UA / C_min,   Cr = C_min / C_max
+    eps = (1 - exp(-NTU (1 - Cr))) / (1 - Cr exp(-NTU (1 - Cr)))
+    eps = NTU / (1 + NTU)                        when Cr ~= 1
+
+Vectorized so a bank of 25 identical units computes in one call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cooling.properties import CoolantProperties
+from repro.exceptions import CoolingModelError
+
+
+class CounterflowHX:
+    """epsilon-NTU counterflow heat exchanger (bank-capable)."""
+
+    def __init__(
+        self,
+        ua_w_per_k: float,
+        hot_fluid: CoolantProperties,
+        cold_fluid: CoolantProperties,
+    ) -> None:
+        if ua_w_per_k <= 0:
+            raise CoolingModelError("UA must be positive")
+        self.ua = float(ua_w_per_k)
+        self.hot_fluid = hot_fluid
+        self.cold_fluid = cold_fluid
+
+    def effectiveness(
+        self, c_hot: np.ndarray, c_cold: np.ndarray, ua: np.ndarray | float | None = None
+    ) -> np.ndarray:
+        """Counterflow effectiveness for capacity-rate arrays (W/K)."""
+        c_hot = np.asarray(c_hot, dtype=np.float64)
+        c_cold = np.asarray(c_cold, dtype=np.float64)
+        ua_eff = self.ua if ua is None else np.asarray(ua, dtype=np.float64)
+        c_min = np.minimum(c_hot, c_cold)
+        c_max = np.maximum(c_hot, c_cold)
+        # Degenerate (no-flow) channels transfer nothing.
+        dead = c_min <= 1e-9
+        c_min_safe = np.where(dead, 1.0, c_min)
+        cr = np.where(dead, 0.0, c_min / np.maximum(c_max, 1e-12))
+        ntu = ua_eff / c_min_safe
+        near_unity = np.abs(1.0 - cr) < 1e-6
+        with np.errstate(over="ignore"):
+            e = np.exp(-ntu * (1.0 - cr))
+        eps_general = (1.0 - e) / np.maximum(1.0 - cr * e, 1e-12)
+        eps_balanced = ntu / (1.0 + ntu)
+        eps = np.where(near_unity, eps_balanced, eps_general)
+        return np.where(dead, 0.0, np.clip(eps, 0.0, 1.0))
+
+    def transfer(
+        self,
+        t_hot_in_c: np.ndarray | float,
+        flow_hot_m3s: np.ndarray | float,
+        t_cold_in_c: np.ndarray | float,
+        flow_cold_m3s: np.ndarray | float,
+        *,
+        ua: np.ndarray | float | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Steady heat transfer: returns (q_w, t_hot_out_c, t_cold_out_c).
+
+        Positive ``q_w`` flows hot -> cold; if the "hot" inlet is colder
+        than the "cold" inlet the transfer reverses sign, conserving
+        energy either way.
+        """
+        t_hot = np.asarray(t_hot_in_c, dtype=np.float64)
+        t_cold = np.asarray(t_cold_in_c, dtype=np.float64)
+        c_hot = np.asarray(
+            self.hot_fluid.heat_capacity_rate(flow_hot_m3s, t_hot)
+        )
+        c_cold = np.asarray(
+            self.cold_fluid.heat_capacity_rate(flow_cold_m3s, t_cold)
+        )
+        eps = self.effectiveness(c_hot, c_cold, ua)
+        c_min = np.minimum(c_hot, c_cold)
+        q = eps * c_min * (t_hot - t_cold)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            t_hot_out = np.where(c_hot > 1e-9, t_hot - q / np.maximum(c_hot, 1e-12), t_hot)
+            t_cold_out = np.where(
+                c_cold > 1e-9, t_cold + q / np.maximum(c_cold, 1e-12), t_cold
+            )
+        return q, t_hot_out, t_cold_out
+
+
+__all__ = ["CounterflowHX"]

@@ -1,0 +1,59 @@
+"""Quadratic flow resistances (pipes, fittings, cold-plate manifolds).
+
+Turbulent-regime pressure drop: ``dp = k Q^2`` with ``k`` fit at a design
+point.  Series and parallel composition follow the usual hydraulic
+algebra, letting loop models collapse their piping into one equivalent
+resistance the way the Modelica templated layout does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import CoolingModelError
+
+
+class FlowResistance:
+    """dp = k * Q^2 resistance element."""
+
+    def __init__(self, k_pa_per_m3s2: float) -> None:
+        if k_pa_per_m3s2 <= 0:
+            raise CoolingModelError("resistance coefficient must be positive")
+        self.k = float(k_pa_per_m3s2)
+
+    @classmethod
+    def from_design_point(
+        cls, dp_pa: float, flow_m3s: float
+    ) -> "FlowResistance":
+        """Fit ``k`` so the element drops ``dp_pa`` at ``flow_m3s``."""
+        if dp_pa <= 0 or flow_m3s <= 0:
+            raise CoolingModelError("design point must be positive")
+        return cls(dp_pa / flow_m3s**2)
+
+    def pressure_drop(self, flow_m3s: np.ndarray | float) -> np.ndarray | float:
+        """Pressure drop at the given flow, Pa."""
+        q = np.asarray(flow_m3s, dtype=np.float64)
+        return self.k * q * np.abs(q)
+
+    def flow_at(self, dp_pa: np.ndarray | float) -> np.ndarray | float:
+        """Flow passing the element under ``dp_pa``, m^3/s."""
+        dp = np.asarray(dp_pa, dtype=np.float64)
+        return np.sign(dp) * np.sqrt(np.abs(dp) / self.k)
+
+    def series(self, other: "FlowResistance") -> "FlowResistance":
+        """Equivalent resistance of self followed by ``other``."""
+        return FlowResistance(self.k + other.k)
+
+    def parallel(self, other: "FlowResistance") -> "FlowResistance":
+        """Equivalent resistance of self alongside ``other``."""
+        inv = 1.0 / np.sqrt(self.k) + 1.0 / np.sqrt(other.k)
+        return FlowResistance(1.0 / inv**2)
+
+    def parallel_n(self, n: int) -> "FlowResistance":
+        """``n`` identical copies of this element in parallel."""
+        if n < 1:
+            raise CoolingModelError("n must be >= 1")
+        return FlowResistance(self.k / n**2)
+
+
+__all__ = ["FlowResistance"]

@@ -1,0 +1,107 @@
+"""Centrifugal pump curves, affinity scaling, and parallel pump groups.
+
+One pump: quadratic head curve ``H(Q, s) = s^2 H0 - k_p Q^2`` (affinity
+laws move the curve with speed fraction ``s``).  The operating point
+against a system resistance ``dp = k_r Q^2`` solves in closed form:
+
+    Q = sqrt(s^2 H0 / (k_p / n^2 + k_r))        (n identical pumps)
+
+Shaft power follows the affinity cube law anchored at the design point,
+with a hotel floor so idling VFD pumps still draw power.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config.schema import PumpSpec
+from repro.cooling.components.pipe import FlowResistance
+from repro.exceptions import CoolingModelError
+
+
+class PumpCurve:
+    """Head/power model of a single pump derived from its spec.
+
+    ``k_p`` is chosen so the design point (rated flow at rated head)
+    sits at 75 % of the shut-off head — a typical centrifugal shape.
+    """
+
+    SHUTOFF_FACTOR = 1.0 / 0.75
+
+    def __init__(self, spec: PumpSpec) -> None:
+        self.spec = spec
+        self.h0 = spec.rated_head_pa * self.SHUTOFF_FACTOR
+        # H(Q_d, 1) = H_rated  =>  k_p = (H0 - H_rated)/Q_d^2.
+        self.k_p = (self.h0 - spec.rated_head_pa) / spec.rated_flow_m3s**2
+
+    def head(self, flow_m3s: np.ndarray | float, speed: np.ndarray | float) -> np.ndarray | float:
+        """Head at the given per-pump flow and speed fraction, Pa."""
+        q = np.asarray(flow_m3s, dtype=np.float64)
+        s = np.asarray(speed, dtype=np.float64)
+        return s**2 * self.h0 - self.k_p * q * q
+
+    def power(self, speed: np.ndarray | float) -> np.ndarray | float:
+        """Electrical power via the affinity cube law with a 5 % floor."""
+        s = np.asarray(speed, dtype=np.float64)
+        if np.any(s < 0) or np.any(s > 1.2):
+            raise CoolingModelError("pump speed out of range [0, 1.2]")
+        return self.spec.rated_power_w * np.maximum(s**3, 0.05)
+
+
+class PumpGroup:
+    """``count`` identical pumps in parallel against a loop resistance.
+
+    The group solves its quasi-static operating point each control step;
+    ``n_running`` is set by the staging controller.
+    """
+
+    def __init__(self, spec: PumpSpec, *, n_running: int | None = None) -> None:
+        self.spec = spec
+        self.curve = PumpCurve(spec)
+        self.n_running = spec.count if n_running is None else int(n_running)
+        if not 0 <= self.n_running <= spec.count:
+            raise CoolingModelError("n_running outside [0, count]")
+
+    def operating_point(
+        self, resistance: FlowResistance, speed: float
+    ) -> tuple[float, float]:
+        """(total flow m^3/s, head Pa) against ``resistance`` at ``speed``.
+
+        With ``n`` pumps each carrying Q/n:
+        s^2 H0 - k_p (Q/n)^2 = k_r Q^2.
+        """
+        if self.n_running == 0:
+            return 0.0, 0.0
+        s = float(np.clip(speed, 0.0, 1.0))
+        if s <= 0.0:
+            return 0.0, 0.0
+        n = self.n_running
+        denom = self.curve.k_p / n**2 + resistance.k
+        q_total = float(np.sqrt(s**2 * self.curve.h0 / denom))
+        head = float(resistance.pressure_drop(q_total))
+        return q_total, head
+
+    def speed_for_flow(self, resistance: FlowResistance, q_total: float) -> float:
+        """Speed fraction needed to push ``q_total`` through the loop."""
+        if q_total <= 0 or self.n_running == 0:
+            return 0.0
+        n = self.n_running
+        denom = self.curve.k_p / n**2 + resistance.k
+        s = float(np.sqrt(q_total**2 * denom / self.curve.h0))
+        return min(s, 1.0)
+
+    def power(self, speed: float) -> float:
+        """Total electrical power of the running pumps, W."""
+        if self.n_running == 0:
+            return 0.0
+        return float(self.curve.power(speed)) * self.n_running
+
+    def per_pump_power(self, speed: float) -> np.ndarray:
+        """Per-pump power vector over all installed pumps (0 when off)."""
+        powers = np.zeros(self.spec.count)
+        if self.n_running:
+            powers[: self.n_running] = float(self.curve.power(speed))
+        return powers
+
+
+__all__ = ["PumpCurve", "PumpGroup"]

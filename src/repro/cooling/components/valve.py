@@ -1,0 +1,62 @@
+"""Control valves: variable flow resistance with equal-percentage trim.
+
+Each CDU regulates its primary coolant draw with a control valve (paper
+section III-C5, CDU-rack loop).  Opening maps to a flow coefficient via
+an equal-percentage characteristic, the standard trim for temperature
+control loops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cooling.components.pipe import FlowResistance
+from repro.exceptions import CoolingModelError
+
+
+class ControlValve:
+    """Equal-percentage valve: Cv(x) = Cv_max * R^(x-1), x in [0, 1].
+
+    ``rangeability`` R sets the turndown (Cv at x=0 is Cv_max/R).
+    The valve exposes an equivalent quadratic resistance at the current
+    opening, composable with the loop's fixed piping resistance.
+    """
+
+    def __init__(
+        self,
+        cv_max_flow_m3s: float,
+        dp_rated_pa: float,
+        *,
+        rangeability: float = 30.0,
+    ) -> None:
+        if cv_max_flow_m3s <= 0 or dp_rated_pa <= 0:
+            raise CoolingModelError("valve rating must be positive")
+        if rangeability <= 1:
+            raise CoolingModelError("rangeability must exceed 1")
+        self.cv_max_flow = float(cv_max_flow_m3s)
+        self.dp_rated = float(dp_rated_pa)
+        self.rangeability = float(rangeability)
+
+    def flow_fraction(self, opening: np.ndarray | float) -> np.ndarray | float:
+        """Relative flow coefficient at ``opening`` (equal-percentage)."""
+        x = np.clip(np.asarray(opening, dtype=np.float64), 0.0, 1.0)
+        return self.rangeability ** (x - 1.0)
+
+    def flow_at(
+        self, opening: np.ndarray | float, dp_pa: np.ndarray | float
+    ) -> np.ndarray | float:
+        """Flow through the valve at the given opening and pressure drop."""
+        dp = np.asarray(dp_pa, dtype=np.float64)
+        if np.any(dp < 0):
+            raise CoolingModelError("valve dp must be non-negative")
+        frac = self.flow_fraction(opening)
+        return self.cv_max_flow * frac * np.sqrt(dp / self.dp_rated)
+
+    def resistance(self, opening: float) -> FlowResistance:
+        """Equivalent quadratic resistance at a fixed opening."""
+        frac = float(self.flow_fraction(opening))
+        q_rated = self.cv_max_flow * frac
+        return FlowResistance(self.dp_rated / q_rated**2)
+
+
+__all__ = ["ControlValve"]

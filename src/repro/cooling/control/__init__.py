@@ -1,0 +1,6 @@
+"""Control-system models: PID regulators and staging state machines."""
+
+from repro.cooling.control.pid import PidController
+from repro.cooling.control.staging import StagingController, DelayedSignal
+
+__all__ = ["PidController", "StagingController", "DelayedSignal"]

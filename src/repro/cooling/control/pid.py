@@ -1,0 +1,106 @@
+"""Discrete PID controller with anti-windup and output clamping.
+
+The Modelica control model regulates CDU pump speeds, control valves,
+facility pump speeds, and tower fans with PID loops (paper section
+III-C5), with gains taken from the physical controllers where available
+and tuned against telemetry otherwise.  This implementation carries
+vector state so one controller object can regulate all 25 CDUs at once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import CoolingModelError
+
+
+class PidController:
+    """Velocity-clamped positional PID: u = kp*e + ki*int(e) + kd*de/dt.
+
+    Anti-windup freezes the integrator while the output is saturated in
+    the direction that would deepen the saturation (clamping back-calculation).
+
+    Parameters
+    ----------
+    kp, ki, kd:
+        Gains (SI error units -> actuator units).
+    u_min, u_max:
+        Output clamps (e.g. pump speed fraction limits).
+    width:
+        Number of parallel channels (25 for the CDU bank).
+    reverse:
+        If True, the error sign is flipped (measurement above setpoint
+        drives the output *up* — e.g. more cooling when too hot).
+    """
+
+    def __init__(
+        self,
+        kp: float,
+        ki: float,
+        kd: float = 0.0,
+        *,
+        u_min: float = 0.0,
+        u_max: float = 1.0,
+        width: int = 1,
+        reverse: bool = False,
+        u0: float | None = None,
+    ) -> None:
+        if u_max <= u_min:
+            raise CoolingModelError("u_max must exceed u_min")
+        if width < 1:
+            raise CoolingModelError("width must be >= 1")
+        self.kp = float(kp)
+        self.ki = float(ki)
+        self.kd = float(kd)
+        self.u_min = float(u_min)
+        self.u_max = float(u_max)
+        self.width = int(width)
+        self.sign = -1.0 if reverse else 1.0
+        start = u0 if u0 is not None else (u_min + u_max) / 2.0
+        self._integral = np.full(width, start / self.ki if self.ki else 0.0)
+        self._prev_error = np.zeros(width)
+        self._has_prev = False
+        self.output = np.full(width, start)
+
+    def reset(self, u0: float | None = None) -> None:
+        """Re-initialize controller state."""
+        start = u0 if u0 is not None else (self.u_min + self.u_max) / 2.0
+        self._integral = np.full(self.width, start / self.ki if self.ki else 0.0)
+        self._prev_error = np.zeros(self.width)
+        self._has_prev = False
+        self.output = np.full(self.width, start)
+
+    def update(
+        self,
+        setpoint: np.ndarray | float,
+        measurement: np.ndarray | float,
+        dt: float,
+    ) -> np.ndarray:
+        """Advance one control step and return the clamped output array."""
+        if dt <= 0:
+            raise CoolingModelError("dt must be positive")
+        error = self.sign * (
+            np.broadcast_to(np.asarray(setpoint, dtype=np.float64), (self.width,))
+            - np.broadcast_to(np.asarray(measurement, dtype=np.float64), (self.width,))
+        )
+        d_term = 0.0
+        if self.kd and self._has_prev:
+            d_term = self.kd * (error - self._prev_error) / dt
+        candidate_integral = self._integral + error * dt
+        u_unclamped = (
+            self.kp * error + self.ki * candidate_integral + d_term
+        )
+        u = np.clip(u_unclamped, self.u_min, self.u_max)
+        # Anti-windup: keep the integrator only where it doesn't deepen
+        # saturation.
+        saturated_hi = (u_unclamped > self.u_max) & (error > 0)
+        saturated_lo = (u_unclamped < self.u_min) & (error < 0)
+        keep = ~(saturated_hi | saturated_lo)
+        self._integral = np.where(keep, candidate_integral, self._integral)
+        self._prev_error = error
+        self._has_prev = True
+        self.output = u
+        return u
+
+
+__all__ = ["PidController"]

@@ -1,0 +1,179 @@
+"""FMI-like co-simulation wrapper around the cooling plant.
+
+The paper exports its Modelica model through the Functional Mock-up
+Interface and drives it from RAPS via FMPy (section III-C6).  This class
+reproduces the FMI 2.0 co-simulation lifecycle —
+
+    instantiate -> setup_experiment -> set inputs -> do_step -> get outputs
+
+— including protocol-order enforcement, named variable access, and
+reset, so the RAPS engine couples to the cooling model exactly the way
+the paper's stack does (and so a real FMU could be swapped in behind the
+same interface).
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.config.schema import CoolingSpec
+from repro.cooling.plant import CoolingPlant, PlantState, output_names
+from repro.exceptions import FMUError
+
+
+class FmuState(enum.Enum):
+    """FMI co-simulation lifecycle states."""
+
+    INSTANTIATED = "instantiated"
+    EXPERIMENT_READY = "experiment_ready"
+    STEPPING = "stepping"
+    TERMINATED = "terminated"
+
+
+class CoolingFMU:
+    """FMI 2.0-style co-simulation unit for the cooling plant.
+
+    Input variables: ``cdu_heat[i]`` (W, one per CDU),
+    ``wetbulb_temperature`` (degC), and optional ``system_power`` (W).
+    Output variables: the 317 named plant outputs (see
+    :func:`repro.cooling.plant.output_names`).
+    """
+
+    def __init__(self, cooling: CoolingSpec, *, substep_s: float = 3.0) -> None:
+        self._cooling = cooling
+        self._substep_s = substep_s
+        self._plant = CoolingPlant(cooling, substep_s=substep_s)
+        self.state = FmuState.INSTANTIATED
+        self._time = 0.0
+        self._stop_time: float | None = None
+        self._cdu_heat = np.zeros(cooling.num_cdus)
+        self._wetbulb_c = 15.0
+        self._system_power_w: float | None = None
+        self._output_names = output_names(
+            cooling.num_cdus, cooling.cooling_towers.total_cells
+        )
+        self._outputs = np.zeros(len(self._output_names))
+        self._index = {name: i for i, name in enumerate(self._output_names)}
+        self.last_state: PlantState | None = None
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def setup_experiment(
+        self, start_time: float = 0.0, stop_time: float | None = None
+    ) -> None:
+        """Declare the simulation window (FMI setupExperiment)."""
+        if self.state is not FmuState.INSTANTIATED:
+            raise FMUError(
+                f"setup_experiment called in state {self.state.value}"
+            )
+        self._time = float(start_time)
+        self._plant.time_s = self._time
+        self._stop_time = stop_time
+        self.state = FmuState.EXPERIMENT_READY
+
+    def terminate(self) -> None:
+        """End the co-simulation (FMI terminate)."""
+        self.state = FmuState.TERMINATED
+
+    def reset(self) -> None:
+        """Return to a freshly instantiated unit (FMI reset)."""
+        self._plant = CoolingPlant(self._cooling, substep_s=self._substep_s)
+        self._time = 0.0
+        self._stop_time = None
+        self._cdu_heat = np.zeros(self._cooling.num_cdus)
+        self._system_power_w = None
+        self.last_state = None
+        self.state = FmuState.INSTANTIATED
+
+    # -- inputs ---------------------------------------------------------------------
+
+    def set_cdu_heat(self, heat_w: np.ndarray) -> None:
+        """Set the per-CDU heat input for the next step, W."""
+        self._check_running("set_cdu_heat")
+        heat_w = np.asarray(heat_w, dtype=np.float64)
+        if heat_w.shape != (self._cooling.num_cdus,):
+            raise FMUError(
+                f"cdu_heat must have shape ({self._cooling.num_cdus},)"
+            )
+        if np.any(heat_w < 0):
+            raise FMUError("cdu_heat must be non-negative")
+        self._cdu_heat = heat_w
+
+    def set_wetbulb(self, wetbulb_c: float) -> None:
+        """Set the outdoor wet-bulb temperature, degC."""
+        self._check_running("set_wetbulb")
+        if not -40.0 <= wetbulb_c <= 45.0:
+            raise FMUError(f"implausible wet-bulb {wetbulb_c} degC")
+        self._wetbulb_c = float(wetbulb_c)
+
+    def set_system_power(self, power_w: float | None) -> None:
+        """Set total system power for the PUE denominator (optional)."""
+        self._check_running("set_system_power")
+        if power_w is not None and power_w < 0:
+            raise FMUError("system power must be non-negative")
+        self._system_power_w = power_w
+
+    def _check_running(self, op: str) -> None:
+        if self.state not in (FmuState.EXPERIMENT_READY, FmuState.STEPPING):
+            raise FMUError(f"{op} called in state {self.state.value}")
+
+    # -- stepping -------------------------------------------------------------------
+
+    def do_step(
+        self, current_time: float, step_size: float | None = None
+    ) -> None:
+        """Advance the unit by one communication step (FMI doStep)."""
+        self._check_running("do_step")
+        if step_size is None:
+            step_size = self._cooling.step_seconds
+        if step_size <= 0:
+            raise FMUError("step_size must be positive")
+        if abs(current_time - self._time) > 1e-6:
+            raise FMUError(
+                f"do_step time mismatch: unit at {self._time}, "
+                f"caller at {current_time}"
+            )
+        if self._stop_time is not None and current_time + step_size > self._stop_time + 1e-9:
+            raise FMUError("do_step would pass the experiment stop time")
+        state = self._plant.step(
+            self._cdu_heat,
+            self._wetbulb_c,
+            step_size,
+            system_power_w=self._system_power_w,
+        )
+        self.last_state = state
+        self._outputs = state.as_output_vector()
+        self._time += step_size
+        self.state = FmuState.STEPPING
+
+    # -- outputs --------------------------------------------------------------------
+
+    @property
+    def time(self) -> float:
+        return self._time
+
+    def variable_names(self) -> list[str]:
+        """All 317 output variable names, in vector order."""
+        return list(self._output_names)
+
+    def get_output(self, name: str) -> float:
+        """Read one named output from the last completed step."""
+        try:
+            return float(self._outputs[self._index[name]])
+        except KeyError:
+            raise FMUError(f"unknown output variable {name!r}") from None
+
+    def get_outputs(self) -> np.ndarray:
+        """The full 317-value output vector from the last step."""
+        return self._outputs.copy()
+
+    def get_state(self) -> PlantState:
+        """Structured snapshot of the last step."""
+        if self.last_state is None:
+            raise FMUError("no step has completed yet")
+        return self.last_state
+
+
+__all__ = ["CoolingFMU", "FmuState"]

@@ -1,0 +1,7 @@
+"""Loop models: the CDU-rack, primary (HTW), and cooling-tower loops."""
+
+from repro.cooling.loops.cdu import CduLoopBank
+from repro.cooling.loops.primary import PrimaryLoop
+from repro.cooling.loops.tower import TowerLoop
+
+__all__ = ["CduLoopBank", "PrimaryLoop", "TowerLoop"]

@@ -1,0 +1,180 @@
+"""The CDU-rack loops: 25 units, vectorized as one bank (paper Fig. 5).
+
+Each CDU's secondary (blade) loop: CDU pumps circulate PG25 coolant
+through three racks (64 blades each), picking up the rack heat, through
+the hot side of the HEX-1600, and back.  Controls per paper III-C5:
+
+- a PID regulates CDU pump speed on the loop differential pressure
+  (both pumps always run at the same speed),
+- a control valve regulates the primary (HTW) coolant draw to hold the
+  secondary supply temperature at its setpoint.
+
+State per CDU: hot-side temperature (return from racks, entering the
+HX) and cold-side temperature (supply to racks, leaving the HX).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config.schema import CoolingSpec
+from repro.cooling.components.heat_exchanger import CounterflowHX
+from repro.cooling.components.pipe import FlowResistance
+from repro.cooling.components.pump import PumpGroup
+from repro.cooling.components.valve import ControlValve
+from repro.cooling.components.volume import ThermalVolume
+from repro.cooling.control.pid import PidController
+from repro.cooling.properties import PG25, WATER
+from repro.exceptions import CoolingModelError
+
+
+class CduLoopBank:
+    """All 25 CDU secondary loops advanced together."""
+
+    #: Maximum primary draw per CDU when its valve is wide open, m^3/s.
+    Q_PRIMARY_MAX = 0.020
+
+    def __init__(self, cooling: CoolingSpec, *, t0_c: float = 33.0) -> None:
+        self.spec = cooling
+        self.n = cooling.num_cdus
+        loop = cooling.cdu_loop
+        self.pumps = PumpGroup(cooling.cdu_pumps)
+        self.resistance = FlowResistance.from_design_point(
+            loop.design_dp_pa, loop.design_flow_m3s
+        )
+        self.hx = CounterflowHX(cooling.cdu_hx.ua_w_per_k, PG25, WATER)
+        self.valve = ControlValve(
+            cv_max_flow_m3s=self.Q_PRIMARY_MAX,
+            dp_rated_pa=cooling.primary_loop.design_dp_pa,
+        )
+        # Secondary thermal state: hot (post-racks) and cold (post-HX).
+        half_volume = loop.volume_m3 / 2.0
+        self.hot = ThermalVolume(half_volume, PG25, t0_c + 5.0, width=self.n)
+        self.cold = ThermalVolume(half_volume, PG25, t0_c, width=self.n)
+        # Pump-speed PID on loop differential pressure.
+        self.dp_setpoint_pa = loop.design_dp_pa
+        self.pump_pid = PidController(
+            kp=1.2e-6, ki=2.5e-7, u_min=0.3, u_max=1.0, width=self.n, u0=0.95
+        )
+        # Valve PID on secondary supply temperature (reverse: hotter ->
+        # open wider -> more primary flow).
+        self.supply_setpoint_c = loop.supply_setpoint_c
+        self.valve_pid = PidController(
+            kp=0.10, ki=0.012, u_min=0.05, u_max=1.0, width=self.n,
+            reverse=True, u0=0.6,
+        )
+        self.pump_speed = np.full(self.n, 0.95)
+        self.valve_opening = np.full(self.n, 0.6)
+        self.secondary_flow = np.full(self.n, loop.design_flow_m3s)
+        self.primary_flow = np.full(self.n, 0.015)
+        self.hx_heat_w = np.zeros(self.n)
+        self.primary_return_c = np.full(self.n, t0_c)
+        #: Per-CDU hydraulic blockage: resistance multiplier (>= 1).
+        #: Models the biological-growth blockage use case (paper III-A).
+        self.blockage_factor = np.ones(self.n)
+
+    # -- control -----------------------------------------------------------------
+
+    def set_blockage(self, cdu_index: int, severity: float) -> None:
+        """Partially block one CDU's secondary loop.
+
+        ``severity`` multiplies the loop's hydraulic resistance (1 =
+        clean, 4 = three-quarters blocked).  Models the biological-
+        growth blockage failure mode from the requirements analysis.
+        """
+        if severity < 1.0:
+            raise CoolingModelError("blockage severity must be >= 1")
+        if not 0 <= cdu_index < self.n:
+            raise CoolingModelError("cdu_index out of range")
+        self.blockage_factor[cdu_index] = float(severity)
+
+    def update_controls(self, dt: float) -> None:
+        """Advance the pump-speed and valve PIDs one step."""
+        # Measured loop dp at current speed (quasi-static), including
+        # any per-CDU blockage.
+        dp = self.resistance.pressure_drop(self.secondary_flow) * (
+            self.blockage_factor
+        )
+        self.pump_speed = self.pump_pid.update(self.dp_setpoint_pa, dp, dt)
+        self.valve_opening = self.valve_pid.update(
+            self.supply_setpoint_c, self.cold.temp_c, dt
+        )
+
+    def update_flows(self, primary_header_dp_pa: float) -> None:
+        """Solve secondary pump operating points and valve primary draws."""
+        if primary_header_dp_pa < 0:
+            raise CoolingModelError("header dp must be non-negative")
+        # All 25 pump groups share one curve; op point scales with speed
+        # and degrades with the per-CDU blockage (q ~ 1/sqrt(k)).
+        q1, _ = self.pumps.operating_point(self.resistance, 1.0)
+        self.secondary_flow = (
+            q1 * self.pump_speed / np.sqrt(self.blockage_factor)
+        )
+        self.primary_flow = np.asarray(
+            self.valve.flow_at(self.valve_opening, primary_header_dp_pa)
+        )
+
+    # -- thermal ---------------------------------------------------------------------
+
+    def advance_thermal(
+        self,
+        cdu_heat_w: np.ndarray,
+        htw_supply_c: float,
+        dt: float,
+    ) -> None:
+        """One thermal substep for all CDUs.
+
+        ``cdu_heat_w`` is the heat deposited by each CDU's racks (the
+        RAPS coupling input); ``htw_supply_c`` is the primary supply
+        header temperature.
+        """
+        cdu_heat_w = np.asarray(cdu_heat_w, dtype=np.float64)
+        if cdu_heat_w.shape != (self.n,):
+            raise CoolingModelError(
+                f"cdu_heat_w must have shape ({self.n},)"
+            )
+        if np.any(cdu_heat_w < 0):
+            raise CoolingModelError("heat must be non-negative")
+        # Racks heat the stream leaving the cold volume.
+        cap = np.asarray(
+            PG25.heat_capacity_rate(self.secondary_flow, self.cold.temp_c)
+        )
+        rack_out_c = self.cold.temp_c + np.where(
+            cap > 1e-9, cdu_heat_w / np.maximum(cap, 1e-12), 0.0
+        )
+        # Hot volume collects the rack outlet stream.
+        self.hot.advance(rack_out_c, self.secondary_flow, 0.0, dt)
+        # HX: secondary hot side -> primary cold side.
+        q, t_hot_out, t_cold_out = self.hx.transfer(
+            self.hot.temp_c,
+            self.secondary_flow,
+            htw_supply_c,
+            self.primary_flow,
+        )
+        self.hx_heat_w = np.asarray(q)
+        self.primary_return_c = np.asarray(t_cold_out)
+        # Cold volume collects the HX hot-side outlet.
+        self.cold.advance(t_hot_out, self.secondary_flow, 0.0, dt)
+
+    # -- outputs -----------------------------------------------------------------------
+
+    def pump_power_w(self) -> np.ndarray:
+        """Per-CDU pump electrical power (both pumps), W."""
+        return self.pumps.n_running * np.asarray(
+            self.pumps.curve.power(self.pump_speed)
+        )
+
+    @property
+    def secondary_supply_c(self) -> np.ndarray:
+        return self.cold.temp_c
+
+    @property
+    def secondary_return_c(self) -> np.ndarray:
+        return self.hot.temp_c
+
+    @property
+    def total_primary_flow(self) -> float:
+        return float(np.sum(self.primary_flow))
+
+
+__all__ = ["CduLoopBank"]

@@ -1,0 +1,159 @@
+"""The cooling-tower loop: CTWP1-4 and the 5x4-cell tower farm.
+
+CTW circulates from the towers through the four cooling-tower water
+pumps (~9000-10000 gpm) to the cold side of the EHX bank and back
+(paper Fig. 5).  Controls per III-C5:
+
+- CTWP speed is regulated to hold the CT supply header pressure within
+  its band, staging pumps up/down in concert with the running speeds,
+- cells are staged and fans are modulated to stabilize the HTW supply
+  temperature (the HTWS-stability criterion), with the cross-loop
+  coupling low-pass filtered by the paper's delay transfer function.
+
+State: tower-outlet (CTW supply) and EHX-outlet (CTW return) header
+temperatures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config.schema import CoolingSpec
+from repro.cooling.components.cooling_tower import CoolingTowerFarm
+from repro.cooling.components.pipe import FlowResistance
+from repro.cooling.components.pump import PumpGroup
+from repro.cooling.components.volume import ThermalVolume
+from repro.cooling.control.pid import PidController
+from repro.cooling.control.staging import DelayedSignal, StagingController
+from repro.cooling.properties import WATER
+from repro.exceptions import CoolingModelError
+
+
+class TowerLoop:
+    """CTW loop model with pump/cell staging and fan modulation."""
+
+    def __init__(self, cooling: CoolingSpec, *, t0_c: float = 25.0) -> None:
+        self.spec = cooling
+        loop = cooling.tower_loop
+        self.pumps = PumpGroup(cooling.ctw_pumps, n_running=2)
+        self.resistance = FlowResistance.from_design_point(
+            loop.design_dp_pa, loop.design_flow_m3s
+        )
+        farm_spec = cooling.cooling_towers
+        self.farm = CoolingTowerFarm(
+            farm_spec,
+            design_flow_per_cell_m3s=loop.design_flow_m3s / farm_spec.total_cells,
+        )
+        half_volume = loop.volume_m3 / 2.0
+        self.supply = ThermalVolume(half_volume, WATER, t0_c, width=1)
+        self.return_ = ThermalVolume(half_volume, WATER, t0_c + 9.0, width=1)
+        self.pump_staging = StagingController(
+            n_min=1,
+            n_max=cooling.ctw_pumps.count,
+            hi=0.92,
+            lo=0.45,
+            up_delay_s=60.0,
+            down_delay_s=600.0,
+            n0=2,
+        )
+        # Cell staging driven by the (delayed) HTWS temperature error +
+        # its gradient — the paper's HTWS-stability criterion.
+        self.cell_staging = StagingController(
+            n_min=2,
+            n_max=farm_spec.total_cells,
+            hi=0.5,
+            lo=-1.0,
+            up_delay_s=120.0,
+            down_delay_s=900.0,
+            n0=6,
+        )
+        self.htws_delay = DelayedSignal(tau_s=300.0)
+        self._prev_htws_c: float | None = None
+        # Fan PID holds the HTW supply temperature (reverse action).
+        self.fan_pid = PidController(
+            kp=0.20, ki=0.004, kd=2.0, u_min=0.05, u_max=1.0, width=1,
+            reverse=True, u0=0.6,
+        )
+        # CTWP speed PID holds the supply header pressure.
+        self.pressure_setpoint_pa = loop.design_dp_pa * 0.7
+        self.speed_pid = PidController(
+            kp=1.0e-6, ki=1.5e-7, u_min=cooling.ctw_pumps.min_speed_fraction,
+            u_max=1.0, width=1, u0=0.75,
+        )
+        self.pump_speed = 0.75
+        self.total_flow = loop.design_flow_m3s * 0.6
+        self.fan_speed = 0.6
+
+    # -- control / hydraulics ---------------------------------------------------------
+
+    def update_controls(
+        self, htws_temp_c: float, htws_setpoint_c: float, dt: float
+    ) -> None:
+        """Fan modulation + cell/pump staging on the HTWS criterion."""
+        if self._prev_htws_c is None:
+            self._prev_htws_c = htws_temp_c
+        gradient_c_per_min = (htws_temp_c - self._prev_htws_c) / dt * 60.0
+        self._prev_htws_c = htws_temp_c
+        error = htws_temp_c - htws_setpoint_c
+        # Delay transfer function between the loops (paper III-C5).
+        signal = self.htws_delay.update(
+            error + 2.0 * gradient_c_per_min, dt
+        )
+        self.fan_speed = float(
+            self.fan_pid.update(htws_setpoint_c, htws_temp_c, dt)[0]
+        )
+        self.cell_staging.update(signal, dt)
+        # Header-pressure loop for the CTWPs.
+        self.pumps.n_running = self.pump_staging.count
+        dp = float(self.resistance.pressure_drop(self.total_flow))
+        self.pump_speed = float(
+            self.speed_pid.update(self.pressure_setpoint_pa, dp, dt)[0]
+        )
+        self.pump_staging.update(self.pump_speed, dt)
+        q, _ = self.pumps.operating_point(self.resistance, self.pump_speed)
+        self.total_flow = q
+
+    @property
+    def n_cells(self) -> int:
+        return self.cell_staging.count
+
+    # -- thermal -------------------------------------------------------------------------
+
+    def advance_thermal(
+        self, ehx_cold_out_c: float, wetbulb_c: float, dt: float
+    ) -> None:
+        """One thermal substep: EHX outlet -> towers -> supply header."""
+        self.return_.advance(ehx_cold_out_c, self.total_flow, 0.0, dt)
+        t_ct_out = self.farm.outlet_temperature(
+            self.return_temp_c,
+            wetbulb_c,
+            self.total_flow,
+            self.n_cells,
+            self.fan_speed,
+        )
+        self.supply.advance(t_ct_out, self.total_flow, 0.0, dt)
+
+    # -- outputs --------------------------------------------------------------------------
+
+    @property
+    def supply_temp_c(self) -> float:
+        return float(self.supply.temp_c[0])
+
+    @property
+    def return_temp_c(self) -> float:
+        return float(self.return_.temp_c[0])
+
+    def pump_power_w(self) -> float:
+        return self.pumps.power(self.pump_speed)
+
+    def per_pump_power_w(self) -> np.ndarray:
+        return self.pumps.per_pump_power(self.pump_speed)
+
+    def fan_power_w(self) -> float:
+        return self.farm.fan_power_w(self.n_cells, self.fan_speed)
+
+    def per_cell_fan_power_w(self) -> np.ndarray:
+        return self.farm.per_cell_fan_power_w(self.n_cells, self.fan_speed)
+
+
+__all__ = ["TowerLoop"]

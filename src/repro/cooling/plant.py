@@ -1,0 +1,317 @@
+"""The assembled Frontier cooling system (paper Fig. 5).
+
+Three loops joined by heat exchangers:
+
+    racks -> CDU secondary loops (25x) -> HEX-1600 -> primary HTW loop
+          -> EHX1-5 -> cooling-tower loop -> 5x4-cell tower farm -> ambient
+
+Inputs per macro step (15 s): heat extracted per CDU (W, 25 values) and
+wet-bulb temperature (degC); optionally the total system power for PUE.
+The macro step is operator-split into control + quasi-static hydraulics
++ exponential thermal substeps (DESIGN.md section 5).
+
+Outputs: exactly the 317 quantities of paper section III-C4, tallied as
+
+    25 CDUs x 11        = 275   (pump work; primary/secondary flow;
+                                 supply/return temperatures and pressures
+                                 at stations 12-15)
+    primary pump loop    =  10   (pumps + EHX staged; 4x HTWP power,
+                                 4x HTWP speed)
+    cooling-tower loop   =  25   (cells staged; 4x CTWP power;
+                                 20x cell fan power)
+    facility + PUE       =   7   (HTW supply/return temp + pressure,
+                                 CTW supply/return temp, PUE)
+    -------------------------------------------------------------------
+    total                = 317
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config.schema import CoolingSpec
+from repro.cooling.loops.cdu import CduLoopBank
+from repro.cooling.loops.primary import PrimaryLoop
+from repro.cooling.loops.tower import TowerLoop
+from repro.exceptions import CoolingModelError
+
+#: Number of model outputs per simulation step (paper section III-C4).
+NUM_OUTPUTS = 317
+
+
+@dataclass
+class PlantState:
+    """Snapshot of the plant after one macro step."""
+
+    time_s: float
+    cdu_pump_power_w: np.ndarray
+    cdu_primary_flow_m3s: np.ndarray
+    cdu_secondary_flow_m3s: np.ndarray
+    cdu_primary_supply_temp_c: np.ndarray
+    cdu_primary_return_temp_c: np.ndarray
+    cdu_secondary_supply_temp_c: np.ndarray
+    cdu_secondary_return_temp_c: np.ndarray
+    cdu_primary_supply_pressure_pa: np.ndarray
+    cdu_primary_return_pressure_pa: np.ndarray
+    cdu_secondary_supply_pressure_pa: np.ndarray
+    cdu_secondary_return_pressure_pa: np.ndarray
+    num_htwp_staged: int
+    num_ehx_staged: int
+    htwp_power_w: np.ndarray
+    htwp_speed: np.ndarray
+    num_ct_staged: int
+    ctwp_power_w: np.ndarray
+    ct_fan_power_w: np.ndarray
+    htw_supply_temp_c: float
+    htw_return_temp_c: float
+    htw_supply_pressure_pa: float
+    htw_return_pressure_pa: float
+    ctw_supply_temp_c: float
+    ctw_return_temp_c: float
+    pue: float
+    aux_power_w: float = 0.0
+    extras: dict = field(default_factory=dict)
+
+    def as_output_vector(self) -> np.ndarray:
+        """Flatten to the canonical 317-value output vector."""
+        parts = [
+            self.cdu_pump_power_w,
+            self.cdu_primary_flow_m3s,
+            self.cdu_secondary_flow_m3s,
+            self.cdu_primary_supply_temp_c,
+            self.cdu_primary_return_temp_c,
+            self.cdu_secondary_supply_temp_c,
+            self.cdu_secondary_return_temp_c,
+            self.cdu_primary_supply_pressure_pa,
+            self.cdu_primary_return_pressure_pa,
+            self.cdu_secondary_supply_pressure_pa,
+            self.cdu_secondary_return_pressure_pa,
+            [float(self.num_htwp_staged), float(self.num_ehx_staged)],
+            self.htwp_power_w,
+            self.htwp_speed,
+            [float(self.num_ct_staged)],
+            self.ctwp_power_w,
+            self.ct_fan_power_w,
+            [
+                self.htw_supply_temp_c,
+                self.htw_return_temp_c,
+                self.htw_supply_pressure_pa,
+                self.htw_return_pressure_pa,
+                self.ctw_supply_temp_c,
+                self.ctw_return_temp_c,
+                self.pue,
+            ],
+        ]
+        return np.concatenate([np.asarray(p, dtype=np.float64).ravel() for p in parts])
+
+
+def output_names(num_cdus: int = 25, num_cells: int = 20) -> list[str]:
+    """Canonical names of the flattened output vector entries."""
+    names: list[str] = []
+    per_cdu = [
+        "pump_power_w",
+        "primary_flow_m3s",
+        "secondary_flow_m3s",
+        "primary_supply_temp_c",
+        "primary_return_temp_c",
+        "secondary_supply_temp_c",
+        "secondary_return_temp_c",
+        "primary_supply_pressure_pa",
+        "primary_return_pressure_pa",
+        "secondary_supply_pressure_pa",
+        "secondary_return_pressure_pa",
+    ]
+    for quantity in per_cdu:
+        names.extend(f"cdu{i:02d}_{quantity}" for i in range(num_cdus))
+    names.extend(["num_htwp_staged", "num_ehx_staged"])
+    names.extend(f"htwp{i+1}_power_w" for i in range(4))
+    names.extend(f"htwp{i+1}_speed" for i in range(4))
+    names.append("num_ct_staged")
+    names.extend(f"ctwp{i+1}_power_w" for i in range(4))
+    names.extend(f"ct_cell{i+1:02d}_fan_power_w" for i in range(num_cells))
+    names.extend(
+        [
+            "htw_supply_temp_c",
+            "htw_return_temp_c",
+            "htw_supply_pressure_pa",
+            "htw_return_pressure_pa",
+            "ctw_supply_temp_c",
+            "ctw_return_temp_c",
+            "pue",
+        ]
+    )
+    return names
+
+
+class CoolingPlant:
+    """Transient model of the CEP + 25 CDU loops.
+
+    Parameters
+    ----------
+    cooling:
+        Plant description (defaults reproduce Frontier's Fig. 5 layout).
+    substep_s:
+        Internal integration substep; the 15 s macro step is divided
+        into ceil(dt / substep_s) substeps.
+    """
+
+    #: Static reference pressure for the secondary loops, Pa.
+    SECONDARY_STATIC_PA = 150.0e3
+
+    def __init__(self, cooling: CoolingSpec, *, substep_s: float = 3.0) -> None:
+        if substep_s <= 0:
+            raise CoolingModelError("substep must be positive")
+        self.spec = cooling
+        self.substep_s = float(substep_s)
+        self.cdus = CduLoopBank(cooling)
+        self.primary = PrimaryLoop(cooling)
+        self.tower = TowerLoop(cooling)
+        self.time_s = 0.0
+        #: Header dp the HTWP VFDs hold for the CDU valves, Pa.
+        self.primary_header_dp_pa = 0.7 * cooling.primary_loop.design_dp_pa
+
+    # -- stepping --------------------------------------------------------------
+
+    def step(
+        self,
+        cdu_heat_w: np.ndarray,
+        wetbulb_c: float,
+        dt: float | None = None,
+        *,
+        system_power_w: float | None = None,
+    ) -> PlantState:
+        """Advance one macro step (default: the spec's 15 s coupling).
+
+        ``cdu_heat_w`` is the heat deposited in each CDU's secondary
+        loop (the RAPS coupling input, already scaled by the cooling
+        efficiency); ``system_power_w`` (if given) is used for the PUE
+        denominator, otherwise it is estimated from the heat input.
+        """
+        if dt is None:
+            dt = self.spec.step_seconds
+        if dt <= 0:
+            raise CoolingModelError("dt must be positive")
+        cdu_heat_w = np.asarray(cdu_heat_w, dtype=np.float64)
+        if cdu_heat_w.shape != (self.spec.num_cdus,):
+            raise CoolingModelError(
+                f"cdu_heat_w must have shape ({self.spec.num_cdus},)"
+            )
+        n_sub = max(1, int(np.ceil(dt / self.substep_s)))
+        h = dt / n_sub
+        for _ in range(n_sub):
+            self._substep(cdu_heat_w, float(wetbulb_c), h)
+        self.time_s += dt
+        return self._snapshot(cdu_heat_w, system_power_w)
+
+    def _substep(self, cdu_heat_w: np.ndarray, wetbulb_c: float, h: float) -> None:
+        # 1. Controls.
+        self.cdus.update_controls(h)
+        self.tower.update_controls(
+            self.primary.supply_temp_c, self.primary.supply_setpoint_c, h
+        )
+        # 2. Quasi-static hydraulics.
+        self.cdus.update_flows(self.primary_header_dp_pa)
+        self.primary.update_flows(self.cdus.total_primary_flow, h)
+        # 3. Staging couplings.
+        self.primary.stage_ehx(
+            self.tower.n_cells, self.spec.cooling_towers.cells_per_tower
+        )
+        # 4. Thermal advance, upstream to downstream.
+        self.cdus.advance_thermal(cdu_heat_w, self.primary.supply_temp_c, h)
+        q = self.cdus.primary_flow
+        q_total = float(np.sum(q))
+        if q_total > 1e-9:
+            mix_c = float(np.sum(q * self.cdus.primary_return_c) / q_total)
+        else:
+            mix_c = self.primary.return_temp_c
+        ehx_cold_out = self.primary.advance_thermal(
+            mix_c, self.tower.supply_temp_c, self.tower.total_flow, h
+        )
+        self.tower.advance_thermal(ehx_cold_out, wetbulb_c, h)
+
+    # -- outputs -----------------------------------------------------------------
+
+    def _snapshot(
+        self, cdu_heat_w: np.ndarray, system_power_w: float | None
+    ) -> PlantState:
+        n = self.spec.num_cdus
+        htw_supply_p, htw_return_p = self.primary.header_pressures_pa()
+        # CDU branch pressures: header minus branch losses ~ Q^2.
+        q_pri = self.cdus.primary_flow
+        branch_drop = 0.15 * self.primary_header_dp_pa * (
+            q_pri / self.cdus.Q_PRIMARY_MAX
+        ) ** 2
+        cdu_pri_supply_p = np.full(n, htw_supply_p) - branch_drop
+        cdu_pri_return_p = np.full(n, htw_return_p) + 0.2 * branch_drop
+        sec_dp = np.asarray(
+            self.cdus.resistance.pressure_drop(self.cdus.secondary_flow)
+        )
+        sec_supply_p = self.SECONDARY_STATIC_PA + sec_dp
+        sec_return_p = np.full(n, self.SECONDARY_STATIC_PA)
+
+        cdu_pump_w = self.cdus.pump_power_w()
+        htwp_w = self.primary.per_pump_power_w()
+        ctwp_w = self.tower.per_pump_power_w()
+        fan_w = self.tower.per_cell_fan_power_w()
+        aux_cep_w = float(np.sum(htwp_w) + np.sum(ctwp_w) + np.sum(fan_w))
+        aux_total_w = aux_cep_w + float(np.sum(cdu_pump_w))
+
+        if system_power_w is None:
+            cooling_eff = 0.945
+            system_power_w = float(np.sum(cdu_heat_w)) / cooling_eff + float(
+                np.sum(cdu_pump_w)
+            )
+        pue = (
+            (system_power_w + aux_cep_w) / system_power_w
+            if system_power_w > 0
+            else 1.0
+        )
+
+        htwp_speed = np.zeros(4)
+        htwp_speed[: self.primary.pumps.n_running] = self.primary.pump_speed
+
+        return PlantState(
+            time_s=self.time_s,
+            cdu_pump_power_w=cdu_pump_w,
+            cdu_primary_flow_m3s=self.cdus.primary_flow.copy(),
+            cdu_secondary_flow_m3s=self.cdus.secondary_flow.copy(),
+            cdu_primary_supply_temp_c=np.full(n, self.primary.supply_temp_c),
+            cdu_primary_return_temp_c=self.cdus.primary_return_c.copy(),
+            cdu_secondary_supply_temp_c=self.cdus.secondary_supply_c.copy(),
+            cdu_secondary_return_temp_c=self.cdus.secondary_return_c.copy(),
+            cdu_primary_supply_pressure_pa=cdu_pri_supply_p,
+            cdu_primary_return_pressure_pa=cdu_pri_return_p,
+            cdu_secondary_supply_pressure_pa=sec_supply_p,
+            cdu_secondary_return_pressure_pa=sec_return_p,
+            num_htwp_staged=self.primary.pumps.n_running,
+            num_ehx_staged=self.primary.n_ehx,
+            htwp_power_w=htwp_w,
+            htwp_speed=htwp_speed,
+            num_ct_staged=self.tower.n_cells,
+            ctwp_power_w=ctwp_w,
+            ct_fan_power_w=fan_w,
+            htw_supply_temp_c=self.primary.supply_temp_c,
+            htw_return_temp_c=self.primary.return_temp_c,
+            htw_supply_pressure_pa=htw_supply_p,
+            htw_return_pressure_pa=htw_return_p,
+            ctw_supply_temp_c=self.tower.supply_temp_c,
+            ctw_return_temp_c=self.tower.return_temp_c,
+            pue=float(pue),
+            aux_power_w=aux_total_w,
+        )
+
+    def warmup(
+        self, cdu_heat_w: np.ndarray, wetbulb_c: float, duration_s: float = 3600.0
+    ) -> PlantState:
+        """Run the plant to (near) steady state at a fixed load."""
+        steps = max(1, int(duration_s / self.spec.step_seconds))
+        state = None
+        for _ in range(steps):
+            state = self.step(cdu_heat_w, wetbulb_c)
+        assert state is not None
+        return state
+
+
+__all__ = ["CoolingPlant", "PlantState", "output_names", "NUM_OUTPUTS"]

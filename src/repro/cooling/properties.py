@@ -1,0 +1,81 @@
+"""Coolant thermophysical properties.
+
+The facility loops run treated water; the blade-level loop runs a
+water/propylene-glycol mix (PG25).  A light linear temperature
+correction on density is included; specific heat is treated as constant
+over the 15-55 degC operating band (the variation is < 1 %, far below
+the model's other uncertainties).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import CoolingModelError
+
+
+@dataclass(frozen=True)
+class CoolantProperties:
+    """Density/heat-capacity model for a single-phase liquid coolant."""
+
+    name: str
+    #: Density at the reference temperature, kg/m^3.
+    rho_ref_kg_m3: float
+    #: Reference temperature for the density fit, degC.
+    t_ref_c: float
+    #: Linear thermal-expansion slope d(rho)/dT, kg/(m^3 degC).
+    drho_dt: float
+    #: Specific heat capacity, J/(kg degC).
+    cp_j_kg_c: float
+
+    def __post_init__(self) -> None:
+        if self.rho_ref_kg_m3 <= 0:
+            raise CoolingModelError("density must be positive")
+        if self.cp_j_kg_c <= 0:
+            raise CoolingModelError("specific heat must be positive")
+
+    def density(self, t_c: np.ndarray | float) -> np.ndarray | float:
+        """Density at temperature ``t_c`` (degC), kg/m^3."""
+        return self.rho_ref_kg_m3 + self.drho_dt * (np.asarray(t_c) - self.t_ref_c)
+
+    def heat_capacity_rate(
+        self, flow_m3s: np.ndarray | float, t_c: np.ndarray | float = 25.0
+    ) -> np.ndarray | float:
+        """Capacity rate ``C = rho * Q * cp`` in W/degC."""
+        flow = np.asarray(flow_m3s)
+        if np.any(flow < 0):
+            raise CoolingModelError("flow must be non-negative")
+        return self.density(t_c) * flow * self.cp_j_kg_c
+
+    def heat_rate(
+        self,
+        flow_m3s: np.ndarray | float,
+        dt_c: np.ndarray | float,
+        t_c: np.ndarray | float = 25.0,
+    ) -> np.ndarray | float:
+        """Heat carried by a stream with temperature rise ``dt_c``
+        (paper Eq. 7: H = rho * Q * dT * c)."""
+        return self.heat_capacity_rate(flow_m3s, t_c) * np.asarray(dt_c)
+
+    def thermal_mass(self, volume_m3: float, t_c: float = 25.0) -> float:
+        """Lumped thermal mass ``rho * V * cp`` in J/degC."""
+        if volume_m3 <= 0:
+            raise CoolingModelError("volume must be positive")
+        return float(self.density(t_c)) * volume_m3 * self.cp_j_kg_c
+
+
+#: Facility treated water (CT / HTW loops).
+WATER = CoolantProperties(
+    name="water", rho_ref_kg_m3=997.0, t_ref_c=25.0, drho_dt=-0.25,
+    cp_j_kg_c=4186.0,
+)
+
+#: 25 % propylene-glycol blade coolant (CDU secondary loop).
+PG25 = CoolantProperties(
+    name="pg25", rho_ref_kg_m3=1022.0, t_ref_c=25.0, drho_dt=-0.35,
+    cp_j_kg_c=3900.0,
+)
+
+__all__ = ["CoolantProperties", "WATER", "PG25"]

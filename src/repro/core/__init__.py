@@ -1,0 +1,38 @@
+"""The digital-twin core: the RAPS engine and everything driven by it.
+
+- :mod:`repro.core.engine` — Algorithm 1: the tick loop coupling the
+  scheduler, the power model, and the cooling FMU (15 s cadence),
+- :mod:`repro.core.simulation` — high-level facade (spec -> run -> report),
+- :mod:`repro.core.replay` — telemetry replay + validation (Finding 8),
+- :mod:`repro.core.physical` — the simulated physical twin used to
+  produce "measured" telemetry (see DESIGN.md substitutions),
+- :mod:`repro.core.scenarios` — what-if runner (smart rectifiers, 380 V DC),
+- :mod:`repro.core.stats` — output statistics (section III-B5, Table IV),
+- :mod:`repro.core.validate` — RMSE/MAE/%-error comparison harness.
+"""
+
+from repro.core.engine import RapsEngine, SimulationResult
+from repro.core.simulation import Simulation
+from repro.core.stats import RunStatistics, DailyStatistics, aggregate_daily
+from repro.core.validate import SeriesComparison, compare_series, percent_error
+from repro.core.physical import PhysicalTwin, MeasurementNoise
+from repro.core.replay import ReplayValidation, replay_dataset
+from repro.core.scenarios import ScenarioComparison, run_whatif
+
+__all__ = [
+    "RapsEngine",
+    "SimulationResult",
+    "Simulation",
+    "RunStatistics",
+    "DailyStatistics",
+    "aggregate_daily",
+    "SeriesComparison",
+    "compare_series",
+    "percent_error",
+    "PhysicalTwin",
+    "MeasurementNoise",
+    "ReplayValidation",
+    "replay_dataset",
+    "ScenarioComparison",
+    "run_whatif",
+]

@@ -1,0 +1,209 @@
+"""The simulated physical twin: produces "measured" telemetry.
+
+This repository has no access to Frontier's production telemetry, so the
+ground truth the validation replays compare against is produced by a
+*physical twin surrogate*: the same simulation engine run with randomly
+perturbed model parameters (the real machine never matches nameplate
+values) plus sensor noise and slow drift on every emitted series.  The
+digital twin under test then replays the same workload with *nominal*
+parameters — exactly the epistemic gap a real V&V campaign measures
+(see DESIGN.md, substitutions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config.schema import SystemSpec
+from repro.core.engine import RapsEngine, SimulationResult
+from repro.exceptions import TelemetryError
+from repro.power.uq import PerturbationSpec, perturb_spec
+from repro.scheduler.workloads import jobs_from_dataset
+from repro.telemetry.dataset import TelemetryDataset, TimeSeries
+
+
+@dataclass(frozen=True)
+class MeasurementNoise:
+    """Sensor-noise model applied to every emitted telemetry series."""
+
+    power_rel: float = 0.01
+    temperature_abs_c: float = 0.15
+    flow_rel: float = 0.01
+    pressure_rel: float = 0.01
+    drift_rel: float = 0.005
+    drift_tau_s: float = 7200.0
+
+    def apply_rel(
+        self, values: np.ndarray, rel: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Multiplicative white noise + slow OU drift."""
+        noisy = values * (1.0 + rng.normal(0.0, rel, values.shape))
+        return noisy * (1.0 + self._drift(values.shape[0], rng))[
+            (...,) + (None,) * (values.ndim - 1)
+        ]
+
+    def apply_abs(
+        self, values: np.ndarray, sigma: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Additive white noise (temperature sensors)."""
+        return values + rng.normal(0.0, sigma, values.shape)
+
+    def _drift(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        a = np.exp(-15.0 / self.drift_tau_s)
+        s = self.drift_rel * np.sqrt(1 - a * a)
+        eps = rng.normal(0.0, 1.0, n)
+        out = np.empty(n)
+        x = rng.normal(0.0, self.drift_rel)
+        for i in range(n):
+            x = a * x + s * eps[i]
+            out[i] = x
+        return out
+
+
+class PhysicalTwin:
+    """Runs a perturbed engine over a workload and emits telemetry.
+
+    The emitted dataset carries the workload's job records plus
+    "measured" series: total system power, per-CDU rack-group power,
+    and — when cooling is enabled — the Fig. 7 validation series (CDU
+    flows and temperatures, HTW pressure, PUE).
+    """
+
+    def __init__(
+        self,
+        spec: SystemSpec,
+        *,
+        seed: int = 7,
+        perturbation: PerturbationSpec | None = None,
+        noise: MeasurementNoise | None = None,
+        with_cooling: bool = True,
+    ) -> None:
+        self._rng = np.random.default_rng(seed)
+        self.nominal_spec = spec
+        self.perturbation = perturbation or PerturbationSpec()
+        self.noise = noise or MeasurementNoise()
+        self.with_cooling = with_cooling
+        #: The "real machine": nominal spec with parameter perturbations.
+        self.true_spec = perturb_spec(spec, self.perturbation, self._rng)
+
+    def measure(
+        self, workload: TelemetryDataset, duration_s: float
+    ) -> tuple[TelemetryDataset, SimulationResult]:
+        """Run the perturbed twin over ``workload`` and emit telemetry.
+
+        Returns the telemetry dataset (jobs + noisy measured series) and
+        the clean simulation result (for diagnostics).
+        """
+        jobs = jobs_from_dataset(workload)
+        if not jobs:
+            raise TelemetryError("workload has no jobs to measure")
+        wetbulb = (
+            workload["wetbulb_temperature"]
+            if "wetbulb_temperature" in workload
+            else 15.0
+        )
+        engine = RapsEngine(
+            self.true_spec,
+            with_cooling=self.with_cooling,
+            honor_recorded_starts=True,
+        )
+        result = engine.run(jobs, duration_s, wetbulb=wetbulb)
+
+        rng = self._rng
+        noise = self.noise
+        ds = TelemetryDataset(
+            name=f"{workload.name}-measured",
+            jobs=list(workload.jobs),
+            metadata={
+                "source": "physical-twin-surrogate",
+                "parent": workload.name,
+            },
+        )
+        t = result.times_s
+        ds.add_series(
+            "measured_power",
+            TimeSeries(
+                t, noise.apply_rel(result.system_power_w, noise.power_rel, rng), "W"
+            ),
+        )
+        ds.add_series(
+            "rack_power",
+            TimeSeries(
+                t, noise.apply_rel(result.cdu_power_w, noise.power_rel, rng), "W"
+            ),
+        )
+        if isinstance(wetbulb, TimeSeries):
+            ds.add_series("wetbulb_temperature", wetbulb)
+        if result.cooling:
+            ds.add_series(
+                "cdu_htw_flow",
+                TimeSeries(
+                    t,
+                    noise.apply_rel(
+                        result.cooling["cdu_primary_flow_m3s"], noise.flow_rel, rng
+                    ),
+                    "m3/s",
+                ),
+            )
+            ds.add_series(
+                "cdu_return_temp",
+                TimeSeries(
+                    t,
+                    noise.apply_abs(
+                        result.cooling["cdu_primary_return_temp_c"],
+                        noise.temperature_abs_c,
+                        rng,
+                    ),
+                    "degC",
+                ),
+            )
+            ds.add_series(
+                "cdu_supply_temp",
+                TimeSeries(
+                    t,
+                    noise.apply_abs(
+                        result.cooling["cdu_secondary_supply_temp_c"],
+                        noise.temperature_abs_c,
+                        rng,
+                    ),
+                    "degC",
+                ),
+            )
+            ds.add_series(
+                "htw_supply_pressure",
+                TimeSeries(
+                    t,
+                    noise.apply_rel(
+                        result.cooling["htw_supply_pressure_pa"],
+                        noise.pressure_rel,
+                        rng,
+                    ),
+                    "Pa",
+                ),
+            )
+            ds.add_series(
+                "htw_supply_temp",
+                TimeSeries(
+                    t,
+                    noise.apply_abs(
+                        result.cooling["htw_supply_temp_c"],
+                        noise.temperature_abs_c,
+                        rng,
+                    ),
+                    "degC",
+                ),
+            )
+            ds.add_series(
+                "pue",
+                TimeSeries(
+                    t,
+                    noise.apply_rel(result.cooling["pue"], 0.002, rng),
+                    "ratio",
+                ),
+            )
+        return ds, result
+
+
+__all__ = ["PhysicalTwin", "MeasurementNoise"]

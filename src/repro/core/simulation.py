@@ -1,0 +1,146 @@
+"""High-level simulation facade: spec -> workload -> run -> report.
+
+:class:`Simulation` is the front door most examples use: pick a system
+(builtin name, JSON path, or spec), pick a workload (synthetic,
+replayed, or a verification point), run, and read the statistics — the
+terminal-console usage of the paper's Fig. 6.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.config.loader import load_builtin_system, load_system
+from repro.config.schema import SystemSpec
+from repro.core.engine import RapsEngine, SimulationResult
+from repro.core.stats import RunStatistics, compute_statistics
+from repro.exceptions import SimulationError
+from repro.scheduler.job import Job
+from repro.scheduler.workloads import (
+    hpl_verification_workload,
+    idle_workload,
+    jobs_from_dataset,
+    peak_workload,
+    synthetic_workload,
+)
+from repro.telemetry.dataset import TelemetryDataset
+from repro.telemetry.dataset import TimeSeries
+
+
+class Simulation:
+    """One configured digital-twin simulation."""
+
+    def __init__(
+        self,
+        system: str | Path | SystemSpec = "frontier",
+        *,
+        with_cooling: bool = True,
+        policy: str | None = None,
+        chain=None,
+        seed: int = 0,
+    ) -> None:
+        if isinstance(system, SystemSpec):
+            self.spec = system
+        else:
+            text = str(system)
+            if text.endswith(".json") or Path(text).exists():
+                self.spec = load_system(system)
+            else:
+                self.spec = load_builtin_system(text)
+        self.with_cooling = with_cooling
+        self.policy = policy
+        self.chain = chain
+        self.seed = seed
+        self.result: SimulationResult | None = None
+
+    # -- workload selection -------------------------------------------------------
+
+    def run_synthetic(
+        self, duration_s: float = 14400.0, *, wetbulb: float | TimeSeries = 15.0
+    ) -> SimulationResult:
+        """Poisson synthetic workload (paper section III-B3)."""
+        jobs = synthetic_workload(self.spec, duration_s, seed=self.seed)
+        return self._run(jobs, duration_s, wetbulb, honor_recorded=False)
+
+    def run_replay(
+        self,
+        dataset: TelemetryDataset,
+        duration_s: float,
+    ) -> SimulationResult:
+        """Telemetry replay with recorded start times (Finding 8)."""
+        jobs = jobs_from_dataset(dataset)
+        wetbulb = (
+            dataset["wetbulb_temperature"]
+            if "wetbulb_temperature" in dataset
+            else 15.0
+        )
+        return self._run(jobs, duration_s, wetbulb, honor_recorded=True)
+
+    def run_verification(
+        self, point: str, duration_s: float = 1800.0
+    ) -> SimulationResult:
+        """One Table III operating point: 'idle', 'hpl', or 'peak'."""
+        builders = {
+            "idle": idle_workload,
+            "hpl": hpl_verification_workload,
+            "peak": peak_workload,
+        }
+        if point not in builders:
+            raise SimulationError(
+                f"unknown verification point {point!r}; "
+                f"expected one of {sorted(builders)}"
+            )
+        jobs = builders[point](self.spec, duration_s)
+        return self._run(jobs, duration_s, 15.0, honor_recorded=True)
+
+    def run_jobs(
+        self,
+        jobs: list[Job],
+        duration_s: float,
+        *,
+        wetbulb: float | TimeSeries = 15.0,
+        honor_recorded: bool = False,
+    ) -> SimulationResult:
+        """Run an explicit job list."""
+        return self._run(jobs, duration_s, wetbulb, honor_recorded=honor_recorded)
+
+    # -- internals -------------------------------------------------------------------
+
+    def _run(
+        self,
+        jobs: list[Job],
+        duration_s: float,
+        wetbulb,
+        *,
+        honor_recorded: bool,
+    ) -> SimulationResult:
+        engine = RapsEngine(
+            self.spec,
+            chain=self.chain,
+            with_cooling=self.with_cooling,
+            honor_recorded_starts=honor_recorded,
+            policy=self.policy,
+        )
+        self.result = engine.run(jobs, duration_s, wetbulb=wetbulb)
+        return self.result
+
+    # -- reporting --------------------------------------------------------------------
+
+    def statistics(self) -> RunStatistics:
+        """End-of-run report (section III-B5)."""
+        if self.result is None:
+            raise SimulationError("no simulation has been run yet")
+        return compute_statistics(self.result, self.spec.economics)
+
+    def mean_pue(self) -> float:
+        """Mean PUE over the run (cooling must have been enabled)."""
+        if self.result is None:
+            raise SimulationError("no simulation has been run yet")
+        if "pue" not in self.result.cooling:
+            raise SimulationError("run was not coupled to the cooling model")
+        return float(np.mean(self.result.cooling["pue"]))
+
+
+__all__ = ["Simulation"]

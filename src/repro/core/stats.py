@@ -1,0 +1,173 @@
+"""Output statistics and daily aggregation (paper III-B5, Table IV).
+
+At the end of a run RAPS reports: jobs completed, throughput (jobs/hr),
+average power (MW), total energy (MW-hr), rectification + conversion
+losses (MW), CO2 emissions (metric tons), and total energy cost (USD).
+``aggregate_daily`` reduces a list of per-day statistics to the
+min/avg/max/std table of paper Table IV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+from repro.config.schema import EconomicsSpec
+from repro.core.engine import SimulationResult
+from repro.exceptions import SimulationError
+from repro.power.emissions import EmissionsModel
+
+
+@dataclass(frozen=True)
+class RunStatistics:
+    """The section III-B5 end-of-run report for one simulation."""
+
+    jobs_completed: int
+    throughput_jobs_per_hour: float
+    mean_arrival_s: float
+    mean_nodes_per_job: float
+    mean_runtime_min: float
+    mean_power_mw: float
+    total_energy_mwh: float
+    mean_loss_mw: float
+    loss_percent: float
+    chain_efficiency: float
+    co2_tons: float
+    energy_cost_usd: float
+
+    def report(self) -> str:
+        """Human-readable end-of-run report."""
+        lines = [
+            "RAPS run statistics",
+            "-" * 40,
+            f"jobs completed:        {self.jobs_completed}",
+            f"throughput:            {self.throughput_jobs_per_hour:.1f} jobs/hr",
+            f"avg job arrival:       {self.mean_arrival_s:.0f} s",
+            f"avg nodes per job:     {self.mean_nodes_per_job:.0f}",
+            f"avg runtime:           {self.mean_runtime_min:.0f} min",
+            f"average power:         {self.mean_power_mw:.2f} MW",
+            f"total energy:          {self.total_energy_mwh:.1f} MW-hr",
+            f"conversion loss:       {self.mean_loss_mw:.2f} MW "
+            f"({self.loss_percent:.2f} %)",
+            f"chain efficiency:      {self.chain_efficiency * 100:.2f} %",
+            f"CO2 emissions:         {self.co2_tons:.1f} metric tons",
+            f"energy cost:           ${self.energy_cost_usd:,.0f}",
+        ]
+        return "\n".join(lines)
+
+
+def compute_statistics(
+    result: SimulationResult, economics: EconomicsSpec
+) -> RunStatistics:
+    """Build the end-of-run report from an engine result."""
+    completed = [j for j in result.jobs if j.end_time is not None]
+    n_done = len(completed)
+    hours = result.duration_s / 3600.0
+    if hours <= 0:
+        raise SimulationError("empty simulation result")
+    submits = np.sort([j.submit_time for j in result.jobs])
+    mean_arrival = (
+        float(np.mean(np.diff(submits))) if submits.size > 1 else result.duration_s
+    )
+    mean_nodes = (
+        float(np.mean([j.nodes_required for j in result.jobs]))
+        if result.jobs
+        else 0.0
+    )
+    mean_runtime_min = (
+        float(np.mean([j.wall_time for j in result.jobs])) / 60.0
+        if result.jobs
+        else 0.0
+    )
+    emissions = EmissionsModel(economics)
+    eta = result.mean_chain_efficiency
+    co2 = emissions.co2_tons(result.energy_mwh, eta)
+    cost = emissions.energy_cost_usd(result.energy_mwh)
+    mean_power_w = result.mean_power_w
+    return RunStatistics(
+        jobs_completed=n_done,
+        throughput_jobs_per_hour=n_done / hours,
+        mean_arrival_s=mean_arrival,
+        mean_nodes_per_job=mean_nodes,
+        mean_runtime_min=mean_runtime_min,
+        mean_power_mw=mean_power_w / 1e6,
+        total_energy_mwh=result.energy_mwh,
+        mean_loss_mw=result.mean_loss_w / 1e6,
+        loss_percent=(
+            result.mean_loss_w / mean_power_w * 100.0 if mean_power_w else 0.0
+        ),
+        chain_efficiency=eta,
+        co2_tons=co2,
+        energy_cost_usd=cost,
+    )
+
+
+@dataclass(frozen=True)
+class DailyStatistics:
+    """Min/avg/max/std of one Table IV parameter across days."""
+
+    parameter: str
+    minimum: float
+    average: float
+    maximum: float
+    std: float
+
+
+#: (Table IV row label, RunStatistics field) in paper order.
+TABLE4_ROWS: tuple[tuple[str, str], ...] = (
+    ("Avg Arrival Rate, t_avg (s)", "mean_arrival_s"),
+    ("Avg Nodes per Job", "mean_nodes_per_job"),
+    ("Avg Runtime (m)", "mean_runtime_min"),
+    ("Jobs Completed", "jobs_completed"),
+    ("Throughput (jobs/hr)", "throughput_jobs_per_hour"),
+    ("Avg Power (MW)", "mean_power_mw"),
+    ("Loss (MW)", "mean_loss_mw"),
+    ("Loss (%)", "loss_percent"),
+    ("Total Energy Consumed (MW-hr)", "total_energy_mwh"),
+    ("Carbon Emissions (tons CO2)", "co2_tons"),
+)
+
+
+def aggregate_daily(days: list[RunStatistics]) -> list[DailyStatistics]:
+    """Reduce per-day statistics to the Table IV min/avg/max/std rows."""
+    if not days:
+        raise SimulationError("no daily statistics to aggregate")
+    valid_fields = {f.name for f in fields(RunStatistics)}
+    out = []
+    for label, field_name in TABLE4_ROWS:
+        if field_name not in valid_fields:
+            raise SimulationError(f"unknown statistics field {field_name}")
+        vals = np.array([getattr(d, field_name) for d in days], dtype=np.float64)
+        out.append(
+            DailyStatistics(
+                parameter=label,
+                minimum=float(vals.min()),
+                average=float(vals.mean()),
+                maximum=float(vals.max()),
+                std=float(vals.std()),
+            )
+        )
+    return out
+
+
+def format_table4(rows: list[DailyStatistics]) -> str:
+    """Render the Table IV aggregate as fixed-width text."""
+    header = f"{'Parameter':38s} {'Min':>10s} {'Avg':>10s} {'Max':>10s} {'Std':>10s}"
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r.parameter:38s} {r.minimum:10.2f} {r.average:10.2f} "
+            f"{r.maximum:10.2f} {r.std:10.2f}"
+        )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "RunStatistics",
+    "compute_statistics",
+    "DailyStatistics",
+    "TABLE4_ROWS",
+    "aggregate_daily",
+    "format_table4",
+]

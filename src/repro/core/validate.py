@@ -1,0 +1,108 @@
+"""Validation metrics: RMSE / MAE / percent error series comparisons.
+
+The paper reports RMSE and MAE for the cooling-model series (Fig. 7) and
+percent errors for the power verification points (Table III).  The
+comparison harness aligns a predicted series onto a measured series'
+timebase before scoring, handling the mixed cadences of Table II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.telemetry.dataset import TimeSeries
+
+
+@dataclass(frozen=True)
+class SeriesComparison:
+    """Error statistics between a predicted and a measured series."""
+
+    name: str
+    rmse: float
+    mae: float
+    bias: float
+    mape_percent: float
+    n_samples: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: RMSE={self.rmse:.4g} MAE={self.mae:.4g} "
+            f"bias={self.bias:+.4g} MAPE={self.mape_percent:.2f}% "
+            f"(n={self.n_samples})"
+        )
+
+
+def percent_error(predicted: float, measured: float) -> float:
+    """Unsigned percent error, as reported in paper Table III."""
+    if measured == 0:
+        raise ValidationError("measured value is zero; percent error undefined")
+    return abs(predicted - measured) / abs(measured) * 100.0
+
+
+def compare_series(
+    name: str,
+    predicted: TimeSeries,
+    measured: TimeSeries,
+    *,
+    resample: str = "linear",
+    window: tuple[float, float] | None = None,
+) -> SeriesComparison:
+    """Score ``predicted`` against ``measured`` on the measured timebase.
+
+    Multi-channel series (e.g. the 25 CDU columns) are scored jointly —
+    the error statistics pool all channels, matching how the paper
+    summarizes the CDU banks.
+    """
+    if len(measured) == 0 or len(predicted) == 0:
+        raise ValidationError("cannot compare empty series")
+    times = measured.times
+    if window is not None:
+        t0, t1 = window
+        mask = (times >= t0) & (times < t1)
+        if not np.any(mask):
+            raise ValidationError("comparison window contains no samples")
+        times = times[mask]
+        meas_vals = measured.values[mask]
+    else:
+        meas_vals = measured.values
+    # Clamp to the predicted series' support to avoid extrapolation.
+    lo = max(times[0], predicted.t_start)
+    hi = min(times[-1], predicted.t_end)
+    inside = (times >= lo) & (times <= hi)
+    if not np.any(inside):
+        raise ValidationError(
+            f"series {name!r}: no overlapping samples to compare"
+        )
+    times = times[inside]
+    meas_vals = meas_vals[inside]
+    pred_vals = predicted.resample(times, method=resample).values
+    if pred_vals.shape != meas_vals.shape:
+        raise ValidationError(
+            f"series {name!r}: width mismatch "
+            f"{pred_vals.shape} vs {meas_vals.shape}"
+        )
+    err = pred_vals - meas_vals
+    rmse = float(np.sqrt(np.mean(err**2)))
+    mae = float(np.mean(np.abs(err)))
+    bias = float(np.mean(err))
+    denom = np.abs(meas_vals)
+    ok = denom > 1e-12
+    mape = (
+        float(np.mean(np.abs(err[ok]) / denom[ok]) * 100.0)
+        if np.any(ok)
+        else float("nan")
+    )
+    return SeriesComparison(
+        name=name,
+        rmse=rmse,
+        mae=mae,
+        bias=bias,
+        mape_percent=mape,
+        n_samples=int(err.size),
+    )
+
+
+__all__ = ["SeriesComparison", "compare_series", "percent_error"]

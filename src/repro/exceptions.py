@@ -1,0 +1,47 @@
+"""Exception hierarchy for the ExaDigiT reproduction.
+
+Every error raised by the library derives from :class:`ExaDigiTError` so
+callers can catch framework errors without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ExaDigiTError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ExaDigiTError):
+    """A system / cooling / scheduler / power specification is invalid."""
+
+
+class TelemetryError(ExaDigiTError):
+    """Telemetry data is malformed, missing, or inconsistent."""
+
+
+class SchedulingError(ExaDigiTError):
+    """The scheduler was asked to do something impossible.
+
+    Examples: allocating more nodes than the system has, releasing nodes a
+    job does not own, or submitting a job after the simulation horizon.
+    """
+
+
+class PowerModelError(ExaDigiTError):
+    """The power model received out-of-range inputs."""
+
+
+class CoolingModelError(ExaDigiTError):
+    """The thermo-fluid solver failed to converge or received bad inputs."""
+
+
+class FMUError(CoolingModelError):
+    """The FMI-like cooling wrapper was used out of protocol order."""
+
+
+class SimulationError(ExaDigiTError):
+    """The top-level simulation engine hit an unrecoverable condition."""
+
+
+class ValidationError(ExaDigiTError):
+    """A validation comparison could not be computed (e.g. length mismatch)."""

@@ -1,0 +1,21 @@
+"""L5 autonomous-twin capabilities: closed-loop setpoint optimization.
+
+The paper's L5 level "uses techniques such as reinforcement learning to
+learn to make autonomous decisions for system optimization", with
+automated setpoint control for improved cooling efficiency as the
+canonical example.  This package implements that decision loop with a
+derivative-free optimizer over the plant's control setpoints,
+minimizing PUE subject to thermal constraints.
+"""
+
+from repro.optimize.setpoint import (
+    SetpointCandidate,
+    SetpointOptimizationResult,
+    SetpointOptimizer,
+)
+
+__all__ = [
+    "SetpointCandidate",
+    "SetpointOptimizationResult",
+    "SetpointOptimizer",
+]

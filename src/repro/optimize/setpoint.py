@@ -1,0 +1,201 @@
+"""Cooling setpoint optimization against the plant model (paper L5).
+
+Searches over the HTW supply temperature setpoint and the CDU secondary
+supply setpoint, evaluating each candidate by running the transient
+plant to steady state at a representative load and scoring:
+
+    objective = mean PUE + penalty(thermal constraint violations)
+
+Constraints: the CDU secondary supply must stay below a safe ceiling
+(blade inlet limit) and the cooling-tower fans must retain control
+headroom (fan speed < 98 % — a saturated fan cannot reject a surge).
+
+The optimizer is a successive-refinement grid search (derivative-free,
+deterministic, and robust to the plant's control-hunting noise), which
+is the appropriate baseline an RL agent would be compared against.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config.schema import SystemSpec
+from repro.cooling.plant import CoolingPlant
+from repro.exceptions import SimulationError
+
+
+@dataclass(frozen=True)
+class SetpointCandidate:
+    """One evaluated setpoint combination."""
+
+    htw_supply_setpoint_c: float
+    cdu_supply_setpoint_c: float
+    mean_pue: float
+    mean_fan_speed: float
+    max_cdu_supply_c: float
+    feasible: bool
+
+    @property
+    def objective(self) -> float:
+        penalty = 0.0 if self.feasible else 1.0
+        return self.mean_pue + penalty
+
+
+@dataclass
+class SetpointOptimizationResult:
+    """Outcome of a setpoint search."""
+
+    best: SetpointCandidate
+    baseline: SetpointCandidate
+    evaluated: list[SetpointCandidate]
+
+    @property
+    def pue_improvement(self) -> float:
+        """Baseline PUE minus optimized PUE (positive = better)."""
+        return self.baseline.mean_pue - self.best.mean_pue
+
+    def report(self) -> str:
+        lines = [
+            "Setpoint optimization (L5 autonomous-twin demo)",
+            "-" * 48,
+            f"baseline: HTW {self.baseline.htw_supply_setpoint_c:.1f} C / "
+            f"CDU {self.baseline.cdu_supply_setpoint_c:.1f} C -> "
+            f"PUE {self.baseline.mean_pue:.4f}",
+            f"best:     HTW {self.best.htw_supply_setpoint_c:.1f} C / "
+            f"CDU {self.best.cdu_supply_setpoint_c:.1f} C -> "
+            f"PUE {self.best.mean_pue:.4f}",
+            f"improvement: {self.pue_improvement * 1e4:.1f} bps of PUE "
+            f"({len(self.evaluated)} candidates evaluated)",
+        ]
+        return "\n".join(lines)
+
+
+class SetpointOptimizer:
+    """Grid-refinement search over cooling setpoints.
+
+    Parameters
+    ----------
+    spec:
+        System description (the cooling section is re-parameterized per
+        candidate).
+    system_power_w:
+        Representative IT load for the evaluation (e.g. the fleet's
+        average ~17 MW).
+    wetbulb_c:
+        Ambient condition for the evaluation.
+    cdu_supply_ceiling_c:
+        Blade-inlet safety ceiling for the CDU secondary supply.
+    """
+
+    def __init__(
+        self,
+        spec: SystemSpec,
+        *,
+        system_power_w: float = 17.0e6,
+        wetbulb_c: float = 15.0,
+        cdu_supply_ceiling_c: float = 36.0,
+        settle_s: float = 3600.0,
+        score_s: float = 1800.0,
+    ) -> None:
+        if system_power_w <= 0:
+            raise SimulationError("system_power_w must be positive")
+        self.spec = spec
+        self.system_power_w = float(system_power_w)
+        self.wetbulb_c = float(wetbulb_c)
+        self.cdu_supply_ceiling_c = float(cdu_supply_ceiling_c)
+        self.settle_s = float(settle_s)
+        self.score_s = float(score_s)
+
+    # -- evaluation ------------------------------------------------------------
+
+    def evaluate(
+        self, htw_setpoint_c: float, cdu_setpoint_c: float
+    ) -> SetpointCandidate:
+        """Run the plant at one setpoint pair and score it."""
+        cooling = self.spec.cooling
+        new_cooling = dataclasses.replace(
+            cooling,
+            primary_loop=dataclasses.replace(
+                cooling.primary_loop, supply_setpoint_c=htw_setpoint_c
+            ),
+            cdu_loop=dataclasses.replace(
+                cooling.cdu_loop, supply_setpoint_c=cdu_setpoint_c
+            ),
+        )
+        plant = CoolingPlant(new_cooling)
+        heat = np.full(
+            cooling.num_cdus,
+            self.system_power_w * 0.945 / cooling.num_cdus,
+        )
+        plant.warmup(heat, self.wetbulb_c, duration_s=self.settle_s)
+        steps = max(1, int(self.score_s / cooling.step_seconds))
+        pues, fans, supplies = [], [], []
+        for _ in range(steps):
+            state = plant.step(
+                heat, self.wetbulb_c, system_power_w=self.system_power_w
+            )
+            pues.append(state.pue)
+            fans.append(plant.tower.fan_speed)
+            supplies.append(float(np.max(state.cdu_secondary_supply_temp_c)))
+        max_supply = float(np.max(supplies))
+        mean_fan = float(np.mean(fans))
+        feasible = (
+            max_supply <= self.cdu_supply_ceiling_c and mean_fan < 0.98
+        )
+        return SetpointCandidate(
+            htw_supply_setpoint_c=htw_setpoint_c,
+            cdu_supply_setpoint_c=cdu_setpoint_c,
+            mean_pue=float(np.mean(pues)),
+            mean_fan_speed=mean_fan,
+            max_cdu_supply_c=max_supply,
+            feasible=feasible,
+        )
+
+    # -- search ------------------------------------------------------------------
+
+    def optimize(
+        self,
+        *,
+        htw_range_c: tuple[float, float] = (26.0, 33.0),
+        cdu_range_c: tuple[float, float] = (31.0, 35.5),
+        grid: int = 3,
+        refinements: int = 1,
+    ) -> SetpointOptimizationResult:
+        """Successive grid refinement over the setpoint box."""
+        if grid < 2:
+            raise SimulationError("grid must be >= 2")
+        baseline = self.evaluate(
+            self.spec.cooling.primary_loop.supply_setpoint_c,
+            self.spec.cooling.cdu_loop.supply_setpoint_c,
+        )
+        evaluated = [baseline]
+        lo_h, hi_h = htw_range_c
+        lo_c, hi_c = cdu_range_c
+        best = baseline
+        for _ in range(refinements + 1):
+            for h in np.linspace(lo_h, hi_h, grid):
+                for c in np.linspace(lo_c, hi_c, grid):
+                    cand = self.evaluate(float(h), float(c))
+                    evaluated.append(cand)
+                    if cand.objective < best.objective:
+                        best = cand
+            # Shrink the box around the incumbent.
+            span_h = (hi_h - lo_h) / 2.0
+            span_c = (hi_c - lo_c) / 2.0
+            lo_h = best.htw_supply_setpoint_c - span_h / 2.0
+            hi_h = best.htw_supply_setpoint_c + span_h / 2.0
+            lo_c = best.cdu_supply_setpoint_c - span_c / 2.0
+            hi_c = best.cdu_supply_setpoint_c + span_c / 2.0
+        return SetpointOptimizationResult(
+            best=best, baseline=baseline, evaluated=evaluated
+        )
+
+
+__all__ = [
+    "SetpointCandidate",
+    "SetpointOptimizationResult",
+    "SetpointOptimizer",
+]

@@ -1,0 +1,42 @@
+"""Dynamic power modeling: the power half of the paper's RAPS module.
+
+- :mod:`repro.power.components` — per-node power (Eq. 3),
+- :mod:`repro.power.conversion` — rectifier + SIVOC efficiency curves and
+  loss accounting (Eqs. 1-2),
+- :mod:`repro.power.system` — the vectorized whole-system pipeline:
+  node -> SIVOC -> chassis rectifier group -> rack (Eq. 4) -> CDU -> system,
+- :mod:`repro.power.smart_rectifier` — the "smart load-sharing rectifier"
+  what-if (section IV-3),
+- :mod:`repro.power.dc_power` — the 380 V direct-DC what-if,
+- :mod:`repro.power.emissions` — CO2 (Eq. 6) and energy-cost accounting,
+- :mod:`repro.power.uq` — Monte-Carlo uncertainty quantification.
+"""
+
+from repro.power.components import NodePowerModel
+from repro.power.conversion import (
+    EfficiencyCurve,
+    RectifierBank,
+    SivocBank,
+    ConversionChain,
+)
+from repro.power.system import SystemPowerModel, PowerResult, SystemTopology
+from repro.power.smart_rectifier import SmartRectifierChain
+from repro.power.dc_power import DirectDcChain
+from repro.power.emissions import EmissionsModel
+from repro.power.uq import UncertaintyAnalysis, PerturbationSpec
+
+__all__ = [
+    "NodePowerModel",
+    "EfficiencyCurve",
+    "RectifierBank",
+    "SivocBank",
+    "ConversionChain",
+    "SystemPowerModel",
+    "PowerResult",
+    "SystemTopology",
+    "SmartRectifierChain",
+    "DirectDcChain",
+    "EmissionsModel",
+    "UncertaintyAnalysis",
+    "PerturbationSpec",
+]

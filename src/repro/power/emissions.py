@@ -1,0 +1,103 @@
+"""CO2 emissions (paper Eq. 6) and energy-cost accounting.
+
+``E_f = EI x (1 metric ton / 2204.6 lbs) x 1/eta_system`` with the
+emission intensity EI = 852.3 lb CO2 per MWh (EPA grid factor; varies
+regionally and hourly).  Energy cost uses a flat tariff; the paper's
+"$900k per year" figure for the 1.14 MW average conversion loss implies
+roughly $0.09 per kWh.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config.schema import EconomicsSpec
+from repro.exceptions import PowerModelError
+from repro.units import DAYS_PER_YEAR, HOURS_PER_DAY, LBS_PER_METRIC_TON
+
+
+class EmissionsModel:
+    """Computes CO2 tonnage and USD cost for consumed energy."""
+
+    def __init__(self, economics: EconomicsSpec) -> None:
+        self.economics = economics
+
+    def emission_factor(self, chain_efficiency: float = 1.0) -> float:
+        """Metric tons CO2 per MWh delivered (Eq. 6).
+
+        Dividing by the conversion-chain efficiency charges the grid for
+        the energy lost in rectification/conversion as well.
+        """
+        if not 0.0 < chain_efficiency <= 1.0:
+            raise PowerModelError("chain_efficiency must be in (0, 1]")
+        return (
+            self.economics.emission_intensity_lb_per_mwh
+            / LBS_PER_METRIC_TON
+            / chain_efficiency
+        )
+
+    def co2_tons(self, energy_mwh: float, chain_efficiency: float = 1.0) -> float:
+        """Metric tons of CO2 for ``energy_mwh`` of delivered energy."""
+        if energy_mwh < 0:
+            raise PowerModelError("energy must be non-negative")
+        return energy_mwh * self.emission_factor(chain_efficiency)
+
+    def energy_cost_usd(self, energy_mwh: float) -> float:
+        """USD cost of ``energy_mwh`` at the configured tariff."""
+        if energy_mwh < 0:
+            raise PowerModelError("energy must be non-negative")
+        return energy_mwh * 1000.0 * self.economics.electricity_usd_per_kwh
+
+    def annualized_cost_usd(self, mean_power_w: float) -> float:
+        """Yearly USD cost of a sustained power draw (what-if savings)."""
+        if mean_power_w < 0:
+            raise PowerModelError("power must be non-negative")
+        energy_mwh = mean_power_w / 1.0e6 * HOURS_PER_DAY * DAYS_PER_YEAR
+        return self.energy_cost_usd(energy_mwh)
+
+    def co2_tons_timeseries(
+        self,
+        times_s: np.ndarray,
+        power_w: np.ndarray,
+        *,
+        chain_efficiency: float = 1.0,
+        hourly_intensity_lb_per_mwh: np.ndarray | None = None,
+    ) -> float:
+        """CO2 for a power series under an hourly-varying grid intensity.
+
+        The paper notes the emission intensity "can vary regionally and
+        even hourly"; ``hourly_intensity_lb_per_mwh`` gives the 24-hour
+        grid profile (lb CO2/MWh per local hour).  When omitted, the
+        configured flat intensity applies — equivalent to Eq. 6 on the
+        integrated energy.
+        """
+        times_s = np.asarray(times_s, dtype=np.float64)
+        power_w = np.asarray(power_w, dtype=np.float64)
+        if times_s.shape != power_w.shape or times_s.size < 2:
+            raise PowerModelError("need matched series with >= 2 samples")
+        if np.any(power_w < 0):
+            raise PowerModelError("power must be non-negative")
+        if not 0.0 < chain_efficiency <= 1.0:
+            raise PowerModelError("chain_efficiency must be in (0, 1]")
+        if hourly_intensity_lb_per_mwh is None:
+            intensity = np.full(
+                times_s.shape, self.economics.emission_intensity_lb_per_mwh
+            )
+        else:
+            profile = np.asarray(
+                hourly_intensity_lb_per_mwh, dtype=np.float64
+            )
+            if profile.shape != (24,):
+                raise PowerModelError("hourly profile must have 24 entries")
+            if np.any(profile < 0):
+                raise PowerModelError("intensity must be non-negative")
+            hour = ((times_s / 3600.0) % 24.0).astype(int)
+            intensity = profile[hour]
+        # Per-sample tons/MWh, integrated trapezoidally over the series.
+        tons_per_joule = (
+            intensity / LBS_PER_METRIC_TON / chain_efficiency / 3.6e9
+        )
+        return float(np.trapezoid(power_w * tons_per_joule, times_s))
+
+
+__all__ = ["EmissionsModel"]

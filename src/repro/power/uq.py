@@ -1,0 +1,160 @@
+"""Monte-Carlo uncertainty quantification for the power model.
+
+The paper (section IV) notes UQ was implemented in RAPS following the
+NASEM recommendation to embed VVUQ in digital twins.  This module
+perturbs the power-model parameters (component powers and conversion
+efficiencies) within relative tolerances and propagates the spread
+through any scalar metric of the model, reporting mean / std / quantile
+envelopes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.config.schema import NodeSpec, RectifierSpec, SivocSpec, SystemSpec
+from repro.exceptions import PowerModelError
+from repro.power.system import SystemPowerModel
+
+
+@dataclass(frozen=True)
+class PerturbationSpec:
+    """Relative 1-sigma tolerances on power-model parameters."""
+
+    component_power_rel: float = 0.02
+    rectifier_efficiency_rel: float = 0.003
+    sivoc_efficiency_rel: float = 0.003
+
+    def __post_init__(self) -> None:
+        for f in dataclasses.fields(self):
+            if getattr(self, f.name) < 0:
+                raise PowerModelError(f"{f.name} must be >= 0")
+
+
+@dataclass
+class UqResult:
+    """Summary statistics of a Monte-Carlo metric ensemble."""
+
+    samples: np.ndarray
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.samples))
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.samples))
+
+    def quantile(self, q: float) -> float:
+        return float(np.quantile(self.samples, q))
+
+    @property
+    def interval95(self) -> tuple[float, float]:
+        return self.quantile(0.025), self.quantile(0.975)
+
+
+def _perturb_node(node: NodeSpec, rel: float, rng: np.random.Generator) -> NodeSpec:
+    def jitter(value: float) -> float:
+        return float(value * (1.0 + rng.normal(0.0, rel)))
+
+    # Spans must stay non-negative: perturb idle and max jointly.
+    scale_cpu = 1.0 + rng.normal(0.0, rel)
+    scale_gpu = 1.0 + rng.normal(0.0, rel)
+    return dataclasses.replace(
+        node,
+        cpu_power_idle_w=node.cpu_power_idle_w * scale_cpu,
+        cpu_power_max_w=node.cpu_power_max_w * scale_cpu,
+        gpu_power_idle_w=node.gpu_power_idle_w * scale_gpu,
+        gpu_power_max_w=node.gpu_power_max_w * scale_gpu,
+        ram_power_w=jitter(node.ram_power_w),
+        nvme_power_w=jitter(node.nvme_power_w),
+        nic_power_w=jitter(node.nic_power_w),
+    )
+
+
+def _perturb_curve_points(
+    points: tuple[float, ...], rel: float, rng: np.random.Generator
+) -> tuple[float, ...]:
+    scale = 1.0 + rng.normal(0.0, rel)
+    return tuple(float(np.clip(e * scale, 1e-3, 1.0)) for e in points)
+
+
+def perturb_spec(
+    spec: SystemSpec,
+    perturbation: PerturbationSpec,
+    rng: np.random.Generator,
+) -> SystemSpec:
+    """One random realization of the system spec within tolerances."""
+    new_partitions = tuple(
+        dataclasses.replace(
+            p, node=_perturb_node(p.node, perturbation.component_power_rel, rng)
+        )
+        for p in spec.partitions
+    )
+    rect = spec.power.rectifier
+    new_rect = RectifierSpec(
+        rated_output_w=rect.rated_output_w,
+        optimal_load_w=rect.optimal_load_w,
+        load_points_w=rect.load_points_w,
+        efficiency_points=_perturb_curve_points(
+            rect.efficiency_points, perturbation.rectifier_efficiency_rel, rng
+        ),
+    )
+    siv = spec.power.sivoc
+    new_siv = SivocSpec(
+        load_points_w=siv.load_points_w,
+        efficiency_points=_perturb_curve_points(
+            siv.efficiency_points, perturbation.sivoc_efficiency_rel, rng
+        ),
+    )
+    new_power = dataclasses.replace(
+        spec.power, rectifier=new_rect, sivoc=new_siv
+    )
+    return dataclasses.replace(spec, partitions=new_partitions, power=new_power)
+
+
+class UncertaintyAnalysis:
+    """Propagates parameter uncertainty through a power-model metric.
+
+    ``metric`` receives a freshly built
+    :class:`~repro.power.system.SystemPowerModel` per sample and returns
+    a scalar (e.g. peak power, loss at some operating point).
+    """
+
+    def __init__(
+        self,
+        spec: SystemSpec,
+        *,
+        perturbation: PerturbationSpec | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.spec = spec
+        self.perturbation = perturbation or PerturbationSpec()
+        self._rng = np.random.default_rng(seed)
+
+    def run(
+        self,
+        metric: Callable[[SystemPowerModel], float],
+        *,
+        num_samples: int = 64,
+    ) -> UqResult:
+        """Monte-Carlo ensemble of the metric under parameter jitter."""
+        if num_samples < 2:
+            raise PowerModelError("num_samples must be >= 2")
+        samples = np.empty(num_samples)
+        for i in range(num_samples):
+            sample_spec = perturb_spec(self.spec, self.perturbation, self._rng)
+            samples[i] = float(metric(SystemPowerModel(sample_spec)))
+        return UqResult(samples)
+
+
+__all__ = [
+    "PerturbationSpec",
+    "UqResult",
+    "perturb_spec",
+    "UncertaintyAnalysis",
+]

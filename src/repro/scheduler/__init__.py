@@ -1,0 +1,52 @@
+"""Resource allocation: jobs, queues, policies, arrivals, and the engine.
+
+This is the scheduling half of the paper's RAPS module (Algorithm 1):
+jobs arrive (replayed from telemetry or via a Poisson process, Eq. 5),
+are ordered by a policy (FCFS / SJF / backfill / priority), allocated
+nodes, and released on completion.  Power is computed elsewhere
+(:mod:`repro.power`) from the node-occupancy state this package maintains.
+"""
+
+from repro.scheduler.job import Job, JobState
+from repro.scheduler.allocator import NodeAllocator
+from repro.scheduler.policies import (
+    SchedulingPolicy,
+    FcfsPolicy,
+    SjfPolicy,
+    PriorityPolicy,
+    BackfillPolicy,
+    make_policy,
+)
+from repro.scheduler.arrivals import PoissonArrivals
+from repro.scheduler.queue import PendingQueue
+from repro.scheduler.engine import SchedulerEngine, SchedulerStats
+from repro.scheduler.workloads import (
+    jobs_from_dataset,
+    synthetic_workload,
+    idle_workload,
+    peak_workload,
+    hpl_verification_workload,
+    benchmark_sequence,
+)
+
+__all__ = [
+    "Job",
+    "JobState",
+    "NodeAllocator",
+    "SchedulingPolicy",
+    "FcfsPolicy",
+    "SjfPolicy",
+    "PriorityPolicy",
+    "BackfillPolicy",
+    "make_policy",
+    "PoissonArrivals",
+    "PendingQueue",
+    "SchedulerEngine",
+    "SchedulerStats",
+    "jobs_from_dataset",
+    "synthetic_workload",
+    "idle_workload",
+    "peak_workload",
+    "hpl_verification_workload",
+    "benchmark_sequence",
+]

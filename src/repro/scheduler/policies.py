@@ -1,0 +1,182 @@
+"""Scheduling policies: FCFS, SJF, priority, and EASY backfill.
+
+The paper's Algorithm 1 iterates the pending queue and starts any job
+that fits ("if enough nodes available ... else add job to pending
+queue") — i.e. first-fit in queue order, which is what
+:class:`FcfsPolicy` implements.  :class:`SjfPolicy` orders by wall time
+first (Shortest Job First, the other policy named in section III-B4).
+:class:`BackfillPolicy` implements EASY backfill: a reservation is held
+for the queue head, and later jobs may jump ahead only if they finish
+before the reservation would start.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.exceptions import SchedulingError
+from repro.scheduler.job import Job
+
+
+class SchedulingPolicy(Protocol):
+    """Selects which pending jobs to start, given free capacity."""
+
+    name: str
+
+    def select(
+        self,
+        pending: list[Job],
+        free_nodes: int,
+        now: float,
+        running: list[Job],
+    ) -> list[Job]:
+        """Jobs to dispatch now, in dispatch order.
+
+        Implementations must not return jobs whose combined
+        ``nodes_required`` exceeds ``free_nodes``.
+        """
+        ...
+
+
+def _first_fit(ordered: list[Job], free_nodes: int) -> list[Job]:
+    """Start every job that fits, walking the given order (Algorithm 1)."""
+    selected: list[Job] = []
+    remaining = free_nodes
+    for job in ordered:
+        if job.nodes_required <= remaining:
+            selected.append(job)
+            remaining -= job.nodes_required
+    return selected
+
+
+class FcfsPolicy:
+    """First Come First Served with Algorithm-1 first-fit semantics."""
+
+    name = "fcfs"
+
+    def select(
+        self, pending: list[Job], free_nodes: int, now: float, running: list[Job]
+    ) -> list[Job]:
+        return _first_fit(pending, free_nodes)
+
+
+class SjfPolicy:
+    """Shortest Job First: order by wall time, then submission."""
+
+    name = "sjf"
+
+    def select(
+        self, pending: list[Job], free_nodes: int, now: float, running: list[Job]
+    ) -> list[Job]:
+        ordered = sorted(pending, key=lambda j: (j.wall_time, j.submit_time, j.job_id))
+        return _first_fit(ordered, free_nodes)
+
+
+class PriorityPolicy:
+    """Highest priority first; FCFS within a priority level."""
+
+    name = "priority"
+
+    def select(
+        self, pending: list[Job], free_nodes: int, now: float, running: list[Job]
+    ) -> list[Job]:
+        ordered = sorted(
+            pending, key=lambda j: (-j.priority, j.submit_time, j.job_id)
+        )
+        return _first_fit(ordered, free_nodes)
+
+
+class BackfillPolicy:
+    """EASY backfill: strict FCFS head with conservative backfilling.
+
+    The head job, if it does not fit, gets a reservation at the earliest
+    time enough nodes free up (from running jobs' scheduled ends).  Later
+    jobs may start now only if they fit in the current free pool *and*
+    either finish before the reservation or don't touch the reserved
+    capacity.
+    """
+
+    name = "backfill"
+
+    def select(
+        self, pending: list[Job], free_nodes: int, now: float, running: list[Job]
+    ) -> list[Job]:
+        if not pending:
+            return []
+        selected: list[Job] = []
+        remaining = free_nodes
+        queue = list(pending)
+        # Dispatch the FCFS prefix that fits outright.
+        while queue and queue[0].nodes_required <= remaining:
+            job = queue.pop(0)
+            selected.append(job)
+            remaining -= job.nodes_required
+        if not queue:
+            return selected
+        head = queue[0]
+        reservation_start, free_at_reservation = self._reservation(
+            head, remaining, now, running, selected
+        )
+        shadow_free = free_at_reservation - head.nodes_required
+        # Backfill the rest.
+        for job in queue[1:]:
+            if job.nodes_required > remaining:
+                continue
+            finishes_before = now + job.wall_time <= reservation_start
+            fits_shadow = job.nodes_required <= shadow_free
+            if finishes_before or fits_shadow:
+                selected.append(job)
+                remaining -= job.nodes_required
+                if not finishes_before:
+                    shadow_free -= job.nodes_required
+        return selected
+
+    @staticmethod
+    def _reservation(
+        head: Job,
+        free_now: int,
+        now: float,
+        running: list[Job],
+        starting: list[Job],
+    ) -> tuple[float, int]:
+        """Earliest time the head job can start, and free nodes then."""
+        events = sorted(
+            [(j.scheduled_end, j.nodes_required) for j in running]
+            + [(now + j.wall_time, j.nodes_required) for j in starting]
+        )
+        free = free_now
+        for t_end, n in events:
+            free += n
+            if free >= head.nodes_required:
+                return t_end, free
+        # Head can never start (requires more nodes than exist in flight);
+        # treat the reservation as infinitely far so everything backfills.
+        return float("inf"), free
+
+
+_POLICIES = {
+    "fcfs": FcfsPolicy,
+    "sjf": SjfPolicy,
+    "priority": PriorityPolicy,
+    "backfill": BackfillPolicy,
+}
+
+
+def make_policy(name: str) -> SchedulingPolicy:
+    """Instantiate a policy by its configuration name."""
+    try:
+        return _POLICIES[name]()
+    except KeyError:
+        raise SchedulingError(
+            f"unknown scheduling policy {name!r}; available: {sorted(_POLICIES)}"
+        ) from None
+
+
+__all__ = [
+    "SchedulingPolicy",
+    "FcfsPolicy",
+    "SjfPolicy",
+    "PriorityPolicy",
+    "BackfillPolicy",
+    "make_policy",
+]

@@ -1,0 +1,66 @@
+"""Pending-job queue with stable ordering and O(1) membership."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+from repro.exceptions import SchedulingError
+from repro.scheduler.job import Job, JobState
+
+
+class PendingQueue:
+    """FIFO container of pending jobs keyed by job id.
+
+    Policies view the queue through :meth:`jobs` (submission order) and
+    remove started jobs via :meth:`remove`.  ``max_depth`` (0 = unlimited)
+    mirrors the scheduler-spec queue limit.
+    """
+
+    def __init__(self, max_depth: int = 0) -> None:
+        if max_depth < 0:
+            raise SchedulingError("max_depth must be >= 0")
+        self._jobs: OrderedDict[int, Job] = OrderedDict()
+        self.max_depth = max_depth
+        #: Count of submissions rejected due to the depth limit.
+        self.rejected = 0
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __contains__(self, job_id: int) -> bool:
+        return job_id in self._jobs
+
+    def __iter__(self) -> Iterator[Job]:
+        return iter(self._jobs.values())
+
+    def push(self, job: Job) -> bool:
+        """Enqueue a pending job.  Returns False if the queue is full."""
+        if job.state is not JobState.PENDING:
+            raise SchedulingError(
+                f"job {job.job_id} is {job.state.value}, not pending"
+            )
+        if job.job_id in self._jobs:
+            raise SchedulingError(f"job {job.job_id} already queued")
+        if self.max_depth and len(self._jobs) >= self.max_depth:
+            self.rejected += 1
+            return False
+        self._jobs[job.job_id] = job
+        return True
+
+    def remove(self, job_id: int) -> Job:
+        """Remove and return a queued job by id."""
+        try:
+            return self._jobs.pop(job_id)
+        except KeyError:
+            raise SchedulingError(f"job {job_id} not in queue") from None
+
+    def jobs(self) -> list[Job]:
+        """Pending jobs in submission order (stable snapshot)."""
+        return list(self._jobs.values())
+
+    def clear(self) -> None:
+        self._jobs.clear()
+
+
+__all__ = ["PendingQueue"]

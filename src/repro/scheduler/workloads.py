@@ -1,0 +1,143 @@
+"""Workload builders: replayed, synthetic, and verification workloads.
+
+Bridges telemetry datasets and profile generators into scheduler
+:class:`~repro.scheduler.job.Job` lists.  The verification workloads
+reproduce the three Table III operating points (idle / HPL core / peak)
+and the Fig. 8 benchmark sequence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config.schema import SystemSpec
+from repro.exceptions import SchedulingError
+from repro.scheduler.arrivals import PoissonArrivals
+from repro.scheduler.job import Job
+from repro.telemetry import profiles
+from repro.telemetry.dataset import TelemetryDataset
+from repro.telemetry.synthesis import SyntheticTelemetryGenerator, WorkloadDayParams
+
+
+def jobs_from_dataset(dataset: TelemetryDataset) -> list[Job]:
+    """Convert a telemetry dataset's job records to scheduler jobs."""
+    return [Job.from_record(r) for r in dataset.jobs_sorted()]
+
+
+def synthetic_workload(
+    spec: SystemSpec,
+    duration_s: float,
+    *,
+    params: WorkloadDayParams | None = None,
+    seed: int = 0,
+) -> list[Job]:
+    """Poisson-arrival synthetic workload for ``duration_s`` seconds.
+
+    Uses the same day-parameter priors as the telemetry synthesizer but
+    emits scheduler jobs with no recorded start (the simulated scheduler
+    places them), exercising the paper's synthetic-workload path.
+    """
+    if duration_s <= 0:
+        raise SchedulingError("duration_s must be positive")
+    rng = np.random.default_rng(seed)
+    if params is None:
+        params = WorkloadDayParams.draw(rng)
+    gen = SyntheticTelemetryGenerator(spec, seed=seed)
+    arrivals = PoissonArrivals(params.mean_arrival_s, rng)
+    jobs: list[Job] = []
+    for job_id, t in enumerate(arrivals.sample_until(duration_s)):
+        record = gen._make_job(rng, params, job_id, float(t))
+        job = Job.from_record(record)
+        job.recorded_start = None  # let the simulated scheduler place it
+        jobs.append(job)
+    return jobs
+
+
+def _full_system_job(
+    spec: SystemSpec,
+    name: str,
+    cpu_util: float,
+    gpu_util: float,
+    duration_s: float,
+    *,
+    node_count: int | None = None,
+    start: float = 0.0,
+    job_id: int = 0,
+) -> Job:
+    nodes = spec.total_nodes if node_count is None else node_count
+    cpu, gpu = profiles.constant_profile(duration_s, cpu_util, gpu_util)
+    return Job(
+        job_id=job_id,
+        name=name,
+        nodes_required=nodes,
+        wall_time=duration_s,
+        cpu_util=cpu,
+        gpu_util=gpu,
+        submit_time=start,
+        recorded_start=start,
+    )
+
+
+def idle_workload(spec: SystemSpec, duration_s: float = 3600.0) -> list[Job]:
+    """Table III idle test: all nodes allocated at 0 % CPU/GPU."""
+    return [_full_system_job(spec, "idle", 0.0, 0.0, duration_s)]
+
+
+def peak_workload(spec: SystemSpec, duration_s: float = 3600.0) -> list[Job]:
+    """Table III peak test: all nodes at 100 % CPU and GPU."""
+    return [_full_system_job(spec, "peak", 1.0, 1.0, duration_s)]
+
+
+def hpl_verification_workload(
+    spec: SystemSpec, duration_s: float = 3600.0, *, node_count: int = 9216
+) -> list[Job]:
+    """Table III HPL core-phase test: 79 % GPU / 33 % CPU on 9216 nodes."""
+    return [
+        _full_system_job(
+            spec,
+            "hpl-core",
+            profiles.HPL_CPU_UTIL,
+            profiles.HPL_GPU_UTIL,
+            duration_s,
+            node_count=min(node_count, spec.total_nodes),
+        )
+    ]
+
+
+def benchmark_sequence(spec: SystemSpec, *, node_count: int = 9216) -> list[Job]:
+    """Fig. 8 sequence: HPL then OpenMxP with idle gaps between."""
+    hpl_cpu, hpl_gpu = profiles.hpl_profile(5400.0)
+    mxp_cpu, mxp_gpu = profiles.openmxp_profile(3600.0)
+    nodes = min(node_count, spec.total_nodes)
+    return [
+        Job(
+            job_id=1,
+            name="hpl",
+            nodes_required=nodes,
+            wall_time=5400.0,
+            cpu_util=hpl_cpu,
+            gpu_util=hpl_gpu,
+            submit_time=1800.0,
+            recorded_start=1800.0,
+        ),
+        Job(
+            job_id=2,
+            name="openmxp",
+            nodes_required=nodes,
+            wall_time=3600.0,
+            cpu_util=mxp_cpu,
+            gpu_util=mxp_gpu,
+            submit_time=9000.0,
+            recorded_start=9000.0,
+        ),
+    ]
+
+
+__all__ = [
+    "jobs_from_dataset",
+    "synthetic_workload",
+    "idle_workload",
+    "peak_workload",
+    "hpl_verification_workload",
+    "benchmark_sequence",
+]

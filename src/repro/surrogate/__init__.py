@@ -1,0 +1,33 @@
+"""L3 predictive-twin models: machine-learned surrogates.
+
+The paper classifies digital-twin capability levels (Fig. 2): L4
+first-principles simulations are extrapolative but too slow for
+real-time use, while L3 data-driven models are interpolative but
+inference in real time.  Its stated strategy is to "use the simulations
+to generate data to train a machine-learned surrogate model" — this
+package implements exactly that loop:
+
+- :mod:`repro.surrogate.features` — polynomial feature maps,
+- :mod:`repro.surrogate.regression` — ridge regression (closed form,
+  NumPy only),
+- :mod:`repro.surrogate.models` — trained surrogates for system power
+  (from workload features) and PUE / HTW supply temperature (from load
+  + wet-bulb), each with a ``fit_from_simulation`` constructor that
+  samples the L4 models to build its training set.
+"""
+
+from repro.surrogate.regression import RidgeRegression
+from repro.surrogate.features import PolynomialFeatures
+from repro.surrogate.models import (
+    PowerSurrogate,
+    CoolingSurrogate,
+    SurrogateQuality,
+)
+
+__all__ = [
+    "RidgeRegression",
+    "PolynomialFeatures",
+    "PowerSurrogate",
+    "CoolingSurrogate",
+    "SurrogateQuality",
+]

@@ -1,0 +1,70 @@
+"""Polynomial feature maps for the surrogate regressions."""
+
+from __future__ import annotations
+
+from itertools import combinations_with_replacement
+
+import numpy as np
+
+from repro.exceptions import ExaDigiTError
+
+
+class PolynomialFeatures:
+    """Dense polynomial expansion up to a total degree.
+
+    Input shape (n, d) -> output shape (n, m) with a leading bias
+    column; term order is deterministic (degree-major, then
+    lexicographic), so coefficients are stable across fits.
+    """
+
+    def __init__(self, degree: int = 2) -> None:
+        if degree < 1:
+            raise ExaDigiTError("degree must be >= 1")
+        self.degree = int(degree)
+        self._input_dim: int | None = None
+        self._terms: list[tuple[int, ...]] = []
+
+    def _build_terms(self, d: int) -> None:
+        self._terms = [()]
+        for deg in range(1, self.degree + 1):
+            self._terms.extend(combinations_with_replacement(range(d), deg))
+        self._input_dim = d
+
+    @property
+    def num_features(self) -> int:
+        if self._input_dim is None:
+            raise ExaDigiTError("feature map not yet bound to an input dim")
+        return len(self._terms)
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Expand (n, d) inputs into (n, m) polynomial features."""
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        n, d = x.shape
+        if self._input_dim is None:
+            self._build_terms(d)
+        elif d != self._input_dim:
+            raise ExaDigiTError(
+                f"expected {self._input_dim} input columns, got {d}"
+            )
+        out = np.ones((n, len(self._terms)))
+        for j, term in enumerate(self._terms):
+            for idx in term:
+                out[:, j] *= x[:, idx]
+        return out
+
+    def term_names(self, names: list[str]) -> list[str]:
+        """Human-readable term labels for the fitted coefficients."""
+        if self._input_dim is None:
+            raise ExaDigiTError("feature map not yet bound to an input dim")
+        if len(names) != self._input_dim:
+            raise ExaDigiTError("wrong number of variable names")
+        labels = []
+        for term in self._terms:
+            if not term:
+                labels.append("1")
+            else:
+                labels.append("*".join(names[i] for i in term))
+        return labels
+
+
+__all__ = ["PolynomialFeatures"]

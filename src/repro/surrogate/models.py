@@ -1,0 +1,228 @@
+"""Trained surrogates of the L4 models (paper's L3 strategy).
+
+- :class:`PowerSurrogate` — predicts total system power from
+  (active-node fraction, mean CPU utilization, mean GPU utilization).
+  Training data comes from the vectorized power model itself.
+- :class:`CoolingSurrogate` — predicts steady-state PUE and HTW supply
+  temperature from (total IT power, wet-bulb).  Training data comes
+  from warmed-up cooling-plant runs on a (power, wet-bulb) grid.
+
+Both run in microseconds per query — the paper's rationale for L3:
+"able to run in real-time, but can also be used to model virtual
+prototypes".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config.schema import SystemSpec
+from repro.cooling.plant import CoolingPlant
+from repro.exceptions import ExaDigiTError
+from repro.power.system import SystemPowerModel
+from repro.surrogate.features import PolynomialFeatures
+from repro.surrogate.regression import RidgeRegression
+
+
+@dataclass(frozen=True)
+class SurrogateQuality:
+    """Held-out fit quality of a trained surrogate."""
+
+    r2: float
+    rmse: float
+    n_train: int
+    n_test: int
+
+
+class PowerSurrogate:
+    """System power from (active fraction, cpu util, gpu util)."""
+
+    FEATURE_NAMES = ["active_frac", "cpu_util", "gpu_util"]
+
+    def __init__(self, degree: int = 2, alpha: float = 1e-8) -> None:
+        self.features = PolynomialFeatures(degree)
+        self.regressor = RidgeRegression(alpha)
+        self.quality: SurrogateQuality | None = None
+
+    @classmethod
+    def fit_from_simulation(
+        cls,
+        spec: SystemSpec,
+        *,
+        n_samples: int = 400,
+        seed: int = 0,
+        degree: int = 2,
+    ) -> "PowerSurrogate":
+        """Sample the L4 power model and fit the surrogate."""
+        rng = np.random.default_rng(seed)
+        model = SystemPowerModel(spec)
+        n_nodes = model.nodes.total_nodes
+        xs = np.empty((n_samples, 3))
+        ys = np.empty(n_samples)
+        for i in range(n_samples):
+            frac = rng.uniform(0.0, 1.0)
+            cpu_lv = rng.uniform(0.0, 1.0)
+            gpu_lv = rng.uniform(0.0, 1.0)
+            active = rng.random(n_nodes) < frac
+            cpu = np.where(active, cpu_lv, 0.0)
+            gpu = np.where(active, gpu_lv, 0.0)
+            result = model.evaluate(cpu, gpu)
+            xs[i] = (active.mean(), cpu_lv, gpu_lv)
+            ys[i] = result.system_power_w
+        surrogate = cls(degree=degree)
+        surrogate._fit(xs, ys)
+        return surrogate
+
+    def _fit(self, xs: np.ndarray, ys: np.ndarray) -> None:
+        n = xs.shape[0]
+        if n < 16:
+            raise ExaDigiTError("need at least 16 training samples")
+        split = int(0.8 * n)
+        x_train = self.features.transform(xs[:split])
+        x_test = self.features.transform(xs[split:])
+        self.regressor.fit(x_train, ys[:split])
+        r2 = self.regressor.score_r2(x_test, ys[split:])
+        rmse = float(
+            np.sqrt(np.mean((self.regressor.predict(x_test) - ys[split:]) ** 2))
+        )
+        self.quality = SurrogateQuality(
+            r2=r2, rmse=rmse, n_train=split, n_test=n - split
+        )
+
+    def predict_power_w(
+        self,
+        active_fraction: np.ndarray | float,
+        cpu_util: np.ndarray | float,
+        gpu_util: np.ndarray | float,
+    ) -> np.ndarray:
+        """Predicted system power, W (vectorized over query points)."""
+        x = np.column_stack(
+            [
+                np.atleast_1d(np.asarray(active_fraction, dtype=np.float64)),
+                np.atleast_1d(np.asarray(cpu_util, dtype=np.float64)),
+                np.atleast_1d(np.asarray(gpu_util, dtype=np.float64)),
+            ]
+        )
+        if np.any((x < 0) | (x > 1)):
+            raise ExaDigiTError("surrogate inputs must lie in [0, 1]")
+        return self.regressor.predict(self.features.transform(x))
+
+
+class CoolingSurrogate:
+    """Steady-state PUE and HTW supply temp from (IT power, wet-bulb)."""
+
+    FEATURE_NAMES = ["system_power_w", "wetbulb_c"]
+
+    def __init__(self, degree: int = 3, alpha: float = 1e-6) -> None:
+        self.features = PolynomialFeatures(degree)
+        self.pue_model = RidgeRegression(alpha)
+        self.temp_model = RidgeRegression(alpha)
+        self.quality: SurrogateQuality | None = None
+        self._power_range: tuple[float, float] | None = None
+        self._wb_range: tuple[float, float] | None = None
+
+    @classmethod
+    def fit_from_simulation(
+        cls,
+        spec: SystemSpec,
+        *,
+        power_range_w: tuple[float, float] = (8.0e6, 28.0e6),
+        wetbulb_range_c: tuple[float, float] = (-5.0, 28.0),
+        grid: int = 6,
+        settle_s: float = 5400.0,
+        degree: int = 3,
+        seed: int = 0,
+    ) -> "CoolingSurrogate":
+        """Run the L4 plant to steady state on a grid and fit."""
+        if grid < 3:
+            raise ExaDigiTError("grid must be >= 3")
+        # Fit feasibility: the 85 % training split must cover the
+        # polynomial feature count (degree d on 2 vars -> (d+1)(d+2)/2).
+        n_features = (degree + 1) * (degree + 2) // 2
+        n_train = int(0.85 * grid * grid)
+        if n_train < n_features:
+            raise ExaDigiTError(
+                f"grid {grid}x{grid} gives {n_train} training rows for "
+                f"{n_features} degree-{degree} features; enlarge the grid "
+                "or lower the degree"
+            )
+        rng = np.random.default_rng(seed)
+        powers = np.linspace(*power_range_w, grid)
+        wetbulbs = np.linspace(*wetbulb_range_c, grid)
+        num_cdus = spec.cooling.num_cdus
+        rows = []
+        pues = []
+        temps = []
+        for p in powers:
+            for wb in wetbulbs:
+                plant = CoolingPlant(spec.cooling)
+                heat = np.full(num_cdus, p * 0.945 / num_cdus)
+                plant.warmup(heat, float(wb), duration_s=settle_s)
+                # Average over a trailing window to suppress control hunt.
+                samples = [
+                    plant.step(heat, float(wb), system_power_w=float(p))
+                    for _ in range(40)
+                ]
+                rows.append((p, wb))
+                pues.append(np.mean([s.pue for s in samples]))
+                temps.append(np.mean([s.htw_supply_temp_c for s in samples]))
+        xs = np.asarray(rows)
+        pues = np.asarray(pues)
+        temps = np.asarray(temps)
+        # Shuffled split for held-out quality.
+        order = rng.permutation(xs.shape[0])
+        xs, pues, temps = xs[order], pues[order], temps[order]
+        surrogate = cls(degree=degree)
+        surrogate._power_range = power_range_w
+        surrogate._wb_range = wetbulb_range_c
+        split = int(0.85 * xs.shape[0])
+        ftr = surrogate.features.transform(xs[:split])
+        fte = surrogate.features.transform(xs[split:])
+        surrogate.pue_model.fit(ftr, pues[:split])
+        surrogate.temp_model.fit(ftr, temps[:split])
+        r2 = surrogate.pue_model.score_r2(fte, pues[split:])
+        rmse = float(
+            np.sqrt(
+                np.mean((surrogate.pue_model.predict(fte) - pues[split:]) ** 2)
+            )
+        )
+        surrogate.quality = SurrogateQuality(
+            r2=r2, rmse=rmse, n_train=split, n_test=xs.shape[0] - split
+        )
+        return surrogate
+
+    def _check_domain(self, power_w: np.ndarray, wetbulb_c: np.ndarray) -> None:
+        if self._power_range is None or self._wb_range is None:
+            raise ExaDigiTError("surrogate is not fitted")
+        lo, hi = self._power_range
+        if np.any(power_w < lo - 1e6) or np.any(power_w > hi + 1e6):
+            raise ExaDigiTError(
+                "query power outside the trained domain "
+                f"[{lo:.3g}, {hi:.3g}] W — L3 models are interpolative "
+                "(paper Fig. 2 discussion); retrain with a wider grid"
+            )
+
+    def predict_pue(
+        self, power_w: np.ndarray | float, wetbulb_c: np.ndarray | float
+    ) -> np.ndarray:
+        """Predicted steady-state PUE at the query points."""
+        p = np.atleast_1d(np.asarray(power_w, dtype=np.float64))
+        w = np.atleast_1d(np.asarray(wetbulb_c, dtype=np.float64))
+        self._check_domain(p, w)
+        x = self.features.transform(np.column_stack([p, w]))
+        return self.pue_model.predict(x)
+
+    def predict_htw_supply_c(
+        self, power_w: np.ndarray | float, wetbulb_c: np.ndarray | float
+    ) -> np.ndarray:
+        """Predicted steady-state HTW supply temperature, degC."""
+        p = np.atleast_1d(np.asarray(power_w, dtype=np.float64))
+        w = np.atleast_1d(np.asarray(wetbulb_c, dtype=np.float64))
+        self._check_domain(p, w)
+        x = self.features.transform(np.column_stack([p, w]))
+        return self.temp_model.predict(x)
+
+
+__all__ = ["SurrogateQuality", "PowerSurrogate", "CoolingSurrogate"]

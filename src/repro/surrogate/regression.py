@@ -1,0 +1,65 @@
+"""Ridge regression in closed form (NumPy only).
+
+Solves ``min ||Xw - y||^2 + alpha ||w||^2`` via the normal equations
+with Cholesky-friendly conditioning; small feature counts (polynomial
+maps) make this exact and instantaneous.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ExaDigiTError
+
+
+class RidgeRegression:
+    """Closed-form ridge regressor with standardization."""
+
+    def __init__(self, alpha: float = 1e-6) -> None:
+        if alpha < 0:
+            raise ExaDigiTError("alpha must be >= 0")
+        self.alpha = float(alpha)
+        self.coef_: np.ndarray | None = None
+        self._x_mean: np.ndarray | None = None
+        self._x_scale: np.ndarray | None = None
+        self._y_mean: float = 0.0
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RidgeRegression":
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if x.shape[0] != y.shape[0]:
+            raise ExaDigiTError("X and y row counts differ")
+        if x.shape[0] < x.shape[1]:
+            raise ExaDigiTError(
+                f"underdetermined fit: {x.shape[0]} rows for "
+                f"{x.shape[1]} features"
+            )
+        self._x_mean = x.mean(axis=0)
+        scale = x.std(axis=0)
+        self._x_scale = np.where(scale > 1e-12, scale, 1.0)
+        xs = (x - self._x_mean) / self._x_scale
+        self._y_mean = float(y.mean())
+        ys = y - self._y_mean
+        gram = xs.T @ xs + self.alpha * np.eye(xs.shape[1])
+        self.coef_ = np.linalg.solve(gram, xs.T @ ys)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self.coef_ is None:
+            raise ExaDigiTError("regressor is not fitted")
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        xs = (x - self._x_mean) / self._x_scale
+        return xs @ self.coef_ + self._y_mean
+
+    def score_r2(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Coefficient of determination on held-out data."""
+        y = np.asarray(y, dtype=np.float64).ravel()
+        pred = self.predict(x)
+        ss_res = float(np.sum((y - pred) ** 2))
+        ss_tot = float(np.sum((y - y.mean()) ** 2))
+        if ss_tot == 0:
+            return 1.0 if ss_res == 0 else 0.0
+        return 1.0 - ss_res / ss_tot
+
+
+__all__ = ["RidgeRegression"]

@@ -1,0 +1,47 @@
+"""Telemetry: schemas, datasets, parsers, synthesis, and replay.
+
+The paper validates the digital twin by replaying system telemetry
+(Table II) through the models (Finding 8).  This package provides:
+
+- :mod:`repro.telemetry.schema` — the Table II record types,
+- :mod:`repro.telemetry.dataset` — columnar time-series storage with
+  resampling, slicing, and persistence,
+- :mod:`repro.telemetry.parsers` — the pluggable parser registry used to
+  ingest bespoke site formats (paper Section V),
+- :mod:`repro.telemetry.synthesis` — a synthetic Frontier telemetry
+  generator used in place of production data (see DESIGN.md
+  substitutions),
+- :mod:`repro.telemetry.replay` — time-aligned replay cursors.
+"""
+
+from repro.telemetry.schema import JobRecord, TelemetrySchema, SeriesSpec
+from repro.telemetry.dataset import TimeSeries, TelemetryDataset
+from repro.telemetry.parsers import (
+    register_parser,
+    get_parser,
+    available_parsers,
+    parse_telemetry,
+)
+from repro.telemetry.synthesis import (
+    WorkloadDayParams,
+    SyntheticTelemetryGenerator,
+    synthesize_wetbulb,
+)
+from repro.telemetry.replay import ReplayCursor, JobReplaySource
+
+__all__ = [
+    "JobRecord",
+    "TelemetrySchema",
+    "SeriesSpec",
+    "TimeSeries",
+    "TelemetryDataset",
+    "register_parser",
+    "get_parser",
+    "available_parsers",
+    "parse_telemetry",
+    "WorkloadDayParams",
+    "SyntheticTelemetryGenerator",
+    "synthesize_wetbulb",
+    "ReplayCursor",
+    "JobReplaySource",
+]

@@ -1,0 +1,278 @@
+"""Columnar time-series storage for telemetry.
+
+A :class:`TimeSeries` is an irregular- or regular-cadence array of samples
+(1-D, or 2-D for multi-channel series such as the 25 CDU columns).  A
+:class:`TelemetryDataset` bundles named series with the job list and
+metadata, and persists to an ``.npz`` + JSON sidecar pair.
+
+The resampling rules match how the paper aligns mixed-cadence telemetry
+(Table II ranges from 1 s to 10 min): zero-order hold for states/settings,
+linear interpolation for continuous measurands.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.exceptions import TelemetryError
+from repro.telemetry.schema import JobRecord
+
+
+@dataclass
+class TimeSeries:
+    """A sampled series: ``times`` (s from epoch) and ``values``.
+
+    ``values`` has shape ``(n,)`` or ``(n, width)``; ``times`` is strictly
+    increasing with length ``n``.
+    """
+
+    times: np.ndarray
+    values: np.ndarray
+    units: str = ""
+
+    def __post_init__(self) -> None:
+        self.times = np.asarray(self.times, dtype=np.float64)
+        self.values = np.asarray(self.values, dtype=np.float64)
+        if self.times.ndim != 1:
+            raise TelemetryError("times must be 1-D")
+        if self.values.shape[0] != self.times.shape[0]:
+            raise TelemetryError(
+                f"times ({self.times.shape[0]}) and values "
+                f"({self.values.shape[0]}) lengths differ"
+            )
+        if self.times.size > 1 and np.any(np.diff(self.times) <= 0):
+            raise TelemetryError("times must be strictly increasing")
+
+    # -- basic properties ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self.times.size)
+
+    @property
+    def width(self) -> int:
+        """Number of channels (1 for a scalar series)."""
+        return 1 if self.values.ndim == 1 else int(self.values.shape[1])
+
+    @property
+    def t_start(self) -> float:
+        if len(self) == 0:
+            raise TelemetryError("empty series has no start time")
+        return float(self.times[0])
+
+    @property
+    def t_end(self) -> float:
+        if len(self) == 0:
+            raise TelemetryError("empty series has no end time")
+        return float(self.times[-1])
+
+    # -- transforms ---------------------------------------------------------
+
+    def slice(self, t0: float, t1: float) -> "TimeSeries":
+        """Samples with ``t0 <= t < t1`` (half-open window)."""
+        if t1 < t0:
+            raise TelemetryError("slice end before start")
+        mask = (self.times >= t0) & (self.times < t1)
+        return TimeSeries(self.times[mask], self.values[mask], self.units)
+
+    def resample(
+        self, new_times: np.ndarray, *, method: str = "linear"
+    ) -> "TimeSeries":
+        """Resample onto ``new_times``.
+
+        ``method="linear"`` interpolates (endpoints clamped);
+        ``method="hold"`` is zero-order hold (previous sample wins), which
+        is the right treatment for staging counts and setpoints.
+        """
+        new_times = np.asarray(new_times, dtype=np.float64)
+        if len(self) == 0:
+            raise TelemetryError("cannot resample an empty series")
+        if method == "linear":
+            if self.values.ndim == 1:
+                vals = np.interp(new_times, self.times, self.values)
+            else:
+                vals = np.column_stack(
+                    [
+                        np.interp(new_times, self.times, self.values[:, j])
+                        for j in range(self.width)
+                    ]
+                )
+        elif method == "hold":
+            idx = np.searchsorted(self.times, new_times, side="right") - 1
+            idx = np.clip(idx, 0, len(self) - 1)
+            vals = self.values[idx]
+        else:
+            raise TelemetryError(f"unknown resample method {method!r}")
+        return TimeSeries(new_times, vals, self.units)
+
+    def value_at(self, t: float, *, method: str = "linear") -> np.ndarray:
+        """Value at one instant (see :meth:`resample` for methods)."""
+        out = self.resample(np.asarray([t]), method=method).values
+        return out[0]
+
+    # -- statistics ----------------------------------------------------------
+
+    def mean(self) -> np.ndarray:
+        return np.mean(self.values, axis=0)
+
+    def min(self) -> np.ndarray:
+        return np.min(self.values, axis=0)
+
+    def max(self) -> np.ndarray:
+        return np.max(self.values, axis=0)
+
+    def std(self) -> np.ndarray:
+        return np.std(self.values, axis=0)
+
+    def integral(self) -> np.ndarray:
+        """Trapezoidal time-integral (e.g. W-series -> joules)."""
+        if len(self) < 2:
+            raise TelemetryError("need >= 2 samples to integrate")
+        return np.trapezoid(self.values, self.times, axis=0)
+
+    @classmethod
+    def regular(
+        cls,
+        t0: float,
+        dt: float,
+        values: np.ndarray,
+        units: str = "",
+    ) -> "TimeSeries":
+        """Build a regular-cadence series starting at ``t0`` every ``dt``."""
+        values = np.asarray(values, dtype=np.float64)
+        n = values.shape[0]
+        times = t0 + dt * np.arange(n, dtype=np.float64)
+        return cls(times, values, units)
+
+
+@dataclass
+class TelemetryDataset:
+    """Named telemetry series + job records + metadata for one period."""
+
+    name: str
+    series: dict[str, TimeSeries] = field(default_factory=dict)
+    jobs: list[JobRecord] = field(default_factory=list)
+    metadata: dict = field(default_factory=dict)
+
+    # -- series access --------------------------------------------------------
+
+    def add_series(self, name: str, ts: TimeSeries) -> None:
+        if name in self.series:
+            raise TelemetryError(f"series {name!r} already present")
+        self.series[name] = ts
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.series
+
+    def __getitem__(self, name: str) -> TimeSeries:
+        try:
+            return self.series[name]
+        except KeyError:
+            raise TelemetryError(
+                f"series {name!r} not in dataset {self.name!r}; "
+                f"available: {sorted(self.series)}"
+            ) from None
+
+    def series_names(self) -> list[str]:
+        return sorted(self.series)
+
+    # -- job access -----------------------------------------------------------
+
+    def add_job(self, job: JobRecord) -> None:
+        self.jobs.append(job)
+
+    def jobs_sorted(self) -> list[JobRecord]:
+        """Jobs ordered by start time (replay order)."""
+        return sorted(self.jobs, key=lambda j: (j.start_time, j.job_id))
+
+    def jobs_in_window(self, t0: float, t1: float) -> Iterator[JobRecord]:
+        """Jobs whose start time falls in ``[t0, t1)``."""
+        for job in self.jobs_sorted():
+            if t0 <= job.start_time < t1:
+                yield job
+
+    # -- persistence ------------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Persist to ``<path>.npz`` (arrays) and ``<path>.json`` (metadata)."""
+        path = Path(path)
+        arrays: dict[str, np.ndarray] = {}
+        series_meta: dict[str, dict] = {}
+        for name, ts in self.series.items():
+            arrays[f"series_t_{name}"] = ts.times
+            arrays[f"series_v_{name}"] = ts.values
+            series_meta[name] = {"units": ts.units}
+        job_meta = []
+        for i, job in enumerate(self.jobs):
+            arrays[f"job_cpu_{i}"] = job.cpu_util
+            arrays[f"job_gpu_{i}"] = job.gpu_util
+            job_meta.append(
+                {
+                    "job_name": job.job_name,
+                    "job_id": job.job_id,
+                    "node_count": job.node_count,
+                    "start_time": job.start_time,
+                    "wall_time": job.wall_time,
+                    "trace_quanta": job.trace_quanta,
+                }
+            )
+        np.savez_compressed(path.with_suffix(".npz"), **arrays)
+        doc = {
+            "name": self.name,
+            "metadata": self.metadata,
+            "series": series_meta,
+            "jobs": job_meta,
+        }
+        path.with_suffix(".json").write_text(json.dumps(doc, indent=2))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TelemetryDataset":
+        """Load a dataset previously written by :meth:`save`."""
+        path = Path(path)
+        json_path = path.with_suffix(".json")
+        npz_path = path.with_suffix(".npz")
+        if not json_path.exists() or not npz_path.exists():
+            raise TelemetryError(f"dataset files not found at {path}")
+        doc = json.loads(json_path.read_text())
+        with np.load(npz_path) as arrays:
+            series = {
+                name: TimeSeries(
+                    arrays[f"series_t_{name}"],
+                    arrays[f"series_v_{name}"],
+                    meta.get("units", ""),
+                )
+                for name, meta in doc["series"].items()
+            }
+            jobs = [
+                JobRecord(
+                    job_name=jm["job_name"],
+                    job_id=jm["job_id"],
+                    node_count=jm["node_count"],
+                    start_time=jm["start_time"],
+                    wall_time=jm["wall_time"],
+                    cpu_util=arrays[f"job_cpu_{i}"],
+                    gpu_util=arrays[f"job_gpu_{i}"],
+                    trace_quanta=jm["trace_quanta"],
+                )
+                for i, jm in enumerate(doc["jobs"])
+            ]
+        return cls(
+            name=doc["name"], series=series, jobs=jobs, metadata=doc["metadata"]
+        )
+
+
+def concat_series(parts: Iterable[TimeSeries]) -> TimeSeries:
+    """Concatenate time-ordered, non-overlapping series segments."""
+    parts = list(parts)
+    if not parts:
+        raise TelemetryError("no series to concatenate")
+    times = np.concatenate([p.times for p in parts])
+    values = np.concatenate([p.values for p in parts], axis=0)
+    return TimeSeries(times, values, parts[0].units)
+
+
+__all__ = ["TimeSeries", "TelemetryDataset", "concat_series"]

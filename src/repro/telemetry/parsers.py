@@ -1,0 +1,232 @@
+"""Pluggable telemetry parser registry (paper Section V).
+
+The generalized RAPS reads "different types of bespoke telemetry datasets"
+through a pluggable architecture.  A parser is a callable that turns a raw
+source (path or mapping) into a :class:`~repro.telemetry.dataset.TelemetryDataset`.
+Sites register their format under a name; the engine looks parsers up by
+that name, so a new machine's telemetry requires only a new parser, not
+engine changes.
+
+Two reference parsers ship with the library:
+
+- ``"native"`` — the library's own npz+json format,
+- ``"jobs-json"`` — a simple JSON job-list format (the PM100-style public
+  dataset layout: one record per job with power traces).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro.exceptions import TelemetryError
+from repro.telemetry.dataset import TelemetryDataset, TimeSeries
+from repro.telemetry.schema import JobRecord
+
+
+class TelemetryParser(Protocol):
+    """Parser signature: raw source path -> dataset."""
+
+    def __call__(self, source: str | Path, **kwargs) -> TelemetryDataset: ...
+
+
+_REGISTRY: dict[str, TelemetryParser] = {}
+
+
+def register_parser(name: str, parser: TelemetryParser | None = None):
+    """Register a telemetry parser under ``name``.
+
+    Usable directly (``register_parser("x", fn)``) or as a decorator::
+
+        @register_parser("site-csv")
+        def parse_site_csv(source, **kw): ...
+    """
+
+    def _register(fn: TelemetryParser) -> TelemetryParser:
+        if name in _REGISTRY:
+            raise TelemetryError(f"parser {name!r} already registered")
+        _REGISTRY[name] = fn
+        return fn
+
+    if parser is not None:
+        return _register(parser)
+    return _register
+
+
+def unregister_parser(name: str) -> None:
+    """Remove a registered parser (mainly for tests)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_parser(name: str) -> TelemetryParser:
+    """Look up a parser by registry name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise TelemetryError(
+            f"no parser registered under {name!r}; "
+            f"available: {available_parsers()}"
+        ) from None
+
+
+def available_parsers() -> list[str]:
+    """Sorted names of all registered parsers."""
+    return sorted(_REGISTRY)
+
+
+def parse_telemetry(fmt: str, source: str | Path, **kwargs) -> TelemetryDataset:
+    """Parse ``source`` using the parser registered under ``fmt``."""
+    return get_parser(fmt)(source, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Reference parsers
+# ---------------------------------------------------------------------------
+
+
+@register_parser("native")
+def _parse_native(source: str | Path, **kwargs) -> TelemetryDataset:
+    """The library's own persisted format (npz + json sidecar)."""
+    return TelemetryDataset.load(source)
+
+
+@register_parser("jobs-json")
+def _parse_jobs_json(
+    source: str | Path,
+    *,
+    cpu_idle_w: float = 90.0,
+    cpu_max_w: float = 280.0,
+    gpu_idle_w: float = 88.0,
+    gpu_max_w: float = 560.0,
+    trace_quanta: float = 15.0,
+    **kwargs,
+) -> TelemetryDataset:
+    """A PM100-style JSON job list with per-device power traces.
+
+    Expected document shape::
+
+        {"name": "...", "jobs": [
+           {"job_name": "...", "job_id": 1, "node_count": 2,
+            "start_time": 0.0,
+            "cpu_power": [...], "gpu_power": [...]}, ...]}
+
+    Power traces are watts per CPU / per GPU at ``trace_quanta`` spacing and
+    are converted to utilization with the paper's linear interpolation.
+    """
+    p = Path(source)
+    if not p.exists():
+        raise TelemetryError(f"telemetry source not found: {p}")
+    try:
+        doc = json.loads(p.read_text())
+    except json.JSONDecodeError as exc:
+        raise TelemetryError(f"invalid JSON telemetry: {exc}") from exc
+    if "jobs" not in doc:
+        raise TelemetryError("jobs-json document missing 'jobs' key")
+    ds = TelemetryDataset(name=doc.get("name", p.stem))
+    for raw in doc["jobs"]:
+        try:
+            job = JobRecord.from_power_traces(
+                job_name=raw.get("job_name", f"job{raw['job_id']}"),
+                job_id=int(raw["job_id"]),
+                node_count=int(raw["node_count"]),
+                start_time=float(raw["start_time"]),
+                cpu_power_w=np.asarray(raw["cpu_power"], dtype=np.float64),
+                gpu_power_w=np.asarray(raw["gpu_power"], dtype=np.float64),
+                cpu_idle_w=cpu_idle_w,
+                cpu_max_w=cpu_max_w,
+                gpu_idle_w=gpu_idle_w,
+                gpu_max_w=gpu_max_w,
+                trace_quanta=trace_quanta,
+            )
+        except KeyError as exc:
+            raise TelemetryError(f"jobs-json record missing key {exc}") from exc
+        ds.add_job(job)
+    if "measured_power" in doc:
+        mp = doc["measured_power"]
+        ds.add_series(
+            "measured_power",
+            TimeSeries.regular(
+                float(mp.get("t0", 0.0)),
+                float(mp.get("dt", 1.0)),
+                np.asarray(mp["values"], dtype=np.float64),
+                "W",
+            ),
+        )
+    return ds
+
+
+@register_parser("facility-csv")
+def _parse_facility_csv(
+    source: str | Path,
+    *,
+    time_column: str = "time_s",
+    units: dict[str, str] | None = None,
+    **kwargs,
+) -> TelemetryDataset:
+    """A flat CSV of facility series: one time column + one per series.
+
+    The common export format of building-management systems: a header
+    row naming each point, then numeric rows.  Columns whose name ends
+    in ``[i]`` (e.g. ``rack_power[0]`` ... ``rack_power[24]``) are
+    gathered into one multi-channel series.
+    """
+    import csv as _csv
+    import re
+
+    p = Path(source)
+    if not p.exists():
+        raise TelemetryError(f"telemetry source not found: {p}")
+    with p.open(newline="") as fh:
+        reader = _csv.reader(fh)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise TelemetryError("empty CSV telemetry file") from None
+        rows = [row for row in reader if row]
+    if time_column not in header:
+        raise TelemetryError(
+            f"CSV missing time column {time_column!r}; header: {header}"
+        )
+    try:
+        data = np.asarray(rows, dtype=np.float64)
+    except ValueError as exc:
+        raise TelemetryError(f"non-numeric CSV cell: {exc}") from exc
+    if data.shape[1] != len(header):
+        raise TelemetryError("ragged CSV rows")
+    columns = {name: data[:, j] for j, name in enumerate(header)}
+    times = columns.pop(time_column)
+    units = units or {}
+    ds = TelemetryDataset(name=p.stem, metadata={"source_format": "facility-csv"})
+    # Group indexed columns (name[i]) into multi-channel series.
+    indexed: dict[str, dict[int, np.ndarray]] = {}
+    pattern = re.compile(r"^(.*)\[(\d+)\]$")
+    for name, values in columns.items():
+        m = pattern.match(name)
+        if m:
+            indexed.setdefault(m.group(1), {})[int(m.group(2))] = values
+        else:
+            ds.add_series(
+                name, TimeSeries(times, values, units.get(name, ""))
+            )
+    for base, channels in indexed.items():
+        width = max(channels) + 1
+        if sorted(channels) != list(range(width)):
+            raise TelemetryError(
+                f"series {base!r} has gaps in its channel indices"
+            )
+        stacked = np.column_stack([channels[i] for i in range(width)])
+        ds.add_series(base, TimeSeries(times, stacked, units.get(base, "")))
+    return ds
+
+
+__all__ = [
+    "TelemetryParser",
+    "register_parser",
+    "unregister_parser",
+    "get_parser",
+    "available_parsers",
+    "parse_telemetry",
+]

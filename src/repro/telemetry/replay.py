@@ -1,0 +1,100 @@
+"""Time-aligned replay of telemetry through the digital twin (Finding 8).
+
+:class:`ReplayCursor` walks a :class:`~repro.telemetry.dataset.TimeSeries`
+in simulation time with O(1) amortized advancement; :class:`JobReplaySource`
+feeds recorded jobs into the scheduler at their recorded start times, which
+is how the paper replays production workloads through RAPS.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import TelemetryError
+from repro.telemetry.dataset import TelemetryDataset, TimeSeries
+from repro.telemetry.schema import JobRecord
+
+
+class ReplayCursor:
+    """Sequential reader over a time series during simulation.
+
+    ``value(t)`` must be called with non-decreasing ``t``; the cursor
+    remembers its position so a full replay is O(n + calls) rather than
+    O(calls * log n).
+    """
+
+    def __init__(self, series: TimeSeries, *, method: str = "hold") -> None:
+        if len(series) == 0:
+            raise TelemetryError("cannot replay an empty series")
+        if method not in ("hold", "linear"):
+            raise TelemetryError(f"unknown replay method {method!r}")
+        self._series = series
+        self._method = method
+        self._idx = 0
+        self._last_t = -np.inf
+
+    def value(self, t: float) -> np.ndarray | float:
+        """Series value at simulation time ``t`` (non-decreasing calls)."""
+        if t < self._last_t:
+            raise TelemetryError(
+                f"replay cursor moved backwards ({t} < {self._last_t})"
+            )
+        self._last_t = t
+        times = self._series.times
+        n = len(times)
+        while self._idx + 1 < n and times[self._idx + 1] <= t:
+            self._idx += 1
+        vals = self._series.values
+        if self._method == "hold" or self._idx + 1 >= n:
+            return vals[self._idx]
+        # Linear interpolation between idx and idx+1 (clamped below start).
+        t0, t1 = times[self._idx], times[self._idx + 1]
+        if t <= t0:
+            return vals[self._idx]
+        w = (t - t0) / (t1 - t0)
+        return (1.0 - w) * vals[self._idx] + w * vals[self._idx + 1]
+
+    def reset(self) -> None:
+        """Rewind to the beginning of the series."""
+        self._idx = 0
+        self._last_t = -np.inf
+
+
+class JobReplaySource:
+    """Feeds recorded jobs to the engine at their recorded start times.
+
+    ``take_until(t)`` returns all jobs whose recorded start time is <= t
+    that have not been handed out yet, in start-time order — the replay
+    analogue of the Poisson arrival process.
+    """
+
+    def __init__(self, dataset: TelemetryDataset) -> None:
+        self._jobs = dataset.jobs_sorted()
+        self._pos = 0
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    @property
+    def remaining(self) -> int:
+        return len(self._jobs) - self._pos
+
+    def peek_next_time(self) -> float | None:
+        """Start time of the next job, or None when exhausted."""
+        if self._pos >= len(self._jobs):
+            return None
+        return self._jobs[self._pos].start_time
+
+    def take_until(self, t: float) -> list[JobRecord]:
+        """All not-yet-delivered jobs with ``start_time <= t``."""
+        out: list[JobRecord] = []
+        while self._pos < len(self._jobs) and self._jobs[self._pos].start_time <= t:
+            out.append(self._jobs[self._pos])
+            self._pos += 1
+        return out
+
+    def reset(self) -> None:
+        self._pos = 0
+
+
+__all__ = ["ReplayCursor", "JobReplaySource"]

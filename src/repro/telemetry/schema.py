@@ -1,0 +1,223 @@
+"""Telemetry record types mirroring the paper's Table II.
+
+Table II specifies, for the RAPS model, job inputs (name, id, node count,
+start time, cpu/gpu power traces at 15 s resolution) and a 1 s measured
+system power output; for the cooling model, 15 s rack power plus 60 s
+wet-bulb inputs and the CDU/CEP output series at their native cadences.
+
+:class:`JobRecord` stores utilization traces rather than power traces; the
+paper notes its telemetry lacks utilization and linearly interpolates
+power to utilization, and :func:`JobRecord.from_power_traces` performs
+exactly that inversion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import TelemetryError
+
+#: Trace sample spacing used throughout the paper ("trace quanta"), seconds.
+TRACE_QUANTA_S = 15.0
+
+
+@dataclass
+class JobRecord:
+    """One job as recorded by (or synthesized as) telemetry.
+
+    Attributes
+    ----------
+    job_name:
+        Human-readable name (e.g. ``"hpl"``).
+    job_id:
+        Unique integer id within the dataset.
+    node_count:
+        Nodes the job occupied.
+    start_time:
+        Submission-or-start time in seconds from the dataset epoch.  During
+        replay with recorded starts this is the dispatch time.
+    wall_time:
+        Requested/observed duration in seconds.
+    cpu_util / gpu_util:
+        Per-quantum mean utilization in [0, 1], sampled every
+        ``trace_quanta`` seconds.  Both traces have the same length
+        ``ceil(wall_time / trace_quanta)``.
+    trace_quanta:
+        Trace sample spacing, seconds (paper: 15 s).
+    """
+
+    job_name: str
+    job_id: int
+    node_count: int
+    start_time: float
+    wall_time: float
+    cpu_util: np.ndarray
+    gpu_util: np.ndarray
+    trace_quanta: float = TRACE_QUANTA_S
+
+    def __post_init__(self) -> None:
+        self.cpu_util = np.asarray(self.cpu_util, dtype=np.float64)
+        self.gpu_util = np.asarray(self.gpu_util, dtype=np.float64)
+        if self.node_count < 1:
+            raise TelemetryError(
+                f"job {self.job_id}: node_count must be >= 1, got {self.node_count}"
+            )
+        if self.wall_time <= 0:
+            raise TelemetryError(
+                f"job {self.job_id}: wall_time must be positive, got {self.wall_time}"
+            )
+        if self.cpu_util.shape != self.gpu_util.shape:
+            raise TelemetryError(
+                f"job {self.job_id}: cpu/gpu trace lengths differ "
+                f"({self.cpu_util.size} vs {self.gpu_util.size})"
+            )
+        if self.cpu_util.ndim != 1 or self.cpu_util.size == 0:
+            raise TelemetryError(
+                f"job {self.job_id}: traces must be non-empty 1-D arrays"
+            )
+        for name, trace in (("cpu", self.cpu_util), ("gpu", self.gpu_util)):
+            if np.any(trace < 0.0) or np.any(trace > 1.0):
+                raise TelemetryError(
+                    f"job {self.job_id}: {name} utilization outside [0, 1]"
+                )
+
+    @property
+    def end_time(self) -> float:
+        """Dataset-epoch time at which the job finishes."""
+        return self.start_time + self.wall_time
+
+    @property
+    def node_seconds(self) -> float:
+        """Node-seconds consumed (allocation footprint)."""
+        return self.node_count * self.wall_time
+
+    def util_at(self, elapsed_s: float) -> tuple[float, float]:
+        """Return (cpu_util, gpu_util) at ``elapsed_s`` into the job.
+
+        Uses zero-order hold over trace quanta, clamping to the last sample
+        (jobs occasionally run slightly past their final quantum).
+        """
+        if elapsed_s < 0:
+            raise TelemetryError("elapsed_s must be >= 0")
+        idx = min(int(elapsed_s // self.trace_quanta), self.cpu_util.size - 1)
+        return float(self.cpu_util[idx]), float(self.gpu_util[idx])
+
+    @classmethod
+    def from_power_traces(
+        cls,
+        *,
+        job_name: str,
+        job_id: int,
+        node_count: int,
+        start_time: float,
+        cpu_power_w: np.ndarray,
+        gpu_power_w: np.ndarray,
+        cpu_idle_w: float,
+        cpu_max_w: float,
+        gpu_idle_w: float,
+        gpu_max_w: float,
+        trace_quanta: float = TRACE_QUANTA_S,
+    ) -> "JobRecord":
+        """Build a record from per-device power traces (Table II schema).
+
+        Inverts the paper's linear power<->utilization interpolation:
+        ``util = (P - P_idle) / (P_max - P_idle)``, clipped to [0, 1].
+        Power traces are per-CPU and per-GPU watts.
+        """
+        cpu_power_w = np.asarray(cpu_power_w, dtype=np.float64)
+        gpu_power_w = np.asarray(gpu_power_w, dtype=np.float64)
+        if cpu_power_w.size == 0:
+            raise TelemetryError(f"job {job_id}: empty power trace")
+        cpu_span = cpu_max_w - cpu_idle_w
+        gpu_span = gpu_max_w - gpu_idle_w
+        cpu_util = (
+            np.clip((cpu_power_w - cpu_idle_w) / cpu_span, 0.0, 1.0)
+            if cpu_span > 0
+            else np.zeros_like(cpu_power_w)
+        )
+        gpu_util = (
+            np.clip((gpu_power_w - gpu_idle_w) / gpu_span, 0.0, 1.0)
+            if gpu_span > 0
+            else np.zeros_like(gpu_power_w)
+        )
+        wall_time = cpu_power_w.size * trace_quanta
+        return cls(
+            job_name=job_name,
+            job_id=job_id,
+            node_count=node_count,
+            start_time=start_time,
+            wall_time=wall_time,
+            cpu_util=cpu_util,
+            gpu_util=gpu_util,
+            trace_quanta=trace_quanta,
+        )
+
+
+@dataclass(frozen=True)
+class SeriesSpec:
+    """Declared cadence and shape of one telemetry series (Table II rows)."""
+
+    name: str
+    resolution_s: float
+    width: int = 1
+    units: str = ""
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class TelemetrySchema:
+    """The full Table II schema: declared series for RAPS + cooling."""
+
+    series: tuple[SeriesSpec, ...] = field(default_factory=tuple)
+
+    def spec_for(self, name: str) -> SeriesSpec:
+        for s in self.series:
+            if s.name == name:
+                return s
+        raise TelemetryError(f"series {name!r} not declared in schema")
+
+    def names(self) -> list[str]:
+        return [s.name for s in self.series]
+
+
+def table2_schema(num_cdus: int = 25) -> TelemetrySchema:
+    """The validation telemetry schema of paper Table II for Frontier."""
+    return TelemetrySchema(
+        series=(
+            SeriesSpec("measured_power", 1.0, 1, "W", "total system power"),
+            SeriesSpec("rack_power", 15.0, num_cdus, "W", "per-CDU rack-group power"),
+            SeriesSpec("wetbulb_temperature", 60.0, 1, "degC", "outdoor wet-bulb"),
+            SeriesSpec("cdu_htw_flow", 15.0, num_cdus, "m3/s", "CDU primary flow"),
+            SeriesSpec("cdu_ctw_flow", 15.0, num_cdus, "m3/s", "CDU secondary flow"),
+            SeriesSpec("cdu_return_temp", 15.0, num_cdus, "degC", "CDU primary return temp"),
+            SeriesSpec("cdu_supply_temp", 15.0, num_cdus, "degC", "CDU secondary supply temp"),
+            SeriesSpec("cdu_pump_speed", 15.0, num_cdus, "frac", "CDU pump speed"),
+            SeriesSpec("cdu_pump_power", 15.0, num_cdus, "W", "CDU pump power"),
+            SeriesSpec("facility_flow", 120.0, 2, "m3/s", "HTW/CTW loop flows"),
+            SeriesSpec("htw_supply_temp", 60.0, 1, "degC", "HTW supply temperature"),
+            SeriesSpec("htw_return_temp", 60.0, 1, "degC", "HTW return temperature"),
+            SeriesSpec("htw_supply_pressure", 30.0, 1, "Pa", "HTW supply pressure"),
+            SeriesSpec("htw_return_pressure", 30.0, 1, "Pa", "HTW return pressure"),
+            SeriesSpec("htwp_pump_power", 600.0, 4, "W", "HTW pump power"),
+            SeriesSpec("ctwp_pump_power", 600.0, 4, "W", "CTW pump power"),
+            SeriesSpec("htwp_pump_speed", 120.0, 1, "frac", "HTW pump speed"),
+            SeriesSpec("ctwp_pump_speed", 120.0, 1, "frac", "CTW pump speed"),
+            SeriesSpec("num_htwp_staged", 60.0, 1, "count", "HTW pumps running"),
+            SeriesSpec("num_ctwp_staged", 60.0, 1, "count", "CTW pumps running"),
+            SeriesSpec("num_ehx_staged", 60.0, 1, "count", "intermediate HX active"),
+            SeriesSpec("num_ct_staged", 60.0, 1, "count", "cooling-tower cells active"),
+            SeriesSpec("ct_fan_power", 60.0, 1, "W", "total cooling-tower fan power"),
+            SeriesSpec("pue", 15.0, 1, "ratio", "power usage effectiveness"),
+        )
+    )
+
+
+__all__ = [
+    "TRACE_QUANTA_S",
+    "JobRecord",
+    "SeriesSpec",
+    "TelemetrySchema",
+    "table2_schema",
+]

@@ -1,0 +1,135 @@
+"""Unit conversions and physical constants used throughout the twin.
+
+All internal computation is SI (watts, kelvin-or-celsius deltas, kg, m^3/s,
+pascals, seconds).  Telemetry and report boundaries use the units the paper
+reports (MW, gpm, psi, metric tons), converted through this module so the
+conversion factors live in exactly one place.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Power / energy
+# ---------------------------------------------------------------------------
+
+WATTS_PER_MEGAWATT = 1.0e6
+WATTS_PER_KILOWATT = 1.0e3
+SECONDS_PER_HOUR = 3600.0
+HOURS_PER_DAY = 24.0
+SECONDS_PER_DAY = SECONDS_PER_HOUR * HOURS_PER_DAY
+DAYS_PER_YEAR = 365.25
+
+
+def watts_to_megawatts(value_w: float) -> float:
+    """Convert watts to megawatts."""
+    return value_w / WATTS_PER_MEGAWATT
+
+
+def megawatts_to_watts(value_mw: float) -> float:
+    """Convert megawatts to watts."""
+    return value_mw * WATTS_PER_MEGAWATT
+
+
+def joules_to_megawatt_hours(value_j: float) -> float:
+    """Convert joules to MW-hr (the unit used in the paper's reports)."""
+    return value_j / (WATTS_PER_MEGAWATT * SECONDS_PER_HOUR)
+
+
+def megawatt_hours_to_joules(value_mwh: float) -> float:
+    """Convert MW-hr to joules."""
+    return value_mwh * WATTS_PER_MEGAWATT * SECONDS_PER_HOUR
+
+
+# ---------------------------------------------------------------------------
+# Flow
+# ---------------------------------------------------------------------------
+
+#: US gallons per cubic meter.
+GALLONS_PER_M3 = 264.172052
+
+#: Conversion factor from gallons-per-minute to cubic meters per second.
+M3S_PER_GPM = 1.0 / (GALLONS_PER_M3 * 60.0)
+
+
+def gpm_to_m3s(value_gpm: float) -> float:
+    """Convert US gallons/minute to m^3/s."""
+    return value_gpm * M3S_PER_GPM
+
+
+def m3s_to_gpm(value_m3s: float) -> float:
+    """Convert m^3/s to US gallons/minute."""
+    return value_m3s / M3S_PER_GPM
+
+
+def lpm_to_m3s(value_lpm: float) -> float:
+    """Convert liters/minute to m^3/s."""
+    return value_lpm / 60000.0
+
+
+def m3s_to_lpm(value_m3s: float) -> float:
+    """Convert m^3/s to liters/minute."""
+    return value_m3s * 60000.0
+
+
+# ---------------------------------------------------------------------------
+# Pressure
+# ---------------------------------------------------------------------------
+
+PASCALS_PER_PSI = 6894.757293
+PASCALS_PER_BAR = 1.0e5
+PASCALS_PER_KPA = 1.0e3
+
+
+def psi_to_pa(value_psi: float) -> float:
+    """Convert psi to pascals."""
+    return value_psi * PASCALS_PER_PSI
+
+
+def pa_to_psi(value_pa: float) -> float:
+    """Convert pascals to psi."""
+    return value_pa / PASCALS_PER_PSI
+
+
+def pa_to_kpa(value_pa: float) -> float:
+    """Convert pascals to kilopascals."""
+    return value_pa / PASCALS_PER_KPA
+
+
+def kpa_to_pa(value_kpa: float) -> float:
+    """Convert kilopascals to pascals."""
+    return value_kpa * PASCALS_PER_KPA
+
+
+# ---------------------------------------------------------------------------
+# Temperature
+# ---------------------------------------------------------------------------
+
+KELVIN_OFFSET = 273.15
+
+
+def celsius_to_kelvin(value_c: float) -> float:
+    """Convert Celsius to Kelvin."""
+    return value_c + KELVIN_OFFSET
+
+
+def kelvin_to_celsius(value_k: float) -> float:
+    """Convert Kelvin to Celsius."""
+    return value_k - KELVIN_OFFSET
+
+
+def fahrenheit_to_celsius(value_f: float) -> float:
+    """Convert Fahrenheit to Celsius."""
+    return (value_f - 32.0) * 5.0 / 9.0
+
+
+# ---------------------------------------------------------------------------
+# Mass
+# ---------------------------------------------------------------------------
+
+#: Pounds per metric ton, as used in the paper's CO2 emission factor (Eq. 6).
+LBS_PER_METRIC_TON = 2204.6
+
+
+def lbs_to_metric_tons(value_lbs: float) -> float:
+    """Convert pounds to metric tons using the paper's Eq. 6 factor."""
+    return value_lbs / LBS_PER_METRIC_TON

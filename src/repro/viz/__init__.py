@@ -1,0 +1,32 @@
+"""Visual analytics: scene generation, dashboards, heat maps, export.
+
+The paper's third module is a UE5/AR model plus a web dashboard.  In
+this Python reproduction the *analytics content* is preserved while the
+rendering device changes (see DESIGN.md substitutions):
+
+- :mod:`repro.viz.scene` — the descriptive (L1) twin: a 3D scene graph
+  of racks/CDUs/CEP assets generated from the JSON system config, the
+  planned "dynamic asset generation" of paper Section V,
+- :mod:`repro.viz.heatmap` — rack/CDU heat-map grids (ANSI or text),
+- :mod:`repro.viz.dashboard` — terminal dashboard with sparklines,
+- :mod:`repro.viz.export` — JSON/CSV series export for web dashboards.
+"""
+
+from repro.viz.scene import SceneGraph, AssetNode, build_scene
+from repro.viz.heatmap import rack_heatmap, cdu_heatmap, render_grid
+from repro.viz.dashboard import sparkline, render_dashboard
+from repro.viz.export import result_to_json, result_to_csv, export_result
+
+__all__ = [
+    "SceneGraph",
+    "AssetNode",
+    "build_scene",
+    "rack_heatmap",
+    "cdu_heatmap",
+    "render_grid",
+    "sparkline",
+    "render_dashboard",
+    "result_to_json",
+    "result_to_csv",
+    "export_result",
+]

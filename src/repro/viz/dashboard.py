@@ -1,0 +1,71 @@
+"""Terminal dashboard rendering (the paper's console interface, Fig. 6).
+
+Sparkline panels for the headline run series — system power, chain
+efficiency, utilization, PUE — mirroring the quantities plotted in the
+paper's Fig. 9 replay dashboard.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.engine import SimulationResult
+from repro.exceptions import ExaDigiTError
+
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: np.ndarray, *, width: int = 60) -> str:
+    """Downsample a series into a unicode sparkline of ``width`` chars."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ExaDigiTError("cannot sparkline an empty series")
+    if values.size > width:
+        # Bin means preserve shape better than striding.
+        edges = np.linspace(0, values.size, width + 1).astype(int)
+        binned = np.array(
+            [values[a:b].mean() if b > a else values[min(a, values.size - 1)]
+             for a, b in zip(edges[:-1], edges[1:])]
+        )
+    else:
+        binned = values
+    lo, hi = float(binned.min()), float(binned.max())
+    span = hi - lo if hi > lo else 1.0
+    idx = np.clip(
+        ((binned - lo) / span * (len(_SPARK) - 1)).astype(int),
+        0,
+        len(_SPARK) - 1,
+    )
+    return "".join(_SPARK[i] for i in idx)
+
+
+def _panel(label: str, values: np.ndarray, fmt: str, unit: str) -> str:
+    line = sparkline(values)
+    last = values[-1]
+    lo, hi = float(np.min(values)), float(np.max(values))
+    return (
+        f"{label:<14s} {line}\n"
+        f"{'':<14s} now={last:{fmt}}{unit}  min={lo:{fmt}}{unit}  "
+        f"max={hi:{fmt}}{unit}"
+    )
+
+
+def render_dashboard(result: SimulationResult, *, title: str = "ExaDigiT") -> str:
+    """Multi-panel text dashboard for one simulation result."""
+    panels = [
+        f"=== {title} === ({result.duration_s / 3600.0:.1f}h simulated)",
+        _panel("power", result.system_power_w / 1e6, ".2f", " MW"),
+        _panel("efficiency", result.chain_efficiency * 100.0, ".1f", " %"),
+        _panel("utilization", result.utilization * 100.0, ".0f", " %"),
+        _panel("loss", result.loss_w / 1e6, ".2f", " MW"),
+    ]
+    if "pue" in result.cooling:
+        panels.append(_panel("pue", result.cooling["pue"], ".3f", ""))
+    if "htw_supply_temp_c" in result.cooling:
+        panels.append(
+            _panel("htw supply", result.cooling["htw_supply_temp_c"], ".1f", " C")
+        )
+    return "\n".join(panels)
+
+
+__all__ = ["sparkline", "render_dashboard"]

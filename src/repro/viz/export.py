@@ -1,0 +1,90 @@
+"""Series export for external dashboards (JSON / CSV).
+
+The paper's web dashboard reads simulation results over a REST API
+backed by a results database; this module produces the equivalent
+payloads — one JSON document or CSV table per run — that such a
+dashboard (or a notebook) would consume.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.engine import SimulationResult
+from repro.exceptions import ExaDigiTError
+
+
+def result_to_json(result: SimulationResult, *, indent: int | None = None) -> str:
+    """Serialize the headline series + summary of a run to JSON."""
+    doc = {
+        "summary": {
+            "duration_s": result.duration_s,
+            "mean_power_w": result.mean_power_w,
+            "energy_mwh": result.energy_mwh,
+            "mean_loss_w": result.mean_loss_w,
+            "mean_chain_efficiency": result.mean_chain_efficiency,
+            "jobs": len(result.jobs),
+            "jobs_completed": result.scheduler_stats.completed,
+        },
+        "series": {
+            "times_s": result.times_s.tolist(),
+            "system_power_w": result.system_power_w.tolist(),
+            "loss_w": result.loss_w.tolist(),
+            "chain_efficiency": result.chain_efficiency.tolist(),
+            "utilization": result.utilization.tolist(),
+        },
+    }
+    for name in ("pue", "htw_supply_temp_c", "num_ct_staged"):
+        if name in result.cooling:
+            doc["series"][name] = np.asarray(result.cooling[name]).tolist()
+    return json.dumps(doc, indent=indent)
+
+
+def result_to_csv(result: SimulationResult) -> str:
+    """Tabulate the scalar per-step series of a run as CSV."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    columns: dict[str, np.ndarray] = {
+        "time_s": result.times_s,
+        "system_power_w": result.system_power_w,
+        "loss_w": result.loss_w,
+        "chain_efficiency": result.chain_efficiency,
+        "utilization": result.utilization,
+        "num_running": result.num_running,
+    }
+    for name, series in sorted(result.cooling.items()):
+        arr = np.asarray(series)
+        if arr.ndim == 1:
+            columns[name] = arr
+    n = result.times_s.size
+    for name, col in columns.items():
+        if col.shape[0] != n:
+            raise ExaDigiTError(f"series {name!r} length mismatch")
+    writer.writerow(columns.keys())
+    for row in zip(*columns.values()):
+        writer.writerow([f"{v:.6g}" for v in row])
+    return buf.getvalue()
+
+
+def export_result(
+    result: SimulationResult, path: str | Path, *, fmt: str = "json"
+) -> Path:
+    """Write a run export to disk; returns the written path."""
+    path = Path(path)
+    if fmt == "json":
+        path = path.with_suffix(".json")
+        path.write_text(result_to_json(result, indent=2))
+    elif fmt == "csv":
+        path = path.with_suffix(".csv")
+        path.write_text(result_to_csv(result))
+    else:
+        raise ExaDigiTError(f"unknown export format {fmt!r}")
+    return path
+
+
+__all__ = ["result_to_json", "result_to_csv", "export_result"]

@@ -1,0 +1,79 @@
+"""Rack/CDU heat-map grids (the AR model's per-asset color overlays).
+
+Maps per-rack or per-CDU scalar series (power, temperature) onto the
+physical rack-row layout and renders them as a character-ramp (or ANSI
+color) grid — the terminal analogue of the paper's heat-map use case
+("understanding temperature problems ... by visualizing heat maps in
+the system").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config.schema import SystemSpec
+from repro.exceptions import ExaDigiTError
+
+#: Intensity ramp, coldest -> hottest.
+_RAMP = " .:-=+*#%@"
+
+_RACKS_PER_ROW = 16
+
+
+def render_grid(
+    values: np.ndarray,
+    *,
+    columns: int = _RACKS_PER_ROW,
+    vmin: float | None = None,
+    vmax: float | None = None,
+    labels: bool = True,
+) -> str:
+    """Render a 1-D value array as a row-wrapped character heat map."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 1 or values.size == 0:
+        raise ExaDigiTError("heat map needs a non-empty 1-D array")
+    lo = float(np.min(values)) if vmin is None else vmin
+    hi = float(np.max(values)) if vmax is None else vmax
+    span = hi - lo if hi > lo else 1.0
+    idx = np.clip(
+        ((values - lo) / span * (len(_RAMP) - 1)).astype(int), 0, len(_RAMP) - 1
+    )
+    lines = []
+    for start in range(0, values.size, columns):
+        chunk = idx[start : start + columns]
+        row = "".join(_RAMP[i] * 2 for i in chunk)
+        if labels:
+            row = f"{start:4d} |{row}|"
+        lines.append(row)
+    if labels:
+        lines.append(f"scale: {lo:.3g} '{_RAMP[0]}' .. {hi:.3g} '{_RAMP[-1]}'")
+    return "\n".join(lines)
+
+
+def rack_heatmap(
+    spec: SystemSpec, rack_values: np.ndarray, *, vmin=None, vmax=None
+) -> str:
+    """Heat map of a per-rack quantity in physical row layout."""
+    rack_values = np.asarray(rack_values, dtype=np.float64)
+    if rack_values.shape != (spec.total_racks,):
+        raise ExaDigiTError(
+            f"expected {spec.total_racks} rack values, got {rack_values.shape}"
+        )
+    return render_grid(rack_values, columns=_RACKS_PER_ROW, vmin=vmin, vmax=vmax)
+
+
+def cdu_heatmap(
+    spec: SystemSpec, cdu_values: np.ndarray, *, vmin=None, vmax=None
+) -> str:
+    """Heat map of a per-CDU quantity (one row of 25 for Frontier)."""
+    cdu_values = np.asarray(cdu_values, dtype=np.float64)
+    if cdu_values.shape != (spec.cooling.num_cdus,):
+        raise ExaDigiTError(
+            f"expected {spec.cooling.num_cdus} CDU values, got {cdu_values.shape}"
+        )
+    return render_grid(
+        cdu_values, columns=spec.cooling.num_cdus, vmin=vmin, vmax=vmax
+    )
+
+
+__all__ = ["render_grid", "rack_heatmap", "cdu_heatmap"]

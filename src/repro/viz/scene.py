@@ -1,0 +1,194 @@
+"""Descriptive-twin (L1) scene generation from the system config.
+
+Builds the 3D asset hierarchy the paper renders in UE5 — rows of compute
+racks with their CDUs, and the central energy plant (pumps, heat
+exchangers, cooling towers) — as a portable scene graph that any
+renderer (game engine, web viewer) can consume as JSON.  This implements
+the "dynamic asset generation based on JSON configuration files" the
+paper plans in Section V.
+
+Layout conventions (meters, Frontier-like): racks in rows of 16 with a
+1.2 m cold aisle, one CDU per three racks at the row end, CEP assets in
+a separate plant row.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.config.schema import SystemSpec
+from repro.exceptions import ExaDigiTError
+
+#: Standard asset footprints, meters (width, depth, height).
+_RACK_SIZE = (0.61, 1.4, 2.23)
+_CDU_SIZE = (0.61, 1.4, 2.23)
+_PUMP_SIZE = (1.2, 0.8, 1.0)
+_HX_SIZE = (1.0, 2.4, 1.8)
+_TOWER_SIZE = (6.0, 6.0, 4.5)
+
+_RACKS_PER_ROW = 16
+_AISLE_DEPTH = 1.2
+
+
+@dataclass
+class AssetNode:
+    """One renderable asset: a typed box with a pose and metadata."""
+
+    name: str
+    asset_type: str
+    position: tuple[float, float, float]
+    size: tuple[float, float, float]
+    metadata: dict = field(default_factory=dict)
+    children: list["AssetNode"] = field(default_factory=list)
+
+    def add(self, child: "AssetNode") -> "AssetNode":
+        self.children.append(child)
+        return child
+
+    def walk(self):
+        """Depth-first iteration over this subtree."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "type": self.asset_type,
+            "position": list(self.position),
+            "size": list(self.size),
+            "metadata": self.metadata,
+            "children": [c.to_dict() for c in self.children],
+        }
+
+
+@dataclass
+class SceneGraph:
+    """The complete scene: a named root with the asset hierarchy."""
+
+    root: AssetNode
+
+    def count(self, asset_type: str | None = None) -> int:
+        """Number of assets (of a type, or all)."""
+        return sum(
+            1
+            for node in self.root.walk()
+            if asset_type is None or node.asset_type == asset_type
+        )
+
+    def find(self, name: str) -> AssetNode:
+        for node in self.root.walk():
+            if node.name == name:
+                return node
+        raise ExaDigiTError(f"asset {name!r} not in scene")
+
+    def bounding_box(self) -> tuple[float, float, float]:
+        """Axis-aligned extents of the whole scene, meters."""
+        xs, ys, zs = [], [], []
+        for node in self.root.walk():
+            x, y, z = node.position
+            w, d, h = node.size
+            xs.extend((x, x + w))
+            ys.extend((y, y + d))
+            zs.extend((z, z + h))
+        return (max(xs) - min(xs), max(ys) - min(ys), max(zs) - min(zs))
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.root.to_dict(), indent=indent)
+
+
+def build_scene(spec: SystemSpec) -> SceneGraph:
+    """Generate the scene graph for a system spec."""
+    root = AssetNode(
+        name=spec.name,
+        asset_type="datacenter",
+        position=(0.0, 0.0, 0.0),
+        size=(0.0, 0.0, 0.0),
+        metadata={"total_nodes": spec.total_nodes},
+    )
+    compute = root.add(
+        AssetNode("compute-hall", "hall", (0.0, 0.0, 0.0), (0, 0, 0))
+    )
+    rack_index = 0
+    for part in spec.partitions:
+        for r in range(part.total_racks):
+            row, col = divmod(rack_index, _RACKS_PER_ROW)
+            x = col * _RACK_SIZE[0]
+            y = row * (_RACK_SIZE[1] + _AISLE_DEPTH)
+            rack = AssetNode(
+                name=f"rack-{rack_index:03d}",
+                asset_type="rack",
+                position=(x, y, 0.0),
+                size=_RACK_SIZE,
+                metadata={
+                    "partition": part.name,
+                    "nodes": min(
+                        part.rack.nodes_per_rack,
+                        part.total_nodes - r * part.rack.nodes_per_rack,
+                    ),
+                    "cdu": min(
+                        rack_index // spec.cooling.racks_per_cdu,
+                        spec.cooling.num_cdus - 1,
+                    ),
+                },
+            )
+            compute.add(rack)
+            rack_index += 1
+    # One CDU cabinet per rack group, placed at the end of its row.
+    for c in range(spec.cooling.num_cdus):
+        first_rack = c * spec.cooling.racks_per_cdu
+        row = first_rack // _RACKS_PER_ROW
+        x = (_RACKS_PER_ROW + 1) * _RACK_SIZE[0]
+        y = row * (_RACK_SIZE[1] + _AISLE_DEPTH)
+        compute.add(
+            AssetNode(
+                name=f"cdu-{c:02d}",
+                asset_type="cdu",
+                position=(x + c % 2 * _CDU_SIZE[0], y, 0.0),
+                size=_CDU_SIZE,
+                metadata={"racks": list(range(first_rack, first_rack + spec.cooling.racks_per_cdu))},
+            )
+        )
+    # Central energy plant row behind the hall.
+    plant_y = (
+        (rack_index // _RACKS_PER_ROW + 2) * (_RACK_SIZE[1] + _AISLE_DEPTH)
+    )
+    plant = root.add(
+        AssetNode("central-energy-plant", "plant", (0.0, plant_y, 0.0), (0, 0, 0))
+    )
+    for i in range(spec.cooling.htw_pumps.count):
+        plant.add(
+            AssetNode(
+                f"htwp-{i+1}", "pump", (i * 2.0, plant_y, 0.0), _PUMP_SIZE,
+                metadata={"loop": "primary"},
+            )
+        )
+    for i in range(spec.cooling.ctw_pumps.count):
+        plant.add(
+            AssetNode(
+                f"ctwp-{i+1}", "pump", (i * 2.0, plant_y + 2.0, 0.0), _PUMP_SIZE,
+                metadata={"loop": "tower"},
+            )
+        )
+    for i in range(spec.cooling.intermediate_hx.count):
+        plant.add(
+            AssetNode(
+                f"ehx-{i+1}", "heat_exchanger",
+                (10.0 + i * 1.5, plant_y, 0.0), _HX_SIZE,
+                metadata={"loop": "primary/tower"},
+            )
+        )
+    towers = spec.cooling.cooling_towers
+    for i in range(towers.towers):
+        plant.add(
+            AssetNode(
+                f"ct-{i+1}", "cooling_tower",
+                (i * (_TOWER_SIZE[0] + 1.0), plant_y + 8.0, 0.0), _TOWER_SIZE,
+                metadata={"cells": towers.cells_per_tower},
+            )
+        )
+    return SceneGraph(root=root)
+
+
+__all__ = ["AssetNode", "SceneGraph", "build_scene"]

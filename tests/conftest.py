@@ -1,0 +1,54 @@
+"""Shared fixtures: system specs sized for fast tests, RNG, generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config.frontier import frontier_spec
+from repro.config.schema import (
+    CoolingSpec,
+    EconomicsSpec,
+    NodeSpec,
+    PartitionSpec,
+    RackSpec,
+    SchedulerSpec,
+    SystemSpec,
+)
+
+
+@pytest.fixture(scope="session")
+def frontier():
+    """The full Frontier spec (9472 nodes)."""
+    return frontier_spec()
+
+
+def make_small_spec(
+    *, total_nodes: int = 256, num_cdus: int = 2, racks_per_cdu: int = 1
+) -> SystemSpec:
+    """A Frontier-flavored miniature for fast engine tests."""
+    partition = PartitionSpec(
+        name="mini",
+        total_nodes=total_nodes,
+        node=NodeSpec(),
+        rack=RackSpec(),
+    )
+    return SystemSpec(
+        name="mini",
+        partitions=(partition,),
+        cooling=CoolingSpec(num_cdus=num_cdus, racks_per_cdu=racks_per_cdu),
+        scheduler=SchedulerSpec(policy="fcfs", mean_arrival_s=60.0),
+        economics=EconomicsSpec(),
+    )
+
+
+@pytest.fixture()
+def small_spec():
+    """256-node miniature system (2 racks, 2 CDUs)."""
+    return make_small_spec()
+
+
+@pytest.fixture()
+def rng():
+    """Deterministic NumPy generator for tests."""
+    return np.random.default_rng(12345)

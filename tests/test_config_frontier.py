@@ -1,0 +1,76 @@
+"""The Frontier spec reproduces paper Table I exactly."""
+
+import pytest
+
+from repro.config.frontier import (
+    FRONTIER_NUM_CDUS,
+    FRONTIER_TOTAL_NODES,
+    FRONTIER_TOTAL_RACKS,
+    frontier_spec,
+)
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return frontier_spec()
+
+
+def test_totals(spec):
+    assert spec.total_nodes == FRONTIER_TOTAL_NODES == 9472
+    assert spec.total_racks == FRONTIER_TOTAL_RACKS == 74
+    assert spec.cooling.num_cdus == FRONTIER_NUM_CDUS == 25
+
+
+def test_table1_rack_composition(spec):
+    rack = spec.primary_partition.rack
+    assert rack.chassis_per_rack == 8
+    assert rack.rectifiers_per_rack == 32
+    assert rack.blades_per_rack == 64
+    assert rack.nodes_per_rack == 128
+    assert rack.sivocs_per_rack == 128
+    assert rack.switches_per_rack == 32
+
+
+def test_table1_component_power(spec):
+    node = spec.primary_partition.node
+    assert node.gpu_power_idle_w == 88.0
+    assert node.gpu_power_max_w == 560.0
+    assert node.cpu_power_idle_w == 90.0
+    assert node.cpu_power_max_w == 280.0
+    assert node.ram_power_w == 74.0
+    assert spec.primary_partition.rack.switch_power_w == 250.0
+    assert spec.power.cdu_pump_power_w == 8700.0
+
+
+def test_table1_per_node_multipliers(spec):
+    node = spec.primary_partition.node
+    # Eq. 3: P_node = P_CPU + 4 P_GPU + 4 P_NIC + P_RAM + 2 P_NVMe.
+    assert node.cpus_per_node == 1
+    assert node.gpus_per_node == 4
+    assert node.nics_per_node == 4
+    assert node.nvme_per_node == 2
+
+
+def test_racks_per_cdu(spec):
+    assert spec.cooling.racks_per_cdu == 3
+
+
+def test_nameplate_efficiencies(spec):
+    # Eq. 1 discussion: eta_R ~ 0.96, eta_S ~ 0.98, chain ~ 0.94.
+    assert spec.power.nameplate_rectifier_efficiency == pytest.approx(0.96)
+    assert spec.power.nameplate_sivoc_efficiency == pytest.approx(0.98)
+    chain = (
+        spec.power.nameplate_rectifier_efficiency
+        * spec.power.nameplate_sivoc_efficiency
+    )
+    assert chain == pytest.approx(0.94, abs=0.01)
+
+
+def test_cooling_efficiency_factor(spec):
+    assert spec.power.cooling_efficiency == pytest.approx(0.945)
+
+
+def test_spec_is_immutable(spec):
+    import dataclasses
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        spec.name = "other"

@@ -1,0 +1,92 @@
+"""JSON round-tripping and validation error paths (paper Section V)."""
+
+import dataclasses
+
+import pytest
+
+from repro.config.frontier import frontier_spec
+from repro.config.loader import (
+    builtin_system_names,
+    dump_system,
+    dumps_system,
+    load_builtin_system,
+    load_system,
+    loads_system,
+)
+from repro.exceptions import ConfigError
+
+
+def test_roundtrip_preserves_frontier():
+    spec = frontier_spec()
+    assert loads_system(dumps_system(spec)) == spec
+
+
+def test_roundtrip_through_file(tmp_path):
+    spec = frontier_spec()
+    path = tmp_path / "system.json"
+    dump_system(spec, path)
+    assert load_system(path) == spec
+
+
+def test_builtin_systems_present():
+    names = builtin_system_names()
+    assert {"frontier", "marconi100", "setonix"} <= set(names)
+
+
+def test_builtin_frontier_matches_programmatic():
+    assert load_builtin_system("frontier") == frontier_spec()
+
+
+def test_builtin_setonix_is_multi_partition():
+    spec = load_builtin_system("setonix")
+    assert len(spec.partitions) == 2
+    # CPU partition has no GPUs; GPU partition does.
+    assert spec.partitions[0].node.gpus_per_node == 0
+    assert spec.partitions[1].node.gpus_per_node > 0
+
+
+def test_unknown_builtin_rejected():
+    with pytest.raises(ConfigError, match="unknown builtin"):
+        load_builtin_system("perlmutter")
+
+
+def test_missing_file_rejected(tmp_path):
+    with pytest.raises(ConfigError, match="not found"):
+        load_system(tmp_path / "nope.json")
+
+
+def test_invalid_json_rejected():
+    with pytest.raises(ConfigError, match="invalid JSON"):
+        loads_system("{not json")
+
+
+def test_wrong_schema_version_rejected():
+    with pytest.raises(ConfigError, match="schema_version"):
+        loads_system('{"schema_version": 99, "system": {}}')
+
+
+def test_missing_system_key_rejected():
+    with pytest.raises(ConfigError, match="missing 'system'"):
+        loads_system('{"schema_version": 1}')
+
+
+def test_unknown_keys_reported_with_path():
+    doc = dumps_system(frontier_spec())
+    bad = doc.replace('"name": "frontier"', '"name": "frontier", "bogus": 1', 1)
+    with pytest.raises(ConfigError, match="bogus"):
+        loads_system(bad)
+
+
+def test_semantic_validation_applies_on_load():
+    spec = frontier_spec()
+    doc = dumps_system(spec)
+    # Corrupt a validated field: zero nodes.
+    bad = doc.replace('"total_nodes": 9472', '"total_nodes": 0')
+    with pytest.raises(ConfigError):
+        loads_system(bad)
+
+
+def test_dump_is_stable():
+    a = dumps_system(frontier_spec())
+    b = dumps_system(frontier_spec())
+    assert a == b

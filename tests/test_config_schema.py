@@ -1,0 +1,153 @@
+"""Schema validation and derived quantities (paper Table I)."""
+
+import pytest
+
+from repro.config.schema import (
+    CoolingSpec,
+    CoolingTowerSpec,
+    EconomicsSpec,
+    HeatExchangerSpec,
+    NodeSpec,
+    PartitionSpec,
+    PumpSpec,
+    RackSpec,
+    RectifierSpec,
+    SchedulerSpec,
+    SivocSpec,
+    SystemSpec,
+)
+from repro.exceptions import ConfigError
+
+
+class TestNodeSpec:
+    def test_frontier_idle_power_matches_table1(self):
+        # idle: 90 + 4*88 + 4*20 + 74 + 2*15 = 626 W.
+        assert NodeSpec().idle_power_w == pytest.approx(626.0)
+
+    def test_frontier_max_power_matches_eq3(self):
+        # peak: 280 + 4*560 + 4*20 + 74 + 2*15 = 2704 W.
+        assert NodeSpec().max_power_w == pytest.approx(2704.0)
+
+    def test_rejects_idle_above_max(self):
+        with pytest.raises(ConfigError):
+            NodeSpec(cpu_power_idle_w=300.0, cpu_power_max_w=280.0)
+
+    def test_rejects_negative_static_power(self):
+        with pytest.raises(ConfigError):
+            NodeSpec(ram_power_w=-1.0)
+
+    def test_cpu_only_node_allowed(self):
+        spec = NodeSpec(gpus_per_node=0, gpu_power_idle_w=0.0, gpu_power_max_w=0.0)
+        assert spec.max_power_w < NodeSpec().max_power_w
+
+
+class TestRackSpec:
+    def test_frontier_chassis_arithmetic(self):
+        rack = RackSpec()
+        assert rack.nodes_per_chassis == 16
+        assert rack.rectifiers_per_chassis == 4
+
+    def test_switch_power_per_rack(self):
+        # 32 switches x 250 W = 8 kW per rack (Eq. 4 term).
+        assert RackSpec().switch_power_per_rack_w == pytest.approx(8000.0)
+
+    def test_rejects_indivisible_chassis(self):
+        with pytest.raises(ConfigError):
+            RackSpec(nodes_per_rack=100, chassis_per_rack=8)
+
+    def test_rejects_nonpositive_counts(self):
+        with pytest.raises(ConfigError):
+            RackSpec(nodes_per_rack=0)
+
+
+class TestEfficiencyCurveSpecs:
+    def test_rectifier_default_curve_well_formed(self):
+        spec = RectifierSpec()
+        assert len(spec.load_points_w) == len(spec.efficiency_points)
+        assert max(spec.efficiency_points) == pytest.approx(0.963)
+
+    def test_rectifier_rejects_mismatched_lengths(self):
+        with pytest.raises(ConfigError):
+            RectifierSpec(load_points_w=(0.0, 1.0), efficiency_points=(0.9,))
+
+    def test_rectifier_rejects_nonmonotonic_loads(self):
+        with pytest.raises(ConfigError):
+            RectifierSpec(
+                load_points_w=(0.0, 2.0, 1.0),
+                efficiency_points=(0.9, 0.95, 0.96),
+            )
+
+    def test_sivoc_rejects_out_of_range_efficiency(self):
+        with pytest.raises(ConfigError):
+            SivocSpec(load_points_w=(0.0, 1.0), efficiency_points=(0.9, 1.5))
+
+
+class TestPumpAndHxSpecs:
+    def test_pump_rejects_bad_min_speed(self):
+        with pytest.raises(ConfigError):
+            PumpSpec(
+                name="p", count=2, rated_flow_m3s=0.1,
+                rated_head_pa=1e5, rated_power_w=1e4, min_speed_fraction=1.5,
+            )
+
+    def test_hx_requires_positive_ua(self):
+        with pytest.raises(ConfigError):
+            HeatExchangerSpec(name="x", count=1, ua_w_per_k=0.0)
+
+    def test_tower_total_cells(self):
+        assert CoolingTowerSpec().total_cells == 20
+
+
+class TestSchedulerSpec:
+    def test_known_policies_accepted(self):
+        for policy in ("fcfs", "sjf", "backfill", "priority", "replay"):
+            assert SchedulerSpec(policy=policy).policy == policy
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigError):
+            SchedulerSpec(policy="lottery")
+
+    def test_arrival_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            SchedulerSpec(mean_arrival_s=0.0)
+
+
+class TestSystemSpec:
+    def test_partition_rack_rounding(self):
+        p = PartitionSpec(
+            name="p", total_nodes=130, node=NodeSpec(), rack=RackSpec()
+        )
+        assert p.total_racks == 2  # 130 nodes over 128-node racks
+
+    def test_duplicate_partition_names_rejected(self):
+        p = PartitionSpec(
+            name="p", total_nodes=128, node=NodeSpec(), rack=RackSpec()
+        )
+        with pytest.raises(ConfigError):
+            SystemSpec(name="s", partitions=(p, p))
+
+    def test_multi_partition_totals(self):
+        p1 = PartitionSpec(
+            name="a", total_nodes=256, node=NodeSpec(), rack=RackSpec()
+        )
+        p2 = PartitionSpec(
+            name="b", total_nodes=128, node=NodeSpec(), rack=RackSpec()
+        )
+        spec = SystemSpec(name="s", partitions=(p1, p2))
+        assert spec.total_nodes == 384
+        assert spec.total_racks == 3
+        assert spec.primary_partition is p1
+
+    def test_requires_at_least_one_partition(self):
+        with pytest.raises(ConfigError):
+            SystemSpec(name="s", partitions=())
+
+    def test_economics_rejects_negative_price(self):
+        with pytest.raises(ConfigError):
+            EconomicsSpec(electricity_usd_per_kwh=-0.01)
+
+    def test_cooling_spec_defaults_match_frontier(self):
+        c = CoolingSpec()
+        assert c.num_cdus == 25
+        assert c.racks_per_cdu == 3
+        assert c.step_seconds == 15.0

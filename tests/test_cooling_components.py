@@ -1,0 +1,233 @@
+"""Thermo-fluid component models: volumes, pipes, pumps, valves, plates."""
+
+import numpy as np
+import pytest
+
+from repro.config.schema import PumpSpec
+from repro.cooling.components.coldplate import (
+    ColdPlate,
+    default_cpu_coldplate,
+    default_gpu_coldplate,
+)
+from repro.cooling.components.pipe import FlowResistance
+from repro.cooling.components.pump import PumpCurve, PumpGroup
+from repro.cooling.components.valve import ControlValve
+from repro.cooling.components.volume import ThermalVolume
+from repro.cooling.properties import PG25, WATER, CoolantProperties
+from repro.exceptions import CoolingModelError
+
+
+class TestProperties:
+    def test_water_density_decreases_with_temperature(self):
+        assert WATER.density(45.0) < WATER.density(25.0)
+
+    def test_heat_rate_matches_eq7(self):
+        # Eq. 7: H = rho Q dT c.  1 m3/s of water heated 1 degC ~ 4.17 MW.
+        h = WATER.heat_rate(1.0, 1.0, 25.0)
+        assert h == pytest.approx(997.0 * 4186.0, rel=1e-9)
+
+    def test_thermal_mass(self):
+        assert WATER.thermal_mass(2.0) == pytest.approx(2.0 * 997.0 * 4186.0)
+
+    def test_negative_flow_rejected(self):
+        with pytest.raises(CoolingModelError):
+            WATER.heat_capacity_rate(-0.1)
+
+    def test_bad_construction_rejected(self):
+        with pytest.raises(CoolingModelError):
+            CoolantProperties("x", rho_ref_kg_m3=-1, t_ref_c=25, drho_dt=0, cp_j_kg_c=4186)
+
+
+class TestThermalVolume:
+    def test_relaxes_to_inlet_with_flow(self):
+        vol = ThermalVolume(1.0, WATER, t0_c=40.0)
+        for _ in range(400):
+            vol.advance(t_in_c=25.0, flow_m3s=0.05, heat_w=0.0, dt=5.0)
+        assert vol.temp_c[0] == pytest.approx(25.0, abs=0.01)
+
+    def test_heating_raises_equilibrium_by_h_over_c(self):
+        vol = ThermalVolume(1.0, WATER, t0_c=25.0)
+        heat = 100e3
+        flow = 0.01
+        expected_rise = heat / float(WATER.heat_capacity_rate(flow, 25.0))
+        for _ in range(2000):
+            vol.advance(25.0, flow, heat, dt=5.0)
+        assert vol.temp_c[0] == pytest.approx(25.0 + expected_rise, rel=0.01)
+
+    def test_stagnant_volume_integrates_heat(self):
+        vol = ThermalVolume(1.0, WATER, t0_c=20.0)
+        mass_cp = WATER.thermal_mass(1.0)
+        vol.advance(0.0, 0.0, mass_cp, dt=10.0)  # +10 degC
+        assert vol.temp_c[0] == pytest.approx(30.0)
+
+    def test_unconditionally_stable_fast_flush(self):
+        # Flow flushes the volume many times per step; exact exponential
+        # update must not overshoot.
+        vol = ThermalVolume(0.01, WATER, t0_c=90.0)
+        vol.advance(20.0, 1.0, 0.0, dt=60.0)
+        assert 20.0 <= vol.temp_c[0] <= 90.0
+        assert vol.temp_c[0] == pytest.approx(20.0, abs=1e-6)
+
+    def test_vector_bank(self):
+        vol = ThermalVolume(1.0, PG25, t0_c=30.0, width=25)
+        heat = np.linspace(0, 500e3, 25)
+        vol.advance(np.full(25, 30.0), np.full(25, 0.02), heat, dt=5.0)
+        assert vol.temp_c.shape == (25,)
+        assert np.all(np.diff(vol.temp_c) >= 0)  # hotter CDU, hotter volume
+
+    def test_rejects_negative_flow(self):
+        vol = ThermalVolume(1.0, WATER, 25.0)
+        with pytest.raises(CoolingModelError):
+            vol.advance(25.0, -0.1, 0.0, 1.0)
+
+
+class TestFlowResistance:
+    def test_quadratic_law(self):
+        r = FlowResistance.from_design_point(dp_pa=250e3, flow_m3s=0.5)
+        assert r.pressure_drop(0.5) == pytest.approx(250e3)
+        assert r.pressure_drop(0.25) == pytest.approx(250e3 / 4)
+
+    def test_flow_at_inverts_pressure_drop(self):
+        r = FlowResistance(1e6)
+        q = 0.3
+        assert r.flow_at(r.pressure_drop(q)) == pytest.approx(q)
+
+    def test_series_adds_drops(self):
+        a = FlowResistance(1e6)
+        b = FlowResistance(2e6)
+        s = a.series(b)
+        q = 0.2
+        assert s.pressure_drop(q) == pytest.approx(
+            a.pressure_drop(q) + b.pressure_drop(q)
+        )
+
+    def test_parallel_adds_flows(self):
+        a = FlowResistance(1e6)
+        b = FlowResistance(4e6)
+        p = a.parallel(b)
+        dp = 1e5
+        assert p.flow_at(dp) == pytest.approx(a.flow_at(dp) + b.flow_at(dp))
+
+    def test_parallel_n_identical(self):
+        a = FlowResistance(1e6)
+        assert a.parallel_n(3).flow_at(1e5) == pytest.approx(3 * a.flow_at(1e5))
+
+    def test_reverse_flow_sign(self):
+        r = FlowResistance(1e6)
+        assert r.pressure_drop(-0.1) < 0
+        assert r.flow_at(-1e4) < 0
+
+
+class TestPump:
+    def make_spec(self):
+        return PumpSpec(
+            name="p", count=4, rated_flow_m3s=0.13,
+            rated_head_pa=350e3, rated_power_w=75e3,
+        )
+
+    def test_curve_hits_design_point(self):
+        curve = PumpCurve(self.make_spec())
+        assert curve.head(0.13, 1.0) == pytest.approx(350e3)
+
+    def test_affinity_speed_scaling(self):
+        curve = PumpCurve(self.make_spec())
+        assert curve.head(0.0, 0.5) == pytest.approx(0.25 * curve.h0)
+
+    def test_power_cube_law_with_floor(self):
+        curve = PumpCurve(self.make_spec())
+        assert curve.power(1.0) == pytest.approx(75e3)
+        assert curve.power(0.5) == pytest.approx(75e3 * 0.125)
+        assert curve.power(0.1) == pytest.approx(75e3 * 0.05)  # floor
+
+    def test_power_rejects_overspeed(self):
+        with pytest.raises(CoolingModelError):
+            PumpCurve(self.make_spec()).power(1.5)
+
+    def test_group_operating_point_balances(self):
+        group = PumpGroup(self.make_spec(), n_running=3)
+        loop = FlowResistance.from_design_point(300e3, 0.347)
+        q, head = group.operating_point(loop, 0.9)
+        # Head balance: pump head at per-pump flow == loop drop.
+        per_pump = q / 3
+        assert group.curve.head(per_pump, 0.9) == pytest.approx(head, rel=1e-6)
+
+    def test_more_pumps_more_flow(self):
+        loop = FlowResistance.from_design_point(300e3, 0.347)
+        q2, _ = PumpGroup(self.make_spec(), n_running=2).operating_point(loop, 0.9)
+        q4, _ = PumpGroup(self.make_spec(), n_running=4).operating_point(loop, 0.9)
+        assert q4 > q2
+
+    def test_speed_for_flow_inverts(self):
+        group = PumpGroup(self.make_spec(), n_running=3)
+        loop = FlowResistance.from_design_point(300e3, 0.347)
+        q, _ = group.operating_point(loop, 0.8)
+        assert group.speed_for_flow(loop, q) == pytest.approx(0.8, rel=1e-6)
+
+    def test_zero_running_pumps(self):
+        group = PumpGroup(self.make_spec(), n_running=0)
+        loop = FlowResistance(1e6)
+        assert group.operating_point(loop, 1.0) == (0.0, 0.0)
+        assert group.power(1.0) == 0.0
+
+
+class TestControlValve:
+    def test_full_open_rated_flow(self):
+        v = ControlValve(cv_max_flow_m3s=0.02, dp_rated_pa=300e3)
+        assert v.flow_at(1.0, 300e3) == pytest.approx(0.02)
+
+    def test_equal_percentage_characteristic(self):
+        v = ControlValve(0.02, 300e3, rangeability=30.0)
+        assert v.flow_fraction(0.0) == pytest.approx(1.0 / 30.0)
+        assert v.flow_fraction(1.0) == pytest.approx(1.0)
+        # Equal percentage: each opening increment multiplies flow.
+        r1 = v.flow_fraction(0.5) / v.flow_fraction(0.25)
+        r2 = v.flow_fraction(0.75) / v.flow_fraction(0.5)
+        assert r1 == pytest.approx(r2)
+
+    def test_flow_scales_with_sqrt_dp(self):
+        v = ControlValve(0.02, 300e3)
+        assert v.flow_at(1.0, 75e3) == pytest.approx(0.01)
+
+    def test_resistance_consistent_with_flow(self):
+        v = ControlValve(0.02, 300e3)
+        r = v.resistance(0.7)
+        q = v.flow_at(0.7, 300e3)
+        assert r.pressure_drop(q) == pytest.approx(300e3, rel=1e-6)
+
+    def test_rejects_bad_ratings(self):
+        with pytest.raises(CoolingModelError):
+            ControlValve(0.0, 300e3)
+        with pytest.raises(CoolingModelError):
+            ControlValve(0.02, 300e3, rangeability=1.0)
+
+
+class TestColdPlate:
+    def test_die_temperature_rises_with_power(self):
+        plate = default_gpu_coldplate()
+        t1 = plate.die_temperature(32.0, 300.0, plate.design_flow)
+        t2 = plate.die_temperature(32.0, 560.0, plate.design_flow)
+        assert t2 > t1 > 32.0
+
+    def test_resistance_falls_with_flow(self):
+        plate = default_gpu_coldplate()
+        r_low = plate.thermal_resistance(plate.design_flow * 0.5)
+        r_high = plate.thermal_resistance(plate.design_flow * 2.0)
+        assert r_high < r_low
+
+    def test_throttle_detection(self):
+        plate = ColdPlate(0.02, 0.06, 8.3e-6, throttle_limit_c=95.0)
+        # Starved flow at max power should throttle.
+        hot = plate.throttling(40.0, 560.0, plate.design_flow * 0.05)
+        cool = plate.throttling(30.0, 200.0, plate.design_flow)
+        assert bool(np.asarray(hot))
+        assert not bool(np.asarray(cool))
+
+    def test_vectorized_over_dies(self):
+        plate = default_cpu_coldplate()
+        powers = np.linspace(90, 280, 8)
+        temps = plate.die_temperature(32.0, powers, plate.design_flow)
+        assert np.all(np.diff(np.asarray(temps)) > 0)
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(CoolingModelError):
+            default_cpu_coldplate().die_temperature(30.0, -5.0, 1e-5)

@@ -1,0 +1,150 @@
+"""PID controllers, staging state machines, and the delay filter."""
+
+import numpy as np
+import pytest
+
+from repro.cooling.control.pid import PidController
+from repro.cooling.control.staging import DelayedSignal, StagingController
+from repro.exceptions import CoolingModelError
+
+
+class TestPid:
+    def test_converges_on_first_order_plant(self):
+        # Plant: y' = (u - y)/tau.  PI controller should settle at setpoint.
+        pid = PidController(kp=0.5, ki=0.3, u_min=0.0, u_max=2.0)
+        y = 0.0
+        dt, tau = 0.1, 2.0
+        for _ in range(4000):
+            u = float(pid.update(1.0, y, dt)[0])
+            y += dt * (u - y) / tau
+        assert y == pytest.approx(1.0, abs=0.01)
+
+    def test_output_clamped(self):
+        pid = PidController(kp=100.0, ki=0.0, u_min=0.2, u_max=0.9)
+        u = pid.update(10.0, 0.0, 1.0)
+        assert u[0] == pytest.approx(0.9)
+        u = pid.update(-10.0, 0.0, 1.0)
+        assert u[0] == pytest.approx(0.2)
+
+    def test_anti_windup_recovers_quickly(self):
+        pid = PidController(kp=0.1, ki=1.0, u_min=0.0, u_max=1.0)
+        # Saturate high for a long time.
+        for _ in range(1000):
+            pid.update(10.0, 0.0, 1.0)
+        # Error reverses; output must leave the rail promptly (no windup).
+        steps_to_leave_rail = None
+        for k in range(20):
+            u = pid.update(0.0, 10.0, 1.0)
+            if u[0] < 1.0 - 1e-9:
+                steps_to_leave_rail = k
+                break
+        assert steps_to_leave_rail is not None and steps_to_leave_rail <= 2
+
+    def test_reverse_action(self):
+        # Reverse: measurement above setpoint pushes the output UP.
+        fwd = PidController(kp=1.0, ki=0.0, u_min=-10, u_max=10, u0=0.0)
+        rev = PidController(kp=1.0, ki=0.0, u_min=-10, u_max=10, reverse=True, u0=0.0)
+        uf = fwd.update(0.0, 5.0, 1.0)[0]
+        ur = rev.update(0.0, 5.0, 1.0)[0]
+        assert uf < 0 < ur
+
+    def test_vector_channels_independent(self):
+        pid = PidController(kp=1.0, ki=0.0, u_min=-10, u_max=10, width=3, u0=0.0)
+        u = pid.update(np.array([1.0, 2.0, 3.0]), np.zeros(3), 1.0)
+        np.testing.assert_allclose(u, [1.0, 2.0, 3.0])
+
+    def test_derivative_term(self):
+        pid = PidController(kp=0.0, ki=0.0, kd=1.0, u_min=-10, u_max=10, u0=0.0)
+        pid.update(0.0, 0.0, 1.0)
+        u = pid.update(0.0, -2.0, 1.0)  # error rose by 2 over dt=1
+        assert u[0] == pytest.approx(2.0)
+
+    def test_reset(self):
+        pid = PidController(kp=1.0, ki=1.0, u_min=0.0, u_max=1.0, u0=0.5)
+        pid.update(1.0, 0.0, 1.0)
+        pid.reset()
+        np.testing.assert_allclose(pid.output, 0.5)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(CoolingModelError):
+            PidController(1.0, 0.0, u_min=1.0, u_max=0.0)
+        with pytest.raises(CoolingModelError):
+            PidController(1.0, 0.0, width=0)
+        pid = PidController(1.0, 0.0)
+        with pytest.raises(CoolingModelError):
+            pid.update(1.0, 0.0, 0.0)
+
+
+class TestStaging:
+    def make(self, **kw):
+        base = dict(
+            n_min=1, n_max=4, hi=0.9, lo=0.4, up_delay_s=60.0,
+            down_delay_s=120.0, n0=2,
+        )
+        base.update(kw)
+        return StagingController(**base)
+
+    def test_stages_up_after_dwell(self):
+        st = self.make()
+        for _ in range(5):
+            assert st.update(0.95, 15.0) in (2, 3)
+        assert st.count == 3
+
+    def test_no_staging_inside_band(self):
+        st = self.make()
+        for _ in range(100):
+            st.update(0.7, 15.0)
+        assert st.count == 2
+
+    def test_stages_down_after_longer_dwell(self):
+        st = self.make()
+        for _ in range(9):  # 135 s below `lo`, past the 120 s dwell
+            st.update(0.2, 15.0)
+        assert st.count == 1
+
+    def test_dwell_resets_on_band_reentry(self):
+        st = self.make()
+        st.update(0.95, 45.0)  # 45 s above, needs 60
+        st.update(0.7, 15.0)   # back in band: timer resets
+        st.update(0.95, 45.0)
+        assert st.count == 2   # never accumulated 60 s continuously
+
+    def test_respects_bounds(self):
+        st = self.make(n0=4)
+        for _ in range(100):
+            st.update(0.99, 60.0)
+        assert st.count == 4
+        st2 = self.make(n0=1)
+        for _ in range(100):
+            st2.update(0.0, 120.0)
+        assert st2.count == 1
+
+    def test_rejects_inverted_band(self):
+        with pytest.raises(CoolingModelError):
+            self.make(hi=0.3, lo=0.5)
+
+
+class TestDelayedSignal:
+    def test_first_order_response(self):
+        lag = DelayedSignal(tau_s=100.0, y0=0.0)
+        y = lag.update(1.0, 100.0)  # one time constant
+        assert y == pytest.approx(1.0 - np.exp(-1.0), rel=1e-6)
+
+    def test_converges_to_input(self):
+        lag = DelayedSignal(tau_s=10.0)
+        for _ in range(100):
+            y = lag.update(5.0, 10.0)
+        assert y == pytest.approx(5.0, abs=1e-3)
+
+    def test_exact_discretization_step_invariant(self):
+        # Two half-steps equal one full step for the exact update.
+        a = DelayedSignal(tau_s=50.0)
+        b = DelayedSignal(tau_s=50.0)
+        a.update(1.0, 30.0)
+        b.update(1.0, 15.0)
+        b.update(1.0, 15.0)
+        assert a.y == pytest.approx(b.y, rel=1e-12)
+
+    def test_rejects_bad_tau(self):
+        with pytest.raises(CoolingModelError):
+            DelayedSignal(tau_s=0.0)

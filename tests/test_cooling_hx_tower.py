@@ -1,0 +1,139 @@
+"""Heat exchangers (eps-NTU) and cooling towers: physics invariants."""
+
+import numpy as np
+import pytest
+
+from repro.config.schema import CoolingTowerSpec
+from repro.cooling.components.cooling_tower import CoolingTowerFarm
+from repro.cooling.components.heat_exchanger import CounterflowHX
+from repro.cooling.properties import PG25, WATER
+from repro.exceptions import CoolingModelError
+
+
+@pytest.fixture()
+def hx():
+    return CounterflowHX(3.0e5, PG25, WATER)
+
+
+class TestCounterflowHX:
+    def test_heat_flows_hot_to_cold(self, hx):
+        q, t_h, t_c = hx.transfer(40.0, 0.0267, 29.0, 0.015)
+        assert float(q) > 0
+        assert float(t_h) < 40.0
+        assert float(t_c) > 29.0
+
+    def test_energy_conserved(self, hx):
+        flow_h, flow_c = 0.0267, 0.015
+        t_h_in, t_c_in = 42.0, 29.0
+        q, t_h, t_c = hx.transfer(t_h_in, flow_h, t_c_in, flow_c)
+        lost_hot = float(PG25.heat_capacity_rate(flow_h, t_h_in)) * (t_h_in - float(t_h))
+        gained_cold = float(WATER.heat_capacity_rate(flow_c, t_c_in)) * (
+            float(t_c) - t_c_in
+        )
+        assert lost_hot == pytest.approx(float(q), rel=1e-9)
+        assert gained_cold == pytest.approx(float(q), rel=1e-9)
+
+    def test_no_transfer_at_equal_temps(self, hx):
+        q, _, _ = hx.transfer(35.0, 0.02, 35.0, 0.02)
+        assert float(q) == pytest.approx(0.0, abs=1e-9)
+
+    def test_reverse_gradient_reverses_sign(self, hx):
+        q, _, _ = hx.transfer(25.0, 0.02, 35.0, 0.02)
+        assert float(q) < 0
+
+    def test_zero_flow_transfers_nothing(self, hx):
+        q, t_h, t_c = hx.transfer(40.0, 0.0, 29.0, 0.02)
+        assert float(q) == 0.0
+        assert float(t_h) == 40.0
+
+    def test_second_law_never_violated(self, hx):
+        # Outlets may not cross the opposite inlet temperature.
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            t_h_in = rng.uniform(30, 60)
+            t_c_in = rng.uniform(10, t_h_in)
+            f_h = rng.uniform(1e-4, 0.05)
+            f_c = rng.uniform(1e-4, 0.05)
+            q, t_h, t_c = hx.transfer(t_h_in, f_h, t_c_in, f_c)
+            assert float(t_h) >= t_c_in - 1e-9
+            assert float(t_c) <= t_h_in + 1e-9
+
+    def test_effectiveness_increases_with_ua(self):
+        small = CounterflowHX(1e5, WATER, WATER)
+        large = CounterflowHX(1e6, WATER, WATER)
+        q_s, _, _ = small.transfer(40.0, 0.02, 25.0, 0.02)
+        q_l, _, _ = large.transfer(40.0, 0.02, 25.0, 0.02)
+        assert float(q_l) > float(q_s)
+
+    def test_balanced_flow_branch(self):
+        hx = CounterflowHX(5e5, WATER, WATER)
+        # Identical capacity rates exercise the Cr ~ 1 formula.
+        q, t_h, t_c = hx.transfer(40.0, 0.02, 20.0, 0.02)
+        c = float(WATER.heat_capacity_rate(0.02, 40.0))
+        ntu = 5e5 / c
+        eps = ntu / (1 + ntu)
+        assert float(q) == pytest.approx(eps * c * 20.0, rel=0.01)
+
+    def test_bank_vectorized(self, hx):
+        t_hot = np.full(25, 40.0)
+        q, t_h, t_c = hx.transfer(
+            t_hot, np.full(25, 0.0267), 29.0, np.full(25, 0.015)
+        )
+        assert np.asarray(q).shape == (25,)
+
+    def test_rejects_bad_ua(self):
+        with pytest.raises(CoolingModelError):
+            CounterflowHX(0.0, WATER, WATER)
+
+
+@pytest.fixture()
+def farm():
+    spec = CoolingTowerSpec()
+    return CoolingTowerFarm(spec, design_flow_per_cell_m3s=0.03)
+
+
+class TestCoolingTower:
+    def test_cools_toward_wetbulb(self, farm):
+        out = farm.outlet_temperature(35.0, 18.0, 0.5, n_cells=10, fan_speed=1.0)
+        assert 18.0 < out < 35.0
+
+    def test_never_below_wetbulb(self, farm):
+        out = farm.outlet_temperature(
+            22.0, 20.0, 0.01, n_cells=20, fan_speed=1.0
+        )
+        assert out >= 20.0 - 1e-9
+
+    def test_more_fan_more_cooling(self, farm):
+        hi = farm.outlet_temperature(35.0, 18.0, 0.5, 10, fan_speed=1.0)
+        lo = farm.outlet_temperature(35.0, 18.0, 0.5, 10, fan_speed=0.3)
+        assert hi < lo
+
+    def test_more_cells_more_cooling(self, farm):
+        many = farm.outlet_temperature(35.0, 18.0, 0.5, 16, fan_speed=0.8)
+        few = farm.outlet_temperature(35.0, 18.0, 0.5, 4, fan_speed=0.8)
+        assert many < few
+
+    def test_design_point_effectiveness(self, farm):
+        eps = farm.effectiveness(1.0, 0.03)
+        assert float(eps) == pytest.approx(0.65, rel=1e-6)
+
+    def test_zero_cells_passthrough(self, farm):
+        assert farm.outlet_temperature(35.0, 18.0, 0.5, 0, 1.0) == 35.0
+
+    def test_fan_power_cube_law(self, farm):
+        full = farm.fan_power_w(10, 1.0)
+        half = farm.fan_power_w(10, 0.5)
+        assert full == pytest.approx(10 * 30000.0)
+        assert half == pytest.approx(full * 0.125)
+
+    def test_per_cell_power_layout(self, farm):
+        per = farm.per_cell_fan_power_w(6, 0.8)
+        assert per.shape == (20,)
+        assert np.count_nonzero(per) == 6
+        assert np.sum(per) == pytest.approx(farm.fan_power_w(6, 0.8))
+
+    def test_rejects_out_of_range_cells(self, farm):
+        with pytest.raises(CoolingModelError):
+            farm.outlet_temperature(35.0, 18.0, 0.5, 21, 1.0)
+        with pytest.raises(CoolingModelError):
+            farm.fan_power_w(-1, 0.5)

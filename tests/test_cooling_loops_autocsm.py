@@ -1,0 +1,152 @@
+"""Individual loop models and AutoCSM generation (paper Section V)."""
+
+import numpy as np
+import pytest
+
+from repro.config.frontier import frontier_spec
+from repro.config.loader import load_builtin_system
+from repro.cooling.autocsm import autocsm_report, generate_plant
+from repro.cooling.fmu import CoolingFMU
+from repro.cooling.loops.cdu import CduLoopBank
+from repro.cooling.loops.primary import PrimaryLoop
+from repro.cooling.loops.tower import TowerLoop
+from repro.exceptions import ConfigError, CoolingModelError
+
+
+@pytest.fixture(scope="module")
+def cooling():
+    return frontier_spec().cooling
+
+
+class TestCduLoopBank:
+    def test_bank_width(self, cooling):
+        bank = CduLoopBank(cooling)
+        assert bank.n == 25
+        assert bank.secondary_flow.shape == (25,)
+
+    def test_valve_opens_when_supply_hot(self, cooling):
+        bank = CduLoopBank(cooling)
+        bank.cold.set_temperature(40.0)  # well above the 33 degC setpoint
+        before = bank.valve_opening.copy()
+        for _ in range(40):
+            bank.update_controls(3.0)
+        assert np.all(bank.valve_pid.output >= before)
+
+    def test_thermal_advance_heats_hot_side(self, cooling):
+        bank = CduLoopBank(cooling)
+        bank.update_flows(200e3)
+        t0 = bank.secondary_return_c.copy()
+        for _ in range(100):
+            bank.advance_thermal(np.full(25, 800e3), 29.0, 3.0)
+        assert np.all(bank.secondary_return_c > t0)
+
+    def test_heat_shape_validated(self, cooling):
+        bank = CduLoopBank(cooling)
+        with pytest.raises(CoolingModelError):
+            bank.advance_thermal(np.zeros(3), 29.0, 3.0)
+
+    def test_negative_header_dp_rejected(self, cooling):
+        bank = CduLoopBank(cooling)
+        with pytest.raises(CoolingModelError):
+            bank.update_flows(-1.0)
+
+    def test_pump_power_positive(self, cooling):
+        bank = CduLoopBank(cooling)
+        assert np.all(bank.pump_power_w() > 0)
+
+
+class TestPrimaryLoop:
+    def test_flow_tracks_demand(self, cooling):
+        loop = PrimaryLoop(cooling)
+        loop.update_flows(0.30, 15.0)
+        assert loop.total_flow == pytest.approx(0.30, rel=1e-6)
+
+    def test_staging_up_under_heavy_demand(self, cooling):
+        loop = PrimaryLoop(cooling)
+        for _ in range(200):
+            loop.update_flows(0.50, 15.0)
+        assert loop.pumps.n_running >= 3
+
+    def test_ehx_staging_follows_towers(self, cooling):
+        loop = PrimaryLoop(cooling)
+        assert loop.stage_ehx(n_ct_cells=4, cells_per_tower=4) == 1
+        assert loop.stage_ehx(n_ct_cells=12, cells_per_tower=4) == 3
+        assert loop.stage_ehx(n_ct_cells=20, cells_per_tower=4) == 5
+
+    def test_header_pressures_rise_with_speed(self, cooling):
+        loop = PrimaryLoop(cooling)
+        loop.update_flows(0.20, 15.0)
+        s_lo, _ = loop.header_pressures_pa()
+        loop.update_flows(0.45, 15.0)
+        s_hi, _ = loop.header_pressures_pa()
+        assert s_hi > s_lo
+
+    def test_negative_demand_rejected(self, cooling):
+        with pytest.raises(CoolingModelError):
+            PrimaryLoop(cooling).update_flows(-0.1, 15.0)
+
+
+class TestTowerLoop:
+    def test_fan_ramps_when_htws_hot(self, cooling):
+        loop = TowerLoop(cooling)
+        fan0 = loop.fan_speed
+        for _ in range(100):
+            loop.update_controls(htws_temp_c=33.0, htws_setpoint_c=29.0, dt=3.0)
+        assert loop.fan_speed > fan0
+
+    def test_cells_stage_up_when_persistently_hot(self, cooling):
+        loop = TowerLoop(cooling)
+        n0 = loop.n_cells
+        for _ in range(800):
+            loop.update_controls(32.0, 29.0, 3.0)
+        assert loop.n_cells > n0
+
+    def test_thermal_advance_moves_supply_toward_tower_outlet(self, cooling):
+        loop = TowerLoop(cooling)
+        for _ in range(50):
+            loop.update_controls(29.0, 29.0, 3.0)
+        for _ in range(2000):
+            loop.advance_thermal(ehx_cold_out_c=36.0, wetbulb_c=10.0, dt=3.0)
+        # Towers reject heat: supply below the EHX outlet temperature.
+        assert loop.supply_temp_c < 36.0
+
+    def test_pump_and_fan_power_nonnegative(self, cooling):
+        loop = TowerLoop(cooling)
+        loop.update_controls(29.0, 29.0, 3.0)
+        assert loop.pump_power_w() >= 0.0
+        assert loop.fan_power_w() >= 0.0
+
+
+class TestAutoCSM:
+    def test_generate_from_spec(self):
+        fmu = generate_plant(frontier_spec())
+        assert isinstance(fmu, CoolingFMU)
+        assert len(fmu.variable_names()) == 317
+
+    def test_generate_from_json_path(self, tmp_path):
+        from repro.config.loader import dump_system
+
+        path = tmp_path / "sys.json"
+        dump_system(frontier_spec(), path)
+        fmu = generate_plant(path)
+        fmu.setup_experiment()
+        fmu.set_cdu_heat(np.full(25, 100e3))
+        fmu.do_step(0.0, 15.0)
+        assert fmu.get_output("pue") > 1.0
+
+    def test_generate_for_other_machine(self):
+        spec = load_builtin_system("marconi100")
+        fmu = generate_plant(spec)
+        fmu.setup_experiment()
+        fmu.set_cdu_heat(np.full(spec.cooling.num_cdus, 50e3))
+        fmu.do_step(0.0, 15.0)
+        assert fmu.get_state().htw_return_temp_c > 0
+
+    def test_report_contents(self):
+        report = autocsm_report(frontier_spec())
+        for token in ("HEX-1600", "HTWP", "CTWP", "317", "frontier"):
+            assert token in report
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(ConfigError):
+            generate_plant(42)  # type: ignore[arg-type]

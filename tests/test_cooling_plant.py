@@ -1,0 +1,153 @@
+"""Assembled cooling plant: equilibrium, transients, output registry."""
+
+import numpy as np
+import pytest
+
+from repro.config.frontier import frontier_spec
+from repro.cooling.plant import NUM_OUTPUTS, CoolingPlant, output_names
+from repro.exceptions import CoolingModelError
+
+
+@pytest.fixture(scope="module")
+def warm_plant():
+    """Plant pre-warmed at a ~17 MW system load (module-scoped: slow)."""
+    plant = CoolingPlant(frontier_spec().cooling)
+    state = plant.warmup(np.full(25, 540e3), 15.0, duration_s=7200.0)
+    return plant, state
+
+
+class TestOutputs:
+    def test_exactly_317_outputs(self):
+        # Paper section III-C4: "a total of 317 outputs for each timestep".
+        assert NUM_OUTPUTS == 317
+        assert len(output_names()) == 317
+
+    def test_output_names_unique(self):
+        names = output_names()
+        assert len(set(names)) == len(names)
+
+    def test_vector_matches_names(self, warm_plant):
+        _, state = warm_plant
+        assert state.as_output_vector().size == 317
+
+    def test_cdu_block_is_275(self):
+        names = output_names()
+        cdu = [n for n in names if n.startswith("cdu")]
+        assert len(cdu) == 275  # 25 CDUs x 11 outputs
+
+
+class TestEquilibrium:
+    def test_secondary_supply_near_setpoint(self, warm_plant):
+        _, state = warm_plant
+        setpoint = frontier_spec().cooling.cdu_loop.supply_setpoint_c
+        np.testing.assert_allclose(
+            state.cdu_secondary_supply_temp_c, setpoint, atol=1.0
+        )
+
+    def test_htw_supply_near_setpoint(self, warm_plant):
+        _, state = warm_plant
+        setpoint = frontier_spec().cooling.primary_loop.supply_setpoint_c
+        assert abs(state.htw_supply_temp_c - setpoint) < 1.5
+
+    def test_return_hotter_than_supply(self, warm_plant):
+        _, state = warm_plant
+        assert state.htw_return_temp_c > state.htw_supply_temp_c
+        assert np.all(
+            state.cdu_secondary_return_temp_c
+            > state.cdu_secondary_supply_temp_c
+        )
+        assert state.ctw_return_temp_c > state.ctw_supply_temp_c
+
+    def test_primary_flow_in_paper_band(self, warm_plant):
+        # Paper Fig. 5: HTW loop runs ~5000-6000 gpm (0.32-0.38 m3/s);
+        # allow the model's working band around it.
+        _, state = warm_plant
+        total = float(np.sum(state.cdu_primary_flow_m3s))
+        assert 0.25 < total < 0.50
+
+    def test_secondary_flow_near_design(self, warm_plant):
+        _, state = warm_plant
+        design = frontier_spec().cooling.cdu_loop.design_flow_m3s
+        np.testing.assert_allclose(
+            state.cdu_secondary_flow_m3s, design, rtol=0.15
+        )
+
+    def test_pue_in_frontier_band(self, warm_plant):
+        # Frontier's PUE is ~1.03; accept a small band.
+        _, state = warm_plant
+        assert 1.01 < state.pue < 1.08
+
+    def test_energy_closure_at_steady_state(self, warm_plant):
+        plant, _ = warm_plant
+        # At steady state, EHX heat ~ total CDU heat input.
+        heat_in = 25 * 540e3
+        assert plant.primary.ehx_heat_w == pytest.approx(heat_in, rel=0.05)
+
+    def test_supply_pressure_exceeds_return(self, warm_plant):
+        _, state = warm_plant
+        assert state.htw_supply_pressure_pa > state.htw_return_pressure_pa
+        assert np.all(
+            state.cdu_secondary_supply_pressure_pa
+            > state.cdu_secondary_return_pressure_pa
+        )
+
+
+class TestTransients:
+    def test_power_surge_raises_temps_then_controls_respond(self):
+        plant = CoolingPlant(frontier_spec().cooling)
+        plant.warmup(np.full(25, 300e3), 15.0, duration_s=5400.0)
+        t_before = plant.cdus.secondary_return_c.mean()
+        cells_before = plant.tower.n_cells
+        # Step to near-peak load (the Fig. 8 surge).
+        peak = np.full(25, 1000e3)
+        for _ in range(40):  # 10 min
+            state = plant.step(peak, 15.0)
+        t_surge = plant.cdus.secondary_return_c.mean()
+        assert t_surge > t_before + 2.0
+        for _ in range(960):  # 4 h
+            state = plant.step(peak, 15.0)
+        # Controls respond: more tower capacity staged on.
+        assert plant.tower.n_cells > cells_before
+        assert state.htw_supply_temp_c < 35.0
+
+    def test_hotter_wetbulb_hurts(self):
+        heat = np.full(25, 700e3)
+        cool_day = CoolingPlant(frontier_spec().cooling).warmup(heat, 8.0, 5400.0)
+        hot_day = CoolingPlant(frontier_spec().cooling).warmup(heat, 26.0, 5400.0)
+        assert hot_day.ctw_supply_temp_c > cool_day.ctw_supply_temp_c
+        # Hot day draws more fan power (or the same saturated maximum).
+        assert (
+            float(np.sum(hot_day.ct_fan_power_w))
+            >= float(np.sum(cool_day.ct_fan_power_w)) - 1e-6
+        )
+
+    def test_per_cdu_heat_imbalance_shows_in_returns(self):
+        plant = CoolingPlant(frontier_spec().cooling)
+        heat = np.full(25, 400e3)
+        heat[0] = 1000e3  # one CDU runs much hotter
+        state = plant.warmup(heat, 15.0, 3600.0)
+        assert (
+            state.cdu_secondary_return_temp_c[0]
+            > state.cdu_secondary_return_temp_c[1:].max()
+        )
+
+
+class TestValidationErrors:
+    def test_wrong_heat_shape(self):
+        plant = CoolingPlant(frontier_spec().cooling)
+        with pytest.raises(CoolingModelError, match="shape"):
+            plant.step(np.zeros(10), 15.0)
+
+    def test_negative_heat(self):
+        plant = CoolingPlant(frontier_spec().cooling)
+        with pytest.raises(CoolingModelError):
+            plant.step(np.full(25, -1.0), 15.0)
+
+    def test_bad_dt(self):
+        plant = CoolingPlant(frontier_spec().cooling)
+        with pytest.raises(CoolingModelError):
+            plant.step(np.zeros(25), 15.0, dt=0.0)
+
+    def test_bad_substep(self):
+        with pytest.raises(CoolingModelError):
+            CoolingPlant(frontier_spec().cooling, substep_s=0.0)

@@ -1,0 +1,195 @@
+"""RAPS engine: coupling, energy accounting, event-driven scheduling."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import RapsEngine
+from repro.exceptions import SimulationError
+from repro.scheduler.job import Job
+from repro.scheduler.workloads import idle_workload, peak_workload
+from tests.conftest import make_small_spec
+
+
+def make_job(job_id, nodes, wall, submit=0.0, cpu=0.5, gpu=0.5, recorded=None):
+    n = max(1, int(np.ceil(wall / 15.0)))
+    return Job(
+        job_id=job_id,
+        name=f"j{job_id}",
+        nodes_required=nodes,
+        wall_time=wall,
+        cpu_util=np.full(n, cpu),
+        gpu_util=np.full(n, gpu),
+        submit_time=submit,
+        recorded_start=recorded,
+    )
+
+
+@pytest.fixture()
+def spec():
+    return make_small_spec()
+
+
+class TestBasicRuns:
+    def test_empty_workload_is_idle_power(self, spec):
+        engine = RapsEngine(spec, with_cooling=False)
+        result = engine.run([], 600.0)
+        # 256 idle nodes + switches + CDU pumps.
+        expected = 256 * 626.0  # 48 V side
+        assert result.system_power_w.min() > expected  # losses on top
+        assert np.allclose(result.system_power_w, result.system_power_w[0])
+        assert result.utilization.max() == 0.0
+
+    def test_result_shapes(self, spec):
+        engine = RapsEngine(spec, with_cooling=False)
+        result = engine.run([], 600.0)
+        n = 40  # 600 s / 15 s
+        assert result.times_s.shape == (n,)
+        assert result.cdu_power_w.shape == (n, spec.cooling.num_cdus)
+
+    def test_single_job_power_bump(self, spec):
+        engine = RapsEngine(spec, with_cooling=False)
+        job = make_job(1, nodes=128, wall=300.0, submit=150.0, cpu=1.0, gpu=1.0)
+        result = engine.run([job], 600.0)
+        p = result.system_power_w
+        assert p[0] == pytest.approx(p[-1], rel=1e-6)  # idle before/after
+        assert p.max() > p[0] * 1.2  # visible bump while running
+
+    def test_utilization_tracks_allocation(self, spec):
+        engine = RapsEngine(spec, with_cooling=False)
+        job = make_job(1, nodes=128, wall=300.0, submit=0.0)
+        result = engine.run([job], 600.0)
+        assert result.utilization.max() == pytest.approx(0.5)  # 128/256
+        assert result.utilization[-1] == 0.0
+
+    def test_energy_is_power_integral(self, spec):
+        engine = RapsEngine(spec, with_cooling=False)
+        result = engine.run([make_job(1, 64, 200.0)], 600.0)
+        manual = np.sum(result.system_power_w) * 15.0 / 3.6e9
+        assert result.energy_mwh == pytest.approx(manual)
+
+    def test_rejects_nonpositive_duration(self, spec):
+        with pytest.raises(SimulationError):
+            RapsEngine(spec, with_cooling=False).run([], 0.0)
+
+
+class TestUtilizationTraces:
+    def test_trace_quanta_followed(self, spec):
+        engine = RapsEngine(spec, with_cooling=False)
+        # Step trace: 0 % then 100 % GPU after one quantum.
+        job = Job(
+            job_id=1,
+            name="step",
+            nodes_required=256,
+            wall_time=60.0,
+            cpu_util=np.array([0.0, 0.0, 1.0, 1.0]),
+            gpu_util=np.array([0.0, 0.0, 1.0, 1.0]),
+            submit_time=0.0,
+            recorded_start=0.0,
+        )
+        engine.scheduler.honor_recorded_starts = True
+        result = engine.run([job], 75.0)
+        p = result.system_power_w
+        assert p[2] > p[1] * 1.5  # quantum 2 jumps to full power
+
+    def test_replay_mode_start_alignment(self, spec):
+        engine = RapsEngine(spec, with_cooling=False, honor_recorded_starts=True)
+        job = make_job(1, 256, 120.0, submit=0.0, recorded=300.0)
+        result = engine.run([job], 600.0)
+        util = result.utilization
+        # Busy only in [300, 420): samples 20..27.
+        assert util[:20].max() == 0.0
+        assert util[20] > 0.0
+        assert util[29] == 0.0
+
+
+class TestSlotReuseRegression:
+    def test_back_to_back_jobs_keep_their_utilization(self, spec):
+        """A job reusing a slot freed in the same tick must stay active.
+
+        Regression: the trace pool used to deactivate the reused slot,
+        zeroing the new job's utilization (catastrophic on saturated
+        replays).
+        """
+        engine = RapsEngine(spec, with_cooling=False, honor_recorded_starts=True)
+        # Job B's recorded start coincides exactly with A's completion,
+        # and B needs the whole machine, so B reuses A's freed slot in
+        # the same tick.
+        a = make_job(1, nodes=256, wall=300.0, submit=0.0, cpu=1.0, gpu=1.0,
+                     recorded=0.0)
+        b = make_job(2, nodes=256, wall=300.0, submit=0.0, cpu=1.0, gpu=1.0,
+                     recorded=300.0)
+        result = engine.run([a, b], 600.0)
+        p = result.system_power_w
+        # Power stays at the full-load plateau through both jobs.
+        assert p[5] == pytest.approx(p[25], rel=1e-6)
+        assert p[25] > 2.0 * 7.24e6 / 28.2e6 * p[5] / 2  # not idle
+        util = result.utilization
+        assert util[25] == pytest.approx(1.0)
+
+    def test_saturated_queue_power_tracks_utilization(self, spec):
+        """On an oversubscribed machine, power must reflect the running
+        jobs' utilization, not decay toward idle."""
+        jobs = [
+            make_job(i, nodes=64, wall=120.0, submit=0.0, cpu=0.8, gpu=0.8)
+            for i in range(40)
+        ]
+        engine = RapsEngine(spec, with_cooling=False)
+        result = engine.run(jobs, 1200.0)
+        busy = result.utilization > 0.9
+        assert np.any(busy)
+        idle_w = RapsEngine(spec, with_cooling=False).run([], 300.0).system_power_w[0]
+        # Busy quanta draw well above idle (the bug collapsed them to it).
+        assert np.all(result.system_power_w[busy] > 1.3 * idle_w)
+
+
+class TestCoolingCoupling:
+    def test_cooling_series_recorded(self, spec):
+        engine = RapsEngine(spec, with_cooling=True)
+        result = engine.run([make_job(1, 256, 300.0, cpu=1.0, gpu=1.0)], 600.0)
+        assert "pue" in result.cooling
+        assert result.cooling["pue"].shape == result.times_s.shape
+        assert np.all(result.cooling["pue"] > 1.0)
+
+    def test_heat_tracks_power(self, spec):
+        engine = RapsEngine(spec, with_cooling=True)
+        result = engine.run([make_job(1, 256, 300.0, cpu=1.0, gpu=1.0)], 600.0)
+        np.testing.assert_allclose(
+            np.sum(result.cdu_heat_w, axis=1),
+            np.sum(result.cdu_power_w, axis=1) * 0.945,
+        )
+
+    def test_cooling_series_accessor(self, spec):
+        engine = RapsEngine(spec, with_cooling=True)
+        result = engine.run([], 300.0)
+        ts = result.cooling_series("pue")
+        assert len(ts) == result.times_s.size
+        with pytest.raises(SimulationError, match="available"):
+            result.cooling_series("bogus")
+
+    def test_without_cooling_no_series(self, spec):
+        engine = RapsEngine(spec, with_cooling=False)
+        result = engine.run([], 300.0)
+        assert result.cooling == {}
+
+
+class TestVerificationPoints:
+    """Full-scale Table III points through the engine (frontier spec)."""
+
+    @pytest.fixture(scope="class")
+    def frontier(self):
+        from repro.config.frontier import frontier_spec
+
+        return frontier_spec()
+
+    def test_idle_and_peak_through_engine(self, frontier):
+        engine = RapsEngine(
+            frontier, with_cooling=False, honor_recorded_starts=True
+        )
+        result = engine.run(idle_workload(frontier, 300.0), 300.0)
+        assert result.mean_power_w / 1e6 == pytest.approx(7.24, abs=0.05)
+
+        engine2 = RapsEngine(
+            frontier, with_cooling=False, honor_recorded_starts=True
+        )
+        result2 = engine2.run(peak_workload(frontier, 300.0), 300.0)
+        assert result2.mean_power_w / 1e6 == pytest.approx(28.2, abs=0.1)

@@ -1,0 +1,131 @@
+"""Simulation facade and run statistics (paper III-B5, Table IV)."""
+
+import numpy as np
+import pytest
+
+from repro.core.simulation import Simulation
+from repro.core.stats import (
+    aggregate_daily,
+    compute_statistics,
+    format_table4,
+)
+from repro.exceptions import SimulationError
+from tests.conftest import make_small_spec
+
+
+class TestSimulationFacade:
+    def test_builtin_by_name(self):
+        sim = Simulation("frontier", with_cooling=False)
+        assert sim.spec.name == "frontier"
+
+    def test_spec_object_accepted(self):
+        sim = Simulation(make_small_spec(), with_cooling=False)
+        assert sim.spec.name == "mini"
+
+    def test_json_path_accepted(self, tmp_path):
+        from repro.config.loader import dump_system
+
+        path = tmp_path / "mini.json"
+        dump_system(make_small_spec(), path)
+        sim = Simulation(path, with_cooling=False)
+        assert sim.spec.name == "mini"
+
+    def test_statistics_requires_run(self):
+        sim = Simulation(make_small_spec(), with_cooling=False)
+        with pytest.raises(SimulationError):
+            sim.statistics()
+
+    def test_verification_points(self):
+        sim = Simulation(make_small_spec(), with_cooling=False)
+        idle = sim.run_verification("idle", 300.0).mean_power_w
+        peak = sim.run_verification("peak", 300.0).mean_power_w
+        hpl = sim.run_verification("hpl", 300.0).mean_power_w
+        assert idle < hpl < peak
+
+    def test_unknown_verification_point(self):
+        sim = Simulation(make_small_spec(), with_cooling=False)
+        with pytest.raises(SimulationError, match="unknown"):
+            sim.run_verification("linpack")
+
+    def test_synthetic_run_and_stats(self):
+        sim = Simulation(make_small_spec(), with_cooling=False, seed=11)
+        result = sim.run_synthetic(3600.0)
+        stats = sim.statistics()
+        assert stats.mean_power_mw == pytest.approx(
+            result.mean_power_w / 1e6
+        )
+        assert stats.total_energy_mwh > 0
+        assert stats.co2_tons > 0
+        assert stats.energy_cost_usd > 0
+
+    def test_mean_pue_requires_cooling(self):
+        sim = Simulation(make_small_spec(), with_cooling=False, seed=1)
+        sim.run_synthetic(900.0)
+        with pytest.raises(SimulationError, match="cooling"):
+            sim.mean_pue()
+
+    def test_replay_through_facade(self):
+        from repro.telemetry.synthesis import SyntheticTelemetryGenerator
+
+        spec = make_small_spec()
+        ds = SyntheticTelemetryGenerator(spec, seed=5).day(0)
+        sim = Simulation(spec, with_cooling=False)
+        result = sim.run_replay(ds, 3600.0)
+        assert result.scheduler_stats.started > 0
+
+
+class TestStatistics:
+    def make_stats(self, seed=0):
+        sim = Simulation(make_small_spec(), with_cooling=False, seed=seed)
+        sim.run_synthetic(3600.0)
+        return sim.statistics()
+
+    def test_report_renders(self):
+        report = self.make_stats().report()
+        for token in ("jobs completed", "average power", "CO2", "cost"):
+            assert token in report
+
+    def test_loss_percent_definition(self):
+        s = self.make_stats()
+        # Loss % = loss MW / avg power MW (Table IV convention).
+        assert s.loss_percent == pytest.approx(
+            s.mean_loss_mw / s.mean_power_mw * 100.0
+        )
+
+    def test_throughput_definition(self):
+        s = self.make_stats()
+        assert s.throughput_jobs_per_hour == pytest.approx(s.jobs_completed / 1.0)
+
+
+class TestTable4Aggregation:
+    def test_aggregate_rows_in_paper_order(self):
+        days = [self_make(i) for i in range(3)]
+        rows = aggregate_daily(days)
+        labels = [r.parameter for r in rows]
+        assert labels[0].startswith("Avg Arrival Rate")
+        assert labels[-1].startswith("Carbon")
+        assert len(rows) == 10
+
+    def test_minmax_envelope(self):
+        days = [self_make(i) for i in range(4)]
+        rows = aggregate_daily(days)
+        powers = [d.mean_power_mw for d in days]
+        power_row = next(r for r in rows if r.parameter == "Avg Power (MW)")
+        assert power_row.minimum == pytest.approx(min(powers))
+        assert power_row.maximum == pytest.approx(max(powers))
+        assert power_row.average == pytest.approx(np.mean(powers))
+
+    def test_format_table4(self):
+        rows = aggregate_daily([self_make(0), self_make(1)])
+        text = format_table4(rows)
+        assert "Parameter" in text and "Loss (%)" in text
+
+    def test_empty_aggregation_rejected(self):
+        with pytest.raises(SimulationError):
+            aggregate_daily([])
+
+
+def self_make(seed):
+    sim = Simulation(make_small_spec(), with_cooling=False, seed=seed)
+    sim.run_synthetic(1800.0)
+    return sim.statistics()

@@ -1,0 +1,75 @@
+"""L5 setpoint optimization: evaluation semantics and search behaviour."""
+
+import pytest
+
+from repro.config.frontier import frontier_spec
+from repro.exceptions import SimulationError
+from repro.optimize.setpoint import SetpointOptimizer
+
+
+@pytest.fixture(scope="module")
+def optimizer():
+    # Short settle/score windows keep the test fast; the plant reaches a
+    # usable quasi-steady state within ~20 min of simulated time.
+    return SetpointOptimizer(
+        frontier_spec(),
+        system_power_w=17.0e6,
+        wetbulb_c=12.0,
+        settle_s=1200.0,
+        score_s=600.0,
+    )
+
+
+class TestEvaluate:
+    def test_candidate_fields_physical(self, optimizer):
+        cand = optimizer.evaluate(29.0, 33.0)
+        assert cand.mean_pue > 1.0
+        assert 0.0 <= cand.mean_fan_speed <= 1.0
+        assert cand.max_cdu_supply_c > 20.0
+
+    def test_infeasible_when_ceiling_tight(self):
+        opt = SetpointOptimizer(
+            frontier_spec(),
+            system_power_w=26.0e6,
+            wetbulb_c=26.0,
+            cdu_supply_ceiling_c=30.0,  # unreachable ceiling
+            settle_s=900.0,
+            score_s=300.0,
+        )
+        cand = opt.evaluate(29.0, 33.0)
+        assert not cand.feasible
+        assert cand.objective > cand.mean_pue  # penalty applied
+
+    def test_warmer_htw_setpoint_cuts_fan_power(self, optimizer):
+        cold = optimizer.evaluate(27.0, 33.0)
+        warm = optimizer.evaluate(32.0, 33.0)
+        # Raising the HTW setpoint relaxes the towers: fans slow down.
+        assert warm.mean_fan_speed <= cold.mean_fan_speed + 0.05
+
+    def test_rejects_nonpositive_power(self):
+        with pytest.raises(SimulationError):
+            SetpointOptimizer(frontier_spec(), system_power_w=0.0)
+
+
+class TestOptimize:
+    def test_search_improves_or_matches_baseline(self, optimizer):
+        result = optimizer.optimize(
+            htw_range_c=(27.0, 33.0),
+            cdu_range_c=(32.0, 35.0),
+            grid=2,
+            refinements=0,
+        )
+        assert result.best.objective <= result.baseline.objective + 1e-9
+        assert result.best.feasible
+        # Baseline + 4 grid candidates evaluated.
+        assert len(result.evaluated) == 5
+
+    def test_report_renders(self, optimizer):
+        result = optimizer.optimize(grid=2, refinements=0)
+        text = result.report()
+        assert "baseline" in text and "best" in text
+        assert "PUE" in text
+
+    def test_grid_validation(self, optimizer):
+        with pytest.raises(SimulationError):
+            optimizer.optimize(grid=1)

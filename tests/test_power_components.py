@@ -1,0 +1,86 @@
+"""Node power model: Eq. 3 correctness and vectorization."""
+
+import numpy as np
+import pytest
+
+from repro.config.frontier import frontier_spec
+from repro.config.schema import NodeSpec, PartitionSpec, RackSpec
+from repro.exceptions import PowerModelError
+from repro.power.components import NodePowerModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return NodePowerModel(frontier_spec().partitions)
+
+
+class TestEq3:
+    def test_idle_node_is_626w(self, model):
+        p = model.uniform_power_w(0.0, 0.0)
+        np.testing.assert_allclose(p, 626.0)
+
+    def test_peak_node_is_2704w(self, model):
+        p = model.uniform_power_w(1.0, 1.0)
+        np.testing.assert_allclose(p, 2704.0)
+
+    def test_hpl_core_point(self, model):
+        # CPU 33 %, GPU 79 %: 90+0.33*190 + 4*(88+0.79*472) + 80+74+30.
+        p = model.uniform_power_w(0.33, 0.79)
+        expected = (90 + 0.33 * 190) + 4 * (88 + 0.79 * 472) + 80 + 74 + 30
+        np.testing.assert_allclose(p, expected)
+
+    def test_linear_in_utilization(self, model):
+        lo = model.uniform_power_w(0.0, 0.0)[0]
+        hi = model.uniform_power_w(1.0, 1.0)[0]
+        mid = model.uniform_power_w(0.5, 0.5)[0]
+        assert mid == pytest.approx((lo + hi) / 2.0)
+
+    def test_per_node_heterogeneous_utilization(self, model):
+        n = model.total_nodes
+        cpu = np.zeros(n)
+        gpu = np.zeros(n)
+        cpu[0] = 1.0
+        gpu[0] = 1.0
+        p = model.node_power_w(cpu, gpu)
+        assert p[0] == pytest.approx(2704.0)
+        assert p[1] == pytest.approx(626.0)
+
+
+class TestValidation:
+    def test_rejects_wrong_shape(self, model):
+        with pytest.raises(PowerModelError, match="shape"):
+            model.node_power_w(np.zeros(10), np.zeros(10))
+
+    def test_rejects_out_of_range(self, model):
+        n = model.total_nodes
+        bad = np.zeros(n)
+        bad[0] = 1.5
+        with pytest.raises(PowerModelError, match="\\[0, 1\\]"):
+            model.node_power_w(bad, np.zeros(n))
+
+    def test_requires_partitions(self):
+        with pytest.raises(PowerModelError):
+            NodePowerModel(())
+
+
+class TestMultiPartition:
+    def test_concatenation_order(self):
+        gpu_part = PartitionSpec(
+            name="gpu", total_nodes=128, node=NodeSpec(), rack=RackSpec()
+        )
+        cpu_part = PartitionSpec(
+            name="cpu",
+            total_nodes=128,
+            node=NodeSpec(
+                gpus_per_node=0, gpu_power_idle_w=0.0, gpu_power_max_w=0.0
+            ),
+            rack=RackSpec(),
+        )
+        model = NodePowerModel((gpu_part, cpu_part))
+        p = model.uniform_power_w(0.0, 0.0)
+        assert p[:128].max() == pytest.approx(626.0)
+        assert p[128:].max() == pytest.approx(626.0 - 4 * 88.0)
+
+    def test_idle_max_properties(self, model):
+        assert model.idle_node_power_w[0] == pytest.approx(626.0)
+        assert model.max_node_power_w[0] == pytest.approx(2704.0)

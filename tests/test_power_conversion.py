@@ -1,0 +1,121 @@
+"""Conversion chain: efficiency curves, per-stage losses (Eqs. 1-2)."""
+
+import numpy as np
+import pytest
+
+from repro.config.schema import RectifierSpec, SivocSpec
+from repro.exceptions import PowerModelError
+from repro.power.conversion import (
+    ConversionChain,
+    EfficiencyCurve,
+    RectifierBank,
+    SivocBank,
+)
+
+
+class TestEfficiencyCurve:
+    def test_interpolates_between_anchors(self):
+        curve = EfficiencyCurve([0.0, 10.0], [0.8, 0.9])
+        assert curve.efficiency(5.0) == pytest.approx(0.85)
+
+    def test_clamps_beyond_anchors(self):
+        curve = EfficiencyCurve([1.0, 2.0], [0.8, 0.9])
+        assert curve.efficiency(0.0) == pytest.approx(0.8)
+        assert curve.efficiency(100.0) == pytest.approx(0.9)
+
+    def test_input_power_identity(self):
+        curve = EfficiencyCurve([0.0, 10.0], [0.5, 0.5])
+        assert curve.input_power(5.0) == pytest.approx(10.0)
+        assert curve.loss(5.0) == pytest.approx(5.0)
+
+    def test_vectorized(self):
+        curve = EfficiencyCurve([0.0, 10.0], [0.8, 0.9])
+        out = curve.efficiency(np.array([0.0, 5.0, 10.0]))
+        np.testing.assert_allclose(out, [0.8, 0.85, 0.9])
+
+    def test_rejects_negative_output(self):
+        curve = EfficiencyCurve([0.0, 10.0], [0.8, 0.9])
+        with pytest.raises(PowerModelError):
+            curve.input_power(-1.0)
+
+    def test_rejects_malformed_curves(self):
+        with pytest.raises(PowerModelError):
+            EfficiencyCurve([0.0], [0.9])
+        with pytest.raises(PowerModelError):
+            EfficiencyCurve([0.0, 0.0], [0.9, 0.9])
+        with pytest.raises(PowerModelError):
+            EfficiencyCurve([0.0, 1.0], [0.9, 1.1])
+
+    def test_default_rectifier_peak_point(self):
+        spec = RectifierSpec()
+        curve = EfficiencyCurve(spec.load_points_w, spec.efficiency_points)
+        # Paper section IV-3: optimal efficiency 96.3 % at 7.5 kW.
+        assert curve.peak_efficiency == pytest.approx(0.963)
+        assert curve.peak_efficiency_load_w == pytest.approx(7500.0)
+
+    def test_rectifier_droops_near_idle(self):
+        spec = RectifierSpec()
+        curve = EfficiencyCurve(spec.load_points_w, spec.efficiency_points)
+        # "near idle the efficiency drops 1-2 %".
+        droop = curve.peak_efficiency - float(curve.efficiency(2500.0))
+        assert 0.01 <= droop <= 0.03
+
+
+class TestBanks:
+    def test_sivoc_loss_positive_and_monotone(self):
+        bank = SivocBank(SivocSpec())
+        loads = np.array([100.0, 626.0, 1500.0, 2704.0])
+        losses = bank.loss(loads)
+        assert np.all(losses > 0)
+        inputs = bank.input_power(loads)
+        assert np.all(np.diff(inputs) > 0)
+
+    def test_rectifier_equal_sharing(self):
+        bank = RectifierBank(RectifierSpec(), rectifiers_per_chassis=4)
+        # 4 rectifiers at 7.5 kW each = 30 kW chassis bus.
+        inp = bank.input_power(np.array([30000.0]))
+        assert inp[0] == pytest.approx(30000.0 / 0.963, rel=1e-6)
+
+    def test_rectifier_rejects_zero_count(self):
+        with pytest.raises(PowerModelError):
+            RectifierBank(RectifierSpec(), rectifiers_per_chassis=0)
+
+
+class TestConversionChain:
+    def make_chain(self, n_nodes=32, nodes_per_chassis=16):
+        chassis_of_node = np.arange(n_nodes) // nodes_per_chassis
+        return ConversionChain(
+            RectifierSpec(),
+            SivocSpec(),
+            rectifiers_per_chassis=4,
+            chassis_of_node=chassis_of_node,
+            num_chassis=n_nodes // nodes_per_chassis,
+        )
+
+    def test_energy_balance(self):
+        chain = self.make_chain()
+        node_w = np.full(32, 2000.0)
+        chassis_ac, sivoc_loss, rect_loss = chain.convert(node_w)
+        total_in = float(np.sum(chassis_ac))
+        total_out = float(np.sum(node_w))
+        assert total_in == pytest.approx(total_out + sivoc_loss + rect_loss)
+
+    def test_losses_nonnegative(self):
+        chain = self.make_chain()
+        for level in (0.0, 626.0, 1500.0, 2704.0):
+            _, sl, rl = chain.convert(np.full(32, level))
+            assert sl >= 0.0
+            assert rl >= 0.0
+
+    def test_chain_efficiency_near_nameplate_at_load(self):
+        chain = self.make_chain()
+        node_w = np.full(32, 2200.0)  # HPL-ish node power
+        chassis_ac, _, _ = chain.convert(node_w)
+        eta = np.sum(node_w) / np.sum(chassis_ac)
+        # Eq. 1: eta_system ~ 0.94 at nameplate.
+        assert 0.92 < eta < 0.95
+
+    def test_all_rectifiers_active(self):
+        chain = self.make_chain()
+        active = chain.rectifiers_active(np.full(32, 1000.0))
+        assert np.all(active == 4)

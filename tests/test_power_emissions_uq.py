@@ -1,0 +1,122 @@
+"""Emissions/cost accounting (Eq. 6) and Monte-Carlo UQ."""
+
+import numpy as np
+import pytest
+
+from repro.config.frontier import frontier_spec
+from repro.config.schema import EconomicsSpec
+from repro.exceptions import PowerModelError
+from repro.power.emissions import EmissionsModel
+from repro.power.system import SystemPowerModel
+from repro.power.uq import (
+    PerturbationSpec,
+    UncertaintyAnalysis,
+    perturb_spec,
+)
+
+
+@pytest.fixture(scope="module")
+def emissions():
+    return EmissionsModel(EconomicsSpec())
+
+
+class TestEmissions:
+    def test_eq6_factor(self, emissions):
+        # EI 852.3 lb/MWh / 2204.6 lb/ton = 0.3866 ton/MWh at unit eta.
+        assert emissions.emission_factor(1.0) == pytest.approx(0.38660, rel=1e-4)
+
+    def test_efficiency_divides(self, emissions):
+        assert emissions.emission_factor(0.933) == pytest.approx(
+            0.38660 / 0.933, rel=1e-4
+        )
+
+    def test_table4_average_day(self, emissions):
+        # Table IV: 405 MW-hr average day -> ~168 tons at eta ~0.93.
+        tons = emissions.co2_tons(405.0, 0.933)
+        assert tons == pytest.approx(168.0, abs=4.0)
+
+    def test_cost_at_tariff(self, emissions):
+        # 405 MWh at $0.09/kWh = $36,450.
+        assert emissions.energy_cost_usd(405.0) == pytest.approx(36450.0)
+
+    def test_annualized_loss_cost_matches_paper(self, emissions):
+        # Paper: 1.14 MW average loss ~ $900k/yr.
+        annual = emissions.annualized_cost_usd(1.14e6)
+        assert annual == pytest.approx(900_000.0, rel=0.05)
+
+    def test_rejects_bad_inputs(self, emissions):
+        with pytest.raises(PowerModelError):
+            emissions.co2_tons(-1.0)
+        with pytest.raises(PowerModelError):
+            emissions.emission_factor(0.0)
+        with pytest.raises(PowerModelError):
+            emissions.annualized_cost_usd(-5.0)
+
+
+class TestPerturbation:
+    def test_perturbed_spec_validates(self):
+        spec = frontier_spec()
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            p = perturb_spec(spec, PerturbationSpec(), rng)
+            assert p.total_nodes == spec.total_nodes
+            # Efficiencies stay in (0, 1].
+            assert max(p.power.rectifier.efficiency_points) <= 1.0
+            assert min(p.power.sivoc.efficiency_points) > 0.0
+
+    def test_perturbation_changes_power(self):
+        spec = frontier_spec()
+        rng = np.random.default_rng(1)
+        p = perturb_spec(spec, PerturbationSpec(component_power_rel=0.05), rng)
+        base = SystemPowerModel(spec).peak_power_w()
+        pert = SystemPowerModel(p).peak_power_w()
+        assert pert != pytest.approx(base, rel=1e-6)
+
+    def test_zero_perturbation_is_identity_power(self):
+        spec = frontier_spec()
+        rng = np.random.default_rng(2)
+        p = perturb_spec(
+            spec,
+            PerturbationSpec(
+                component_power_rel=0.0,
+                rectifier_efficiency_rel=0.0,
+                sivoc_efficiency_rel=0.0,
+            ),
+            rng,
+        )
+        assert SystemPowerModel(p).peak_power_w() == pytest.approx(
+            SystemPowerModel(spec).peak_power_w()
+        )
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(PowerModelError):
+            PerturbationSpec(component_power_rel=-0.1)
+
+
+class TestUncertaintyAnalysis:
+    def test_ensemble_statistics(self):
+        spec = frontier_spec()
+        uq = UncertaintyAnalysis(spec, seed=3)
+        result = uq.run(
+            lambda m: m.peak_power_w() / 1e6, num_samples=24
+        )
+        assert result.samples.size == 24
+        # Mean near the nominal 28.2 MW; spread consistent with ~2 % jitter.
+        assert result.mean == pytest.approx(28.2, abs=0.6)
+        assert 0.0 < result.std < 1.5
+        lo, hi = result.interval95
+        assert lo < result.mean < hi
+
+    def test_deterministic_given_seed(self):
+        spec = frontier_spec()
+        a = UncertaintyAnalysis(spec, seed=4).run(
+            lambda m: m.idle_power_w(), num_samples=8
+        )
+        b = UncertaintyAnalysis(spec, seed=4).run(
+            lambda m: m.idle_power_w(), num_samples=8
+        )
+        np.testing.assert_allclose(a.samples, b.samples)
+
+    def test_rejects_tiny_ensembles(self):
+        with pytest.raises(PowerModelError):
+            UncertaintyAnalysis(frontier_spec()).run(lambda m: 0.0, num_samples=1)

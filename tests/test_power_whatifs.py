@@ -1,0 +1,130 @@
+"""What-if conversion chains: smart rectifier staging and direct DC."""
+
+import numpy as np
+import pytest
+
+from repro.config.frontier import frontier_spec
+from repro.exceptions import PowerModelError
+from repro.power.dc_power import DirectDcChain
+from repro.power.smart_rectifier import SmartRectifierChain
+from repro.power.system import SystemPowerModel, SystemTopology
+
+
+@pytest.fixture(scope="module")
+def frontier():
+    return frontier_spec()
+
+
+@pytest.fixture(scope="module")
+def topo(frontier):
+    return SystemTopology.from_spec(frontier)
+
+
+def make_smart(frontier, topo, **kw):
+    return SmartRectifierChain(
+        frontier.power.rectifier,
+        frontier.power.sivoc,
+        topo.rectifiers_per_chassis,
+        topo.chassis_of_node,
+        topo.num_chassis,
+        **kw,
+    )
+
+
+def make_dc(frontier, topo, **kw):
+    return DirectDcChain(
+        frontier.power.sivoc, topo.chassis_of_node, topo.num_chassis, **kw
+    )
+
+
+class TestSmartRectifier:
+    def test_never_worse_than_baseline(self, frontier, topo):
+        base = SystemPowerModel(frontier)
+        smart = SystemPowerModel(frontier, chain=make_smart(frontier, topo))
+        for cpu, gpu in ((0.0, 0.0), (0.2, 0.3), (0.4, 0.6), (1.0, 1.0)):
+            pb = base.evaluate_uniform(cpu, gpu).system_power_w
+            ps = smart.evaluate_uniform(cpu, gpu).system_power_w
+            assert ps <= pb + 1e-6
+
+    def test_gain_is_modest(self, frontier, topo):
+        # Paper: staging yields ~0.1 % efficiency gain (modest).
+        base = SystemPowerModel(frontier)
+        smart = SystemPowerModel(frontier, chain=make_smart(frontier, topo))
+        rb = base.evaluate_uniform(0.35, 0.55)
+        rs = smart.evaluate_uniform(0.35, 0.55)
+        gain = rs.chain_efficiency - rb.chain_efficiency
+        assert 0.0 <= gain < 0.02
+
+    def test_stages_down_at_idle(self, frontier, topo):
+        chain = make_smart(frontier, topo)
+        model = SystemPowerModel(frontier, chain=chain)
+        idle = model.evaluate_uniform(0.0, 0.0)
+        active = chain.rectifiers_active(idle.node_power_w)
+        # At idle, fewer than all four rectifiers are energized.
+        assert active.mean() < 4.0
+        assert np.all(active >= 1)
+
+    def test_all_on_at_peak(self, frontier, topo):
+        chain = make_smart(frontier, topo)
+        model = SystemPowerModel(frontier, chain=chain)
+        peak = model.evaluate_uniform(1.0, 1.0)
+        active = chain.rectifiers_active(peak.node_power_w)
+        # Peak per-chassis bus (~44 kW) needs all 4 under the headroom cap.
+        assert np.all(active == 4)
+
+    def test_headroom_respected(self, frontier, topo):
+        chain = make_smart(frontier, topo, headroom_fraction=0.10)
+        model = SystemPowerModel(frontier, chain=chain)
+        result = model.evaluate_uniform(0.9, 0.9)
+        active = chain.rectifiers_active(result.node_power_w)
+        sivoc_in = chain.sivocs.input_power(result.node_power_w)
+        bus = np.bincount(
+            topo.chassis_of_node, weights=sivoc_in, minlength=topo.num_chassis
+        )
+        per_rect = bus / active
+        assert np.all(per_rect <= chain.max_load_w + 1e-6)
+
+    def test_rejects_bad_headroom(self, frontier, topo):
+        with pytest.raises(PowerModelError):
+            make_smart(frontier, topo, headroom_fraction=1.0)
+
+    def test_energy_balance(self, frontier, topo):
+        chain = make_smart(frontier, topo)
+        node_w = np.full(topo.num_nodes, 1500.0)
+        chassis_ac, sl, rl = chain.convert(node_w)
+        assert np.sum(chassis_ac) == pytest.approx(np.sum(node_w) + sl + rl)
+
+
+class TestDirectDc:
+    def test_chain_efficiency_matches_paper(self, frontier, topo):
+        # Paper: direct 380 V DC raises efficiency from 93.3 % to 97.3 %.
+        model = SystemPowerModel(frontier, chain=make_dc(frontier, topo))
+        result = model.evaluate_uniform(0.35, 0.55)
+        assert result.chain_efficiency == pytest.approx(0.973, abs=0.005)
+
+    def test_saves_power_at_every_operating_point(self, frontier, topo):
+        base = SystemPowerModel(frontier)
+        dc = SystemPowerModel(frontier, chain=make_dc(frontier, topo))
+        for cpu, gpu in ((0.0, 0.0), (0.33, 0.79), (1.0, 1.0)):
+            pb = base.evaluate_uniform(cpu, gpu).system_power_w
+            pd = dc.evaluate_uniform(cpu, gpu).system_power_w
+            assert pd < pb
+
+    def test_no_rectifiers(self, frontier, topo):
+        chain = make_dc(frontier, topo)
+        active = chain.rectifiers_active(np.full(topo.num_nodes, 1000.0))
+        assert np.all(active == 0)
+
+    def test_distribution_efficiency_applies(self, frontier, topo):
+        lossless = make_dc(frontier, topo, distribution_efficiency=1.0)
+        lossy = make_dc(frontier, topo, distribution_efficiency=0.99)
+        node_w = np.full(topo.num_nodes, 1500.0)
+        ac0, _, d0 = lossless.convert(node_w)
+        ac1, _, d1 = lossy.convert(node_w)
+        assert d0 == pytest.approx(0.0, abs=1e-9)
+        assert d1 > 0
+        assert np.sum(ac1) > np.sum(ac0)
+
+    def test_rejects_bad_distribution_efficiency(self, frontier, topo):
+        with pytest.raises(PowerModelError):
+            make_dc(frontier, topo, distribution_efficiency=0.0)

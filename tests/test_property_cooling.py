@@ -1,0 +1,114 @@
+"""Property-based tests: thermodynamic invariants of the cooling stack."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cooling.components.heat_exchanger import CounterflowHX
+from repro.cooling.components.pipe import FlowResistance
+from repro.cooling.components.volume import ThermalVolume
+from repro.cooling.properties import WATER
+
+
+@given(
+    t_hot=st.floats(20.0, 70.0, allow_nan=False),
+    t_cold=st.floats(5.0, 70.0, allow_nan=False),
+    f_hot=st.floats(1e-4, 0.1, allow_nan=False),
+    f_cold=st.floats(1e-4, 0.1, allow_nan=False),
+    ua=st.floats(1e3, 1e7, allow_nan=False),
+)
+@settings(max_examples=200, deadline=None)
+def test_hx_energy_conservation_and_second_law(t_hot, t_cold, f_hot, f_cold, ua):
+    """eps-NTU transfer conserves energy and respects the second law."""
+    hx = CounterflowHX(ua, WATER, WATER)
+    q, t_h_out, t_c_out = hx.transfer(t_hot, f_hot, t_cold, f_cold)
+    q = float(np.asarray(q))
+    t_h_out = float(np.asarray(t_h_out))
+    t_c_out = float(np.asarray(t_c_out))
+    c_hot = float(WATER.heat_capacity_rate(f_hot, t_hot))
+    c_cold = float(WATER.heat_capacity_rate(f_cold, t_cold))
+    # Energy conservation on both streams.
+    assert c_hot * (t_hot - t_h_out) == pytest.approx(q, rel=1e-9, abs=1e-6)
+    assert c_cold * (t_c_out - t_cold) == pytest.approx(q, rel=1e-9, abs=1e-6)
+    # Heat flows down the gradient.
+    assert q * (t_hot - t_cold) >= -1e-9
+    # Outlets bounded by the inlet temperatures.
+    lo, hi = min(t_hot, t_cold), max(t_hot, t_cold)
+    assert lo - 1e-9 <= t_h_out <= hi + 1e-9
+    assert lo - 1e-9 <= t_c_out <= hi + 1e-9
+
+
+@given(
+    t0=st.floats(10.0, 60.0, allow_nan=False),
+    t_in=st.floats(10.0, 60.0, allow_nan=False),
+    flow=st.floats(0.0, 0.5, allow_nan=False),
+    heat=st.floats(0.0, 1e6, allow_nan=False),
+    dt=st.floats(0.1, 120.0, allow_nan=False),
+)
+@settings(max_examples=200, deadline=None)
+def test_volume_stability_property(t0, t_in, flow, heat, dt):
+    """The exponential update never overshoots its equilibrium."""
+    vol = ThermalVolume(0.5, WATER, t0_c=t0)
+    vol.advance(t_in, flow, heat, dt)
+    t_new = float(vol.temp_c[0])
+    if flow > 1e-9:
+        cap = float(WATER.heat_capacity_rate(flow, t0))
+        t_eq = t_in + heat / cap
+        lo, hi = min(t0, t_eq), max(t0, t_eq)
+        assert lo - 1e-6 <= t_new <= hi + 1e-6
+    else:
+        assert t_new >= t0 - 1e-9  # pure heating never cools
+
+
+@given(
+    t_in=st.floats(15.0, 50.0),
+    flow=st.floats(1e-3, 0.2),
+    dt=st.floats(1.0, 30.0),
+    n_steps=st.integers(1, 50),
+)
+@settings(max_examples=100, deadline=None)
+def test_volume_first_law_bookkeeping(t_in, flow, dt, n_steps):
+    """Without heat injection, the volume converges monotonically to T_in."""
+    vol = ThermalVolume(1.0, WATER, t0_c=40.0)
+    prev_gap = abs(40.0 - t_in)
+    for _ in range(n_steps):
+        vol.advance(t_in, flow, 0.0, dt)
+        gap = abs(float(vol.temp_c[0]) - t_in)
+        assert gap <= prev_gap + 1e-9
+        prev_gap = gap
+
+
+@given(
+    dp=st.floats(1.0, 1e6, allow_nan=False),
+    flow=st.floats(1e-4, 2.0, allow_nan=False),
+    q=st.floats(0.0, 3.0, allow_nan=False),
+)
+@settings(max_examples=200, deadline=None)
+def test_resistance_inverse_property(dp, flow, q):
+    """flow_at inverts pressure_drop for any design point."""
+    r = FlowResistance.from_design_point(dp, flow)
+    assert float(r.flow_at(r.pressure_drop(q))) == pytest.approx(
+        q, rel=1e-9, abs=1e-12
+    )
+
+
+@given(
+    heat=st.floats(0.0, 1.1e6, allow_nan=False),
+    wetbulb=st.floats(-5.0, 28.0, allow_nan=False),
+)
+@settings(max_examples=12, deadline=None)
+def test_plant_step_outputs_physical(heat, wetbulb):
+    """One plant step from init: outputs stay in physical ranges."""
+    from repro.config.frontier import frontier_spec
+    from repro.cooling.plant import CoolingPlant
+
+    plant = CoolingPlant(frontier_spec().cooling)
+    state = plant.step(np.full(25, heat), wetbulb)
+    vec = state.as_output_vector()
+    assert np.all(np.isfinite(vec))
+    assert state.pue >= 1.0
+    assert np.all(state.cdu_secondary_flow_m3s >= 0)
+    assert np.all(state.cdu_primary_flow_m3s >= 0)
+    assert -10.0 < state.htw_supply_temp_c < 90.0
+    assert state.num_ct_staged >= 1

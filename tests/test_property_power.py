@@ -1,0 +1,144 @@
+"""Property-based tests: power-model invariants under arbitrary inputs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.config.schema import RectifierSpec, SivocSpec
+from repro.power.conversion import ConversionChain, EfficiencyCurve
+from repro.power.dc_power import DirectDcChain
+from repro.power.smart_rectifier import SmartRectifierChain
+from repro.power.system import SystemPowerModel
+from tests.conftest import make_small_spec
+
+N_NODES = 256
+
+
+@pytest.fixture(scope="module")
+def model():
+    return SystemPowerModel(make_small_spec(total_nodes=N_NODES))
+
+
+utilization_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=N_NODES,
+    elements=st.floats(0.0, 1.0, allow_nan=False),
+)
+
+
+@given(cpu=utilization_arrays, gpu=utilization_arrays)
+@settings(max_examples=40, deadline=None)
+def test_power_bounded_by_idle_and_peak(model, cpu, gpu):
+    """Any utilization lands between the idle and peak envelopes."""
+    result = model.evaluate(cpu, gpu)
+    idle = model.idle_power_w()
+    peak = model.peak_power_w()
+    assert idle - 1e-6 <= result.system_power_w <= peak + 1e-6
+
+
+@given(cpu=utilization_arrays, gpu=utilization_arrays)
+@settings(max_examples=40, deadline=None)
+def test_losses_nonnegative_and_balance(model, cpu, gpu):
+    """Eq. 2 losses are non-negative and input = output + loss."""
+    result = model.evaluate(cpu, gpu)
+    assert result.sivoc_loss_w >= 0.0
+    assert result.rectifier_loss_w >= 0.0
+    assert result.compute_input_w == pytest.approx(
+        result.compute_output_w + result.loss_w, rel=1e-12
+    )
+
+
+@given(cpu=utilization_arrays, gpu=utilization_arrays)
+@settings(max_examples=40, deadline=None)
+def test_chain_efficiency_in_unit_interval(model, cpu, gpu):
+    result = model.evaluate(cpu, gpu)
+    assert 0.0 < result.chain_efficiency <= 1.0
+
+
+@given(cpu=utilization_arrays, gpu=utilization_arrays)
+@settings(max_examples=40, deadline=None)
+def test_aggregation_consistency(model, cpu, gpu):
+    """Rack sums equal CDU sums; system = racks + pumps."""
+    result = model.evaluate(cpu, gpu)
+    assert float(np.sum(result.rack_power_w)) == pytest.approx(
+        float(np.sum(result.cdu_power_w)), rel=1e-12
+    )
+    assert result.system_power_w == pytest.approx(
+        float(np.sum(result.rack_power_w)) + result.cdu_pump_power_w,
+        rel=1e-12,
+    )
+
+
+@given(
+    u=st.floats(0.0, 1.0, allow_nan=False),
+    v=st.floats(0.0, 1.0, allow_nan=False),
+)
+@settings(max_examples=40, deadline=None)
+def test_monotone_in_uniform_utilization(model, u, v):
+    """More utilization never draws less power."""
+    lo, hi = sorted((u, v))
+    p_lo = model.evaluate_uniform(lo, lo).system_power_w
+    p_hi = model.evaluate_uniform(hi, hi).system_power_w
+    assert p_hi >= p_lo - 1e-6
+
+
+@given(
+    loads=st.lists(
+        st.floats(0.0, 20000.0, allow_nan=False), min_size=2, max_size=8
+    ).map(sorted).filter(lambda xs: all(b > a for a, b in zip(xs, xs[1:]))),
+    effs=st.lists(st.floats(0.5, 1.0), min_size=2, max_size=8),
+)
+@settings(max_examples=50, deadline=None)
+def test_efficiency_curve_within_anchor_range(loads, effs):
+    """Interpolated efficiency never leaves the anchor envelope."""
+    n = min(len(loads), len(effs))
+    if n < 2:
+        return
+    curve = EfficiencyCurve(loads[:n], effs[:n])
+    queries = np.linspace(-10.0, 30000.0, 64)
+    eta = np.asarray(curve.efficiency(queries))
+    assert np.all(eta >= min(effs[:n]) - 1e-12)
+    assert np.all(eta <= max(effs[:n]) + 1e-12)
+
+
+@given(cpu=utilization_arrays, gpu=utilization_arrays)
+@settings(max_examples=25, deadline=None)
+def test_smart_chain_never_worse(cpu, gpu):
+    """Staged rectifiers never draw more than equal sharing."""
+    spec = make_small_spec(total_nodes=N_NODES)
+    base = SystemPowerModel(spec)
+    topo = base.topology
+    smart = SystemPowerModel(
+        spec,
+        chain=SmartRectifierChain(
+            spec.power.rectifier,
+            spec.power.sivoc,
+            topo.rectifiers_per_chassis,
+            topo.chassis_of_node,
+            topo.num_chassis,
+        ),
+    )
+    pb = base.evaluate(cpu, gpu).system_power_w
+    ps = smart.evaluate(cpu, gpu).system_power_w
+    assert ps <= pb + 1e-6
+
+
+@given(cpu=utilization_arrays, gpu=utilization_arrays)
+@settings(max_examples=25, deadline=None)
+def test_dc_chain_dominates_both(cpu, gpu):
+    """Direct DC removes the rectifier stage: lowest possible draw."""
+    spec = make_small_spec(total_nodes=N_NODES)
+    base = SystemPowerModel(spec)
+    topo = base.topology
+    dc = SystemPowerModel(
+        spec,
+        chain=DirectDcChain(
+            spec.power.sivoc, topo.chassis_of_node, topo.num_chassis
+        ),
+    )
+    assert (
+        dc.evaluate(cpu, gpu).system_power_w
+        <= base.evaluate(cpu, gpu).system_power_w
+    )

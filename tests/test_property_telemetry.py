@@ -1,0 +1,93 @@
+"""Property-based tests: dataset/resampling and arrival-process laws."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.scheduler.arrivals import PoissonArrivals
+from repro.telemetry.dataset import TimeSeries
+from repro.telemetry.replay import ReplayCursor
+
+
+@st.composite
+def time_series(draw, max_len=50):
+    n = draw(st.integers(2, max_len))
+    gaps = draw(
+        hnp.arrays(
+            np.float64, n, elements=st.floats(0.01, 100.0, allow_nan=False)
+        )
+    )
+    times = np.cumsum(gaps)
+    values = draw(
+        hnp.arrays(
+            np.float64,
+            n,
+            elements=st.floats(-1e6, 1e6, allow_nan=False),
+        )
+    )
+    return TimeSeries(times, values)
+
+
+@given(ts=time_series())
+@settings(max_examples=100, deadline=None)
+def test_resample_identity_on_own_times(ts):
+    """Resampling a series onto its own timebase is the identity."""
+    out = ts.resample(ts.times, method="linear")
+    np.testing.assert_allclose(out.values, ts.values, rtol=1e-12, atol=1e-9)
+    out_hold = ts.resample(ts.times, method="hold")
+    np.testing.assert_allclose(out_hold.values, ts.values)
+
+
+@given(ts=time_series(), n_queries=st.integers(1, 40))
+@settings(max_examples=100, deadline=None)
+def test_linear_resample_bounded_by_neighbors(ts, n_queries):
+    """Interpolated values never exceed the series' global envelope."""
+    rng = np.random.default_rng(0)
+    queries = np.sort(
+        rng.uniform(ts.t_start - 10.0, ts.t_end + 10.0, n_queries)
+    )
+    out = ts.resample(queries, method="linear")
+    assert np.all(out.values >= ts.values.min() - 1e-9)
+    assert np.all(out.values <= ts.values.max() + 1e-9)
+
+
+@given(ts=time_series())
+@settings(max_examples=60, deadline=None)
+def test_cursor_agrees_with_resample_hold(ts):
+    """Sequential cursor replay equals vectorized hold-resampling."""
+    cursor = ReplayCursor(ts, method="hold")
+    queries = np.linspace(ts.t_start, ts.t_end, 25)
+    got = np.array([np.asarray(cursor.value(q)).item() for q in queries])
+    want = ts.resample(queries, method="hold").values
+    np.testing.assert_allclose(got, want)
+
+
+@given(ts=time_series(), t0=st.floats(0.0, 500.0), span=st.floats(0.1, 500.0))
+@settings(max_examples=60, deadline=None)
+def test_slice_subset_property(ts, t0, span):
+    sub = ts.slice(t0, t0 + span)
+    assert np.all(sub.times >= t0)
+    assert np.all(sub.times < t0 + span)
+    assert len(sub) <= len(ts)
+
+
+@given(
+    mean=st.floats(1.0, 1000.0, allow_nan=False),
+    horizon=st.floats(100.0, 20000.0, allow_nan=False),
+    seed=st.integers(0, 2**31),
+)
+@settings(max_examples=60, deadline=None)
+def test_poisson_arrival_laws(mean, horizon, seed):
+    """Eq. 5 arrivals are sorted, in-window, and clock-consistent."""
+    arr = PoissonArrivals(mean, np.random.default_rng(seed))
+    times = arr.sample_until(horizon)
+    if times.size:
+        assert np.all(np.diff(times) > 0)
+        assert times[0] > 0.0
+        assert times[-1] < horizon
+    # A second window continues after the first.
+    more = arr.sample_until(horizon + 1000.0)
+    if times.size and more.size:
+        assert more[0] >= horizon

@@ -1,0 +1,116 @@
+"""Node allocator invariants: no double allocation, correct bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SchedulingError
+from repro.scheduler.allocator import NodeAllocator
+
+
+class TestBasicAllocation:
+    def test_counts_after_allocate_release(self):
+        alloc = NodeAllocator(64)
+        nodes = alloc.allocate(16, slot=0)
+        assert nodes.size == 16
+        assert alloc.num_allocated == 16
+        assert alloc.num_free == 48
+        alloc.release(nodes)
+        assert alloc.num_free == 64
+
+    def test_slot_map_written_and_cleared(self):
+        alloc = NodeAllocator(16)
+        nodes = alloc.allocate(4, slot=7)
+        assert np.all(alloc.slot_of_node[nodes] == 7)
+        alloc.release(nodes)
+        assert np.all(alloc.slot_of_node == -1)
+
+    def test_cannot_overallocate(self):
+        alloc = NodeAllocator(8)
+        alloc.allocate(8, slot=0)
+        with pytest.raises(SchedulingError, match="only 0 free"):
+            alloc.allocate(1, slot=1)
+
+    def test_no_overlap_between_allocations(self):
+        alloc = NodeAllocator(128)
+        a = alloc.allocate(40, slot=0)
+        b = alloc.allocate(40, slot=1)
+        assert np.intersect1d(a, b).size == 0
+
+    def test_release_free_nodes_rejected(self):
+        alloc = NodeAllocator(8)
+        with pytest.raises(SchedulingError, match="already free"):
+            alloc.release(np.array([0, 1]))
+
+    def test_invalid_arguments(self):
+        alloc = NodeAllocator(8)
+        with pytest.raises(SchedulingError):
+            alloc.allocate(0, slot=0)
+        with pytest.raises(SchedulingError):
+            alloc.allocate(1, slot=-1)
+        with pytest.raises(SchedulingError):
+            NodeAllocator(0)
+        with pytest.raises(SchedulingError):
+            NodeAllocator(8, policy="random")
+
+
+class TestContiguousPolicy:
+    def test_prefers_exact_fit_run(self):
+        alloc = NodeAllocator(32, policy="contiguous")
+        a = alloc.allocate(8, slot=0)   # [0..7]
+        b = alloc.allocate(16, slot=1)  # [8..23]
+        alloc.release(a)                # free run of 8 at [0..7], 8 at [24..31]
+        c = alloc.allocate(8, slot=2)
+        # Best fit picks one of the 8-runs whole, not a split.
+        assert np.all(np.diff(c) == 1)
+
+    def test_falls_back_when_fragmented(self):
+        alloc = NodeAllocator(16, policy="contiguous")
+        keep = []
+        # Allocate all, release every other pair -> max run = 2.
+        blocks = [alloc.allocate(2, slot=i) for i in range(8)]
+        for i, b in enumerate(blocks):
+            if i % 2 == 0:
+                alloc.release(b)
+            else:
+                keep.append(b)
+        nodes = alloc.allocate(6, slot=99)  # no run of 6 exists
+        assert nodes.size == 6
+        assert alloc.num_free == 2
+
+    def test_spread_takes_lowest(self):
+        alloc = NodeAllocator(16, policy="spread")
+        nodes = alloc.allocate(4, slot=0)
+        np.testing.assert_array_equal(nodes, [0, 1, 2, 3])
+
+
+class TestDownNodes:
+    def test_down_nodes_never_allocated(self):
+        alloc = NodeAllocator(8, down_nodes=np.array([2, 5]))
+        nodes = alloc.allocate(6, slot=0)
+        assert 2 not in nodes and 5 not in nodes
+        assert alloc.num_down == 2
+
+    def test_utilization_excludes_down(self):
+        alloc = NodeAllocator(10, down_nodes=np.array([0, 1]))
+        alloc.allocate(4, slot=0)
+        assert alloc.utilization == pytest.approx(0.5)
+
+    def test_mark_down_and_up(self):
+        alloc = NodeAllocator(8)
+        alloc.mark_down(np.array([3]))
+        assert alloc.num_down == 1
+        with pytest.raises(SchedulingError):
+            alloc.release(np.array([3]))
+        alloc.mark_up(np.array([3]))
+        assert alloc.num_down == 0
+        assert alloc.num_free == 8
+
+    def test_mark_down_allocated_rejected(self):
+        alloc = NodeAllocator(8)
+        nodes = alloc.allocate(2, slot=0)
+        with pytest.raises(SchedulingError):
+            alloc.mark_down(nodes)
+
+    def test_out_of_range_down_nodes_rejected(self):
+        with pytest.raises(SchedulingError):
+            NodeAllocator(8, down_nodes=np.array([99]))

@@ -1,0 +1,128 @@
+"""Poisson arrivals (Eq. 5) and workload builders."""
+
+import numpy as np
+import pytest
+
+from repro.config.frontier import frontier_spec
+from repro.exceptions import SchedulingError
+from repro.scheduler.arrivals import PoissonArrivals
+from repro.scheduler.workloads import (
+    benchmark_sequence,
+    hpl_verification_workload,
+    idle_workload,
+    jobs_from_dataset,
+    peak_workload,
+    synthetic_workload,
+)
+from repro.telemetry import profiles
+from repro.telemetry.synthesis import SyntheticTelemetryGenerator
+
+
+@pytest.fixture(scope="module")
+def frontier():
+    return frontier_spec()
+
+
+class TestPoissonArrivals:
+    def test_mean_interval_matches_eq5(self):
+        rng = np.random.default_rng(0)
+        arr = PoissonArrivals(138.0, rng)
+        times = arr.sample_until(2.0e6)
+        gaps = np.diff(times)
+        assert gaps.mean() == pytest.approx(138.0, rel=0.05)
+
+    def test_exponential_distribution_shape(self):
+        rng = np.random.default_rng(1)
+        arr = PoissonArrivals(100.0, rng)
+        gaps = np.diff(arr.sample_until(1.0e6))
+        # Exponential: std equals mean; P(gap > mean) = 1/e.
+        assert gaps.std() == pytest.approx(gaps.mean(), rel=0.1)
+        frac = np.mean(gaps > 100.0)
+        assert frac == pytest.approx(np.exp(-1.0), abs=0.03)
+
+    def test_sample_until_matches_iterative(self):
+        a = PoissonArrivals(60.0, np.random.default_rng(7))
+        vec = a.sample_until(10_000.0)
+        b = PoissonArrivals(60.0, np.random.default_rng(7))
+        it = []
+        while True:
+            t = b.next_arrival()
+            if t >= 10_000.0:
+                break
+            it.append(t)
+        np.testing.assert_allclose(vec[: len(it)], it)
+
+    def test_arrivals_sorted_and_within_horizon(self):
+        arr = PoissonArrivals(10.0, np.random.default_rng(2))
+        times = arr.sample_until(5000.0)
+        assert np.all(np.diff(times) > 0)
+        assert times[-1] < 5000.0
+
+    def test_clock_advances_between_windows(self):
+        arr = PoissonArrivals(10.0, np.random.default_rng(3))
+        first = arr.sample_until(1000.0)
+        second = arr.sample_until(2000.0)
+        assert second[0] >= 1000.0
+        assert first[-1] < second[0]
+
+    def test_rejects_nonpositive_mean(self):
+        with pytest.raises(SchedulingError):
+            PoissonArrivals(0.0, np.random.default_rng(0))
+
+
+class TestVerificationWorkloads:
+    def test_idle_covers_all_nodes_at_zero(self, frontier):
+        (job,) = idle_workload(frontier)
+        assert job.nodes_required == frontier.total_nodes
+        assert job.cpu_util.max() == 0.0
+        assert job.gpu_util.max() == 0.0
+
+    def test_peak_covers_all_nodes_at_one(self, frontier):
+        (job,) = peak_workload(frontier)
+        assert job.nodes_required == frontier.total_nodes
+        assert job.cpu_util.min() == 1.0
+        assert job.gpu_util.min() == 1.0
+
+    def test_hpl_uses_table3_point(self, frontier):
+        (job,) = hpl_verification_workload(frontier)
+        assert job.nodes_required == 9216
+        assert job.cpu_util[0] == pytest.approx(profiles.HPL_CPU_UTIL)
+        assert job.gpu_util[0] == pytest.approx(profiles.HPL_GPU_UTIL)
+
+    def test_hpl_clamps_to_system_size(self):
+        import tests.conftest as c
+
+        small = c.make_small_spec(total_nodes=256)
+        (job,) = hpl_verification_workload(small)
+        assert job.nodes_required == 256
+
+    def test_benchmark_sequence_ordering(self, frontier):
+        hpl, mxp = benchmark_sequence(frontier)
+        assert hpl.name == "hpl" and mxp.name == "openmxp"
+        assert hpl.recorded_start + hpl.wall_time <= mxp.recorded_start
+
+
+class TestSyntheticWorkload:
+    def test_deterministic(self, frontier):
+        a = synthetic_workload(frontier, 3600.0, seed=5)
+        b = synthetic_workload(frontier, 3600.0, seed=5)
+        assert len(a) == len(b)
+        if a:
+            assert a[0].submit_time == b[0].submit_time
+
+    def test_jobs_have_no_recorded_start(self, frontier):
+        jobs = synthetic_workload(frontier, 7200.0, seed=1)
+        assert jobs  # extremely unlikely to be empty over 2 h
+        assert all(j.recorded_start is None for j in jobs)
+
+    def test_rejects_nonpositive_duration(self, frontier):
+        with pytest.raises(SchedulingError):
+            synthetic_workload(frontier, 0.0)
+
+
+class TestJobsFromDataset:
+    def test_converts_all_records(self, frontier):
+        ds = SyntheticTelemetryGenerator(frontier, seed=4).day(0)
+        jobs = jobs_from_dataset(ds)
+        assert len(jobs) == len(ds.jobs)
+        assert all(j.recorded_start is not None for j in jobs)

@@ -1,0 +1,139 @@
+"""Scheduler engine: dispatch, completion, replay mode, and invariants."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SchedulingError
+from repro.scheduler.engine import SchedulerEngine
+from repro.scheduler.job import Job, JobState
+from repro.scheduler.queue import PendingQueue
+
+
+def make_job(job_id, nodes=8, wall=60.0, submit=0.0, recorded=None):
+    n = max(1, int(wall // 15))
+    return Job(
+        job_id=job_id,
+        name=f"j{job_id}",
+        nodes_required=nodes,
+        wall_time=wall,
+        cpu_util=np.full(n, 0.5),
+        gpu_util=np.full(n, 0.5),
+        submit_time=submit,
+        recorded_start=recorded,
+    )
+
+
+class TestPendingQueue:
+    def test_fifo_and_membership(self):
+        q = PendingQueue()
+        q.push(make_job(1))
+        q.push(make_job(2))
+        assert [j.job_id for j in q.jobs()] == [1, 2]
+        assert 1 in q
+        q.remove(1)
+        assert 1 not in q
+
+    def test_depth_limit(self):
+        q = PendingQueue(max_depth=1)
+        assert q.push(make_job(1))
+        assert not q.push(make_job(2))
+        assert q.rejected == 1
+
+    def test_duplicate_rejected(self):
+        q = PendingQueue()
+        q.push(make_job(1))
+        with pytest.raises(SchedulingError):
+            q.push(make_job(1))
+
+    def test_remove_missing(self):
+        with pytest.raises(SchedulingError):
+            PendingQueue().remove(5)
+
+
+class TestEngineBasics:
+    def test_job_starts_and_completes(self):
+        eng = SchedulerEngine(64)
+        job = make_job(1, nodes=8, wall=30.0)
+        started, completed = eng.tick(0.0, [job])
+        assert started == [job]
+        assert job.state is JobState.RUNNING
+        assert eng.num_running == 1
+        _, completed = eng.tick(30.0, [])
+        assert completed == [job]
+        assert job.state is JobState.COMPLETED
+        assert eng.allocator.num_free == 64
+
+    def test_oversized_job_rejected_at_submit(self):
+        eng = SchedulerEngine(64)
+        with pytest.raises(SchedulingError, match="requires"):
+            eng.submit(make_job(1, nodes=100))
+
+    def test_queueing_until_capacity(self):
+        eng = SchedulerEngine(16)
+        a = make_job(1, nodes=16, wall=30.0)
+        b = make_job(2, nodes=16, wall=30.0, submit=1.0)
+        eng.tick(0.0, [a])
+        started, _ = eng.tick(1.0, [b])
+        assert started == []  # no room yet
+        started, completed = eng.tick(30.0, [])
+        assert completed == [a]
+        assert started == [b]
+
+    def test_slot_reuse_after_completion(self):
+        eng = SchedulerEngine(16)
+        a = make_job(1, nodes=16, wall=15.0)
+        eng.tick(0.0, [a])
+        eng.tick(15.0, [])
+        b = make_job(2, nodes=16, wall=15.0, submit=15.0)
+        started, _ = eng.tick(16.0, [b])
+        assert started == [b]
+        assert b.slot == a.slot  # freed slot recycled
+        assert eng.max_slots == 1
+
+    def test_wait_time_accounting(self):
+        eng = SchedulerEngine(16)
+        a = make_job(1, nodes=16, wall=50.0, submit=0.0)
+        b = make_job(2, nodes=16, wall=10.0, submit=0.0)
+        eng.tick(0.0, [a, b])
+        eng.tick(50.0, [])
+        assert eng.stats.started == 2
+        assert eng.stats.total_wait_s == pytest.approx(50.0)
+
+    def test_drain_check_passes_after_activity(self):
+        eng = SchedulerEngine(64)
+        for i in range(6):
+            eng.tick(float(i), [make_job(i, nodes=8, wall=20.0, submit=float(i))])
+        eng.tick(100.0, [])
+        eng.drain_check()
+
+
+class TestReplayMode:
+    def test_jobs_start_at_recorded_times(self):
+        eng = SchedulerEngine(64, honor_recorded_starts=True)
+        job = make_job(1, nodes=8, wall=60.0, submit=0.0, recorded=42.0)
+        started, _ = eng.tick(0.0, [job])
+        assert started == []
+        started, _ = eng.tick(41.0, [])
+        assert started == []
+        started, _ = eng.tick(42.0, [])
+        assert started == [job]
+
+    def test_replay_defers_when_full(self):
+        eng = SchedulerEngine(16, honor_recorded_starts=True)
+        a = make_job(1, nodes=16, wall=100.0, submit=0.0, recorded=0.0)
+        b = make_job(2, nodes=16, wall=50.0, submit=0.0, recorded=10.0)
+        eng.tick(0.0, [a, b])
+        started, _ = eng.tick(10.0, [])
+        assert started == []  # machine full; b waits past its recorded time
+        started, _ = eng.tick(100.0, [])
+        assert started == [b]
+
+
+class TestNextEventTime:
+    def test_reports_earliest_completion(self):
+        eng = SchedulerEngine(64)
+        eng.tick(0.0, [make_job(1, wall=100.0), make_job(2, wall=40.0, nodes=8)])
+        assert eng.next_event_time() == pytest.approx(40.0)
+
+    def test_none_when_idle(self):
+        assert SchedulerEngine(8).next_event_time() is None

@@ -1,0 +1,106 @@
+"""Job lifecycle and trace access semantics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SchedulingError
+from repro.scheduler.job import Job, JobState
+from repro.telemetry.schema import JobRecord
+
+
+def make_job(**overrides):
+    base = dict(
+        job_id=1,
+        name="j",
+        nodes_required=4,
+        wall_time=60.0,
+        cpu_util=np.array([0.1, 0.2, 0.3, 0.4]),
+        gpu_util=np.array([0.5, 0.6, 0.7, 0.8]),
+        submit_time=10.0,
+    )
+    base.update(overrides)
+    return Job(**base)
+
+
+class TestConstruction:
+    def test_initial_state(self):
+        job = make_job()
+        assert job.state is JobState.PENDING
+        assert job.start_time is None
+        assert job.slot == -1
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(SchedulingError):
+            make_job(nodes_required=0)
+
+    def test_rejects_empty_traces(self):
+        with pytest.raises(SchedulingError):
+            make_job(cpu_util=np.array([]), gpu_util=np.array([]))
+
+    def test_rejects_mismatched_traces(self):
+        with pytest.raises(SchedulingError):
+            make_job(gpu_util=np.array([0.5]))
+
+    def test_from_record_copies_fields(self):
+        rec = JobRecord(
+            job_name="hpl",
+            job_id=9,
+            node_count=9216,
+            start_time=300.0,
+            wall_time=120.0,
+            cpu_util=np.array([0.33] * 8),
+            gpu_util=np.array([0.79] * 8),
+        )
+        job = Job.from_record(rec)
+        assert job.nodes_required == 9216
+        assert job.recorded_start == 300.0
+        assert job.submit_time == 300.0
+
+
+class TestLifecycle:
+    def test_mark_running_then_completed(self):
+        job = make_job()
+        job.mark_running(20.0, np.arange(4), slot=0)
+        assert job.state is JobState.RUNNING
+        assert job.wait_time == pytest.approx(10.0)
+        assert job.scheduled_end == pytest.approx(80.0)
+        job.mark_completed(80.0)
+        assert job.state is JobState.COMPLETED
+        assert job.end_time == 80.0
+
+    def test_mark_running_rejects_wrong_node_count(self):
+        job = make_job()
+        with pytest.raises(SchedulingError, match="allocated"):
+            job.mark_running(20.0, np.arange(3), slot=0)
+
+    def test_mark_running_twice_rejected(self):
+        job = make_job()
+        job.mark_running(20.0, np.arange(4), slot=0)
+        with pytest.raises(SchedulingError):
+            job.mark_running(25.0, np.arange(4), slot=1)
+
+    def test_complete_before_start_rejected(self):
+        with pytest.raises(SchedulingError):
+            make_job().mark_completed(50.0)
+
+    def test_wait_time_requires_start(self):
+        with pytest.raises(SchedulingError):
+            _ = make_job().wait_time
+
+
+class TestTraceAccess:
+    def test_util_follows_quanta_from_start(self):
+        job = make_job()
+        job.mark_running(100.0, np.arange(4), slot=0)
+        assert job.util_at(100.0) == (0.1, 0.5)
+        assert job.util_at(115.0) == (0.2, 0.6)
+        assert job.util_at(159.0) == (0.4, 0.8)
+
+    def test_util_clamps_past_end(self):
+        job = make_job()
+        job.mark_running(0.0, np.arange(4), slot=0)
+        assert job.util_at(1e6) == (0.4, 0.8)
+
+    def test_quantum_index_requires_running(self):
+        with pytest.raises(SchedulingError):
+            make_job().quantum_index(0.0)

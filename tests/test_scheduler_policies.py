@@ -1,0 +1,130 @@
+"""Scheduling policies: ordering, first-fit, and backfill correctness."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SchedulingError
+from repro.scheduler.job import Job
+from repro.scheduler.policies import (
+    BackfillPolicy,
+    FcfsPolicy,
+    PriorityPolicy,
+    SjfPolicy,
+    make_policy,
+)
+
+
+def make_job(job_id, nodes, wall=600.0, submit=0.0, priority=0):
+    n = max(1, int(wall // 15))
+    return Job(
+        job_id=job_id,
+        name=f"j{job_id}",
+        nodes_required=nodes,
+        wall_time=wall,
+        cpu_util=np.full(n, 0.5),
+        gpu_util=np.full(n, 0.5),
+        submit_time=submit,
+        priority=priority,
+    )
+
+
+def running_job(job_id, nodes, start, wall):
+    job = make_job(job_id, nodes, wall=wall, submit=start)
+    job.mark_running(start, np.arange(nodes), slot=job_id)
+    return job
+
+
+class TestFcfs:
+    def test_first_fit_in_submit_order(self):
+        # Algorithm 1: start any job that fits, walking queue order.
+        pending = [make_job(1, 50), make_job(2, 80), make_job(3, 30)]
+        chosen = FcfsPolicy().select(pending, free_nodes=100, now=0.0, running=[])
+        assert [j.job_id for j in chosen] == [1, 3]
+
+    def test_respects_capacity_exactly(self):
+        pending = [make_job(1, 60), make_job(2, 40)]
+        chosen = FcfsPolicy().select(pending, 100, 0.0, [])
+        assert sum(j.nodes_required for j in chosen) <= 100
+        assert [j.job_id for j in chosen] == [1, 2]
+
+    def test_empty_queue(self):
+        assert FcfsPolicy().select([], 100, 0.0, []) == []
+
+
+class TestSjf:
+    def test_orders_by_wall_time(self):
+        pending = [
+            make_job(1, 10, wall=3000.0),
+            make_job(2, 10, wall=600.0),
+            make_job(3, 10, wall=1200.0),
+        ]
+        chosen = SjfPolicy().select(pending, 30, 0.0, [])
+        assert [j.job_id for j in chosen] == [2, 3, 1]
+
+    def test_tie_broken_by_submit(self):
+        pending = [
+            make_job(1, 10, wall=600.0, submit=50.0),
+            make_job(2, 10, wall=600.0, submit=10.0),
+        ]
+        chosen = SjfPolicy().select(pending, 30, 0.0, [])
+        assert [j.job_id for j in chosen] == [2, 1]
+
+
+class TestPriority:
+    def test_higher_priority_first(self):
+        pending = [
+            make_job(1, 10, priority=0),
+            make_job(2, 10, priority=5),
+        ]
+        chosen = PriorityPolicy().select(pending, 10, 0.0, [])
+        assert [j.job_id for j in chosen] == [2]
+
+
+class TestBackfill:
+    def test_fcfs_prefix_dispatches(self):
+        pending = [make_job(1, 40), make_job(2, 40)]
+        chosen = BackfillPolicy().select(pending, 100, 0.0, [])
+        assert [j.job_id for j in chosen] == [1, 2]
+
+    def test_short_job_backfills_before_reservation(self):
+        # Head needs 100 nodes; 50 free; a running job releases 60 at t=1000.
+        running = [running_job(99, 60, start=0.0, wall=1000.0)]
+        head = make_job(1, 100, wall=2000.0)
+        short = make_job(2, 30, wall=500.0)  # finishes before t=1000
+        chosen = BackfillPolicy().select([head, short], 50, 0.0, running)
+        assert [j.job_id for j in chosen] == [2]
+
+    def test_long_job_does_not_delay_reservation(self):
+        running = [running_job(99, 60, start=0.0, wall=1000.0)]
+        head = make_job(1, 100, wall=2000.0)
+        # Long job would hold 40 of the 50 free nodes past t=1000; the
+        # reservation needs 100 of (50 free + 60 released) = 110, leaving
+        # shadow capacity of 10 -> cannot backfill 40.
+        long_job = make_job(2, 40, wall=5000.0)
+        chosen = BackfillPolicy().select([head, long_job], 50, 0.0, running)
+        assert chosen == []
+
+    def test_long_job_fits_in_shadow(self):
+        running = [running_job(99, 60, start=0.0, wall=1000.0)]
+        head = make_job(1, 100, wall=2000.0)
+        tiny_long = make_job(2, 10, wall=5000.0)  # shadow capacity is 10
+        chosen = BackfillPolicy().select([head, tiny_long], 50, 0.0, running)
+        assert [j.job_id for j in chosen] == [2]
+
+    def test_never_exceeds_free_nodes(self):
+        running = [running_job(99, 60, start=0.0, wall=1000.0)]
+        pending = [make_job(1, 100)] + [
+            make_job(i, 20, wall=100.0) for i in range(2, 10)
+        ]
+        chosen = BackfillPolicy().select(pending, 50, 0.0, running)
+        assert sum(j.nodes_required for j in chosen) <= 50
+
+
+class TestFactory:
+    def test_known_policies(self):
+        for name in ("fcfs", "sjf", "priority", "backfill"):
+            assert make_policy(name).name == name
+
+    def test_unknown_policy(self):
+        with pytest.raises(SchedulingError, match="unknown"):
+            make_policy("fair-share")

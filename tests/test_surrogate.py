@@ -1,0 +1,115 @@
+"""L3 surrogate models: feature maps, ridge regression, trained models."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ExaDigiTError
+from repro.surrogate.features import PolynomialFeatures
+from repro.surrogate.models import PowerSurrogate
+from repro.surrogate.regression import RidgeRegression
+from tests.conftest import make_small_spec
+
+
+class TestPolynomialFeatures:
+    def test_degree2_term_count(self):
+        pf = PolynomialFeatures(2)
+        out = pf.transform(np.zeros((1, 3)))
+        # 1 bias + 3 linear + 6 quadratic = 10.
+        assert out.shape == (1, 10)
+
+    def test_bias_column_first(self):
+        pf = PolynomialFeatures(2)
+        out = pf.transform(np.array([[2.0, 3.0]]))
+        assert out[0, 0] == 1.0
+
+    def test_values_correct(self):
+        pf = PolynomialFeatures(2)
+        out = pf.transform(np.array([[2.0, 3.0]]))
+        # terms: 1, x0, x1, x0^2, x0*x1, x1^2
+        np.testing.assert_allclose(out[0], [1, 2, 3, 4, 6, 9])
+
+    def test_term_names(self):
+        pf = PolynomialFeatures(2)
+        pf.transform(np.zeros((1, 2)))
+        names = pf.term_names(["a", "b"])
+        assert names == ["1", "a", "b", "a*a", "a*b", "b*b"]
+
+    def test_dim_mismatch_rejected(self):
+        pf = PolynomialFeatures(2)
+        pf.transform(np.zeros((1, 2)))
+        with pytest.raises(ExaDigiTError):
+            pf.transform(np.zeros((1, 3)))
+
+    def test_degree_validation(self):
+        with pytest.raises(ExaDigiTError):
+            PolynomialFeatures(0)
+
+
+class TestRidgeRegression:
+    def test_recovers_linear_function(self, rng):
+        x = rng.uniform(-1, 1, (200, 3))
+        y = 2.0 + 3.0 * x[:, 0] - 1.5 * x[:, 2]
+        model = RidgeRegression(alpha=1e-10).fit(x, y)
+        pred = model.predict(x)
+        np.testing.assert_allclose(pred, y, atol=1e-8)
+        assert model.score_r2(x, y) == pytest.approx(1.0)
+
+    def test_regularization_shrinks_coefficients(self, rng):
+        x = rng.uniform(-1, 1, (100, 2))
+        y = 5.0 * x[:, 0] + rng.normal(0, 0.01, 100)
+        loose = RidgeRegression(alpha=1e-10).fit(x, y)
+        tight = RidgeRegression(alpha=100.0).fit(x, y)
+        assert np.abs(tight.coef_).sum() < np.abs(loose.coef_).sum()
+
+    def test_underdetermined_rejected(self, rng):
+        with pytest.raises(ExaDigiTError, match="underdetermined"):
+            RidgeRegression().fit(rng.uniform(size=(3, 5)), np.zeros(3))
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(ExaDigiTError):
+            RidgeRegression().predict(np.zeros((1, 2)))
+
+    def test_constant_feature_handled(self, rng):
+        x = np.column_stack([np.ones(50), rng.uniform(size=50)])
+        y = x[:, 1] * 2.0
+        model = RidgeRegression(alpha=1e-8).fit(x, y)
+        assert model.score_r2(x, y) > 0.999
+
+
+class TestPowerSurrogate:
+    @pytest.fixture(scope="class")
+    def surrogate(self):
+        return PowerSurrogate.fit_from_simulation(
+            make_small_spec(), n_samples=200, seed=3
+        )
+
+    def test_quality_reported(self, surrogate):
+        assert surrogate.quality is not None
+        assert surrogate.quality.r2 > 0.99  # the truth is near-polynomial
+
+    def test_tracks_the_l4_model(self, surrogate):
+        from repro.power.system import SystemPowerModel
+
+        spec = make_small_spec()
+        model = SystemPowerModel(spec)
+        truth = model.evaluate_uniform(0.4, 0.6).system_power_w
+        pred = float(surrogate.predict_power_w(1.0, 0.4, 0.6)[0])
+        assert pred == pytest.approx(truth, rel=0.02)
+
+    def test_monotone_in_utilization(self, surrogate):
+        lo = float(surrogate.predict_power_w(1.0, 0.2, 0.2)[0])
+        hi = float(surrogate.predict_power_w(1.0, 0.9, 0.9)[0])
+        assert hi > lo
+
+    def test_rejects_out_of_range(self, surrogate):
+        with pytest.raises(ExaDigiTError):
+            surrogate.predict_power_w(1.5, 0.5, 0.5)
+
+    def test_vectorized_queries(self, surrogate):
+        out = surrogate.predict_power_w(
+            np.array([0.1, 0.5, 1.0]),
+            np.array([0.3, 0.3, 0.3]),
+            np.array([0.5, 0.5, 0.5]),
+        )
+        assert out.shape == (3,)
+        assert np.all(np.diff(out) > 0)  # more active nodes, more power

@@ -1,0 +1,56 @@
+"""CoolingSurrogate: trained on plant steady states (slowish test)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ExaDigiTError
+from repro.surrogate.models import CoolingSurrogate
+from tests.conftest import make_small_spec
+
+
+@pytest.fixture(scope="module")
+def surrogate():
+    # Small grid + short settle keeps this test tractable; the mini
+    # system's plant is the same code as Frontier's.
+    # degree=2 keeps the feature count below the 3x3 grid's sample count.
+    return CoolingSurrogate.fit_from_simulation(
+        make_small_spec(),
+        power_range_w=(0.2e6, 0.8e6),
+        wetbulb_range_c=(5.0, 25.0),
+        grid=3,
+        settle_s=1800.0,
+        degree=2,
+    )
+
+
+def test_quality_reported(surrogate):
+    assert surrogate.quality is not None
+    assert surrogate.quality.n_train + surrogate.quality.n_test == 9
+
+
+def test_pue_physical_band(surrogate):
+    pue = surrogate.predict_pue(0.5e6, 15.0)
+    assert 1.0 < float(pue[0]) < 2.0
+
+
+def test_htw_supply_prediction_physical(surrogate):
+    temp = surrogate.predict_htw_supply_c(0.5e6, 15.0)
+    assert 15.0 < float(temp[0]) < 45.0
+
+
+def test_out_of_domain_rejected(surrogate):
+    with pytest.raises(ExaDigiTError, match="interpolative"):
+        surrogate.predict_pue(50.0e6, 15.0)
+
+
+def test_unfitted_rejected():
+    fresh = CoolingSurrogate()
+    with pytest.raises(ExaDigiTError):
+        fresh.predict_pue(0.5e6, 15.0)
+
+
+def test_vectorized_queries(surrogate):
+    out = surrogate.predict_pue(
+        np.array([0.3e6, 0.5e6, 0.7e6]), np.array([10.0, 10.0, 10.0])
+    )
+    assert out.shape == (3,)

@@ -1,0 +1,80 @@
+"""The facility-csv parser (BMS-style flat exports)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TelemetryError
+from repro.telemetry.parsers import parse_telemetry
+
+
+def write_csv(tmp_path, text, name="fac.csv"):
+    p = tmp_path / name
+    p.write_text(text)
+    return p
+
+
+GOOD = """time_s,htw_supply_temp,rack_power[0],rack_power[1]
+0,29.0,100.0,110.0
+15,29.1,105.0,115.0
+30,29.2,102.0,112.0
+"""
+
+
+def test_scalar_and_indexed_series(tmp_path):
+    ds = parse_telemetry("facility-csv", write_csv(tmp_path, GOOD))
+    assert "htw_supply_temp" in ds
+    np.testing.assert_allclose(
+        ds["htw_supply_temp"].values, [29.0, 29.1, 29.2]
+    )
+    rp = ds["rack_power"]
+    assert rp.width == 2
+    np.testing.assert_allclose(rp.values[:, 1], [110.0, 115.0, 112.0])
+
+
+def test_time_axis_from_time_column(tmp_path):
+    ds = parse_telemetry("facility-csv", write_csv(tmp_path, GOOD))
+    np.testing.assert_allclose(ds["htw_supply_temp"].times, [0, 15, 30])
+
+
+def test_units_applied(tmp_path):
+    ds = parse_telemetry(
+        "facility-csv",
+        write_csv(tmp_path, GOOD),
+        units={"rack_power": "W", "htw_supply_temp": "degC"},
+    )
+    assert ds["rack_power"].units == "W"
+    assert ds["htw_supply_temp"].units == "degC"
+
+
+def test_missing_time_column(tmp_path):
+    bad = GOOD.replace("time_s", "timestamp")
+    with pytest.raises(TelemetryError, match="time column"):
+        parse_telemetry("facility-csv", write_csv(tmp_path, bad))
+
+
+def test_non_numeric_cell(tmp_path):
+    bad = GOOD.replace("105.0", "n/a")
+    with pytest.raises(TelemetryError, match="non-numeric"):
+        parse_telemetry("facility-csv", write_csv(tmp_path, bad))
+
+
+def test_channel_gap_rejected(tmp_path):
+    bad = GOOD.replace("rack_power[1]", "rack_power[2]")
+    with pytest.raises(TelemetryError, match="gaps"):
+        parse_telemetry("facility-csv", write_csv(tmp_path, bad))
+
+
+def test_empty_file_rejected(tmp_path):
+    with pytest.raises(TelemetryError, match="empty"):
+        parse_telemetry("facility-csv", write_csv(tmp_path, ""))
+
+
+def test_missing_file(tmp_path):
+    with pytest.raises(TelemetryError, match="not found"):
+        parse_telemetry("facility-csv", tmp_path / "nope.csv")
+
+
+def test_registered_alongside_reference_parsers():
+    from repro.telemetry.parsers import available_parsers
+
+    assert "facility-csv" in available_parsers()

@@ -1,0 +1,171 @@
+"""TimeSeries/TelemetryDataset behaviour: resampling, slicing, persistence."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TelemetryError
+from repro.telemetry.dataset import TelemetryDataset, TimeSeries, concat_series
+from repro.telemetry.schema import JobRecord
+
+
+def make_series(n=10, dt=15.0, width=1):
+    t = dt * np.arange(n)
+    v = np.arange(n, dtype=float)
+    if width > 1:
+        v = np.tile(v[:, None], (1, width))
+    return TimeSeries(t, v, "W")
+
+
+class TestTimeSeries:
+    def test_basic_properties(self):
+        ts = make_series(5)
+        assert len(ts) == 5
+        assert ts.width == 1
+        assert ts.t_start == 0.0
+        assert ts.t_end == 60.0
+
+    def test_multichannel_width(self):
+        assert make_series(width=25).width == 25
+
+    def test_rejects_nonincreasing_times(self):
+        with pytest.raises(TelemetryError, match="strictly increasing"):
+            TimeSeries(np.array([0.0, 1.0, 1.0]), np.zeros(3))
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(TelemetryError, match="lengths differ"):
+            TimeSeries(np.arange(3.0), np.zeros(4))
+
+    def test_slice_half_open(self):
+        ts = make_series(10)
+        sub = ts.slice(15.0, 60.0)
+        np.testing.assert_allclose(sub.times, [15.0, 30.0, 45.0])
+
+    def test_resample_linear_interpolates(self):
+        ts = make_series(3)  # values 0,1,2 at t=0,15,30
+        out = ts.resample(np.array([7.5, 22.5]))
+        np.testing.assert_allclose(out.values, [0.5, 1.5])
+
+    def test_resample_hold_takes_previous(self):
+        ts = make_series(3)
+        out = ts.resample(np.array([14.9, 15.0, 29.9]), method="hold")
+        np.testing.assert_allclose(out.values, [0.0, 1.0, 1.0])
+
+    def test_resample_clamps_outside_support(self):
+        ts = make_series(3)
+        out = ts.resample(np.array([-10.0, 100.0]))
+        np.testing.assert_allclose(out.values, [0.0, 2.0])
+
+    def test_resample_multichannel(self):
+        ts = make_series(3, width=4)
+        out = ts.resample(np.array([7.5]))
+        assert out.values.shape == (1, 4)
+        np.testing.assert_allclose(out.values[0], 0.5)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(TelemetryError):
+            make_series().resample(np.array([0.0]), method="cubic")
+
+    def test_statistics(self):
+        ts = make_series(5)
+        assert ts.mean() == pytest.approx(2.0)
+        assert ts.min() == 0.0
+        assert ts.max() == 4.0
+        assert ts.std() == pytest.approx(np.std(np.arange(5.0)))
+
+    def test_integral_trapezoid(self):
+        # Constant 2 W over 60 s -> 120 J.
+        ts = TimeSeries(np.array([0.0, 60.0]), np.array([2.0, 2.0]))
+        assert ts.integral() == pytest.approx(120.0)
+
+    def test_integral_needs_two_samples(self):
+        with pytest.raises(TelemetryError):
+            TimeSeries(np.array([0.0]), np.array([1.0])).integral()
+
+    def test_regular_constructor(self):
+        ts = TimeSeries.regular(100.0, 15.0, np.arange(4.0))
+        np.testing.assert_allclose(ts.times, [100.0, 115.0, 130.0, 145.0])
+
+    def test_value_at(self):
+        ts = make_series(3)
+        assert float(ts.value_at(7.5)) == pytest.approx(0.5)
+
+
+class TestConcat:
+    def test_concat_preserves_order(self):
+        a = TimeSeries(np.array([0.0, 1.0]), np.array([1.0, 2.0]))
+        b = TimeSeries(np.array([2.0, 3.0]), np.array([3.0, 4.0]))
+        c = concat_series([a, b])
+        np.testing.assert_allclose(c.values, [1.0, 2.0, 3.0, 4.0])
+
+    def test_concat_rejects_overlap(self):
+        a = TimeSeries(np.array([0.0, 2.0]), np.array([1.0, 2.0]))
+        b = TimeSeries(np.array([1.0, 3.0]), np.array([3.0, 4.0]))
+        with pytest.raises(TelemetryError):
+            concat_series([a, b])
+
+    def test_concat_empty_rejected(self):
+        with pytest.raises(TelemetryError):
+            concat_series([])
+
+
+def make_job(job_id=1, start=0.0):
+    return JobRecord(
+        job_name=f"j{job_id}",
+        job_id=job_id,
+        node_count=2,
+        start_time=start,
+        wall_time=30.0,
+        cpu_util=np.array([0.5, 0.6]),
+        gpu_util=np.array([0.7, 0.8]),
+    )
+
+
+class TestTelemetryDataset:
+    def test_add_and_get_series(self):
+        ds = TelemetryDataset(name="d")
+        ds.add_series("power", make_series())
+        assert "power" in ds
+        assert len(ds["power"]) == 10
+
+    def test_duplicate_series_rejected(self):
+        ds = TelemetryDataset(name="d")
+        ds.add_series("power", make_series())
+        with pytest.raises(TelemetryError, match="already present"):
+            ds.add_series("power", make_series())
+
+    def test_missing_series_lists_available(self):
+        ds = TelemetryDataset(name="d")
+        ds.add_series("power", make_series())
+        with pytest.raises(TelemetryError, match="power"):
+            ds["nope"]
+
+    def test_jobs_sorted_by_start(self):
+        ds = TelemetryDataset(name="d")
+        ds.add_job(make_job(1, start=50.0))
+        ds.add_job(make_job(2, start=10.0))
+        assert [j.job_id for j in ds.jobs_sorted()] == [2, 1]
+
+    def test_jobs_in_window(self):
+        ds = TelemetryDataset(name="d")
+        for i, s in enumerate((0.0, 100.0, 200.0)):
+            ds.add_job(make_job(i, start=s))
+        got = list(ds.jobs_in_window(50.0, 250.0))
+        assert [j.start_time for j in got] == [100.0, 200.0]
+
+    def test_save_load_roundtrip(self, tmp_path):
+        ds = TelemetryDataset(name="d", metadata={"k": 1})
+        ds.add_series("power", make_series(width=3))
+        ds.add_job(make_job())
+        ds.save(tmp_path / "data")
+        back = TelemetryDataset.load(tmp_path / "data")
+        assert back.name == "d"
+        assert back.metadata == {"k": 1}
+        np.testing.assert_allclose(
+            back["power"].values, ds["power"].values
+        )
+        assert len(back.jobs) == 1
+        np.testing.assert_allclose(back.jobs[0].cpu_util, ds.jobs[0].cpu_util)
+
+    def test_load_missing_files_rejected(self, tmp_path):
+        with pytest.raises(TelemetryError, match="not found"):
+            TelemetryDataset.load(tmp_path / "nothing")

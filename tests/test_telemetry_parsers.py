@@ -1,0 +1,128 @@
+"""Pluggable parser registry and the reference parsers (paper Section V)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TelemetryError
+from repro.telemetry.dataset import TelemetryDataset
+from repro.telemetry.parsers import (
+    available_parsers,
+    get_parser,
+    parse_telemetry,
+    register_parser,
+    unregister_parser,
+)
+
+
+def test_reference_parsers_registered():
+    assert {"native", "jobs-json"} <= set(available_parsers())
+
+
+def test_unknown_parser_lists_available():
+    with pytest.raises(TelemetryError, match="native"):
+        get_parser("site-xyz")
+
+
+def test_register_and_unregister_custom_parser():
+    @register_parser("test-fmt")
+    def parse(source, **kw):
+        return TelemetryDataset(name="custom")
+
+    try:
+        assert "test-fmt" in available_parsers()
+        ds = parse_telemetry("test-fmt", "ignored")
+        assert ds.name == "custom"
+    finally:
+        unregister_parser("test-fmt")
+    assert "test-fmt" not in available_parsers()
+
+
+def test_duplicate_registration_rejected():
+    with pytest.raises(TelemetryError, match="already registered"):
+        register_parser("native", lambda s, **kw: None)
+
+
+def _jobs_json_doc():
+    return {
+        "name": "pm100-sample",
+        "jobs": [
+            {
+                "job_name": "vasp",
+                "job_id": 11,
+                "node_count": 4,
+                "start_time": 120.0,
+                "cpu_power": [90.0, 185.0, 280.0],
+                "gpu_power": [88.0, 324.0, 560.0],
+            },
+            {
+                "job_id": 12,
+                "node_count": 1,
+                "start_time": 300.0,
+                "cpu_power": [185.0],
+                "gpu_power": [324.0],
+            },
+        ],
+        "measured_power": {"t0": 0.0, "dt": 1.0, "values": [1.0, 2.0, 3.0]},
+    }
+
+
+def test_jobs_json_parses_jobs_and_power(tmp_path):
+    path = tmp_path / "jobs.json"
+    path.write_text(json.dumps(_jobs_json_doc()))
+    ds = parse_telemetry("jobs-json", path)
+    assert ds.name == "pm100-sample"
+    assert len(ds.jobs) == 2
+    job = ds.jobs[0]
+    assert job.job_name == "vasp"
+    np.testing.assert_allclose(job.cpu_util, [0.0, 0.5, 1.0])
+    assert "measured_power" in ds
+    np.testing.assert_allclose(ds["measured_power"].values, [1.0, 2.0, 3.0])
+
+
+def test_jobs_json_default_name_from_id(tmp_path):
+    path = tmp_path / "jobs.json"
+    path.write_text(json.dumps(_jobs_json_doc()))
+    ds = parse_telemetry("jobs-json", path)
+    assert ds.jobs[1].job_name == "job12"
+
+
+def test_jobs_json_missing_file(tmp_path):
+    with pytest.raises(TelemetryError, match="not found"):
+        parse_telemetry("jobs-json", tmp_path / "nope.json")
+
+
+def test_jobs_json_invalid_json(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("{")
+    with pytest.raises(TelemetryError, match="invalid JSON"):
+        parse_telemetry("jobs-json", path)
+
+
+def test_jobs_json_missing_jobs_key(tmp_path):
+    path = tmp_path / "nojobs.json"
+    path.write_text("{}")
+    with pytest.raises(TelemetryError, match="'jobs'"):
+        parse_telemetry("jobs-json", path)
+
+
+def test_jobs_json_missing_record_key(tmp_path):
+    doc = _jobs_json_doc()
+    del doc["jobs"][0]["node_count"]
+    path = tmp_path / "broken.json"
+    path.write_text(json.dumps(doc))
+    with pytest.raises(TelemetryError, match="missing key"):
+        parse_telemetry("jobs-json", path)
+
+
+def test_native_roundtrip(tmp_path):
+    from repro.telemetry.dataset import TimeSeries
+
+    ds = TelemetryDataset(name="orig")
+    ds.add_series(
+        "measured_power", TimeSeries(np.arange(3.0), np.ones(3), "W")
+    )
+    ds.save(tmp_path / "native")
+    back = parse_telemetry("native", tmp_path / "native")
+    assert back.name == "orig"

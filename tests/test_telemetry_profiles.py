@@ -1,0 +1,109 @@
+"""Utilization-profile shapes (HPL, OpenMxP, generic applications)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TelemetryError
+from repro.telemetry import profiles
+
+
+class TestConstantProfile:
+    def test_length_matches_duration(self):
+        cpu, gpu = profiles.constant_profile(150.0, 0.5, 0.5)
+        assert cpu.size == gpu.size == 10  # 150 s / 15 s quanta
+
+    def test_values_clipped(self):
+        cpu, gpu = profiles.constant_profile(30.0, 1.5, -0.2)
+        assert cpu.max() == 1.0
+        assert gpu.min() == 0.0
+
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(TelemetryError):
+            profiles.constant_profile(0.0, 0.5, 0.5)
+
+
+class TestRampedProfile:
+    def test_plateau_reaches_target(self):
+        cpu, gpu = profiles.ramped_profile(3600.0, 0.4, 0.8)
+        mid = slice(cpu.size // 3, 2 * cpu.size // 3)
+        np.testing.assert_allclose(cpu[mid], 0.4, atol=1e-9)
+        np.testing.assert_allclose(gpu[mid], 0.8, atol=1e-9)
+
+    def test_edges_below_plateau(self):
+        cpu, _ = profiles.ramped_profile(3600.0, 0.4, 0.8, ramp_s=600.0)
+        assert cpu[0] < 0.4
+        assert cpu[-1] < 0.4
+
+
+class TestHplProfile:
+    def test_core_phase_matches_table3_point(self):
+        cpu, gpu = profiles.hpl_profile(5400.0)
+        # Middle of the run is the core phase: 79 % GPU, 33 % CPU.
+        mid = slice(cpu.size // 3, 2 * cpu.size // 3)
+        np.testing.assert_allclose(gpu[mid], profiles.HPL_GPU_UTIL)
+        np.testing.assert_allclose(cpu[mid], profiles.HPL_CPU_UTIL)
+
+    def test_startup_and_tail_below_core(self):
+        cpu, gpu = profiles.hpl_profile(5400.0)
+        assert gpu[0] < profiles.HPL_GPU_UTIL
+        assert gpu[-1] < profiles.HPL_GPU_UTIL
+
+    def test_tail_monotone_decay(self):
+        _, gpu = profiles.hpl_profile(5400.0)
+        tail = gpu[int(0.9 * gpu.size):]
+        assert np.all(np.diff(tail) <= 1e-12)
+
+
+class TestOpenMxpProfile:
+    def test_gpu_hotter_than_hpl(self):
+        _, gpu_hpl = profiles.hpl_profile(3600.0)
+        _, gpu_mxp = profiles.openmxp_profile(3600.0)
+        assert np.median(gpu_mxp) > np.median(gpu_hpl)
+
+    def test_bounds(self):
+        cpu, gpu = profiles.openmxp_profile(3600.0)
+        assert cpu.min() >= 0 and cpu.max() <= 1
+        assert gpu.min() >= 0 and gpu.max() <= 1
+
+
+class TestNoisyApplicationProfile:
+    def test_reproducible_with_same_seed(self):
+        a = profiles.noisy_application_profile(
+            3600.0, np.random.default_rng(1)
+        )
+        b = profiles.noisy_application_profile(
+            3600.0, np.random.default_rng(1)
+        )
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_mean_near_levels(self):
+        rng = np.random.default_rng(2)
+        cpu, gpu = profiles.noisy_application_profile(
+            86400.0, rng, cpu_level=0.4, gpu_level=0.6, io_phase_prob=0.0
+        )
+        assert abs(cpu.mean() - 0.4) < 0.05
+        assert abs(gpu.mean() - 0.6) < 0.05
+
+    def test_bounds_always_respected(self):
+        rng = np.random.default_rng(3)
+        cpu, gpu = profiles.noisy_application_profile(
+            7200.0, rng, cpu_level=0.95, gpu_level=0.02, noise=0.3
+        )
+        for trace in (cpu, gpu):
+            assert trace.min() >= 0.0
+            assert trace.max() <= 1.0
+
+    def test_io_phases_create_dips(self):
+        rng = np.random.default_rng(4)
+        _, gpu = profiles.noisy_application_profile(
+            86400.0, rng, gpu_level=0.8, noise=0.01, io_phase_prob=1.0
+        )
+        # With forced IO phases, some quanta drop well below the level.
+        assert gpu.min() < 0.4
+
+    def test_rejects_bad_correlation(self):
+        with pytest.raises(TelemetryError):
+            profiles.noisy_application_profile(
+                600.0, np.random.default_rng(0), correlation=1.0
+            )

@@ -1,0 +1,103 @@
+"""Replay cursors and the job replay source."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TelemetryError
+from repro.telemetry.dataset import TelemetryDataset, TimeSeries
+from repro.telemetry.replay import JobReplaySource, ReplayCursor
+from repro.telemetry.schema import JobRecord
+
+
+def make_series():
+    return TimeSeries(np.array([0.0, 10.0, 20.0]), np.array([1.0, 2.0, 3.0]))
+
+
+class TestReplayCursor:
+    def test_hold_semantics(self):
+        c = ReplayCursor(make_series(), method="hold")
+        assert c.value(0.0) == 1.0
+        assert c.value(9.9) == 1.0
+        assert c.value(10.0) == 2.0
+        assert c.value(25.0) == 3.0
+
+    def test_linear_semantics(self):
+        c = ReplayCursor(make_series(), method="linear")
+        assert c.value(5.0) == pytest.approx(1.5)
+        assert c.value(15.0) == pytest.approx(2.5)
+        assert c.value(99.0) == pytest.approx(3.0)
+
+    def test_rejects_backwards_time(self):
+        c = ReplayCursor(make_series())
+        c.value(10.0)
+        with pytest.raises(TelemetryError, match="backwards"):
+            c.value(5.0)
+
+    def test_reset_rewinds(self):
+        c = ReplayCursor(make_series())
+        c.value(20.0)
+        c.reset()
+        assert c.value(0.0) == 1.0
+
+    def test_rejects_empty_series(self):
+        empty = TimeSeries(np.array([]), np.array([]))
+        with pytest.raises(TelemetryError):
+            ReplayCursor(empty)
+
+    def test_matches_resample_over_random_walk(self):
+        rng = np.random.default_rng(0)
+        times = np.sort(rng.uniform(0, 100, 50))
+        times = np.unique(times)
+        series = TimeSeries(times, rng.normal(size=times.size))
+        cursor = ReplayCursor(series, method="linear")
+        queries = np.sort(rng.uniform(times[0], times[-1], 200))
+        got = np.array([float(cursor.value(q)) for q in queries])
+        want = series.resample(queries).values
+        np.testing.assert_allclose(got, want, atol=1e-12)
+
+
+def make_dataset():
+    ds = TelemetryDataset(name="d")
+    for i, start in enumerate((30.0, 10.0, 20.0)):
+        ds.add_job(
+            JobRecord(
+                job_name=f"j{i}",
+                job_id=i,
+                node_count=1,
+                start_time=start,
+                wall_time=15.0,
+                cpu_util=np.array([0.5]),
+                gpu_util=np.array([0.5]),
+            )
+        )
+    return ds
+
+
+class TestJobReplaySource:
+    def test_delivery_in_start_order(self):
+        src = JobReplaySource(make_dataset())
+        assert [j.job_id for j in src.take_until(25.0)] == [1, 2]
+        assert [j.job_id for j in src.take_until(100.0)] == [0]
+
+    def test_no_double_delivery(self):
+        src = JobReplaySource(make_dataset())
+        src.take_until(100.0)
+        assert src.take_until(200.0) == []
+        assert src.remaining == 0
+
+    def test_peek_next_time(self):
+        src = JobReplaySource(make_dataset())
+        assert src.peek_next_time() == 10.0
+        src.take_until(15.0)
+        assert src.peek_next_time() == 20.0
+
+    def test_peek_exhausted_returns_none(self):
+        src = JobReplaySource(make_dataset())
+        src.take_until(1e9)
+        assert src.peek_next_time() is None
+
+    def test_reset(self):
+        src = JobReplaySource(make_dataset())
+        src.take_until(1e9)
+        src.reset()
+        assert src.remaining == 3

@@ -1,0 +1,141 @@
+"""JobRecord semantics and the Table II schema declaration."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TelemetryError
+from repro.telemetry.schema import (
+    TRACE_QUANTA_S,
+    JobRecord,
+    table2_schema,
+)
+
+
+def make_record(**overrides):
+    base = dict(
+        job_name="j",
+        job_id=1,
+        node_count=4,
+        start_time=100.0,
+        wall_time=60.0,
+        cpu_util=np.array([0.2, 0.4, 0.6, 0.8]),
+        gpu_util=np.array([0.1, 0.3, 0.5, 0.7]),
+    )
+    base.update(overrides)
+    return JobRecord(**base)
+
+
+class TestJobRecord:
+    def test_end_time_and_node_seconds(self):
+        r = make_record()
+        assert r.end_time == pytest.approx(160.0)
+        assert r.node_seconds == pytest.approx(240.0)
+
+    def test_util_at_uses_zero_order_hold(self):
+        r = make_record()
+        assert r.util_at(0.0) == (0.2, 0.1)
+        assert r.util_at(15.0) == (0.4, 0.3)
+        assert r.util_at(29.9) == (0.4, 0.3)
+
+    def test_util_at_clamps_past_trace_end(self):
+        r = make_record()
+        assert r.util_at(10_000.0) == (0.8, 0.7)
+
+    def test_util_at_rejects_negative_elapsed(self):
+        with pytest.raises(TelemetryError):
+            make_record().util_at(-1.0)
+
+    def test_rejects_mismatched_traces(self):
+        with pytest.raises(TelemetryError, match="lengths differ"):
+            make_record(gpu_util=np.array([0.1, 0.2]))
+
+    def test_rejects_out_of_range_utilization(self):
+        with pytest.raises(TelemetryError, match="outside"):
+            make_record(cpu_util=np.array([0.2, 1.4, 0.6, 0.8]))
+
+    def test_rejects_empty_trace(self):
+        with pytest.raises(TelemetryError):
+            make_record(cpu_util=np.array([]), gpu_util=np.array([]))
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(TelemetryError):
+            make_record(node_count=0)
+
+
+class TestFromPowerTraces:
+    def test_linear_inversion(self):
+        # Paper: power is linearly interpolated to utilization.
+        r = JobRecord.from_power_traces(
+            job_name="hpl",
+            job_id=2,
+            node_count=8,
+            start_time=0.0,
+            cpu_power_w=np.array([90.0, 185.0, 280.0]),
+            gpu_power_w=np.array([88.0, 324.0, 560.0]),
+            cpu_idle_w=90.0,
+            cpu_max_w=280.0,
+            gpu_idle_w=88.0,
+            gpu_max_w=560.0,
+        )
+        np.testing.assert_allclose(r.cpu_util, [0.0, 0.5, 1.0])
+        np.testing.assert_allclose(r.gpu_util, [0.0, 0.5, 1.0])
+
+    def test_clips_out_of_envelope_power(self):
+        r = JobRecord.from_power_traces(
+            job_name="x",
+            job_id=3,
+            node_count=1,
+            start_time=0.0,
+            cpu_power_w=np.array([50.0, 400.0]),
+            gpu_power_w=np.array([0.0, 700.0]),
+            cpu_idle_w=90.0,
+            cpu_max_w=280.0,
+            gpu_idle_w=88.0,
+            gpu_max_w=560.0,
+        )
+        assert r.cpu_util[0] == 0.0 and r.cpu_util[1] == 1.0
+        assert r.gpu_util[0] == 0.0 and r.gpu_util[1] == 1.0
+
+    def test_wall_time_from_trace_length(self):
+        r = JobRecord.from_power_traces(
+            job_name="x", job_id=4, node_count=1, start_time=0.0,
+            cpu_power_w=np.full(10, 100.0), gpu_power_w=np.full(10, 100.0),
+            cpu_idle_w=90.0, cpu_max_w=280.0, gpu_idle_w=88.0, gpu_max_w=560.0,
+        )
+        assert r.wall_time == pytest.approx(10 * TRACE_QUANTA_S)
+
+    def test_zero_span_devices_yield_zero_util(self):
+        r = JobRecord.from_power_traces(
+            job_name="cpuonly", job_id=5, node_count=1, start_time=0.0,
+            cpu_power_w=np.array([200.0]), gpu_power_w=np.array([0.0]),
+            cpu_idle_w=90.0, cpu_max_w=280.0, gpu_idle_w=0.0, gpu_max_w=0.0,
+        )
+        assert r.gpu_util[0] == 0.0
+
+
+class TestTable2Schema:
+    def test_declared_series_present(self):
+        schema = table2_schema()
+        names = schema.names()
+        for expected in (
+            "measured_power",
+            "rack_power",
+            "wetbulb_temperature",
+            "cdu_htw_flow",
+            "pue",
+        ):
+            assert expected in names
+
+    def test_cadences_match_table2(self):
+        schema = table2_schema()
+        assert schema.spec_for("measured_power").resolution_s == 1.0
+        assert schema.spec_for("rack_power").resolution_s == 15.0
+        assert schema.spec_for("wetbulb_temperature").resolution_s == 60.0
+
+    def test_cdu_series_width_follows_system(self):
+        schema = table2_schema(num_cdus=10)
+        assert schema.spec_for("rack_power").width == 10
+
+    def test_unknown_series_rejected(self):
+        with pytest.raises(TelemetryError):
+            table2_schema().spec_for("does_not_exist")

@@ -1,0 +1,145 @@
+"""Synthetic telemetry generator: determinism, calibration, scripted days."""
+
+import numpy as np
+import pytest
+
+from repro.config.frontier import frontier_spec
+from repro.exceptions import TelemetryError
+from repro.telemetry.synthesis import (
+    SyntheticTelemetryGenerator,
+    WorkloadDayParams,
+    synthesize_wetbulb,
+)
+from repro.units import SECONDS_PER_DAY
+
+
+@pytest.fixture(scope="module")
+def gen():
+    return SyntheticTelemetryGenerator(frontier_spec(), seed=42)
+
+
+class TestWetbulb:
+    def test_cadence_and_coverage(self, rng):
+        ts = synthesize_wetbulb(3600.0, rng)
+        assert ts.times[1] - ts.times[0] == pytest.approx(60.0)
+        assert ts.t_end >= 3600.0
+
+    def test_plausible_range(self, rng):
+        ts = synthesize_wetbulb(SECONDS_PER_DAY, rng, day_of_year=200)
+        assert -20.0 < float(ts.min()) and float(ts.max()) < 40.0
+
+    def test_seasonal_shift(self):
+        summer = synthesize_wetbulb(
+            SECONDS_PER_DAY, np.random.default_rng(0), day_of_year=200
+        )
+        winter = synthesize_wetbulb(
+            SECONDS_PER_DAY, np.random.default_rng(0), day_of_year=15
+        )
+        assert float(summer.mean()) > float(winter.mean())
+
+    def test_rejects_nonpositive_duration(self, rng):
+        with pytest.raises(TelemetryError):
+            synthesize_wetbulb(0.0, rng)
+
+
+class TestDayParams:
+    def test_draws_inside_table4_envelope(self, rng):
+        for _ in range(200):
+            p = WorkloadDayParams.draw(rng)
+            assert 17.0 <= p.mean_arrival_s <= 2988.0
+            assert 39.0 <= p.mean_nodes_per_job <= 5441.0
+            assert 17.0 * 60 <= p.mean_runtime_s <= 101.0 * 60
+
+    def test_population_mean_near_table4(self):
+        rng = np.random.default_rng(7)
+        draws = [WorkloadDayParams.draw(rng) for _ in range(3000)]
+        arrivals = np.array([p.mean_arrival_s for p in draws])
+        nodes = np.array([p.mean_nodes_per_job for p in draws])
+        # Clipping pulls the mean below the unclipped lognormal target;
+        # accept the Table IV average within a generous band.
+        assert 90.0 < arrivals.mean() < 190.0
+        assert 180.0 < nodes.mean() < 360.0
+
+    def test_validation(self):
+        with pytest.raises(TelemetryError):
+            WorkloadDayParams(
+                mean_arrival_s=-1, mean_nodes_per_job=10, mean_runtime_s=60
+            )
+
+
+class TestGenerator:
+    def test_day_is_deterministic_per_index(self):
+        g1 = SyntheticTelemetryGenerator(frontier_spec(), seed=42)
+        g2 = SyntheticTelemetryGenerator(frontier_spec(), seed=42)
+        d1, d2 = g1.day(3), g2.day(3)
+        assert len(d1.jobs) == len(d2.jobs)
+        np.testing.assert_array_equal(
+            d1.jobs[0].cpu_util, d2.jobs[0].cpu_util
+        )
+
+    def test_days_are_independent_of_generation_order(self):
+        g1 = SyntheticTelemetryGenerator(frontier_spec(), seed=9)
+        g2 = SyntheticTelemetryGenerator(frontier_spec(), seed=9)
+        _ = g1.day(0)  # generate an extra day first
+        a = g1.day(5)
+        b = g2.day(5)
+        assert len(a.jobs) == len(b.jobs)
+
+    def test_different_seeds_differ(self):
+        a = SyntheticTelemetryGenerator(frontier_spec(), seed=1).day(0)
+        b = SyntheticTelemetryGenerator(frontier_spec(), seed=2).day(0)
+        assert len(a.jobs) != len(b.jobs) or not np.array_equal(
+            a.jobs[0].cpu_util, b.jobs[0].cpu_util
+        )
+
+    def test_day_jobs_within_bounds(self, gen):
+        ds = gen.day(1)
+        total = frontier_spec().total_nodes
+        for job in ds.jobs:
+            assert 1 <= job.node_count <= total
+            assert 0.0 <= job.start_time < SECONDS_PER_DAY
+            assert job.wall_time >= 60.0
+
+    def test_day_has_weather(self, gen):
+        assert "wetbulb_temperature" in gen.day(2)
+
+    def test_campaign_length(self, gen):
+        days = gen.campaign(3, start_day=100)
+        assert len(days) == 3
+        assert days[0].metadata["day_index"] == 100
+
+    def test_campaign_rejects_zero_days(self, gen):
+        with pytest.raises(TelemetryError):
+            gen.campaign(0)
+
+
+class TestScriptedDays:
+    def test_fig9_day_composition(self, gen):
+        ds = gen.replay_day_fig9()
+        # Paper: 1238 jobs total, 400 single-node, 4 HPL 9216-node runs.
+        assert len(ds.jobs) == 1238
+        hpl = [j for j in ds.jobs if j.job_name.startswith("hpl")]
+        assert len(hpl) == 4
+        assert all(j.node_count == 9216 for j in hpl)
+        singles = [j for j in ds.jobs if j.job_name.startswith("single-")]
+        assert len(singles) == 400
+        assert all(j.node_count == 1 for j in singles)
+
+    def test_fig9_hpl_back_to_back(self, gen):
+        ds = gen.replay_day_fig9()
+        hpl = sorted(
+            (j for j in ds.jobs if j.job_name.startswith("hpl")),
+            key=lambda j: j.start_time,
+        )
+        gaps = [
+            b.start_time - (a.start_time + a.wall_time)
+            for a, b in zip(hpl, hpl[1:])
+        ]
+        assert all(0.0 <= g <= 600.0 for g in gaps)
+
+    def test_benchmark_day_sequence(self, gen):
+        ds = gen.benchmark_day()
+        names = [j.job_name for j in ds.jobs_sorted()]
+        assert names == ["hpl", "openmxp"]
+        hpl, mxp = ds.jobs_sorted()
+        assert hpl.end_time <= mxp.start_time  # separated by an idle gap

@@ -1,0 +1,57 @@
+"""Unit-conversion correctness and round-trip identities."""
+
+import numpy as np
+import pytest
+
+from repro import units
+
+
+def test_watts_megawatts_roundtrip():
+    assert units.watts_to_megawatts(28.2e6) == pytest.approx(28.2)
+    assert units.megawatts_to_watts(units.watts_to_megawatts(123456.0)) == (
+        pytest.approx(123456.0)
+    )
+
+
+def test_energy_conversions():
+    # 1 MW for one hour = 1 MW-hr = 3.6e9 J.
+    assert units.joules_to_megawatt_hours(3.6e9) == pytest.approx(1.0)
+    assert units.megawatt_hours_to_joules(1.0) == pytest.approx(3.6e9)
+
+
+def test_flow_gpm_roundtrip():
+    q = units.gpm_to_m3s(10000.0)
+    assert q == pytest.approx(0.6309, rel=1e-3)
+    assert units.m3s_to_gpm(q) == pytest.approx(10000.0)
+
+
+def test_flow_lpm():
+    # HEX-1600's nameplate: 1600 L/min.
+    assert units.lpm_to_m3s(1600.0) == pytest.approx(0.02667, rel=1e-3)
+    assert units.m3s_to_lpm(units.lpm_to_m3s(42.0)) == pytest.approx(42.0)
+
+
+def test_pressure_conversions():
+    assert units.psi_to_pa(1.0) == pytest.approx(6894.76, rel=1e-4)
+    assert units.pa_to_psi(units.psi_to_pa(75.0)) == pytest.approx(75.0)
+    assert units.pa_to_kpa(300e3) == pytest.approx(300.0)
+    assert units.kpa_to_pa(1.0) == pytest.approx(1000.0)
+
+
+def test_temperature_conversions():
+    assert units.celsius_to_kelvin(0.0) == pytest.approx(273.15)
+    assert units.kelvin_to_celsius(units.celsius_to_kelvin(29.0)) == (
+        pytest.approx(29.0)
+    )
+    assert units.fahrenheit_to_celsius(85.0) == pytest.approx(29.444, rel=1e-3)
+
+
+def test_mass_conversion_matches_paper_eq6_factor():
+    # Eq. 6 uses 1 metric ton / 2204.6 lbs.
+    assert units.lbs_to_metric_tons(2204.6) == pytest.approx(1.0)
+    assert units.lbs_to_metric_tons(852.3) == pytest.approx(0.38660, rel=1e-4)
+
+
+def test_constants_self_consistent():
+    assert units.SECONDS_PER_DAY == 86400.0
+    assert np.isclose(units.GALLONS_PER_M3 * units.M3S_PER_GPM * 60.0, 1.0)
