@@ -16,6 +16,18 @@ import pytest
 from repro.config.frontier import frontier_spec
 
 
+_BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def pytest_collection_modifyitems(items):
+    """Every bench is a multi-second-to-minutes run: mark them all slow
+    so the default (tier-1) loop skips the benchmark tier.  The hook
+    receives the whole session's items, so scope to this directory."""
+    for item in items:
+        if str(item.fspath).startswith(_BENCH_DIR):
+            item.add_marker(pytest.mark.slow)
+
+
 @pytest.fixture(scope="session")
 def frontier():
     return frontier_spec()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Experiment suites: many scenarios, one twin, parallel workers.
+
+Demonstrates the batch front door of the scenario API on Frontier:
+
+1. the three Table III verification points as declarative scenarios,
+2. a seed sweep of the synthetic Poisson workload (paper III-B3) —
+   a :class:`SweepScenario` the suite expands into its children,
+3. one ``direct-dc`` counterfactual (paper IV-3),
+
+all executed with ``suite.run(workers=4)`` (process-parallel, results
+bit-identical to a serial run) and reduced to one comparison table.
+The suite's scenario list is also dumped as JSON — the same document
+``repro suite`` accepts on the command line.
+"""
+
+import json
+
+from repro import (
+    DigitalTwin,
+    ExperimentSuite,
+    SweepScenario,
+    SyntheticScenario,
+    VerificationScenario,
+    WhatIfScenario,
+)
+
+
+def main() -> None:
+    twin = DigitalTwin("frontier")
+    suite = ExperimentSuite(twin)
+
+    for point in ("idle", "hpl", "peak"):
+        suite.add(
+            VerificationScenario(
+                name=point, point=point, duration_s=900.0, with_cooling=False
+            )
+        )
+    suite.add(
+        SweepScenario(
+            name="seed-sweep",
+            base=SyntheticScenario(
+                name="synthetic", duration_s=1800.0, with_cooling=False
+            ),
+            parameter="seed",
+            values=(0, 1, 2),
+        )
+    )
+    suite.add(
+        WhatIfScenario(
+            name="direct-dc", modification="direct-dc", duration_s=1800.0
+        )
+    )
+
+    print("Suite document (reusable via `repro suite <file>`):")
+    print(json.dumps(suite.to_dicts(), indent=2)[:400], "...")
+    print()
+
+    n = len(suite.expanded())
+    print(f"Running {n} scenarios on 4 workers...")
+    outcome = suite.run(
+        workers=4,
+        progress=lambda s, done, total: print(f"  [{done}/{total}] {s.name}"),
+    )
+
+    print()
+    print(outcome.comparison_table())
+
+
+if __name__ == "__main__":
+    main()

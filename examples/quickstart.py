@@ -1,32 +1,49 @@
 #!/usr/bin/env python
-"""Quickstart: simulate Frontier for two hours and read the reports.
+"""Quickstart: declare a scenario, stream it, and read the reports.
 
-Runs a synthetic Poisson workload (paper section III-B3) through the
-full digital twin — scheduler, power model with conversion losses, and
-the transient cooling plant — then prints the end-of-run statistics
-(section III-B5), a terminal dashboard (Fig. 6's console view), and a
-per-CDU heat map.
+The scenario-first workflow: build a :class:`DigitalTwin` for Frontier,
+declare a synthetic-workload :class:`SyntheticScenario` (paper section
+III-B3) — a plain, JSON-serializable description — and execute it with
+``scenario.run(twin)``.  The engine streams per-15 s state through a
+live dashboard while it runs, then the end-of-run statistics (section
+III-B5), the terminal dashboard (Fig. 6's console view), and a per-CDU
+heat map are printed from the collected result.
 """
 
-from repro import Simulation
-from repro.viz.dashboard import render_dashboard
+from repro import DigitalTwin, SyntheticScenario
+from repro.viz.dashboard import LiveDashboard, render_dashboard
 from repro.viz.heatmap import cdu_heatmap
 
 
 def main() -> None:
-    sim = Simulation("frontier", with_cooling=True, seed=42)
+    twin = DigitalTwin("frontier")
+    scenario = SyntheticScenario(
+        name="quickstart", duration_s=2 * 3600, seed=42, with_cooling=True
+    )
+    print("Scenario document:")
+    print(scenario.to_json())
+    print()
     print("Simulating 2 hours of synthetic workload on Frontier...")
-    result = sim.run_synthetic(duration_s=2 * 3600)
+
+    live = LiveDashboard(every=60)  # one status line per 15 simulated min
+
+    def progress(step):
+        line = live.update(step)
+        if line is not None:
+            print(f"  {line}")
+
+    outcome = scenario.run(twin, progress=progress)
+    result = outcome.result
 
     print()
-    print(sim.statistics().report())
+    print(outcome.statistics.report())
     print()
     print(render_dashboard(result, title="Frontier digital twin"))
     print()
     print("Per-CDU power at the final step (W):")
-    print(cdu_heatmap(sim.spec, result.cdu_power_w[-1]))
+    print(cdu_heatmap(twin.spec, result.cdu_power_w[-1]))
     print()
-    print(f"Mean PUE over the run: {sim.mean_pue():.4f}")
+    print(f"Mean PUE over the run: {outcome.mean_pue:.4f}")
 
 
 if __name__ == "__main__":

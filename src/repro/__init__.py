@@ -10,18 +10,36 @@ Demonstrated at Exascale", SC 2024):
 - **Cooling model** -- a transient thermo-fluid model of the central
   energy plant and the 25 CDU loops behind an FMI-like interface
   (:mod:`repro.cooling`),
+- **Scenario API** -- declarative, seedable, JSON-serializable
+  experiment descriptions with streaming execution and parallel batch
+  runs (:mod:`repro.scenarios`),
 - **Visual analytics** -- scene generation, dashboards, and exports
   (:mod:`repro.viz`),
 - **Generalization** -- JSON system specs, pluggable telemetry parsers,
   and automated cooling-model generation (:mod:`repro.config`,
   :mod:`repro.telemetry`, :mod:`repro.cooling.autocsm`).
 
-Quickstart::
+Quickstart — one scenario, streamed::
 
-    from repro import Simulation
-    sim = Simulation("frontier")
-    result = sim.run_synthetic(duration_s=4 * 3600)
-    print(sim.statistics().report())
+    from repro import DigitalTwin, SyntheticScenario
+
+    twin = DigitalTwin("frontier")
+    scenario = SyntheticScenario(duration_s=4 * 3600, seed=42)
+    outcome = scenario.run(twin)
+    print(outcome.statistics.report())
+
+Quickstart — a parallel experiment suite::
+
+    from repro import ExperimentSuite, VerificationScenario, WhatIfScenario
+
+    suite = ExperimentSuite("frontier")
+    for point in ("idle", "hpl", "peak"):
+        suite.add(VerificationScenario(point=point, with_cooling=False))
+    suite.add(WhatIfScenario(modification="direct-dc"))
+    print(suite.run(workers=4).comparison_table())
+
+The pre-scenario facade (``Simulation``, ``run_whatif``) remains
+available as a deprecated compatibility shim.
 """
 
 from repro.config import FRONTIER, frontier_spec, load_system, load_builtin_system
@@ -29,15 +47,28 @@ from repro.core import (
     RapsEngine,
     Simulation,
     SimulationResult,
+    StepState,
     PhysicalTwin,
     ReplayValidation,
     run_whatif,
 )
 from repro.cooling import CoolingFMU, CoolingPlant, generate_plant
 from repro.power import SystemPowerModel
+from repro.scenarios import (
+    DigitalTwin,
+    ExperimentSuite,
+    ReplayScenario,
+    Scenario,
+    ScenarioResult,
+    SuiteResult,
+    SweepScenario,
+    SyntheticScenario,
+    VerificationScenario,
+    WhatIfScenario,
+)
 from repro.telemetry import SyntheticTelemetryGenerator, TelemetryDataset
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "FRONTIER",
@@ -47,6 +78,7 @@ __all__ = [
     "RapsEngine",
     "Simulation",
     "SimulationResult",
+    "StepState",
     "PhysicalTwin",
     "ReplayValidation",
     "run_whatif",
@@ -54,6 +86,16 @@ __all__ = [
     "CoolingPlant",
     "generate_plant",
     "SystemPowerModel",
+    "Scenario",
+    "SyntheticScenario",
+    "ReplayScenario",
+    "VerificationScenario",
+    "WhatIfScenario",
+    "SweepScenario",
+    "ScenarioResult",
+    "ExperimentSuite",
+    "SuiteResult",
+    "DigitalTwin",
     "SyntheticTelemetryGenerator",
     "TelemetryDataset",
     "__version__",

@@ -1,12 +1,16 @@
 """Command-line interface: the paper's terminal console (Fig. 6).
 
 Subcommands mirror the operations the paper exposes through its console
-and dashboard:
+and dashboard, wired through the declarative scenario API:
 
-- ``run`` — synthetic-workload simulation with the end-of-run report,
-- ``verify`` — the Table III verification points,
+- ``run`` — synthetic-workload simulation with the end-of-run report
+  (``--live`` streams per-quantum status lines while it runs),
+- ``verify`` — the Table III verification points (an experiment suite),
 - ``replay`` — replay a saved telemetry dataset (native format),
 - ``whatif`` — the section IV-3 counterfactual studies,
+- ``suite`` — run a JSON-described scenario suite, optionally across
+  worker processes, and print the comparison table,
+- ``sweep`` — sweep one scenario parameter over a value grid,
 - ``scene`` — emit the descriptive-twin scene graph as JSON,
 - ``autocsm`` — print the generated cooling-model inventory,
 - ``systems`` — list bundled machine specifications.
@@ -14,22 +18,31 @@ and dashboard:
 Entry point::
 
     python -m repro.cli <subcommand> [options]
+
+(or the ``repro`` console script when the package is installed).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.config.loader import builtin_system_names
 from repro.cooling.autocsm import autocsm_report
-from repro.core.replay import replay_dataset
-from repro.core.scenarios import run_whatif
-from repro.core.simulation import Simulation
 from repro.core.stats import compute_statistics
 from repro.exceptions import ExaDigiTError
-from repro.telemetry.dataset import TelemetryDataset
-from repro.viz.dashboard import render_dashboard
+from repro.scenarios import (
+    DigitalTwin,
+    ExperimentSuite,
+    ReplayScenario,
+    Scenario,
+    SweepScenario,
+    SyntheticScenario,
+    VerificationScenario,
+    WhatIfScenario,
+)
+from repro.viz.dashboard import LiveDashboard, render_dashboard
 from repro.viz.export import export_result
 from repro.viz.scene import build_scene
 
@@ -60,14 +73,37 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def cmd_run(args: argparse.Namespace) -> int:
-    sim = Simulation(
-        args.system, with_cooling=not args.no_cooling, seed=args.seed
+def _add_workers_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for scenario execution (default 1 = serial)",
     )
-    result = sim.run_synthetic(args.hours * 3600.0)
-    print(sim.statistics().report())
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    twin = DigitalTwin(args.system)
+    scenario = SyntheticScenario(
+        duration_s=args.hours * 3600.0,
+        seed=args.seed,
+        with_cooling=not args.no_cooling,
+    )
+    if args.live:
+        live = LiveDashboard(every=max(1, int(args.hours * 6)))
+
+        def progress(step):
+            line = live.update(step)
+            if line is not None:
+                print(line, flush=True)
+
+        outcome = scenario.run(twin, progress=progress)
+    else:
+        outcome = scenario.run(twin)
+    result = outcome.result
+    print(outcome.statistics.report())
     print()
-    print(render_dashboard(result, title=sim.spec.name))
+    print(render_dashboard(result, title=twin.spec.name))
     if args.export:
         path = export_result(result, args.export)
         print(f"\nseries written to {path}")
@@ -75,49 +111,125 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_verify(args: argparse.Namespace) -> int:
-    sim = Simulation(args.system, with_cooling=False)
-    print(f"{'point':8s} {'MW':>8s}")
+    suite = ExperimentSuite(args.system)
     for point in ("idle", "hpl", "peak"):
-        result = sim.run_verification(point, 600.0)
-        print(f"{point:8s} {result.mean_power_w / 1e6:8.2f}")
+        suite.add(
+            VerificationScenario(
+                name=point, point=point, duration_s=600.0, with_cooling=False
+            )
+        )
+    outcome = suite.run(workers=args.workers)
+    print(f"{'point':8s} {'MW':>8s}")
+    for r in outcome:
+        print(f"{r.name:8s} {r.result.mean_power_w / 1e6:8.2f}")
     return 0
 
 
 def cmd_replay(args: argparse.Namespace) -> int:
-    sim = Simulation(
-        args.system, with_cooling=not args.no_cooling, seed=args.seed
+    twin = DigitalTwin(args.system)
+    scenario = ReplayScenario(
+        dataset_path=args.dataset,
+        duration_s=args.hours * 3600.0,
+        seed=args.seed,
+        with_cooling=not args.no_cooling,
     )
-    dataset = TelemetryDataset.load(args.dataset)
-    result = sim.run_replay(dataset, args.hours * 3600.0)
-    print(compute_statistics(result, sim.spec.economics).report())
+    outcome = scenario.run(twin)
+    print(compute_statistics(outcome.result, twin.spec.economics).report())
     if args.export:
-        path = export_result(result, args.export)
+        path = export_result(outcome.result, args.export)
         print(f"\nseries written to {path}")
     return 0
 
 
 def cmd_whatif(args: argparse.Namespace) -> int:
-    from repro.telemetry.synthesis import SyntheticTelemetryGenerator
-
-    sim = Simulation(args.system, with_cooling=False, seed=args.seed)
-    gen = SyntheticTelemetryGenerator(sim.spec, seed=args.seed)
-    day = gen.day(0)
-    comparison = run_whatif(
-        sim.spec, day, args.hours * 3600.0, args.scenario
+    # What-ifs compare conversion chains; they run uncoupled (the
+    # paper's fast path) regardless of --no-cooling, as before.
+    scenario = WhatIfScenario(
+        modification=args.scenario,
+        duration_s=args.hours * 3600.0,
+        seed=args.seed,
+        with_cooling=False,
     )
-    print(comparison.report())
+    outcome = scenario.run(DigitalTwin(args.system))
+    print(outcome.comparison.report())
+    return 0
+
+
+def cmd_suite(args: argparse.Namespace) -> int:
+    suite = ExperimentSuite.from_file(
+        args.scenarios, system=args.system
+    )
+    outcome = suite.run(
+        workers=args.workers,
+        progress=lambda s, done, total: print(
+            f"[{done}/{total}] {s.name}", file=sys.stderr, flush=True
+        ),
+    )
+    print(outcome.comparison_table())
+    _export_suite(outcome, args.export)
+    return 0
+
+
+def _export_suite(outcome, prefix: str | None) -> None:
+    """Write each scenario's series to ``prefix-<name>.json``."""
+    if not prefix:
+        return
+    for r in outcome:
+        if r.result is not None:
+            # Sweep children are named "base/param=value"; flatten the
+            # separators and dots so every artifact lands beside the
+            # prefix (export_result's .with_suffix would truncate at a
+            # dot, silently overwriting e.g. wetbulb 22.5 with 22.75).
+            safe = (
+                r.name.replace("/", "-").replace("=", "-").replace(".", "_")
+            )
+            export_result(r.result, f"{prefix}-{safe}")
+    print(f"\nper-scenario series written to {prefix}-<name>.json")
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    base = Scenario.from_dict(
+        {
+            "kind": args.kind,
+            "name": args.kind,
+            "duration_s": args.hours * 3600.0,
+            "seed": args.seed,
+            "with_cooling": not args.no_cooling,
+        }
+    )
+    values = []
+    for raw in args.values.split(","):
+        raw = raw.strip()
+        if raw.lower() in ("true", "false"):
+            values.append(raw.lower() == "true")
+            continue
+        try:
+            values.append(int(raw))
+        except ValueError:
+            try:
+                values.append(float(raw))
+            except ValueError:
+                values.append(raw)
+    sweep = SweepScenario(
+        name=f"{args.kind}-{args.param}",
+        base=base,
+        parameter=args.param,
+        values=tuple(values),
+    )
+    suite = ExperimentSuite(args.system, [sweep])
+    outcome = suite.run(workers=args.workers)
+    print(outcome.comparison_table())
+    _export_suite(outcome, args.export)
     return 0
 
 
 def cmd_scene(args: argparse.Namespace) -> int:
-    sim = Simulation(args.system, with_cooling=False)
-    print(build_scene(sim.spec).to_json())
+    print(build_scene(DigitalTwin(args.system).spec).to_json())
     return 0
 
 
 def cmd_autocsm(args: argparse.Namespace) -> int:
-    sim = Simulation(args.system, with_cooling=False)
-    print(autocsm_report(sim.spec))
+    print(autocsm_report(DigitalTwin(args.system).spec))
     return 0
 
 
@@ -136,10 +248,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("run", help="synthetic-workload simulation")
     _add_common(p)
+    p.add_argument(
+        "--live",
+        action="store_true",
+        help="stream per-quantum status lines while the run progresses",
+    )
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("verify", help="Table III verification points")
     _add_system_arg(p)
+    _add_workers_arg(p)
     p.set_defaults(func=cmd_verify)
 
     p = sub.add_parser("replay", help="replay a saved telemetry dataset")
@@ -155,6 +273,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="which modification to evaluate",
     )
     p.set_defaults(func=cmd_whatif)
+
+    p = sub.add_parser(
+        "suite", help="run a JSON scenario suite (optionally in parallel)"
+    )
+    p.add_argument(
+        "scenarios",
+        help="JSON file: array of scenario objects or "
+        '{"system": ..., "scenarios": [...]}',
+    )
+    p.add_argument(
+        "--system",
+        default=None,
+        help="override the suite file's system (builtin name or JSON path)",
+    )
+    _add_workers_arg(p)
+    p.add_argument(
+        "--export",
+        metavar="PREFIX",
+        help="write each scenario's series to PREFIX-<name>.json",
+    )
+    p.set_defaults(func=cmd_suite)
+
+    p = sub.add_parser("sweep", help="sweep one scenario parameter")
+    _add_common(p)
+    _add_workers_arg(p)
+    p.add_argument(
+        "--kind",
+        default="synthetic",
+        help="base scenario kind to sweep (default: synthetic)",
+    )
+    p.add_argument(
+        "--param",
+        default="seed",
+        help="scenario field to sweep (default: seed)",
+    )
+    p.add_argument(
+        "--values",
+        default="0,1,2,3",
+        help="comma-separated values for the swept field",
+    )
+    p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("scene", help="emit the L1 scene graph as JSON")
     _add_system_arg(p)
@@ -178,6 +337,12 @@ def main(argv: list[str] | None = None) -> int:
     except ExaDigiTError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # stdout consumer (e.g. `head`) went away mid-stream; point the
+        # fd at devnull so the interpreter-exit flush doesn't re-raise.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

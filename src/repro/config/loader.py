@@ -147,9 +147,19 @@ def load_system(path: str | Path) -> SystemSpec:
 
 
 def builtin_system_names() -> list[str]:
-    """Names of JSON system specs shipped with the package."""
+    """Names of JSON system specs shipped with the package.
+
+    An absent or empty ``systems/`` directory yields ``[]`` rather than
+    an error, so a source checkout without bundled specs still imports.
+    """
     pkg = resources.files("repro.config") / "systems"
-    return sorted(p.name[: -len(".json")] for p in pkg.iterdir() if p.name.endswith(".json"))
+    try:
+        entries = list(pkg.iterdir())
+    except (FileNotFoundError, NotADirectoryError):
+        return []
+    return sorted(
+        p.name[: -len(".json")] for p in entries if p.name.endswith(".json")
+    )
 
 
 def load_builtin_system(name: str) -> SystemSpec:

@@ -1,0 +1,281 @@
+"""Programmatic builders for the non-Frontier bundled machines (paper V).
+
+The generalization study of the paper models other liquid-cooled systems
+through the same JSON specification: Setonix (Pawsey, HPE Cray EX with
+separate CPU and GPU partitions) and Marconi100 (CINECA, IBM AC922 with
+Power9 + V100 nodes).  These builders produce the specs that are dumped
+into ``repro/config/systems/*.json``; regenerate the bundled files with::
+
+    python -m repro.config.machines
+
+Component power numbers are public-spec approximations (the paper only
+demonstrates that the twin generalizes, not exact Table I analogues),
+scaled cooling plants included so the full engine + FMU path runs.
+"""
+
+from __future__ import annotations
+
+from repro.config.schema import (
+    CoolingLoopSpec,
+    CoolingSpec,
+    CoolingTowerSpec,
+    EconomicsSpec,
+    HeatExchangerSpec,
+    NodeSpec,
+    PartitionSpec,
+    PumpSpec,
+    RackSpec,
+    SchedulerSpec,
+    SystemSpec,
+)
+
+
+def setonix_spec() -> SystemSpec:
+    """Setonix: 1592 CPU-only nodes + 192 MI250X GPU nodes (15 racks).
+
+    Both partitions are Cray EX racks (128 nodes, 8 chassis, 32
+    rectifiers — same rectifiers-per-chassis as Frontier, which the
+    shared conversion chain requires).
+    """
+    cpu_partition = PartitionSpec(
+        name="setonix-cpu",
+        total_nodes=1592,
+        node=NodeSpec(
+            cpus_per_node=2,
+            gpus_per_node=0,
+            nics_per_node=1,
+            nvme_per_node=1,
+            cpu_power_idle_w=95.0,
+            cpu_power_max_w=280.0,
+            gpu_power_idle_w=0.0,
+            gpu_power_max_w=0.0,
+            ram_power_w=60.0,
+            nvme_power_w=12.0,
+            nic_power_w=20.0,
+        ),
+        rack=RackSpec(
+            nodes_per_rack=128,
+            blades_per_rack=64,
+            chassis_per_rack=8,
+            rectifiers_per_rack=32,
+            sivocs_per_rack=128,
+            switches_per_rack=16,
+            switch_power_w=250.0,
+        ),
+    )
+    gpu_partition = PartitionSpec(
+        name="setonix-gpu",
+        total_nodes=192,
+        node=NodeSpec(
+            cpus_per_node=1,
+            gpus_per_node=8,  # 4 x MI250X = 8 GCDs
+            nics_per_node=2,
+            nvme_per_node=1,
+            cpu_power_idle_w=90.0,
+            cpu_power_max_w=280.0,
+            gpu_power_idle_w=42.0,
+            gpu_power_max_w=300.0,
+            ram_power_w=70.0,
+            nvme_power_w=12.0,
+            nic_power_w=20.0,
+        ),
+        rack=RackSpec(
+            nodes_per_rack=128,
+            blades_per_rack=64,
+            chassis_per_rack=8,
+            rectifiers_per_rack=32,
+            sivocs_per_rack=128,
+            switches_per_rack=16,
+            switch_power_w=250.0,
+        ),
+    )
+    cooling = CoolingSpec(
+        num_cdus=4,
+        racks_per_cdu=4,
+        cdu_loop=CoolingLoopSpec(
+            name="cdu",
+            volume_m3=0.6,
+            supply_setpoint_c=32.0,
+            design_flow_m3s=0.0267,
+            design_dp_pa=250.0e3,
+        ),
+        primary_loop=CoolingLoopSpec(
+            name="primary",
+            volume_m3=25.0,
+            supply_setpoint_c=28.0,
+            design_flow_m3s=0.08,
+            design_dp_pa=280.0e3,
+        ),
+        tower_loop=CoolingLoopSpec(
+            name="tower",
+            volume_m3=45.0,
+            supply_setpoint_c=24.0,
+            design_flow_m3s=0.14,
+            design_dp_pa=240.0e3,
+        ),
+        cdu_pumps=PumpSpec(
+            name="CDUP",
+            count=2,
+            rated_flow_m3s=0.0267,
+            rated_head_pa=300.0e3,
+            rated_power_w=4350.0,
+        ),
+        htw_pumps=PumpSpec(
+            name="HTWP",
+            count=2,
+            rated_flow_m3s=0.05,
+            rated_head_pa=320.0e3,
+            rated_power_w=22000.0,
+        ),
+        ctw_pumps=PumpSpec(
+            name="CTWP",
+            count=2,
+            rated_flow_m3s=0.08,
+            rated_head_pa=280.0e3,
+            rated_power_w=28000.0,
+        ),
+        intermediate_hx=HeatExchangerSpec(name="EHX", count=2, ua_w_per_k=4.0e5),
+        cdu_hx=HeatExchangerSpec(name="HEX-1600", count=4, ua_w_per_k=2.5e5),
+        cooling_towers=CoolingTowerSpec(
+            towers=2,
+            cells_per_tower=3,
+            fan_power_w=18000.0,
+            design_effectiveness=0.65,
+            design_approach_c=4.0,
+        ),
+    )
+    return SystemSpec(
+        name="setonix",
+        partitions=(cpu_partition, gpu_partition),
+        cooling=cooling,
+        scheduler=SchedulerSpec(policy="fcfs", mean_arrival_s=90.0),
+        economics=EconomicsSpec(
+            electricity_usd_per_kwh=0.07,
+            emission_intensity_lb_per_mwh=1200.0,
+        ),
+    )
+
+
+def marconi100_spec() -> SystemSpec:
+    """Marconi100: 980 IBM AC922 nodes (2x Power9 + 4x V100, 49 racks)."""
+    partition = PartitionSpec(
+        name="marconi100",
+        total_nodes=980,
+        node=NodeSpec(
+            cpus_per_node=2,
+            gpus_per_node=4,
+            nics_per_node=2,
+            nvme_per_node=1,
+            cpu_power_idle_w=60.0,
+            cpu_power_max_w=190.0,
+            gpu_power_idle_w=38.0,
+            gpu_power_max_w=300.0,
+            ram_power_w=70.0,
+            nvme_power_w=12.0,
+            nic_power_w=20.0,
+        ),
+        rack=RackSpec(
+            nodes_per_rack=20,
+            blades_per_rack=20,
+            chassis_per_rack=4,
+            rectifiers_per_rack=8,
+            sivocs_per_rack=20,
+            switches_per_rack=2,
+            switch_power_w=350.0,
+        ),
+    )
+    cooling = CoolingSpec(
+        num_cdus=10,
+        racks_per_cdu=5,
+        cdu_loop=CoolingLoopSpec(
+            name="cdu",
+            volume_m3=0.4,
+            supply_setpoint_c=30.0,
+            design_flow_m3s=0.012,
+            design_dp_pa=220.0e3,
+        ),
+        primary_loop=CoolingLoopSpec(
+            name="primary",
+            volume_m3=30.0,
+            supply_setpoint_c=27.0,
+            design_flow_m3s=0.07,
+            design_dp_pa=260.0e3,
+        ),
+        tower_loop=CoolingLoopSpec(
+            name="tower",
+            volume_m3=55.0,
+            supply_setpoint_c=24.0,
+            design_flow_m3s=0.12,
+            design_dp_pa=230.0e3,
+        ),
+        cdu_pumps=PumpSpec(
+            name="CDUP",
+            count=2,
+            rated_flow_m3s=0.012,
+            rated_head_pa=280.0e3,
+            rated_power_w=2600.0,
+        ),
+        htw_pumps=PumpSpec(
+            name="HTWP",
+            count=2,
+            rated_flow_m3s=0.045,
+            rated_head_pa=320.0e3,
+            rated_power_w=20000.0,
+        ),
+        ctw_pumps=PumpSpec(
+            name="CTWP",
+            count=2,
+            rated_flow_m3s=0.07,
+            rated_head_pa=280.0e3,
+            rated_power_w=25000.0,
+        ),
+        intermediate_hx=HeatExchangerSpec(name="EHX", count=2, ua_w_per_k=3.5e5),
+        cdu_hx=HeatExchangerSpec(name="HEX-800", count=10, ua_w_per_k=1.2e5),
+        cooling_towers=CoolingTowerSpec(
+            towers=2,
+            cells_per_tower=3,  # plant staging needs >= 6 startable cells
+            fan_power_w=16000.0,
+            design_effectiveness=0.62,
+            design_approach_c=4.5,
+        ),
+    )
+    return SystemSpec(
+        name="marconi100",
+        partitions=(partition,),
+        cooling=cooling,
+        scheduler=SchedulerSpec(policy="fcfs", mean_arrival_s=120.0),
+        economics=EconomicsSpec(
+            electricity_usd_per_kwh=0.18,
+            emission_intensity_lb_per_mwh=700.0,
+        ),
+    )
+
+
+#: Builders for every bundled JSON spec, keyed by file stem.
+BUILTIN_BUILDERS = {
+    "setonix": setonix_spec,
+    "marconi100": marconi100_spec,
+}
+
+
+def regenerate_bundled_specs() -> list[str]:
+    """Rewrite ``repro/config/systems/*.json`` from the builders."""
+    from pathlib import Path
+
+    from repro.config.frontier import frontier_spec
+    from repro.config.loader import dump_system
+
+    out_dir = Path(__file__).resolve().parent / "systems"
+    out_dir.mkdir(exist_ok=True)
+    written = []
+    builders = {"frontier": frontier_spec, **BUILTIN_BUILDERS}
+    for name, build in builders.items():
+        path = out_dir / f"{name}.json"
+        dump_system(build(), path)
+        written.append(str(path))
+    return written
+
+
+if __name__ == "__main__":
+    for path in regenerate_bundled_specs():
+        print(f"wrote {path}")

@@ -63,13 +63,22 @@ class ThermalVolume:
             raise CoolingModelError("flow must be non-negative")
         mass_cp = self.fluid.thermal_mass(self.volume_m3)
         cap_rate = np.asarray(self.fluid.heat_capacity_rate(flow, self.temp_c))
-        flowing = cap_rate > 1e-12
+        # Below 1e-9 m^3/s (a microliter per second) advection is
+        # negligible against any real volume: treat the channel as
+        # stagnant.  This is the documented contract boundary (see
+        # test_volume_stability_property) — thresholding on cap_rate
+        # instead would let physically-meaningless flows advect.
+        flowing = flow > 1e-9
         # Flowing channels: exponential relaxation toward equilibrium.
         with np.errstate(divide="ignore", invalid="ignore"):
             t_eq = t_in + np.where(flowing, heat / np.maximum(cap_rate, 1e-12), 0.0)
             tau = mass_cp / np.maximum(cap_rate, 1e-12)
-        decay = np.exp(-dt / tau)
-        new_flowing = t_eq + (self.temp_c - t_eq) * decay
+        # expm1 keeps the convex combination exact when dt/tau underflows
+        # (near-zero flow: exp(-dt/tau) rounds to 1.0 and the naive
+        # t_eq + (T - t_eq)*decay cancels catastrophically against a
+        # huge t_eq, stepping T backwards).
+        relax = -np.expm1(-dt / tau)
+        new_flowing = self.temp_c + (t_eq - self.temp_c) * relax
         # Stagnant channels: pure heat integration.
         new_stagnant = self.temp_c + heat * dt / mass_cp
         self.temp_c = np.where(flowing, new_flowing, new_stagnant)

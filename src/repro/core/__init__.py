@@ -11,7 +11,7 @@
 - :mod:`repro.core.validate` — RMSE/MAE/%-error comparison harness.
 """
 
-from repro.core.engine import RapsEngine, SimulationResult
+from repro.core.engine import RapsEngine, SimulationResult, StepState
 from repro.core.simulation import Simulation
 from repro.core.stats import RunStatistics, DailyStatistics, aggregate_daily
 from repro.core.validate import SeriesComparison, compare_series, percent_error
@@ -22,6 +22,7 @@ from repro.core.scenarios import ScenarioComparison, run_whatif
 __all__ = [
     "RapsEngine",
     "SimulationResult",
+    "StepState",
     "Simulation",
     "RunStatistics",
     "DailyStatistics",

@@ -17,6 +17,7 @@ takes ~9 minutes with cooling).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterator
 
 import numpy as np
 
@@ -93,6 +94,37 @@ class SimulationResult:
                 f"available: {sorted(self.cooling)}"
             )
         return TimeSeries(self.times_s, self.cooling[name], "")
+
+
+@dataclass(frozen=True)
+class StepState:
+    """One trace quantum (15 s) of engine state, as yielded by
+    :meth:`RapsEngine.iter_steps`.
+
+    Scalar power/loss/efficiency values mirror one row of
+    :class:`SimulationResult`; ``cooling`` holds the recorded plant
+    outputs for this quantum (empty when the run is uncoupled).
+    """
+
+    index: int
+    time_s: float
+    system_power_w: float
+    loss_w: float
+    sivoc_loss_w: float
+    rectifier_loss_w: float
+    chain_efficiency: float
+    utilization: float
+    num_running: int
+    cdu_power_w: np.ndarray  # (num_cdus,)
+    cdu_heat_w: np.ndarray  # (num_cdus,)
+    cooling: dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def pue(self) -> float:
+        """Instantaneous PUE (NaN when cooling is uncoupled)."""
+        if "pue" not in self.cooling:
+            return float("nan")
+        return float(np.asarray(self.cooling["pue"]))
 
 
 #: Cooling outputs recorded by default (the Fig. 7 validation set).
@@ -216,7 +248,7 @@ class RapsEngine:
 
     # -- main loop ------------------------------------------------------------
 
-    def run(
+    def iter_steps(
         self,
         jobs: list[Job],
         duration_s: float,
@@ -224,8 +256,14 @@ class RapsEngine:
         wetbulb: TimeSeries | float = 15.0,
         cooling_record: tuple[str, ...] = DEFAULT_COOLING_RECORD,
         warmup_cooling_s: float = 1800.0,
-    ) -> SimulationResult:
-        """Run the simulation for ``duration_s`` seconds.
+    ) -> Iterator[StepState]:
+        """Stream the simulation one trace quantum at a time.
+
+        Yields a :class:`StepState` per 15 s quantum as it is computed,
+        enabling progress callbacks, early-stop predicates, and live
+        dashboard feeds without buffering a whole run.  Closing the
+        generator early is safe; :meth:`run` is a thin collector over
+        this iterator and the two produce bit-identical series.
 
         ``jobs`` are submitted at their ``submit_time``; replay mode uses
         recorded starts.  ``wetbulb`` may be a constant or a telemetry
@@ -244,24 +282,11 @@ class RapsEngine:
             else None
         )
 
-        num_cdus = self.spec.cooling.num_cdus
-        times = np.empty(n_steps)
-        sys_w = np.empty(n_steps)
-        loss_w = np.empty(n_steps)
-        sivoc_w = np.empty(n_steps)
-        rect_w = np.empty(n_steps)
-        eff = np.empty(n_steps)
-        util = np.empty(n_steps)
-        nrun = np.empty(n_steps, dtype=np.int64)
-        cdu_w = np.empty((n_steps, num_cdus))
-        cdu_h = np.empty((n_steps, num_cdus))
-        cooling_log: dict[str, list] = {k: [] for k in cooling_record}
-
         if self.fmu is not None:
             from repro.cooling.fmu import FmuState
 
             if self.fmu.state is not FmuState.INSTANTIATED:
-                self.fmu.reset()  # allow repeated run() calls
+                self.fmu.reset()  # allow repeated runs on one engine
             self.fmu.setup_experiment(start_time=0.0)
             self._warmup_cooling(jobs, wetbulb, warmup_cooling_s)
 
@@ -311,18 +336,9 @@ class RapsEngine:
                 t_sample, self.scheduler.allocator.slot_of_node, self.quanta
             )
             result: PowerResult = self.power.evaluate(node_cpu, node_gpu)
-            times[k] = t_sample
-            sys_w[k] = result.system_power_w
-            loss_w[k] = result.loss_w
-            sivoc_w[k] = result.sivoc_loss_w
-            rect_w[k] = result.rectifier_loss_w
-            eff[k] = result.chain_efficiency
-            util[k] = self.scheduler.utilization
-            nrun[k] = self.scheduler.num_running
-            cdu_w[k] = result.cdu_power_w
-            cdu_h[k] = result.cdu_heat_w
 
             # --- cooling FMU step (15 s coupling, Algorithm 1 line 23).
+            cooling: dict[str, np.ndarray] = {}
             if self.fmu is not None:
                 wb = (
                     float(np.asarray(wb_cursor.value(t_sample)))
@@ -334,11 +350,109 @@ class RapsEngine:
                 self.fmu.set_system_power(result.system_power_w)
                 self.fmu.do_step(self.fmu.time, self.quanta)
                 state = self.fmu.get_state()
-                for key in cooling_record:
-                    cooling_log[key].append(np.copy(getattr(state, key)))
+                cooling = {
+                    key: np.copy(getattr(state, key))
+                    for key in cooling_record
+                }
 
+            yield StepState(
+                index=k,
+                time_s=t_sample,
+                system_power_w=result.system_power_w,
+                loss_w=result.loss_w,
+                sivoc_loss_w=result.sivoc_loss_w,
+                rectifier_loss_w=result.rectifier_loss_w,
+                chain_efficiency=result.chain_efficiency,
+                utilization=self.scheduler.utilization,
+                num_running=self.scheduler.num_running,
+                cdu_power_w=result.cdu_power_w,
+                cdu_heat_w=result.cdu_heat_w,
+                cooling=cooling,
+            )
+
+    def run(
+        self,
+        jobs: list[Job],
+        duration_s: float,
+        *,
+        wetbulb: TimeSeries | float = 15.0,
+        cooling_record: tuple[str, ...] = DEFAULT_COOLING_RECORD,
+        warmup_cooling_s: float = 1800.0,
+        progress=None,
+        stop_when=None,
+    ) -> SimulationResult:
+        """Run the simulation for ``duration_s`` seconds and collect.
+
+        A thin collector over :meth:`iter_steps` — same semantics, whole
+        run buffered into a :class:`SimulationResult`.  ``progress`` is
+        an optional per-step callback receiving each :class:`StepState`;
+        ``stop_when`` is an optional early-stop predicate on the step
+        (the step that triggers it is still recorded, then the run ends).
+        """
+        steps = self.iter_steps(
+            jobs,
+            duration_s,
+            wetbulb=wetbulb,
+            cooling_record=cooling_record,
+            warmup_cooling_s=warmup_cooling_s,
+        )
+        return self.collect(
+            steps,
+            jobs=sorted(jobs, key=lambda j: (j.submit_time, j.job_id)),
+            progress=progress,
+            stop_when=stop_when,
+        )
+
+    def collect(
+        self,
+        steps: Iterator[StepState],
+        *,
+        jobs: list[Job],
+        progress=None,
+        stop_when=None,
+    ) -> SimulationResult:
+        """Assemble streamed :class:`StepState`\\ s into a result."""
+        recorded: list[StepState] = []
+        try:
+            for step in steps:
+                recorded.append(step)
+                if progress is not None:
+                    progress(step)
+                if stop_when is not None and stop_when(step):
+                    break
+        finally:
+            close = getattr(steps, "close", None)
+            if close is not None:
+                close()
+        if not recorded:
+            raise SimulationError("run produced no steps")
+
+        num_cdus = self.spec.cooling.num_cdus
+        n = len(recorded)
+        times = np.empty(n)
+        sys_w = np.empty(n)
+        loss_w = np.empty(n)
+        sivoc_w = np.empty(n)
+        rect_w = np.empty(n)
+        eff = np.empty(n)
+        util = np.empty(n)
+        nrun = np.empty(n, dtype=np.int64)
+        cdu_w = np.empty((n, num_cdus))
+        cdu_h = np.empty((n, num_cdus))
+        for k, step in enumerate(recorded):
+            times[k] = step.time_s
+            sys_w[k] = step.system_power_w
+            loss_w[k] = step.loss_w
+            sivoc_w[k] = step.sivoc_loss_w
+            rect_w[k] = step.rectifier_loss_w
+            eff[k] = step.chain_efficiency
+            util[k] = step.utilization
+            nrun[k] = step.num_running
+            cdu_w[k] = step.cdu_power_w
+            cdu_h[k] = step.cdu_heat_w
         cooling = {
-            k: np.asarray(v) for k, v in cooling_log.items() if len(v)
+            key: np.asarray([s.cooling[key] for s in recorded])
+            for key in recorded[0].cooling
         }
         return SimulationResult(
             times_s=times,
@@ -393,4 +507,9 @@ class RapsEngine:
         self.fmu._plant.time_s = 0.0
 
 
-__all__ = ["RapsEngine", "SimulationResult", "DEFAULT_COOLING_RECORD"]
+__all__ = [
+    "RapsEngine",
+    "SimulationResult",
+    "StepState",
+    "DEFAULT_COOLING_RECORD",
+]

@@ -28,11 +28,13 @@ def replay_dataset(
     *,
     with_cooling: bool = True,
     chain=None,
+    progress=None,
 ) -> SimulationResult:
     """Replay a telemetry dataset's jobs through the twin.
 
     Jobs dispatch at their recorded start times (the physical twin's
     scheduling decisions); weather comes from the dataset when present.
+    ``progress`` is forwarded to the engine's per-step callback hook.
     """
     jobs = jobs_from_dataset(dataset)
     wetbulb = (
@@ -46,7 +48,7 @@ def replay_dataset(
         honor_recorded_starts=True,
         chain=chain,
     )
-    return engine.run(jobs, duration_s, wetbulb=wetbulb)
+    return engine.run(jobs, duration_s, wetbulb=wetbulb, progress=progress)
 
 
 #: (comparison name, measured series name, predicted accessor)

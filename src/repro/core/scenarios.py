@@ -14,7 +14,6 @@ from typing import Callable
 
 from repro.config.schema import SystemSpec
 from repro.core.engine import SimulationResult
-from repro.core.replay import replay_dataset
 from repro.exceptions import SimulationError
 from repro.power.dc_power import DirectDcChain
 from repro.power.emissions import EmissionsModel
@@ -131,22 +130,31 @@ def run_whatif(
 ) -> ScenarioComparison:
     """Replay ``dataset`` under the baseline and a modified chain.
 
+    .. deprecated::
+        Compatibility shim over
+        :class:`repro.scenarios.library.WhatIfScenario` — prefer
+        ``WhatIfScenario(modification=...).run(twin)``, which also
+        returns the full per-run artifacts.
+
     ``scenario`` selects a built-in chain ('smart-rectifier' or
     'direct-dc') unless ``chain_factory`` supplies a custom one.
     ``baseline_result`` can be passed to amortize the baseline replay
     across several scenarios.
     """
-    if baseline_result is None:
-        baseline_result = replay_dataset(
-            spec, dataset, duration_s, with_cooling=with_cooling
-        )
-    chain = (
-        chain_factory(spec) if chain_factory is not None else _make_chain(spec, scenario)
+    from repro.scenarios.library import WhatIfScenario
+
+    whatif = WhatIfScenario(
+        modification=scenario,
+        duration_s=duration_s,
+        with_cooling=with_cooling,
     )
-    modified = replay_dataset(
-        spec, dataset, duration_s, with_cooling=with_cooling, chain=chain
+    outcome = whatif.run(
+        spec,
+        dataset=dataset,
+        baseline_result=baseline_result,
+        chain_factory=chain_factory,
     )
-    return compare_results(scenario, spec, baseline_result, modified)
+    return outcome.comparison
 
 
 __all__ = ["ScenarioComparison", "compare_results", "run_whatif"]

@@ -1,9 +1,13 @@
-"""High-level simulation facade: spec -> workload -> run -> report.
+"""Legacy simulation facade, now a shim over the scenario API.
 
-:class:`Simulation` is the front door most examples use: pick a system
-(builtin name, JSON path, or spec), pick a workload (synthetic,
-replayed, or a verification point), run, and read the statistics — the
-terminal-console usage of the paper's Fig. 6.
+.. deprecated::
+    :class:`Simulation` predates the scenario-first API and is kept as a
+    compatibility layer: each ``run_*`` method builds the equivalent
+    declarative :class:`~repro.scenarios.base.Scenario` and executes it
+    through ``scenario.run(twin)``.  New code should use
+    :mod:`repro.scenarios` directly — scenarios serialize to JSON, run
+    in :class:`~repro.scenarios.suite.ExperimentSuite` batches, and
+    stream per-step state.
 """
 
 from __future__ import annotations
@@ -12,25 +16,28 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.config.loader import load_builtin_system, load_system
 from repro.config.schema import SystemSpec
 from repro.core.engine import RapsEngine, SimulationResult
 from repro.core.stats import RunStatistics, compute_statistics
-from repro.exceptions import SimulationError
-from repro.scheduler.job import Job
-from repro.scheduler.workloads import (
-    hpl_verification_workload,
-    idle_workload,
-    jobs_from_dataset,
-    peak_workload,
-    synthetic_workload,
+from repro.exceptions import ScenarioError, SimulationError
+from repro.scenarios.library import (
+    ReplayScenario,
+    SyntheticScenario,
+    VerificationScenario,
 )
-from repro.telemetry.dataset import TelemetryDataset
-from repro.telemetry.dataset import TimeSeries
+from repro.scenarios.twin import DigitalTwin
+from repro.scheduler.job import Job
+from repro.telemetry.dataset import TelemetryDataset, TimeSeries
 
 
 class Simulation:
-    """One configured digital-twin simulation."""
+    """One configured digital-twin simulation (deprecated shim).
+
+    Prefer the scenario API::
+
+        from repro.scenarios import DigitalTwin, SyntheticScenario
+        result = SyntheticScenario(duration_s=7200).run(DigitalTwin("frontier"))
+    """
 
     def __init__(
         self,
@@ -41,19 +48,16 @@ class Simulation:
         chain=None,
         seed: int = 0,
     ) -> None:
-        if isinstance(system, SystemSpec):
-            self.spec = system
-        else:
-            text = str(system)
-            if text.endswith(".json") or Path(text).exists():
-                self.spec = load_system(system)
-            else:
-                self.spec = load_builtin_system(text)
+        self.twin = DigitalTwin(system)
         self.with_cooling = with_cooling
         self.policy = policy
         self.chain = chain
         self.seed = seed
         self.result: SimulationResult | None = None
+
+    @property
+    def spec(self) -> SystemSpec:
+        return self.twin.spec
 
     # -- workload selection -------------------------------------------------------
 
@@ -61,8 +65,19 @@ class Simulation:
         self, duration_s: float = 14400.0, *, wetbulb: float | TimeSeries = 15.0
     ) -> SimulationResult:
         """Poisson synthetic workload (paper section III-B3)."""
-        jobs = synthetic_workload(self.spec, duration_s, seed=self.seed)
-        return self._run(jobs, duration_s, wetbulb, honor_recorded=False)
+        scenario = SyntheticScenario(
+            duration_s=duration_s,
+            seed=self.seed,
+            with_cooling=self.with_cooling,
+            policy=self.policy,
+            wetbulb_c=(
+                float(wetbulb) if not isinstance(wetbulb, TimeSeries) else 15.0
+            ),
+        )
+        # A telemetry wet-bulb series is not declarative; pass it as an
+        # execution-time override.
+        override = wetbulb if isinstance(wetbulb, TimeSeries) else None
+        return self._run_scenario(scenario, wetbulb=override)
 
     def run_replay(
         self,
@@ -70,30 +85,29 @@ class Simulation:
         duration_s: float,
     ) -> SimulationResult:
         """Telemetry replay with recorded start times (Finding 8)."""
-        jobs = jobs_from_dataset(dataset)
-        wetbulb = (
-            dataset["wetbulb_temperature"]
-            if "wetbulb_temperature" in dataset
-            else 15.0
+        scenario = ReplayScenario(
+            duration_s=duration_s,
+            seed=self.seed,
+            with_cooling=self.with_cooling,
+            policy=self.policy,
         )
-        return self._run(jobs, duration_s, wetbulb, honor_recorded=True)
+        return self._run_scenario(scenario, dataset=dataset)
 
     def run_verification(
         self, point: str, duration_s: float = 1800.0
     ) -> SimulationResult:
         """One Table III operating point: 'idle', 'hpl', or 'peak'."""
-        builders = {
-            "idle": idle_workload,
-            "hpl": hpl_verification_workload,
-            "peak": peak_workload,
-        }
-        if point not in builders:
-            raise SimulationError(
-                f"unknown verification point {point!r}; "
-                f"expected one of {sorted(builders)}"
+        try:
+            scenario = VerificationScenario(
+                point=point,
+                duration_s=duration_s,
+                seed=self.seed,
+                with_cooling=self.with_cooling,
+                policy=self.policy,
             )
-        jobs = builders[point](self.spec, duration_s)
-        return self._run(jobs, duration_s, 15.0, honor_recorded=True)
+        except ScenarioError as exc:
+            raise SimulationError(str(exc)) from exc
+        return self._run_scenario(scenario)
 
     def run_jobs(
         self,
@@ -103,19 +117,7 @@ class Simulation:
         wetbulb: float | TimeSeries = 15.0,
         honor_recorded: bool = False,
     ) -> SimulationResult:
-        """Run an explicit job list."""
-        return self._run(jobs, duration_s, wetbulb, honor_recorded=honor_recorded)
-
-    # -- internals -------------------------------------------------------------------
-
-    def _run(
-        self,
-        jobs: list[Job],
-        duration_s: float,
-        wetbulb,
-        *,
-        honor_recorded: bool,
-    ) -> SimulationResult:
+        """Run an explicit job list (no declarative equivalent)."""
         engine = RapsEngine(
             self.spec,
             chain=self.chain,
@@ -124,6 +126,13 @@ class Simulation:
             policy=self.policy,
         )
         self.result = engine.run(jobs, duration_s, wetbulb=wetbulb)
+        return self.result
+
+    # -- internals -------------------------------------------------------------------
+
+    def _run_scenario(self, scenario, **kwargs) -> SimulationResult:
+        outcome = scenario.run(self.twin, chain=self.chain, **kwargs)
+        self.result = outcome.result
         return self.result
 
     # -- reporting --------------------------------------------------------------------

@@ -45,3 +45,7 @@ class SimulationError(ExaDigiTError):
 
 class ValidationError(ExaDigiTError):
     """A validation comparison could not be computed (e.g. length mismatch)."""
+
+
+class ScenarioError(ExaDigiTError):
+    """A declarative scenario is malformed or cannot be executed."""

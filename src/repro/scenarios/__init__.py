@@ -1,0 +1,60 @@
+"""Scenario-first experiment API (the batch front door of the twin).
+
+A :class:`Scenario` is a declarative, seedable, JSON-round-trippable
+description of one experiment; ``scenario.run(twin)`` executes it on
+the streaming RAPS engine; an :class:`ExperimentSuite` runs many of
+them — optionally across worker processes — against one shared system
+spec and tabulates the results.
+
+Quickstart::
+
+    from repro.scenarios import (
+        DigitalTwin, ExperimentSuite, SyntheticScenario, WhatIfScenario,
+    )
+
+    twin = DigitalTwin("frontier")
+    result = SyntheticScenario(duration_s=2 * 3600, seed=42).run(twin)
+    print(result.statistics.report())
+
+    suite = ExperimentSuite(twin)
+    suite.add(VerificationScenario(point="idle"))
+    suite.add(VerificationScenario(point="peak"))
+    suite.add(WhatIfScenario(modification="direct-dc"))
+    print(suite.run(workers=3).comparison_table())
+"""
+
+from repro.scenarios.base import (
+    SCENARIO_TYPES,
+    RunPlan,
+    Scenario,
+    register_scenario,
+)
+from repro.scenarios.library import (
+    ReplayScenario,
+    SweepScenario,
+    SyntheticScenario,
+    VerificationScenario,
+    WhatIfScenario,
+)
+from repro.scenarios.result import ScenarioResult
+from repro.scenarios.suite import ExperimentSuite, SuiteResult, execute_scenario
+from repro.scenarios.twin import DigitalTwin, as_twin, resolve_spec
+
+__all__ = [
+    "Scenario",
+    "RunPlan",
+    "SCENARIO_TYPES",
+    "register_scenario",
+    "SyntheticScenario",
+    "ReplayScenario",
+    "VerificationScenario",
+    "WhatIfScenario",
+    "SweepScenario",
+    "ScenarioResult",
+    "ExperimentSuite",
+    "SuiteResult",
+    "execute_scenario",
+    "DigitalTwin",
+    "as_twin",
+    "resolve_spec",
+]

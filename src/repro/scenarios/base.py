@@ -1,0 +1,266 @@
+"""Declarative scenario protocol: parametric, seedable, serializable.
+
+A :class:`Scenario` is a frozen dataclass that fully *describes* one
+experiment against a digital twin — it holds no live objects, only
+parameters — so it can round-trip through JSON
+(``Scenario.from_dict(s.to_dict()) == s``), be shipped to a worker
+process, and be re-run reproducibly from its seed.  Execution is a
+single protocol method, ``scenario.run(twin)``, which plans a workload,
+drives the streaming :class:`~repro.core.engine.RapsEngine`, and
+returns a :class:`~repro.scenarios.result.ScenarioResult`.
+
+Concrete scenario types live in :mod:`repro.scenarios.library` and
+register themselves here by their ``kind`` tag.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import numbers
+from dataclasses import dataclass
+from typing import Any, Callable, ClassVar, Iterator
+
+import numpy as np
+
+from repro.core.engine import RapsEngine, SimulationResult, StepState
+from repro.core.stats import compute_statistics
+from repro.exceptions import ScenarioError
+from repro.scenarios.result import ScenarioResult
+from repro.scenarios.twin import DigitalTwin, as_twin
+from repro.scheduler.job import Job
+from repro.telemetry.dataset import TimeSeries
+
+#: Registry of scenario classes by their ``kind`` tag (for from_dict).
+SCENARIO_TYPES: dict[str, type["Scenario"]] = {}
+
+
+def register_scenario(cls: type["Scenario"]) -> type["Scenario"]:
+    """Class decorator: register ``cls`` under its ``kind`` tag."""
+    if not cls.kind:
+        raise ScenarioError(f"{cls.__name__} must define a non-empty kind")
+    if cls.kind in SCENARIO_TYPES:
+        raise ScenarioError(f"duplicate scenario kind {cls.kind!r}")
+    SCENARIO_TYPES[cls.kind] = cls
+    return cls
+
+
+@dataclass(frozen=True)
+class RunPlan:
+    """A planned engine run: the imperative output of a declarative scenario."""
+
+    jobs: list[Job]
+    duration_s: float
+    wetbulb: float | TimeSeries = 15.0
+    honor_recorded: bool = False
+    chain: Any = None
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """Base class for declarative scenarios.
+
+    Parameters common to every scenario: a display ``name`` (defaults
+    to the kind tag), the simulated ``duration_s``, the RNG ``seed``,
+    whether the run couples the cooling FMU, and an optional scheduler
+    policy override.
+    """
+
+    kind: ClassVar[str] = ""
+
+    name: str = ""
+    duration_s: float = 3600.0
+    seed: int = 0
+    with_cooling: bool = True
+    policy: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            object.__setattr__(self, "name", self.kind or "scenario")
+        # Coerce numpy scalars to plain Python so sweep grids built with
+        # np.arange/np.linspace stay declarative and JSON-serializable.
+        if isinstance(self.duration_s, numbers.Real) and not isinstance(
+            self.duration_s, (bool, np.bool_)
+        ):
+            object.__setattr__(self, "duration_s", float(self.duration_s))
+        else:
+            raise ScenarioError(
+                f"duration_s must be a number, got {self.duration_s!r}"
+            )
+        if self.duration_s <= 0:
+            raise ScenarioError("duration_s must be positive")
+        if isinstance(self.seed, numbers.Integral) and not isinstance(
+            self.seed, (bool, np.bool_)
+        ):
+            object.__setattr__(self, "seed", int(self.seed))
+        else:
+            raise ScenarioError(
+                f"seed must be an integer, got {self.seed!r}"
+            )
+        if isinstance(self.with_cooling, (bool, np.bool_)):
+            object.__setattr__(self, "with_cooling", bool(self.with_cooling))
+        else:
+            raise ScenarioError(
+                f"with_cooling must be a boolean, got {self.with_cooling!r}"
+            )
+
+    # -- execution protocol ----------------------------------------------------
+
+    def plan(self, twin: DigitalTwin, **kwargs: Any) -> RunPlan:
+        """Materialize the workload for this scenario (subclass hook)."""
+        raise NotImplementedError
+
+    def run(
+        self,
+        twin: DigitalTwin | Any,
+        *,
+        progress: Callable[[StepState], None] | None = None,
+        stop_when: Callable[[StepState], bool] | None = None,
+        chain: Any = None,
+        wetbulb: float | TimeSeries | None = None,
+        **plan_kwargs: Any,
+    ) -> ScenarioResult:
+        """Execute against ``twin`` (a DigitalTwin, spec, name, or path).
+
+        ``progress`` / ``stop_when`` hook into the engine's streaming
+        step loop; ``chain`` and ``wetbulb`` override the planned
+        conversion chain and weather (used by the legacy facade).
+        """
+        twin = as_twin(twin)
+        plan = self.plan(twin, **plan_kwargs)
+        engine = self.build_engine(twin, plan, chain=chain)
+        result = engine.run(
+            plan.jobs,
+            plan.duration_s,
+            wetbulb=plan.wetbulb if wetbulb is None else wetbulb,
+            progress=progress,
+            stop_when=stop_when,
+        )
+        return self._finish(twin, result)
+
+    def iter_steps(
+        self,
+        twin: DigitalTwin | Any,
+        *,
+        chain: Any = None,
+        wetbulb: float | TimeSeries | None = None,
+        **plan_kwargs: Any,
+    ) -> Iterator[StepState]:
+        """Stream the scenario's run one quantum at a time (live feeds)."""
+        twin = as_twin(twin)
+        plan = self.plan(twin, **plan_kwargs)
+        engine = self.build_engine(twin, plan, chain=chain)
+        return engine.iter_steps(
+            plan.jobs,
+            plan.duration_s,
+            wetbulb=plan.wetbulb if wetbulb is None else wetbulb,
+        )
+
+    def build_engine(
+        self, twin: DigitalTwin, plan: RunPlan, *, chain: Any = None
+    ) -> RapsEngine:
+        """Construct the engine for one planned run."""
+        return RapsEngine(
+            twin.spec,
+            chain=chain or plan.chain,
+            with_cooling=self.with_cooling,
+            honor_recorded_starts=plan.honor_recorded,
+            policy=self.policy,
+        )
+
+    def _finish(
+        self, twin: DigitalTwin, result: SimulationResult
+    ) -> ScenarioResult:
+        return ScenarioResult(
+            scenario=self,
+            result=result,
+            statistics=compute_statistics(result, twin.spec.economics),
+        )
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible description, round-trippable via from_dict."""
+        doc: dict[str, Any] = {"kind": self.kind}
+        for f in dataclasses.fields(self):
+            doc[f.name] = _to_jsonable(getattr(self, f.name))
+        return doc
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @staticmethod
+    def from_dict(doc: dict[str, Any]) -> "Scenario":
+        """Rebuild a scenario from its :meth:`to_dict` description."""
+        if not isinstance(doc, dict):
+            raise ScenarioError(
+                f"scenario document must be an object, got {type(doc).__name__}"
+            )
+        kind = doc.get("kind")
+        cls = SCENARIO_TYPES.get(kind)
+        if cls is None:
+            raise ScenarioError(
+                f"unknown scenario kind {kind!r}; "
+                f"registered: {sorted(SCENARIO_TYPES)}"
+            )
+        fields = {f.name: f for f in dataclasses.fields(cls)}
+        kwargs: dict[str, Any] = {}
+        for key, value in doc.items():
+            if key == "kind":
+                continue
+            if key not in fields:
+                raise ScenarioError(
+                    f"unknown scenario field {key!r} for kind {kind!r}"
+                )
+            kwargs[key] = _from_jsonable(value)
+        try:
+            return cls(**kwargs)
+        except TypeError as exc:
+            raise ScenarioError(f"bad scenario document: {exc}") from exc
+
+    @staticmethod
+    def from_json(text: str) -> "Scenario":
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ScenarioError(f"invalid scenario JSON: {exc}") from exc
+        return Scenario.from_dict(doc)
+
+
+def _to_jsonable(value: Any) -> Any:
+    if isinstance(value, Scenario):
+        return value.to_dict()
+    if isinstance(value, (list, tuple)):
+        return [_to_jsonable(v) for v in value]
+    # Numeric checks run before the plain passthrough so numpy scalars
+    # (sweep grids from np.arange/np.linspace) normalize to Python types.
+    if isinstance(value, (bool, np.bool_)):
+        return bool(value)
+    if isinstance(value, numbers.Integral):
+        return int(value)
+    if isinstance(value, numbers.Real):
+        return float(value)
+    if isinstance(value, str) or value is None:
+        return value
+    raise ScenarioError(
+        f"scenario field value of type {type(value).__name__} is not "
+        "JSON-serializable; scenarios must stay declarative"
+    )
+
+
+def _from_jsonable(value: Any) -> Any:
+    if isinstance(value, dict):
+        return Scenario.from_dict(value)
+    if isinstance(value, list):
+        # Sequence fields are declared as tuples so scenarios stay
+        # hashable/frozen; JSON arrays come back as tuples.
+        return tuple(_from_jsonable(v) for v in value)
+    return value
+
+
+__all__ = [
+    "RunPlan",
+    "Scenario",
+    "SCENARIO_TYPES",
+    "register_scenario",
+]

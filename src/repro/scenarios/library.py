@@ -1,0 +1,297 @@
+"""The built-in scenario types.
+
+One class per experiment family from the paper, unified behind the
+``scenario.run(twin)`` protocol of :mod:`repro.scenarios.base`:
+
+- :class:`SyntheticScenario` — Poisson synthetic workload (III-B3),
+- :class:`ReplayScenario` — telemetry replay at recorded starts (Finding 8),
+- :class:`VerificationScenario` — one Table III operating point,
+- :class:`WhatIfScenario` — the IV-3 counterfactual chain studies,
+- :class:`SweepScenario` — a parametric sweep expanding any base
+  scenario over a value grid (the suite runner parallelizes it).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Callable, ClassVar
+
+from repro.core.engine import SimulationResult
+from repro.core.replay import replay_dataset
+from repro.core.scenarios import ScenarioComparison, _make_chain, compare_results
+from repro.core.stats import compute_statistics
+from repro.exceptions import ScenarioError
+from repro.scenarios.base import RunPlan, Scenario, register_scenario
+from repro.scenarios.result import ScenarioResult
+from repro.scenarios.twin import DigitalTwin, as_twin
+from repro.scheduler.workloads import (
+    hpl_verification_workload,
+    idle_workload,
+    peak_workload,
+    synthetic_workload,
+)
+from repro.telemetry.dataset import TelemetryDataset
+
+
+@register_scenario
+@dataclass(frozen=True)
+class SyntheticScenario(Scenario):
+    """Poisson-arrival synthetic workload at a fixed wet-bulb temperature."""
+
+    kind: ClassVar[str] = "synthetic"
+
+    wetbulb_c: float = 15.0
+
+    def plan(self, twin: DigitalTwin, **kwargs: Any) -> RunPlan:
+        jobs = synthetic_workload(twin.spec, self.duration_s, seed=self.seed)
+        return RunPlan(
+            jobs=jobs,
+            duration_s=self.duration_s,
+            wetbulb=self.wetbulb_c,
+            honor_recorded=False,
+        )
+
+
+@register_scenario
+@dataclass(frozen=True)
+class ReplayScenario(Scenario):
+    """Telemetry replay with recorded start times.
+
+    Declaratively references the dataset by path; the legacy facade may
+    inject an in-memory dataset via ``run(twin, dataset=...)`` instead.
+    """
+
+    kind: ClassVar[str] = "replay"
+
+    dataset_path: str = ""
+
+    def resolve_dataset(
+        self, twin: DigitalTwin, dataset: TelemetryDataset | None = None
+    ) -> TelemetryDataset:
+        if dataset is not None:
+            return dataset
+        if not self.dataset_path:
+            raise ScenarioError(
+                "ReplayScenario needs a dataset_path or an injected dataset"
+            )
+        return twin.dataset(self.dataset_path)
+
+    def plan(
+        self,
+        twin: DigitalTwin,
+        *,
+        dataset: TelemetryDataset | None = None,
+        **kwargs: Any,
+    ) -> RunPlan:
+        from repro.scheduler.workloads import jobs_from_dataset
+
+        data = self.resolve_dataset(twin, dataset)
+        wetbulb = (
+            data["wetbulb_temperature"]
+            if "wetbulb_temperature" in data
+            else 15.0
+        )
+        return RunPlan(
+            jobs=jobs_from_dataset(data),
+            duration_s=self.duration_s,
+            wetbulb=wetbulb,
+            honor_recorded=True,
+        )
+
+
+#: Table III operating-point workload builders.
+_VERIFICATION_BUILDERS = {
+    "idle": idle_workload,
+    "hpl": hpl_verification_workload,
+    "peak": peak_workload,
+}
+
+
+@register_scenario
+@dataclass(frozen=True)
+class VerificationScenario(Scenario):
+    """One Table III verification point: 'idle', 'hpl', or 'peak'."""
+
+    kind: ClassVar[str] = "verification"
+
+    point: str = "idle"
+    duration_s: float = 1800.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.point not in _VERIFICATION_BUILDERS:
+            raise ScenarioError(
+                f"unknown verification point {self.point!r}; "
+                f"expected one of {sorted(_VERIFICATION_BUILDERS)}"
+            )
+
+    def plan(self, twin: DigitalTwin, **kwargs: Any) -> RunPlan:
+        jobs = _VERIFICATION_BUILDERS[self.point](twin.spec, self.duration_s)
+        return RunPlan(
+            jobs=jobs,
+            duration_s=self.duration_s,
+            wetbulb=15.0,
+            honor_recorded=True,
+        )
+
+
+@register_scenario
+@dataclass(frozen=True)
+class WhatIfScenario(Scenario):
+    """Counterfactual chain study (paper IV-3): baseline vs modified.
+
+    ``modification`` selects the virtual hardware change
+    (``"smart-rectifier"`` or ``"direct-dc"``).  The workload replays a
+    telemetry dataset referenced by ``dataset_path``, or — when no path
+    is given — a synthesized production day drawn from ``seed``.
+    """
+
+    kind: ClassVar[str] = "whatif"
+
+    modification: str = "direct-dc"
+    dataset_path: str = ""
+    with_cooling: bool = False
+
+    def resolve_dataset(
+        self, twin: DigitalTwin, dataset: TelemetryDataset | None = None
+    ) -> TelemetryDataset:
+        if dataset is not None:
+            return dataset
+        if self.dataset_path:
+            return twin.dataset(self.dataset_path)
+        from repro.telemetry.synthesis import SyntheticTelemetryGenerator
+
+        return SyntheticTelemetryGenerator(twin.spec, seed=self.seed).day(0)
+
+    def iter_steps(self, twin: DigitalTwin | Any, **kwargs: Any):
+        raise ScenarioError(
+            "WhatIfScenario does not stream: it executes two engine runs "
+            "(baseline + modified); use run(twin, progress=...) instead"
+        )
+
+    def run(
+        self,
+        twin: DigitalTwin | Any,
+        *,
+        dataset: TelemetryDataset | None = None,
+        baseline_result: SimulationResult | None = None,
+        chain_factory: Callable[..., Any] | None = None,
+        progress: Callable[..., None] | None = None,
+        **kwargs: Any,
+    ) -> ScenarioResult:
+        """Replay baseline and modified twins, report the deltas.
+
+        ``baseline_result`` amortizes the baseline replay across several
+        what-ifs; ``chain_factory`` substitutes a custom chain for the
+        built-in modifications; ``progress`` sees the steps of both
+        replays (baseline first, then modified).
+        """
+        if kwargs:
+            # Keep protocol-generic callers on a catchable error: the
+            # base protocol's stop_when/chain/wetbulb extras don't map
+            # onto a two-run comparison.
+            raise ScenarioError(
+                f"WhatIfScenario.run does not support {sorted(kwargs)}; "
+                "supported extras: dataset, baseline_result, "
+                "chain_factory, progress"
+            )
+        twin = as_twin(twin)
+        data = self.resolve_dataset(twin, dataset)
+        if baseline_result is None:
+            baseline_result = replay_dataset(
+                twin.spec,
+                data,
+                self.duration_s,
+                with_cooling=self.with_cooling,
+                progress=progress,
+            )
+        chain = (
+            chain_factory(twin.spec)
+            if chain_factory is not None
+            else _make_chain(twin.spec, self.modification)
+        )
+        modified = replay_dataset(
+            twin.spec,
+            data,
+            self.duration_s,
+            with_cooling=self.with_cooling,
+            chain=chain,
+            progress=progress,
+        )
+        comparison: ScenarioComparison = compare_results(
+            self.modification, twin.spec, baseline_result, modified
+        )
+        return ScenarioResult(
+            scenario=self,
+            result=modified,
+            statistics=compute_statistics(modified, twin.spec.economics),
+            baseline=baseline_result,
+            comparison=comparison,
+        )
+
+
+@register_scenario
+@dataclass(frozen=True)
+class SweepScenario(Scenario):
+    """Parametric sweep: one base scenario replicated over a value grid.
+
+    ``expand()`` yields one concrete scenario per value, with
+    ``parameter`` substituted via ``dataclasses.replace``; an
+    :class:`~repro.scenarios.suite.ExperimentSuite` flattens sweeps
+    before dispatch so the grid runs in parallel.  Run standalone, the
+    children execute serially and land in ``ScenarioResult.children``.
+    """
+
+    kind: ClassVar[str] = "sweep"
+
+    base: Scenario | None = None
+    parameter: str = ""
+    values: tuple = ()
+
+    def expand(self) -> list[Scenario]:
+        """Concrete child scenarios, one per swept value."""
+        if self.base is None:
+            raise ScenarioError("SweepScenario needs a base scenario")
+        if not self.parameter:
+            raise ScenarioError("SweepScenario needs a parameter name")
+        if not self.values:
+            raise ScenarioError("SweepScenario needs at least one value")
+        field_names = {f.name for f in dataclasses.fields(self.base)}
+        if self.parameter not in field_names:
+            raise ScenarioError(
+                f"base scenario {self.base.kind!r} has no field "
+                f"{self.parameter!r}"
+            )
+        children = []
+        for value in self.values:
+            children.append(
+                dataclasses.replace(
+                    self.base,
+                    **{
+                        self.parameter: value,
+                        "name": f"{self.base.name}/{self.parameter}={value}",
+                    },
+                )
+            )
+        return children
+
+    def iter_steps(self, twin: DigitalTwin | Any, **kwargs: Any):
+        raise ScenarioError(
+            "SweepScenario does not stream: expand() it and stream the "
+            "children, or run(twin) for the collected results"
+        )
+
+    def run(self, twin: DigitalTwin | Any, **kwargs: Any) -> ScenarioResult:
+        twin = as_twin(twin)
+        children = [child.run(twin, **kwargs) for child in self.expand()]
+        return ScenarioResult(scenario=self, children=children)
+
+
+__all__ = [
+    "SyntheticScenario",
+    "ReplayScenario",
+    "VerificationScenario",
+    "WhatIfScenario",
+    "SweepScenario",
+]

@@ -1,0 +1,93 @@
+"""Per-scenario result artifact returned by ``scenario.run(twin)``.
+
+Bundles the raw engine series with the end-of-run statistics and, for
+counterfactual scenarios, the baseline run and the comparison report.
+The ``summary_row`` view is what :class:`~repro.scenarios.suite.SuiteResult`
+tabulates across a whole experiment suite.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.engine import SimulationResult
+from repro.core.scenarios import ScenarioComparison
+from repro.core.stats import RunStatistics
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.scenarios.base import Scenario
+
+
+@dataclass
+class ScenarioResult:
+    """Everything one scenario produced.
+
+    ``result`` is the (modified, for what-ifs) engine run; ``baseline``
+    and ``comparison`` are set only by counterfactual scenarios;
+    ``children`` is set by sweep scenarios run standalone.
+    """
+
+    scenario: "Scenario"
+    result: SimulationResult | None = None
+    statistics: RunStatistics | None = None
+    baseline: SimulationResult | None = None
+    comparison: ScenarioComparison | None = None
+    children: list["ScenarioResult"] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.scenario.name
+
+    @property
+    def kind(self) -> str:
+        return self.scenario.kind
+
+    @property
+    def mean_power_mw(self) -> float:
+        if self.result is None:
+            return math.nan
+        return self.result.mean_power_w / 1e6
+
+    @property
+    def energy_mwh(self) -> float:
+        if self.result is None:
+            return math.nan
+        return self.result.energy_mwh
+
+    @property
+    def loss_percent(self) -> float:
+        if self.result is None or self.result.mean_power_w == 0:
+            return math.nan
+        return self.result.mean_loss_w / self.result.mean_power_w * 100.0
+
+    @property
+    def mean_pue(self) -> float:
+        if self.result is None or "pue" not in self.result.cooling:
+            return math.nan
+        return float(np.mean(self.result.cooling["pue"]))
+
+    def summary_row(self) -> dict[str, str]:
+        """One formatted table row for the suite comparison view."""
+
+        def num(value: float, fmt: str) -> str:
+            return "-" if math.isnan(value) else format(value, fmt)
+
+        row = {
+            "scenario": self.name,
+            "kind": self.kind,
+            "power MW": num(self.mean_power_mw, ".2f"),
+            "energy MWh": num(self.energy_mwh, ".1f"),
+            "loss %": num(self.loss_percent, ".2f"),
+            "PUE": num(self.mean_pue, ".3f"),
+        }
+        if self.comparison is not None:
+            row["Δeff pp"] = f"{self.comparison.efficiency_gain_percent:+.2f}"
+            row["savings $/yr"] = f"{self.comparison.annual_savings_usd:,.0f}"
+        return row
+
+
+__all__ = ["ScenarioResult"]

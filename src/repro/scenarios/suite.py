@@ -1,0 +1,207 @@
+"""Batch experiment runner: N scenarios, one twin, optional parallelism.
+
+An :class:`ExperimentSuite` resolves the system spec once, flattens any
+sweep scenarios into their concrete children, and executes every
+scenario either serially or across worker processes
+(``suite.run(workers=4)``).  Scenarios are declarative and seeded, so
+each run is independent and deterministic: the parallel path produces
+results bit-identical to the serial path (both dispatch through the
+same single-scenario executor).
+
+The returned :class:`SuiteResult` keeps per-scenario artifacts in
+submission order and renders a cross-scenario comparison table.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.config.schema import SystemSpec
+from repro.exceptions import ScenarioError
+from repro.scenarios.base import Scenario
+from repro.scenarios.library import SweepScenario
+from repro.scenarios.result import ScenarioResult
+from repro.scenarios.twin import DigitalTwin, as_twin
+
+
+def execute_scenario(spec: SystemSpec, scenario: Scenario) -> ScenarioResult:
+    """Run one scenario against a fresh twin built from ``spec``.
+
+    Module-level so :class:`ProcessPoolExecutor` can pickle it — this
+    is the worker-process entry point.  The serial path shares the
+    suite's twin instead (amortizing its dataset cache); results are
+    identical either way because scenarios are seeded and every run
+    builds a fresh engine.
+    """
+    return scenario.run(DigitalTwin(spec))
+
+
+@dataclass
+class SuiteResult:
+    """Ordered per-scenario artifacts + a comparison table."""
+
+    results: list[ScenarioResult] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator[ScenarioResult]:
+        return iter(self.results)
+
+    def __getitem__(self, key: int | str) -> ScenarioResult:
+        if isinstance(key, int):
+            return self.results[key]
+        for r in self.results:
+            if r.name == key:
+                return r
+        raise KeyError(key)
+
+    def comparison_table(self) -> str:
+        """Aligned cross-scenario table of the headline metrics."""
+        if not self.results:
+            return "(empty suite)"
+        rows = [r.summary_row() for r in self.results]
+        columns: list[str] = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+        widths = {
+            c: max(len(c), *(len(row.get(c, "-")) for row in rows))
+            for c in columns
+        }
+        header = "  ".join(c.ljust(widths[c]) for c in columns)
+        rule = "  ".join("-" * widths[c] for c in columns)
+        lines = [header, rule]
+        for row in rows:
+            lines.append(
+                "  ".join(row.get(c, "-").rjust(widths[c]) for c in columns)
+            )
+        return "\n".join(lines)
+
+
+class ExperimentSuite:
+    """Run many scenarios against one digital twin.
+
+    Parameters
+    ----------
+    system:
+        Twin, spec, builtin name, or JSON path — resolved once and
+        shared by every scenario in the suite.
+    scenarios:
+        Initial scenario list; :meth:`add` appends more fluently.
+    """
+
+    def __init__(
+        self,
+        system: DigitalTwin | SystemSpec | str | Path = "frontier",
+        scenarios: Iterable[Scenario] = (),
+    ) -> None:
+        self.twin = as_twin(system)
+        self.scenarios: list[Scenario] = list(scenarios)
+        for s in self.scenarios:
+            self._check(s)
+
+    def _check(self, scenario: Scenario) -> None:
+        if not isinstance(scenario, Scenario):
+            raise ScenarioError(
+                f"ExperimentSuite takes Scenario objects, got "
+                f"{type(scenario).__name__}"
+            )
+
+    def add(self, scenario: Scenario) -> "ExperimentSuite":
+        """Append a scenario; returns self for chaining."""
+        self._check(scenario)
+        self.scenarios.append(scenario)
+        return self
+
+    def expanded(self) -> list[Scenario]:
+        """The flat run list: sweeps replaced by their children."""
+        flat: list[Scenario] = []
+        for s in self.scenarios:
+            if isinstance(s, SweepScenario):
+                flat.extend(s.expand())
+            else:
+                flat.append(s)
+        return flat
+
+    def run(
+        self,
+        workers: int = 1,
+        *,
+        progress: Callable[[Scenario, int, int], None] | None = None,
+    ) -> SuiteResult:
+        """Execute every scenario; ``workers > 1`` uses process parallelism.
+
+        Results come back in submission order regardless of completion
+        order, and are bit-identical to a ``workers=1`` run (each
+        scenario is seeded and runs on its own fresh engine either way).
+        ``progress(scenario, done, total)`` fires as scenarios finish.
+        """
+        scenarios = self.expanded()
+        if not scenarios:
+            raise ScenarioError("suite has no scenarios to run")
+        total = len(scenarios)
+        results: list[ScenarioResult | None] = [None] * total
+        if workers <= 1:
+            for i, scenario in enumerate(scenarios):
+                results[i] = scenario.run(self.twin)
+                if progress is not None:
+                    progress(scenario, i + 1, total)
+        else:
+            with ProcessPoolExecutor(max_workers=min(workers, total)) as pool:
+                futures = {
+                    pool.submit(execute_scenario, self.twin.spec, s): i
+                    for i, s in enumerate(scenarios)
+                }
+                for done, future in enumerate(as_completed(futures), start=1):
+                    i = futures[future]
+                    results[i] = future.result()
+                    if progress is not None:
+                        progress(scenarios[i], done, total)
+        return SuiteResult(results=list(results))  # type: ignore[arg-type]
+
+    # -- declarative suite files ----------------------------------------------
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """JSON-compatible description of the scenario list."""
+        return [s.to_dict() for s in self.scenarios]
+
+    @classmethod
+    def from_file(
+        cls,
+        path: str | Path,
+        *,
+        system: DigitalTwin | SystemSpec | str | Path | None = None,
+    ) -> "ExperimentSuite":
+        """Load a suite from a JSON file.
+
+        The document is either a JSON array of scenario objects or an
+        object ``{"system": ..., "scenarios": [...]}``; an explicit
+        ``system`` argument overrides the file's.
+        """
+        p = Path(path)
+        if not p.exists():
+            raise ScenarioError(f"suite file not found: {p}")
+        try:
+            doc = json.loads(p.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ScenarioError(f"invalid suite JSON: {exc}") from exc
+        if isinstance(doc, list):
+            file_system, entries = None, doc
+        elif isinstance(doc, dict):
+            file_system = doc.get("system")
+            entries = doc.get("scenarios")
+            if not isinstance(entries, list):
+                raise ScenarioError("suite object needs a 'scenarios' array")
+        else:
+            raise ScenarioError("suite JSON must be an array or an object")
+        chosen = system if system is not None else (file_system or "frontier")
+        return cls(chosen, [Scenario.from_dict(e) for e in entries])
+
+
+__all__ = ["ExperimentSuite", "SuiteResult", "execute_scenario"]

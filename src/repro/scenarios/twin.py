@@ -1,0 +1,59 @@
+"""The digital twin handle scenarios execute against.
+
+A :class:`DigitalTwin` resolves a system reference (builtin name, JSON
+path, or an already-built :class:`~repro.config.schema.SystemSpec`) once
+and caches shared expensive inputs — currently loaded telemetry
+datasets — so an :class:`~repro.scenarios.suite.ExperimentSuite` pays
+for spec/dataset loading a single time no matter how many scenarios run
+against it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.config.loader import load_builtin_system, load_system
+from repro.config.schema import SystemSpec
+from repro.telemetry.dataset import TelemetryDataset
+
+
+def resolve_spec(system: str | Path | SystemSpec) -> SystemSpec:
+    """Resolve a system reference to a :class:`SystemSpec`.
+
+    Accepts a spec instance (returned as-is), a path to a JSON spec, or
+    a builtin system name (``"frontier"``, ``"setonix"``, ...).
+    """
+    if isinstance(system, SystemSpec):
+        return system
+    text = str(system)
+    if text.endswith(".json") or Path(text).exists():
+        return load_system(system)
+    return load_builtin_system(text)
+
+
+class DigitalTwin:
+    """One resolved system that many scenarios can run against."""
+
+    def __init__(self, system: str | Path | SystemSpec = "frontier") -> None:
+        self.spec = resolve_spec(system)
+        self._datasets: dict[str, TelemetryDataset] = {}
+
+    def dataset(self, path: str | Path) -> TelemetryDataset:
+        """Load a telemetry dataset, cached per path."""
+        key = str(path)
+        if key not in self._datasets:
+            self._datasets[key] = TelemetryDataset.load(path)
+        return self._datasets[key]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DigitalTwin(spec={self.spec.name!r})"
+
+
+def as_twin(obj: DigitalTwin | str | Path | SystemSpec) -> DigitalTwin:
+    """Coerce a twin / spec / name / path into a :class:`DigitalTwin`."""
+    if isinstance(obj, DigitalTwin):
+        return obj
+    return DigitalTwin(obj)
+
+
+__all__ = ["DigitalTwin", "as_twin", "resolve_spec"]

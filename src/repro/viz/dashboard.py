@@ -7,9 +7,11 @@ paper's Fig. 9 replay dashboard.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
-from repro.core.engine import SimulationResult
+from repro.core.engine import SimulationResult, StepState
 from repro.exceptions import ExaDigiTError
 
 _SPARK = "▁▂▃▄▅▆▇█"
@@ -68,4 +70,57 @@ def render_dashboard(result: SimulationResult, *, title: str = "ExaDigiT") -> st
     return "\n".join(panels)
 
 
-__all__ = ["sparkline", "render_dashboard"]
+def render_step(step: StepState) -> str:
+    """One status line for a streamed engine step (live console feed)."""
+    pue = step.pue
+    pue_text = f"{pue:.3f}" if not math.isnan(pue) else "-"
+    return (
+        f"t={step.time_s / 3600.0:6.2f}h  "
+        f"power={step.system_power_w / 1e6:6.2f} MW  "
+        f"loss={step.loss_w / 1e6:5.2f} MW  "
+        f"util={step.utilization * 100.0:5.1f} %  "
+        f"jobs={step.num_running:4d}  "
+        f"pue={pue_text}"
+    )
+
+
+class LiveDashboard:
+    """Incremental dashboard over the engine's streaming step states.
+
+    Feed it every :class:`~repro.core.engine.StepState` via
+    :meth:`update`; it returns a rendered line every ``every`` steps
+    (else ``None``) and keeps a rolling power history so the final
+    :meth:`summary` can show the run's sparkline without buffering the
+    whole simulation result.
+    """
+
+    def __init__(self, *, every: int = 40, history: int = 480) -> None:
+        if every < 1:
+            raise ExaDigiTError("every must be >= 1")
+        self.every = every
+        self.history = history
+        self.power_mw: list[float] = []
+        self.steps_seen = 0
+        self.last_step: StepState | None = None
+
+    def update(self, step: StepState) -> str | None:
+        """Record one step; return a status line on reporting steps."""
+        self.steps_seen += 1
+        self.last_step = step
+        self.power_mw.append(step.system_power_w / 1e6)
+        if len(self.power_mw) > self.history:
+            del self.power_mw[: -self.history]
+        if self.steps_seen % self.every == 0:
+            return render_step(step)
+        return None
+
+    def summary(self) -> str:
+        """Sparkline + last-step line over the retained history."""
+        if not self.power_mw:
+            raise ExaDigiTError("no steps have been fed to the dashboard")
+        line = sparkline(np.asarray(self.power_mw))
+        assert self.last_step is not None
+        return f"power {line}\n{render_step(self.last_step)}"
+
+
+__all__ = ["sparkline", "render_dashboard", "render_step", "LiveDashboard"]

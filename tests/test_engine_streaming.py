@@ -1,0 +1,102 @@
+"""Streaming engine: iter_steps() vs run() equivalence and step hooks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine import RapsEngine, StepState
+from repro.exceptions import SimulationError
+from repro.scheduler.workloads import synthetic_workload
+from tests.conftest import make_small_spec
+
+
+def _engine(spec, *, with_cooling=False):
+    return RapsEngine(spec, with_cooling=with_cooling)
+
+
+@pytest.fixture()
+def spec():
+    return make_small_spec()
+
+
+@pytest.fixture()
+def jobs(spec):
+    """Fresh deterministic job list per call (Job objects are mutated
+    by a run, so each engine run needs its own copies)."""
+
+    def make():
+        return synthetic_workload(spec, 1800.0, seed=11)
+
+    return make
+
+
+class TestPrefixEquivalence:
+    def test_full_stream_matches_run(self, spec, jobs):
+        """Collecting every streamed step reproduces run() bit-exactly."""
+        run_result = _engine(spec).run(jobs(), 1800.0)
+        steps = list(_engine(spec).iter_steps(jobs(), 1800.0))
+        assert len(steps) == run_result.times_s.size
+        assert np.array_equal(
+            np.array([s.system_power_w for s in steps]),
+            run_result.system_power_w,
+        )
+        assert np.array_equal(
+            np.array([s.loss_w for s in steps]), run_result.loss_w
+        )
+        assert np.array_equal(
+            np.array([s.utilization for s in steps]), run_result.utilization
+        )
+        assert np.array_equal(
+            np.vstack([s.cdu_heat_w for s in steps]), run_result.cdu_heat_w
+        )
+
+    def test_stream_prefix_matches_run_prefix(self, spec, jobs):
+        """The first k streamed steps equal the first k rows of run()."""
+        run_result = _engine(spec).run(jobs(), 1800.0)
+        it = _engine(spec).iter_steps(jobs(), 1800.0)
+        prefix = [next(it) for _ in range(10)]
+        it.close()
+        assert np.array_equal(
+            np.array([s.system_power_w for s in prefix]),
+            run_result.system_power_w[:10],
+        )
+        assert [s.index for s in prefix] == list(range(10))
+
+    def test_cooling_stream_matches_run(self, spec, jobs):
+        run_result = _engine(spec, with_cooling=True).run(jobs(), 600.0)
+        steps = list(
+            _engine(spec, with_cooling=True).iter_steps(jobs(), 600.0)
+        )
+        assert np.array_equal(
+            np.array([float(s.cooling["pue"]) for s in steps]),
+            run_result.cooling["pue"],
+        )
+        assert all(not np.isnan(s.pue) for s in steps)
+
+
+class TestStepHooks:
+    def test_progress_callback_sees_every_step(self, spec, jobs):
+        seen: list[StepState] = []
+        result = _engine(spec).run(jobs(), 900.0, progress=seen.append)
+        assert len(seen) == result.times_s.size
+        assert seen[0].index == 0 and seen[-1].index == len(seen) - 1
+
+    def test_stop_when_truncates_run(self, spec, jobs):
+        result = _engine(spec).run(
+            jobs(), 1800.0, stop_when=lambda s: s.index >= 19
+        )
+        assert result.times_s.size == 20
+        full = _engine(spec).run(jobs(), 1800.0)
+        assert np.array_equal(
+            result.system_power_w, full.system_power_w[:20]
+        )
+
+    def test_pue_nan_without_cooling(self, spec, jobs):
+        step = next(iter(_engine(spec).iter_steps(jobs(), 300.0)))
+        assert np.isnan(step.pue)
+        assert step.cooling == {}
+
+    def test_zero_duration_rejected(self, spec):
+        with pytest.raises(SimulationError):
+            next(_engine(spec).iter_steps([], 0.0))

@@ -43,8 +43,10 @@ class TestFrontierVerification:
         assert heat == pytest.approx(0.945 * racks, rel=1e-9)
 
 
+@pytest.mark.slow
 class TestBenchmarkSequence:
-    """Fig. 8: HPL then OpenMxP with the thermal response visible."""
+    """Fig. 8: HPL then OpenMxP with the thermal response visible (a
+    benchmark-style full-Frontier transient run, skipped in tier-1)."""
 
     def test_power_and_temperature_transients(self):
         spec = frontier_spec()

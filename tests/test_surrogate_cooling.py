@@ -7,6 +7,10 @@ from repro.exceptions import ExaDigiTError
 from repro.surrogate.models import CoolingSurrogate
 from tests.conftest import make_small_spec
 
+# Fitting the surrogate sweeps a settle-to-steady-state grid: benchmark-
+# style cost, excluded from the tier-1 loop.
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def surrogate():
