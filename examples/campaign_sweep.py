@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Persisted sweep campaigns: run, interrupt, resume, compare.
+
+Demonstrates the campaign layer on Frontier:
+
+1. a 12-cell :class:`GridSweepScenario` (wet-bulb × seed) is created as
+   a self-contained artifact directory (manifest + results JSONL, with
+   spec hash and git revision provenance),
+2. the run is deliberately "interrupted" after five cells, then resumed
+   from a fresh :class:`Campaign` handle — the five persisted cells are
+   never recomputed,
+3. the stored campaign reloads — without any simulation — into the
+   byte-identical comparison table, plus a grid heat map,
+4. a seeded :class:`LatinHypercubeSweepScenario` campaign shows the
+   space-filling alternative for continuous parameter boxes.
+
+Equivalent CLI session::
+
+    repro campaign run artifacts/wb --grid "wetbulb_c=12,18,24;seed=0,1,2,3"
+    repro campaign resume artifacts/wb
+    repro campaign compare artifacts/wb --heatmap
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import (
+    Campaign,
+    GridSweepScenario,
+    LatinHypercubeSweepScenario,
+    SyntheticScenario,
+)
+from repro.viz.campaign import campaign_heatmap
+
+
+def main() -> None:
+    root = Path(tempfile.mkdtemp(prefix="repro-campaign-"))
+    sweep = GridSweepScenario(
+        base=SyntheticScenario(duration_s=1800.0, with_cooling=False),
+        grid={"wetbulb_c": (12.0, 18.0, 24.0), "seed": (0, 1, 2, 3)},
+    )
+
+    print(f"campaign directory: {root / 'wb-grid'}")
+    campaign = Campaign.create(root / "wb-grid", [sweep], system="frontier")
+    print(f"cells: {len(campaign.cells)} "
+          f"(grid shape {sweep.shape()})")
+
+    print("\nrunning 5 cells, then 'crashing'...")
+    campaign.run(stop_after=5)
+
+    resumed = Campaign.open(root / "wb-grid")
+    print(f"resume: {len(resumed.pending())} cells left "
+          f"({len(resumed.store.completed_indices())} persisted, skipped)")
+    live = resumed.run(
+        workers=4,
+        progress=lambda s, done, total: print(f"  [{done}/{total}] {s.name}"),
+    )
+
+    reloaded = Campaign.open(root / "wb-grid").load()
+    assert reloaded.comparison_table() == live.comparison_table()
+    print("\nreloaded from disk (no simulation), byte-identical table:\n")
+    print(reloaded.comparison_table())
+    print()
+    print(campaign_heatmap(reloaded, sweep, metric="mean_power_mw"))
+
+    lhs = LatinHypercubeSweepScenario(
+        base=SyntheticScenario(duration_s=1800.0, with_cooling=False),
+        ranges={"wetbulb_c": (5.0, 25.0), "seed": (0, 1000)},
+        samples=6,
+        seed=42,
+    )
+    print("\nlatin-hypercube campaign (6 samples over wetbulb × seed):")
+    lhs_campaign = Campaign.create(root / "wb-lhs", [lhs], system="frontier")
+    print(lhs_campaign.run(workers=4).comparison_table())
+    print(f"\nprovenance: {lhs_campaign.store.provenance}")
+
+
+if __name__ == "__main__":
+    main()

@@ -11,8 +11,9 @@ Demonstrated at Exascale", SC 2024):
   energy plant and the 25 CDU loops behind an FMI-like interface
   (:mod:`repro.cooling`),
 - **Scenario API** -- declarative, seedable, JSON-serializable
-  experiment descriptions with streaming execution and parallel batch
-  runs (:mod:`repro.scenarios`),
+  experiment descriptions with streaming execution, parallel batch
+  runs, and persisted sweep campaigns that resume and compare across
+  code revisions (:mod:`repro.scenarios`),
 - **Visual analytics** -- scene generation, dashboards, and exports
   (:mod:`repro.viz`),
 - **Generalization** -- JSON system specs, pluggable telemetry parsers,
@@ -38,8 +39,20 @@ Quickstart — a parallel experiment suite::
     suite.add(WhatIfScenario(modification="direct-dc"))
     print(suite.run(workers=4).comparison_table())
 
+Quickstart — a persisted sweep campaign (resumable, reloadable)::
+
+    from repro import Campaign, GridSweepScenario, SyntheticScenario
+
+    sweep = GridSweepScenario(
+        base=SyntheticScenario(duration_s=1800.0, with_cooling=False),
+        grid={"wetbulb_c": (12.0, 18.0, 24.0), "seed": (0, 1, 2, 3)},
+    )
+    Campaign.create("artifacts/wb-grid", [sweep]).run(workers=4)
+    print(Campaign.open("artifacts/wb-grid").load().comparison_table())
+
 The pre-scenario facade (``Simulation``, ``run_whatif``) remains
-available as a deprecated compatibility shim.
+available as a deprecated compatibility shim; see their docstrings for
+the scenario-API equivalents.
 """
 
 from repro.config import FRONTIER, frontier_spec, load_system, load_builtin_system
@@ -55,8 +68,12 @@ from repro.core import (
 from repro.cooling import CoolingFMU, CoolingPlant, generate_plant
 from repro.power import SystemPowerModel
 from repro.scenarios import (
+    Campaign,
+    CampaignStore,
     DigitalTwin,
     ExperimentSuite,
+    GridSweepScenario,
+    LatinHypercubeSweepScenario,
     ReplayScenario,
     Scenario,
     ScenarioResult,
@@ -68,7 +85,7 @@ from repro.scenarios import (
 )
 from repro.telemetry import SyntheticTelemetryGenerator, TelemetryDataset
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "FRONTIER",
@@ -92,9 +109,13 @@ __all__ = [
     "VerificationScenario",
     "WhatIfScenario",
     "SweepScenario",
+    "GridSweepScenario",
+    "LatinHypercubeSweepScenario",
     "ScenarioResult",
     "ExperimentSuite",
     "SuiteResult",
+    "Campaign",
+    "CampaignStore",
     "DigitalTwin",
     "SyntheticTelemetryGenerator",
     "TelemetryDataset",

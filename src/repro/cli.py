@@ -11,6 +11,11 @@ and dashboard, wired through the declarative scenario API:
 - ``suite`` — run a JSON-described scenario suite, optionally across
   worker processes, and print the comparison table,
 - ``sweep`` — sweep one scenario parameter over a value grid,
+- ``campaign`` — persisted sweep campaigns: ``campaign run`` executes a
+  grid/LHS sweep into an artifact directory (skipping already-completed
+  cells), ``campaign resume`` finishes an interrupted one, and
+  ``campaign compare`` reloads stored campaigns — without re-simulating
+  — into comparison tables and heat maps,
 - ``scene`` — emit the descriptive-twin scene graph as JSON,
 - ``autocsm`` — print the generated cooling-model inventory,
 - ``systems`` — list bundled machine specifications.
@@ -33,14 +38,23 @@ from repro.cooling.autocsm import autocsm_report
 from repro.core.stats import compute_statistics
 from repro.exceptions import ExaDigiTError
 from repro.scenarios import (
+    Campaign,
+    CampaignStore,
     DigitalTwin,
     ExperimentSuite,
+    GridSweepScenario,
+    LatinHypercubeSweepScenario,
     ReplayScenario,
     Scenario,
     SweepScenario,
     SyntheticScenario,
     VerificationScenario,
     WhatIfScenario,
+)
+from repro.viz.campaign import (
+    CAMPAIGN_METRICS,
+    campaign_comparison,
+    campaign_heatmap,
 )
 from repro.viz.dashboard import LiveDashboard, render_dashboard
 from repro.viz.export import export_result
@@ -187,6 +201,20 @@ def _export_suite(outcome, prefix: str | None) -> None:
     print(f"\nper-scenario series written to {prefix}-<name>.json")
 
 
+def _parse_value(raw: str):
+    """Parse one CLI sweep value: bool, int, float, or bare string."""
+    raw = raw.strip()
+    if raw.lower() in ("true", "false"):
+        return raw.lower() == "true"
+    try:
+        return int(raw)
+    except ValueError:
+        try:
+            return float(raw)
+        except ValueError:
+            return raw
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     base = Scenario.from_dict(
         {
@@ -197,19 +225,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             "with_cooling": not args.no_cooling,
         }
     )
-    values = []
-    for raw in args.values.split(","):
-        raw = raw.strip()
-        if raw.lower() in ("true", "false"):
-            values.append(raw.lower() == "true")
-            continue
-        try:
-            values.append(int(raw))
-        except ValueError:
-            try:
-                values.append(float(raw))
-            except ValueError:
-                values.append(raw)
+    values = [_parse_value(raw) for raw in args.values.split(",")]
     sweep = SweepScenario(
         name=f"{args.kind}-{args.param}",
         base=base,
@@ -220,6 +236,146 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     outcome = suite.run(workers=args.workers)
     print(outcome.comparison_table())
     _export_suite(outcome, args.export)
+    return 0
+
+
+def _parse_grid(text: str) -> dict[str, tuple]:
+    """Parse ``"wetbulb_c=12,15,18;seed=0,1,2,3"`` into a grid mapping."""
+    grid: dict[str, tuple] = {}
+    for axis in text.split(";"):
+        axis = axis.strip()
+        if not axis:
+            continue
+        if "=" not in axis:
+            raise ExaDigiTError(
+                f"bad grid axis {axis!r}; expected param=v1,v2,..."
+            )
+        name, _, values = axis.partition("=")
+        grid[name.strip()] = tuple(
+            _parse_value(v) for v in values.split(",") if v.strip()
+        )
+    if not grid:
+        raise ExaDigiTError("empty --grid specification")
+    return grid
+
+
+def _parse_ranges(text: str) -> dict[str, tuple]:
+    """Parse ``"wetbulb_c=5.0:25;seed=0:100"`` into an LHS ranges mapping.
+
+    Bounds keep the type they are written with: a bound containing a
+    decimal point is a float, a bare integer stays an integer — and an
+    axis whose bounds are *both* integers samples integers (see
+    :class:`~repro.scenarios.library.LatinHypercubeSweepScenario`).
+    Write ``5.0:25`` for a continuous axis, ``0:100`` for a discrete
+    one like ``seed``.
+    """
+    ranges: dict[str, tuple] = {}
+    for axis in text.split(";"):
+        axis = axis.strip()
+        if not axis:
+            continue
+        name, _, bounds = axis.partition("=")
+        low, sep, high = bounds.partition(":")
+        if "=" not in axis or not sep:
+            raise ExaDigiTError(
+                f"bad LHS axis {axis!r}; expected param=low:high"
+            )
+        ranges[name.strip()] = (_parse_value(low), _parse_value(high))
+    if not ranges:
+        raise ExaDigiTError("empty --lhs specification")
+    return ranges
+
+
+def _campaign_scenarios(args: argparse.Namespace) -> tuple[list, object]:
+    """Build the declared scenario list (and system) for ``campaign run``."""
+    if args.scenarios:
+        suite = ExperimentSuite.from_file(args.scenarios, system=args.system)
+        return suite.scenarios, suite.twin
+    base = Scenario.from_dict(
+        {
+            "kind": args.kind,
+            "name": args.kind,
+            "duration_s": args.hours * 3600.0,
+            "seed": args.seed,
+            "with_cooling": not args.no_cooling,
+        }
+    )
+    if args.grid:
+        sweep: Scenario = GridSweepScenario(
+            name=f"{args.kind}-grid", base=base, grid=_parse_grid(args.grid)
+        )
+    elif args.lhs:
+        sweep = LatinHypercubeSweepScenario(
+            name=f"{args.kind}-lhs",
+            base=base,
+            ranges=_parse_ranges(args.lhs),
+            samples=args.samples,
+            seed=args.seed,
+        )
+    else:
+        raise ExaDigiTError(
+            "campaign run needs --grid, --lhs, or --scenarios FILE"
+        )
+    return [sweep], args.system or "frontier"
+
+
+def _campaign_progress(scenario, done: int, total: int) -> None:
+    print(f"[{done}/{total}] {scenario.name}", file=sys.stderr, flush=True)
+
+
+def cmd_campaign_run(args: argparse.Namespace) -> int:
+    if CampaignStore.exists(args.directory):
+        print(
+            f"campaign exists at {args.directory}; resuming "
+            "(completed cells are skipped)",
+            file=sys.stderr,
+        )
+        campaign = Campaign.open(args.directory)
+    else:
+        scenarios, system = _campaign_scenarios(args)
+        campaign = Campaign.create(
+            args.directory, scenarios, system=system, name=args.name
+        )
+    outcome = campaign.run(
+        workers=args.workers, progress=_campaign_progress
+    )
+    print(outcome.comparison_table())
+    print(f"\nartifacts: {campaign.path}", file=sys.stderr)
+    return 0
+
+
+def cmd_campaign_resume(args: argparse.Namespace) -> int:
+    campaign = Campaign.open(args.directory)
+    pending = len(campaign.pending())
+    total = len(campaign.cells)
+    print(
+        f"resuming {campaign.store.name}: {total - pending}/{total} cells "
+        "already done",
+        file=sys.stderr,
+    )
+    outcome = campaign.run(workers=args.workers, progress=_campaign_progress)
+    print(outcome.comparison_table())
+    return 0
+
+
+def cmd_campaign_compare(args: argparse.Namespace) -> int:
+    stores = [CampaignStore.open(d) for d in args.directories]
+    loaded = [(store.name, store.load()) for store in stores]
+    if len(loaded) == 1:
+        print(loaded[0][1].comparison_table())
+    else:
+        print(campaign_comparison(loaded, metric=args.metric))
+    if args.heatmap:
+        for store, (label, outcome) in zip(stores, loaded):
+            for scenario in store.declared_scenarios():
+                if isinstance(scenario, GridSweepScenario):
+                    print()
+                    print(f"campaign {label}:")
+                    print(
+                        campaign_heatmap(
+                            outcome, scenario, metric=args.metric
+                        )
+                    )
     return 0
 
 
@@ -314,6 +470,94 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated values for the swept field",
     )
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "campaign",
+        help="persisted sweep campaigns (run / resume / compare)",
+    )
+    campaign_sub = p.add_subparsers(dest="campaign_command", required=True)
+
+    cp = campaign_sub.add_parser(
+        "run",
+        help="run a sweep campaign into an artifact directory "
+        "(resumes if it exists)",
+    )
+    cp.add_argument("directory", help="campaign artifact directory")
+    cp.add_argument(
+        "--system",
+        default=None,
+        help="builtin system name or JSON spec path (default: frontier, "
+        "or the --scenarios file's system)",
+    )
+    cp.add_argument(
+        "--hours", type=float, default=2.0, help="simulated hours (default 2)"
+    )
+    cp.add_argument("--seed", type=int, default=0, help="RNG seed")
+    cp.add_argument(
+        "--no-cooling",
+        action="store_true",
+        help="skip the cooling model (paper: 3x faster replays)",
+    )
+    _add_workers_arg(cp)
+    cp.add_argument(
+        "--kind",
+        default="synthetic",
+        help="base scenario kind to sweep (default: synthetic)",
+    )
+    cp.add_argument(
+        "--grid",
+        metavar="SPEC",
+        help='cartesian grid, e.g. "wetbulb_c=12,15,18;seed=0,1,2,3"',
+    )
+    cp.add_argument(
+        "--lhs",
+        metavar="SPEC",
+        help='latin-hypercube box, e.g. "wetbulb_c=5.0:25;seed=0:100" '
+        "(integer bounds sample integers; use a decimal point for "
+        "continuous axes)",
+    )
+    cp.add_argument(
+        "--samples",
+        type=int,
+        default=8,
+        help="LHS sample count (default 8)",
+    )
+    cp.add_argument(
+        "--scenarios",
+        metavar="FILE",
+        help="JSON suite file instead of --grid/--lhs",
+    )
+    cp.add_argument(
+        "--name", default=None, help="campaign name (default: directory name)"
+    )
+    cp.set_defaults(func=cmd_campaign_run)
+
+    cp = campaign_sub.add_parser(
+        "resume", help="finish an interrupted campaign (skips done cells)"
+    )
+    cp.add_argument("directory", help="campaign artifact directory")
+    _add_workers_arg(cp)
+    cp.set_defaults(func=cmd_campaign_resume)
+
+    cp = campaign_sub.add_parser(
+        "compare",
+        help="reload stored campaigns (no simulation) into tables/heat maps",
+    )
+    cp.add_argument(
+        "directories", nargs="+", help="campaign artifact directories"
+    )
+    cp.add_argument(
+        "--metric",
+        default="mean_power_mw",
+        choices=CAMPAIGN_METRICS,
+        help="metric for cross-campaign tables and heat maps",
+    )
+    cp.add_argument(
+        "--heatmap",
+        action="store_true",
+        help="also render grid-sweep heat maps",
+    )
+    cp.set_defaults(func=cmd_campaign_compare)
 
     p = sub.add_parser("scene", help="emit the L1 scene graph as JSON")
     _add_system_arg(p)

@@ -8,12 +8,15 @@
   produce "measured" telemetry (see DESIGN.md substitutions),
 - :mod:`repro.core.scenarios` — what-if runner (smart rectifiers, 380 V DC),
 - :mod:`repro.core.stats` — output statistics (section III-B5, Table IV),
+- :mod:`repro.core.summary` — stable result summarization: the raw
+  scalars and JSON documents the campaign artifact store persists,
 - :mod:`repro.core.validate` — RMSE/MAE/%-error comparison harness.
 """
 
 from repro.core.engine import RapsEngine, SimulationResult, StepState
 from repro.core.simulation import Simulation
 from repro.core.stats import RunStatistics, DailyStatistics, aggregate_daily
+from repro.core.summary import result_metrics, result_series_doc
 from repro.core.validate import SeriesComparison, compare_series, percent_error
 from repro.core.physical import PhysicalTwin, MeasurementNoise
 from repro.core.replay import ReplayValidation, replay_dataset
@@ -27,6 +30,8 @@ __all__ = [
     "RunStatistics",
     "DailyStatistics",
     "aggregate_daily",
+    "result_metrics",
+    "result_series_doc",
     "SeriesComparison",
     "compare_series",
     "percent_error",

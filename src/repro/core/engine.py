@@ -205,6 +205,12 @@ class _TracePool:
 class RapsEngine:
     """Algorithm 1: RUNSIMULATION / TICK / SCHEDULEJOBS.
 
+    This is the low-level loop; most callers should describe their
+    experiment as a :class:`~repro.scenarios.base.Scenario` and let
+    ``scenario.run(twin)`` / ``scenario.iter_steps(twin)`` plan the
+    workload and construct the engine — scenarios serialize, batch into
+    suites, and persist into campaign artifacts.
+
     Parameters
     ----------
     spec:

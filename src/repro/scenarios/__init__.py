@@ -4,7 +4,22 @@ A :class:`Scenario` is a declarative, seedable, JSON-round-trippable
 description of one experiment; ``scenario.run(twin)`` executes it on
 the streaming RAPS engine; an :class:`ExperimentSuite` runs many of
 them — optionally across worker processes — against one shared system
-spec and tabulates the results.
+spec and tabulates the results.  A :class:`Campaign` adds a persistent
+spine: every finished cell of a sweep lands in an on-disk artifact
+directory (:mod:`repro.scenarios.artifacts`) that reloads bit-identical
+tables and resumes interrupted runs without recomputation.
+
+Scenario kinds (all JSON round-trippable via ``Scenario.from_dict``):
+
+========================  =================================================
+``synthetic``             Poisson synthetic workload at fixed wet-bulb
+``replay``                telemetry replay at recorded start times
+``verification``          one Table III operating point (idle/hpl/peak)
+``whatif``                counterfactual conversion-chain study (IV-3)
+``sweep``                 one parameter over a value list
+``grid-sweep``            cartesian grid over several parameters at once
+``lhs-sweep``             seeded latin-hypercube sample of a parameter box
+========================  =================================================
 
 Quickstart::
 
@@ -21,22 +36,44 @@ Quickstart::
     suite.add(VerificationScenario(point="peak"))
     suite.add(WhatIfScenario(modification="direct-dc"))
     print(suite.run(workers=3).comparison_table())
+
+Persisted campaign (resumable, comparable across code revisions)::
+
+    from repro.scenarios import Campaign, GridSweepScenario
+
+    sweep = GridSweepScenario(
+        base=SyntheticScenario(duration_s=1800.0, with_cooling=False),
+        grid={"wetbulb_c": (12.0, 18.0, 24.0), "seed": (0, 1, 2, 3)},
+    )
+    campaign = Campaign.create("artifacts/wb-grid", [sweep])
+    campaign.run(workers=4)
+    print(Campaign.open("artifacts/wb-grid").load().comparison_table())
 """
 
+from repro.scenarios.artifacts import (
+    CampaignStore,
+    StoredScenarioResult,
+    git_revision,
+    spec_sha256,
+)
 from repro.scenarios.base import (
     SCENARIO_TYPES,
     RunPlan,
     Scenario,
     register_scenario,
 )
+from repro.scenarios.campaign import Campaign
 from repro.scenarios.library import (
+    BaseSweepScenario,
+    GridSweepScenario,
+    LatinHypercubeSweepScenario,
     ReplayScenario,
     SweepScenario,
     SyntheticScenario,
     VerificationScenario,
     WhatIfScenario,
 )
-from repro.scenarios.result import ScenarioResult
+from repro.scenarios.result import ScenarioResult, format_summary_row
 from repro.scenarios.suite import ExperimentSuite, SuiteResult, execute_scenario
 from repro.scenarios.twin import DigitalTwin, as_twin, resolve_spec
 
@@ -49,11 +86,20 @@ __all__ = [
     "ReplayScenario",
     "VerificationScenario",
     "WhatIfScenario",
+    "BaseSweepScenario",
     "SweepScenario",
+    "GridSweepScenario",
+    "LatinHypercubeSweepScenario",
     "ScenarioResult",
+    "format_summary_row",
     "ExperimentSuite",
     "SuiteResult",
     "execute_scenario",
+    "Campaign",
+    "CampaignStore",
+    "StoredScenarioResult",
+    "spec_sha256",
+    "git_revision",
     "DigitalTwin",
     "as_twin",
     "resolve_spec",

@@ -10,7 +10,13 @@ drives the streaming :class:`~repro.core.engine.RapsEngine`, and
 returns a :class:`~repro.scenarios.result.ScenarioResult`.
 
 Concrete scenario types live in :mod:`repro.scenarios.library` and
-register themselves here by their ``kind`` tag.
+register themselves here by their ``kind`` tag: ``synthetic``,
+``replay``, ``verification``, ``whatif``, plus the sweep family
+(``sweep``, ``grid-sweep``, ``lhs-sweep``) that expands into child
+scenarios for suite and campaign execution.  The declarative contract
+is what makes the rest of the stack work: suites ship scenarios to
+worker processes, and campaign artifact directories freeze scenario
+documents on disk and rebuild them bit-identically on resume.
 """
 
 from __future__ import annotations

@@ -7,15 +7,30 @@ One class per experiment family from the paper, unified behind the
 - :class:`ReplayScenario` — telemetry replay at recorded starts (Finding 8),
 - :class:`VerificationScenario` — one Table III operating point,
 - :class:`WhatIfScenario` — the IV-3 counterfactual chain studies,
-- :class:`SweepScenario` — a parametric sweep expanding any base
-  scenario over a value grid (the suite runner parallelizes it).
+- :class:`SweepScenario` — a one-parameter sweep expanding any base
+  scenario over a value list,
+- :class:`GridSweepScenario` — a cartesian grid over several base
+  fields at once (wet-bulb × arrival seed × setpoints, ...),
+- :class:`LatinHypercubeSweepScenario` — a seeded latin-hypercube
+  sample of a multi-dimensional parameter box.
+
+The three sweep kinds share :class:`BaseSweepScenario`: each expands to
+concrete child scenarios via ``expand()``, which
+:class:`~repro.scenarios.suite.ExperimentSuite` flattens before
+dispatch (so grids run in parallel) and the campaign runner
+(:mod:`repro.scenarios.campaign`) persists cell by cell.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import itertools
+import numbers
+from collections.abc import Mapping
 from dataclasses import dataclass
 from typing import Any, Callable, ClassVar
+
+import numpy as np
 
 from repro.core.engine import SimulationResult
 from repro.core.replay import replay_dataset
@@ -231,55 +246,76 @@ class WhatIfScenario(Scenario):
         )
 
 
-@register_scenario
-@dataclass(frozen=True)
-class SweepScenario(Scenario):
-    """Parametric sweep: one base scenario replicated over a value grid.
+def _format_value(value: Any) -> str:
+    """Short stable rendering of a swept value for child names."""
+    if isinstance(value, bool):
+        return str(value).lower()
+    if isinstance(value, float):
+        return format(value, "g")
+    return str(value)
 
-    ``expand()`` yields one concrete scenario per value, with
-    ``parameter`` substituted via ``dataclasses.replace``; an
-    :class:`~repro.scenarios.suite.ExperimentSuite` flattens sweeps
-    before dispatch so the grid runs in parallel.  Run standalone, the
-    children execute serially and land in ``ScenarioResult.children``.
+
+@dataclass(frozen=True)
+class BaseSweepScenario(Scenario):
+    """Common machinery of the sweep scenario family.
+
+    A sweep is itself a :class:`Scenario` (declarative, seedable,
+    JSON-round-trippable) whose ``expand()`` yields the concrete child
+    scenarios — one per grid cell or sample.  Anything that subclasses
+    this is flattened by :class:`~repro.scenarios.suite.ExperimentSuite`
+    before dispatch and enumerable cell-by-cell by the campaign runner.
+
+    Run standalone, the children execute serially and land in
+    ``ScenarioResult.children``; sweeps do not stream (expand and
+    stream the children instead).
     """
 
-    kind: ClassVar[str] = "sweep"
-
     base: Scenario | None = None
-    parameter: str = ""
-    values: tuple = ()
+
+    def points(self) -> list[dict[str, Any]]:
+        """Per-child field assignments, in expansion order (subclass hook)."""
+        raise NotImplementedError
 
     def expand(self) -> list[Scenario]:
-        """Concrete child scenarios, one per swept value."""
+        """Concrete child scenarios, one per swept point.
+
+        Child names are unique within the sweep: two points landing on
+        the same label (e.g. an integer LHS axis sampling the same
+        value twice) get a ``#<index>`` suffix, so name-keyed joins —
+        campaign comparison tables, heat-map pivots, ``SuiteResult``
+        lookup — never silently collapse cells.
+        """
         if self.base is None:
-            raise ScenarioError("SweepScenario needs a base scenario")
-        if not self.parameter:
-            raise ScenarioError("SweepScenario needs a parameter name")
-        if not self.values:
-            raise ScenarioError("SweepScenario needs at least one value")
-        field_names = {f.name for f in dataclasses.fields(self.base)}
-        if self.parameter not in field_names:
-            raise ScenarioError(
-                f"base scenario {self.base.kind!r} has no field "
-                f"{self.parameter!r}"
-            )
+            raise ScenarioError(f"{type(self).__name__} needs a base scenario")
         children = []
-        for value in self.values:
+        seen: set[str] = set()
+        for index, assignments in enumerate(self.points()):
+            label = ",".join(
+                f"{k}={_format_value(v)}" for k, v in assignments.items()
+            )
+            name = f"{self.base.name}/{label}"
+            if name in seen:
+                name = f"{name}#{index}"
+            seen.add(name)
             children.append(
-                dataclasses.replace(
-                    self.base,
-                    **{
-                        self.parameter: value,
-                        "name": f"{self.base.name}/{self.parameter}={value}",
-                    },
-                )
+                dataclasses.replace(self.base, **assignments, name=name)
             )
         return children
 
+    def _check_fields(self, parameters: list[str]) -> None:
+        """Validate that every swept name is a field of the base scenario."""
+        field_names = {f.name for f in dataclasses.fields(self.base)}
+        for parameter in parameters:
+            if parameter not in field_names:
+                raise ScenarioError(
+                    f"base scenario {self.base.kind!r} has no field "
+                    f"{parameter!r}"
+                )
+
     def iter_steps(self, twin: DigitalTwin | Any, **kwargs: Any):
         raise ScenarioError(
-            "SweepScenario does not stream: expand() it and stream the "
-            "children, or run(twin) for the collected results"
+            f"{type(self).__name__} does not stream: expand() it and "
+            "stream the children, or run(twin) for the collected results"
         )
 
     def run(self, twin: DigitalTwin | Any, **kwargs: Any) -> ScenarioResult:
@@ -288,10 +324,221 @@ class SweepScenario(Scenario):
         return ScenarioResult(scenario=self, children=children)
 
 
+@register_scenario
+@dataclass(frozen=True)
+class SweepScenario(BaseSweepScenario):
+    """One-parameter sweep: a base scenario replicated over a value list."""
+
+    kind: ClassVar[str] = "sweep"
+
+    parameter: str = ""
+    values: tuple = ()
+
+    def points(self) -> list[dict[str, Any]]:
+        if not self.parameter:
+            raise ScenarioError("SweepScenario needs a parameter name")
+        if not self.values:
+            raise ScenarioError("SweepScenario needs at least one value")
+        self._check_fields([self.parameter])
+        return [{self.parameter: value} for value in self.values]
+
+
+@register_scenario
+@dataclass(frozen=True)
+class GridSweepScenario(BaseSweepScenario):
+    """Cartesian grid sweep over several base-scenario fields at once.
+
+    ``grid`` maps field names to value lists; expansion is the cartesian
+    product in declared order, the last axis varying fastest::
+
+        GridSweepScenario(
+            base=SyntheticScenario(duration_s=1800.0),
+            grid={"wetbulb_c": (12.0, 18.0, 24.0), "seed": (0, 1, 2, 3)},
+        )  # 12 cells
+
+    A mapping passed at construction is normalized to a tuple of
+    ``(name, values)`` pairs so the scenario stays frozen, hashable, and
+    JSON-round-trippable.
+    """
+
+    kind: ClassVar[str] = "grid-sweep"
+
+    grid: tuple = ()
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        object.__setattr__(self, "grid", _normalize_grid(self.grid))
+
+    @property
+    def parameters(self) -> list[str]:
+        """Swept field names, in declared (pivot) order."""
+        return [name for name, _ in self.grid]
+
+    def shape(self) -> tuple[int, ...]:
+        """Cells per axis, in declared order."""
+        return tuple(len(values) for _, values in self.grid)
+
+    def points(self) -> list[dict[str, Any]]:
+        if not self.grid:
+            raise ScenarioError("GridSweepScenario needs a non-empty grid")
+        self._check_fields(self.parameters)
+        axes = [values for _, values in self.grid]
+        return [
+            dict(zip(self.parameters, combo))
+            for combo in itertools.product(*axes)
+        ]
+
+
+@register_scenario
+@dataclass(frozen=True)
+class LatinHypercubeSweepScenario(BaseSweepScenario):
+    """Seeded latin-hypercube sample of a multi-dimensional box.
+
+    ``ranges`` maps field names to ``(low, high)`` bounds; ``samples``
+    points are drawn with one stratified sample per axis bin and the
+    bins permuted independently per axis — the standard LHS
+    construction.  The draw is fully determined by the scenario's
+    ``seed``, so the same scenario expands to the same children on any
+    host (and a persisted campaign can be resumed cell-by-cell).
+
+    An axis whose bounds are both integers yields integers (the sampled
+    value is floored within the bin), so discrete fields like ``seed``
+    can be swept alongside continuous ones.
+    """
+
+    kind: ClassVar[str] = "lhs-sweep"
+
+    ranges: tuple = ()
+    samples: int = 8
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        object.__setattr__(self, "ranges", _normalize_ranges(self.ranges))
+        if not (
+            isinstance(self.samples, numbers.Integral)
+            and not isinstance(self.samples, bool)
+        ):
+            raise ScenarioError(
+                f"samples must be an integer, got {self.samples!r}"
+            )
+        object.__setattr__(self, "samples", int(self.samples))
+        if self.samples < 1:
+            raise ScenarioError("samples must be >= 1")
+
+    @property
+    def parameters(self) -> list[str]:
+        """Swept field names, in declared order."""
+        return [name for name, _, _ in self.ranges]
+
+    def points(self) -> list[dict[str, Any]]:
+        if not self.ranges:
+            raise ScenarioError(
+                "LatinHypercubeSweepScenario needs at least one range"
+            )
+        self._check_fields(self.parameters)
+        rng = np.random.default_rng(self.seed)
+        n = self.samples
+        columns: list[list[Any]] = []
+        for _, low, high in self.ranges:
+            # One stratum per sample, shuffled: bin k covers
+            # [low + k*w, low + (k+1)*w) with w = (high-low)/n.
+            strata = rng.permutation(n)
+            offsets = rng.random(n)
+            values = low + (strata + offsets) / n * (high - low)
+            if isinstance(low, int) and isinstance(high, int):
+                columns.append([int(v) for v in np.floor(values)])
+            else:
+                columns.append([float(v) for v in values])
+        return [
+            dict(zip(self.parameters, point)) for point in zip(*columns)
+        ]
+
+
+def _normalize_grid(grid: Any) -> tuple:
+    """Coerce a grid mapping / pair list to ``((name, values), ...)``."""
+    if isinstance(grid, Mapping):
+        items = list(grid.items())
+    elif isinstance(grid, (list, tuple)):
+        items = list(grid)
+    else:
+        raise ScenarioError(
+            f"grid must be a mapping or (name, values) pairs, got "
+            f"{type(grid).__name__}"
+        )
+    out = []
+    for item in items:
+        if not (isinstance(item, (list, tuple)) and len(item) == 2):
+            raise ScenarioError(
+                f"grid entries must be (name, values) pairs, got {item!r}"
+            )
+        name, values = item
+        if not isinstance(name, str) or not name:
+            raise ScenarioError(f"grid field name must be a string: {name!r}")
+        if isinstance(values, (list, tuple, np.ndarray)):
+            values = tuple(
+                v.item() if isinstance(v, np.generic) else v for v in values
+            )
+        else:
+            values = (values,)
+        if not values:
+            raise ScenarioError(f"grid axis {name!r} has no values")
+        out.append((name, values))
+    return tuple(out)
+
+
+def _normalize_ranges(ranges: Any) -> tuple:
+    """Coerce a ranges mapping / triple list to ``((name, lo, hi), ...)``."""
+    if isinstance(ranges, Mapping):
+        items = [(name, bounds) for name, bounds in ranges.items()]
+    elif isinstance(ranges, (list, tuple)):
+        items = []
+        for entry in ranges:
+            if isinstance(entry, (list, tuple)) and len(entry) == 3:
+                items.append((entry[0], (entry[1], entry[2])))
+            elif isinstance(entry, (list, tuple)) and len(entry) == 2:
+                items.append((entry[0], entry[1]))
+            else:
+                raise ScenarioError(
+                    f"ranges entries must be (name, low, high), got {entry!r}"
+                )
+    else:
+        raise ScenarioError(
+            f"ranges must be a mapping or (name, low, high) triples, got "
+            f"{type(ranges).__name__}"
+        )
+    out = []
+    for name, bounds in items:
+        if not isinstance(name, str) or not name:
+            raise ScenarioError(
+                f"ranges field name must be a string: {name!r}"
+            )
+        if not (isinstance(bounds, (list, tuple)) and len(bounds) == 2):
+            raise ScenarioError(
+                f"range for {name!r} must be (low, high), got {bounds!r}"
+            )
+        low, high = bounds
+        for v in (low, high):
+            if not isinstance(v, numbers.Real) or isinstance(v, bool):
+                raise ScenarioError(
+                    f"range bounds for {name!r} must be numbers, got {v!r}"
+                )
+        low = low.item() if isinstance(low, np.generic) else low
+        high = high.item() if isinstance(high, np.generic) else high
+        if not low < high:
+            raise ScenarioError(
+                f"range for {name!r} needs low < high, got ({low}, {high})"
+            )
+        out.append((name, low, high))
+    return tuple(out)
+
+
 __all__ = [
     "SyntheticScenario",
     "ReplayScenario",
     "VerificationScenario",
     "WhatIfScenario",
+    "BaseSweepScenario",
     "SweepScenario",
+    "GridSweepScenario",
+    "LatinHypercubeSweepScenario",
 ]

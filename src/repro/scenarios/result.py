@@ -4,6 +4,13 @@ Bundles the raw engine series with the end-of-run statistics and, for
 counterfactual scenarios, the baseline run and the comparison report.
 The ``summary_row`` view is what :class:`~repro.scenarios.suite.SuiteResult`
 tabulates across a whole experiment suite.
+
+The row is computed in two stages shared with the campaign artifact
+store: :func:`~repro.core.summary.result_metrics` extracts the raw
+scalars and :func:`format_summary_row` formats them.  A persisted
+campaign cell stores the raw scalars and reuses the same formatter, so
+a reloaded comparison table is byte-identical to the live one (see
+:mod:`repro.scenarios.artifacts`).
 """
 
 from __future__ import annotations
@@ -12,14 +19,43 @@ import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-import numpy as np
-
 from repro.core.engine import SimulationResult
 from repro.core.scenarios import ScenarioComparison
 from repro.core.stats import RunStatistics
+from repro.core.summary import result_metrics
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.scenarios.base import Scenario
+
+
+def format_summary_row(
+    name: str,
+    kind: str,
+    metrics: dict[str, float],
+    comparison: ScenarioComparison | None = None,
+) -> dict[str, str]:
+    """Format one comparison-table row from raw summary metrics.
+
+    ``metrics`` is the :func:`~repro.core.summary.result_metrics` dict;
+    NaN renders as ``-``.  Both live :class:`ScenarioResult` objects and
+    reloaded artifact cells go through this single formatter.
+    """
+
+    def num(value: float, fmt: str) -> str:
+        return "-" if math.isnan(value) else format(value, fmt)
+
+    row = {
+        "scenario": name,
+        "kind": kind,
+        "power MW": num(metrics["mean_power_mw"], ".2f"),
+        "energy MWh": num(metrics["energy_mwh"], ".1f"),
+        "loss %": num(metrics["loss_percent"], ".2f"),
+        "PUE": num(metrics["mean_pue"], ".3f"),
+    }
+    if comparison is not None:
+        row["Δeff pp"] = f"{comparison.efficiency_gain_percent:+.2f}"
+        row["savings $/yr"] = f"{comparison.annual_savings_usd:,.0f}"
+    return row
 
 
 @dataclass
@@ -66,28 +102,17 @@ class ScenarioResult:
 
     @property
     def mean_pue(self) -> float:
-        if self.result is None or "pue" not in self.result.cooling:
-            return math.nan
-        return float(np.mean(self.result.cooling["pue"]))
+        return self.metrics()["mean_pue"]
+
+    def metrics(self) -> dict[str, float]:
+        """Raw (unformatted) summary scalars of this scenario's run."""
+        return result_metrics(self.result)
 
     def summary_row(self) -> dict[str, str]:
         """One formatted table row for the suite comparison view."""
-
-        def num(value: float, fmt: str) -> str:
-            return "-" if math.isnan(value) else format(value, fmt)
-
-        row = {
-            "scenario": self.name,
-            "kind": self.kind,
-            "power MW": num(self.mean_power_mw, ".2f"),
-            "energy MWh": num(self.energy_mwh, ".1f"),
-            "loss %": num(self.loss_percent, ".2f"),
-            "PUE": num(self.mean_pue, ".3f"),
-        }
-        if self.comparison is not None:
-            row["Δeff pp"] = f"{self.comparison.efficiency_gain_percent:+.2f}"
-            row["savings $/yr"] = f"{self.comparison.annual_savings_usd:,.0f}"
-        return row
+        return format_summary_row(
+            self.name, self.kind, self.metrics(), self.comparison
+        )
 
 
-__all__ = ["ScenarioResult"]
+__all__ = ["ScenarioResult", "format_summary_row"]

@@ -23,7 +23,7 @@ from typing import Any, Callable, Iterable, Iterator
 from repro.config.schema import SystemSpec
 from repro.exceptions import ScenarioError
 from repro.scenarios.base import Scenario
-from repro.scenarios.library import SweepScenario
+from repro.scenarios.library import BaseSweepScenario
 from repro.scenarios.result import ScenarioResult
 from repro.scenarios.twin import DigitalTwin, as_twin
 
@@ -120,10 +120,11 @@ class ExperimentSuite:
         return self
 
     def expanded(self) -> list[Scenario]:
-        """The flat run list: sweeps replaced by their children."""
+        """The flat run list: sweep-family scenarios replaced by their
+        children (any :class:`BaseSweepScenario` subclass expands)."""
         flat: list[Scenario] = []
         for s in self.scenarios:
-            if isinstance(s, SweepScenario):
+            if isinstance(s, BaseSweepScenario):
                 flat.extend(s.expand())
             else:
                 flat.append(s)

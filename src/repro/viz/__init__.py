@@ -8,12 +8,15 @@ rendering device changes (see DESIGN.md substitutions):
   of racks/CDUs/CEP assets generated from the JSON system config, the
   planned "dynamic asset generation" of paper Section V,
 - :mod:`repro.viz.heatmap` — rack/CDU heat-map grids (ANSI or text),
+- :mod:`repro.viz.campaign` — sweep-campaign heat maps and
+  cross-campaign metric comparison tables,
 - :mod:`repro.viz.dashboard` — terminal dashboard with sparklines,
 - :mod:`repro.viz.export` — JSON/CSV series export for web dashboards.
 """
 
 from repro.viz.scene import SceneGraph, AssetNode, build_scene
 from repro.viz.heatmap import rack_heatmap, cdu_heatmap, render_grid
+from repro.viz.campaign import campaign_heatmap, campaign_comparison
 from repro.viz.dashboard import sparkline, render_dashboard
 from repro.viz.export import result_to_json, result_to_csv, export_result
 
@@ -24,6 +27,8 @@ __all__ = [
     "rack_heatmap",
     "cdu_heatmap",
     "render_grid",
+    "campaign_heatmap",
+    "campaign_comparison",
     "sparkline",
     "render_dashboard",
     "result_to_json",

@@ -1,0 +1,158 @@
+"""Campaign rendering: grid heatmaps and cross-campaign comparisons.
+
+Turns persisted (or live) campaign results into terminal analytics:
+
+- :func:`campaign_heatmap` — pivot a grid sweep's cells onto its first
+  two axes and render one metric as a character-ramp heat map (the
+  sweep-campaign analogue of the per-rack heat maps),
+- :func:`campaign_comparison` — align two or more campaigns by cell
+  name and tabulate one metric side by side with deltas against the
+  first (the cross-PR "did the optimization change the physics?" view).
+
+Both accept anything that quacks like a
+:class:`~repro.scenarios.suite.SuiteResult` whose entries expose
+``name`` and ``metrics()`` — live runs and reloaded artifact stores
+alike.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ExaDigiTError
+from repro.viz.heatmap import render_grid
+
+#: Metrics selectable by name (keys of ScenarioResult.metrics()).
+CAMPAIGN_METRICS = ("mean_power_mw", "energy_mwh", "loss_percent", "mean_pue")
+
+
+def _metric(entry, metric: str) -> float:
+    values = entry.metrics()
+    if metric not in values:
+        raise ExaDigiTError(
+            f"unknown campaign metric {metric!r}; "
+            f"available: {sorted(values)}"
+        )
+    return float(values[metric])
+
+
+def campaign_heatmap(
+    outcome,
+    grid,
+    *,
+    metric: str = "mean_power_mw",
+) -> str:
+    """Heat map of one metric over a grid sweep's first two axes.
+
+    ``outcome`` holds the cell results (in expansion order, as produced
+    by a campaign run or reload); ``grid`` is the
+    :class:`~repro.scenarios.library.GridSweepScenario` that generated
+    them.  The first grid axis becomes the rows, the remaining axes are
+    flattened into the columns (for the common 2-axis case that is just
+    axis two).  Cells without a persisted result render as NaN→coldest.
+    """
+    shape = grid.shape()
+    if len(shape) < 1:
+        raise ExaDigiTError("campaign heat map needs a non-empty grid")
+    n_cells = int(np.prod(shape))
+    by_name = {entry.name: entry for entry in outcome}
+    values = np.full(n_cells, np.nan)
+    for i, child in enumerate(grid.expand()):
+        entry = by_name.get(child.name)
+        if entry is not None:
+            values[i] = _metric(entry, metric)
+    rows = shape[0]
+    cols = n_cells // rows
+    finite = values[np.isfinite(values)]
+    vmin = float(finite.min()) if finite.size else 0.0
+    vmax = float(finite.max()) if finite.size else 1.0
+    body = render_grid(
+        np.nan_to_num(values, nan=vmin),
+        columns=cols,
+        vmin=vmin,
+        vmax=vmax,
+        labels=False,
+    )
+    axes = " × ".join(
+        f"{name}[{len(vals)}]" for name, vals in grid.grid
+    )
+    lines = [f"{metric} over {axes} (rows: {grid.grid[0][0]})"]
+    row_labels = [str(v) for v in grid.grid[0][1]]
+    width = max(len(s) for s in row_labels)
+    for label, line in zip(row_labels, body.splitlines()):
+        lines.append(f"{label:>{width}s} |{line}|")
+    lines.append(f"scale: {vmin:.4g} (cold) .. {vmax:.4g} (hot)")
+    return "\n".join(lines)
+
+
+def campaign_comparison(
+    outcomes: Sequence[tuple[str, object]],
+    *,
+    metric: str = "mean_power_mw",
+) -> str:
+    """Side-by-side metric table across campaigns, with deltas vs the first.
+
+    ``outcomes`` is ``[(label, suite_result), ...]`` — typically the
+    reloaded stores of campaigns run against different code revisions.
+    Rows are cell names in first-campaign order (cells unique to later
+    campaigns are appended); missing values render as ``-``.
+    """
+    if not outcomes:
+        raise ExaDigiTError("campaign comparison needs at least one campaign")
+    labels = [label for label, _ in outcomes]
+    tables = [
+        {entry.name: _metric(entry, metric) for entry in result}
+        for _, result in outcomes
+    ]
+    names: list[str] = []
+    for table in tables:
+        for name in table:
+            if name not in names:
+                names.append(name)
+
+    def fmt(value: float | None) -> str:
+        if value is None or math.isnan(value):
+            return "-"
+        return format(value, ".4f")
+
+    columns = ["cell"] + labels
+    if len(outcomes) > 1:
+        columns += [f"Δ {label}" for label in labels[1:]]
+    rows = []
+    for name in names:
+        base = tables[0].get(name)
+        row = [name] + [fmt(t.get(name)) for t in tables]
+        if len(outcomes) > 1:
+            for t in tables[1:]:
+                value = t.get(name)
+                if (
+                    value is None
+                    or base is None
+                    or math.isnan(value)
+                    or math.isnan(base)
+                ):
+                    row.append("-")
+                else:
+                    row.append(format(value - base, "+.4f"))
+        rows.append(row)
+    widths = [
+        max(len(columns[c]), *(len(r[c]) for r in rows)) if rows else len(columns[c])
+        for c in range(len(columns))
+    ]
+    header = "  ".join(c.ljust(w) for c, w in zip(columns, widths))
+    rule = "  ".join("-" * w for w in widths)
+    lines = [f"metric: {metric}", header, rule]
+    for r in rows:
+        lines.append(
+            "  ".join(
+                cell.ljust(w) if i == 0 else cell.rjust(w)
+                for i, (cell, w) in enumerate(zip(r, widths))
+            )
+        )
+    return "\n".join(lines)
+
+
+__all__ = ["CAMPAIGN_METRICS", "campaign_heatmap", "campaign_comparison"]

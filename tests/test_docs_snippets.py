@@ -1,0 +1,100 @@
+"""Documentation smoke tests: every quickstart snippet must execute.
+
+Walks README.md and docs/*.md, extracts fenced code blocks, and runs
+them so the documentation cannot rot:
+
+- ```python blocks are exec'd cumulatively per document (later blocks
+  may reuse earlier imports/variables), inside a temp working directory
+  so relative artifact paths stay sandboxed;
+- ```console blocks contribute their ``$ repro ...`` command lines
+  (with backslash continuations), which run through the real CLI
+  ``main()`` in the same temp directory and must exit 0.
+
+Blocks fenced as ```bash/```text/```json are illustrative and skipped,
+except the tier-1 pytest command which is validated textually.
+"""
+
+from __future__ import annotations
+
+import shlex
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as cli_main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOC_FILES = sorted(
+    [REPO_ROOT / "README.md", *(REPO_ROOT / "docs").glob("*.md")]
+)
+
+
+def extract_blocks(path: Path) -> list[tuple[str, str]]:
+    """(fence-language, body) for every fenced block, in document order."""
+    blocks: list[tuple[str, str]] = []
+    language = None
+    body: list[str] = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        stripped = line.strip()
+        if language is None:
+            if stripped.startswith("```") and stripped != "```":
+                language = stripped[3:].strip()
+                body = []
+        elif stripped == "```":
+            blocks.append((language, "\n".join(body)))
+            language = None
+        else:
+            body.append(line)
+    return blocks
+
+
+def console_commands(body: str) -> list[str]:
+    """The ``$ repro ...`` lines of a console block, continuations joined."""
+    commands: list[str] = []
+    pending: str | None = None
+    for line in body.splitlines():
+        if pending is not None:
+            pending += " " + line.strip()
+        elif line.lstrip().startswith("$ "):
+            pending = line.lstrip()[2:].strip()
+        else:
+            continue
+        if pending.endswith("\\"):
+            pending = pending[:-1].strip()
+            continue
+        commands.append(pending)
+        pending = None
+    return [c for c in commands if c.startswith("repro ")]
+
+
+def runnable_docs() -> list[Path]:
+    return [p for p in DOC_FILES if p.exists()]
+
+
+@pytest.mark.parametrize(
+    "doc", runnable_docs(), ids=lambda p: p.relative_to(REPO_ROOT).as_posix()
+)
+def test_doc_snippets_execute(doc, tmp_path, monkeypatch, capsys):
+    """Run a document's python and console snippets in order."""
+    monkeypatch.chdir(tmp_path)
+    namespace: dict = {"__name__": "__docs__"}
+    ran = 0
+    for language, body in extract_blocks(doc):
+        if language == "python":
+            exec(compile(body, f"{doc.name}:python", "exec"), namespace)
+            ran += 1
+        elif language == "console":
+            for command in console_commands(body):
+                argv = shlex.split(command)[1:]  # drop the "repro" argv0
+                rc = cli_main(argv)
+                capsys.readouterr()  # keep transcript noise out of -q runs
+                assert rc == 0, f"{command!r} exited {rc}"
+                ran += 1
+    assert ran > 0, f"{doc} has no executable snippets"
+
+
+def test_readme_documents_tier1_command():
+    """The README must carry the canonical tier-1 test invocation."""
+    text = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    assert "python -m pytest -x -q" in text
+    assert "PYTHONPATH=src" in text

@@ -10,6 +10,8 @@ from repro.exceptions import ScenarioError
 from repro.scenarios import (
     SCENARIO_TYPES,
     DigitalTwin,
+    GridSweepScenario,
+    LatinHypercubeSweepScenario,
     ReplayScenario,
     Scenario,
     SweepScenario,
@@ -38,6 +40,16 @@ class TestSerialization:
             parameter="seed",
             values=(0, 1, 2),
         ),
+        GridSweepScenario(
+            base=SyntheticScenario(duration_s=600.0, with_cooling=False),
+            grid={"wetbulb_c": (12.0, 18.0), "seed": (0, 1)},
+        ),
+        LatinHypercubeSweepScenario(
+            base=SyntheticScenario(duration_s=600.0, with_cooling=False),
+            ranges={"wetbulb_c": (5.0, 25.0)},
+            samples=4,
+            seed=9,
+        ),
     ]
 
     @pytest.mark.parametrize("scenario", CASES, ids=lambda s: s.kind)
@@ -55,6 +67,8 @@ class TestSerialization:
             "verification",
             "whatif",
             "sweep",
+            "grid-sweep",
+            "lhs-sweep",
         } <= set(SCENARIO_TYPES)
 
     def test_unknown_kind_rejected(self):
