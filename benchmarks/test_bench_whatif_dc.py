@@ -15,7 +15,7 @@ import pytest
 
 from benchmarks.conftest import emit
 from repro.core.replay import replay_dataset
-from repro.core.scenarios import run_whatif
+from repro.core.whatif import run_whatif
 from repro.telemetry.synthesis import (
     SyntheticTelemetryGenerator,
     WorkloadDayParams,

@@ -16,7 +16,7 @@ import pytest
 
 from benchmarks.conftest import emit
 from repro.core.replay import replay_dataset
-from repro.core.scenarios import run_whatif
+from repro.core.whatif import run_whatif
 from repro.power.smart_rectifier import SmartRectifierChain
 from repro.power.system import SystemPowerModel
 from repro.telemetry.synthesis import (

@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""The multi-fidelity fast path: train, screen, refine, report.
+
+Demonstrates the surrogate execution backend on a Frontier-flavored
+miniature system (so the full-fidelity reference cells finish in
+seconds):
+
+1. a :class:`~repro.fastpath.bundle.SurrogateBundle` is trained from
+   the L4 models (power heads + steady-state cooling surface), saved
+   with spec-SHA/git provenance, and reloaded with the spec check,
+2. the same scenario runs at both fidelities — identical scheduling,
+   surrogate physics — and the wall-clock speedup and PUE error are
+   printed,
+3. a :class:`~repro.fastpath.multifidelity.MultiFidelityCampaign`
+   screens a wet-bulb × seed grid on the fast path, refines the two
+   hottest-PUE cells at full fidelity, and prints the
+   speedup-vs-error report plus the error heat map.
+
+Equivalent CLI session::
+
+    repro surrogate fit --system frontier --out models/frontier.json
+    repro surrogate eval models/frontier.json --system frontier
+    repro campaign run mf --grid "wetbulb_c=8,16,24;seed=0,1" \\
+          --refine-top 2 --metric mean_pue
+"""
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro.config.schema import (
+    CoolingSpec,
+    EconomicsSpec,
+    NodeSpec,
+    PartitionSpec,
+    RackSpec,
+    SchedulerSpec,
+    SystemSpec,
+)
+from repro.fastpath import (
+    MultiFidelityCampaign,
+    SurrogateBundle,
+    fit_bundle,
+)
+from repro.scenarios import DigitalTwin, GridSweepScenario, SyntheticScenario
+from repro.viz.campaign import fidelity_error_heatmap
+
+
+def mini_spec() -> SystemSpec:
+    """A 256-node Frontier-flavored miniature (2 racks, 2 CDUs)."""
+    partition = PartitionSpec(
+        name="mini", total_nodes=256, node=NodeSpec(), rack=RackSpec()
+    )
+    return SystemSpec(
+        name="mini",
+        partitions=(partition,),
+        cooling=CoolingSpec(num_cdus=2, racks_per_cdu=1),
+        scheduler=SchedulerSpec(policy="fcfs", mean_arrival_s=60.0),
+        economics=EconomicsSpec(),
+    )
+
+
+def main() -> None:
+    spec = mini_spec()
+    workdir = Path(tempfile.mkdtemp(prefix="fastpath-"))
+
+    # -- 1. train + persist the model bundle -------------------------------
+    print("training surrogate bundle (L4 sampling)...")
+    t0 = time.perf_counter()
+    bundle = fit_bundle(
+        spec, cooling=True, cooling_grid=5, cooling_degree=3,
+        settle_s=1800.0,
+    )
+    print(f"  trained in {time.perf_counter() - t0:.1f} s")
+    path = bundle.save(workdir / "models" / "mini.json")
+    bundle = SurrogateBundle.load(path, spec=spec)  # provenance-checked
+    print(bundle.describe())
+    print()
+
+    # -- 2. one scenario, both fidelities ----------------------------------
+    scenario = SyntheticScenario(duration_s=3600.0, seed=42, wetbulb_c=18.0)
+    full_twin = DigitalTwin(spec)
+    fast_twin = DigitalTwin(spec, fidelity="surrogate", surrogates=bundle)
+
+    t0 = time.perf_counter()
+    full = scenario.run(full_twin)
+    full_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    fast = scenario.run(fast_twin)
+    fast_s = time.perf_counter() - t0
+
+    pue_err = abs(full.metrics()["mean_pue"] - fast.metrics()["mean_pue"])
+    print(
+        f"one 1 h cell:  full {full_s:.2f} s  surrogate {fast_s * 1e3:.0f} ms"
+        f"  -> {full_s / fast_s:.0f}x, PUE error {pue_err:.4f}"
+    )
+    print()
+
+    # -- 3. multi-fidelity campaign: screen -> rank -> refine --------------
+    sweep = GridSweepScenario(
+        base=SyntheticScenario(duration_s=3600.0),
+        grid={"wetbulb_c": (8.0, 16.0, 24.0), "seed": (0, 1)},
+    )
+    mf = MultiFidelityCampaign.create(
+        workdir / "mf", [sweep], system=spec, top_k=2, metric="mean_pue",
+        surrogates=bundle,   # the screen phase runs on the trained bundle
+    )
+    result = mf.run(
+        progress=lambda s, done, total: print(f"  [{done}/{total}] {s.name}")
+    )
+    print()
+    print(result.report())
+    print()
+    print(
+        fidelity_error_heatmap(
+            result.screen, result.refined, sweep, metric="mean_pue"
+        )
+    )
+    print(f"\nartifacts under {workdir}")
+
+
+if __name__ == "__main__":
+    main()

@@ -14,6 +14,10 @@ Demonstrated at Exascale", SC 2024):
   experiment descriptions with streaming execution, parallel batch
   runs, and persisted sweep campaigns that resume and compare across
   code revisions (:mod:`repro.scenarios`),
+- **Multi-fidelity fast path** -- trained surrogates as a first-class
+  execution backend (``fidelity="surrogate"``), serialized model
+  bundles with provenance, and screen-then-refine
+  :class:`MultiFidelityCampaign` drivers (:mod:`repro.fastpath`),
 - **Visual analytics** -- scene generation, dashboards, and exports
   (:mod:`repro.viz`),
 - **Generalization** -- JSON system specs, pluggable telemetry parsers,
@@ -50,6 +54,13 @@ Quickstart — a persisted sweep campaign (resumable, reloadable)::
     Campaign.create("artifacts/wb-grid", [sweep]).run(workers=4)
     print(Campaign.open("artifacts/wb-grid").load().comparison_table())
 
+Quickstart — the same scenario on the surrogate fast path::
+
+    from repro import DigitalTwin, SyntheticScenario
+
+    twin = DigitalTwin("frontier", fidelity="surrogate")
+    outcome = SyntheticScenario(duration_s=4 * 3600, seed=42).run(twin)
+
 The pre-scenario facade (``Simulation``, ``run_whatif``) remains
 available as a deprecated compatibility shim; see their docstrings for
 the scenario-API equivalents.
@@ -66,6 +77,11 @@ from repro.core import (
     run_whatif,
 )
 from repro.cooling import CoolingFMU, CoolingPlant, generate_plant
+from repro.fastpath import (
+    MultiFidelityCampaign,
+    SurrogateBundle,
+    SurrogateEngine,
+)
 from repro.power import SystemPowerModel
 from repro.scenarios import (
     Campaign,
@@ -85,7 +101,7 @@ from repro.scenarios import (
 )
 from repro.telemetry import SyntheticTelemetryGenerator, TelemetryDataset
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "FRONTIER",
@@ -117,6 +133,9 @@ __all__ = [
     "Campaign",
     "CampaignStore",
     "DigitalTwin",
+    "SurrogateBundle",
+    "SurrogateEngine",
+    "MultiFidelityCampaign",
     "SyntheticTelemetryGenerator",
     "TelemetryDataset",
     "__version__",

@@ -13,9 +13,15 @@ and dashboard, wired through the declarative scenario API:
 - ``sweep`` — sweep one scenario parameter over a value grid,
 - ``campaign`` — persisted sweep campaigns: ``campaign run`` executes a
   grid/LHS sweep into an artifact directory (skipping already-completed
-  cells), ``campaign resume`` finishes an interrupted one, and
-  ``campaign compare`` reloads stored campaigns — without re-simulating
-  — into comparison tables and heat maps,
+  cells; ``--fidelity surrogate`` runs every cell on the fast path, and
+  ``--refine-top K`` turns it into a multi-fidelity campaign: surrogate
+  screen, then full-fidelity refinement of the top K cells), ``campaign
+  resume`` finishes an interrupted one, and ``campaign compare`` reloads
+  stored campaigns — without re-simulating — into comparison tables and
+  heat maps,
+- ``surrogate`` — the fast-path model store: ``surrogate fit`` trains a
+  bundle (from L4 sampling or a persisted campaign) and ``surrogate
+  eval`` audits a saved bundle against full fidelity,
 - ``scene`` — emit the descriptive-twin scene graph as JSON,
 - ``autocsm`` — print the generated cooling-model inventory,
 - ``systems`` — list bundled machine specifications.
@@ -37,6 +43,13 @@ from repro.config.loader import builtin_system_names
 from repro.cooling.autocsm import autocsm_report
 from repro.core.stats import compute_statistics
 from repro.exceptions import ExaDigiTError
+from repro.fastpath import (
+    MultiFidelityCampaign,
+    SurrogateBundle,
+    fit_bundle,
+    fit_bundle_from_store,
+)
+from repro.fastpath.multifidelity import with_fidelity
 from repro.scenarios import (
     Campaign,
     CampaignStore,
@@ -55,9 +68,10 @@ from repro.viz.campaign import (
     CAMPAIGN_METRICS,
     campaign_comparison,
     campaign_heatmap,
+    fidelity_error_heatmap,
 )
 from repro.viz.dashboard import LiveDashboard, render_dashboard
-from repro.viz.export import export_result
+from repro.viz.export import StepStreamWriter, export_result
 from repro.viz.scene import build_scene
 
 
@@ -97,23 +111,36 @@ def _add_workers_arg(parser: argparse.ArgumentParser) -> None:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    twin = DigitalTwin(args.system)
+    twin = DigitalTwin(
+        args.system, fidelity=args.fidelity, surrogates=args.surrogates
+    )
     scenario = SyntheticScenario(
         duration_s=args.hours * 3600.0,
         seed=args.seed,
         with_cooling=not args.no_cooling,
     )
+    callbacks = []
     if args.live:
         live = LiveDashboard(every=max(1, int(args.hours * 6)))
 
-        def progress(step):
+        def live_progress(step):
             line = live.update(step)
             if line is not None:
                 print(line, flush=True)
 
+        callbacks.append(live_progress)
+    writer = None
+    if args.export_steps:
+        writer = StepStreamWriter(args.export_steps)
+        callbacks.append(writer)
+    progress = (
+        (lambda step: [cb(step) for cb in callbacks]) if callbacks else None
+    )
+    try:
         outcome = scenario.run(twin, progress=progress)
-    else:
-        outcome = scenario.run(twin)
+    finally:
+        if writer is not None:
+            writer.close()
     result = outcome.result
     print(outcome.statistics.report())
     print()
@@ -121,6 +148,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.export:
         path = export_result(result, args.export)
         print(f"\nseries written to {path}")
+    if writer is not None:
+        print(f"\n{writer.count} step records streamed to {writer.path}")
     return 0
 
 
@@ -319,22 +348,48 @@ def _campaign_scenarios(args: argparse.Namespace) -> tuple[list, object]:
     return [sweep], args.system or "frontier"
 
 
+def _fidelity_scenarios(args: argparse.Namespace) -> tuple[list, object]:
+    """Declared campaign scenarios with the --fidelity knob applied."""
+    scenarios, system = _campaign_scenarios(args)
+    fidelity = getattr(args, "fidelity", None)
+    if fidelity:
+        scenarios = [with_fidelity(s, fidelity) for s in scenarios]
+    return scenarios, system
+
+
 def _campaign_progress(scenario, done: int, total: int) -> None:
     print(f"[{done}/{total}] {scenario.name}", file=sys.stderr, flush=True)
 
 
 def cmd_campaign_run(args: argparse.Namespace) -> int:
+    # An existing multi-fidelity directory always resumes as one, even
+    # if --refine-top is omitted this time — a plain campaign must
+    # never be created inside a multi-fidelity root.
+    if args.refine_top is not None or MultiFidelityCampaign.exists(
+        args.directory
+    ):
+        return _run_multifidelity(args)
     if CampaignStore.exists(args.directory):
+        if args.fidelity:
+            raise ExaDigiTError(
+                f"campaign {args.directory} already exists with its cell "
+                "fidelities frozen in the manifest; --fidelity only "
+                "applies at creation (use a new directory)"
+            )
         print(
             f"campaign exists at {args.directory}; resuming "
             "(completed cells are skipped)",
             file=sys.stderr,
         )
-        campaign = Campaign.open(args.directory)
+        campaign = Campaign.open(args.directory, surrogates=args.surrogates)
     else:
-        scenarios, system = _campaign_scenarios(args)
+        scenarios, system = _fidelity_scenarios(args)
         campaign = Campaign.create(
-            args.directory, scenarios, system=system, name=args.name
+            args.directory,
+            scenarios,
+            system=system,
+            name=args.name,
+            surrogates=args.surrogates,
         )
     outcome = campaign.run(
         workers=args.workers, progress=_campaign_progress
@@ -344,8 +399,67 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_multifidelity(args: argparse.Namespace) -> int:
+    """``campaign run --refine-top K``: screen → rank → refine."""
+    if args.fidelity == "full":
+        raise ExaDigiTError(
+            "--refine-top screens at surrogate fidelity and refines at "
+            "full; it cannot be combined with --fidelity full"
+        )
+    if MultiFidelityCampaign.exists(args.directory):
+        print(
+            f"multi-fidelity campaign exists at {args.directory}; resuming",
+            file=sys.stderr,
+        )
+        mf = MultiFidelityCampaign.open(
+            args.directory, surrogates=args.surrogates
+        )
+    else:
+        scenarios, system = _campaign_scenarios(args)
+        mf = MultiFidelityCampaign.create(
+            args.directory,
+            scenarios,
+            system=system,
+            top_k=args.refine_top,
+            metric=args.metric,
+            objective=args.objective,
+            name=args.name,
+            surrogates=args.surrogates,
+        )
+    result = mf.run(workers=args.workers, progress=_campaign_progress)
+    if not result.complete:
+        print("campaign interrupted before refinement; resume to finish")
+        return 0
+    print(result.report())
+    for scenario in mf.screen_campaign().store.declared_scenarios():
+        if isinstance(scenario, GridSweepScenario):
+            print()
+            print(
+                fidelity_error_heatmap(
+                    result.screen,
+                    result.refined,
+                    scenario,
+                    metric=mf.metric,
+                )
+            )
+    print(f"\nartifacts: {mf.path}", file=sys.stderr)
+    return 0
+
+
 def cmd_campaign_resume(args: argparse.Namespace) -> int:
-    campaign = Campaign.open(args.directory)
+    if MultiFidelityCampaign.exists(args.directory):
+        mf = MultiFidelityCampaign.open(
+            args.directory, surrogates=args.surrogates
+        )
+        print(f"resuming multi-fidelity {mf.name}", file=sys.stderr)
+        result = mf.run(workers=args.workers, progress=_campaign_progress)
+        print(
+            result.report()
+            if result.complete
+            else "still incomplete; resume again to finish"
+        )
+        return 0
+    campaign = Campaign.open(args.directory, surrogates=args.surrogates)
     pending = len(campaign.pending())
     total = len(campaign.cells)
     print(
@@ -355,6 +469,72 @@ def cmd_campaign_resume(args: argparse.Namespace) -> int:
     )
     outcome = campaign.run(workers=args.workers, progress=_campaign_progress)
     print(outcome.comparison_table())
+    return 0
+
+
+def cmd_surrogate_fit(args: argparse.Namespace) -> int:
+    if args.from_campaign:
+        store = CampaignStore.open(args.from_campaign)
+        bundle = fit_bundle_from_store(
+            store,
+            cooling=not args.no_cooling,
+            power_samples=args.power_samples,
+            cooling_degree=args.cooling_degree,
+            seed=args.seed,
+        )
+        system_name = store.system_spec().name
+    else:
+        twin = DigitalTwin(args.system)
+        bundle = fit_bundle(
+            twin.spec,
+            cooling=not args.no_cooling,
+            power_samples=args.power_samples,
+            cooling_grid=args.grid,
+            cooling_degree=args.cooling_degree,
+            settle_s=args.settle,
+            seed=args.seed,
+        )
+        system_name = twin.spec.name
+    out = args.out or f"models/{system_name}.json"
+    path = bundle.save(out)
+    print(bundle.describe())
+    print(f"\nbundle written to {path}")
+    return 0
+
+
+def cmd_surrogate_eval(args: argparse.Namespace) -> int:
+    import time as _time
+
+    twin = DigitalTwin(args.system)
+    bundle = SurrogateBundle.load(args.bundle, spec=twin.spec)
+    print(bundle.describe())
+    with_cooling = bundle.has_cooling and not args.no_cooling
+    scenario = SyntheticScenario(
+        duration_s=args.hours * 3600.0,
+        seed=args.seed,
+        with_cooling=with_cooling,
+    )
+    t0 = _time.perf_counter()
+    full = scenario.run(twin)
+    full_s = _time.perf_counter() - t0
+    fast_twin = DigitalTwin(
+        twin.spec, fidelity="surrogate", surrogates=bundle
+    )
+    t0 = _time.perf_counter()
+    fast = scenario.run(fast_twin)
+    fast_s = _time.perf_counter() - t0
+    full_m, fast_m = full.metrics(), fast.metrics()
+    print()
+    print(f"{'metric':14s} {'full':>10s} {'surrogate':>10s} {'abs err':>10s}")
+    for key in full_m:
+        err = abs(full_m[key] - fast_m[key])
+        print(
+            f"{key:14s} {full_m[key]:10.4f} {fast_m[key]:10.4f} {err:10.4f}"
+        )
+    print(
+        f"\nwall time: full {full_s:.2f} s, surrogate {fast_s * 1e3:.1f} ms "
+        f"-> {full_s / fast_s:.0f}x speedup"
+    )
     return 0
 
 
@@ -408,6 +588,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--live",
         action="store_true",
         help="stream per-quantum status lines while the run progresses",
+    )
+    p.add_argument(
+        "--fidelity",
+        choices=("full", "surrogate"),
+        default="full",
+        help="execution backend: L4 engine (full) or the L3 fast path",
+    )
+    p.add_argument(
+        "--surrogates",
+        metavar="BUNDLE",
+        default=None,
+        help="saved surrogate bundle for --fidelity surrogate "
+        "(default: train one on first use)",
+    )
+    p.add_argument(
+        "--export-steps",
+        metavar="PATH",
+        help="stream per-quantum StepState records to PATH as JSONL "
+        "(tail-able by external dashboards)",
     )
     p.set_defaults(func=cmd_run)
 
@@ -530,6 +729,40 @@ def build_parser() -> argparse.ArgumentParser:
     cp.add_argument(
         "--name", default=None, help="campaign name (default: directory name)"
     )
+    cp.add_argument(
+        "--fidelity",
+        choices=("full", "surrogate"),
+        default=None,
+        help="pin every cell to one execution backend "
+        "(surrogate = the L3 fast path)",
+    )
+    cp.add_argument(
+        "--refine-top",
+        type=int,
+        metavar="K",
+        default=None,
+        help="multi-fidelity mode: surrogate-screen the whole grid, then "
+        "re-run the top K cells at full fidelity with an error report",
+    )
+    cp.add_argument(
+        "--metric",
+        default="mean_pue",
+        choices=CAMPAIGN_METRICS,
+        help="ranking metric for --refine-top (default: mean_pue)",
+    )
+    cp.add_argument(
+        "--objective",
+        choices=("max", "min"),
+        default="max",
+        help="whether top cells maximize or minimize --metric",
+    )
+    cp.add_argument(
+        "--surrogates",
+        metavar="BUNDLE",
+        default=None,
+        help="saved surrogate bundle for surrogate-fidelity cells "
+        "(shared with worker processes; default: train on first use)",
+    )
     cp.set_defaults(func=cmd_campaign_run)
 
     cp = campaign_sub.add_parser(
@@ -537,6 +770,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cp.add_argument("directory", help="campaign artifact directory")
     _add_workers_arg(cp)
+    cp.add_argument(
+        "--surrogates",
+        metavar="BUNDLE",
+        default=None,
+        help="saved surrogate bundle for surrogate-fidelity cells",
+    )
     cp.set_defaults(func=cmd_campaign_resume)
 
     cp = campaign_sub.add_parser(
@@ -558,6 +797,82 @@ def build_parser() -> argparse.ArgumentParser:
         help="also render grid-sweep heat maps",
     )
     cp.set_defaults(func=cmd_campaign_compare)
+
+    p = sub.add_parser(
+        "surrogate",
+        help="fast-path model bundles (fit / eval)",
+    )
+    surrogate_sub = p.add_subparsers(dest="surrogate_command", required=True)
+
+    sp = surrogate_sub.add_parser(
+        "fit",
+        help="train a surrogate bundle (from L4 sampling or a campaign) "
+        "and save it with provenance",
+    )
+    _add_system_arg(sp)
+    sp.add_argument("--seed", type=int, default=0, help="RNG seed")
+    sp.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="bundle output path (default: models/<system>.json)",
+    )
+    sp.add_argument(
+        "--no-cooling",
+        action="store_true",
+        help="skip the cooling surrogate (power-only bundle, fast)",
+    )
+    sp.add_argument(
+        "--power-samples",
+        type=int,
+        default=400,
+        help="L4 power-model samples for the power heads (default 400)",
+    )
+    sp.add_argument(
+        "--grid",
+        type=int,
+        default=4,
+        help="cooling training grid size per axis (default 4)",
+    )
+    sp.add_argument(
+        "--settle",
+        type=float,
+        default=3600.0,
+        help="plant settle seconds per cooling grid point (default 3600)",
+    )
+    sp.add_argument(
+        "--cooling-degree",
+        type=int,
+        default=2,
+        help="cooling response-surface polynomial degree (default 2; "
+        "lower it when training --from-campaign with few cells)",
+    )
+    sp.add_argument(
+        "--from-campaign",
+        metavar="DIR",
+        default=None,
+        help="train from a persisted campaign's artifacts instead of "
+        "fresh simulation (uses the spec embedded in its manifest)",
+    )
+    sp.set_defaults(func=cmd_surrogate_fit)
+
+    sp = surrogate_sub.add_parser(
+        "eval",
+        help="audit a saved bundle: provenance, fit quality, and "
+        "surrogate-vs-full accuracy + speedup on a shared scenario",
+    )
+    _add_system_arg(sp)
+    sp.add_argument("bundle", help="path to a saved bundle JSON")
+    sp.add_argument(
+        "--hours", type=float, default=0.5, help="eval scenario hours"
+    )
+    sp.add_argument("--seed", type=int, default=0, help="RNG seed")
+    sp.add_argument(
+        "--no-cooling",
+        action="store_true",
+        help="evaluate the power path only",
+    )
+    sp.set_defaults(func=cmd_surrogate_eval)
 
     p = sub.add_parser("scene", help="emit the L1 scene graph as JSON")
     _add_system_arg(p)

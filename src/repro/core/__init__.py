@@ -6,13 +6,23 @@
 - :mod:`repro.core.replay` — telemetry replay + validation (Finding 8),
 - :mod:`repro.core.physical` — the simulated physical twin used to
   produce "measured" telemetry (see DESIGN.md substitutions),
-- :mod:`repro.core.scenarios` — what-if runner (smart rectifiers, 380 V DC),
+- :mod:`repro.core.whatif` — what-if comparison machinery (smart
+  rectifiers, 380 V DC); ``repro.core.scenarios`` is a deprecated alias
+  (the scenario *API* lives in :mod:`repro.scenarios`),
+- :mod:`repro.core.earlystop` — steady-state / divergence predicates
+  for ``engine.run(stop_when=...)`` over :class:`StepState` streams,
 - :mod:`repro.core.stats` — output statistics (section III-B5, Table IV),
 - :mod:`repro.core.summary` — stable result summarization: the raw
   scalars and JSON documents the campaign artifact store persists,
 - :mod:`repro.core.validate` — RMSE/MAE/%-error comparison harness.
 """
 
+from repro.core.earlystop import (
+    DivergenceGuard,
+    SteadyStateDetector,
+    all_of,
+    any_of,
+)
 from repro.core.engine import RapsEngine, SimulationResult, StepState
 from repro.core.simulation import Simulation
 from repro.core.stats import RunStatistics, DailyStatistics, aggregate_daily
@@ -20,7 +30,7 @@ from repro.core.summary import result_metrics, result_series_doc
 from repro.core.validate import SeriesComparison, compare_series, percent_error
 from repro.core.physical import PhysicalTwin, MeasurementNoise
 from repro.core.replay import ReplayValidation, replay_dataset
-from repro.core.scenarios import ScenarioComparison, run_whatif
+from repro.core.whatif import ScenarioComparison, run_whatif
 
 __all__ = [
     "RapsEngine",
@@ -41,4 +51,8 @@ __all__ = [
     "replay_dataset",
     "ScenarioComparison",
     "run_whatif",
+    "SteadyStateDetector",
+    "DivergenceGuard",
+    "any_of",
+    "all_of",
 ]

@@ -1,0 +1,209 @@
+"""Early-stop predicates over :class:`~repro.core.engine.StepState` streams.
+
+The streaming engine accepts a ``stop_when`` callable evaluated on every
+step (``engine.run(stop_when=...)``, ``scenario.run(twin,
+stop_when=...)``).  This module is the standard predicate library for
+that hook — the ROADMAP's "streaming consumers" item:
+
+- :class:`SteadyStateDetector` — stop once a monitored quantity has
+  been flat for a window of consecutive quanta (amortizes long settle
+  tails: why simulate hour 6 of an idle plant?),
+- :class:`DivergenceGuard` — stop (or raise) as soon as a quantity
+  leaves a physical band or goes non-finite, turning a silently wrong
+  run into an early exit,
+- :func:`any_of` / :func:`all_of` — predicate combinators.
+
+Predicates are plain callables ``StepState -> bool``, so they compose
+with user lambdas and work on any engine fidelity (full or surrogate).
+Monitored fields are named as :class:`~repro.core.engine.StepState`
+attributes (``"system_power_w"``), properties (``"pue"``), or recorded
+cooling outputs (``"htw_supply_temp_c"`` / ``"cooling.htw_supply_temp_c"``).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.core.engine import StepState
+from repro.exceptions import SimulationError
+
+
+def step_value(step: StepState, field: str) -> float:
+    """Resolve a monitored ``field`` of one step to a float.
+
+    Lookup order: StepState attribute/property, then recorded cooling
+    output (a ``"cooling."`` prefix skips straight to the cooling dict).
+    Only scalar fields can be monitored (per-CDU arrays like
+    ``cdu_heat_w`` are rejected with a clear error, not a TypeError).
+    """
+    name = field
+    if name.startswith("cooling."):
+        name = name[len("cooling."):]
+    elif hasattr(step, name):
+        return _scalar(getattr(step, name), field)
+    if name in step.cooling:
+        return _scalar(step.cooling[name], field)
+    raise SimulationError(
+        f"step has no field {field!r}; attributes include "
+        "system_power_w/loss_w/utilization/pue, recorded cooling "
+        f"outputs: {sorted(step.cooling)}"
+    )
+
+
+def _scalar(value, field: str) -> float:
+    arr = np.asarray(value, dtype=np.float64)
+    if arr.size != 1:
+        raise SimulationError(
+            f"field {field!r} has shape {arr.shape}; early-stop "
+            "predicates monitor scalar quantities — reduce per-CDU "
+            "series to a scalar in a custom predicate instead"
+        )
+    return float(arr.reshape(()))
+
+
+class SteadyStateDetector:
+    """True once ``field`` has been steady for ``window`` consecutive steps.
+
+    Steady means the spread (max - min) of the last ``window`` samples is
+    within ``atol + rtol * |mean|``.  NaN samples (e.g. PUE on an
+    uncoupled run) reset the window — a quantity that is not being
+    produced is not "steady".
+
+    Stateful: use a fresh instance per run.
+    """
+
+    def __init__(
+        self,
+        field: str = "system_power_w",
+        *,
+        window: int = 20,
+        rtol: float = 1e-3,
+        atol: float = 0.0,
+    ) -> None:
+        if window < 2:
+            raise SimulationError("steady-state window must be >= 2")
+        if rtol < 0 or atol < 0:
+            raise SimulationError("tolerances must be >= 0")
+        self.field = field
+        self.window = int(window)
+        self.rtol = float(rtol)
+        self.atol = float(atol)
+        self._recent: deque[float] = deque(maxlen=self.window)
+        self.triggered_at: float | None = None
+
+    def __call__(self, step: StepState) -> bool:
+        value = step_value(step, self.field)
+        if math.isnan(value):
+            self._recent.clear()
+            return False
+        self._recent.append(value)
+        if len(self._recent) < self.window:
+            return False
+        lo = min(self._recent)
+        hi = max(self._recent)
+        mean = math.fsum(self._recent) / len(self._recent)
+        steady = (hi - lo) <= self.atol + self.rtol * abs(mean)
+        if steady and self.triggered_at is None:
+            self.triggered_at = step.time_s
+        return steady
+
+
+class DivergenceGuard:
+    """True as soon as ``field`` leaves ``[low, high]`` or is non-finite.
+
+    With ``raise_on_trip=True`` the guard raises
+    :class:`~repro.exceptions.SimulationError` instead of returning,
+    turning a silently unphysical run into a hard failure.  ``low`` /
+    ``high`` default to unbounded; non-finite values always trip.
+    """
+
+    def __init__(
+        self,
+        field: str = "system_power_w",
+        *,
+        low: float | None = None,
+        high: float | None = None,
+        raise_on_trip: bool = False,
+    ) -> None:
+        if low is not None and high is not None and not low < high:
+            raise SimulationError("DivergenceGuard needs low < high")
+        self.field = field
+        self.low = low
+        self.high = high
+        self.raise_on_trip = bool(raise_on_trip)
+        self.tripped_at: float | None = None
+        self.tripped_value: float | None = None
+
+    def __call__(self, step: StepState) -> bool:
+        value = step_value(step, self.field)
+        diverged = (
+            not math.isfinite(value)
+            or (self.low is not None and value < self.low)
+            or (self.high is not None and value > self.high)
+        )
+        if not diverged:
+            return False
+        if self.tripped_at is None:
+            self.tripped_at = step.time_s
+            self.tripped_value = value
+        if self.raise_on_trip:
+            raise SimulationError(
+                f"divergence guard tripped: {self.field}={value!r} at "
+                f"t={step.time_s:.0f}s (bounds: {self.low}..{self.high})"
+            )
+        return True
+
+
+def any_of(
+    *predicates: Callable[[StepState], bool]
+) -> Callable[[StepState], bool]:
+    """Combined predicate: stop when any member says stop.
+
+    Every member is evaluated on every step (no short-circuit), so
+    stateful detectors keep their windows current.
+    """
+    preds = _checked(predicates)
+
+    def combined(step: StepState) -> bool:
+        return any([p(step) for p in preds])
+
+    return combined
+
+
+def all_of(
+    *predicates: Callable[[StepState], bool]
+) -> Callable[[StepState], bool]:
+    """Combined predicate: stop only when every member says stop.
+
+    Every member is evaluated on every step (no short-circuit), so
+    stateful detectors keep their windows current.
+    """
+    preds = _checked(predicates)
+
+    def combined(step: StepState) -> bool:
+        return all([p(step) for p in preds])
+
+    return combined
+
+
+def _checked(predicates: Iterable) -> list:
+    preds = list(predicates)
+    if not preds:
+        raise SimulationError("predicate combinator needs at least one member")
+    for p in preds:
+        if not callable(p):
+            raise SimulationError(f"predicate {p!r} is not callable")
+    return preds
+
+
+__all__ = [
+    "step_value",
+    "SteadyStateDetector",
+    "DivergenceGuard",
+    "any_of",
+    "all_of",
+]

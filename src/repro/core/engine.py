@@ -163,6 +163,7 @@ class _TracePool:
         self.slot_len = np.ones(cap, dtype=np.int64)
         self.slot_start = np.zeros(cap, dtype=np.float64)
         self.slot_active = np.zeros(cap, dtype=bool)
+        self.slot_nodes = np.zeros(cap, dtype=np.int64)
 
     def _ensure(self, slot: int) -> None:
         while slot >= self.slot_offset.size:
@@ -172,6 +173,9 @@ class _TracePool:
             self.slot_active = np.concatenate(
                 [self.slot_active, np.zeros_like(self.slot_active)]
             )
+            self.slot_nodes = np.concatenate(
+                [self.slot_nodes, np.zeros_like(self.slot_nodes)]
+            )
 
     def start(self, job: Job) -> None:
         self._ensure(job.slot)
@@ -179,14 +183,13 @@ class _TracePool:
         self.slot_len[job.slot] = self.job_len[job.job_id]
         self.slot_start[job.slot] = job.start_time
         self.slot_active[job.slot] = True
+        self.slot_nodes[job.slot] = job.nodes_required
 
     def stop(self, job: Job) -> None:
         self.slot_active[job.slot] = False
 
-    def node_utils(
-        self, now: float, slot_of_node: np.ndarray, quanta: float
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Per-node (cpu, gpu) utilization via two vectorized gathers."""
+    def _slot_utils(self, now: float, quanta: float) -> tuple[np.ndarray, np.ndarray]:
+        """Per-slot (cpu, gpu) utilization at ``now`` (inactive slots 0)."""
         idx = np.clip(
             ((now - self.slot_start) // quanta).astype(np.int64),
             0,
@@ -195,11 +198,186 @@ class _TracePool:
         flat = self.slot_offset + idx
         slot_cpu = np.where(self.slot_active, self.cpu[np.minimum(flat, max(self.cpu.size - 1, 0))], 0.0) if self.cpu.size else np.zeros_like(flat, dtype=np.float64)
         slot_gpu = np.where(self.slot_active, self.gpu[np.minimum(flat, max(self.gpu.size - 1, 0))], 0.0) if self.gpu.size else np.zeros_like(flat, dtype=np.float64)
+        return slot_cpu, slot_gpu
+
+    def node_utils(
+        self, now: float, slot_of_node: np.ndarray, quanta: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-node (cpu, gpu) utilization via two vectorized gathers."""
+        slot_cpu, slot_gpu = self._slot_utils(now, quanta)
         occupied = slot_of_node >= 0
         safe_slot = np.where(occupied, slot_of_node, 0)
         node_cpu = np.where(occupied, slot_cpu[safe_slot], 0.0)
         node_gpu = np.where(occupied, slot_gpu[safe_slot], 0.0)
         return node_cpu, node_gpu
+
+    def active_aggregates(
+        self, now: float, quanta: float, total_nodes: int
+    ) -> tuple[float, float, float]:
+        """(active fraction, mean cpu, mean gpu) over the *active* nodes.
+
+        Node-count-weighted means over slots — O(slots), never O(nodes) —
+        which is exactly the feature vector of
+        :class:`~repro.surrogate.models.PowerSurrogate`.  Used by the
+        fast-path :class:`~repro.fastpath.engine.SurrogateEngine`.
+        """
+        slot_cpu, slot_gpu = self._slot_utils(now, quanta)
+        nodes = np.where(self.slot_active, self.slot_nodes, 0)
+        active = float(nodes.sum())
+        if active <= 0:
+            return 0.0, 0.0, 0.0
+        return (
+            min(active / float(total_nodes), 1.0),
+            float(np.dot(slot_cpu, nodes) / active),
+            float(np.dot(slot_gpu, nodes) / active),
+        )
+
+
+def _pending_dispatchable(scheduler: SchedulerEngine, q_end: float) -> bool:
+    """Whether a queued job could start before the quantum ends."""
+    if scheduler.num_pending == 0:
+        return False
+    if scheduler.honor_recorded_starts:
+        return any(
+            j.recorded_start is not None and j.recorded_start < q_end
+            for j in scheduler.queue
+        )
+    return scheduler.allocator.num_free > 0
+
+
+def drive_schedule(
+    scheduler: SchedulerEngine,
+    pool: _TracePool,
+    jobs: list[Job],
+    n_steps: int,
+    quanta: float,
+) -> Iterator[tuple[int, float]]:
+    """Advance scheduling quantum by quantum, yielding ``(k, t_sample)``.
+
+    The event-driven half of Algorithm 1, factored out of
+    :class:`RapsEngine` so alternative physics backends (the fast-path
+    :class:`~repro.fastpath.engine.SurrogateEngine`) reuse the *same*
+    arrival/dispatch/completion ordering bit for bit.  ``jobs`` must be
+    sorted by ``(submit_time, job_id)`` and ``pool`` built from the same
+    list; after each yield the scheduler and pool reflect the state at
+    the end of quantum ``k`` and ``t_sample = k * quanta`` is the
+    sampling instant for that quantum's physics.
+    """
+    arrival_ptr = 0
+    now = 0.0
+    for k in range(n_steps):
+        q_end = (k + 1) * quanta
+        # --- event-driven scheduling inside the quantum (1 s grain).
+        while True:
+            next_arrival = (
+                jobs[arrival_ptr].submit_time
+                if arrival_ptr < len(jobs)
+                else np.inf
+            )
+            next_completion = scheduler.next_event_time() or np.inf
+            # Pending jobs may be startable right now (nodes just freed
+            # or replay time reached); the tick below handles both.
+            t_event = min(next_arrival, next_completion)
+            if t_event >= q_end and not _pending_dispatchable(scheduler, q_end):
+                break
+            tick_t = float(np.floor(min(t_event, q_end - 1.0)))
+            tick_t = max(tick_t, now)
+            arrivals: list[Job] = []
+            while (
+                arrival_ptr < len(jobs)
+                and jobs[arrival_ptr].submit_time <= tick_t
+            ):
+                arrivals.append(jobs[arrival_ptr])
+                arrival_ptr += 1
+            started, completed = scheduler.tick(tick_t, arrivals)
+            # Stop before start: a job starting this tick may reuse a
+            # slot freed by a completion in the same tick, and the
+            # pool must mirror the scheduler's complete-then-dispatch
+            # order or the reused slot would be deactivated.
+            for job in completed:
+                pool.stop(job)
+            for job in started:
+                pool.start(job)
+            now = tick_t + 1.0
+            if not started and not completed and not arrivals:
+                break
+        now = q_end
+        yield k, k * quanta
+
+
+def collect_steps(
+    steps: Iterator[StepState],
+    *,
+    jobs: list[Job],
+    num_cdus: int,
+    scheduler_stats: SchedulerStats,
+    progress=None,
+    stop_when=None,
+) -> SimulationResult:
+    """Assemble streamed :class:`StepState`\\ s into a result.
+
+    The shared collector behind :meth:`RapsEngine.run` and
+    :meth:`~repro.fastpath.engine.SurrogateEngine.run`: both fidelities
+    buffer their streams through this one function, so a surrogate run
+    yields a :class:`SimulationResult` that is indistinguishable in
+    shape from a full-fidelity one.
+    """
+    recorded: list[StepState] = []
+    try:
+        for step in steps:
+            recorded.append(step)
+            if progress is not None:
+                progress(step)
+            if stop_when is not None and stop_when(step):
+                break
+    finally:
+        close = getattr(steps, "close", None)
+        if close is not None:
+            close()
+    if not recorded:
+        raise SimulationError("run produced no steps")
+
+    n = len(recorded)
+    times = np.empty(n)
+    sys_w = np.empty(n)
+    loss_w = np.empty(n)
+    sivoc_w = np.empty(n)
+    rect_w = np.empty(n)
+    eff = np.empty(n)
+    util = np.empty(n)
+    nrun = np.empty(n, dtype=np.int64)
+    cdu_w = np.empty((n, num_cdus))
+    cdu_h = np.empty((n, num_cdus))
+    for k, step in enumerate(recorded):
+        times[k] = step.time_s
+        sys_w[k] = step.system_power_w
+        loss_w[k] = step.loss_w
+        sivoc_w[k] = step.sivoc_loss_w
+        rect_w[k] = step.rectifier_loss_w
+        eff[k] = step.chain_efficiency
+        util[k] = step.utilization
+        nrun[k] = step.num_running
+        cdu_w[k] = step.cdu_power_w
+        cdu_h[k] = step.cdu_heat_w
+    cooling = {
+        key: np.asarray([s.cooling[key] for s in recorded])
+        for key in recorded[0].cooling
+    }
+    return SimulationResult(
+        times_s=times,
+        system_power_w=sys_w,
+        loss_w=loss_w,
+        sivoc_loss_w=sivoc_w,
+        rectifier_loss_w=rect_w,
+        chain_efficiency=eff,
+        utilization=util,
+        num_running=nrun,
+        cdu_power_w=cdu_w,
+        cdu_heat_w=cdu_h,
+        scheduler_stats=scheduler_stats,
+        jobs=jobs,
+        cooling=cooling,
+    )
 
 
 class RapsEngine:
@@ -296,48 +474,10 @@ class RapsEngine:
             self.fmu.setup_experiment(start_time=0.0)
             self._warmup_cooling(jobs, wetbulb, warmup_cooling_s)
 
-        arrival_ptr = 0
-        now = 0.0
-        for k in range(n_steps):
-            q_end = (k + 1) * self.quanta
-            # --- event-driven scheduling inside the quantum (1 s grain).
-            while True:
-                next_arrival = (
-                    jobs[arrival_ptr].submit_time
-                    if arrival_ptr < len(jobs)
-                    else np.inf
-                )
-                next_completion = self.scheduler.next_event_time() or np.inf
-                # Pending jobs may be startable right now (nodes just freed
-                # or replay time reached); the tick below handles both.
-                t_event = min(next_arrival, next_completion)
-                if t_event >= q_end and not self._pending_dispatchable(q_end):
-                    break
-                tick_t = float(np.floor(min(t_event, q_end - 1.0)))
-                tick_t = max(tick_t, now)
-                arrivals: list[Job] = []
-                while (
-                    arrival_ptr < len(jobs)
-                    and jobs[arrival_ptr].submit_time <= tick_t
-                ):
-                    arrivals.append(jobs[arrival_ptr])
-                    arrival_ptr += 1
-                started, completed = self.scheduler.tick(tick_t, arrivals)
-                # Stop before start: a job starting this tick may reuse a
-                # slot freed by a completion in the same tick, and the
-                # pool must mirror the scheduler's complete-then-dispatch
-                # order or the reused slot would be deactivated.
-                for job in completed:
-                    pool.stop(job)
-                for job in started:
-                    pool.start(job)
-                now = tick_t + 1.0
-                if not started and not completed and not arrivals:
-                    break
-            now = q_end
-
+        for k, t_sample in drive_schedule(
+            self.scheduler, pool, jobs, n_steps, self.quanta
+        ):
             # --- power at the quantum boundary (vectorized over nodes).
-            t_sample = k * self.quanta
             node_cpu, node_gpu = pool.node_utils(
                 t_sample, self.scheduler.allocator.slot_of_node, self.quanta
             )
@@ -418,76 +558,16 @@ class RapsEngine:
         stop_when=None,
     ) -> SimulationResult:
         """Assemble streamed :class:`StepState`\\ s into a result."""
-        recorded: list[StepState] = []
-        try:
-            for step in steps:
-                recorded.append(step)
-                if progress is not None:
-                    progress(step)
-                if stop_when is not None and stop_when(step):
-                    break
-        finally:
-            close = getattr(steps, "close", None)
-            if close is not None:
-                close()
-        if not recorded:
-            raise SimulationError("run produced no steps")
-
-        num_cdus = self.spec.cooling.num_cdus
-        n = len(recorded)
-        times = np.empty(n)
-        sys_w = np.empty(n)
-        loss_w = np.empty(n)
-        sivoc_w = np.empty(n)
-        rect_w = np.empty(n)
-        eff = np.empty(n)
-        util = np.empty(n)
-        nrun = np.empty(n, dtype=np.int64)
-        cdu_w = np.empty((n, num_cdus))
-        cdu_h = np.empty((n, num_cdus))
-        for k, step in enumerate(recorded):
-            times[k] = step.time_s
-            sys_w[k] = step.system_power_w
-            loss_w[k] = step.loss_w
-            sivoc_w[k] = step.sivoc_loss_w
-            rect_w[k] = step.rectifier_loss_w
-            eff[k] = step.chain_efficiency
-            util[k] = step.utilization
-            nrun[k] = step.num_running
-            cdu_w[k] = step.cdu_power_w
-            cdu_h[k] = step.cdu_heat_w
-        cooling = {
-            key: np.asarray([s.cooling[key] for s in recorded])
-            for key in recorded[0].cooling
-        }
-        return SimulationResult(
-            times_s=times,
-            system_power_w=sys_w,
-            loss_w=loss_w,
-            sivoc_loss_w=sivoc_w,
-            rectifier_loss_w=rect_w,
-            chain_efficiency=eff,
-            utilization=util,
-            num_running=nrun,
-            cdu_power_w=cdu_w,
-            cdu_heat_w=cdu_h,
-            scheduler_stats=self.scheduler.stats,
+        return collect_steps(
+            steps,
             jobs=jobs,
-            cooling=cooling,
+            num_cdus=self.spec.cooling.num_cdus,
+            scheduler_stats=self.scheduler.stats,
+            progress=progress,
+            stop_when=stop_when,
         )
 
     # -- helpers ------------------------------------------------------------------
-
-    def _pending_dispatchable(self, q_end: float) -> bool:
-        """Whether a queued job could start before the quantum ends."""
-        if self.scheduler.num_pending == 0:
-            return False
-        if self.scheduler.honor_recorded_starts:
-            return any(
-                j.recorded_start is not None and j.recorded_start < q_end
-                for j in self.scheduler.queue
-            )
-        return self.scheduler.allocator.num_free > 0
 
     def _warmup_cooling(
         self, jobs: list[Job], wetbulb, warmup_s: float
@@ -518,4 +598,6 @@ __all__ = [
     "SimulationResult",
     "StepState",
     "DEFAULT_COOLING_RECORD",
+    "drive_schedule",
+    "collect_steps",
 ]

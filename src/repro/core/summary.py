@@ -15,7 +15,7 @@ and the persistence path can never drift apart:
 - :func:`statistics_to_doc` / :func:`statistics_from_doc` — the
   end-of-run :class:`~repro.core.stats.RunStatistics` report,
 - :func:`comparison_to_doc` / :func:`comparison_from_doc` — the
-  what-if :class:`~repro.core.scenarios.ScenarioComparison` deltas.
+  what-if :class:`~repro.core.whatif.ScenarioComparison` deltas.
 """
 
 from __future__ import annotations
@@ -27,7 +27,7 @@ from typing import Any
 import numpy as np
 
 from repro.core.engine import SimulationResult
-from repro.core.scenarios import ScenarioComparison
+from repro.core.whatif import ScenarioComparison
 from repro.core.stats import RunStatistics
 from repro.exceptions import SimulationError
 
@@ -108,6 +108,70 @@ def series_from_doc(doc: dict[str, list]) -> dict[str, np.ndarray]:
     return out
 
 
+def fidelity_rows(
+    screen: Any, refined: Any, *, metric: str = "mean_pue"
+) -> list[dict[str, Any]]:
+    """Join screened and refined campaign cells by name on one metric.
+
+    ``screen`` / ``refined`` are suite-result-likes whose entries expose
+    ``name`` and ``metrics()`` (live or reloaded).  One row per refined
+    cell, in refined order: the surrogate's value, the full-fidelity
+    value, and their absolute error — the raw data of a multi-fidelity
+    speedup-vs-error report.
+    """
+    screened = {entry.name: entry.metrics().get(metric, math.nan)
+                for entry in screen}
+    rows: list[dict[str, Any]] = []
+    for entry in refined:
+        full_value = float(entry.metrics().get(metric, math.nan))
+        screen_value = float(screened.get(entry.name, math.nan))
+        error = abs(screen_value - full_value)
+        rows.append(
+            {
+                "cell": entry.name,
+                "surrogate": screen_value,
+                "full": full_value,
+                "abs_error": error,
+            }
+        )
+    return rows
+
+
+def format_fidelity_table(
+    rows: list[dict[str, Any]], *, metric: str = "mean_pue"
+) -> str:
+    """Render :func:`fidelity_rows` as an aligned terminal table."""
+    if not rows:
+        return "(no refined cells)"
+
+    def num(value: Any) -> str:
+        if not isinstance(value, (int, float)) or math.isnan(value):
+            return "-"
+        return format(value, ".4f")
+
+    columns = ["cell", "surrogate", "full", "abs error"]
+    rendered = [
+        [str(r["cell"]), num(r["surrogate"]), num(r["full"]),
+         num(r["abs_error"])]
+        for r in rows
+    ]
+    widths = [
+        max(len(columns[c]), *(len(row[c]) for row in rendered))
+        for c in range(len(columns))
+    ]
+    header = "  ".join(c.ljust(w) for c, w in zip(columns, widths))
+    rule = "  ".join("-" * w for w in widths)
+    lines = [f"metric: {metric} (screen vs refined)", header, rule]
+    for row in rendered:
+        lines.append(
+            "  ".join(
+                cell.ljust(w) if i == 0 else cell.rjust(w)
+                for i, (cell, w) in enumerate(zip(row, widths))
+            )
+        )
+    return "\n".join(lines)
+
+
 def statistics_to_doc(stats: RunStatistics) -> dict[str, Any]:
     """JSON-compatible document of the end-of-run report."""
     return dataclasses.asdict(stats)
@@ -144,6 +208,8 @@ __all__ = [
     "SUMMARY_SERIES",
     "result_metrics",
     "result_series_doc",
+    "fidelity_rows",
+    "format_fidelity_table",
     "series_from_doc",
     "statistics_to_doc",
     "statistics_from_doc",

@@ -1,0 +1,63 @@
+"""The multi-fidelity fast path: surrogates as an execution backend.
+
+The paper's capability ladder (Fig. 2) pairs slow, extrapolative L4
+simulation with fast, interpolative L3 machine-learned surrogates and
+prescribes the loop between them: "use the simulations to generate data
+to train a machine-learned surrogate".  This package turns that loop
+into a first-class execution layer:
+
+- :mod:`repro.fastpath.bundle` — :class:`SurrogateBundle`: trained
+  power + cooling surrogates serialized as one JSON artifact with
+  spec-SHA256 / git-rev provenance (plus the :class:`BundleStore`
+  directory convention used by ``repro surrogate fit/eval``),
+- :mod:`repro.fastpath.train` — the training pipeline: fit from fresh
+  L4 sampling (:func:`fit_bundle`) or mine persisted campaign
+  artifacts (:func:`fit_bundle_from_store`),
+- :mod:`repro.fastpath.engine` — :class:`SurrogateEngine`: the same
+  streaming ``iter_steps()`` / ``run()`` protocol as
+  :class:`~repro.core.engine.RapsEngine`, with exact scheduling and
+  vectorized surrogate physics (milliseconds per campaign cell),
+- :mod:`repro.fastpath.multifidelity` —
+  :class:`MultiFidelityCampaign`: surrogate coarse screen over a full
+  grid, top-K full-fidelity refinement, resumable stores for both
+  phases, and a speedup-vs-error report.
+
+Every scenario, suite, and campaign runs on the fast path unchanged via
+the fidelity knob: ``DigitalTwin("frontier", fidelity="surrogate")`` or
+``Scenario(..., fidelity="surrogate")``.
+"""
+
+from repro.fastpath.bundle import (
+    BundleStore,
+    SurrogateBundle,
+    make_provenance,
+)
+from repro.fastpath.engine import SURROGATE_COOLING_OUTPUTS, SurrogateEngine
+from repro.fastpath.multifidelity import (
+    MultiFidelityCampaign,
+    MultiFidelityResult,
+    RANK_METRICS,
+)
+from repro.fastpath.train import (
+    clear_bundle_cache,
+    default_bundle,
+    fit_bundle,
+    fit_bundle_from_store,
+    fit_cooling_from_store,
+)
+
+__all__ = [
+    "SurrogateBundle",
+    "BundleStore",
+    "make_provenance",
+    "SurrogateEngine",
+    "SURROGATE_COOLING_OUTPUTS",
+    "MultiFidelityCampaign",
+    "MultiFidelityResult",
+    "RANK_METRICS",
+    "fit_bundle",
+    "fit_bundle_from_store",
+    "fit_cooling_from_store",
+    "default_bundle",
+    "clear_bundle_cache",
+]

@@ -1,0 +1,389 @@
+"""Serialized surrogate model bundles with provenance (the model store).
+
+A :class:`SurrogateBundle` is everything the fast-path
+:class:`~repro.fastpath.engine.SurrogateEngine` needs to stand in for
+the L4 models of one system:
+
+- a :class:`~repro.surrogate.models.PowerSurrogate` for total system
+  power from (active fraction, cpu util, gpu util),
+- auxiliary ridge heads on the same feature space for the conversion
+  losses (``loss_w`` / ``sivoc_loss_w`` / ``rectifier_loss_w``),
+- optionally a :class:`~repro.surrogate.models.CoolingSurrogate` for
+  steady-state PUE and HTW supply temperature from (power, wet-bulb).
+
+Bundles serialize to a single JSON document carrying provenance — the
+training spec's SHA-256, the git revision and package version that
+trained it, and a description of the training data — so a model fitted
+in one PR can be reloaded, audited, and reused in the next.  Loading
+against a different system spec is rejected (L3 surrogates are
+interpolative *per system*; see the paper's Fig. 2 discussion) unless
+explicitly overridden.
+
+:class:`BundleStore` is a thin directory convention (``models/*.json``)
+used by the ``repro surrogate fit/eval`` CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.config.schema import SystemSpec
+from repro.exceptions import ExaDigiTError
+from repro.scenarios.artifacts import git_revision, spec_sha256
+from repro.surrogate.features import PolynomialFeatures
+from repro.surrogate.models import (
+    CoolingSurrogate,
+    PowerSurrogate,
+    SurrogateQuality,
+)
+from repro.surrogate.regression import RidgeRegression
+
+#: On-disk bundle format version, bumped on breaking layout changes.
+BUNDLE_FORMAT_VERSION = 1
+
+#: The auxiliary power heads every bundle carries, in serialization order.
+AUX_HEADS = ("loss_w", "sivoc_loss_w", "rectifier_loss_w")
+
+
+def _array(values: Any) -> np.ndarray:
+    return np.asarray(values, dtype=np.float64)
+
+
+def _features_to_doc(features: PolynomialFeatures) -> dict[str, Any]:
+    return {"degree": features.degree, "input_dim": features._input_dim}
+
+
+def _features_from_doc(doc: dict[str, Any]) -> PolynomialFeatures:
+    features = PolynomialFeatures(int(doc["degree"]))
+    if doc.get("input_dim") is not None:
+        features._build_terms(int(doc["input_dim"]))
+    return features
+
+
+def _ridge_to_doc(model: RidgeRegression) -> dict[str, Any]:
+    if model.coef_ is None:
+        raise ExaDigiTError("cannot serialize an unfitted regressor")
+    return {
+        "alpha": model.alpha,
+        "coef": model.coef_.tolist(),
+        "x_mean": model._x_mean.tolist(),
+        "x_scale": model._x_scale.tolist(),
+        "y_mean": model._y_mean,
+    }
+
+
+def _ridge_from_doc(doc: dict[str, Any]) -> RidgeRegression:
+    model = RidgeRegression(float(doc["alpha"]))
+    model.coef_ = _array(doc["coef"])
+    model._x_mean = _array(doc["x_mean"])
+    model._x_scale = _array(doc["x_scale"])
+    model._y_mean = float(doc["y_mean"])
+    return model
+
+
+def _quality_to_doc(quality: SurrogateQuality | None) -> dict[str, Any] | None:
+    if quality is None:
+        return None
+    return {
+        "r2": quality.r2,
+        "rmse": quality.rmse,
+        "n_train": quality.n_train,
+        "n_test": quality.n_test,
+    }
+
+
+def _quality_from_doc(doc: dict[str, Any] | None) -> SurrogateQuality | None:
+    if doc is None:
+        return None
+    return SurrogateQuality(
+        r2=float(doc["r2"]),
+        rmse=float(doc["rmse"]),
+        n_train=int(doc["n_train"]),
+        n_test=int(doc["n_test"]),
+    )
+
+
+def _power_to_doc(power: PowerSurrogate) -> dict[str, Any]:
+    return {
+        "features": _features_to_doc(power.features),
+        "regressor": _ridge_to_doc(power.regressor),
+        "quality": _quality_to_doc(power.quality),
+    }
+
+
+def _power_from_doc(doc: dict[str, Any]) -> PowerSurrogate:
+    power = PowerSurrogate(degree=int(doc["features"]["degree"]))
+    power.features = _features_from_doc(doc["features"])
+    power.regressor = _ridge_from_doc(doc["regressor"])
+    power.quality = _quality_from_doc(doc.get("quality"))
+    return power
+
+
+def _cooling_to_doc(cooling: CoolingSurrogate) -> dict[str, Any]:
+    return {
+        "features": _features_to_doc(cooling.features),
+        "pue_model": _ridge_to_doc(cooling.pue_model),
+        "temp_model": _ridge_to_doc(cooling.temp_model),
+        "power_range_w": list(cooling.power_domain_w),
+        "wetbulb_range_c": list(cooling.wetbulb_domain_c),
+        "quality": _quality_to_doc(cooling.quality),
+    }
+
+
+def _cooling_from_doc(doc: dict[str, Any]) -> CoolingSurrogate:
+    cooling = CoolingSurrogate(degree=int(doc["features"]["degree"]))
+    cooling.features = _features_from_doc(doc["features"])
+    cooling.pue_model = _ridge_from_doc(doc["pue_model"])
+    cooling.temp_model = _ridge_from_doc(doc["temp_model"])
+    cooling._power_range = tuple(float(v) for v in doc["power_range_w"])
+    cooling._wb_range = tuple(float(v) for v in doc["wetbulb_range_c"])
+    cooling.quality = _quality_from_doc(doc.get("quality"))
+    return cooling
+
+
+@dataclass
+class SurrogateBundle:
+    """Trained surrogates + provenance for one system spec."""
+
+    power: PowerSurrogate
+    aux_heads: dict[str, RidgeRegression]
+    cooling: CoolingSurrogate | None = None
+    provenance: dict[str, Any] = field(default_factory=dict)
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def spec_sha(self) -> str | None:
+        """SHA-256 of the spec the bundle was trained against."""
+        return self.provenance.get("spec_sha256")
+
+    @property
+    def has_cooling(self) -> bool:
+        return self.cooling is not None
+
+    def check_spec(self, spec: SystemSpec) -> None:
+        """Reject use against a spec the bundle was not trained for."""
+        sha = self.spec_sha
+        if sha is not None and sha != spec_sha256(spec):
+            raise ExaDigiTError(
+                f"surrogate bundle was trained for spec sha256 {sha[:12]}…, "
+                f"not {spec_sha256(spec)[:12]}… ({spec.name!r}); L3 models "
+                "are interpolative per system — retrain for this spec "
+                "(load(..., allow_spec_mismatch=True) can still open the "
+                "file for inspection)"
+            )
+
+    def predict_power_features(
+        self,
+        active_fraction: np.ndarray,
+        cpu_util: np.ndarray,
+        gpu_util: np.ndarray,
+    ) -> dict[str, np.ndarray]:
+        """Vectorized power-path predictions for arrays of step features.
+
+        Features are clipped into [0, 1] (scheduler aggregates can carry
+        float jitter at the boundaries).  Returns ``system_power_w``
+        plus every :data:`AUX_HEADS` series; losses are clipped at 0.
+        """
+        frac = np.clip(_array(active_fraction), 0.0, 1.0)
+        cpu = np.clip(_array(cpu_util), 0.0, 1.0)
+        gpu = np.clip(_array(gpu_util), 0.0, 1.0)
+        out = {"system_power_w": self.power.predict_power_w(frac, cpu, gpu)}
+        x = self.power.features.transform(np.column_stack([frac, cpu, gpu]))
+        for name in AUX_HEADS:
+            head = self.aux_heads.get(name)
+            if head is None:
+                raise ExaDigiTError(f"bundle is missing the {name!r} head")
+            out[name] = np.clip(head.predict(x), 0.0, None)
+        return out
+
+    def predict_cooling(
+        self, power_w: np.ndarray, wetbulb_c: np.ndarray
+    ) -> dict[str, np.ndarray]:
+        """Steady-state PUE and HTW supply temperature for power series.
+
+        Queries are clamped into the trained domain box: the surrogate
+        is interpolative, and a run that strays a little past a domain
+        edge (e.g. a power spike above the training grid) should degrade
+        to the edge prediction rather than abort a whole campaign.
+        """
+        if self.cooling is None:
+            raise ExaDigiTError(
+                "bundle has no cooling surrogate; train with cooling=True "
+                "(or run the scenario with with_cooling=False)"
+            )
+        p_lo, p_hi = self.cooling.power_domain_w
+        w_lo, w_hi = self.cooling.wetbulb_domain_c
+        p = np.clip(_array(power_w), p_lo, p_hi)
+        w = np.clip(_array(wetbulb_c), w_lo, w_hi)
+        return {
+            "pue": self.cooling.predict_pue(p, w),
+            "htw_supply_temp_c": self.cooling.predict_htw_supply_c(p, w),
+        }
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_doc(self) -> dict[str, Any]:
+        """JSON-compatible document, round-trippable via :meth:`from_doc`."""
+        return {
+            "format_version": BUNDLE_FORMAT_VERSION,
+            "provenance": dict(self.provenance),
+            "power": _power_to_doc(self.power),
+            "aux_heads": {
+                name: _ridge_to_doc(head)
+                for name, head in sorted(self.aux_heads.items())
+            },
+            "cooling": (
+                _cooling_to_doc(self.cooling) if self.cooling else None
+            ),
+        }
+
+    @classmethod
+    def from_doc(cls, doc: dict[str, Any]) -> "SurrogateBundle":
+        version = doc.get("format_version")
+        if version != BUNDLE_FORMAT_VERSION:
+            raise ExaDigiTError(
+                f"unsupported bundle format_version {version!r} "
+                f"(this build reads {BUNDLE_FORMAT_VERSION})"
+            )
+        return cls(
+            power=_power_from_doc(doc["power"]),
+            aux_heads={
+                name: _ridge_from_doc(head)
+                for name, head in doc.get("aux_heads", {}).items()
+            },
+            cooling=(
+                _cooling_from_doc(doc["cooling"])
+                if doc.get("cooling") is not None
+                else None
+            ),
+            provenance=dict(doc.get("provenance", {})),
+        )
+
+    def save(self, path: str | Path) -> Path:
+        """Write the bundle as one JSON file; returns the written path."""
+        path = Path(path)
+        if path.suffix != ".json":
+            path = path.with_suffix(".json")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_doc(), indent=2), encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(
+        cls,
+        path: str | Path,
+        *,
+        spec: SystemSpec | None = None,
+        allow_spec_mismatch: bool = False,
+    ) -> "SurrogateBundle":
+        """Reload a saved bundle, verifying spec provenance when given.
+
+        ``spec`` enables the audit: a bundle trained against a different
+        system raises unless ``allow_spec_mismatch=True``.
+        """
+        path = Path(path)
+        if not path.exists():
+            raise ExaDigiTError(f"no surrogate bundle at {path}")
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ExaDigiTError(f"corrupt surrogate bundle: {exc}") from exc
+        bundle = cls.from_doc(doc)
+        if spec is not None and not allow_spec_mismatch:
+            bundle.check_spec(spec)
+        return bundle
+
+    def describe(self) -> str:
+        """Human-readable provenance + fit-quality report (CLI `eval`)."""
+        prov = self.provenance
+        lines = [
+            "surrogate bundle",
+            "-" * 44,
+            f"system:        {prov.get('system', '?')}",
+            f"spec sha256:   {(prov.get('spec_sha256') or '?')[:16]}",
+            f"git rev:       {(prov.get('git_rev') or '?')[:12]}",
+            f"repro version: {prov.get('repro_version', '?')}",
+            f"created:       {prov.get('created', '?')}",
+            f"trained from:  {prov.get('trained_from', '?')}",
+        ]
+        if self.power.quality is not None:
+            q = self.power.quality
+            lines.append(
+                f"power fit:     r2={q.r2:.5f} rmse={q.rmse:,.0f} W "
+                f"({q.n_train}+{q.n_test} rows)"
+            )
+        if self.cooling is not None and self.cooling.quality is not None:
+            q = self.cooling.quality
+            lines.append(
+                f"cooling fit:   r2={q.r2:.5f} rmse={q.rmse:.4f} PUE "
+                f"({q.n_train}+{q.n_test} rows)"
+            )
+        elif self.cooling is None:
+            lines.append("cooling fit:   (power-only bundle)")
+        return "\n".join(lines)
+
+
+def make_provenance(
+    spec: SystemSpec, *, trained_from: str, **extra: Any
+) -> dict[str, Any]:
+    """The standard provenance block stamped onto trained bundles."""
+    from repro.scenarios.artifacts import _package_version
+
+    return {
+        "system": spec.name,
+        "spec_sha256": spec_sha256(spec),
+        "git_rev": git_revision(cwd=Path(__file__).parent),
+        "repro_version": _package_version(),
+        "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "trained_from": trained_from,
+        **extra,
+    }
+
+
+class BundleStore:
+    """A directory of named surrogate bundles (``<root>/<name>.json``)."""
+
+    def __init__(self, root: str | Path = "models") -> None:
+        self.root = Path(root)
+
+    def path_for(self, name: str) -> Path:
+        if not name or "/" in name or name.startswith("."):
+            raise ExaDigiTError(f"bad bundle name {name!r}")
+        return self.root / f"{name}.json"
+
+    def names(self) -> list[str]:
+        if not self.root.is_dir():
+            return []
+        return sorted(p.stem for p in self.root.glob("*.json"))
+
+    def save(self, name: str, bundle: SurrogateBundle) -> Path:
+        return bundle.save(self.path_for(name))
+
+    def load(
+        self,
+        name: str,
+        *,
+        spec: SystemSpec | None = None,
+        allow_spec_mismatch: bool = False,
+    ) -> SurrogateBundle:
+        return SurrogateBundle.load(
+            self.path_for(name),
+            spec=spec,
+            allow_spec_mismatch=allow_spec_mismatch,
+        )
+
+
+__all__ = [
+    "BUNDLE_FORMAT_VERSION",
+    "AUX_HEADS",
+    "SurrogateBundle",
+    "BundleStore",
+    "make_provenance",
+]

@@ -1,0 +1,433 @@
+"""Multi-fidelity campaigns: surrogate coarse screen → full refinement.
+
+The Bonatto-style data-mining loop over a scenario grid:
+
+1. **Screen** every cell of the sweep at surrogate fidelity —
+   milliseconds per cell, so arbitrarily dense grids are affordable;
+2. **Rank** the screened cells on one summary metric and pick the
+   top-K (``objective="max"`` or ``"min"``);
+3. **Refine** the chosen cells at full fidelity, and report the
+   screen-vs-refined error alongside the per-cell speedup.
+
+Both phases persist to ordinary resumable
+:class:`~repro.scenarios.artifacts.CampaignStore` directories::
+
+    my-mf-campaign/
+        multifidelity.json   # knobs + accumulated phase timings
+        screen/              # CampaignStore: every cell, fidelity=surrogate
+        refine/              # CampaignStore: top-K cells, fidelity=full
+                             # (created once the screen completes)
+
+so an interrupted campaign — killed mid-screen or mid-refine — resumes
+with only the missing cells, exactly like a plain
+:class:`~repro.scenarios.campaign.Campaign`.  Cell names are shared
+between the two stores, which is what the error report and the
+:func:`~repro.viz.campaign.fidelity_error_heatmap` join on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import time
+from pathlib import Path
+from typing import Any, Callable, Iterable
+
+from repro.config.schema import SystemSpec
+from repro.core.summary import fidelity_rows, format_fidelity_table
+from repro.exceptions import ScenarioError
+from repro.scenarios.artifacts import CampaignStore
+from repro.scenarios.base import Scenario
+from repro.scenarios.campaign import Campaign
+from repro.scenarios.library import BaseSweepScenario
+from repro.scenarios.suite import SuiteResult
+from repro.scenarios.twin import DigitalTwin
+from repro.viz.campaign import CAMPAIGN_METRICS
+
+MULTIFIDELITY_MANIFEST = "multifidelity.json"
+SCREEN_DIR = "screen"
+REFINE_DIR = "refine"
+
+#: Metrics a campaign can rank cells on — the same single source of
+#: truth the campaign CLI/heat maps use (ScenarioResult.metrics() keys).
+RANK_METRICS = CAMPAIGN_METRICS
+
+
+def with_fidelity(scenario: Scenario, fidelity: str) -> Scenario:
+    """A copy of ``scenario`` pinned to ``fidelity`` (sweeps: the base)."""
+    if isinstance(scenario, BaseSweepScenario):
+        if scenario.base is None:
+            raise ScenarioError(
+                f"{type(scenario).__name__} needs a base scenario"
+            )
+        return dataclasses.replace(
+            scenario, base=dataclasses.replace(scenario.base, fidelity=fidelity)
+        )
+    return dataclasses.replace(scenario, fidelity=fidelity)
+
+
+@dataclasses.dataclass
+class MultiFidelityResult:
+    """Outcome of one :meth:`MultiFidelityCampaign.run` call."""
+
+    screen: SuiteResult
+    refined: SuiteResult
+    metric: str
+    rows: list[dict[str, float | str]]
+    screen_cell_s: float
+    refine_cell_s: float
+
+    @property
+    def complete(self) -> bool:
+        return bool(self.rows)
+
+    @property
+    def mean_abs_error(self) -> float:
+        """Mean |screen - refined| of the rank metric over refined cells."""
+        errors = [
+            r["abs_error"]
+            for r in self.rows
+            if isinstance(r["abs_error"], float) and math.isfinite(r["abs_error"])
+        ]
+        return float(sum(errors) / len(errors)) if errors else math.nan
+
+    @property
+    def speedup(self) -> float:
+        """Mean full-fidelity cell wall time over mean surrogate cell time."""
+        if self.screen_cell_s > 0 and math.isfinite(self.refine_cell_s):
+            return self.refine_cell_s / self.screen_cell_s
+        return math.nan
+
+    def report(self) -> str:
+        """The speedup-vs-error table plus the timing footer."""
+        lines = [format_fidelity_table(self.rows, metric=self.metric)]
+        if math.isfinite(self.speedup):
+            ratio = (
+                f"{self.speedup:.0f}x"
+                if self.speedup >= 10
+                else f"{self.speedup:.1f}x"
+            )
+            lines.append(
+                f"\nper-cell wall time: surrogate {self.screen_cell_s * 1e3:.1f} ms, "
+                f"full {self.refine_cell_s:.2f} s -> {ratio} speedup"
+            )
+        if math.isfinite(self.mean_abs_error):
+            lines.append(
+                f"screen error ({self.metric}): mean abs "
+                f"{self.mean_abs_error:.4g} over {len(self.rows)} refined cells"
+            )
+        return "\n".join(lines)
+
+
+class MultiFidelityCampaign:
+    """One persisted screen-then-refine campaign directory.
+
+    ``surrogates`` optionally supplies the screen phase's model bundle
+    (a trained :class:`~repro.fastpath.bundle.SurrogateBundle` or a
+    saved-bundle path); without it, screening trains a default bundle
+    on first use.  It is a runtime handle, not persisted — pass it
+    again on :meth:`open` when resuming.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        manifest: dict[str, Any],
+        *,
+        surrogates=None,
+    ) -> None:
+        self.path = Path(path)
+        self.manifest = manifest
+        self.surrogates = surrogates
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        path: str | Path,
+        scenarios: Iterable[Scenario],
+        *,
+        system: DigitalTwin | SystemSpec | str | Path = "frontier",
+        top_k: int = 3,
+        metric: str = "mean_pue",
+        objective: str = "max",
+        name: str | None = None,
+        surrogates=None,
+    ) -> "MultiFidelityCampaign":
+        """Start a new multi-fidelity campaign directory.
+
+        The declared scenarios (typically one grid/LHS sweep) are pinned
+        to surrogate fidelity and frozen into the screen store; the
+        refine store is derived later, once the screen is complete.
+        """
+        path = Path(path)
+        if (path / MULTIFIDELITY_MANIFEST).exists():
+            raise ScenarioError(
+                f"multi-fidelity campaign already exists at {path}; open() it"
+            )
+        if CampaignStore.exists(path):
+            raise ScenarioError(
+                f"{path} already holds a plain campaign; a multi-fidelity "
+                "campaign needs its own directory (screen/refine stores "
+                "would shadow the existing artifacts)"
+            )
+        if top_k < 1:
+            raise ScenarioError("top_k must be >= 1")
+        if metric not in RANK_METRICS:
+            raise ScenarioError(
+                f"unknown rank metric {metric!r}; expected one of {RANK_METRICS}"
+            )
+        if objective not in ("max", "min"):
+            raise ScenarioError("objective must be 'max' or 'min'")
+        screened = [with_fidelity(s, "surrogate") for s in scenarios]
+        Campaign.create(
+            path / SCREEN_DIR, screened, system=system, name=f"{path.name}-screen"
+        )
+        manifest = {
+            "name": name or path.name,
+            "top_k": int(top_k),
+            "metric": metric,
+            "objective": objective,
+            "timings": {},
+        }
+        campaign = cls(path, manifest, surrogates=surrogates)
+        campaign._save_manifest()
+        return campaign
+
+    @classmethod
+    def open(
+        cls, path: str | Path, *, surrogates=None
+    ) -> "MultiFidelityCampaign":
+        """Attach to an existing multi-fidelity campaign directory."""
+        path = Path(path)
+        manifest_path = path / MULTIFIDELITY_MANIFEST
+        if not manifest_path.exists():
+            raise ScenarioError(
+                f"no multi-fidelity campaign manifest at {manifest_path}"
+            )
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ScenarioError(
+                f"corrupt multi-fidelity manifest: {exc}"
+            ) from exc
+        return cls(path, manifest, surrogates=surrogates)
+
+    @staticmethod
+    def exists(path: str | Path) -> bool:
+        return (Path(path) / MULTIFIDELITY_MANIFEST).exists()
+
+    def _save_manifest(self) -> None:
+        (self.path / MULTIFIDELITY_MANIFEST).write_text(
+            json.dumps(self.manifest, indent=2), encoding="utf-8"
+        )
+
+    # -- state -----------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.manifest.get("name", self.path.name)
+
+    @property
+    def metric(self) -> str:
+        return self.manifest["metric"]
+
+    @property
+    def top_k(self) -> int:
+        return int(self.manifest["top_k"])
+
+    @property
+    def objective(self) -> str:
+        return self.manifest.get("objective", "max")
+
+    def screen_campaign(self) -> Campaign:
+        return Campaign.open(self.path / SCREEN_DIR, surrogates=self.surrogates)
+
+    def refine_campaign(self) -> Campaign | None:
+        if not CampaignStore.exists(self.path / REFINE_DIR):
+            return None
+        return Campaign.open(self.path / REFINE_DIR)
+
+    # -- execution -------------------------------------------------------------
+
+    def run(
+        self,
+        workers: int = 1,
+        *,
+        progress: Callable[[Scenario, int, int], None] | None = None,
+        stop_after: int | None = None,
+    ) -> MultiFidelityResult:
+        """Advance the campaign: screen, then rank, then refine.
+
+        Fully resumable — completed cells of either phase are never
+        re-simulated.  ``stop_after`` bounds how many *new* cells run
+        this call (screen cells first), for interruption testing; a
+        partial run returns a result with ``complete=False`` and an
+        empty report.
+        """
+        screen = self.screen_campaign()
+        budget = stop_after
+        new_cells = len(screen.pending())
+        if budget is not None:
+            new_cells = min(new_cells, max(budget, 0))
+        if new_cells:
+            self._prewarm_screen_bundle(screen)
+        screen_result, elapsed = self._timed_run(
+            screen, workers, progress, budget
+        )
+        self._record_timing("screen", new_cells, elapsed)
+        if budget is not None:
+            budget = max(budget - new_cells, 0)
+        if not screen.is_complete():
+            return self._partial(screen_result)
+
+        refine = self.refine_campaign()
+        if refine is None:
+            chosen = self.rank(screen_result)
+            refined_cells = [
+                with_fidelity(screen.cells[i], "full") for i in chosen
+            ]
+            Campaign.create(
+                self.path / REFINE_DIR,
+                refined_cells,
+                system=screen.store.system_spec(),
+                name=f"{self.path.name}-refine",
+            )
+            refine = self.refine_campaign()
+        new_cells = len(refine.pending())
+        if budget is not None:
+            new_cells = min(new_cells, max(budget, 0))
+        refine_result, elapsed = self._timed_run(
+            refine, workers, progress, budget
+        )
+        self._record_timing("refine", new_cells, elapsed)
+        if not refine.is_complete():
+            return self._partial(screen_result)
+        rows = fidelity_rows(screen_result, refine_result, metric=self.metric)
+        return MultiFidelityResult(
+            screen=screen_result,
+            refined=refine_result,
+            metric=self.metric,
+            rows=rows,
+            screen_cell_s=self._cell_seconds("screen"),
+            refine_cell_s=self._cell_seconds("refine"),
+        )
+
+    def rank(self, screen_result: SuiteResult) -> list[int]:
+        """Indices of the top-K screened cells by the rank metric.
+
+        NaN metrics sort last regardless of objective, so a metric that
+        a cell cannot produce (e.g. PUE on an uncoupled run) never wins
+        a refinement slot silently — and a screen where *no* cell
+        produced the metric refuses to rank at all rather than refining
+        arbitrary cells.
+        """
+        sign = -1.0 if self.objective == "max" else 1.0
+        keyed = []
+        for index, entry in enumerate(screen_result):
+            value = entry.metrics().get(self.metric, math.nan)
+            nan = not isinstance(value, float) or math.isnan(value)
+            keyed.append((nan, sign * (0.0 if nan else value), index))
+        if all(nan for nan, _, _ in keyed):
+            raise ScenarioError(
+                f"no screened cell produced the rank metric "
+                f"{self.metric!r} (mean_pue needs with_cooling=True "
+                "cells); pick another --metric or couple the cooling"
+            )
+        keyed.sort()
+        return [index for _, _, index in keyed[: self.top_k]]
+
+    def load(self) -> MultiFidelityResult:
+        """Reload persisted phases only — never simulates."""
+        screen_result = self.screen_campaign().load()
+        refine = self.refine_campaign()
+        refine_result = refine.load() if refine is not None else SuiteResult()
+        complete = (
+            refine is not None
+            and self.screen_campaign().is_complete()
+            and refine.is_complete()
+        )
+        rows = (
+            fidelity_rows(screen_result, refine_result, metric=self.metric)
+            if complete
+            else []
+        )
+        return MultiFidelityResult(
+            screen=screen_result,
+            refined=refine_result,
+            metric=self.metric,
+            rows=rows,
+            screen_cell_s=self._cell_seconds("screen"),
+            refine_cell_s=self._cell_seconds("refine"),
+        )
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _prewarm_screen_bundle(self, screen: Campaign) -> None:
+        """Resolve the screen bundle before the phase clock starts.
+
+        On-demand bundle training is a one-off cost amortized over
+        every later run; charging it to this call's screen cells would
+        skew the persisted per-cell timings.  Errors are deliberately
+        left for the run itself to raise in context.
+        """
+        try:
+            needs_cooling = any(
+                cell.with_cooling for _, cell in screen.pending()
+            )
+            screen.twin.surrogates(cooling=needs_cooling)
+        except Exception:
+            pass
+
+    def _timed_run(self, campaign, workers, progress, budget):
+        t0 = time.perf_counter()
+        result = campaign.run(
+            workers=workers, progress=progress, stop_after=budget
+        )
+        return result, time.perf_counter() - t0
+
+    def _partial(self, screen_result: SuiteResult) -> MultiFidelityResult:
+        return MultiFidelityResult(
+            screen=screen_result,
+            refined=SuiteResult(),
+            metric=self.metric,
+            rows=[],
+            screen_cell_s=self._cell_seconds("screen"),
+            refine_cell_s=self._cell_seconds("refine"),
+        )
+
+    def _record_timing(self, phase: str, cells: int, elapsed: float) -> None:
+        """Accumulate wall time for cells actually simulated this call.
+
+        These are approximate wall-clock figures: the elapsed time of a
+        ``campaign.run`` call divided by the cells it simulated, so
+        store-reload overhead rides along and ``workers>1`` divides
+        parallel wall time by cell count.  Good enough for the
+        order-of-magnitude speedup report; use the benchmark for
+        controlled numbers.
+        """
+        if cells <= 0:
+            return
+        timings = self.manifest.setdefault("timings", {})
+        timings[f"{phase}_wall_s"] = (
+            timings.get(f"{phase}_wall_s", 0.0) + elapsed
+        )
+        timings[f"{phase}_cells"] = timings.get(f"{phase}_cells", 0) + cells
+        self._save_manifest()
+
+    def _cell_seconds(self, phase: str) -> float:
+        timings = self.manifest.get("timings", {})
+        cells = timings.get(f"{phase}_cells", 0)
+        if not cells:
+            return math.nan
+        return float(timings[f"{phase}_wall_s"]) / cells
+
+
+__all__ = [
+    "MULTIFIDELITY_MANIFEST",
+    "RANK_METRICS",
+    "MultiFidelityCampaign",
+    "MultiFidelityResult",
+]

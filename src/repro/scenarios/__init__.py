@@ -37,6 +37,12 @@ Quickstart::
     suite.add(WhatIfScenario(modification="direct-dc"))
     print(suite.run(workers=3).comparison_table())
 
+Every scenario also carries a declarative ``fidelity`` field (``"full"``
+| ``"surrogate"`` | ``""`` = inherit the twin's): the surrogate setting
+swaps the L4 engine for the :mod:`repro.fastpath` surrogate backend —
+same protocol, milliseconds per run — so whole suites and campaigns
+move to the fast path unchanged.
+
 Persisted campaign (resumable, comparable across code revisions)::
 
     from repro.scenarios import Campaign, GridSweepScenario
@@ -75,9 +81,10 @@ from repro.scenarios.library import (
 )
 from repro.scenarios.result import ScenarioResult, format_summary_row
 from repro.scenarios.suite import ExperimentSuite, SuiteResult, execute_scenario
-from repro.scenarios.twin import DigitalTwin, as_twin, resolve_spec
+from repro.scenarios.twin import FIDELITIES, DigitalTwin, as_twin, resolve_spec
 
 __all__ = [
+    "FIDELITIES",
     "Scenario",
     "RunPlan",
     "SCENARIO_TYPES",

@@ -39,7 +39,7 @@ import numpy as np
 
 from repro.config.loader import dumps_system, loads_system
 from repro.config.schema import SystemSpec
-from repro.core.scenarios import ScenarioComparison
+from repro.core.whatif import ScenarioComparison
 from repro.core.stats import RunStatistics
 from repro.core.summary import (
     comparison_from_doc,

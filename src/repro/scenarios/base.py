@@ -68,8 +68,12 @@ class Scenario:
 
     Parameters common to every scenario: a display ``name`` (defaults
     to the kind tag), the simulated ``duration_s``, the RNG ``seed``,
-    whether the run couples the cooling FMU, and an optional scheduler
-    policy override.
+    whether the run couples the cooling FMU, an optional scheduler
+    policy override, and the execution ``fidelity`` — ``"full"`` (L4
+    first-principles engine), ``"surrogate"`` (the L3 fast path,
+    :class:`~repro.fastpath.engine.SurrogateEngine`), or ``""`` to
+    inherit the twin's default.  Fidelity is a declarative field, so a
+    persisted campaign records which backend produced every cell.
     """
 
     kind: ClassVar[str] = ""
@@ -79,6 +83,7 @@ class Scenario:
     seed: int = 0
     with_cooling: bool = True
     policy: str | None = None
+    fidelity: str = ""
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -108,6 +113,11 @@ class Scenario:
         else:
             raise ScenarioError(
                 f"with_cooling must be a boolean, got {self.with_cooling!r}"
+            )
+        if self.fidelity not in ("", "full", "surrogate"):
+            raise ScenarioError(
+                f"unknown fidelity {self.fidelity!r}; expected 'full', "
+                "'surrogate', or '' (inherit the twin's)"
             )
 
     # -- execution protocol ----------------------------------------------------
@@ -162,10 +172,37 @@ class Scenario:
             wetbulb=plan.wetbulb if wetbulb is None else wetbulb,
         )
 
+    def effective_fidelity(self, twin: DigitalTwin) -> str:
+        """This scenario's backend: its own field, else the twin's."""
+        return self.fidelity or getattr(twin, "fidelity", "full")
+
     def build_engine(
         self, twin: DigitalTwin, plan: RunPlan, *, chain: Any = None
-    ) -> RapsEngine:
-        """Construct the engine for one planned run."""
+    ):
+        """Construct the engine for one planned run.
+
+        Dispatches on the effective fidelity: the full L4
+        :class:`~repro.core.engine.RapsEngine`, or the surrogate-backed
+        :class:`~repro.fastpath.engine.SurrogateEngine` (both implement
+        the same ``iter_steps``/``run`` protocol).
+        """
+        if self.effective_fidelity(twin) == "surrogate":
+            # Deferred import: repro.fastpath depends on this module.
+            from repro.fastpath.engine import SurrogateEngine
+
+            if chain is not None or plan.chain is not None:
+                raise ScenarioError(
+                    "surrogate fidelity cannot apply conversion-chain "
+                    "overrides (the bundle is trained on the baseline "
+                    "chain); run what-ifs at fidelity='full'"
+                )
+            return SurrogateEngine(
+                twin.spec,
+                twin.surrogates(cooling=self.with_cooling),
+                with_cooling=self.with_cooling,
+                honor_recorded_starts=plan.honor_recorded,
+                policy=self.policy,
+            )
         return RapsEngine(
             twin.spec,
             chain=chain or plan.chain,

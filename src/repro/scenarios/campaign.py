@@ -45,12 +45,19 @@ from repro.scenarios.twin import DigitalTwin, as_twin
 
 
 class Campaign:
-    """One persisted sweep campaign (cells + artifact store)."""
+    """One persisted sweep campaign (cells + artifact store).
 
-    def __init__(self, store: CampaignStore) -> None:
+    ``surrogates`` optionally supplies the fast-path model bundle (a
+    :class:`~repro.fastpath.bundle.SurrogateBundle` or a saved-bundle
+    path) that surrogate-fidelity cells run on — shared by the serial
+    path and shipped to worker processes, so parallel campaigns never
+    retrain their own defaults.
+    """
+
+    def __init__(self, store: CampaignStore, *, surrogates=None) -> None:
         self.store = store
         self.cells: list[Scenario] = store.cells()
-        self.twin = DigitalTwin(store.system_spec())
+        self.twin = DigitalTwin(store.system_spec(), surrogates=surrogates)
 
     # -- construction ----------------------------------------------------------
 
@@ -62,6 +69,7 @@ class Campaign:
         *,
         system: DigitalTwin | SystemSpec | str | Path = "frontier",
         name: str | None = None,
+        surrogates=None,
     ) -> "Campaign":
         """Start a new campaign directory from declared scenarios.
 
@@ -73,12 +81,12 @@ class Campaign:
         store = CampaignStore.create(
             path, list(scenarios), twin.spec, name=name
         )
-        return cls(store)
+        return cls(store, surrogates=surrogates)
 
     @classmethod
-    def open(cls, path: str | Path) -> "Campaign":
+    def open(cls, path: str | Path, *, surrogates=None) -> "Campaign":
         """Attach to an existing campaign directory."""
-        return cls(CampaignStore.open(path))
+        return cls(CampaignStore.open(path), surrogates=surrogates)
 
     # -- state -----------------------------------------------------------------
 
@@ -146,11 +154,14 @@ class Campaign:
             for index, scenario in pending:
                 finish(index, scenario, scenario.run(self.twin))
         elif pending:
+            surrogate_doc = self.twin.surrogate_doc()
             with ProcessPoolExecutor(
                 max_workers=min(workers, len(pending))
             ) as pool:
                 futures = {
-                    pool.submit(execute_scenario, self.twin.spec, s): (i, s)
+                    pool.submit(
+                        execute_scenario, self.twin.spec, s, surrogate_doc
+                    ): (i, s)
                     for i, s in pending
                 }
                 for future in as_completed(futures):

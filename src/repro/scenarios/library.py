@@ -34,7 +34,7 @@ import numpy as np
 
 from repro.core.engine import SimulationResult
 from repro.core.replay import replay_dataset
-from repro.core.scenarios import ScenarioComparison, _make_chain, compare_results
+from repro.core.whatif import ScenarioComparison, _make_chain, compare_results
 from repro.core.stats import compute_statistics
 from repro.exceptions import ScenarioError
 from repro.scenarios.base import RunPlan, Scenario, register_scenario
@@ -212,6 +212,11 @@ class WhatIfScenario(Scenario):
                 "chain_factory, progress"
             )
         twin = as_twin(twin)
+        if self.effective_fidelity(twin) == "surrogate":
+            raise ScenarioError(
+                "WhatIfScenario compares conversion chains, which the "
+                "surrogate backend does not model; run at fidelity='full'"
+            )
         data = self.resolve_dataset(twin, dataset)
         if baseline_result is None:
             baseline_result = replay_dataset(

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.core.engine import SimulationResult
-from repro.core.scenarios import ScenarioComparison
+from repro.core.whatif import ScenarioComparison
 from repro.core.stats import RunStatistics
 from repro.core.summary import result_metrics
 

@@ -28,7 +28,11 @@ from repro.scenarios.result import ScenarioResult
 from repro.scenarios.twin import DigitalTwin, as_twin
 
 
-def execute_scenario(spec: SystemSpec, scenario: Scenario) -> ScenarioResult:
+def execute_scenario(
+    spec: SystemSpec,
+    scenario: Scenario,
+    surrogate_doc: dict | None = None,
+) -> ScenarioResult:
     """Run one scenario against a fresh twin built from ``spec``.
 
     Module-level so :class:`ProcessPoolExecutor` can pickle it — this
@@ -36,8 +40,20 @@ def execute_scenario(spec: SystemSpec, scenario: Scenario) -> ScenarioResult:
     suite's twin instead (amortizing its dataset cache); results are
     identical either way because scenarios are seeded and every run
     builds a fresh engine.
+
+    ``surrogate_doc`` is the serialized fast-path bundle of the
+    driving twin (:meth:`DigitalTwin.surrogate_doc
+    <repro.scenarios.twin.DigitalTwin.surrogate_doc>`): rebuilding it
+    here keeps surrogate-fidelity cells bit-identical between serial
+    and worker execution — without it a worker would train its own
+    default bundle.
     """
-    return scenario.run(DigitalTwin(spec))
+    twin = DigitalTwin(spec)
+    if surrogate_doc is not None:
+        from repro.fastpath.bundle import SurrogateBundle
+
+        twin.use_surrogates(SurrogateBundle.from_doc(surrogate_doc))
+    return scenario.run(twin)
 
 
 @dataclass
@@ -154,9 +170,12 @@ class ExperimentSuite:
                 if progress is not None:
                     progress(scenario, i + 1, total)
         else:
+            surrogate_doc = self.twin.surrogate_doc()
             with ProcessPoolExecutor(max_workers=min(workers, total)) as pool:
                 futures = {
-                    pool.submit(execute_scenario, self.twin.spec, s): i
+                    pool.submit(
+                        execute_scenario, self.twin.spec, s, surrogate_doc
+                    ): i
                     for i, s in enumerate(scenarios)
                 }
                 for done, future in enumerate(as_completed(futures), start=1):

@@ -2,10 +2,18 @@
 
 A :class:`DigitalTwin` resolves a system reference (builtin name, JSON
 path, or an already-built :class:`~repro.config.schema.SystemSpec`) once
-and caches shared expensive inputs — currently loaded telemetry
-datasets — so an :class:`~repro.scenarios.suite.ExperimentSuite` pays
-for spec/dataset loading a single time no matter how many scenarios run
-against it.
+and caches shared expensive inputs — loaded telemetry datasets and
+trained surrogate bundles — so an
+:class:`~repro.scenarios.suite.ExperimentSuite` pays for spec/dataset
+loading and surrogate training a single time no matter how many
+scenarios run against it.
+
+The twin also carries the default execution *fidelity*: ``"full"``
+(the L4 first-principles engine) or ``"surrogate"`` (the L3 fast path,
+:mod:`repro.fastpath`).  Scenarios inherit it unless they pin their own
+``fidelity`` field, so an unchanged scenario library can be re-run on
+the fast path with nothing but ``DigitalTwin("frontier",
+fidelity="surrogate")``.
 """
 
 from __future__ import annotations
@@ -14,7 +22,11 @@ from pathlib import Path
 
 from repro.config.loader import load_builtin_system, load_system
 from repro.config.schema import SystemSpec
+from repro.exceptions import ScenarioError
 from repro.telemetry.dataset import TelemetryDataset
+
+#: Valid execution fidelities ("" on a scenario means: inherit the twin's).
+FIDELITIES = ("full", "surrogate")
 
 
 def resolve_spec(system: str | Path | SystemSpec) -> SystemSpec:
@@ -32,11 +44,48 @@ def resolve_spec(system: str | Path | SystemSpec) -> SystemSpec:
 
 
 class DigitalTwin:
-    """One resolved system that many scenarios can run against."""
+    """One resolved system that many scenarios can run against.
 
-    def __init__(self, system: str | Path | SystemSpec = "frontier") -> None:
+    Parameters
+    ----------
+    system:
+        Spec instance, JSON path, or builtin name.
+    fidelity:
+        Default execution backend for scenarios that don't pin one:
+        ``"full"`` (default) or ``"surrogate"``.
+    surrogates:
+        Optional fast-path models: a trained
+        :class:`~repro.fastpath.bundle.SurrogateBundle` or a path to a
+        saved bundle JSON (loaded lazily, spec-checked).  Without it,
+        surrogate-fidelity runs train a default bundle on first use
+        (memoized per process).
+    """
+
+    def __init__(
+        self,
+        system: str | Path | SystemSpec = "frontier",
+        *,
+        fidelity: str = "full",
+        surrogates=None,
+    ) -> None:
+        if fidelity not in FIDELITIES:
+            raise ScenarioError(
+                f"unknown fidelity {fidelity!r}; expected one of {FIDELITIES}"
+            )
         self.spec = resolve_spec(system)
+        self.fidelity = fidelity
         self._datasets: dict[str, TelemetryDataset] = {}
+        self._bundle = None
+        self._bundle_explicit = surrogates is not None
+        self._bundle_path: Path | None = None
+        if surrogates is not None:
+            from repro.fastpath.bundle import SurrogateBundle
+
+            if isinstance(surrogates, SurrogateBundle):
+                surrogates.check_spec(self.spec)
+                self._bundle = surrogates
+            else:
+                self._bundle_path = Path(surrogates)
 
     def dataset(self, path: str | Path) -> TelemetryDataset:
         """Load a telemetry dataset, cached per path."""
@@ -45,8 +94,64 @@ class DigitalTwin:
             self._datasets[key] = TelemetryDataset.load(path)
         return self._datasets[key]
 
+    def surrogates(self, *, cooling: bool = True):
+        """The fast-path model bundle for this twin (cached).
+
+        Resolution order: a bundle passed at construction, a bundle
+        path passed at construction (loaded and spec-checked once),
+        else train-on-first-use via
+        :func:`repro.fastpath.train.default_bundle`.  ``cooling=False``
+        is satisfied by any cached bundle; a coupled request upgrades a
+        cached power-only bundle.
+        """
+        from repro.fastpath.bundle import SurrogateBundle
+        from repro.fastpath.train import default_bundle
+
+        if self._bundle is None and self._bundle_path is not None:
+            self._bundle = SurrogateBundle.load(
+                self._bundle_path, spec=self.spec
+            )
+        if self._bundle is not None and (
+            self._bundle_explicit or self._bundle.has_cooling or not cooling
+        ):
+            # An explicitly attached bundle is authoritative even if it
+            # lacks cooling — the engine raises a clear error rather
+            # than silently retraining over the user's model.
+            return self._bundle
+        self._bundle = default_bundle(self.spec, cooling=cooling)
+        return self._bundle
+
+    def use_surrogates(self, bundle) -> "DigitalTwin":
+        """Attach a trained bundle (spec-checked); returns self."""
+        bundle.check_spec(self.spec)
+        self._bundle = bundle
+        self._bundle_explicit = True
+        return self
+
+    def surrogate_doc(self) -> dict | None:
+        """The attached bundle as its JSON document, or None.
+
+        This is how suites and campaigns ship a trained bundle to
+        worker processes: the document is plain JSON (cheap to pickle)
+        and rebuilds the exact same predictions on the other side.
+        Only an explicitly attached/loaded bundle is shipped — never a
+        train-on-demand default (workers memoize their own).
+        """
+        from repro.fastpath.bundle import SurrogateBundle
+
+        if self._bundle is None and self._bundle_path is not None:
+            self._bundle = SurrogateBundle.load(
+                self._bundle_path, spec=self.spec
+            )
+        if self._bundle is None or not self._bundle_explicit:
+            return None
+        return self._bundle.to_doc()
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"DigitalTwin(spec={self.spec.name!r})"
+        return (
+            f"DigitalTwin(spec={self.spec.name!r}, "
+            f"fidelity={self.fidelity!r})"
+        )
 
 
 def as_twin(obj: DigitalTwin | str | Path | SystemSpec) -> DigitalTwin:
@@ -56,4 +161,4 @@ def as_twin(obj: DigitalTwin | str | Path | SystemSpec) -> DigitalTwin:
     return DigitalTwin(obj)
 
 
-__all__ = ["DigitalTwin", "as_twin", "resolve_spec"]
+__all__ = ["DigitalTwin", "as_twin", "resolve_spec", "FIDELITIES"]

@@ -36,6 +36,42 @@ class SurrogateQuality:
     n_test: int
 
 
+def sample_power_training_rows(
+    spec: SystemSpec, *, n_samples: int = 400, seed: int = 0
+) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+    """Sample the L4 power pipeline into surrogate training rows.
+
+    Returns ``(xs, ys)``: ``xs`` is ``(n, 3)`` of (active fraction, cpu
+    level, gpu level) — the :data:`PowerSurrogate.FEATURE_NAMES` space —
+    and ``ys`` maps ``system_power_w`` / ``loss_w`` / ``sivoc_loss_w`` /
+    ``rectifier_loss_w`` to their sampled targets.  The single sampling
+    procedure behind both :meth:`PowerSurrogate.fit_from_simulation`
+    and the fast-path bundle trainer
+    (:func:`repro.fastpath.train.fit_power_heads`), so every head is
+    trained on mutually consistent rows.
+    """
+    rng = np.random.default_rng(seed)
+    model = SystemPowerModel(spec)
+    n_nodes = model.nodes.total_nodes
+    xs = np.empty((n_samples, 3))
+    targets = ("system_power_w", "loss_w", "sivoc_loss_w", "rectifier_loss_w")
+    ys = {name: np.empty(n_samples) for name in targets}
+    for i in range(n_samples):
+        frac = rng.uniform(0.0, 1.0)
+        cpu_lv = rng.uniform(0.0, 1.0)
+        gpu_lv = rng.uniform(0.0, 1.0)
+        active = rng.random(n_nodes) < frac
+        cpu = np.where(active, cpu_lv, 0.0)
+        gpu = np.where(active, gpu_lv, 0.0)
+        result = model.evaluate(cpu, gpu)
+        xs[i] = (active.mean(), cpu_lv, gpu_lv)
+        ys["system_power_w"][i] = result.system_power_w
+        ys["loss_w"][i] = result.loss_w
+        ys["sivoc_loss_w"][i] = result.sivoc_loss_w
+        ys["rectifier_loss_w"][i] = result.rectifier_loss_w
+    return xs, ys
+
+
 class PowerSurrogate:
     """System power from (active fraction, cpu util, gpu util)."""
 
@@ -56,23 +92,11 @@ class PowerSurrogate:
         degree: int = 2,
     ) -> "PowerSurrogate":
         """Sample the L4 power model and fit the surrogate."""
-        rng = np.random.default_rng(seed)
-        model = SystemPowerModel(spec)
-        n_nodes = model.nodes.total_nodes
-        xs = np.empty((n_samples, 3))
-        ys = np.empty(n_samples)
-        for i in range(n_samples):
-            frac = rng.uniform(0.0, 1.0)
-            cpu_lv = rng.uniform(0.0, 1.0)
-            gpu_lv = rng.uniform(0.0, 1.0)
-            active = rng.random(n_nodes) < frac
-            cpu = np.where(active, cpu_lv, 0.0)
-            gpu = np.where(active, gpu_lv, 0.0)
-            result = model.evaluate(cpu, gpu)
-            xs[i] = (active.mean(), cpu_lv, gpu_lv)
-            ys[i] = result.system_power_w
+        xs, ys = sample_power_training_rows(
+            spec, n_samples=n_samples, seed=seed
+        )
         surrogate = cls(degree=degree)
-        surrogate._fit(xs, ys)
+        surrogate._fit(xs, ys["system_power_w"])
         return surrogate
 
     def _fit(self, xs: np.ndarray, ys: np.ndarray) -> None:
@@ -132,23 +156,22 @@ class CoolingSurrogate:
         wetbulb_range_c: tuple[float, float] = (-5.0, 28.0),
         grid: int = 6,
         settle_s: float = 5400.0,
+        tail_samples: int = 40,
         degree: int = 3,
         seed: int = 0,
     ) -> "CoolingSurrogate":
         """Run the L4 plant to steady state on a grid and fit."""
         if grid < 3:
             raise ExaDigiTError("grid must be >= 3")
-        # Fit feasibility: the 85 % training split must cover the
-        # polynomial feature count (degree d on 2 vars -> (d+1)(d+2)/2).
+        # Fail before the expensive settle loop if the grid can't cover
+        # the feature count (fit_rows re-checks after the fact).
         n_features = (degree + 1) * (degree + 2) // 2
-        n_train = int(0.85 * grid * grid)
-        if n_train < n_features:
+        if int(0.85 * grid * grid) < n_features:
             raise ExaDigiTError(
-                f"grid {grid}x{grid} gives {n_train} training rows for "
-                f"{n_features} degree-{degree} features; enlarge the grid "
-                "or lower the degree"
+                f"grid {grid}x{grid} gives {int(0.85 * grid * grid)} "
+                f"training rows for {n_features} degree-{degree} features; "
+                "enlarge the grid or lower the degree"
             )
-        rng = np.random.default_rng(seed)
         powers = np.linspace(*power_range_w, grid)
         wetbulbs = np.linspace(*wetbulb_range_c, grid)
         num_cdus = spec.cooling.num_cdus
@@ -163,35 +186,93 @@ class CoolingSurrogate:
                 # Average over a trailing window to suppress control hunt.
                 samples = [
                     plant.step(heat, float(wb), system_power_w=float(p))
-                    for _ in range(40)
+                    for _ in range(tail_samples)
                 ]
                 rows.append((p, wb))
                 pues.append(np.mean([s.pue for s in samples]))
                 temps.append(np.mean([s.htw_supply_temp_c for s in samples]))
         xs = np.asarray(rows)
-        pues = np.asarray(pues)
-        temps = np.asarray(temps)
+        return cls.fit_rows(
+            xs[:, 0],
+            xs[:, 1],
+            np.asarray(pues),
+            np.asarray(temps),
+            degree=degree,
+            seed=seed,
+        )
+
+    @classmethod
+    def fit_rows(
+        cls,
+        power_w: np.ndarray,
+        wetbulb_c: np.ndarray,
+        pue: np.ndarray,
+        htw_supply_c: np.ndarray,
+        *,
+        degree: int = 3,
+        seed: int = 0,
+    ) -> "CoolingSurrogate":
+        """Fit from already-simulated steady-state rows.
+
+        The training loop :meth:`fit_from_simulation` bottoms out here,
+        and so does the fast-path campaign trainer
+        (:func:`repro.fastpath.train.fit_cooling_from_store`), which
+        mines the rows out of persisted ``results.jsonl`` artifacts
+        instead of re-running the plant.  The trained domain is the
+        bounding box of the rows.
+        """
+        power_w = np.asarray(power_w, dtype=np.float64).ravel()
+        wetbulb_c = np.asarray(wetbulb_c, dtype=np.float64).ravel()
+        pue = np.asarray(pue, dtype=np.float64).ravel()
+        htw_supply_c = np.asarray(htw_supply_c, dtype=np.float64).ravel()
+        n = power_w.shape[0]
+        if not (wetbulb_c.shape[0] == pue.shape[0] == htw_supply_c.shape[0] == n):
+            raise ExaDigiTError("training row arrays must be the same length")
+        # Fit feasibility: the 85 % training split must cover the
+        # polynomial feature count (degree d on 2 vars -> (d+1)(d+2)/2).
+        n_features = (degree + 1) * (degree + 2) // 2
+        split = int(0.85 * n)
+        if split < n_features:
+            raise ExaDigiTError(
+                f"{n} rows give {split} training rows for {n_features} "
+                f"degree-{degree} features; add rows or lower the degree"
+            )
+        rng = np.random.default_rng(seed)
+        xs = np.column_stack([power_w, wetbulb_c])
         # Shuffled split for held-out quality.
-        order = rng.permutation(xs.shape[0])
-        xs, pues, temps = xs[order], pues[order], temps[order]
+        order = rng.permutation(n)
+        xs, pue, htw_supply_c = xs[order], pue[order], htw_supply_c[order]
         surrogate = cls(degree=degree)
-        surrogate._power_range = power_range_w
-        surrogate._wb_range = wetbulb_range_c
-        split = int(0.85 * xs.shape[0])
+        surrogate._power_range = (float(power_w.min()), float(power_w.max()))
+        surrogate._wb_range = (float(wetbulb_c.min()), float(wetbulb_c.max()))
         ftr = surrogate.features.transform(xs[:split])
         fte = surrogate.features.transform(xs[split:])
-        surrogate.pue_model.fit(ftr, pues[:split])
-        surrogate.temp_model.fit(ftr, temps[:split])
-        r2 = surrogate.pue_model.score_r2(fte, pues[split:])
+        surrogate.pue_model.fit(ftr, pue[:split])
+        surrogate.temp_model.fit(ftr, htw_supply_c[:split])
+        r2 = surrogate.pue_model.score_r2(fte, pue[split:])
         rmse = float(
             np.sqrt(
-                np.mean((surrogate.pue_model.predict(fte) - pues[split:]) ** 2)
+                np.mean((surrogate.pue_model.predict(fte) - pue[split:]) ** 2)
             )
         )
         surrogate.quality = SurrogateQuality(
-            r2=r2, rmse=rmse, n_train=split, n_test=xs.shape[0] - split
+            r2=r2, rmse=rmse, n_train=split, n_test=n - split
         )
         return surrogate
+
+    @property
+    def power_domain_w(self) -> tuple[float, float]:
+        """Trained power domain (W); queries are interpolative within it."""
+        if self._power_range is None:
+            raise ExaDigiTError("surrogate is not fitted")
+        return self._power_range
+
+    @property
+    def wetbulb_domain_c(self) -> tuple[float, float]:
+        """Trained wet-bulb domain (degC)."""
+        if self._wb_range is None:
+            raise ExaDigiTError("surrogate is not fitted")
+        return self._wb_range
 
     def _check_domain(self, power_w: np.ndarray, wetbulb_c: np.ndarray) -> None:
         if self._power_range is None or self._wb_range is None:
@@ -225,4 +306,9 @@ class CoolingSurrogate:
         return self.temp_model.predict(x)
 
 
-__all__ = ["SurrogateQuality", "PowerSurrogate", "CoolingSurrogate"]
+__all__ = [
+    "SurrogateQuality",
+    "PowerSurrogate",
+    "CoolingSurrogate",
+    "sample_power_training_rows",
+]

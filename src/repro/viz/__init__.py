@@ -11,14 +11,27 @@ rendering device changes (see DESIGN.md substitutions):
 - :mod:`repro.viz.campaign` — sweep-campaign heat maps and
   cross-campaign metric comparison tables,
 - :mod:`repro.viz.dashboard` — terminal dashboard with sparklines,
-- :mod:`repro.viz.export` — JSON/CSV series export for web dashboards.
+- :mod:`repro.viz.export` — JSON/CSV series export for web dashboards,
+  plus the streaming JSONL step exporter/reader
+  (:class:`~repro.viz.export.StepStreamWriter`).
 """
 
 from repro.viz.scene import SceneGraph, AssetNode, build_scene
 from repro.viz.heatmap import rack_heatmap, cdu_heatmap, render_grid
-from repro.viz.campaign import campaign_heatmap, campaign_comparison
+from repro.viz.campaign import (
+    campaign_heatmap,
+    campaign_comparison,
+    fidelity_error_heatmap,
+)
 from repro.viz.dashboard import sparkline, render_dashboard
-from repro.viz.export import result_to_json, result_to_csv, export_result
+from repro.viz.export import (
+    StepStreamWriter,
+    export_result,
+    export_steps_jsonl,
+    read_steps_jsonl,
+    result_to_csv,
+    result_to_json,
+)
 
 __all__ = [
     "SceneGraph",
@@ -29,9 +42,13 @@ __all__ = [
     "render_grid",
     "campaign_heatmap",
     "campaign_comparison",
+    "fidelity_error_heatmap",
     "sparkline",
     "render_dashboard",
     "result_to_json",
     "result_to_csv",
     "export_result",
+    "StepStreamWriter",
+    "export_steps_jsonl",
+    "read_steps_jsonl",
 ]

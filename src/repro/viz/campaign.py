@@ -39,6 +39,45 @@ def _metric(entry, metric: str) -> float:
     return float(values[metric])
 
 
+def _grid_heatmap_lines(
+    values: np.ndarray,
+    grid,
+    *,
+    title: str,
+    vmin: float,
+    vmax: float,
+) -> str:
+    """Shared pivot-and-render: one value per expanded grid cell.
+
+    The first grid axis becomes the rows, the remaining axes are
+    flattened into the columns (for the common 2-axis case that is
+    just axis two); NaN cells render at ``vmin`` (coldest).
+    """
+    shape = grid.shape()
+    if len(shape) < 1:
+        raise ExaDigiTError("grid heat map needs a non-empty grid")
+    rows = shape[0]
+    cols = values.size // rows
+    body = render_grid(
+        np.nan_to_num(values, nan=vmin),
+        columns=cols,
+        vmin=vmin,
+        vmax=vmax if vmax > vmin else vmin + 1.0,
+        labels=False,
+    )
+    lines = [title]
+    row_labels = [str(v) for v in grid.grid[0][1]]
+    width = max(len(s) for s in row_labels)
+    for label, line in zip(row_labels, body.splitlines()):
+        lines.append(f"{label:>{width}s} |{line}|")
+    lines.append(f"scale: {vmin:.4g} (cold) .. {vmax:.4g} (hot)")
+    return "\n".join(lines)
+
+
+def _axes_caption(grid) -> str:
+    return " × ".join(f"{name}[{len(vals)}]" for name, vals in grid.grid)
+
+
 def campaign_heatmap(
     outcome,
     grid,
@@ -50,42 +89,65 @@ def campaign_heatmap(
     ``outcome`` holds the cell results (in expansion order, as produced
     by a campaign run or reload); ``grid`` is the
     :class:`~repro.scenarios.library.GridSweepScenario` that generated
-    them.  The first grid axis becomes the rows, the remaining axes are
-    flattened into the columns (for the common 2-axis case that is just
-    axis two).  Cells without a persisted result render as NaN→coldest.
+    them.  Cells without a persisted result render as NaN→coldest.
     """
-    shape = grid.shape()
-    if len(shape) < 1:
-        raise ExaDigiTError("campaign heat map needs a non-empty grid")
-    n_cells = int(np.prod(shape))
     by_name = {entry.name: entry for entry in outcome}
-    values = np.full(n_cells, np.nan)
+    values = np.full(int(np.prod(grid.shape() or (0,))), np.nan)
     for i, child in enumerate(grid.expand()):
         entry = by_name.get(child.name)
         if entry is not None:
             values[i] = _metric(entry, metric)
-    rows = shape[0]
-    cols = n_cells // rows
     finite = values[np.isfinite(values)]
     vmin = float(finite.min()) if finite.size else 0.0
     vmax = float(finite.max()) if finite.size else 1.0
-    body = render_grid(
-        np.nan_to_num(values, nan=vmin),
-        columns=cols,
+    return _grid_heatmap_lines(
+        values,
+        grid,
+        title=f"{metric} over {_axes_caption(grid)} (rows: {grid.grid[0][0]})",
         vmin=vmin,
         vmax=vmax,
-        labels=False,
     )
-    axes = " × ".join(
-        f"{name}[{len(vals)}]" for name, vals in grid.grid
+
+
+def fidelity_error_heatmap(
+    screen,
+    refined,
+    grid,
+    *,
+    metric: str = "mean_pue",
+) -> str:
+    """Heat map of |surrogate − full| over a multi-fidelity campaign grid.
+
+    ``screen`` holds every cell at surrogate fidelity, ``refined`` the
+    top-K cells re-run at full fidelity; both join ``grid``'s expansion
+    by cell name.  Cells that were never refined have no error and
+    render coldest — the hot spots are where the screen was least
+    trustworthy among the cells that mattered.
+    """
+    screened = {entry.name: entry for entry in screen}
+    full = {entry.name: entry for entry in refined}
+    errors = np.full(int(np.prod(grid.shape() or (0,))), np.nan)
+    refined_count = 0
+    for i, child in enumerate(grid.expand()):
+        s = screened.get(child.name)
+        f = full.get(child.name)
+        if s is None or f is None:
+            continue
+        errors[i] = abs(_metric(s, metric) - _metric(f, metric))
+        refined_count += 1
+    finite = errors[np.isfinite(errors)]
+    vmax = float(finite.max()) if finite.size else 1.0
+    return _grid_heatmap_lines(
+        errors,
+        grid,
+        title=(
+            f"|surrogate - full| {metric} over {_axes_caption(grid)} "
+            f"({refined_count}/{errors.size} cells refined; "
+            "unrefined render cold)"
+        ),
+        vmin=0.0,
+        vmax=vmax,
     )
-    lines = [f"{metric} over {axes} (rows: {grid.grid[0][0]})"]
-    row_labels = [str(v) for v in grid.grid[0][1]]
-    width = max(len(s) for s in row_labels)
-    for label, line in zip(row_labels, body.splitlines()):
-        lines.append(f"{label:>{width}s} |{line}|")
-    lines.append(f"scale: {vmin:.4g} (cold) .. {vmax:.4g} (hot)")
-    return "\n".join(lines)
 
 
 def campaign_comparison(
@@ -155,4 +217,9 @@ def campaign_comparison(
     return "\n".join(lines)
 
 
-__all__ = ["CAMPAIGN_METRICS", "campaign_heatmap", "campaign_comparison"]
+__all__ = [
+    "CAMPAIGN_METRICS",
+    "campaign_heatmap",
+    "campaign_comparison",
+    "fidelity_error_heatmap",
+]

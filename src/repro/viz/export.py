@@ -1,9 +1,17 @@
-"""Series export for external dashboards (JSON / CSV).
+"""Series export for external dashboards (JSON / CSV / streaming JSONL).
 
 The paper's web dashboard reads simulation results over a REST API
 backed by a results database; this module produces the equivalent
 payloads — one JSON document or CSV table per run — that such a
 dashboard (or a notebook) would consume.
+
+For *live* consumers there is also a streaming JSONL format: one JSON
+object per trace quantum, written as the engine yields each
+:class:`~repro.core.engine.StepState` (:class:`StepStreamWriter` plugs
+straight into the ``progress=`` hook; ``repro run --export-steps``
+wires it up from the CLI).  :func:`read_steps_jsonl` round-trips the
+file back into :class:`~repro.telemetry.dataset.TimeSeries` objects, so
+exported streams feed the same telemetry tooling as measured data.
 """
 
 from __future__ import annotations
@@ -11,12 +19,15 @@ from __future__ import annotations
 import csv
 import io
 import json
+import math
 from pathlib import Path
+from typing import IO, Iterable, Iterator
 
 import numpy as np
 
-from repro.core.engine import SimulationResult
+from repro.core.engine import SimulationResult, StepState
 from repro.exceptions import ExaDigiTError
+from repro.telemetry.dataset import TimeSeries
 
 
 def result_to_json(result: SimulationResult, *, indent: int | None = None) -> str:
@@ -87,4 +98,154 @@ def export_result(
     return path
 
 
-__all__ = ["result_to_json", "result_to_csv", "export_result"]
+#: Scalar StepState attributes exported per JSONL record.
+STEP_SCALARS = (
+    "time_s",
+    "system_power_w",
+    "loss_w",
+    "sivoc_loss_w",
+    "rectifier_loss_w",
+    "chain_efficiency",
+    "utilization",
+    "num_running",
+)
+
+
+def step_record(step: StepState) -> dict:
+    """One JSON-safe document for one engine step.
+
+    Carries ``index``, every :data:`STEP_SCALARS` attribute, and each
+    scalar recorded cooling output under a ``cooling.`` prefix.
+    Non-finite floats encode as ``null`` (strict JSON; consumers like
+    ``jq`` reject bare ``NaN`` tokens).
+    """
+    doc: dict = {"index": step.index}
+    for name in STEP_SCALARS:
+        value = getattr(step, name)
+        value = int(value) if name == "num_running" else float(value)
+        doc[name] = (
+            value
+            if not isinstance(value, float) or math.isfinite(value)
+            else None
+        )
+    for name, series in sorted(step.cooling.items()):
+        arr = np.asarray(series)
+        if arr.ndim == 0:
+            value = float(arr)
+            doc[f"cooling.{name}"] = value if math.isfinite(value) else None
+    return doc
+
+
+class StepStreamWriter:
+    """Stream :class:`StepState` records to a JSONL file or descriptor.
+
+    Usable directly as a ``progress=`` callback and as a context
+    manager::
+
+        with StepStreamWriter("steps.jsonl") as writer:
+            scenario.run(twin, progress=writer)
+
+    Each record is written and flushed as its step is produced, so an
+    external dashboard can tail the file while the simulation runs.
+    A path target is opened (and closed) by the writer; an open
+    file-like target is flushed but left open for its owner.
+    """
+
+    def __init__(self, target: str | Path | IO[str]) -> None:
+        if hasattr(target, "write"):
+            self._fh: IO[str] = target  # type: ignore[assignment]
+            self._owns = False
+            self.path = None
+        else:
+            self.path = Path(target)
+            self._fh = self.path.open("w", encoding="utf-8")
+            self._owns = True
+        self.count = 0
+
+    def write(self, step: StepState) -> None:
+        self._fh.write(json.dumps(step_record(step)) + "\n")
+        self._fh.flush()
+        self.count += 1
+
+    __call__ = write
+
+    def close(self) -> None:
+        if self._owns and not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "StepStreamWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def export_steps_jsonl(
+    steps: Iterable[StepState], target: str | Path | IO[str]
+) -> int:
+    """Drain a step iterator into a JSONL target; returns records written."""
+    with StepStreamWriter(target) as writer:
+        for step in steps:
+            writer.write(step)
+        return writer.count
+
+
+def iter_step_records(path: str | Path) -> Iterator[dict]:
+    """Yield the parsed records of a step JSONL file, in file order.
+
+    Tolerant of a torn final line (a consumer may read while the
+    producer is mid-append); ``null`` fields come back as NaN.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ExaDigiTError(f"no step export at {path}")
+    with path.open("r", encoding="utf-8") as fh:
+        for raw in fh:
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                doc = json.loads(raw)
+            except json.JSONDecodeError:
+                continue  # torn tail of an in-progress append
+            yield {
+                k: (math.nan if v is None else v) for k, v in doc.items()
+            }
+
+
+def read_steps_jsonl(path: str | Path) -> dict[str, TimeSeries]:
+    """Reload a step JSONL export as telemetry series.
+
+    Returns one :class:`~repro.telemetry.dataset.TimeSeries` per
+    exported field (times from ``time_s``), so a streamed run feeds the
+    same replay/validation tooling as measured telemetry — the
+    round-trip counterpart of :class:`StepStreamWriter`.
+    """
+    records = list(iter_step_records(path))
+    if not records:
+        raise ExaDigiTError(f"step export {path} holds no records")
+    times = np.asarray([r["time_s"] for r in records], dtype=np.float64)
+    fields = [
+        k for k in records[0] if k not in ("index", "time_s")
+    ]
+    out: dict[str, TimeSeries] = {}
+    for name in fields:
+        values = np.asarray(
+            [r.get(name, math.nan) for r in records], dtype=np.float64
+        )
+        units = "W" if name.endswith("_w") else ""
+        out[name] = TimeSeries(times, values, units)
+    return out
+
+
+__all__ = [
+    "result_to_json",
+    "result_to_csv",
+    "export_result",
+    "STEP_SCALARS",
+    "step_record",
+    "StepStreamWriter",
+    "export_steps_jsonl",
+    "iter_step_records",
+    "read_steps_jsonl",
+]

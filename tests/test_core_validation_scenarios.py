@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.physical import MeasurementNoise, PhysicalTwin
 from repro.core.replay import ReplayValidation, replay_dataset
-from repro.core.scenarios import run_whatif
+from repro.core.whatif import run_whatif
 from repro.core.validate import compare_series, percent_error
 from repro.exceptions import ValidationError
 from repro.telemetry.dataset import TimeSeries

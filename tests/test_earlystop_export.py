@@ -1,0 +1,190 @@
+"""Early-stop predicate library + streaming JSONL step exporter."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.earlystop import (
+    DivergenceGuard,
+    SteadyStateDetector,
+    all_of,
+    any_of,
+    step_value,
+)
+from repro.exceptions import ExaDigiTError, SimulationError
+from repro.scenarios import DigitalTwin, SyntheticScenario, VerificationScenario
+from repro.viz.export import (
+    StepStreamWriter,
+    export_steps_jsonl,
+    iter_step_records,
+    read_steps_jsonl,
+)
+from tests.conftest import make_small_spec
+
+
+@pytest.fixture(scope="module")
+def twin():
+    return DigitalTwin(make_small_spec())
+
+
+@pytest.fixture(scope="module")
+def idle_scenario():
+    # Constant all-nodes idle load: power is flat from step one.
+    return VerificationScenario(
+        point="idle", duration_s=1800.0, with_cooling=False
+    )
+
+
+# -- early stop ----------------------------------------------------------------
+
+
+def test_steady_state_detector_stops_early(twin, idle_scenario):
+    detector = SteadyStateDetector(
+        "system_power_w", window=5, rtol=1e-6
+    )
+    outcome = idle_scenario.run(twin, stop_when=detector)
+    n_steps = outcome.result.times_s.size
+    assert n_steps == 5  # the window fills, then the run stops
+    assert detector.triggered_at == outcome.result.times_s[-1]
+
+
+def test_steady_state_needs_full_window(twin, idle_scenario):
+    detector = SteadyStateDetector("system_power_w", window=200, rtol=1e-6)
+    outcome = idle_scenario.run(twin, stop_when=detector)
+    assert outcome.result.times_s.size == 120  # never triggered
+
+
+def test_steady_state_rejects_bad_config():
+    with pytest.raises(SimulationError):
+        SteadyStateDetector(window=1)
+    with pytest.raises(SimulationError):
+        SteadyStateDetector(rtol=-1.0)
+
+
+def test_divergence_guard_trips_on_bound(twin, idle_scenario):
+    guard = DivergenceGuard("system_power_w", high=1.0)  # 1 W: trips at once
+    outcome = idle_scenario.run(twin, stop_when=guard)
+    assert outcome.result.times_s.size == 1
+    assert guard.tripped_at == 0.0
+    assert guard.tripped_value > 1.0
+
+
+def test_divergence_guard_raises_when_asked(twin, idle_scenario):
+    guard = DivergenceGuard("system_power_w", high=1.0, raise_on_trip=True)
+    with pytest.raises(SimulationError, match="divergence guard tripped"):
+        idle_scenario.run(twin, stop_when=guard)
+
+
+def test_divergence_guard_quiet_inside_bounds(twin, idle_scenario):
+    guard = DivergenceGuard("system_power_w", low=0.0, high=1e9)
+    outcome = idle_scenario.run(twin, stop_when=guard)
+    assert outcome.result.times_s.size == 120
+    assert guard.tripped_at is None
+
+
+def test_combinators(twin, idle_scenario):
+    steady = SteadyStateDetector("system_power_w", window=5, rtol=1e-6)
+    never = DivergenceGuard("system_power_w", high=1e12)
+    outcome = idle_scenario.run(twin, stop_when=all_of(steady, never))
+    assert outcome.result.times_s.size == 120  # all_of: guard never trips
+    steady2 = SteadyStateDetector("system_power_w", window=5, rtol=1e-6)
+    outcome = idle_scenario.run(twin, stop_when=any_of(steady2, never))
+    assert outcome.result.times_s.size == 5
+    with pytest.raises(SimulationError):
+        any_of()
+    with pytest.raises(SimulationError):
+        all_of(steady, "not-callable")
+
+
+def test_step_value_resolves_cooling_fields(twin):
+    scenario = SyntheticScenario(duration_s=450.0, with_cooling=True)
+    step = next(iter(scenario.iter_steps(twin)))
+    assert step_value(step, "pue") == pytest.approx(float(step.pue))
+    assert step_value(step, "cooling.pue") == step_value(step, "pue")
+    assert math.isfinite(step_value(step, "htw_supply_temp_c"))
+    with pytest.raises(SimulationError, match="no field"):
+        step_value(step, "warp_drive_temp")
+    # Array-valued fields are rejected with a clear error, not a
+    # TypeError from float() on a length-2 array.
+    with pytest.raises(SimulationError, match="scalar"):
+        step_value(step, "cdu_heat_w")
+
+
+# -- JSONL step export ---------------------------------------------------------
+
+
+def test_jsonl_round_trip_through_telemetry_reader(tmp_path, twin):
+    scenario = SyntheticScenario(duration_s=900.0, with_cooling=True, seed=2)
+    path = tmp_path / "steps.jsonl"
+    with StepStreamWriter(path) as writer:
+        outcome = scenario.run(twin, progress=writer)
+    assert writer.count == outcome.result.times_s.size
+
+    series = read_steps_jsonl(path)
+    result = outcome.result
+    assert np.array_equal(series["system_power_w"].times, result.times_s)
+    # Floats survive the JSON round trip bit-exactly.
+    assert np.array_equal(
+        series["system_power_w"].values, result.system_power_w
+    )
+    assert np.array_equal(series["utilization"].values, result.utilization)
+    assert np.array_equal(
+        series["cooling.pue"].values, np.asarray(result.cooling["pue"])
+    )
+    assert series["system_power_w"].units == "W"
+
+
+def test_export_steps_jsonl_drains_iterator(tmp_path, twin):
+    scenario = SyntheticScenario(duration_s=450.0, with_cooling=False)
+    path = tmp_path / "steps.jsonl"
+    count = export_steps_jsonl(scenario.iter_steps(twin), path)
+    assert count == 30
+    records = list(iter_step_records(path))
+    assert [r["index"] for r in records] == list(range(30))
+    # Uncoupled runs carry no cooling fields.
+    assert not any(k.startswith("cooling.") for k in records[0])
+
+
+def test_reader_tolerates_torn_tail(tmp_path, twin):
+    scenario = SyntheticScenario(duration_s=450.0, with_cooling=False)
+    path = tmp_path / "steps.jsonl"
+    export_steps_jsonl(scenario.iter_steps(twin), path)
+    with path.open("a", encoding="utf-8") as fh:
+        fh.write('{"index": 30, "time_s": 45')  # torn mid-append
+    series = read_steps_jsonl(path)
+    assert series["system_power_w"].values.size == 30
+
+
+def test_reader_rejects_missing_and_empty(tmp_path):
+    with pytest.raises(ExaDigiTError, match="no step export"):
+        read_steps_jsonl(tmp_path / "nope.jsonl")
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    with pytest.raises(ExaDigiTError, match="no records"):
+        read_steps_jsonl(empty)
+
+
+def test_cli_run_export_steps(tmp_path, monkeypatch, capsys):
+    from repro.cli import main
+
+    monkeypatch.chdir(tmp_path)
+    rc = main(
+        [
+            "run",
+            "--system",
+            "frontier",
+            "--hours",
+            "0.1",
+            "--no-cooling",
+            "--export-steps",
+            "steps.jsonl",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "step records streamed" in out
+    series = read_steps_jsonl(tmp_path / "steps.jsonl")
+    assert series["system_power_w"].values.size == 24
