@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Twin as a service: submit, stream, cache, and steal — end to end.
+
+Runs a real :class:`~repro.service.server.TwinServer` in this process
+(the same thing ``repro serve`` runs standalone) and walks the serving
+layer's guarantees:
+
+1. a scenario submitted over HTTP streams per-quantum step records
+   back over NDJSON, bit-identical to a direct
+   ``scenario.iter_steps(twin)`` run,
+2. the websocket transport carries the same documents (same stream,
+   different framing),
+3. a repeat submission is answered from the content-addressed result
+   cache without simulating; ``use_cache=False`` forces a fresh run,
+4. a grid sweep expands into one job per cell and the work-stealing
+   pool load-balances the heterogeneous costs across workers,
+5. a coupled (cooling) job pays the 1800 s plant warmup once per
+   worker; the warm-plant cache restores the snapshot for repeats —
+   watch the latency collapse.
+
+Equivalent CLI session (server in one terminal, clients in another)::
+
+    repro serve --system frontier --workers 2 --store artifacts/service
+    repro submit --hours 0.25 --no-cooling --watch
+    repro jobs
+    repro watch j000001 --ws
+"""
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro.scenarios import DigitalTwin, GridSweepScenario, SyntheticScenario
+from repro.service import TwinClient, TwinServer
+from repro.viz.export import step_record
+
+
+def main() -> None:
+    store = Path(tempfile.mkdtemp(prefix="repro-service-")) / "store"
+    scenario = SyntheticScenario(
+        duration_s=900.0, with_cooling=False, seed=42
+    )
+
+    with TwinServer("frontier", workers=2, store=store) as server:
+        client = TwinClient(server.url)
+        print(f"service listening on {server.url}")
+
+        # 1. streamed == direct, bit for bit
+        job = client.submit(scenario)
+        streamed = client.steps(job["id"])
+        direct = [
+            step_record(s)
+            for s in scenario.iter_steps(DigitalTwin("frontier"))
+        ]
+        print(
+            f"NDJSON stream: {len(streamed)} steps, "
+            f"bit-identical to direct run: {streamed == direct}"
+        )
+
+        # 2. same stream over the websocket transport
+        over_ws = client.steps(job["id"], transport="ws")
+        print(f"websocket stream identical: {over_ws == direct}")
+
+        # 3. the result cache answers repeats without simulating
+        t0 = time.perf_counter()
+        repeat = client.submit(scenario)
+        cached_ms = (time.perf_counter() - t0) * 1e3
+        print(
+            f"repeat submission: state={repeat['state']} "
+            f"cached={repeat['cached']} in {cached_ms:.1f} ms"
+        )
+
+        # 4. sweeps expand server-side; the pool steals across costs
+        sweep = GridSweepScenario(
+            base=SyntheticScenario(duration_s=600.0, with_cooling=False),
+            grid={"seed": (0, 1, 2, 3)},
+        )
+        jobs = client.submit_all(sweep)
+        for j in jobs:
+            client.wait(j["id"])
+        health = client.health()
+        print(
+            f"sweep: {len(jobs)} cells done, queue steals: "
+            f"{health['queue']['steals']}, executed: "
+            f"{health['counters']['executed']}"
+        )
+
+        # 5. warm-plant cache: coupled repeat jobs skip the warmup
+        coupled = SyntheticScenario(
+            duration_s=300.0, with_cooling=True, seed=0
+        )
+        t0 = time.perf_counter()
+        client.wait(client.submit(coupled, use_cache=False)["id"])
+        cold_s = time.perf_counter() - t0
+        warm = SyntheticScenario(duration_s=300.0, with_cooling=True, seed=1)
+        t0 = time.perf_counter()
+        client.wait(client.submit(warm, use_cache=False)["id"])
+        warm_s = time.perf_counter() - t0
+        print(
+            f"coupled job: cold {cold_s:.2f} s (1800 s warmup) -> "
+            f"warm {warm_s:.2f} s ({cold_s / max(warm_s, 1e-9):.1f}x)"
+        )
+        print(f"store is a readable campaign: {store}")
+
+
+if __name__ == "__main__":
+    main()

@@ -4,7 +4,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="exadigit-repro",
-    version="1.2.0",
+    version="1.4.0",
     description=(
         "Digital twin for liquid-cooled supercomputers: a Python "
         "reproduction of the ExaDigiT framework (SC 2024)"
@@ -14,8 +14,10 @@ setup(
         "SC 2024): RAPS resource/power simulation with conversion-loss "
         "modeling, a transient cooling-plant model behind an FMI-like "
         "interface, a declarative scenario API with parallel experiment "
-        "suites, JSON system specifications, and terminal visual "
-        "analytics."
+        "suites, persisted sweep campaigns, a surrogate-backed "
+        "multi-fidelity fast path, a twin-as-a-service asyncio job "
+        "server with streaming transports, JSON system specifications, "
+        "and terminal visual analytics."
     ),
     long_description_content_type="text/plain",
     author="paper-repo-growth",

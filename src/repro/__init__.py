@@ -84,6 +84,7 @@ from repro.fastpath import (
 )
 from repro.power import SystemPowerModel
 from repro.scenarios import (
+    BenchmarkSequenceScenario,
     Campaign,
     CampaignStore,
     DigitalTwin,
@@ -101,7 +102,7 @@ from repro.scenarios import (
 )
 from repro.telemetry import SyntheticTelemetryGenerator, TelemetryDataset
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "FRONTIER",
@@ -121,6 +122,7 @@ __all__ = [
     "SystemPowerModel",
     "Scenario",
     "SyntheticScenario",
+    "BenchmarkSequenceScenario",
     "ReplayScenario",
     "VerificationScenario",
     "WhatIfScenario",

@@ -22,6 +22,12 @@ and dashboard, wired through the declarative scenario API:
 - ``surrogate`` — the fast-path model store: ``surrogate fit`` trains a
   bundle (from L4 sampling or a persisted campaign) and ``surrogate
   eval`` audits a saved bundle against full fidelity,
+- ``serve`` / ``submit`` / ``watch`` / ``jobs`` — the twin service
+  (:mod:`repro.service`): ``serve`` runs the asyncio job server (worker
+  pool, warm-plant cache, persisted result store), ``submit`` posts a
+  scenario JSON (``--watch`` streams it), ``watch`` streams a job's
+  per-quantum records over NDJSON or websocket, and ``jobs`` tabulates
+  the server's job list,
 - ``scene`` — emit the descriptive-twin scene graph as JSON,
 - ``autocsm`` — print the generated cooling-model inventory,
 - ``systems`` — list bundled machine specifications.
@@ -559,6 +565,112 @@ def cmd_campaign_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+DEFAULT_SERVICE_URL = "http://127.0.0.1:8787"
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import TwinServer
+
+    server = TwinServer(
+        args.system,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        store=args.store,
+        fidelity=args.fidelity,
+        surrogates=args.surrogates,
+        max_attempts=args.max_attempts,
+    )
+
+    def banner(srv) -> None:
+        print(
+            f"twin service for {srv.spec.name!r} listening on "
+            f"{srv.url} ({args.workers} workers"
+            + (f", store {srv.store.path}" if srv.store is not None else "")
+            + ")",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    try:
+        asyncio.run(server.run_forever(on_start=banner))
+    except KeyboardInterrupt:
+        print("\nservice stopped", file=sys.stderr)
+    return 0
+
+
+def _service_client(args: argparse.Namespace):
+    from repro.service import TwinClient
+
+    return TwinClient(args.url)
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    import json as _json
+    from pathlib import Path
+
+    if args.scenario_file:
+        doc = _json.loads(Path(args.scenario_file).read_text("utf-8"))
+    else:
+        doc = {
+            "kind": args.kind,
+            "name": args.kind,
+            "duration_s": args.hours * 3600.0,
+            "seed": args.seed,
+            "with_cooling": not args.no_cooling,
+        }
+        if args.fidelity:
+            doc["fidelity"] = args.fidelity
+    client = _service_client(args)
+    jobs = client.submit_all(doc, use_cache=not args.no_cache)
+    for job in jobs:
+        print(
+            f"{job['id']}  {job['state']:9s}  {job['kind']:12s} "
+            f"{job['name']}" + ("  (cached)" if job["cached"] else "")
+        )
+    if args.watch:
+        for doc in client.watch(jobs[0]["id"]):
+            print(_json.dumps(doc))
+    return 0
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    import json as _json
+
+    client = _service_client(args)
+    stream = (
+        client.watch_ws(args.job_id)
+        if args.ws
+        else client.watch(args.job_id)
+    )
+    for doc in stream:
+        print(_json.dumps(doc), flush=True)
+        if doc.get("event") == "failed":
+            return 1
+    return 0
+
+
+def cmd_jobs(args: argparse.Namespace) -> int:
+    client = _service_client(args)
+    jobs = client.jobs()
+    if not jobs:
+        print("(no jobs)")
+        return 0
+    print(
+        f"{'id':10s} {'state':10s} {'kind':14s} {'steps':>6s} "
+        f"{'attempts':>8s} {'cached':>6s}  name"
+    )
+    for job in jobs:
+        print(
+            f"{job['id']:10s} {job['state']:10s} {job['kind']:14s} "
+            f"{job['steps']:6d} {job['attempts']:8d} "
+            f"{str(job['cached']).lower():>6s}  {job['name']}"
+        )
+    return 0
+
+
 def cmd_scene(args: argparse.Namespace) -> int:
     print(build_scene(DigitalTwin(args.system).spec).to_json())
     return 0
@@ -873,6 +985,116 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluate the power path only",
     )
     sp.set_defaults(func=cmd_surrogate_eval)
+
+    p = sub.add_parser(
+        "serve", help="run the twin service (asyncio job server)"
+    )
+    _add_system_arg(p)
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=8787,
+        help="listen port (default 8787; 0 picks a free port)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker processes in the work-stealing pool (default 2)",
+    )
+    p.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="persist results + step streams to an open-ended campaign "
+        "store (also the cross-restart result cache)",
+    )
+    p.add_argument(
+        "--fidelity",
+        choices=("full", "surrogate"),
+        default="full",
+        help="default backend for scenarios that don't pin one",
+    )
+    p.add_argument(
+        "--surrogates",
+        metavar="BUNDLE",
+        default=None,
+        help="saved surrogate bundle shipped to every worker",
+    )
+    p.add_argument(
+        "--max-attempts",
+        type=int,
+        default=2,
+        help="dispatch attempts per job before a worker crash fails it",
+    )
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "submit", help="submit a scenario to a running twin service"
+    )
+    p.add_argument(
+        "--url",
+        default=DEFAULT_SERVICE_URL,
+        help=f"service base URL (default {DEFAULT_SERVICE_URL})",
+    )
+    p.add_argument(
+        "scenario_file",
+        nargs="?",
+        default=None,
+        help="scenario JSON file (omit to build one from the flags)",
+    )
+    p.add_argument(
+        "--kind", default="synthetic", help="scenario kind (no file)"
+    )
+    p.add_argument(
+        "--hours", type=float, default=2.0, help="simulated hours (no file)"
+    )
+    p.add_argument("--seed", type=int, default=0, help="RNG seed (no file)")
+    p.add_argument(
+        "--no-cooling", action="store_true", help="uncoupled run (no file)"
+    )
+    p.add_argument(
+        "--fidelity",
+        choices=("full", "surrogate"),
+        default=None,
+        help="pin the execution backend (no file)",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="force simulation even when the result cache has this job",
+    )
+    p.add_argument(
+        "--watch",
+        action="store_true",
+        help="stream the first job's records after submitting",
+    )
+    p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser(
+        "watch", help="stream a service job's step records (NDJSON lines)"
+    )
+    p.add_argument(
+        "--url",
+        default=DEFAULT_SERVICE_URL,
+        help=f"service base URL (default {DEFAULT_SERVICE_URL})",
+    )
+    p.add_argument("job_id", help="job id (from submit / jobs)")
+    p.add_argument(
+        "--ws",
+        action="store_true",
+        help="use the websocket transport instead of NDJSON",
+    )
+    p.set_defaults(func=cmd_watch)
+
+    p = sub.add_parser("jobs", help="list a twin service's jobs")
+    p.add_argument(
+        "--url",
+        default=DEFAULT_SERVICE_URL,
+        help=f"service base URL (default {DEFAULT_SERVICE_URL})",
+    )
+    p.set_defaults(func=cmd_jobs)
 
     p = sub.add_parser("scene", help="emit the L1 scene graph as JSON")
     _add_system_arg(p)

@@ -14,13 +14,41 @@ same interface).
 
 from __future__ import annotations
 
+import copy
 import enum
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.config.schema import CoolingSpec
-from repro.cooling.plant import CoolingPlant, PlantState, output_names
+from repro.cooling.plant import (
+    CoolingPlant,
+    PlantSnapshot,
+    PlantState,
+    output_names,
+)
 from repro.exceptions import FMUError
+
+
+@dataclass
+class FmuStateSnapshot:
+    """One captured FMU state (the FMI 2.0 ``fmi2GetFMUstate`` analog).
+
+    Holds the full plant capsule plus the wrapper's clock, inputs, and
+    last outputs, so :meth:`CoolingFMU.set_fmu_state` resumes stepping
+    exactly where the capture left off — the mechanism behind the
+    serving layer's warm-plant cache (restore a warmed state instead of
+    re-running the 1800 s warmup).
+    """
+
+    plant: PlantSnapshot
+    time: float
+    cdu_heat: np.ndarray
+    wetbulb_c: float
+    system_power_w: float | None
+    outputs: np.ndarray
+    last_state: PlantState | None
+    lifecycle: "FmuState"
 
 
 class FmuState(enum.Enum):
@@ -86,6 +114,45 @@ class CoolingFMU:
         self._system_power_w = None
         self.last_state = None
         self.state = FmuState.INSTANTIATED
+
+    # -- state snapshot / restore (FMI 2.0 get/setFMUstate) -------------------------
+
+    def get_fmu_state(self) -> FmuStateSnapshot:
+        """Capture the unit's complete state (``fmi2GetFMUstate``)."""
+        return FmuStateSnapshot(
+            plant=self._plant.snapshot(),
+            time=self._time,
+            cdu_heat=self._cdu_heat.copy(),
+            wetbulb_c=self._wetbulb_c,
+            system_power_w=self._system_power_w,
+            outputs=self._outputs.copy(),
+            last_state=copy.deepcopy(self.last_state),
+            lifecycle=self.state,
+        )
+
+    def set_fmu_state(self, snapshot: FmuStateSnapshot) -> None:
+        """Restore a captured state (``fmi2SetFMUstate``).
+
+        Legal from any lifecycle state except ``TERMINATED``; the
+        snapshot is copied in, so one capture can seed many runs and
+        each restored run reproduces the original trajectory bit for
+        bit (stepping is a pure function of state and inputs).
+        """
+        if not isinstance(snapshot, FmuStateSnapshot):
+            raise FMUError(
+                f"set_fmu_state takes an FmuStateSnapshot, got "
+                f"{type(snapshot).__name__}"
+            )
+        if self.state is FmuState.TERMINATED:
+            raise FMUError("set_fmu_state called on a terminated unit")
+        self._plant.restore(snapshot.plant)
+        self._time = snapshot.time
+        self._cdu_heat = snapshot.cdu_heat.copy()
+        self._wetbulb_c = snapshot.wetbulb_c
+        self._system_power_w = snapshot.system_power_w
+        self._outputs = snapshot.outputs.copy()
+        self.last_state = copy.deepcopy(snapshot.last_state)
+        self.state = snapshot.lifecycle
 
     # -- inputs ---------------------------------------------------------------------
 
@@ -154,6 +221,11 @@ class CoolingFMU:
     def time(self) -> float:
         return self._time
 
+    @property
+    def substep_s(self) -> float:
+        """The plant's internal integration substep, s."""
+        return self._substep_s
+
     def variable_names(self) -> list[str]:
         """All 317 output variable names, in vector order."""
         return list(self._output_names)
@@ -176,4 +248,4 @@ class CoolingFMU:
         return self.last_state
 
 
-__all__ = ["CoolingFMU", "FmuState"]
+__all__ = ["CoolingFMU", "FmuState", "FmuStateSnapshot"]

@@ -27,6 +27,7 @@ Outputs: exactly the 317 quantities of paper section III-C4, tallied as
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -143,6 +144,22 @@ def output_names(num_cdus: int = 25, num_cells: int = 20) -> list[str]:
         ]
     )
     return names
+
+
+@dataclass
+class PlantSnapshot:
+    """Opaque deep-copied capsule of a :class:`CoolingPlant`'s state.
+
+    Produced by :meth:`CoolingPlant.snapshot`, consumed by
+    :meth:`CoolingPlant.restore`.  Picklable (pure Python + NumPy), so
+    snapshots can be cached per process or shipped between them.
+    """
+
+    cdus: object
+    primary: object
+    tower: object
+    time_s: float
+    primary_header_dp_pa: float
 
 
 class CoolingPlant:
@@ -302,6 +319,44 @@ class CoolingPlant:
             aux_power_w=aux_total_w,
         )
 
+    # -- state snapshot / restore ----------------------------------------------
+
+    def snapshot(self) -> "PlantSnapshot":
+        """Capture the plant's full transient state as an opaque capsule.
+
+        The capsule is deep-copied both ways, so one snapshot of a
+        warmed plant can seed any number of later runs (the serving
+        layer's :class:`~repro.service.warmcache.WarmStateCache` keys
+        these by spec hash to amortize the 1800 s cooling warmup).
+        Restoring a snapshot reproduces the subsequent trajectory bit
+        for bit: stepping is a pure function of plant state and inputs.
+        """
+        return PlantSnapshot(
+            cdus=copy.deepcopy(self.cdus),
+            primary=copy.deepcopy(self.primary),
+            tower=copy.deepcopy(self.tower),
+            time_s=self.time_s,
+            primary_header_dp_pa=self.primary_header_dp_pa,
+        )
+
+    def restore(self, snapshot: "PlantSnapshot") -> None:
+        """Overwrite the plant's state from a :meth:`snapshot` capsule."""
+        if not isinstance(snapshot, PlantSnapshot):
+            raise CoolingModelError(
+                f"restore() takes a PlantSnapshot, got "
+                f"{type(snapshot).__name__}"
+            )
+        if snapshot.cdus.n != self.spec.num_cdus:
+            raise CoolingModelError(
+                f"snapshot holds {snapshot.cdus.n} CDU loops, plant has "
+                f"{self.spec.num_cdus}"
+            )
+        self.cdus = copy.deepcopy(snapshot.cdus)
+        self.primary = copy.deepcopy(snapshot.primary)
+        self.tower = copy.deepcopy(snapshot.tower)
+        self.time_s = snapshot.time_s
+        self.primary_header_dp_pa = snapshot.primary_header_dp_pa
+
     def warmup(
         self, cdu_heat_w: np.ndarray, wetbulb_c: float, duration_s: float = 3600.0
     ) -> PlantState:
@@ -314,4 +369,10 @@ class CoolingPlant:
         return state
 
 
-__all__ = ["CoolingPlant", "PlantState", "output_names", "NUM_OUTPUTS"]
+__all__ = [
+    "CoolingPlant",
+    "PlantState",
+    "PlantSnapshot",
+    "output_names",
+    "NUM_OUTPUTS",
+]

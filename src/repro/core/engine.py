@@ -401,6 +401,13 @@ class RapsEngine:
         without [cooling]" observation.
     honor_recorded_starts:
         Replay mode: jobs dispatch at their recorded start times.
+    warm_cache:
+        Optional warm-plant state cache (duck-typed like
+        :class:`~repro.service.warmcache.WarmStateCache`): when a
+        snapshot for (spec, wet-bulb, warmup seconds, substep) is
+        cached, the cooling warmup restores it instead of re-stepping
+        the plant — bit-identical, since warmup is deterministic —
+        and a miss stores the freshly warmed state for the next run.
     """
 
     def __init__(
@@ -414,8 +421,14 @@ class RapsEngine:
         allocation: str = "contiguous",
         cooling_substep_s: float = 3.0,
         down_nodes: np.ndarray | None = None,
+        warm_cache=None,
     ) -> None:
         self.spec = spec
+        # A chain override changes the idle heat the warmup runs at, so
+        # its warmed state must not be shared with baseline runs: the
+        # cache key is (spec, wetbulb, warmup, substep) only, and
+        # what-if engines simply bypass the cache.
+        self.warm_cache = warm_cache if chain is None else None
         self.power = SystemPowerModel(spec, chain=chain)
         self.scheduler = SchedulerEngine(
             spec.total_nodes,
@@ -572,16 +585,34 @@ class RapsEngine:
     def _warmup_cooling(
         self, jobs: list[Job], wetbulb, warmup_s: float
     ) -> None:
-        """Pre-condition the plant at the initial idle-load heat."""
+        """Pre-condition the plant at the initial idle-load heat.
+
+        Warmup is deterministic — idle heat is a pure function of the
+        spec and the plant steps are pure functions of state — so when
+        a ``warm_cache`` is attached, a cached snapshot for this
+        (spec, wet-bulb, warmup, substep) is restored in place of the
+        stepping loop and the run proceeds bit-identically; a miss
+        stores the freshly warmed state for subsequent runs.
+        """
         if self.fmu is None or warmup_s <= 0:
             return
-        n = self.power.nodes.total_nodes
-        idle = self.power.evaluate(np.zeros(n), np.zeros(n))
         wb0 = (
             float(wetbulb.values[0])
             if isinstance(wetbulb, TimeSeries)
             else float(wetbulb)
         )
+        cache = self.warm_cache
+        if cache is not None:
+            snapshot = cache.lookup(
+                self.spec, wb0, warmup_s, self.fmu.substep_s
+            )
+            if snapshot is not None:
+                self.fmu.set_fmu_state(snapshot)
+                self.fmu._time = 0.0
+                self.fmu._plant.time_s = 0.0
+                return
+        n = self.power.nodes.total_nodes
+        idle = self.power.evaluate(np.zeros(n), np.zeros(n))
         steps = int(warmup_s / self.quanta)
         self.fmu.set_cdu_heat(idle.cdu_heat_w)
         self.fmu.set_wetbulb(wb0)
@@ -591,6 +622,14 @@ class RapsEngine:
         # Re-anchor the clock so recorded outputs start at t=0.
         self.fmu._time = 0.0
         self.fmu._plant.time_s = 0.0
+        if cache is not None:
+            cache.store(
+                self.spec,
+                wb0,
+                warmup_s,
+                self.fmu.substep_s,
+                self.fmu.get_fmu_state(),
+            )
 
 
 __all__ = [

@@ -15,6 +15,7 @@ Scenario kinds (all JSON round-trippable via ``Scenario.from_dict``):
 ``synthetic``             Poisson synthetic workload at fixed wet-bulb
 ``replay``                telemetry replay at recorded start times
 ``verification``          one Table III operating point (idle/hpl/peak)
+``benchmark-sequence``    Fig. 8 HPL + OpenMxP sequence at recorded starts
 ``whatif``                counterfactual conversion-chain study (IV-3)
 ``sweep``                 one parameter over a value list
 ``grid-sweep``            cartesian grid over several parameters at once
@@ -71,6 +72,7 @@ from repro.scenarios.base import (
 from repro.scenarios.campaign import Campaign
 from repro.scenarios.library import (
     BaseSweepScenario,
+    BenchmarkSequenceScenario,
     GridSweepScenario,
     LatinHypercubeSweepScenario,
     ReplayScenario,
@@ -92,6 +94,7 @@ __all__ = [
     "SyntheticScenario",
     "ReplayScenario",
     "VerificationScenario",
+    "BenchmarkSequenceScenario",
     "WhatIfScenario",
     "BaseSweepScenario",
     "SweepScenario",

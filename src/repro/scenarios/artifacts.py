@@ -29,6 +29,7 @@ from __future__ import annotations
 import hashlib
 import json
 import math
+import os
 import subprocess
 import time
 from dataclasses import dataclass, field
@@ -36,6 +37,11 @@ from pathlib import Path
 from typing import Any
 
 import numpy as np
+
+try:  # POSIX advisory locks; fall back to sentinel files elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
 
 from repro.config.loader import dumps_system, loads_system
 from repro.config.schema import SystemSpec
@@ -60,6 +66,57 @@ ARTIFACT_FORMAT_VERSION = 1
 
 MANIFEST_NAME = "manifest.json"
 RESULTS_NAME = "results.jsonl"
+LOCK_NAME = ".lock"
+
+
+class StoreLock:
+    """Advisory inter-process lock on one campaign directory.
+
+    Serializes manifest rewrites and the append heal-check across
+    concurrent writer processes (the service worker pool shares one
+    store).  POSIX ``flock`` where available; elsewhere a sentinel
+    file acquired with ``O_EXCL`` and a bounded spin.  Reentrant within
+    one process is NOT supported — hold it briefly.
+    """
+
+    def __init__(self, directory: str | Path, *, timeout_s: float = 30.0) -> None:
+        self.path = Path(directory) / LOCK_NAME
+        self.timeout_s = timeout_s
+        self._fh = None
+        self._sentinel: Path | None = None
+
+    def __enter__(self) -> "StoreLock":
+        if fcntl is not None:
+            self._fh = open(self.path, "a+b")
+            fcntl.flock(self._fh.fileno(), fcntl.LOCK_EX)
+            return self
+        sentinel = self.path.with_suffix(".pid")
+        deadline = time.monotonic() + self.timeout_s
+        while True:  # pragma: no cover - non-POSIX fallback
+            try:
+                fd = os.open(sentinel, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                os.write(fd, str(os.getpid()).encode())
+                os.close(fd)
+                self._sentinel = sentinel
+                return self
+            except FileExistsError:
+                if time.monotonic() > deadline:
+                    raise ScenarioError(
+                        f"timed out acquiring store lock {sentinel}"
+                    ) from None
+                time.sleep(0.02)
+
+    def __exit__(self, *exc) -> None:
+        if self._fh is not None:
+            fcntl.flock(self._fh.fileno(), fcntl.LOCK_UN)
+            self._fh.close()
+            self._fh = None
+        if self._sentinel is not None:  # pragma: no cover - non-POSIX
+            try:
+                self._sentinel.unlink()
+            except OSError:
+                pass
+            self._sentinel = None
 
 
 def spec_sha256(spec: SystemSpec) -> str:
@@ -286,6 +343,97 @@ class CampaignStore:
         return cls(path, manifest)
 
     @classmethod
+    def create_open_ended(
+        cls,
+        path: str | Path,
+        spec: SystemSpec,
+        *,
+        name: str | None = None,
+    ) -> "CampaignStore":
+        """Initialize an *open-ended* store: no frozen cell list.
+
+        Where :meth:`create` freezes a sweep's cells up front, an
+        open-ended store starts empty and grows one cell at a time via
+        :meth:`append_cell` — the persistence mode of the twin service,
+        whose jobs arrive over the network for the life of the server.
+        Everything else (provenance, results JSONL, reload) is shared
+        with frozen campaigns, so ``repro campaign compare`` reads a
+        service store unchanged.
+        """
+        path = Path(path)
+        if (path / MANIFEST_NAME).exists():
+            raise ScenarioError(
+                f"campaign already exists at {path}; open() or resume it"
+            )
+        manifest = {
+            "format_version": ARTIFACT_FORMAT_VERSION,
+            "name": name or path.name,
+            "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "open_ended": True,
+            "provenance": {
+                "spec_sha256": spec_sha256(spec),
+                "git_rev": git_revision(cwd=Path(__file__).parent),
+                "repro_version": _package_version(),
+            },
+            "system": json.loads(dumps_system(spec, indent=None)),
+            "scenarios": [],
+            "cells": [],
+        }
+        path.mkdir(parents=True, exist_ok=True)
+        (path / MANIFEST_NAME).write_text(
+            json.dumps(manifest, indent=2), encoding="utf-8"
+        )
+        (path / RESULTS_NAME).touch()
+        return cls(path, manifest)
+
+    @property
+    def open_ended(self) -> bool:
+        """Whether this store grows cells dynamically (service mode)."""
+        return bool(self.manifest.get("open_ended", False))
+
+    def append_cell(
+        self, scenario: Scenario, *, meta: dict[str, Any] | None = None
+    ) -> int:
+        """Append one cell to an open-ended store; returns its index.
+
+        The manifest is re-read, extended, and atomically replaced
+        under the store lock, so concurrent appender processes never
+        lose cells or hand out duplicate indices.  ``meta`` attaches
+        extra fields to the manifest cell entry (the service stores its
+        content-addressed job key there for result-cache lookups).
+        """
+        if not self.open_ended:
+            raise ScenarioError(
+                "append_cell needs an open-ended store; frozen campaigns "
+                "fix their cells at create()"
+            )
+        manifest_path = self.path / MANIFEST_NAME
+        with StoreLock(self.path):
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+            cells = manifest.setdefault("cells", [])
+            index = len(cells)
+            entry: dict[str, Any] = {
+                "index": index,
+                "name": scenario.name,
+                "scenario": scenario.to_dict(),
+            }
+            if meta:
+                entry.update(meta)
+            cells.append(entry)
+            tmp = manifest_path.with_suffix(".json.tmp")
+            tmp.write_text(json.dumps(manifest, indent=2), encoding="utf-8")
+            os.replace(tmp, manifest_path)
+            self.manifest = manifest
+            self._cells = None
+        return index
+
+    def reload_manifest(self) -> None:
+        """Re-read the manifest (another process may have appended)."""
+        manifest_path = self.path / MANIFEST_NAME
+        self.manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        self._cells = None
+
+    @classmethod
     def open(cls, path: str | Path) -> "CampaignStore":
         """Attach to an existing campaign directory."""
         path = Path(path)
@@ -345,32 +493,54 @@ class CampaignStore:
     def results_path(self) -> Path:
         return self.path / RESULTS_NAME
 
-    def record(self, index: int, outcome: Any) -> None:
+    def record(
+        self, index: int, outcome: Any, *, extra: dict[str, Any] | None = None
+    ) -> None:
         """Append one finished cell to ``results.jsonl`` (durable write).
 
-        If the previous process died mid-append, the file may end in a
-        torn, unterminated line; a newline is inserted first so the torn
-        fragment stays isolated (and ignored on read) instead of
-        corrupting this record.
+        Safe under concurrent writer *processes* (the service worker
+        pool shares one store): the whole record goes down in a single
+        ``write(2)`` on a descriptor opened with ``O_APPEND``, so
+        concurrent appends never interleave mid-line, and the
+        torn-tail heal check runs under the directory's
+        :class:`StoreLock`.  If a previous process died mid-append the
+        file may end in an unterminated line; a newline is prepended in
+        the same atomic write so the torn fragment stays isolated (and
+        ignored on read) instead of corrupting this record.
+
+        ``extra`` merges additional top-level fields into the line
+        document (the service records its job key and timings there).
         """
         n = len(self.cells())
         if not 0 <= index < n:
             raise ScenarioError(
                 f"cell index {index} out of range for {n}-cell campaign"
             )
-        line = json.dumps(
-            _nulled_nans(result_to_cell_doc(index, outcome)), allow_nan=False
-        )
-        heal_newline = False
-        if self.results_path.exists() and self.results_path.stat().st_size:
-            with self.results_path.open("rb") as fh:
-                fh.seek(-1, 2)  # SEEK_END
-                heal_newline = fh.read(1) != b"\n"
-        with self.results_path.open("a", encoding="utf-8") as fh:
-            if heal_newline:
-                fh.write("\n")
-            fh.write(line + "\n")
-            fh.flush()
+        doc = result_to_cell_doc(index, outcome)
+        if extra:
+            for key in extra:
+                if key in doc:
+                    raise ScenarioError(
+                        f"extra field {key!r} collides with a cell field"
+                    )
+            doc.update(extra)
+        line = json.dumps(_nulled_nans(doc), allow_nan=False)
+        with StoreLock(self.path):
+            heal_newline = False
+            if self.results_path.exists() and self.results_path.stat().st_size:
+                with self.results_path.open("rb") as fh:
+                    fh.seek(-1, 2)  # SEEK_END
+                    heal_newline = fh.read(1) != b"\n"
+            payload = ("\n" if heal_newline else "") + line + "\n"
+            fd = os.open(
+                self.results_path,
+                os.O_WRONLY | os.O_APPEND | os.O_CREAT,
+                0o644,
+            )
+            try:
+                os.write(fd, payload.encode("utf-8"))
+            finally:
+                os.close(fd)
 
     def _iter_docs(self):
         """Yield ``(index, doc)`` per valid ``results.jsonl`` record.
@@ -442,6 +612,8 @@ __all__ = [
     "ARTIFACT_FORMAT_VERSION",
     "MANIFEST_NAME",
     "RESULTS_NAME",
+    "LOCK_NAME",
+    "StoreLock",
     "CampaignStore",
     "StoredScenarioResult",
     "result_to_cell_doc",

@@ -209,6 +209,7 @@ class Scenario:
             with_cooling=self.with_cooling,
             honor_recorded_starts=plan.honor_recorded,
             policy=self.policy,
+            warm_cache=getattr(twin, "warm_cache", None),
         )
 
     def _finish(

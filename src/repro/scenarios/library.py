@@ -41,6 +41,7 @@ from repro.scenarios.base import RunPlan, Scenario, register_scenario
 from repro.scenarios.result import ScenarioResult
 from repro.scenarios.twin import DigitalTwin, as_twin
 from repro.scheduler.workloads import (
+    benchmark_sequence,
     hpl_verification_workload,
     idle_workload,
     peak_workload,
@@ -147,6 +148,50 @@ class VerificationScenario(Scenario):
             jobs=jobs,
             duration_s=self.duration_s,
             wetbulb=15.0,
+            honor_recorded=True,
+        )
+
+
+@register_scenario
+@dataclass(frozen=True)
+class BenchmarkSequenceScenario(Scenario):
+    """The paper's Fig. 8 benchmark sequence: HPL then OpenMxP.
+
+    HPL is submitted at t=1800 s (5400 s wall) and OpenMxP at
+    t=9000 s (3600 s wall) on ``node_count`` nodes, with idle gaps
+    between — the synthetic benchmark verification workload whose
+    power surges and thermal lag the paper validates against measured
+    Frontier runs.  The default 13500 s duration covers the whole
+    sequence; shorter durations truncate it (useful for smoke tests).
+    Jobs dispatch at their recorded start times, so the timeline is
+    exact regardless of scheduler policy.
+    """
+
+    kind: ClassVar[str] = "benchmark-sequence"
+
+    duration_s: float = 13500.0
+    node_count: int = 9216
+    wetbulb_c: float = 15.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not (
+            isinstance(self.node_count, numbers.Integral)
+            and not isinstance(self.node_count, bool)
+        ):
+            raise ScenarioError(
+                f"node_count must be an integer, got {self.node_count!r}"
+            )
+        object.__setattr__(self, "node_count", int(self.node_count))
+        if self.node_count < 1:
+            raise ScenarioError("node_count must be >= 1")
+
+    def plan(self, twin: DigitalTwin, **kwargs: Any) -> RunPlan:
+        jobs = benchmark_sequence(twin.spec, node_count=self.node_count)
+        return RunPlan(
+            jobs=jobs,
+            duration_s=self.duration_s,
+            wetbulb=self.wetbulb_c,
             honor_recorded=True,
         )
 
@@ -541,6 +586,7 @@ __all__ = [
     "SyntheticScenario",
     "ReplayScenario",
     "VerificationScenario",
+    "BenchmarkSequenceScenario",
     "WhatIfScenario",
     "BaseSweepScenario",
     "SweepScenario",

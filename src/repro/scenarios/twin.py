@@ -59,6 +59,12 @@ class DigitalTwin:
         saved bundle JSON (loaded lazily, spec-checked).  Without it,
         surrogate-fidelity runs train a default bundle on first use
         (memoized per process).
+    warm_cache:
+        Optional warm-plant state cache (a
+        :class:`~repro.service.warmcache.WarmStateCache`), shared by
+        every full-fidelity coupled run against this twin: the first
+        run pays the 1800 s cooling warmup and snapshots the warmed
+        plant; later runs restore it, bit-identically.
     """
 
     def __init__(
@@ -67,6 +73,7 @@ class DigitalTwin:
         *,
         fidelity: str = "full",
         surrogates=None,
+        warm_cache=None,
     ) -> None:
         if fidelity not in FIDELITIES:
             raise ScenarioError(
@@ -74,6 +81,7 @@ class DigitalTwin:
             )
         self.spec = resolve_spec(system)
         self.fidelity = fidelity
+        self.warm_cache = warm_cache
         self._datasets: dict[str, TelemetryDataset] = {}
         self._bundle = None
         self._bundle_explicit = surrogates is not None

@@ -1,0 +1,57 @@
+"""Twin-as-a-service: a long-running job server over the digital twin.
+
+The serving layer of the reproduction (the paper's framework runs as a
+web service behind its dashboard): an asyncio
+:class:`~repro.service.server.TwinServer` accepts declarative
+scenario-JSON job submissions over HTTP, executes them on a
+work-stealing process worker pool, and streams per-quantum
+:class:`~repro.core.engine.StepState` records to any number of
+concurrent watchers over NDJSON chunked HTTP or RFC 6455 websocket —
+bit-identical to a direct ``scenario.iter_steps(twin)`` run.
+
+Fast paths stack: each worker keeps a
+:class:`~repro.service.warmcache.WarmStateCache` so repeat coupled jobs
+skip the 1800 s cooling-plant warmup; results are content-addressed
+(:func:`~repro.service.protocol.job_key`) and replayed from the
+persisted :class:`~repro.service.store.ServiceStore` (an open-ended
+:class:`~repro.scenarios.artifacts.CampaignStore`) without simulating;
+and ``fidelity="surrogate"`` jobs answer in milliseconds on the
+:mod:`repro.fastpath` backend.
+
+Quickstart (in-process; ``repro serve`` runs the same thing as a CLI)::
+
+    from repro.scenarios import SyntheticScenario
+    from repro.service import TwinClient, TwinServer
+
+    with TwinServer("frontier", workers=2) as server:
+        client = TwinClient(server.url)
+        job = client.submit(
+            SyntheticScenario(duration_s=1800.0, with_cooling=False)
+        )
+        steps = client.steps(job["id"])      # streamed, bit-identical
+"""
+
+from repro.service.client import TwinClient
+from repro.service.protocol import (
+    JobRecord,
+    JobState,
+    estimate_cost,
+    job_key,
+)
+from repro.service.server import TwinServer
+from repro.service.store import ServiceStore
+from repro.service.warmcache import WarmStateCache
+from repro.service.workers import WorkerPool, WorkStealingQueue
+
+__all__ = [
+    "TwinServer",
+    "TwinClient",
+    "ServiceStore",
+    "WarmStateCache",
+    "WorkerPool",
+    "WorkStealingQueue",
+    "JobRecord",
+    "JobState",
+    "job_key",
+    "estimate_cost",
+]

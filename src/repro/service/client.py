@@ -1,0 +1,302 @@
+"""`TwinClient`: a thin synchronous client for the twin service.
+
+Stdlib only: plain :mod:`http.client` for the request/response verbs,
+a chunk-aware line reader for the NDJSON stream, and a raw socket with
+the shared :mod:`repro.service.ws` codec for the websocket transport.
+Both transports yield the identical decoded documents, so callers pick
+framing, not semantics::
+
+    client = TwinClient("http://127.0.0.1:8787")
+    job = client.submit(SyntheticScenario(duration_s=1800.0))
+    for doc in client.watch(job["id"]):        # or watch_ws(...)
+        ...  # step records, then one terminal event
+
+    steps = client.steps(job["id"])            # just the step records
+"""
+
+from __future__ import annotations
+
+import base64
+import http.client
+import json
+import os
+import socket
+from typing import Any, Iterator
+from urllib.parse import urlsplit
+
+from repro.exceptions import ExaDigiTError
+from repro.scenarios.base import Scenario
+from repro.service import ws as wsproto
+from repro.service.protocol import is_step_record
+from repro.viz.export import decode_step_line
+
+
+class TwinClient:
+    """Talk to one :class:`~repro.service.server.TwinServer`."""
+
+    def __init__(self, url: str, *, timeout_s: float = 300.0) -> None:
+        parts = urlsplit(url if "//" in url else f"http://{url}")
+        if parts.scheme not in ("http", ""):
+            raise ExaDigiTError(f"unsupported scheme {parts.scheme!r}")
+        if parts.hostname is None or parts.port is None:
+            raise ExaDigiTError(f"service URL needs host:port, got {url!r}")
+        self.host = parts.hostname
+        self.port = parts.port
+        self.timeout_s = timeout_s
+
+    # -- plain verbs -----------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: dict | None = None
+    ) -> dict[str, Any]:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        try:
+            payload = None if body is None else json.dumps(body)
+            headers = (
+                {"Content-Type": "application/json"} if body is not None else {}
+            )
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                response = conn.getresponse()
+            except OSError as exc:
+                raise ExaDigiTError(
+                    f"cannot reach twin service at "
+                    f"{self.host}:{self.port}: {exc}"
+                ) from exc
+            doc = json.loads(response.read().decode("utf-8") or "{}")
+            if response.status >= 400:
+                raise ExaDigiTError(
+                    f"{method} {path} -> {response.status}: "
+                    f"{doc.get('error', doc)}"
+                )
+            return doc
+        finally:
+            conn.close()
+
+    def health(self) -> dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def submit(
+        self,
+        scenario: Scenario | dict[str, Any],
+        *,
+        use_cache: bool = True,
+    ) -> dict[str, Any]:
+        """Submit one scenario; returns the (first) job summary.
+
+        Sweep scenarios expand server-side into one job per cell; use
+        :meth:`submit_all` when you need every summary.
+        """
+        return self.submit_all(scenario, use_cache=use_cache)[0]
+
+    def submit_all(
+        self,
+        scenario: Scenario | dict[str, Any],
+        *,
+        use_cache: bool = True,
+    ) -> list[dict[str, Any]]:
+        doc = (
+            scenario.to_dict()
+            if isinstance(scenario, Scenario)
+            else scenario
+        )
+        out = self._request(
+            "POST", "/jobs", {"scenario": doc, "use_cache": use_cache}
+        )
+        return out["jobs"]
+
+    def jobs(self) -> list[dict[str, Any]]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def job(self, job_id: str) -> dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")["job"]
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        return self._request("POST", f"/jobs/{job_id}/cancel")["job"]
+
+    def result(self, job_id: str) -> dict[str, Any]:
+        """The persisted cell document of a done job (metrics, series)."""
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    # -- streaming: NDJSON over chunked HTTP -----------------------------------
+
+    def watch(self, job_id: str) -> Iterator[dict[str, Any]]:
+        """Stream a job's documents over NDJSON until the terminal event.
+
+        Yields every line the server sends: step records interleaved
+        with control events (``restart`` on a worker-crash requeue,
+        then exactly one of ``done`` / ``failed`` / ``cancelled``).
+        """
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        try:
+            try:
+                conn.request("GET", f"/jobs/{job_id}/stream")
+                response = conn.getresponse()
+            except OSError as exc:
+                raise ExaDigiTError(
+                    f"cannot reach twin service at "
+                    f"{self.host}:{self.port}: {exc}"
+                ) from exc
+            if response.status != 200:
+                doc = json.loads(response.read().decode("utf-8") or "{}")
+                raise ExaDigiTError(
+                    f"stream {job_id} -> {response.status}: "
+                    f"{doc.get('error', doc)}"
+                )
+            buffer = b""
+            while True:
+                chunk = response.read1(65536)
+                if not chunk:
+                    return
+                buffer += chunk
+                while b"\n" in buffer:
+                    raw, _, buffer = buffer.partition(b"\n")
+                    doc = decode_step_line(raw.decode("utf-8"))
+                    if doc is None:
+                        continue
+                    yield doc
+                    if doc.get("event") in ("done", "failed", "cancelled"):
+                        return
+        finally:
+            conn.close()
+
+    # -- streaming: websocket --------------------------------------------------
+
+    def watch_ws(self, job_id: str) -> Iterator[dict[str, Any]]:
+        """The same stream as :meth:`watch`, over RFC 6455 frames."""
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout_s
+            )
+        except OSError as exc:
+            raise ExaDigiTError(
+                f"cannot reach twin service at "
+                f"{self.host}:{self.port}: {exc}"
+            ) from exc
+        try:
+            key = base64.b64encode(os.urandom(16)).decode("ascii")
+            sock.sendall(
+                (
+                    f"GET /jobs/{job_id}/ws HTTP/1.1\r\n"
+                    f"Host: {self.host}:{self.port}\r\n"
+                    "Upgrade: websocket\r\n"
+                    "Connection: Upgrade\r\n"
+                    f"Sec-WebSocket-Key: {key}\r\n"
+                    "Sec-WebSocket-Version: 13\r\n\r\n"
+                ).encode("ascii")
+            )
+            # Read the handshake response up to the blank line.
+            head = b""
+            while b"\r\n\r\n" not in head:
+                data = sock.recv(4096)
+                if not data:
+                    raise ExaDigiTError("connection closed during handshake")
+                head += data
+            header_blob, _, leftover = head.partition(b"\r\n\r\n")
+            status_line = header_blob.split(b"\r\n", 1)[0].decode("latin-1")
+            if " 101 " not in f"{status_line} ":
+                raise ExaDigiTError(
+                    f"websocket handshake refused: {status_line}"
+                )
+            expected = wsproto.accept_key(key)
+            if expected.encode("ascii") not in header_blob:
+                raise ExaDigiTError("bad Sec-WebSocket-Accept from server")
+            frames = wsproto.FrameReader()
+            pending = frames.feed(leftover) if leftover else []
+            while True:
+                for frame in pending:
+                    if frame.opcode == wsproto.OP_CLOSE:
+                        with _suppress_socket_errors():
+                            sock.sendall(
+                                wsproto.encode_frame(
+                                    b"",
+                                    opcode=wsproto.OP_CLOSE,
+                                    masked=True,
+                                )
+                            )
+                        return
+                    if frame.opcode == wsproto.OP_PING:
+                        sock.sendall(
+                            wsproto.encode_frame(
+                                frame.payload,
+                                opcode=wsproto.OP_PONG,
+                                masked=True,
+                            )
+                        )
+                        continue
+                    if frame.opcode != wsproto.OP_TEXT:
+                        continue
+                    doc = decode_step_line(frame.text)
+                    if doc is None:
+                        continue
+                    yield doc
+                    if doc.get("event") in ("done", "failed", "cancelled"):
+                        with _suppress_socket_errors():
+                            sock.sendall(
+                                wsproto.encode_frame(
+                                    b"",
+                                    opcode=wsproto.OP_CLOSE,
+                                    masked=True,
+                                )
+                            )
+                        return
+                data = sock.recv(65536)
+                if not data:
+                    return
+                pending = frames.feed(data)
+        finally:
+            sock.close()
+
+    # -- conveniences ----------------------------------------------------------
+
+    def steps(
+        self, job_id: str, *, transport: str = "ndjson"
+    ) -> list[dict[str, Any]]:
+        """Drain a watch stream into just its step records.
+
+        Handles ``restart`` events (worker crash) by resetting the
+        collected list, so the return value is always the step stream
+        of the attempt that finished.  Raises on a ``failed`` or
+        ``cancelled`` terminal event.
+        """
+        stream = (
+            self.watch_ws(job_id)
+            if transport == "ws"
+            else self.watch(job_id)
+        )
+        steps: list[dict[str, Any]] = []
+        for doc in stream:
+            if is_step_record(doc):
+                steps.append(doc)
+            elif doc.get("event") == "restart":
+                steps = []
+            elif doc.get("event") == "done":
+                return steps
+            elif doc.get("event") in ("failed", "cancelled"):
+                raise ExaDigiTError(
+                    f"job {job_id} ended {doc['event']}: "
+                    f"{doc.get('error') or ''}"
+                )
+        raise ExaDigiTError(f"stream for {job_id} ended without a terminal event")
+
+    def wait(self, job_id: str) -> dict[str, Any]:
+        """Block until the job reaches a terminal state; returns its summary."""
+        for doc in self.watch(job_id):
+            if doc.get("event") in ("done", "failed", "cancelled"):
+                return doc["job"]
+        raise ExaDigiTError(f"stream for {job_id} ended without a terminal event")
+
+
+class _suppress_socket_errors:
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return exc_type is not None and issubclass(exc_type, OSError)
+
+
+__all__ = ["TwinClient"]

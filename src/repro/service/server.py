@@ -1,0 +1,862 @@
+"""`TwinServer`: the asyncio front door of the twin-as-a-service layer.
+
+One process, one event loop, stdlib only.  Clients submit scenario-JSON
+jobs over HTTP; jobs run on the work-stealing process pool
+(:mod:`repro.service.workers`) and their per-quantum
+:class:`~repro.core.engine.StepState` records stream back over two
+transports — NDJSON chunked HTTP and RFC 6455 websocket — carrying the
+exact documents :func:`repro.viz.export.step_record` produces, so a
+streamed run is bit-identical to a direct ``iter_steps()`` of the same
+scenario.
+
+HTTP surface (all JSON)::
+
+    GET  /healthz             server, pool, queue, and cache counters
+    POST /jobs                submit {"scenario": {...}} or a bare
+                              scenario document; sweeps expand into one
+                              job per cell; returns {"jobs": [...]}
+    GET  /jobs                all job summaries, submission order
+    GET  /jobs/<id>           one job summary
+    GET  /jobs/<id>/result    summary + persisted cell metrics (done jobs)
+    POST /jobs/<id>/cancel    cancel a queued or running job
+    GET  /jobs/<id>/stream    NDJSON: buffered + live step records, then
+                              a terminal event line
+    GET  /jobs/<id>/ws        the same stream as websocket text frames
+
+Guarantees:
+
+- **Disconnect-safe**: a watcher is a subscription, never an owner —
+  closing a stream mid-run affects nothing; a later watcher replays
+  the full buffered stream from step 0.
+- **Crash-safe**: a worker death requeues its in-flight job at the
+  queue head (``restart`` event to watchers, attempt-capped) and the
+  worker is respawned.
+- **Cached**: results are content-addressed by
+  :func:`~repro.service.protocol.job_key`; a repeat submission replays
+  the stored stream without simulating (in-memory, plus the persisted
+  :class:`~repro.service.store.ServiceStore` when a store directory is
+  configured).  Warm-plant state is cached *inside* each worker
+  (:class:`~repro.service.warmcache.WarmStateCache`), so even novel
+  jobs skip the 1800 s cooling warmup after a worker's first coupled
+  run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Any, Awaitable, Callable
+
+from repro.config.schema import SystemSpec
+from repro.exceptions import ExaDigiTError, ScenarioError
+from repro.scenarios.artifacts import _nulled_nans, spec_sha256
+from repro.scenarios.base import Scenario
+from repro.scenarios.library import BaseSweepScenario
+from repro.scenarios.twin import FIDELITIES, resolve_spec
+from repro.service import ws as wsproto
+from repro.service.protocol import (
+    JobRecord,
+    JobState,
+    estimate_cost,
+    job_key,
+    restart_event,
+)
+from repro.service.store import ServiceStore
+from repro.service.workers import WorkerPool, WorkStealingQueue
+from repro.viz.export import encode_step_line
+
+SendLine = Callable[[dict], Awaitable[None]]
+
+
+class TwinServer:
+    """Serve one digital twin to many concurrent clients.
+
+    Parameters
+    ----------
+    system:
+        Spec instance, JSON path, or builtin name — the one system this
+        server simulates (frozen into the store's provenance).
+    workers:
+        Worker process count (the work-stealing pool width).
+    store:
+        Optional directory for the persisted
+        :class:`~repro.service.store.ServiceStore` (results + step
+        streams + result cache across restarts).  Without it, caching
+        is in-memory only.
+    fidelity:
+        Default backend for scenarios that don't pin one (``"full"`` or
+        ``"surrogate"``).
+    surrogates:
+        Optional trained bundle (object or saved path) shipped to every
+        worker for surrogate-fidelity jobs.
+    max_attempts:
+        Dispatch attempts per job before a worker crash marks it failed.
+    use_cache:
+        Whether repeat submissions may be served from the result cache
+        (per-request override: ``{"use_cache": false}`` in the POST).
+    max_retained_jobs:
+        Memory bound for a long-running server: once more than this
+        many jobs are terminal, the oldest terminal jobs (and their
+        buffered step streams) are evicted from the registry — their
+        results live on in the store/result cache.  Watchers already
+        attached to an evicted job hold the record directly and finish
+        their stream normally; new lookups of its id get a 404.
+    """
+
+    def __init__(
+        self,
+        system: str | Path | SystemSpec = "frontier",
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        store: str | Path | None = None,
+        fidelity: str = "full",
+        surrogates=None,
+        max_attempts: int = 2,
+        use_cache: bool = True,
+        warm_entries: int = 8,
+        start_method: str = "spawn",
+        max_retained_jobs: int = 4096,
+        result_cache_entries: int = 128,
+    ) -> None:
+        if fidelity not in FIDELITIES:
+            raise ExaDigiTError(
+                f"unknown fidelity {fidelity!r}; expected one of {FIDELITIES}"
+            )
+        if max_attempts < 1:
+            raise ExaDigiTError("max_attempts must be >= 1")
+        self.spec = resolve_spec(system)
+        self.spec_sha = spec_sha256(self.spec)
+        self.host = host
+        self.port = port
+        self.n_workers = workers
+        self.fidelity = fidelity
+        self.max_attempts = max_attempts
+        self.use_cache_default = use_cache
+        self.store = (
+            ServiceStore(store, self.spec) if store is not None else None
+        )
+        self._surrogate_doc = self._resolve_surrogates(surrogates)
+        self.jobs: dict[str, JobRecord] = {}
+        self._job_order: list[str] = []
+        self._job_seq = 0
+        self.queue = WorkStealingQueue(workers)
+        self.pool = WorkerPool(
+            self.spec,
+            workers,
+            on_event=self._on_worker_event_threadsafe,
+            fidelity=fidelity,
+            surrogate_doc=self._surrogate_doc,
+            warm_entries=warm_entries,
+            start_method=start_method,
+        )
+        self.max_retained_jobs = max_retained_jobs
+        self.result_cache_entries = result_cache_entries
+        #: Terminal job ids in completion order (memory-bound eviction).
+        self._terminal_order: list[str] = []
+        self.counters = {
+            "executed": 0,
+            "cache_hits": 0,
+            "warm_hits": 0,
+            "requeues": 0,
+            "persist_errors": 0,
+        }
+        #: Consecutive exits per worker without finishing a job; a
+        #: worker past the cap stays down (a crash-looping environment
+        #: must not fork-bomb the host).
+        self._worker_respawns = [0] * workers
+        self.max_worker_respawns = 3
+        # key -> (cell line doc, step records); in-memory result cache,
+        # LRU-bounded (the persisted store is the durable tier).
+        from collections import OrderedDict
+
+        self._result_cache: "OrderedDict[str, tuple[dict, list[dict]]]" = (
+            OrderedDict()
+        )
+        self._cancel_requested: set[str] = set()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._thread: threading.Thread | None = None
+        self._thread_error: BaseException | None = None
+
+    def _resolve_surrogates(self, surrogates) -> dict | None:
+        if surrogates is None:
+            return None
+        from repro.fastpath.bundle import SurrogateBundle
+
+        if isinstance(surrogates, SurrogateBundle):
+            surrogates.check_spec(self.spec)
+            return surrogates.to_doc()
+        bundle = SurrogateBundle.load(surrogates, spec=self.spec)
+        return bundle.to_doc()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    async def start(self) -> "TwinServer":
+        """Bind the listening socket and spawn the worker pool."""
+        self._loop = asyncio.get_running_loop()
+        self.pool.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def stop(self) -> None:
+        """Close the listener and stop the workers."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self.pool.stop)
+
+    async def run_forever(self, *, on_start=None) -> None:
+        """`repro serve` entry: start and serve until cancelled.
+
+        ``on_start(server)`` fires once the port is bound (banners).
+        """
+        await self.start()
+        if on_start is not None:
+            on_start(self)
+        self._stop_event = asyncio.Event()
+        try:
+            await self._stop_event.wait()
+        finally:
+            await self.stop()
+
+    def request_stop(self) -> None:
+        """Ask a running :meth:`run_forever` / thread server to exit."""
+        loop, stop_event = self._loop, self._stop_event
+        if loop is not None and stop_event is not None:
+            loop.call_soon_threadsafe(stop_event.set)
+
+    def start_in_thread(self, timeout_s: float = 120.0) -> "TwinServer":
+        """Run the server on a background thread (tests, notebooks,
+        docs): returns once the port is bound; pair with :meth:`close`.
+        """
+        started = threading.Event()
+
+        async def _main() -> None:
+            try:
+                await self.start()
+                self._stop_event = asyncio.Event()
+            except BaseException as exc:  # surface bind errors
+                self._thread_error = exc
+                started.set()
+                raise
+            started.set()
+            try:
+                await self._stop_event.wait()
+            finally:
+                await self.stop()
+
+        def _runner() -> None:
+            try:
+                asyncio.run(_main())
+            except BaseException as exc:  # pragma: no cover - debug aid
+                if self._thread_error is None:
+                    self._thread_error = exc
+
+        self._thread = threading.Thread(
+            target=_runner, daemon=True, name="twin-server"
+        )
+        self._thread.start()
+        if not started.wait(timeout_s):
+            raise ExaDigiTError("server did not start in time")
+        if self._thread_error is not None:
+            raise ExaDigiTError(
+                f"server failed to start: {self._thread_error}"
+            )
+        return self
+
+    def close(self, timeout_s: float = 30.0) -> None:
+        """Stop a :meth:`start_in_thread` server and join its thread."""
+        self.request_stop()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout_s)
+            self._thread = None
+
+    def __enter__(self) -> "TwinServer":
+        return self.start_in_thread()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- worker events ---------------------------------------------------------
+
+    def _on_worker_event_threadsafe(self, index: int, msg: dict) -> None:
+        loop = self._loop
+        if loop is None or loop.is_closed():
+            return
+        with contextlib.suppress(RuntimeError):
+            loop.call_soon_threadsafe(self._on_worker_event, index, msg)
+
+    def _on_worker_event(self, index: int, msg: dict) -> None:
+        event = msg.get("event")
+        handle = self.pool.workers[index]
+        if event == "hello":
+            handle.ready = True
+            self._pump()
+            return
+        if event == "exit":
+            self._on_worker_exit(index)
+            return
+        job = self.jobs.get(msg.get("job_id", ""))
+        if job is None or job.worker != index:
+            return  # stale message from a replaced worker
+        if event == "step":
+            if job.state is JobState.RUNNING:
+                job.steps.append(msg["record"])
+                self._ring(job)
+        elif event == "done":
+            self._worker_respawns[index] = 0
+            job.cell = msg.get("cell")
+            job.elapsed_s = msg.get("elapsed_s")
+            self.counters["executed"] += 1
+            if msg.get("warm_hit"):
+                self.counters["warm_hits"] += 1
+            self._finish(job, JobState.DONE)
+            # Free the worker before persisting: a store failure must
+            # cost a counter, never a pool slot.
+            self._worker_idle(index)
+            self._persist(job)
+        elif event == "cancelled":
+            self._worker_respawns[index] = 0
+            self._finish(job, JobState.CANCELLED)
+            self._worker_idle(index)
+        elif event == "error":
+            self._worker_respawns[index] = 0
+            job.error = msg.get("message", "worker error")
+            self._finish(job, JobState.FAILED)
+            self._worker_idle(index)
+
+    def _on_worker_exit(self, index: int) -> None:
+        if self.pool.stopping:
+            return
+        handle = self.pool.workers[index]
+        job_id, handle.job_id = handle.job_id, None
+        handle.ready = False
+        job = self.jobs.get(job_id) if job_id else None
+        if job is not None and job.state is JobState.RUNNING:
+            if job.id in self._cancel_requested:
+                # The worker died before polling an acknowledged
+                # cancel; honor it instead of re-running the job.
+                self._finish(job, JobState.CANCELLED)
+            elif job.attempts >= job.max_attempts:
+                job.error = (
+                    f"worker died after {job.attempts} attempt(s); "
+                    "attempt cap reached"
+                )
+                self._finish(job, JobState.FAILED)
+            else:
+                self.counters["requeues"] += 1
+                job.state = JobState.QUEUED
+                job.worker = None
+                job.steps.clear()
+                self.queue.requeue(job.id, job.cost)
+                self._ring(job)
+        self._worker_respawns[index] += 1
+        if self._worker_respawns[index] <= self.max_worker_respawns:
+            self.pool.respawn(index)
+            # The fresh worker greets with "hello" and then pulls work.
+        elif self.pool.alive_count() == 0:
+            # Every worker is crash-looping (e.g. a broken deployment):
+            # fail what's queued instead of queueing forever.
+            for other in self.jobs.values():
+                if not other.state.terminal:
+                    other.error = "no live workers (respawn cap reached)"
+                    self._finish(other, JobState.FAILED)
+
+    def _worker_idle(self, index: int) -> None:
+        self.pool.workers[index].job_id = None
+        self._pump()
+
+    def _pump(self) -> None:
+        """Dispatch queued jobs onto idle workers (work-stealing take)."""
+        for handle in self.pool.workers:
+            while handle.idle:
+                job_id = self.queue.take(handle.index)
+                if job_id is None:
+                    break
+                job = self.jobs[job_id]
+                if job.state is not JobState.QUEUED:
+                    continue  # cancelled while queued
+                if job.id in self._cancel_requested:
+                    # Cancelled while crash-requeued: don't redispatch.
+                    self._finish(job, JobState.CANCELLED)
+                    continue
+                job.state = JobState.RUNNING
+                job.worker = handle.index
+                job.attempts += 1
+                job.started_at = time.time()
+                self._ring(job)
+                self.pool.dispatch(handle.index, job_id, job.scenario_doc)
+                break
+
+    def _finish(self, job: JobRecord, state: JobState) -> None:
+        job.state = state
+        job.finished_at = time.time()
+        self._cancel_requested.discard(job.id)
+        self._terminal_order.append(job.id)
+        self._trim_retained_jobs()
+        self._ring(job)
+
+    def _trim_retained_jobs(self) -> None:
+        """Evict the oldest terminal jobs past the retention bound.
+
+        Watchers mid-stream hold the :class:`JobRecord` object itself,
+        so eviction only removes registry entries (new lookups 404);
+        the step buffers go with them, keeping a long-running server's
+        memory bounded.  Results remain served via the result cache /
+        store under their content key.
+        """
+        while len(self._terminal_order) > self.max_retained_jobs:
+            job_id = self._terminal_order.pop(0)
+            evicted = self.jobs.pop(job_id, None)
+            if evicted is not None:
+                try:
+                    self._job_order.remove(job_id)
+                except ValueError:  # pragma: no cover - defensive
+                    pass
+
+    def _ring(self, job: JobRecord) -> None:
+        bell, job.bell = job.bell, asyncio.Event()
+        bell.set()
+
+    def _persist(self, job: JobRecord) -> None:
+        if job.cell is None:
+            return
+        self._remember_result(
+            job.key, ({**job.cell, "key": job.key}, list(job.steps))
+        )
+        if self.store is not None:
+            try:
+                scenario = Scenario.from_dict(job.scenario_doc)
+                self.store.record(
+                    job.key,
+                    scenario,
+                    job.cell,
+                    job.steps,
+                    elapsed_s=job.elapsed_s,
+                )
+            except Exception:  # noqa: BLE001 - a store failure (disk
+                # full, permissions, bad doc) must never take down the
+                # serving loop; the result stays in the memory cache.
+                self.counters["persist_errors"] += 1
+
+    def _remember_result(
+        self, key: str, hit: tuple[dict, list[dict]]
+    ) -> None:
+        self._result_cache[key] = hit
+        self._result_cache.move_to_end(key)
+        while len(self._result_cache) > self.result_cache_entries:
+            self._result_cache.popitem(last=False)
+
+    # -- job creation ----------------------------------------------------------
+
+    def _new_job_id(self) -> str:
+        self._job_seq += 1
+        return f"j{self._job_seq:06d}"
+
+    def _cache_lookup(
+        self, key: str
+    ) -> tuple[dict, list[dict]] | None:
+        hit = self._result_cache.get(key)
+        if hit is not None:
+            self._result_cache.move_to_end(key)
+            return hit
+        if self.store is not None:
+            hit = self.store.lookup(key)
+            if hit is not None:
+                self._remember_result(key, hit)
+        return hit
+
+    def submit(
+        self, scenario_doc: dict, *, use_cache: bool | None = None
+    ) -> list[JobRecord]:
+        """Create jobs for one submitted document (sweeps expand).
+
+        Called on the event loop.  Returns the created job records in
+        cell order; cached jobs are born ``done`` with their persisted
+        stream preloaded.
+        """
+        scenario = Scenario.from_dict(scenario_doc)
+        cells = (
+            scenario.expand()
+            if isinstance(scenario, BaseSweepScenario)
+            else [scenario]
+        )
+        if use_cache is None:
+            use_cache = self.use_cache_default
+        records: list[JobRecord] = []
+        for cell in cells:
+            key = job_key(cell, self.spec_sha)
+            job = JobRecord(
+                id=self._new_job_id(),
+                scenario_doc=cell.to_dict(),
+                key=key,
+                cost=estimate_cost(cell),
+                max_attempts=self.max_attempts,
+                bell=asyncio.Event(),
+            )
+            self.jobs[job.id] = job
+            self._job_order.append(job.id)
+            hit = self._cache_lookup(key) if use_cache else None
+            if hit is not None:
+                cell_doc, steps = hit
+                job.cached = True
+                job.cell = {
+                    k: v
+                    for k, v in cell_doc.items()
+                    if k not in ("index", "key")
+                }
+                job.steps = list(steps)
+                job.elapsed_s = 0.0
+                self.counters["cache_hits"] += 1
+                self._finish(job, JobState.DONE)
+            else:
+                self.queue.submit(job.id, job.cost)
+            records.append(job)
+        self._pump()
+        return records
+
+    def cancel(self, job_id: str) -> JobRecord:
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise KeyError(job_id)
+        if job.state is JobState.QUEUED:
+            self.queue.remove(job.id)
+            self._finish(job, JobState.CANCELLED)
+        elif job.state is JobState.RUNNING:
+            self._cancel_requested.add(job.id)
+            if job.worker is not None:
+                self.pool.cancel(job.worker, job.id)
+        return job
+
+    # -- HTTP ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await reader.readline()
+            if not request:
+                return
+            try:
+                method, target, _ = request.decode("latin-1").split(" ", 2)
+            except ValueError:
+                await _respond(writer, 400, {"error": "bad request line"})
+                return
+            headers: dict[str, str] = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            body = b""
+            length = int(headers.get("content-length", "0") or 0)
+            if length:
+                body = await reader.readexactly(length)
+            await self._route(method, target, headers, body, reader, writer)
+        except (
+            ConnectionError,
+            asyncio.IncompleteReadError,
+            TimeoutError,
+        ):
+            pass  # client went away; jobs are unaffected
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+
+    async def _route(
+        self,
+        method: str,
+        target: str,
+        headers: dict[str, str],
+        body: bytes,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        path = target.split("?", 1)[0].rstrip("/") or "/"
+        if method == "GET" and path == "/healthz":
+            await _respond(writer, 200, self._health_doc())
+            return
+        if method == "POST" and path == "/jobs":
+            await self._post_jobs(body, writer)
+            return
+        if method == "GET" and path == "/jobs":
+            await _respond(
+                writer,
+                200,
+                {
+                    "jobs": [
+                        self.jobs[jid].summary() for jid in self._job_order
+                    ]
+                },
+            )
+            return
+        parts = path.strip("/").split("/")
+        if parts and parts[0] == "jobs" and len(parts) >= 2:
+            job = self.jobs.get(parts[1])
+            if job is None:
+                await _respond(writer, 404, {"error": f"no job {parts[1]}"})
+                return
+            tail = parts[2] if len(parts) > 2 else ""
+            if method == "GET" and not tail:
+                await _respond(writer, 200, {"job": job.summary()})
+                return
+            if method == "GET" and tail == "result":
+                if job.state is not JobState.DONE:
+                    await _respond(
+                        writer,
+                        409,
+                        {"error": f"job is {job.state.value}, not done"},
+                    )
+                    return
+                await _respond(
+                    writer,
+                    200,
+                    {
+                        "job": job.summary(),
+                        "cell": _nulled_nans(job.cell),
+                    },
+                )
+                return
+            if method == "POST" and tail == "cancel":
+                self.cancel(job.id)
+                await _respond(writer, 202, {"job": job.summary()})
+                return
+            if method == "GET" and tail == "stream":
+                await self._stream_ndjson(job, writer)
+                return
+            if method == "GET" and tail == "ws":
+                await self._stream_websocket(job, headers, reader, writer)
+                return
+        await _respond(
+            writer, 404, {"error": f"no route {method} {path}"}
+        )
+
+    def _health_doc(self) -> dict[str, Any]:
+        doc = {
+            "status": "ok",
+            "system": self.spec.name,
+            "spec_sha256": self.spec_sha,
+            "fidelity": self.fidelity,
+            "workers": {
+                "configured": self.n_workers,
+                "alive": self.pool.alive_count(),
+            },
+            "queue": {
+                "depth": len(self.queue),
+                "backlogs": self.queue.backlogs(),
+                "steals": self.queue.steals,
+            },
+            "jobs": {
+                state.value: sum(
+                    1 for j in self.jobs.values() if j.state is state
+                )
+                for state in JobState
+            },
+            "counters": dict(self.counters),
+        }
+        if self.store is not None:
+            doc["store"] = {
+                "path": str(self.store.path),
+                "results": len(self.store),
+            }
+        return doc
+
+    async def _post_jobs(
+        self, body: bytes, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            doc = json.loads(body.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            await _respond(writer, 400, {"error": f"bad JSON body: {exc}"})
+            return
+        if not isinstance(doc, dict):
+            await _respond(writer, 400, {"error": "body must be an object"})
+            return
+        scenario_doc = doc.get("scenario", doc)
+        use_cache = doc.get("use_cache") if "scenario" in doc else None
+        try:
+            records = self.submit(scenario_doc, use_cache=use_cache)
+        except ScenarioError as exc:
+            await _respond(writer, 400, {"error": str(exc)})
+            return
+        await _respond(
+            writer,
+            201,
+            {
+                "job": records[0].summary(),
+                "jobs": [r.summary() for r in records],
+            },
+        )
+
+    # -- streaming transports --------------------------------------------------
+
+    async def _stream_job(self, job: JobRecord, send_line: SendLine) -> None:
+        """The transport-independent watch loop (NDJSON and ws share it)."""
+        cursor = 0
+        attempt = job.attempts
+        while True:
+            bell = job.bell
+            if job.attempts != attempt:
+                attempt = job.attempts
+                if cursor:
+                    await send_line(
+                        restart_event(attempt, "worker died; job requeued")
+                    )
+                cursor = 0
+            while cursor < len(job.steps):
+                await send_line(job.steps[cursor])
+                cursor += 1
+            if job.state.terminal:
+                await send_line(job.terminal_event())
+                return
+            await bell.wait()
+
+    async def _stream_ndjson(
+        self, job: JobRecord, writer: asyncio.StreamWriter
+    ) -> None:
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Transfer-Encoding: chunked\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        await writer.drain()
+
+        async def send_line(doc: dict) -> None:
+            payload = (encode_step_line(doc) + "\n").encode("utf-8")
+            writer.write(
+                f"{len(payload):x}\r\n".encode("ascii")
+                + payload
+                + b"\r\n"
+            )
+            await writer.drain()
+
+        await self._stream_job(job, send_line)
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
+
+    async def _stream_websocket(
+        self,
+        job: JobRecord,
+        headers: dict[str, str],
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        key = headers.get("sec-websocket-key")
+        if (
+            key is None
+            or "websocket" not in headers.get("upgrade", "").lower()
+        ):
+            await _respond(
+                writer, 400, {"error": "websocket upgrade required"}
+            )
+            return
+        writer.write(
+            (
+                "HTTP/1.1 101 Switching Protocols\r\n"
+                "Upgrade: websocket\r\n"
+                "Connection: Upgrade\r\n"
+                f"Sec-WebSocket-Accept: {wsproto.accept_key(key)}\r\n\r\n"
+            ).encode("ascii")
+        )
+        await writer.drain()
+
+        async def send_line(doc: dict) -> None:
+            writer.write(wsproto.encode_frame(encode_step_line(doc)))
+            await writer.drain()
+
+        stream_task = asyncio.ensure_future(
+            self._stream_job(job, send_line)
+        )
+        # Mark any stream failure (e.g. the client vanishing between
+        # our poll and a send) as retrieved: a watcher dying must never
+        # surface as an "exception was never retrieved" warning, even
+        # when server shutdown races the handler's own await below.
+        stream_task.add_done_callback(
+            lambda t: None if t.cancelled() else t.exception()
+        )
+        frames = wsproto.FrameReader()
+        try:
+            while not stream_task.done():
+                read_task = asyncio.ensure_future(reader.read(4096))
+                done, _ = await asyncio.wait(
+                    {stream_task, read_task},
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                if read_task in done:
+                    data = read_task.result()
+                    if not data:
+                        stream_task.cancel()
+                        break
+                    for frame in frames.feed(data):
+                        if frame.opcode == wsproto.OP_CLOSE:
+                            stream_task.cancel()
+                            break
+                        if frame.opcode == wsproto.OP_PING:
+                            writer.write(
+                                wsproto.encode_frame(
+                                    frame.payload, opcode=wsproto.OP_PONG
+                                )
+                            )
+                            await writer.drain()
+                else:
+                    read_task.cancel()
+                    with contextlib.suppress(
+                        asyncio.CancelledError, ConnectionError
+                    ):
+                        await read_task
+            with contextlib.suppress(asyncio.CancelledError):
+                await stream_task
+            writer.write(
+                wsproto.encode_frame(b"", opcode=wsproto.OP_CLOSE)
+            )
+            await writer.drain()
+        finally:
+            if not stream_task.done():
+                stream_task.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await stream_task
+
+
+async def _respond(
+    writer: asyncio.StreamWriter, status: int, doc: dict
+) -> None:
+    reasons = {
+        200: "OK",
+        201: "Created",
+        202: "Accepted",
+        400: "Bad Request",
+        404: "Not Found",
+        409: "Conflict",
+    }
+    payload = json.dumps(doc).encode("utf-8")
+    writer.write(
+        (
+            f"HTTP/1.1 {status} {reasons.get(status, 'OK')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode("ascii")
+        + payload
+    )
+    await writer.drain()
+
+
+__all__ = ["TwinServer"]

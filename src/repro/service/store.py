@@ -1,0 +1,135 @@
+"""Persisted job results + step streams for the twin service.
+
+Layout — a superset of a campaign artifact directory::
+
+    service-store/
+        manifest.json       # open-ended CampaignStore manifest (cells
+                            # appended as jobs arrive, job key per cell)
+        results.jsonl       # one line per finished job (cell doc + key)
+        steps/<key>.jsonl   # the full per-quantum step stream of a key
+        .lock               # StoreLock (shared with worker processes)
+
+Because the spine *is* a :class:`~repro.scenarios.artifacts.
+CampaignStore` (open-ended mode), every existing consumer works on a
+service store unchanged: ``repro campaign compare <dir>`` tabulates
+everything the server ever ran, and ``surrogate fit --from-campaign``
+can train on served traffic.
+
+The store doubles as the server's **result cache**: jobs are content-
+addressed by :func:`~repro.service.protocol.job_key`, and a repeat
+submission replays the persisted step stream (bit-identical — JSON
+floats round-trip exactly) without touching the worker pool.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Any
+
+from repro.exceptions import ScenarioError
+from repro.scenarios.artifacts import (
+    CampaignStore,
+    cell_doc_to_result,
+    spec_sha256,
+)
+from repro.scenarios.base import Scenario
+from repro.config.schema import SystemSpec
+from repro.viz.export import decode_step_line, encode_step_line
+
+STEPS_DIR = "steps"
+
+
+class ServiceStore:
+    """Durable record + result cache of one twin server."""
+
+    def __init__(self, path: str | Path, spec: SystemSpec) -> None:
+        path = Path(path)
+        sha = spec_sha256(spec)
+        if CampaignStore.exists(path):
+            self.campaign = CampaignStore.open(path)
+            if not self.campaign.open_ended:
+                raise ScenarioError(
+                    f"{path} is a frozen campaign, not a service store; "
+                    "point the server at a fresh directory"
+                )
+            stored = self.campaign.provenance.get("spec_sha256")
+            if stored != sha:
+                raise ScenarioError(
+                    f"service store {path} was recorded for spec "
+                    f"{stored!r}, server is running {sha!r}; results "
+                    "would not be comparable — use another directory"
+                )
+        else:
+            self.campaign = CampaignStore.create_open_ended(path, spec)
+        self.path = self.campaign.path
+        self.steps_dir = self.path / STEPS_DIR
+        self.steps_dir.mkdir(exist_ok=True)
+        # key -> latest persisted line doc (built once; record() updates).
+        self._index: dict[str, dict[str, Any]] = {}
+        for _, doc in self.campaign._iter_docs():
+            key = doc.get("key")
+            if isinstance(key, str):
+                self._index[key] = doc
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def steps_path(self, key: str) -> Path:
+        return self.steps_dir / f"{key}.jsonl"
+
+    # -- result cache ----------------------------------------------------------
+
+    def lookup(self, key: str) -> tuple[dict[str, Any], list[dict]] | None:
+        """(cell line doc, step records) for a key, or None.
+
+        Only keys whose step stream was fully persisted count as hits —
+        a cached job must replay the exact stream a fresh run would
+        produce.
+        """
+        doc = self._index.get(key)
+        if doc is None:
+            return None
+        steps_path = self.steps_path(key)
+        if not steps_path.exists():
+            return None
+        steps: list[dict] = []
+        with steps_path.open("r", encoding="utf-8") as fh:
+            for raw in fh:
+                record = decode_step_line(raw)
+                if record is not None:
+                    steps.append(record)
+        return doc, steps
+
+    def record(
+        self,
+        key: str,
+        scenario: Scenario,
+        cell_doc: dict[str, Any],
+        steps: list[dict],
+        *,
+        elapsed_s: float | None = None,
+    ) -> int:
+        """Persist one finished job; returns its campaign cell index.
+
+        The step stream is written to a temp file and atomically
+        renamed, so :meth:`lookup` never sees a half-written stream;
+        the cell line append is the hardened
+        :meth:`CampaignStore.record` single-write path.
+        """
+        index = self.campaign.append_cell(scenario, meta={"key": key})
+        tmp = self.steps_path(key).with_suffix(".jsonl.tmp")
+        with tmp.open("w", encoding="utf-8") as fh:
+            for record in steps:
+                fh.write(encode_step_line(record) + "\n")
+        os.replace(tmp, self.steps_path(key))
+        stored = cell_doc_to_result({**cell_doc, "index": index})
+        extra: dict[str, Any] = {"key": key}
+        if elapsed_s is not None:
+            extra["elapsed_s"] = float(elapsed_s)
+        self.campaign.record(index, stored, extra=extra)
+        self._index[key] = {**cell_doc, "index": index, **extra}
+        return index
+
+
+__all__ = ["ServiceStore", "STEPS_DIR"]

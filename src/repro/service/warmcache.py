@@ -1,0 +1,129 @@
+"""Warm-plant state cache: amortize the 1800 s cooling warmup.
+
+Every coupled full-fidelity run pre-conditions the cooling plant by
+stepping it at idle load for ``warmup_cooling_s`` (1800 s by default,
+120 macro steps) before the first simulated quantum.  That warmup is a
+pure function of (system spec, initial wet-bulb, warmup duration, plant
+substep) — so its end state can be computed once, snapshotted via the
+FMI-style :meth:`~repro.cooling.fmu.CoolingFMU.get_fmu_state`, and
+restored into every later run with the same key, bit-identically.
+
+:class:`WarmStateCache` is that memo.  Attach one to a
+:class:`~repro.scenarios.twin.DigitalTwin` (``DigitalTwin(spec,
+warm_cache=WarmStateCache())``) and every scenario run against the twin
+shares it; the service worker pool does exactly this, so a worker pays
+the warmup once per (spec, wet-bulb) and repeat jobs start in
+milliseconds.  The cache is in-process and thread-safe; entries are
+LRU-evicted beyond ``max_entries``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any
+
+from repro.config.schema import SystemSpec
+from repro.scenarios.artifacts import spec_sha256
+
+
+class WarmStateCache:
+    """LRU memo of warmed cooling-plant snapshots, keyed by spec SHA-256.
+
+    The full key is ``(spec_sha256, wetbulb, warmup_s, substep_s)`` —
+    everything the warmup trajectory depends on.  ``lookup`` / ``store``
+    are the duck-typed hooks :class:`~repro.core.engine.RapsEngine`
+    calls from its warmup path.
+    """
+
+    def __init__(self, max_entries: int = 8) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = int(max_entries)
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple, Any] = OrderedDict()
+        self._spec_sha: dict[int, tuple[SystemSpec, str]] = {}
+
+    # -- keying ----------------------------------------------------------------
+
+    def _sha(self, spec: SystemSpec) -> str:
+        # Hashing a spec costs a canonical-JSON dump; memo by object id
+        # (specs are immutable in practice and twins reuse one
+        # instance).  The memo entry keeps a strong reference to the
+        # spec so a recycled id() can never alias a dead object's hash.
+        entry = self._spec_sha.get(id(spec))
+        if entry is not None and entry[0] is spec:
+            return entry[1]
+        sha = spec_sha256(spec)
+        self._spec_sha[id(spec)] = (spec, sha)
+        return sha
+
+    def key(
+        self,
+        spec: SystemSpec,
+        wetbulb_c: float,
+        warmup_s: float,
+        substep_s: float,
+    ) -> tuple:
+        """The exact cache key for one warmup trajectory."""
+        return (
+            self._sha(spec),
+            float(wetbulb_c),
+            float(warmup_s),
+            float(substep_s),
+        )
+
+    # -- engine hooks ----------------------------------------------------------
+
+    def lookup(
+        self,
+        spec: SystemSpec,
+        wetbulb_c: float,
+        warmup_s: float,
+        substep_s: float,
+    ):
+        """The cached warmed-state snapshot, or None (counts hit/miss)."""
+        key = self.key(spec, wetbulb_c, warmup_s, substep_s)
+        with self._lock:
+            snapshot = self._entries.get(key)
+            if snapshot is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return snapshot
+
+    def store(
+        self,
+        spec: SystemSpec,
+        wetbulb_c: float,
+        warmup_s: float,
+        substep_s: float,
+        snapshot,
+    ) -> None:
+        """Memoize one freshly warmed state (LRU-evicting)."""
+        key = self.key(spec, wetbulb_c, warmup_s, substep_s)
+        with self._lock:
+            self._entries[key] = snapshot
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    # -- introspection ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/entry counters (surfaced by the server's /healthz)."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "entries": len(self._entries),
+            }
+
+
+__all__ = ["WarmStateCache"]

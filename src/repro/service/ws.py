@@ -1,0 +1,181 @@
+"""Minimal RFC 6455 websocket codec (stdlib only).
+
+Implements exactly what the twin service's streaming transport needs —
+the opening-handshake accept key, frame encode, and an incremental
+frame decoder — shared by :class:`~repro.service.server.TwinServer`
+(server side: unmasked sends, masked receives) and
+:class:`~repro.service.client.TwinClient` (the inverse).  Fragmented
+messages (FIN=0 continuations) are reassembled; extensions and
+subprotocols are not negotiated.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import struct
+from dataclasses import dataclass
+
+from repro.exceptions import ExaDigiTError
+
+#: The protocol-fixed handshake GUID (RFC 6455 section 1.3).
+WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+#: Frame opcodes used by the service.
+OP_CONT = 0x0
+OP_TEXT = 0x1
+OP_BINARY = 0x2
+OP_CLOSE = 0x8
+OP_PING = 0x9
+OP_PONG = 0xA
+
+_CONTROL_OPS = (OP_CLOSE, OP_PING, OP_PONG)
+
+
+def accept_key(client_key: str) -> str:
+    """The Sec-WebSocket-Accept value for a client's Sec-WebSocket-Key."""
+    digest = hashlib.sha1((client_key.strip() + WS_GUID).encode("ascii"))
+    return base64.b64encode(digest.digest()).decode("ascii")
+
+
+def encode_frame(
+    payload: bytes | str,
+    *,
+    opcode: int = OP_TEXT,
+    masked: bool = False,
+    fin: bool = True,
+) -> bytes:
+    """Serialize one websocket frame.
+
+    Servers send unmasked, clients MUST mask (RFC 6455 section 5.3);
+    the mask is drawn from ``os.urandom`` per frame.
+    """
+    if isinstance(payload, str):
+        payload = payload.encode("utf-8")
+    if opcode in _CONTROL_OPS and len(payload) > 125:
+        raise ExaDigiTError("control frame payloads are capped at 125 bytes")
+    head = bytearray()
+    head.append((0x80 if fin else 0x00) | (opcode & 0x0F))
+    mask_bit = 0x80 if masked else 0x00
+    n = len(payload)
+    if n < 126:
+        head.append(mask_bit | n)
+    elif n < 1 << 16:
+        head.append(mask_bit | 126)
+        head += struct.pack("!H", n)
+    else:
+        head.append(mask_bit | 127)
+        head += struct.pack("!Q", n)
+    if masked:
+        mask = os.urandom(4)
+        head += mask
+        payload = bytes(
+            b ^ mask[i % 4] for i, b in enumerate(payload)
+        )
+    return bytes(head) + payload
+
+
+@dataclass
+class Frame:
+    """One decoded (already unmasked, reassembled) websocket message."""
+
+    opcode: int
+    payload: bytes
+
+    @property
+    def text(self) -> str:
+        return self.payload.decode("utf-8")
+
+
+class FrameReader:
+    """Incremental frame decoder: feed bytes, pop complete messages.
+
+    Tolerates arbitrary chunking (one ``feed`` may carry half a header
+    or ten frames) and reassembles fragmented data messages; control
+    frames are surfaced immediately and may interleave fragments, per
+    the RFC.
+    """
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+        self._frames: list[Frame] = []
+        self._partial_op: int | None = None
+        self._partial: bytearray = bytearray()
+
+    def feed(self, data: bytes) -> list[Frame]:
+        """Consume bytes; return the messages completed by them."""
+        self._buf += data
+        while self._try_decode_one():
+            pass
+        out, self._frames = self._frames, []
+        return out
+
+    def _try_decode_one(self) -> bool:
+        buf = self._buf
+        if len(buf) < 2:
+            return False
+        fin = bool(buf[0] & 0x80)
+        opcode = buf[0] & 0x0F
+        masked = bool(buf[1] & 0x80)
+        length = buf[1] & 0x7F
+        offset = 2
+        if length == 126:
+            if len(buf) < offset + 2:
+                return False
+            (length,) = struct.unpack_from("!H", buf, offset)
+            offset += 2
+        elif length == 127:
+            if len(buf) < offset + 8:
+                return False
+            (length,) = struct.unpack_from("!Q", buf, offset)
+            offset += 8
+        if masked:
+            if len(buf) < offset + 4:
+                return False
+            mask = bytes(buf[offset : offset + 4])
+            offset += 4
+        if len(buf) < offset + length:
+            return False
+        payload = bytes(buf[offset : offset + length])
+        del self._buf[: offset + length]
+        if masked:
+            payload = bytes(b ^ mask[i % 4] for i, b in enumerate(payload))
+        if opcode in _CONTROL_OPS:
+            # Control frames may interleave fragments; surface directly.
+            self._frames.append(Frame(opcode, payload))
+            return True
+        if opcode == OP_CONT:
+            if self._partial_op is None:
+                raise ExaDigiTError("continuation frame with no message open")
+            self._partial += payload
+            if fin:
+                self._frames.append(
+                    Frame(self._partial_op, bytes(self._partial))
+                )
+                self._partial_op = None
+                self._partial = bytearray()
+            return True
+        if self._partial_op is not None:
+            raise ExaDigiTError("new data frame while a message is open")
+        if fin:
+            self._frames.append(Frame(opcode, payload))
+        else:
+            self._partial_op = opcode
+            self._partial = bytearray(payload)
+        return True
+
+
+__all__ = [
+    "WS_GUID",
+    "OP_CONT",
+    "OP_TEXT",
+    "OP_BINARY",
+    "OP_CLOSE",
+    "OP_PING",
+    "OP_PONG",
+    "accept_key",
+    "encode_frame",
+    "Frame",
+    "FrameReader",
+]

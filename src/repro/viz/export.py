@@ -136,6 +136,38 @@ def step_record(step: StepState) -> dict:
     return doc
 
 
+def encode_step_line(record: dict | StepState) -> str:
+    """Encode one step (or any JSON event document) as one NDJSON line.
+
+    The single wire codec shared by :class:`StepStreamWriter`, the
+    ``repro.service`` NDJSON/websocket transports, and the service's
+    persisted step files: compact separators, no trailing newline.
+    Floats round-trip bit-exactly through JSON, so a decoded line
+    compares equal to the :func:`step_record` of the originating
+    :class:`~repro.core.engine.StepState`.
+    """
+    if isinstance(record, StepState):
+        record = step_record(record)
+    return json.dumps(record, separators=(",", ":"))
+
+
+def decode_step_line(line: str) -> dict | None:
+    """Decode one NDJSON line; None for blank or torn (partial) lines.
+
+    The inverse of :func:`encode_step_line`.  ``null`` fields are kept
+    as None (transport truth); :func:`iter_step_records` layers the
+    None→NaN restoration used by the telemetry tooling on top.
+    """
+    line = line.strip()
+    if not line:
+        return None
+    try:
+        doc = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    return doc if isinstance(doc, dict) else None
+
+
 class StepStreamWriter:
     """Stream :class:`StepState` records to a JSONL file or descriptor.
 
@@ -163,7 +195,7 @@ class StepStreamWriter:
         self.count = 0
 
     def write(self, step: StepState) -> None:
-        self._fh.write(json.dumps(step_record(step)) + "\n")
+        self._fh.write(encode_step_line(step) + "\n")
         self._fh.flush()
         self.count += 1
 
@@ -201,13 +233,9 @@ def iter_step_records(path: str | Path) -> Iterator[dict]:
         raise ExaDigiTError(f"no step export at {path}")
     with path.open("r", encoding="utf-8") as fh:
         for raw in fh:
-            raw = raw.strip()
-            if not raw:
-                continue
-            try:
-                doc = json.loads(raw)
-            except json.JSONDecodeError:
-                continue  # torn tail of an in-progress append
+            doc = decode_step_line(raw)
+            if doc is None:
+                continue  # blank, or torn tail of an in-progress append
             yield {
                 k: (math.nan if v is None else v) for k, v in doc.items()
             }
@@ -244,6 +272,8 @@ __all__ = [
     "export_result",
     "STEP_SCALARS",
     "step_record",
+    "encode_step_line",
+    "decode_step_line",
     "StepStreamWriter",
     "export_steps_jsonl",
     "iter_step_records",

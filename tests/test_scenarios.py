@@ -9,6 +9,7 @@ from repro.core.simulation import Simulation
 from repro.exceptions import ScenarioError
 from repro.scenarios import (
     SCENARIO_TYPES,
+    BenchmarkSequenceScenario,
     DigitalTwin,
     GridSweepScenario,
     LatinHypercubeSweepScenario,
@@ -34,6 +35,7 @@ class TestSerialization:
         SyntheticScenario(duration_s=900.0, seed=7, wetbulb_c=18.5),
         ReplayScenario(dataset_path="/data/day0", duration_s=3600.0),
         VerificationScenario(point="hpl", duration_s=600.0, with_cooling=False),
+        BenchmarkSequenceScenario(node_count=4096, wetbulb_c=21.0),
         WhatIfScenario(modification="smart-rectifier", seed=3),
         SweepScenario(
             base=SyntheticScenario(duration_s=600.0, with_cooling=False),
@@ -65,6 +67,7 @@ class TestSerialization:
             "synthetic",
             "replay",
             "verification",
+            "benchmark-sequence",
             "whatif",
             "sweep",
             "grid-sweep",
@@ -90,6 +93,12 @@ class TestSerialization:
         with pytest.raises(ScenarioError, match="verification point"):
             VerificationScenario(point="turbo")
 
+    def test_benchmark_sequence_validates_node_count(self):
+        with pytest.raises(ScenarioError, match="node_count"):
+            BenchmarkSequenceScenario(node_count=0)
+        with pytest.raises(ScenarioError, match="node_count"):
+            BenchmarkSequenceScenario(node_count=2.5)
+
 
 class TestExecution:
     def test_synthetic_runs(self, twin):
@@ -106,6 +115,17 @@ class TestExecution:
         ).run(twin)
         # All nodes at 100 %: utilization saturates.
         assert outcome.result.utilization[-1] == pytest.approx(1.0)
+
+    def test_benchmark_sequence_runs_hpl_after_idle_gap(self, twin):
+        outcome = BenchmarkSequenceScenario(
+            duration_s=3600.0, node_count=128, with_cooling=False
+        ).run(twin)
+        result = outcome.result
+        idle = result.system_power_w[result.times_s < 1500.0].mean()
+        hpl = result.system_power_w[result.times_s > 2400.0].mean()
+        # HPL starts at its recorded t=1800 s and lifts the power.
+        assert hpl > idle * 1.2
+        assert result.num_running[result.times_s < 1500.0].max() == 0
 
     def test_whatif_produces_comparison(self, twin):
         outcome = WhatIfScenario(
