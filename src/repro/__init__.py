@@ -68,6 +68,7 @@ the scenario-API equivalents.
 
 from repro.config import FRONTIER, frontier_spec, load_system, load_builtin_system
 from repro.core import (
+    PhaseProfiler,
     RapsEngine,
     Simulation,
     SimulationResult,
@@ -76,7 +77,7 @@ from repro.core import (
     ReplayValidation,
     run_whatif,
 )
-from repro.cooling import CoolingFMU, CoolingPlant, generate_plant
+from repro.cooling import CoolingFMU, CoolingPlant, FusedPlantKernel, generate_plant
 from repro.fastpath import (
     MultiFidelityCampaign,
     SurrogateBundle,
@@ -102,7 +103,7 @@ from repro.scenarios import (
 )
 from repro.telemetry import SyntheticTelemetryGenerator, TelemetryDataset
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "FRONTIER",
@@ -118,6 +119,8 @@ __all__ = [
     "run_whatif",
     "CoolingFMU",
     "CoolingPlant",
+    "FusedPlantKernel",
+    "PhaseProfiler",
     "generate_plant",
     "SystemPowerModel",
     "Scenario",

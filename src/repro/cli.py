@@ -4,7 +4,10 @@ Subcommands mirror the operations the paper exposes through its console
 and dashboard, wired through the declarative scenario API:
 
 - ``run`` — synthetic-workload simulation with the end-of-run report
-  (``--live`` streams per-quantum status lines while it runs),
+  (``--live`` streams per-quantum status lines while it runs;
+  ``--cooling-backend`` picks the fused kernel or the reference oracle),
+- ``profile`` — per-phase wall-time profile of the engine hot path
+  (schedule / power / cooling / collect), emitted as JSON,
 - ``verify`` — the Table III verification points (an experiment suite),
 - ``replay`` — replay a saved telemetry dataset (native format),
 - ``whatif`` — the section IV-3 counterfactual studies,
@@ -118,7 +121,10 @@ def _add_workers_arg(parser: argparse.ArgumentParser) -> None:
 
 def cmd_run(args: argparse.Namespace) -> int:
     twin = DigitalTwin(
-        args.system, fidelity=args.fidelity, surrogates=args.surrogates
+        args.system,
+        fidelity=args.fidelity,
+        surrogates=args.surrogates,
+        cooling_backend=args.cooling_backend,
     )
     scenario = SyntheticScenario(
         duration_s=args.hours * 3600.0,
@@ -156,6 +162,38 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"\nseries written to {path}")
     if writer is not None:
         print(f"\n{writer.count} step records streamed to {writer.path}")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.profiling import PhaseProfiler
+
+    twin = DigitalTwin(args.system, cooling_backend=args.cooling_backend)
+    scenario = SyntheticScenario(
+        duration_s=args.hours * 3600.0,
+        seed=args.seed,
+        with_cooling=not args.no_cooling,
+    )
+    plan = scenario.plan(twin)
+    engine = scenario.build_engine(twin, plan)
+    engine.profiler = profiler = PhaseProfiler()
+    engine.run(plan.jobs, plan.duration_s, wetbulb=plan.wetbulb)
+    doc = profiler.as_dict()
+    doc["system"] = twin.spec.name
+    doc["hours"] = args.hours
+    doc["cooling_backend"] = (
+        None if args.no_cooling else args.cooling_backend
+    )
+    text = json.dumps(doc, indent=2)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(profiler.summary())
+        print(f"\nprofile written to {args.out}")
+    else:
+        print(text)
     return 0
 
 
@@ -720,7 +758,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream per-quantum StepState records to PATH as JSONL "
         "(tail-able by external dashboards)",
     )
+    p.add_argument(
+        "--cooling-backend",
+        choices=("fused", "reference"),
+        default="fused",
+        help="cooling-plant stepping backend (bit-identical; reference "
+        "is the slow oracle)",
+    )
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "profile",
+        help="profile the engine hot path (per-phase wall time as JSON)",
+    )
+    _add_system_arg(p)
+    p.add_argument(
+        "--hours", type=float, default=1.0, help="simulated hours (default 1)"
+    )
+    p.add_argument("--seed", type=int, default=0, help="RNG seed")
+    p.add_argument(
+        "--no-cooling",
+        action="store_true",
+        help="profile an uncoupled run (no cooling phase)",
+    )
+    p.add_argument(
+        "--cooling-backend",
+        choices=("fused", "reference"),
+        default="fused",
+        help="cooling-plant stepping backend to profile",
+    )
+    p.add_argument(
+        "--out",
+        metavar="PATH",
+        help="write the JSON profile to PATH (default: stdout)",
+    )
+    p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("verify", help="Table III verification points")
     _add_system_arg(p)

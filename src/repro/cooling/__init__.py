@@ -11,17 +11,26 @@ Fig. 5 and wrapped in an FMI-like stepping interface
 
 Inputs per 15 s step: heat extracted per CDU (W, 25 values) and wet-bulb
 temperature; outputs: the 317 quantities enumerated in section III-C4.
+
+Two interchangeable stepping backends share one state representation:
+the default ``backend="fused"`` flat-array kernel
+(:class:`repro.cooling.kernel.FusedPlantKernel`, several times faster)
+and the ``backend="reference"`` component object graph it mirrors bit
+for bit (kept as the oracle).
 """
 
 from repro.cooling.properties import CoolantProperties, WATER
-from repro.cooling.plant import CoolingPlant, PlantState
+from repro.cooling.plant import BACKENDS, CoolingPlant, PlantState
+from repro.cooling.kernel import FusedPlantKernel
 from repro.cooling.fmu import CoolingFMU, FmuState
 from repro.cooling.autocsm import generate_plant, autocsm_report
 
 __all__ = [
     "CoolantProperties",
     "WATER",
+    "BACKENDS",
     "CoolingPlant",
+    "FusedPlantKernel",
     "PlantState",
     "CoolingFMU",
     "FmuState",

@@ -69,10 +69,17 @@ class CoolingFMU:
     :func:`repro.cooling.plant.output_names`).
     """
 
-    def __init__(self, cooling: CoolingSpec, *, substep_s: float = 3.0) -> None:
+    def __init__(
+        self,
+        cooling: CoolingSpec,
+        *,
+        substep_s: float = 3.0,
+        backend: str = "fused",
+    ) -> None:
         self._cooling = cooling
         self._substep_s = substep_s
-        self._plant = CoolingPlant(cooling, substep_s=substep_s)
+        self._backend = backend
+        self._plant = CoolingPlant(cooling, substep_s=substep_s, backend=backend)
         self.state = FmuState.INSTANTIATED
         self._time = 0.0
         self._stop_time: float | None = None
@@ -107,7 +114,9 @@ class CoolingFMU:
 
     def reset(self) -> None:
         """Return to a freshly instantiated unit (FMI reset)."""
-        self._plant = CoolingPlant(self._cooling, substep_s=self._substep_s)
+        self._plant = CoolingPlant(
+            self._cooling, substep_s=self._substep_s, backend=self._backend
+        )
         self._time = 0.0
         self._stop_time = None
         self._cdu_heat = np.zeros(self._cooling.num_cdus)
@@ -225,6 +234,11 @@ class CoolingFMU:
     def substep_s(self) -> float:
         """The plant's internal integration substep, s."""
         return self._substep_s
+
+    @property
+    def backend(self) -> str:
+        """The plant stepping backend (``"fused"`` or ``"reference"``)."""
+        return self._backend
 
     def variable_names(self) -> list[str]:
         """All 317 output variable names, in vector order."""

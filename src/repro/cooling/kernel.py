@@ -1,0 +1,737 @@
+"""Fused cooling-plant kernel: the whole plant in flat arrays.
+
+The reference :class:`~repro.cooling.plant.CoolingPlant` advances each
+3 s substep by walking a deep object graph (`CduLoopBank` →
+`ThermalVolume`/`CounterflowHX`/`PumpGroup`/PIDs → `PrimaryLoop` →
+`TowerLoop`) of dozens of tiny NumPy ops on size-25 arrays; per-call
+overhead — method dispatch, ``asarray``/``broadcast_to`` validation,
+``errstate`` contexts, temporaries — dominates every coupled run.
+
+:class:`FusedPlantKernel` flattens the plant's mutable state into a
+small set of preallocated arrays plus Python floats and advances *all*
+substeps of a macro step in one call.  It is an overhead eliminator,
+not a different model: every arithmetic operation mirrors the
+reference's, in the same order, using the same NumPy ufuncs on the
+same-shaped data wherever transcendental functions are involved
+(``np.exp``/``np.expm1``/``np.power`` results can differ from ``libm``
+at the ULP level, so the kernel never substitutes ``math`` equivalents
+for them), and plain Python floats only for IEEE-exact operations
+(``+ - * /``, comparisons, ``sqrt``).  The fused trajectory is
+therefore *bit-identical* to the reference object graph, which stays
+in the tree as the oracle (``CoolingPlant(backend="reference")``) and
+as the snapshot interchange format.
+
+Protocol with :class:`~repro.cooling.plant.CoolingPlant`:
+
+- the kernel derives all constants from the plant's freshly built
+  component objects (one source of truth — pump curves, resistances,
+  HX UA values, PID gains, staging thresholds);
+- each macro step, :meth:`advance` *pulls* the mutable state from the
+  component objects into the flat buffers, runs the fused substep loop,
+  and *pushes* the state back, so external mutation
+  (:meth:`~repro.cooling.loops.cdu.CduLoopBank.set_blockage`, setpoint
+  tuning, :meth:`~repro.cooling.plant.CoolingPlant.restore`) and
+  external observation (tests, :class:`PlantSnapshot
+  <repro.cooling.plant.PlantSnapshot>` capture, the shared
+  ``_snapshot`` output builder) work unchanged on both backends.
+"""
+
+from __future__ import annotations
+
+from math import ceil, sqrt
+
+import numpy as np
+
+from repro.exceptions import CoolingModelError
+
+_exp = np.exp
+_expm1 = np.expm1
+_power = np.power
+
+
+class _StageState:
+    """Flat mirror of one :class:`StagingController`'s state + config."""
+
+    __slots__ = (
+        "count", "above", "below",
+        "n_min", "n_max", "hi", "lo", "up_delay", "down_delay",
+    )
+
+    def __init__(self, ctl) -> None:
+        self.n_min = ctl.n_min
+        self.n_max = ctl.n_max
+        self.hi = ctl.hi
+        self.lo = ctl.lo
+        self.up_delay = ctl.up_delay_s
+        self.down_delay = ctl.down_delay_s
+        self.pull(ctl)
+
+    def pull(self, ctl) -> None:
+        self.count = ctl.count
+        self.above = float(ctl._above_s)
+        self.below = float(ctl._below_s)
+
+    def push(self, ctl) -> None:
+        ctl.count = self.count
+        ctl._above_s = self.above
+        ctl._below_s = self.below
+
+    def update(self, signal: float, dt: float) -> int:
+        # Mirror of StagingController.update (pure-Python float ops).
+        if signal > self.hi:
+            self.above += dt
+            self.below = 0.0
+        elif signal < self.lo:
+            self.below += dt
+            self.above = 0.0
+        else:
+            self.above = 0.0
+            self.below = 0.0
+        if self.above >= self.up_delay and self.count < self.n_max:
+            self.count += 1
+            self.above = 0.0
+        elif self.below >= self.down_delay and self.count > self.n_min:
+            self.count -= 1
+            self.below = 0.0
+        return self.count
+
+
+class _ScalarPid:
+    """Flat mirror of a width-1 :class:`PidController` (Python floats)."""
+
+    __slots__ = (
+        "kp", "ki", "kd", "u_min", "u_max", "sign",
+        "integral", "prev_error", "has_prev", "output",
+    )
+
+    def __init__(self, pid) -> None:
+        if pid.width != 1:
+            raise CoolingModelError("scalar PID mirror needs width 1")
+        self.kp = pid.kp
+        self.ki = pid.ki
+        self.kd = pid.kd
+        self.u_min = pid.u_min
+        self.u_max = pid.u_max
+        self.sign = pid.sign
+        self.pull(pid)
+
+    def pull(self, pid) -> None:
+        self.integral = float(pid._integral[0])
+        self.prev_error = float(pid._prev_error[0])
+        self.has_prev = bool(pid._has_prev)
+        self.output = float(pid.output[0])
+
+    def push(self, pid) -> None:
+        pid._integral = np.array([self.integral])
+        pid._prev_error = np.array([self.prev_error])
+        pid._has_prev = self.has_prev
+        pid.output = np.array([self.output])
+
+    def update(self, setpoint: float, measurement: float, dt: float) -> float:
+        # Mirror of PidController.update for one channel; every
+        # operation is IEEE-exact scalar arithmetic, so the result is
+        # bit-identical to the vector implementation.
+        error = self.sign * (setpoint - measurement)
+        d_term = 0.0
+        if self.kd and self.has_prev:
+            d_term = self.kd * (error - self.prev_error) / dt
+        candidate = self.integral + error * dt
+        u_un = self.kp * error + self.ki * candidate + d_term
+        u = u_un
+        if u < self.u_min:
+            u = self.u_min
+        if u > self.u_max:
+            u = self.u_max
+        saturated = (u_un > self.u_max and error > 0) or (
+            u_un < self.u_min and error < 0
+        )
+        if not saturated:
+            self.integral = candidate
+        self.prev_error = error
+        self.has_prev = True
+        self.output = u
+        return u
+
+
+class FusedPlantKernel:
+    """Allocation-light fused backend for one :class:`CoolingPlant`.
+
+    Built once per plant from its component objects; see the module
+    docstring for the pull/advance/push protocol and the bit-identity
+    contract.
+    """
+
+    def __init__(self, plant) -> None:
+        cdus, primary, tower = plant.cdus, plant.primary, plant.tower
+        n = cdus.n
+        self.n = n
+
+        # --- CDU-bank constants -------------------------------------------------
+        self.cdu_res_k = cdus.resistance.k
+        q1, _ = cdus.pumps.operating_point(cdus.resistance, 1.0)
+        self.cdu_q1 = q1
+        valve = cdus.valve
+        self.valve_cv_max = valve.cv_max_flow
+        self.valve_dp_rated = valve.dp_rated
+        self.valve_rangeability = valve.rangeability
+        self.hx_ua = cdus.hx.ua
+        pg = cdus.hot.fluid
+        self.pg_rho_ref = pg.rho_ref_kg_m3
+        self.pg_drho = pg.drho_dt
+        self.pg_tref = pg.t_ref_c
+        self.pg_cp = pg.cp_j_kg_c
+        water = primary.supply.fluid
+        self.w_rho_ref = water.rho_ref_kg_m3
+        self.w_drho = water.drho_dt
+        self.w_tref = water.t_ref_c
+        self.w_cp = water.cp_j_kg_c
+        self.hot_mcp = pg.thermal_mass(cdus.hot.volume_m3)
+        self.cold_mcp = pg.thermal_mass(cdus.cold.volume_m3)
+
+        # Stacked PID bank: channels [:n] = pump-speed PID, [n:] = valve
+        # PID.  Per-channel gain/bound/sign vectors make one fused
+        # update bit-identical to the two scalar-gain reference updates.
+        w = 2 * n
+        pp, vp = cdus.pump_pid, cdus.valve_pid
+        if pp.kd or vp.kd:
+            raise CoolingModelError("fused CDU PID bank assumes kd == 0")
+        self.kp50 = np.concatenate([np.full(n, pp.kp), np.full(n, vp.kp)])
+        self.ki50 = np.concatenate([np.full(n, pp.ki), np.full(n, vp.ki)])
+        self.umin50 = np.concatenate(
+            [np.full(n, pp.u_min), np.full(n, vp.u_min)]
+        )
+        self.umax50 = np.concatenate(
+            [np.full(n, pp.u_max), np.full(n, vp.u_max)]
+        )
+        self.sign50 = np.concatenate(
+            [np.full(n, pp.sign), np.full(n, vp.sign)]
+        )
+
+        # --- primary-loop constants ---------------------------------------------
+        self.p_res_k = primary.resistance.k
+        self.p_h0 = primary.pumps.curve.h0
+        self.p_kp = primary.pumps.curve.k_p
+        self.p_min_speed = primary.pumps.spec.min_speed_fraction
+        self.p_count = primary.pumps.spec.count
+        self.ehx_ua = primary.ehx.ua
+        self.p_num_ehx = primary.num_ehx_installed
+        self.p_mcp = water.thermal_mass(primary.supply.volume_m3)
+        self.cells_per_tower = plant.spec.cooling_towers.cells_per_tower
+        # Deliverable flow at full speed per running-pump count (the
+        # reference recomputes this constant every substep).
+        qcap = [0.0]
+        for m in range(1, self.p_count + 1):
+            denom = self.p_kp / m**2 + self.p_res_k
+            qcap.append(float(np.sqrt(1.0**2 * self.p_h0 / denom)))
+        self.p_qcap = qcap
+
+        # --- tower-loop constants -----------------------------------------------
+        self.t_res_k = tower.resistance.k
+        self.t_h0 = tower.pumps.curve.h0
+        self.t_kp = tower.pumps.curve.k_p
+        farm = tower.farm
+        self.farm_eff = farm.spec.design_effectiveness
+        self.farm_design_flow = farm.design_flow_per_cell
+        self.t_mcp = water.thermal_mass(tower.supply.volume_m3)
+        self.delay_tau = tower.htws_delay.tau_s
+        self._alpha_h = None
+        self._alpha = 0.0
+
+        # --- flat state ---------------------------------------------------------
+        self.blockage = np.empty(n)
+        self.sec_flow = np.empty(n)
+        self.pri_flow = np.empty(n)
+        self.hot_t = np.empty(n)
+        self.cold_t = np.empty(n)
+        self.hx_heat = np.empty(n)
+        self.pri_return = np.empty(n)
+        self.out50 = np.empty(w)
+        self.integ50 = np.empty(w)
+        self.preve50 = np.empty(w)
+        self.sp50 = np.empty(w)
+        self.meas50 = np.empty(w)
+        self.pump_has_prev = False
+        self.valve_has_prev = False
+        self.fan_pid = _ScalarPid(tower.fan_pid)
+        self.speed_pid = _ScalarPid(tower.speed_pid)
+        self.p_stage = _StageState(primary.pump_staging)
+        self.t_stage = _StageState(tower.pump_staging)
+        self.cell_stage = _StageState(tower.cell_staging)
+
+        # --- scratch buffers (sized once, reused every substep) -----------------
+        self.e50 = np.empty(w)
+        self.c50a = np.empty(w)
+        self.c50b = np.empty(w)
+        self.m50a = np.empty(w, dtype=bool)
+        self.m50b = np.empty(w, dtype=bool)
+        self.m50c = np.empty(w, dtype=bool)
+        self.b = [np.empty(n) for _ in range(9)]
+        self.mb = [np.empty(n, dtype=bool) for _ in range(3)]
+        # Dedicated volume-advance scratch (may not alias the b pool:
+        # volume inputs can be views of it).
+        self.v1 = np.empty(n)
+        self.v2 = np.empty(n)
+        self.mv = np.empty(n, dtype=bool)
+
+        self.pull(plant)
+
+    # -- state exchange ----------------------------------------------------------
+
+    def pull(self, plant) -> None:
+        """Copy all mutable state from the component objects."""
+        cdus, primary, tower = plant.cdus, plant.primary, plant.tower
+        n = self.n
+        self.header_dp = float(plant.primary_header_dp_pa)
+        if self.header_dp < 0:
+            raise CoolingModelError("header dp must be non-negative")
+        # Setpoints are pulled every macro step: runtime tuning (the
+        # setpoint optimizer) must reach the fused loop.
+        self.sp50[:n] = cdus.dp_setpoint_pa
+        self.sp50[n:] = cdus.supply_setpoint_c
+        self.p_supply_sp = float(primary.supply_setpoint_c)
+        self.t_press_sp = float(tower.pressure_setpoint_pa)
+
+        self.blockage[:] = cdus.blockage_factor
+        self.sec_flow[:] = cdus.secondary_flow
+        self.pri_flow[:] = cdus.primary_flow
+        self.hot_t[:] = cdus.hot.temp_c
+        self.cold_t[:] = cdus.cold.temp_c
+        self.hx_heat[:] = cdus.hx_heat_w
+        self.pri_return[:] = cdus.primary_return_c
+        self.out50[:n] = cdus.pump_speed
+        self.out50[n:] = cdus.valve_opening
+        self.integ50[:n] = cdus.pump_pid._integral
+        self.integ50[n:] = cdus.valve_pid._integral
+        self.preve50[:n] = cdus.pump_pid._prev_error
+        self.preve50[n:] = cdus.valve_pid._prev_error
+        self.pump_has_prev = bool(cdus.pump_pid._has_prev)
+        self.valve_has_prev = bool(cdus.valve_pid._has_prev)
+
+        self.p_n_running = primary.pumps.n_running
+        self.p_n_ehx = primary.n_ehx
+        self.p_supply_t = float(primary.supply.temp_c[0])
+        self.p_return_t = float(primary.return_.temp_c[0])
+        self.p_pump_speed = float(primary.pump_speed)
+        self.p_total_flow = float(primary.total_flow)
+        self.p_ehx_heat = float(primary.ehx_heat_w)
+        self.p_stage.pull(primary.pump_staging)
+
+        self.t_n_running = tower.pumps.n_running
+        self.t_supply_t = float(tower.supply.temp_c[0])
+        self.t_return_t = float(tower.return_.temp_c[0])
+        self.t_pump_speed = float(tower.pump_speed)
+        self.t_total_flow = float(tower.total_flow)
+        self.t_fan_speed = float(tower.fan_speed)
+        self.t_stage.pull(tower.pump_staging)
+        self.cell_stage.pull(tower.cell_staging)
+        self.delay_y = float(tower.htws_delay.y)
+        self.prev_htws = tower._prev_htws_c
+        self.fan_pid.pull(tower.fan_pid)
+        self.speed_pid.pull(tower.speed_pid)
+
+    def push(self, plant) -> None:
+        """Write the advanced state back onto the component objects."""
+        cdus, primary, tower = plant.cdus, plant.primary, plant.tower
+        n = self.n
+        cdus.secondary_flow = self.sec_flow.copy()
+        cdus.primary_flow = self.pri_flow.copy()
+        cdus.hot.temp_c = self.hot_t.copy()
+        cdus.cold.temp_c = self.cold_t.copy()
+        cdus.hx_heat_w = self.hx_heat.copy()
+        cdus.primary_return_c = self.pri_return.copy()
+        cdus.pump_speed = self.out50[:n].copy()
+        cdus.valve_opening = self.out50[n:].copy()
+        cdus.pump_pid.output = self.out50[:n].copy()
+        cdus.valve_pid.output = self.out50[n:].copy()
+        cdus.pump_pid._integral = self.integ50[:n].copy()
+        cdus.valve_pid._integral = self.integ50[n:].copy()
+        cdus.pump_pid._prev_error = self.preve50[:n].copy()
+        cdus.valve_pid._prev_error = self.preve50[n:].copy()
+        cdus.pump_pid._has_prev = self.pump_has_prev
+        cdus.valve_pid._has_prev = self.valve_has_prev
+
+        primary.pumps.n_running = self.p_n_running
+        primary.n_ehx = self.p_n_ehx
+        primary.supply.temp_c = np.array([self.p_supply_t])
+        primary.return_.temp_c = np.array([self.p_return_t])
+        primary.pump_speed = self.p_pump_speed
+        primary.total_flow = self.p_total_flow
+        primary.ehx_heat_w = self.p_ehx_heat
+        self.p_stage.push(primary.pump_staging)
+
+        tower.pumps.n_running = self.t_n_running
+        tower.supply.temp_c = np.array([self.t_supply_t])
+        tower.return_.temp_c = np.array([self.t_return_t])
+        tower.pump_speed = self.t_pump_speed
+        tower.total_flow = self.t_total_flow
+        tower.fan_speed = self.t_fan_speed
+        self.t_stage.push(tower.pump_staging)
+        self.cell_stage.push(tower.cell_staging)
+        tower.htws_delay.y = self.delay_y
+        tower._prev_htws_c = self.prev_htws
+        self.fan_pid.push(tower.fan_pid)
+        self.speed_pid.push(tower.speed_pid)
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _advance_volume_bank(self, temp, t_in, flow, h, mass_cp):
+        """Fused ThermalVolume.advance for the width-n PG25 volumes.
+
+        Zero heat injection (plant volumes always receive heat through
+        their inlet temperature), so the stagnant branch keeps the old
+        temperature exactly.
+        """
+        v1, v2, mv = self.v1, self.v2, self.mv
+        np.subtract(temp, self.pg_tref, out=v1)
+        np.multiply(v1, self.pg_drho, out=v1)
+        np.add(v1, self.pg_rho_ref, out=v1)
+        np.multiply(v1, flow, out=v1)
+        np.multiply(v1, self.pg_cp, out=v1)  # heat-capacity rate
+        np.greater(flow, 1e-9, out=mv)
+        np.maximum(v1, 1e-12, out=v2)
+        np.divide(mass_cp, v2, out=v2)  # tau
+        np.divide(-h, v2, out=v2)
+        _expm1(v2, out=v2)
+        np.negative(v2, out=v2)  # relax
+        np.subtract(t_in, temp, out=v1)
+        np.multiply(v1, v2, out=v1)
+        np.add(temp, v1, out=v1)
+        if mv.all():
+            temp[:] = v1
+        else:
+            np.copyto(temp, v1, where=mv)
+
+    def _advance_volume_scalar(self, temp, t_in, flow, h, mass_cp):
+        """Scalar ThermalVolume.advance mirror (facility water volumes)."""
+        if flow > 1e-9:
+            cap = (
+                self.w_rho_ref + self.w_drho * (temp - self.w_tref)
+            ) * flow * self.w_cp
+            if cap < 1e-12:
+                cap = 1e-12
+            tau = mass_cp / cap
+            relax = -float(_expm1(-h / tau))
+            return temp + (t_in - temp) * relax
+        return temp
+
+    def _ehx_transfer(self, t_hot, flow_hot, t_cold, flow_cold, ua):
+        """Scalar CounterflowHX.transfer mirror (water/water EHX bank)."""
+        c_hot = (
+            self.w_rho_ref + self.w_drho * (t_hot - self.w_tref)
+        ) * flow_hot * self.w_cp
+        c_cold = (
+            self.w_rho_ref + self.w_drho * (t_cold - self.w_tref)
+        ) * flow_cold * self.w_cp
+        c_min = c_hot if c_hot < c_cold else c_cold
+        c_max = c_hot if c_hot > c_cold else c_cold
+        dead = c_min <= 1e-9
+        c_min_safe = 1.0 if dead else c_min
+        cr = 0.0 if dead else c_min / (c_max if c_max > 1e-12 else 1e-12)
+        ntu = ua / c_min_safe
+        e = float(_exp(-ntu * (1.0 - cr)))
+        den = 1.0 - cr * e
+        eps = (1.0 - e) / (den if den > 1e-12 else 1e-12)
+        if abs(1.0 - cr) < 1e-6:
+            eps = ntu / (1.0 + ntu)
+        if eps < 0.0:
+            eps = 0.0
+        elif eps > 1.0:
+            eps = 1.0
+        if dead:
+            eps = 0.0
+        q = eps * c_min * (t_hot - t_cold)
+        t_hot_out = (
+            t_hot - q / (c_hot if c_hot > 1e-12 else 1e-12)
+            if c_hot > 1e-9
+            else t_hot
+        )
+        t_cold_out = (
+            t_cold + q / (c_cold if c_cold > 1e-12 else 1e-12)
+            if c_cold > 1e-9
+            else t_cold
+        )
+        return q, t_hot_out, t_cold_out
+
+    def _farm_outlet(self, t_in, wetbulb, total_flow, n_cells, fan_speed):
+        """Scalar CoolingTowerFarm.outlet_temperature mirror."""
+        if n_cells == 0 or total_flow == 0:
+            return float(t_in)
+        per_cell = total_flow / n_cells
+        fan = 0.0 if fan_speed < 0.0 else (1.0 if fan_speed > 1.0 else fan_speed)
+        loading = per_cell / self.farm_design_flow
+        if loading < 1e-3:
+            loading = 1e-3
+        # The reference's clip/maximum on 0-d inputs return np.float64
+        # *scalars*, so its ``fan**0.6`` / ``loading**-0.4`` go through
+        # the numpy scalar pow (which differs from the array-ufunc pow
+        # at the ULP level) — mirror exactly that path.
+        f = float(np.float64(fan) ** 0.6)
+        if f < 0.15:
+            f = 0.15
+        eps = self.farm_eff * f * float(np.float64(loading) ** -0.4)
+        if eps < 0.0:
+            eps = 0.0
+        elif eps > 0.98:
+            eps = 0.98
+        return float(t_in - eps * (t_in - wetbulb))
+
+    # -- the fused macro step ----------------------------------------------------
+
+    def advance(self, plant, cdu_heat_w, wetbulb_c, h, n_sub: int) -> None:
+        """Advance ``n_sub`` substeps of size ``h`` (one macro step)."""
+        self.pull(plant)
+        n = self.n
+        b = self.b
+        mb0, mb1, mb2 = self.mb
+        blockage = self.blockage
+        sec_flow = self.sec_flow
+        pri_flow = self.pri_flow
+        hot_t = self.hot_t
+        cold_t = self.cold_t
+        pri_return = self.pri_return
+        hx_heat = self.hx_heat
+        out50 = self.out50
+        integ50 = self.integ50
+        sp50 = self.sp50
+        meas50 = self.meas50
+        e50 = self.e50
+        c50a = self.c50a
+        c50b = self.c50b
+        m50a = self.m50a
+        m50b = self.m50b
+        m50c = self.m50c
+        pump_speed = out50[:n]
+        valve_opening = out50[n:]
+        cdu_res_k = self.cdu_res_k
+        hx_ua = self.hx_ua
+        pg_tref, pg_drho, pg_rho_ref, pg_cp = (
+            self.pg_tref, self.pg_drho, self.pg_rho_ref, self.pg_cp
+        )
+        heat = cdu_heat_w
+        # Ufunc locals: the loop below issues a few hundred tiny calls
+        # per macro step, so attribute lookups are measurable.
+        mul, add, sub, div = np.multiply, np.add, np.subtract, np.divide
+        npmax, npmin, nsum = np.maximum, np.minimum, np.sum
+        gt, lt, le, absolute = np.greater, np.less, np.less_equal, np.absolute
+        where, clip, neg = np.where, np.clip, np.negative
+        land, lor, lnot = np.logical_and, np.logical_or, np.logical_not
+        copyto = np.copyto
+        exp, expm1 = _exp, _expm1
+        advance_bank = self._advance_volume_bank
+        advance_scalar = self._advance_volume_scalar
+        # Equal-percentage valve flow at the (constant) header dp.
+        dp_term = float(np.sqrt(self.header_dp / self.valve_dp_rated))
+        if self._alpha_h != h:
+            self._alpha = 1.0 - float(exp(-h / self.delay_tau))
+            self._alpha_h = h
+        alpha = self._alpha
+
+        for _ in range(n_sub):
+            # --- 1. CDU controls: the stacked pump-speed + valve PID bank.
+            absolute(sec_flow, out=b[0])
+            mul(sec_flow, cdu_res_k, out=b[1])
+            mul(b[1], b[0], out=b[1])
+            mul(b[1], blockage, out=b[1])  # measured loop dp
+            meas50[:n] = b[1]
+            meas50[n:] = cold_t
+            sub(sp50, meas50, out=e50)
+            mul(e50, self.sign50, out=e50)
+            mul(e50, h, out=c50a)
+            add(integ50, c50a, out=c50a)  # candidate integral
+            mul(self.kp50, e50, out=c50b)
+            mul(self.ki50, c50a, out=out50)
+            add(c50b, out50, out=c50b)  # unclamped output
+            clip(c50b, self.umin50, self.umax50, out=out50)
+            gt(c50b, self.umax50, out=m50a)
+            gt(e50, 0.0, out=m50b)
+            land(m50a, m50b, out=m50a)
+            lt(c50b, self.umin50, out=m50b)
+            lt(e50, 0.0, out=m50c)
+            land(m50b, m50c, out=m50b)
+            lor(m50a, m50b, out=m50a)
+            lnot(m50a, out=m50a)  # integrator keep mask
+            copyto(integ50, c50a, where=m50a)
+            copyto(self.preve50, e50)
+            self.pump_has_prev = True
+            self.valve_has_prev = True
+
+            # --- 2. Tower controls (all scalar state).
+            htws = self.p_supply_t
+            if self.prev_htws is None:
+                self.prev_htws = htws
+            gradient = (htws - self.prev_htws) / h * 60.0
+            self.prev_htws = htws
+            err = htws - self.p_supply_sp
+            self.delay_y += alpha * ((err + 2.0 * gradient) - self.delay_y)
+            self.t_fan_speed = self.fan_pid.update(self.p_supply_sp, htws, h)
+            self.cell_stage.update(self.delay_y, h)
+            self.t_n_running = self.t_stage.count
+            q = self.t_total_flow
+            dp = self.t_res_k * q * abs(q)
+            self.t_pump_speed = self.speed_pid.update(self.t_press_sp, dp, h)
+            self.t_stage.update(self.t_pump_speed, h)
+            if self.t_n_running == 0:
+                self.t_total_flow = 0.0
+            else:
+                s = self.t_pump_speed
+                s = 0.0 if s < 0.0 else (1.0 if s > 1.0 else s)
+                if s <= 0.0:
+                    self.t_total_flow = 0.0
+                else:
+                    denom = self.t_kp / self.t_n_running**2 + self.t_res_k
+                    self.t_total_flow = sqrt(s**2 * self.t_h0 / denom)
+
+            # --- 3. Hydraulics: secondary pump points + valve draws.
+            np.sqrt(blockage, out=b[0])
+            mul(pump_speed, self.cdu_q1, out=sec_flow)
+            div(sec_flow, b[0], out=sec_flow)
+            # The valve PID clamps its output to [0.05, 1], so the
+            # reference's re-clip in flow_fraction is an exact identity.
+            sub(valve_opening, 1.0, out=b[0])
+            _power(self.valve_rangeability, b[0], out=b[0])
+            mul(b[0], self.valve_cv_max, out=pri_flow)
+            mul(pri_flow, dp_term, out=pri_flow)
+
+            # --- 4. Primary loop tracks the total valve demand.
+            demand = float(nsum(pri_flow))
+            self.p_n_running = self.p_stage.count
+            if demand <= 0 or self.p_n_running == 0:
+                speed = 0.0
+            else:
+                denom = self.p_kp / self.p_n_running**2 + self.p_res_k
+                speed = sqrt(demand**2 * denom / self.p_h0)
+                if speed > 1.0:
+                    speed = 1.0
+            self.p_pump_speed = max(speed, self.p_min_speed)
+            q_cap = self.p_qcap[self.p_n_running]
+            self.p_total_flow = min(demand, q_cap)
+            self.p_stage.update(self.p_pump_speed, h)
+
+            # --- 5. EHX staging follows the tower-cell count.
+            towers_running = ceil(
+                self.cell_stage.count / max(self.cells_per_tower, 1)
+            )
+            m = towers_running
+            self.p_n_ehx = (
+                1 if m < 1 else (self.p_num_ehx if m > self.p_num_ehx else m)
+            )
+
+            # --- 6. CDU thermal: racks -> hot volume -> HEX-1600 -> cold.
+            sub(cold_t, pg_tref, out=b[0])
+            mul(b[0], pg_drho, out=b[0])
+            add(b[0], pg_rho_ref, out=b[0])
+            mul(b[0], sec_flow, out=b[0])
+            mul(b[0], pg_cp, out=b[0])  # secondary cap rate
+            npmax(b[0], 1e-12, out=b[1])
+            div(heat, b[1], out=b[1])
+            gt(b[0], 1e-9, out=mb0)
+            if mb0.all():
+                add(cold_t, b[1], out=b[1])  # rack outlet temperature
+            else:
+                rise = where(mb0, b[1], 0.0)
+                add(cold_t, rise, out=b[1])
+            advance_bank(hot_t, b[1], sec_flow, h, self.hot_mcp)
+            # HEX-1600 bank: secondary hot side -> primary cold side.
+            sub(hot_t, pg_tref, out=b[0])
+            mul(b[0], pg_drho, out=b[0])
+            add(b[0], pg_rho_ref, out=b[0])
+            mul(b[0], sec_flow, out=b[0])
+            mul(b[0], pg_cp, out=b[0])  # c_hot
+            rho_w = self.w_rho_ref + self.w_drho * (htws - self.w_tref)
+            mul(pri_flow, rho_w, out=b[1])
+            mul(b[1], self.w_cp, out=b[1])  # c_cold
+            npmin(b[0], b[1], out=b[2])  # c_min
+            npmax(b[0], b[1], out=b[3])  # c_max
+            le(b[2], 1e-9, out=mb0)  # dead channels
+            npmax(b[3], 1e-12, out=b[4])
+            div(b[2], b[4], out=b[4])
+            if mb0.any():
+                dead_any = True
+                cr = where(mb0, 0.0, b[4])
+                c_min_safe = where(mb0, 1.0, b[2])
+            else:
+                dead_any = False
+                cr = b[4]
+                c_min_safe = b[2]
+            div(hx_ua, c_min_safe, out=b[3])  # ntu (c_max retired)
+            sub(1.0, cr, out=b[5])
+            absolute(b[5], out=b[6])
+            lt(b[6], 1e-6, out=mb1)  # near-unity Cr
+            mul(b[3], b[5], out=b[6])
+            neg(b[6], out=b[6])
+            exp(b[6], out=b[6])  # e
+            sub(1.0, b[6], out=b[5])
+            mul(cr, b[6], out=b[7])
+            sub(1.0, b[7], out=b[7])
+            npmax(b[7], 1e-12, out=b[7])
+            div(b[5], b[7], out=b[5])  # general effectiveness
+            add(b[3], 1.0, out=b[7])
+            div(b[3], b[7], out=b[7])  # balanced effectiveness
+            eps = where(mb1, b[7], b[5]) if mb1.any() else b[5]
+            clip(eps, 0.0, 1.0, out=eps)
+            if dead_any:
+                mul(eps, ~mb0, out=eps)  # dead channels: eps = 0
+            sub(hot_t, htws, out=b[6])
+            mul(eps, b[2], out=b[4])
+            mul(b[4], b[6], out=b[4])  # q
+            hx_heat[:] = b[4]
+            npmax(b[0], 1e-12, out=b[7])
+            div(b[4], b[7], out=b[7])
+            sub(hot_t, b[7], out=b[7])
+            gt(b[0], 1e-9, out=mb1)
+            t_hot_out = b[7] if mb1.all() else where(mb1, b[7], hot_t)
+            npmax(b[1], 1e-12, out=b[8])
+            div(b[4], b[8], out=b[8])
+            add(b[8], htws, out=b[8])
+            gt(b[1], 1e-9, out=mb2)
+            if mb2.all():
+                pri_return[:] = b[8]
+            else:
+                pri_return[:] = where(mb2, b[8], htws)
+            advance_bank(cold_t, t_hot_out, sec_flow, h, self.cold_mcp)
+
+            # --- 7. Flow-weighted CDU return mix into the HTW header.
+            # pri_flow is unchanged since step 4, so its sum is reused.
+            if demand > 1e-9:
+                mul(pri_flow, pri_return, out=b[0])
+                mix_c = float(nsum(b[0]) / demand)
+            else:
+                mix_c = self.p_return_t
+
+            # --- 8. Primary loop thermal + EHX rejection to the towers.
+            self.p_return_t = advance_scalar(
+                self.p_return_t, mix_c, self.p_total_flow, h, self.p_mcp
+            )
+            ua = self.p_n_ehx * self.ehx_ua
+            qx, t_hot2, ehx_cold_out = self._ehx_transfer(
+                self.p_return_t,
+                self.p_total_flow,
+                self.t_supply_t,
+                self.t_total_flow,
+                ua,
+            )
+            self.p_ehx_heat = float(qx)
+            self.p_supply_t = advance_scalar(
+                self.p_supply_t, t_hot2, self.p_total_flow, h, self.p_mcp
+            )
+
+            # --- 9. Tower loop thermal: EHX outlet -> farm -> supply.
+            self.t_return_t = advance_scalar(
+                self.t_return_t, ehx_cold_out, self.t_total_flow, h, self.t_mcp
+            )
+            t_ct_out = self._farm_outlet(
+                self.t_return_t,
+                wetbulb_c,
+                self.t_total_flow,
+                self.cell_stage.count,
+                self.t_fan_speed,
+            )
+            self.t_supply_t = advance_scalar(
+                self.t_supply_t, t_ct_out, self.t_total_flow, h, self.t_mcp
+            )
+
+        self.push(plant)
+
+
+
+__all__ = ["FusedPlantKernel"]

@@ -41,6 +41,10 @@ from repro.exceptions import CoolingModelError
 #: Number of model outputs per simulation step (paper section III-C4).
 NUM_OUTPUTS = 317
 
+#: Plant stepping backends: the fused flat-array kernel (default) and
+#: the reference object-graph integrator it is bit-identical to.
+BACKENDS = ("fused", "reference")
+
 
 @dataclass
 class PlantState:
@@ -172,22 +176,46 @@ class CoolingPlant:
     substep_s:
         Internal integration substep; the 15 s macro step is divided
         into ceil(dt / substep_s) substeps.
+    backend:
+        ``"fused"`` (default) advances all substeps of a macro step in
+        one :class:`~repro.cooling.kernel.FusedPlantKernel` call over
+        flat preallocated arrays; ``"reference"`` walks the original
+        component object graph substep by substep.  The two are
+        bit-identical (the fused kernel mirrors the reference
+        arithmetic operation for operation); the reference backend is
+        kept as the oracle the equivalence tests check against.
     """
 
     #: Static reference pressure for the secondary loops, Pa.
     SECONDARY_STATIC_PA = 150.0e3
 
-    def __init__(self, cooling: CoolingSpec, *, substep_s: float = 3.0) -> None:
+    def __init__(
+        self,
+        cooling: CoolingSpec,
+        *,
+        substep_s: float = 3.0,
+        backend: str = "fused",
+    ) -> None:
         if substep_s <= 0:
             raise CoolingModelError("substep must be positive")
+        if backend not in BACKENDS:
+            raise CoolingModelError(
+                f"unknown plant backend {backend!r}; expected one of {BACKENDS}"
+            )
         self.spec = cooling
         self.substep_s = float(substep_s)
+        self.backend = backend
         self.cdus = CduLoopBank(cooling)
         self.primary = PrimaryLoop(cooling)
         self.tower = TowerLoop(cooling)
         self.time_s = 0.0
         #: Header dp the HTWP VFDs hold for the CDU valves, Pa.
         self.primary_header_dp_pa = 0.7 * cooling.primary_loop.design_dp_pa
+        self._kernel = None
+        if backend == "fused":
+            from repro.cooling.kernel import FusedPlantKernel
+
+            self._kernel = FusedPlantKernel(self)
 
     # -- stepping --------------------------------------------------------------
 
@@ -215,10 +243,15 @@ class CoolingPlant:
             raise CoolingModelError(
                 f"cdu_heat_w must have shape ({self.spec.num_cdus},)"
             )
+        if np.any(cdu_heat_w < 0):
+            raise CoolingModelError("heat must be non-negative")
         n_sub = max(1, int(np.ceil(dt / self.substep_s)))
         h = dt / n_sub
-        for _ in range(n_sub):
-            self._substep(cdu_heat_w, float(wetbulb_c), h)
+        if self._kernel is not None:
+            self._kernel.advance(self, cdu_heat_w, float(wetbulb_c), h, n_sub)
+        else:
+            for _ in range(n_sub):
+                self._substep(cdu_heat_w, float(wetbulb_c), h)
         self.time_s += dt
         return self._snapshot(cdu_heat_w, system_power_w)
 
@@ -374,5 +407,6 @@ __all__ = [
     "PlantState",
     "PlantSnapshot",
     "output_names",
+    "BACKENDS",
     "NUM_OUTPUTS",
 ]

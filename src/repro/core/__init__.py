@@ -11,6 +11,8 @@
   (the scenario *API* lives in :mod:`repro.scenarios`),
 - :mod:`repro.core.earlystop` — steady-state / divergence predicates
   for ``engine.run(stop_when=...)`` over :class:`StepState` streams,
+- :mod:`repro.core.profiling` — per-phase wall-time profiling of the
+  engine hot path (``repro profile`` and the BENCH_core trajectory),
 - :mod:`repro.core.stats` — output statistics (section III-B5, Table IV),
 - :mod:`repro.core.summary` — stable result summarization: the raw
   scalars and JSON documents the campaign artifact store persists,
@@ -24,6 +26,7 @@ from repro.core.earlystop import (
     any_of,
 )
 from repro.core.engine import RapsEngine, SimulationResult, StepState
+from repro.core.profiling import ENGINE_PHASES, PhaseProfiler
 from repro.core.simulation import Simulation
 from repro.core.stats import RunStatistics, DailyStatistics, aggregate_daily
 from repro.core.summary import result_metrics, result_series_doc
@@ -36,6 +39,8 @@ __all__ = [
     "RapsEngine",
     "SimulationResult",
     "StepState",
+    "PhaseProfiler",
+    "ENGINE_PHASES",
     "Simulation",
     "RunStatistics",
     "DailyStatistics",

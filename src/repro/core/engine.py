@@ -146,7 +146,14 @@ DEFAULT_COOLING_RECORD = (
 
 
 class _TracePool:
-    """Concatenated utilization traces + per-slot gather state."""
+    """Concatenated utilization traces + per-slot gather state.
+
+    ``event_count`` increments on every slot start/stop, so the engine
+    can fingerprint a quantum as (event count, gathered per-slot trace
+    values): if neither changed since the previous quantum, the
+    node-level gather — and the whole power pipeline behind it — would
+    reproduce the previous result exactly and can be skipped.
+    """
 
     def __init__(self, jobs: list[Job]) -> None:
         cpu_parts = [j.cpu_util for j in jobs]
@@ -157,6 +164,7 @@ class _TracePool:
         self.gpu = np.concatenate(gpu_parts) if jobs else np.zeros(0)
         self.job_offset = {j.job_id: int(o) for j, o in zip(jobs, offsets)}
         self.job_len = {j.job_id: int(n) for j, n in zip(jobs, lens)}
+        self.event_count = 0
         # Slot state (grows with peak concurrency).
         cap = 64
         self.slot_offset = np.zeros(cap, dtype=np.int64)
@@ -164,6 +172,13 @@ class _TracePool:
         self.slot_start = np.zeros(cap, dtype=np.float64)
         self.slot_active = np.zeros(cap, dtype=bool)
         self.slot_nodes = np.zeros(cap, dtype=np.int64)
+        # Node-level gather scratch (lazily sized; reused every quantum
+        # so the steady-state per-quantum path allocates nothing
+        # proportional to the node count).
+        self._node_occ: np.ndarray | None = None
+        self._node_slot: np.ndarray | None = None
+        self._node_cpu: np.ndarray | None = None
+        self._node_gpu: np.ndarray | None = None
 
     def _ensure(self, slot: int) -> None:
         while slot >= self.slot_offset.size:
@@ -184,9 +199,11 @@ class _TracePool:
         self.slot_start[job.slot] = job.start_time
         self.slot_active[job.slot] = True
         self.slot_nodes[job.slot] = job.nodes_required
+        self.event_count += 1
 
     def stop(self, job: Job) -> None:
         self.slot_active[job.slot] = False
+        self.event_count += 1
 
     def _slot_utils(self, now: float, quanta: float) -> tuple[np.ndarray, np.ndarray]:
         """Per-slot (cpu, gpu) utilization at ``now`` (inactive slots 0)."""
@@ -205,11 +222,52 @@ class _TracePool:
     ) -> tuple[np.ndarray, np.ndarray]:
         """Per-node (cpu, gpu) utilization via two vectorized gathers."""
         slot_cpu, slot_gpu = self._slot_utils(now, quanta)
-        occupied = slot_of_node >= 0
-        safe_slot = np.where(occupied, slot_of_node, 0)
-        node_cpu = np.where(occupied, slot_cpu[safe_slot], 0.0)
-        node_gpu = np.where(occupied, slot_gpu[safe_slot], 0.0)
-        return node_cpu, node_gpu
+        return self.node_utils_from(slot_cpu, slot_gpu, slot_of_node)
+
+    def node_utils_from(
+        self,
+        slot_cpu: np.ndarray,
+        slot_gpu: np.ndarray,
+        slot_of_node: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Gather node utilizations from precomputed per-slot values.
+
+        Runs entirely in reused node-sized scratch buffers: unoccupied
+        nodes gather slot 0 through a masked index and are then zeroed
+        by a mask multiply (identical values to the ``np.where``
+        formulation for the finite trace data involved).  The returned
+        arrays are owned by the pool and overwritten on the next call.
+        """
+        nn = slot_of_node.size
+        if self._node_cpu is None or self._node_cpu.size != nn:
+            self._node_occ = np.empty(nn, dtype=bool)
+            self._node_slot = np.empty(nn, dtype=np.int64)
+            self._node_cpu = np.empty(nn)
+            self._node_gpu = np.empty(nn)
+        occ, safe = self._node_occ, self._node_slot
+        np.greater_equal(slot_of_node, 0, out=occ)
+        np.multiply(slot_of_node, occ, out=safe)
+        np.take(slot_cpu, safe, out=self._node_cpu)
+        np.multiply(self._node_cpu, occ, out=self._node_cpu)
+        np.take(slot_gpu, safe, out=self._node_gpu)
+        np.multiply(self._node_gpu, occ, out=self._node_gpu)
+        return self._node_cpu, self._node_gpu
+
+    def slot_fingerprint(
+        self, now: float, quanta: float
+    ) -> tuple[int, np.ndarray, np.ndarray]:
+        """Cheap per-quantum change fingerprint.
+
+        Returns ``(event_count, slot_cpu, slot_gpu)``: the number of
+        slot start/stop events so far plus the gathered per-slot trace
+        values at ``now``.  Two quanta with equal fingerprints have
+        bit-identical node utilizations (no placement change and the
+        same gathered values), so the power evaluation of the first can
+        be reused verbatim for the second — O(slots) to check instead
+        of O(nodes) to recompute.
+        """
+        slot_cpu, slot_gpu = self._slot_utils(now, quanta)
+        return self.event_count, slot_cpu, slot_gpu
 
     def active_aggregates(
         self, now: float, quanta: float, total_nodes: int
@@ -408,6 +466,14 @@ class RapsEngine:
         cached, the cooling warmup restores it instead of re-stepping
         the plant — bit-identical, since warmup is deterministic —
         and a miss stores the freshly warmed state for the next run.
+    cooling_backend:
+        Plant stepping backend for the coupled cooling FMU: the fused
+        flat-array kernel (``"fused"``, default) or the reference
+        object graph (``"reference"``); the two are bit-identical.
+    profiler:
+        Optional :class:`~repro.core.profiling.PhaseProfiler`;
+        when attached, each run accumulates per-phase wall time
+        (warmup / schedule / power / cooling / collect).
     """
 
     def __init__(
@@ -420,8 +486,10 @@ class RapsEngine:
         policy: str | None = None,
         allocation: str = "contiguous",
         cooling_substep_s: float = 3.0,
+        cooling_backend: str = "fused",
         down_nodes: np.ndarray | None = None,
         warm_cache=None,
+        profiler=None,
     ) -> None:
         self.spec = spec
         # A chain override changes the idle heat the warmup runs at, so
@@ -440,8 +508,25 @@ class RapsEngine:
         )
         self.fmu: CoolingFMU | None = None
         if with_cooling:
-            self.fmu = CoolingFMU(spec.cooling, substep_s=cooling_substep_s)
+            self.fmu = CoolingFMU(
+                spec.cooling,
+                substep_s=cooling_substep_s,
+                backend=cooling_backend,
+            )
         self.quanta = TRACE_QUANTA_S
+        self.profiler = profiler
+        #: Reuse the previous quantum's PowerResult when the trace-pool
+        #: fingerprint is unchanged (flat traces and idle stretches then
+        #: cost one O(slots) comparison instead of an O(nodes) pipeline).
+        #: Flip off to force a fresh evaluation every quantum.
+        self.power_change_detection = True
+        #: Per-run counters (reset by each iter_steps call).
+        self.power_evals = 0
+        self.power_reuses = 0
+        # The idle PowerResult that seeds every cooling warmup is a pure
+        # function of the spec/chain: computed once per engine, reused
+        # across runs.
+        self._idle_power: PowerResult | None = None
 
     # -- main loop ------------------------------------------------------------
 
@@ -468,16 +553,39 @@ class RapsEngine:
         ``warmup_cooling_s`` so transients reflect workload changes, not
         cold-start initialization.
         """
+        jobs = sorted(jobs, key=lambda j: (j.submit_time, j.job_id))
+        return self._iter_steps_sorted(
+            jobs,
+            duration_s,
+            wetbulb=wetbulb,
+            cooling_record=cooling_record,
+            warmup_cooling_s=warmup_cooling_s,
+        )
+
+    def _iter_steps_sorted(
+        self,
+        jobs: list[Job],
+        duration_s: float,
+        *,
+        wetbulb: TimeSeries | float = 15.0,
+        cooling_record: tuple[str, ...] = DEFAULT_COOLING_RECORD,
+        warmup_cooling_s: float = 1800.0,
+    ) -> Iterator[StepState]:
+        """:meth:`iter_steps` body for an already-sorted job list."""
         if duration_s <= 0:
             raise SimulationError("duration must be positive")
+        from time import perf_counter
+
         n_steps = int(np.ceil(duration_s / self.quanta))
-        jobs = sorted(jobs, key=lambda j: (j.submit_time, j.job_id))
         pool = _TracePool(jobs)
         wb_cursor = (
             ReplayCursor(wetbulb, method="linear")
             if isinstance(wetbulb, TimeSeries)
             else None
         )
+        prof = self.profiler
+        if prof is not None:
+            prof.begin_run()
 
         if self.fmu is not None:
             from repro.cooling.fmu import FmuState
@@ -485,49 +593,115 @@ class RapsEngine:
             if self.fmu.state is not FmuState.INSTANTIATED:
                 self.fmu.reset()  # allow repeated runs on one engine
             self.fmu.setup_experiment(start_time=0.0)
+            t0 = perf_counter() if prof is not None else 0.0
             self._warmup_cooling(jobs, wetbulb, warmup_cooling_s)
+            if prof is not None:
+                prof.add("warmup", perf_counter() - t0)
 
-        for k, t_sample in drive_schedule(
-            self.scheduler, pool, jobs, n_steps, self.quanta
-        ):
-            # --- power at the quantum boundary (vectorized over nodes).
-            node_cpu, node_gpu = pool.node_utils(
-                t_sample, self.scheduler.allocator.slot_of_node, self.quanta
-            )
-            result: PowerResult = self.power.evaluate(node_cpu, node_gpu)
+        # Change-detection state: the previous quantum's PowerResult and
+        # the fingerprint (slot events + gathered per-slot traces) it
+        # was computed from.
+        self.power_evals = 0
+        self.power_reuses = 0
+        last_result: PowerResult | None = None
+        last_events = -1
+        last_cpu: np.ndarray | None = None
+        last_gpu: np.ndarray | None = None
+        slot_of_node = self.scheduler.allocator.slot_of_node
 
-            # --- cooling FMU step (15 s coupling, Algorithm 1 line 23).
-            cooling: dict[str, np.ndarray] = {}
-            if self.fmu is not None:
-                wb = (
-                    float(np.asarray(wb_cursor.value(t_sample)))
-                    if wb_cursor is not None
-                    else float(wetbulb)
+        sched = drive_schedule(self.scheduler, pool, jobs, n_steps, self.quanta)
+        steps_done = 0
+        try:
+            while True:
+                t0 = perf_counter() if prof is not None else 0.0
+                try:
+                    k, t_sample = next(sched)
+                except StopIteration:
+                    break
+                if prof is not None:
+                    prof.add("schedule", perf_counter() - t0)
+                    t0 = perf_counter()
+
+                # --- power at the quantum boundary (vectorized over
+                # nodes), reusing the previous result when nothing in
+                # the trace pool changed.
+                events, slot_cpu, slot_gpu = pool.slot_fingerprint(
+                    t_sample, self.quanta
                 )
-                self.fmu.set_cdu_heat(result.cdu_heat_w)
-                self.fmu.set_wetbulb(wb)
-                self.fmu.set_system_power(result.system_power_w)
-                self.fmu.do_step(self.fmu.time, self.quanta)
-                state = self.fmu.get_state()
-                cooling = {
-                    key: np.copy(getattr(state, key))
-                    for key in cooling_record
-                }
+                if (
+                    self.power_change_detection
+                    and last_result is not None
+                    and events == last_events
+                    and np.array_equal(slot_cpu, last_cpu)
+                    and np.array_equal(slot_gpu, last_gpu)
+                ):
+                    result = last_result
+                    self.power_reuses += 1
+                else:
+                    node_cpu, node_gpu = pool.node_utils_from(
+                        slot_cpu, slot_gpu, slot_of_node
+                    )
+                    result = self.power.evaluate(node_cpu, node_gpu)
+                    self.power_evals += 1
+                    last_result = result
+                    last_events = events
+                    last_cpu = slot_cpu
+                    last_gpu = slot_gpu
+                if prof is not None:
+                    prof.add("power", perf_counter() - t0)
+                    t0 = perf_counter()
 
-            yield StepState(
-                index=k,
-                time_s=t_sample,
-                system_power_w=result.system_power_w,
-                loss_w=result.loss_w,
-                sivoc_loss_w=result.sivoc_loss_w,
-                rectifier_loss_w=result.rectifier_loss_w,
-                chain_efficiency=result.chain_efficiency,
-                utilization=self.scheduler.utilization,
-                num_running=self.scheduler.num_running,
-                cdu_power_w=result.cdu_power_w,
-                cdu_heat_w=result.cdu_heat_w,
-                cooling=cooling,
-            )
+                # --- cooling FMU step (15 s coupling, Algorithm 1
+                # line 23).
+                cooling: dict[str, np.ndarray] = {}
+                if self.fmu is not None:
+                    wb = (
+                        float(np.asarray(wb_cursor.value(t_sample)))
+                        if wb_cursor is not None
+                        else float(wetbulb)
+                    )
+                    self.fmu.set_cdu_heat(result.cdu_heat_w)
+                    self.fmu.set_wetbulb(wb)
+                    self.fmu.set_system_power(result.system_power_w)
+                    self.fmu.do_step(self.fmu.time, self.quanta)
+                    state = self.fmu.get_state()
+                    # PlantState fields are freshly allocated by each
+                    # plant step, so recording can alias them directly
+                    # instead of copying every array every quantum.
+                    cooling = {
+                        key: getattr(state, key) for key in cooling_record
+                    }
+                    if prof is not None:
+                        prof.add("cooling", perf_counter() - t0)
+
+                step = StepState(
+                    index=k,
+                    time_s=t_sample,
+                    system_power_w=result.system_power_w,
+                    loss_w=result.loss_w,
+                    sivoc_loss_w=result.sivoc_loss_w,
+                    rectifier_loss_w=result.rectifier_loss_w,
+                    chain_efficiency=result.chain_efficiency,
+                    utilization=self.scheduler.utilization,
+                    num_running=self.scheduler.num_running,
+                    cdu_power_w=result.cdu_power_w,
+                    cdu_heat_w=result.cdu_heat_w,
+                    cooling=cooling,
+                )
+                steps_done += 1
+                if prof is None:
+                    yield step
+                else:
+                    t0 = perf_counter()
+                    yield step
+                    prof.add("collect", perf_counter() - t0)
+        finally:
+            if prof is not None:
+                prof.end_run(
+                    steps_done,
+                    power_evals=self.power_evals,
+                    power_reuses=self.power_reuses,
+                )
 
     def run(
         self,
@@ -548,7 +722,8 @@ class RapsEngine:
         ``stop_when`` is an optional early-stop predicate on the step
         (the step that triggers it is still recorded, then the run ends).
         """
-        steps = self.iter_steps(
+        jobs = sorted(jobs, key=lambda j: (j.submit_time, j.job_id))
+        steps = self._iter_steps_sorted(
             jobs,
             duration_s,
             wetbulb=wetbulb,
@@ -557,7 +732,7 @@ class RapsEngine:
         )
         return self.collect(
             steps,
-            jobs=sorted(jobs, key=lambda j: (j.submit_time, j.job_id)),
+            jobs=jobs,
             progress=progress,
             stop_when=stop_when,
         )
@@ -611,8 +786,10 @@ class RapsEngine:
                 self.fmu._time = 0.0
                 self.fmu._plant.time_s = 0.0
                 return
-        n = self.power.nodes.total_nodes
-        idle = self.power.evaluate(np.zeros(n), np.zeros(n))
+        if self._idle_power is None:
+            n = self.power.nodes.total_nodes
+            self._idle_power = self.power.evaluate(np.zeros(n), np.zeros(n))
+        idle = self._idle_power
         steps = int(warmup_s / self.quanta)
         self.fmu.set_cdu_heat(idle.cdu_heat_w)
         self.fmu.set_wetbulb(wb0)

@@ -210,6 +210,7 @@ class Scenario:
             honor_recorded_starts=plan.honor_recorded,
             policy=self.policy,
             warm_cache=getattr(twin, "warm_cache", None),
+            cooling_backend=getattr(twin, "cooling_backend", "fused"),
         )
 
     def _finish(

@@ -51,13 +51,29 @@ class Campaign:
     :class:`~repro.fastpath.bundle.SurrogateBundle` or a saved-bundle
     path) that surrogate-fidelity cells run on — shared by the serial
     path and shipped to worker processes, so parallel campaigns never
-    retrain their own defaults.
+    retrain their own defaults.  ``warm_cache`` attaches a
+    :class:`~repro.service.warmcache.WarmStateCache` to the campaign's
+    twin, so serial coupled cells share one warmed plant; worker
+    processes always keep their own process-local cache (see
+    :func:`~repro.scenarios.suite.execute_scenario`).
     """
 
-    def __init__(self, store: CampaignStore, *, surrogates=None) -> None:
+    def __init__(
+        self,
+        store: CampaignStore,
+        *,
+        surrogates=None,
+        warm_cache=None,
+        cooling_backend: str = "fused",
+    ) -> None:
         self.store = store
         self.cells: list[Scenario] = store.cells()
-        self.twin = DigitalTwin(store.system_spec(), surrogates=surrogates)
+        self.twin = DigitalTwin(
+            store.system_spec(),
+            surrogates=surrogates,
+            warm_cache=warm_cache,
+            cooling_backend=cooling_backend,
+        )
 
     # -- construction ----------------------------------------------------------
 
@@ -70,6 +86,8 @@ class Campaign:
         system: DigitalTwin | SystemSpec | str | Path = "frontier",
         name: str | None = None,
         surrogates=None,
+        warm_cache=None,
+        cooling_backend: str = "fused",
     ) -> "Campaign":
         """Start a new campaign directory from declared scenarios.
 
@@ -81,12 +99,29 @@ class Campaign:
         store = CampaignStore.create(
             path, list(scenarios), twin.spec, name=name
         )
-        return cls(store, surrogates=surrogates)
+        return cls(
+            store,
+            surrogates=surrogates,
+            warm_cache=warm_cache,
+            cooling_backend=cooling_backend,
+        )
 
     @classmethod
-    def open(cls, path: str | Path, *, surrogates=None) -> "Campaign":
+    def open(
+        cls,
+        path: str | Path,
+        *,
+        surrogates=None,
+        warm_cache=None,
+        cooling_backend: str = "fused",
+    ) -> "Campaign":
         """Attach to an existing campaign directory."""
-        return cls(CampaignStore.open(path), surrogates=surrogates)
+        return cls(
+            CampaignStore.open(path),
+            surrogates=surrogates,
+            warm_cache=warm_cache,
+            cooling_backend=cooling_backend,
+        )
 
     # -- state -----------------------------------------------------------------
 
@@ -160,7 +195,12 @@ class Campaign:
             ) as pool:
                 futures = {
                     pool.submit(
-                        execute_scenario, self.twin.spec, s, surrogate_doc
+                        execute_scenario,
+                        self.twin.spec,
+                        s,
+                        surrogate_doc,
+                        True,
+                        self.twin.cooling_backend,
                     ): (i, s)
                     for i, s in pending
                 }

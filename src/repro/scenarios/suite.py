@@ -28,10 +28,35 @@ from repro.scenarios.result import ScenarioResult
 from repro.scenarios.twin import DigitalTwin, as_twin
 
 
+#: Per-process warm-plant cache shared by every suite scenario this
+#: worker executes (created lazily on first coupled scenario).
+_WORKER_WARM_CACHE = None
+
+
+def _process_warm_cache():
+    """The process-local :class:`~repro.service.warmcache.WarmStateCache`.
+
+    Pool workers are reused across scenarios, so one cache per worker
+    process lets every coupled scenario after the first skip the 1800 s
+    cooling warmup.  Warmup is deterministic (see
+    :meth:`RapsEngine._warmup_cooling
+    <repro.core.engine.RapsEngine._warmup_cooling>`), so cached runs
+    stay bit-identical to serial execution.
+    """
+    global _WORKER_WARM_CACHE
+    if _WORKER_WARM_CACHE is None:
+        from repro.service.warmcache import WarmStateCache
+
+        _WORKER_WARM_CACHE = WarmStateCache()
+    return _WORKER_WARM_CACHE
+
+
 def execute_scenario(
     spec: SystemSpec,
     scenario: Scenario,
     surrogate_doc: dict | None = None,
+    use_warm_cache: bool = False,
+    cooling_backend: str = "fused",
 ) -> ScenarioResult:
     """Run one scenario against a fresh twin built from ``spec``.
 
@@ -46,9 +71,17 @@ def execute_scenario(
     <repro.scenarios.twin.DigitalTwin.surrogate_doc>`): rebuilding it
     here keeps surrogate-fidelity cells bit-identical between serial
     and worker execution — without it a worker would train its own
-    default bundle.
+    default bundle.  ``use_warm_cache`` attaches the process-local
+    warm-plant cache, so repeated coupled scenarios in one worker skip
+    the cooling warmup (suite workers pass True by default).
+    ``cooling_backend`` forwards the driving twin's plant backend so an
+    explicit oracle (``"reference"``) selection survives into workers.
     """
-    twin = DigitalTwin(spec)
+    twin = DigitalTwin(
+        spec,
+        warm_cache=_process_warm_cache() if use_warm_cache else None,
+        cooling_backend=cooling_backend,
+    )
     if surrogate_doc is not None:
         from repro.fastpath.bundle import SurrogateBundle
 
@@ -151,6 +184,7 @@ class ExperimentSuite:
         workers: int = 1,
         *,
         progress: Callable[[Scenario, int, int], None] | None = None,
+        warm_workers: bool = True,
     ) -> SuiteResult:
         """Execute every scenario; ``workers > 1`` uses process parallelism.
 
@@ -158,6 +192,12 @@ class ExperimentSuite:
         order, and are bit-identical to a ``workers=1`` run (each
         scenario is seeded and runs on its own fresh engine either way).
         ``progress(scenario, done, total)`` fires as scenarios finish.
+
+        With ``warm_workers`` (the default), each pool worker keeps a
+        process-local warm-plant cache so repeated coupled scenarios in
+        one suite pay the 1800 s cooling warmup once per worker — the
+        warmup is deterministic, so this changes wall-clock only, never
+        results.
         """
         scenarios = self.expanded()
         if not scenarios:
@@ -174,7 +214,12 @@ class ExperimentSuite:
             with ProcessPoolExecutor(max_workers=min(workers, total)) as pool:
                 futures = {
                     pool.submit(
-                        execute_scenario, self.twin.spec, s, surrogate_doc
+                        execute_scenario,
+                        self.twin.spec,
+                        s,
+                        surrogate_doc,
+                        warm_workers,
+                        self.twin.cooling_backend,
                     ): i
                     for i, s in enumerate(scenarios)
                 }

@@ -22,6 +22,7 @@ from pathlib import Path
 
 from repro.config.loader import load_builtin_system, load_system
 from repro.config.schema import SystemSpec
+from repro.cooling.plant import BACKENDS as COOLING_BACKENDS
 from repro.exceptions import ScenarioError
 from repro.telemetry.dataset import TelemetryDataset
 
@@ -65,6 +66,12 @@ class DigitalTwin:
         every full-fidelity coupled run against this twin: the first
         run pays the 1800 s cooling warmup and snapshots the warmed
         plant; later runs restore it, bit-identically.
+    cooling_backend:
+        Cooling-plant stepping backend for full-fidelity coupled runs:
+        the fused flat-array kernel (``"fused"``, default) or the
+        reference object graph (``"reference"``).  The two are
+        bit-identical; the knob exists for oracle comparisons and
+        perf forensics.
     """
 
     def __init__(
@@ -74,14 +81,21 @@ class DigitalTwin:
         fidelity: str = "full",
         surrogates=None,
         warm_cache=None,
+        cooling_backend: str = "fused",
     ) -> None:
         if fidelity not in FIDELITIES:
             raise ScenarioError(
                 f"unknown fidelity {fidelity!r}; expected one of {FIDELITIES}"
             )
+        if cooling_backend not in COOLING_BACKENDS:
+            raise ScenarioError(
+                f"unknown cooling backend {cooling_backend!r}; expected "
+                f"one of {COOLING_BACKENDS}"
+            )
         self.spec = resolve_spec(system)
         self.fidelity = fidelity
         self.warm_cache = warm_cache
+        self.cooling_backend = cooling_backend
         self._datasets: dict[str, TelemetryDataset] = {}
         self._bundle = None
         self._bundle_explicit = surrogates is not None
@@ -169,4 +183,10 @@ def as_twin(obj: DigitalTwin | str | Path | SystemSpec) -> DigitalTwin:
     return DigitalTwin(obj)
 
 
-__all__ = ["DigitalTwin", "as_twin", "resolve_spec", "FIDELITIES"]
+__all__ = [
+    "DigitalTwin",
+    "as_twin",
+    "resolve_spec",
+    "FIDELITIES",
+    "COOLING_BACKENDS",
+]

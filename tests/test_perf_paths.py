@@ -1,0 +1,222 @@
+"""Hot-path perf machinery: change detection, caches, profiler, CLI.
+
+Covers the engine's change-detecting power evaluation (reuse the
+previous ``PowerResult`` when the trace-pool fingerprint is unchanged),
+the per-engine idle-power memo behind the cooling warmup, the
+process-local warm-plant cache suite workers attach by default, and the
+:class:`~repro.core.profiling.PhaseProfiler` + ``repro profile`` verb.
+Every optimization is asserted *behaviorally* (counters moved) and
+*semantically* (results bit-identical with the optimization disabled).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+import repro.scenarios.suite as suite_mod
+from repro.cli import main as cli_main
+from repro.core.engine import RapsEngine
+from repro.core.profiling import PhaseProfiler
+from repro.scenarios import DigitalTwin, ExperimentSuite, SyntheticScenario
+from repro.scenarios.suite import execute_scenario
+from tests.conftest import make_small_spec
+
+
+class TestPowerChangeDetection:
+    def test_idle_run_reuses_power_result(self, small_spec):
+        """With no jobs, every quantum after the first is a reuse."""
+        engine = RapsEngine(small_spec, with_cooling=False)
+        result = engine.run([], 3600.0)
+        assert len(result.times_s) == 240
+        assert engine.power_evals == 1
+        assert engine.power_reuses == 239
+        assert np.all(result.system_power_w == result.system_power_w[0])
+
+    def test_reuse_is_bit_identical_to_full_evaluation(self, small_spec):
+        twin = DigitalTwin(small_spec)
+        scenario = SyntheticScenario(
+            duration_s=7200.0, seed=3, with_cooling=False
+        )
+        detecting = RapsEngine(small_spec, with_cooling=False)
+        exhaustive = RapsEngine(small_spec, with_cooling=False)
+        exhaustive.power_change_detection = False
+
+        plan = scenario.plan(twin)
+        r_detect = detecting.run(plan.jobs, plan.duration_s)
+        plan = scenario.plan(twin)
+        r_full = exhaustive.run(plan.jobs, plan.duration_s)
+
+        assert detecting.power_reuses > 0
+        assert exhaustive.power_reuses == 0
+        assert detecting.power_evals + detecting.power_reuses == (
+            exhaustive.power_evals
+        )
+        np.testing.assert_array_equal(
+            r_detect.system_power_w, r_full.system_power_w
+        )
+        np.testing.assert_array_equal(r_detect.loss_w, r_full.loss_w)
+        np.testing.assert_array_equal(
+            r_detect.cdu_heat_w, r_full.cdu_heat_w
+        )
+
+    def test_fingerprint_sees_trace_changes(self, small_spec):
+        """A varying-utilization workload must re-evaluate when traces
+        move — reuse never exceeds the flat/idle stretches."""
+        twin = DigitalTwin(small_spec)
+        scenario = SyntheticScenario(
+            duration_s=3600.0, seed=1, with_cooling=False
+        )
+        engine = RapsEngine(small_spec, with_cooling=False)
+        plan = scenario.plan(twin)
+        result = engine.run(plan.jobs, plan.duration_s)
+        assert engine.power_evals > 1
+        # Power varies across the run, so blanket reuse would be wrong.
+        assert len(np.unique(result.system_power_w)) > 1
+
+
+class TestIdlePowerMemo:
+    def test_idle_result_computed_once_per_engine(self, small_spec):
+        engine = RapsEngine(small_spec)
+        assert engine._idle_power is None
+        engine.run([], 600.0)
+        first = engine._idle_power
+        assert first is not None
+        engine.run([], 600.0)
+        assert engine._idle_power is first  # memo, not recomputed
+
+    def test_run_results_stable_across_reuse(self, small_spec):
+        engine = RapsEngine(small_spec)
+        r1 = engine.run([], 600.0)
+        r2 = engine.run([], 600.0)
+        np.testing.assert_array_equal(r1.system_power_w, r2.system_power_w)
+        for key in r1.cooling:
+            np.testing.assert_array_equal(
+                np.asarray(r1.cooling[key], dtype=np.float64),
+                np.asarray(r2.cooling[key], dtype=np.float64),
+            )
+
+
+class TestSuiteWarmCache:
+    def test_worker_entry_point_shares_process_cache(self, small_spec):
+        """Two coupled scenarios through the worker entry point: the
+        second restores the first's warmed plant."""
+        suite_mod._WORKER_WARM_CACHE = None
+        try:
+            for seed in (0, 1):
+                execute_scenario(
+                    small_spec,
+                    SyntheticScenario(duration_s=600.0, seed=seed),
+                    None,
+                    True,
+                )
+            cache = suite_mod._WORKER_WARM_CACHE
+            assert cache is not None
+            stats = cache.stats()
+            assert stats["misses"] == 1
+            assert stats["hits"] == 1
+        finally:
+            suite_mod._WORKER_WARM_CACHE = None
+
+    def test_warm_cache_off_means_no_cache(self, small_spec):
+        suite_mod._WORKER_WARM_CACHE = None
+        try:
+            execute_scenario(
+                small_spec,
+                SyntheticScenario(duration_s=600.0, seed=0),
+                None,
+                False,
+            )
+            assert suite_mod._WORKER_WARM_CACHE is None
+        finally:
+            suite_mod._WORKER_WARM_CACHE = None
+
+    def test_parallel_coupled_suite_matches_serial_bitwise(self, small_spec):
+        """workers=2 with warm workers (the default) stays bit-identical
+        to the serial path for coupled scenarios."""
+        scenarios = [
+            SyntheticScenario(name=f"s{seed}", duration_s=600.0, seed=seed)
+            for seed in (0, 1)
+        ]
+        serial = ExperimentSuite(small_spec, scenarios).run(workers=1)
+        parallel = ExperimentSuite(small_spec, scenarios).run(workers=2)
+        for a, b in zip(serial, parallel):
+            np.testing.assert_array_equal(
+                a.result.system_power_w, b.result.system_power_w
+            )
+            for key in a.result.cooling:
+                np.testing.assert_array_equal(
+                    np.asarray(a.result.cooling[key], dtype=np.float64),
+                    np.asarray(b.result.cooling[key], dtype=np.float64),
+                )
+
+
+class TestPhaseProfiler:
+    def test_engine_phases_recorded(self, small_spec):
+        twin = DigitalTwin(small_spec)
+        scenario = SyntheticScenario(duration_s=900.0, seed=0)
+        profiler = PhaseProfiler()
+        engine = RapsEngine(small_spec, profiler=profiler)
+        plan = scenario.plan(twin)
+        engine.run(plan.jobs, plan.duration_s)
+        doc = profiler.as_dict()
+        for phase in ("warmup", "schedule", "power", "cooling", "collect"):
+            assert phase in doc["phases"], phase
+        assert doc["steps"] == 60
+        assert doc["phases"]["schedule"]["calls"] == 60
+        assert doc["phases"]["warmup"]["calls"] == 1
+        assert doc["wall_s"] > 0
+        assert doc["unattributed_s"] >= 0
+        json.dumps(doc)  # strictly JSON-serializable
+
+    def test_uncoupled_run_has_no_cooling_phase(self, small_spec):
+        profiler = PhaseProfiler()
+        engine = RapsEngine(
+            small_spec, with_cooling=False, profiler=profiler
+        )
+        engine.run([], 900.0)
+        doc = profiler.as_dict()
+        assert "cooling" not in doc["phases"]
+        assert doc["power_reuses"] == 59
+
+    def test_summary_renders(self):
+        profiler = PhaseProfiler()
+        profiler.add("power", 0.25)
+        profiler.begin_run()
+        profiler.end_run(10, power_evals=4, power_reuses=6)
+        text = profiler.summary()
+        assert "power" in text and "steps=10" in text
+
+
+class TestProfileCli:
+    def test_profile_emits_json(self, capsys):
+        rc = cli_main(
+            ["profile", "--system", "frontier", "--hours", "0.05"]
+        )
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["cooling_backend"] == "fused"
+        assert doc["phases"]["cooling"]["calls"] == 12
+        assert doc["steps"] == 12
+
+    def test_profile_writes_file(self, tmp_path, capsys):
+        out = tmp_path / "prof.json"
+        rc = cli_main(
+            [
+                "profile",
+                "--system",
+                "frontier",
+                "--hours",
+                "0.05",
+                "--no-cooling",
+                "--out",
+                str(out),
+            ]
+        )
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["cooling_backend"] is None
+        assert "cooling" not in doc["phases"]
+        assert "profile written" in capsys.readouterr().out
