@@ -1,0 +1,158 @@
+"""Workload-generator perf bench: the BENCH_workloads.json trajectory.
+
+Times the generator subsystem the stress suites are built on:
+
+- raw generation throughput (jobs/s) for a dense 24 h diurnal workload
+  on the miniature Frontier-flavored system,
+- the content-addressed generation cache: checkout (clone) speed vs
+  regeneration — the ratio that makes sweeping engine parameters over a
+  fixed workload cheap,
+- stress-suite cell throughput (cells/s through generate -> run ->
+  validate on a small persisted grid).
+
+Results land in ``benchmarks/BENCH_workloads.json``.  As with
+``BENCH_core.json``, the committed file is the regression baseline and
+the guard is *ratio*-based (cached-vs-fresh generation speedup), which
+is hardware-independent to first order: a >20 % regression against the
+committed ratio fails the bench.  Ratios come from per-process CPU time
+over interleaved measurement rounds, and the baseline is only rewritten
+on first creation or with ``REPRO_BENCH_UPDATE=1``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro.scenarios import GeneratedScenario, GridSweepScenario
+from repro.scenarios.artifacts import git_revision
+from repro.workloads import (
+    DiurnalWorkload,
+    StressSuite,
+    clear_generation_cache,
+    generate_cached,
+)
+from tests.conftest import make_small_spec
+
+_BENCH_JSON = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "BENCH_workloads.json"
+)
+
+GEN_HOURS = 24.0
+#: Cached checkouts per timing sample (a single clone pass is too fast
+#: to time stably on its own).
+CHECKOUTS = 50
+#: Machine-independent regression budget on the committed ratio.
+RATIO_REGRESSION = 1.2
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    c0 = time.process_time()
+    out = fn()
+    return time.perf_counter() - t0, time.process_time() - c0, out
+
+
+@pytest.mark.slow
+def test_bench_workload_trajectory():
+    baseline = None
+    if os.path.exists(_BENCH_JSON):
+        with open(_BENCH_JSON, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+
+    spec = make_small_spec()
+    gen = DiurnalWorkload(seed=0, mean_arrival_s=60.0)
+    duration_s = GEN_HOURS * 3600.0
+
+    # Interleaved rounds, per-category minimum: both sides of the guard
+    # ratio see the same machine conditions.
+    fresh_wall = fresh_cpu = np.inf
+    cached_wall = cached_cpu = np.inf
+    jobs = []
+    for _ in range(3):
+        clear_generation_cache()
+        wall, cpu, jobs = _timed(lambda: gen.generate(spec, duration_s))
+        fresh_wall = min(fresh_wall, wall)
+        fresh_cpu = min(fresh_cpu, cpu)
+        generate_cached(gen, spec, duration_s)  # warm the cache
+
+        def checkout():
+            for _ in range(CHECKOUTS):
+                generate_cached(gen, spec, duration_s)
+
+        wall, cpu, _ = _timed(checkout)
+        cached_wall = min(cached_wall, wall / CHECKOUTS)
+        cached_cpu = min(cached_cpu, cpu / CHECKOUTS)
+    clear_generation_cache()
+
+    jobs_per_s = len(jobs) / fresh_wall
+    cache_speedup = fresh_cpu / cached_cpu
+
+    # --- stress-suite throughput: generate -> run -> validate a small
+    # uncoupled grid through a persisted campaign.
+    sweep = GridSweepScenario(
+        base=GeneratedScenario(
+            name="bench",
+            duration_s=900.0,
+            with_cooling=False,
+            workload=DiurnalWorkload(seed=1, mean_arrival_s=120.0),
+        ),
+        grid={"workload.mean_arrival_s": (120.0, 240.0), "seed": (0, 1)},
+    )
+    cells = len(sweep.expand())
+    with tempfile.TemporaryDirectory() as tmp:
+        t0 = time.perf_counter()
+        suite = StressSuite.create(
+            os.path.join(tmp, "suite"), [sweep], system=spec
+        )
+        report = suite.run()
+        suite_wall = time.perf_counter() - t0
+    assert report.complete and not report.failed
+    cells_per_s = cells / suite_wall
+
+    doc = {
+        "system": spec.name,
+        "generated_hours": GEN_HOURS,
+        "generated_jobs": len(jobs),
+        "generate_wall_s": round(fresh_wall, 4),
+        "generate_cpu_s": round(fresh_cpu, 4),
+        "generate_jobs_per_s": round(jobs_per_s, 1),
+        "cached_checkout_wall_s": round(cached_wall, 5),
+        "cached_checkout_cpu_s": round(cached_cpu, 5),
+        "cache_checkout_speedup": round(cache_speedup, 2),
+        "stress_cells": cells,
+        "stress_cell_hours": 0.25,
+        "stress_wall_s": round(suite_wall, 3),
+        "stress_cells_per_s": round(cells_per_s, 3),
+        "git_rev": git_revision(),
+    }
+    emit(
+        "WORKLOAD GENERATOR BENCH (BENCH_workloads.json)",
+        json.dumps(doc, indent=2),
+    )
+
+    # --- acceptance: checking a cached workload out must beat
+    # regenerating it by a wide margin, or memoized generation is moot.
+    assert cache_speedup >= 2.0, (
+        f"cache checkout only {cache_speedup:.2f}x over regeneration"
+    )
+
+    # --- machine-independent regression guard vs the committed baseline.
+    if baseline is not None:
+        base_speedup = baseline.get("cache_checkout_speedup")
+        if base_speedup:
+            assert cache_speedup >= base_speedup / RATIO_REGRESSION, (
+                f"cache-checkout speedup regressed: {cache_speedup:.2f}x vs "
+                f"committed {base_speedup:.2f}x"
+            )
+
+    if baseline is None or os.environ.get("REPRO_BENCH_UPDATE") == "1":
+        with open(_BENCH_JSON, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=1)
+            fh.write("\n")

@@ -18,6 +18,10 @@ Demonstrated at Exascale", SC 2024):
   execution backend (``fidelity="surrogate"``), serialized model
   bundles with provenance, and screen-then-refine
   :class:`MultiFidelityCampaign` drivers (:mod:`repro.fastpath`),
+- **Workload generators** -- parametric, seed-deterministic,
+  content-addressed generators for arrivals, fault injection, weather
+  years, and grid signals, plus stress-suite campaigns that generate,
+  run, and validate whole grids (:mod:`repro.workloads`),
 - **Visual analytics** -- scene generation, dashboards, and exports
   (:mod:`repro.viz`),
 - **Generalization** -- JSON system specs, pluggable telemetry parsers,
@@ -101,9 +105,21 @@ from repro.scenarios import (
     VerificationScenario,
     WhatIfScenario,
 )
+from repro.scenarios import GeneratedScenario
 from repro.telemetry import SyntheticTelemetryGenerator, TelemetryDataset
+from repro.workloads import (
+    BurstyWorkload,
+    DiurnalWorkload,
+    FaultInjection,
+    GridSignalGenerator,
+    HeavyTailWorkload,
+    JobMixMorph,
+    StressSuite,
+    WeatherYear,
+    WorkloadGenerator,
+)
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "FRONTIER",
@@ -143,5 +159,15 @@ __all__ = [
     "MultiFidelityCampaign",
     "SyntheticTelemetryGenerator",
     "TelemetryDataset",
+    "GeneratedScenario",
+    "WorkloadGenerator",
+    "DiurnalWorkload",
+    "BurstyWorkload",
+    "HeavyTailWorkload",
+    "JobMixMorph",
+    "FaultInjection",
+    "WeatherYear",
+    "GridSignalGenerator",
+    "StressSuite",
     "__version__",
 ]

@@ -31,6 +31,15 @@ and dashboard, wired through the declarative scenario API:
   scenario JSON (``--watch`` streams it), ``watch`` streams a job's
   per-quantum records over NDJSON or websocket, and ``jobs`` tabulates
   the server's job list,
+- ``workload`` — the parametric workload-generator subsystem
+  (:mod:`repro.workloads`): ``workload list`` catalogs the registered
+  generators with their typed parameter schemas, ``workload preview``
+  generates one workload and renders its arrival / wet-bulb / grid
+  trace as an ASCII chart (plus its content-address spec-SHA) without
+  simulating anything, and ``workload sweep`` runs a stress-suite
+  campaign over a generator grid — resumable, optionally
+  surrogate-screened (``--screen-top K``), with per-cell invariant
+  validation written to ``validation.json``,
 - ``scene`` — emit the descriptive-twin scene graph as JSON,
 - ``autocsm`` — print the generated cooling-model inventory,
 - ``systems`` — list bundled machine specifications.
@@ -709,6 +718,144 @@ def cmd_jobs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_generator(kind: str, assignments, seed: int):
+    """Construct a workload generator from CLI ``--set key=value`` pairs."""
+    from repro.workloads import WorkloadGenerator
+
+    doc = {"generator": kind, "seed": seed}
+    for assignment in assignments or ():
+        # Accept both repeated --set flags and the ;-separated form the
+        # --grid flag uses.
+        for pair in assignment.split(";"):
+            pair = pair.strip()
+            if not pair:
+                continue
+            if "=" not in pair:
+                raise ExaDigiTError(
+                    f"bad --set {pair!r}; expected param=value"
+                )
+            key, _, raw = pair.partition("=")
+            doc[key.strip()] = _parse_value(raw)
+    return WorkloadGenerator.from_dict(doc)
+
+
+def cmd_workload_list(args: argparse.Namespace) -> int:
+    from repro.workloads import GENERATOR_TYPES
+
+    print(f"{'kind':16s} {'role':8s} parameters (name=default)")
+    for kind in sorted(GENERATOR_TYPES):
+        cls = GENERATOR_TYPES[kind]
+        params = ", ".join(
+            f"{name}={info['default']}"
+            for name, info in cls.param_schema().items()
+        )
+        print(f"{kind:16s} {cls.role:8s} {params}")
+    return 0
+
+
+def cmd_workload_preview(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.viz.traces import render_trace
+
+    spec = DigitalTwin(args.system).spec
+    gen = _build_generator(args.kind, args.set, args.seed)
+    duration_s = args.hours * 3600.0
+    payload = gen.generate(spec, duration_s)
+    print(f"generator {gen.generator} (role {gen.role})")
+    print(f"spec-sha  {gen.spec_sha()}")
+    print()
+    if gen.role == "jobs":
+        submits = np.array([job.submit_time for job in payload])
+        nodes = np.array([job.nodes_required for job in payload])
+        bins = min(72, max(8, int(args.hours * 12)))
+        counts, edges = np.histogram(submits, bins=bins, range=(0, duration_s))
+        centers = (edges[:-1] + edges[1:]) / 2.0
+        print(
+            f"{len(payload)} jobs, mean {nodes.mean():.1f} nodes/job "
+            f"(max {nodes.max()})" if len(payload) else "0 jobs"
+        )
+        if len(payload):
+            print(render_trace(centers, counts, title="arrivals per bin"))
+    elif gen.role == "events":
+        print(f"{len(payload)} fault events")
+        for event in payload:
+            detail = (
+                f"cdu={event.cdu_index} severity={event.severity:g}"
+                if event.kind == "cdu-blockage"
+                else f"nodes={list(event.nodes)}"
+                + ("" if event.kill_running else " (soft)")
+            )
+            print(f"  t={event.time_s:10.1f}s  {event.kind:12s} {detail}")
+    elif gen.role == "wetbulb":
+        print(
+            render_trace(
+                payload.times, payload.values,
+                title="wet-bulb temperature", unit="degC",
+            )
+        )
+    elif gen.role == "grid":
+        print(
+            render_trace(
+                payload.times_s, payload.carbon_intensity_lb_per_mwh,
+                title="grid carbon intensity", unit="lb CO2 / MWh",
+            )
+        )
+        print()
+        print(
+            render_trace(
+                payload.times_s, payload.price_usd_per_kwh,
+                title="grid price", unit="USD / kWh",
+            )
+        )
+    return 0
+
+
+def cmd_workload_sweep(args: argparse.Namespace) -> int:
+    from repro.scenarios import GeneratedScenario
+    from repro.workloads import StressSuite
+
+    if (
+        MultiFidelityCampaign.exists(args.directory)
+        or CampaignStore.exists(args.directory)
+    ):
+        print(
+            f"stress suite exists at {args.directory}; resuming",
+            file=sys.stderr,
+        )
+        suite = StressSuite.open(args.directory, surrogates=args.surrogates)
+    else:
+        if not args.grid:
+            raise ExaDigiTError("workload sweep needs --grid on first run")
+        gen = _build_generator(args.kind, args.set, args.seed)
+        base = GeneratedScenario(
+            name=f"gen-{args.kind}",
+            duration_s=args.hours * 3600.0,
+            seed=args.seed,
+            with_cooling=not args.no_cooling,
+            workload=gen,
+        )
+        sweep = GridSweepScenario(
+            name=f"{args.kind}-stress",
+            base=base,
+            grid=_parse_grid(args.grid),
+        )
+        suite = StressSuite.create(
+            args.directory,
+            [sweep],
+            system=args.system or "frontier",
+            screen_top_k=args.screen_top,
+            metric=args.metric,
+            objective=args.objective,
+            name=args.name,
+            surrogates=args.surrogates,
+        )
+    report = suite.run(workers=args.workers, progress=_campaign_progress)
+    print(report.report())
+    print(f"\nartifacts: {args.directory}", file=sys.stderr)
+    return 1 if report.failed else 0
+
+
 def cmd_scene(args: argparse.Namespace) -> int:
     print(build_scene(DigitalTwin(args.system).spec).to_json())
     return 0
@@ -1167,6 +1314,103 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"service base URL (default {DEFAULT_SERVICE_URL})",
     )
     p.set_defaults(func=cmd_jobs)
+
+    p = sub.add_parser(
+        "workload",
+        help="parametric workload generators (list / preview / sweep)",
+    )
+    workload_sub = p.add_subparsers(dest="workload_command", required=True)
+
+    wp = workload_sub.add_parser(
+        "list", help="catalog the registered generators and their schemas"
+    )
+    wp.set_defaults(func=cmd_workload_list)
+
+    wp = workload_sub.add_parser(
+        "preview",
+        help="generate one workload and render its trace (no simulation)",
+    )
+    wp.add_argument("kind", help="generator kind (see `repro workload list`)")
+    _add_system_arg(wp)
+    wp.add_argument(
+        "--hours", type=float, default=2.0, help="generated hours (default 2)"
+    )
+    wp.add_argument("--seed", type=int, default=0, help="generator seed")
+    wp.add_argument(
+        "--set",
+        action="append",
+        metavar="PARAM=VALUE",
+        help="override one generator parameter (repeatable)",
+    )
+    wp.set_defaults(func=cmd_workload_preview)
+
+    wp = workload_sub.add_parser(
+        "sweep",
+        help="stress-suite campaign over a generator grid "
+        "(resumable; validates every cell)",
+    )
+    wp.add_argument("directory", help="campaign artifact directory")
+    wp.add_argument(
+        "--system",
+        default=None,
+        help="builtin system name or JSON spec path (default: frontier)",
+    )
+    wp.add_argument(
+        "--kind",
+        default="diurnal",
+        help="workload generator kind for the base cell (default: diurnal)",
+    )
+    wp.add_argument(
+        "--set",
+        action="append",
+        metavar="PARAM=VALUE",
+        help="base generator parameter override (repeatable)",
+    )
+    wp.add_argument(
+        "--grid",
+        metavar="SPEC",
+        help="sweep grid; dotted paths reach generator fields, e.g. "
+        '"workload.mean_arrival_s=120,240;seed=0,1"',
+    )
+    wp.add_argument(
+        "--hours", type=float, default=0.5, help="simulated hours per cell"
+    )
+    wp.add_argument("--seed", type=int, default=0, help="base seed")
+    wp.add_argument(
+        "--no-cooling",
+        action="store_true",
+        help="uncoupled cells (no cooling model)",
+    )
+    _add_workers_arg(wp)
+    wp.add_argument(
+        "--screen-top",
+        type=int,
+        metavar="K",
+        default=None,
+        help="surrogate-screen the grid and refine only the top K cells",
+    )
+    wp.add_argument(
+        "--metric",
+        default="mean_power_mw",
+        choices=CAMPAIGN_METRICS,
+        help="ranking metric for --screen-top (default: mean_power_mw)",
+    )
+    wp.add_argument(
+        "--objective",
+        choices=("max", "min"),
+        default="max",
+        help="whether top cells maximize or minimize --metric",
+    )
+    wp.add_argument(
+        "--name", default=None, help="campaign name (default: directory name)"
+    )
+    wp.add_argument(
+        "--surrogates",
+        metavar="BUNDLE",
+        default=None,
+        help="saved surrogate bundle for screened / surrogate cells",
+    )
+    wp.set_defaults(func=cmd_workload_sweep)
 
     p = sub.add_parser("scene", help="emit the L1 scene graph as JSON")
     _add_system_arg(p)

@@ -191,6 +191,17 @@ class CoolingFMU:
             raise FMUError("system power must be non-negative")
         self._system_power_w = power_w
 
+    def set_cdu_blockage(self, cdu_index: int, severity: float) -> None:
+        """Throttle one CDU loop (fault injection; 1.0 restores it).
+
+        Routes to :meth:`~repro.cooling.loops.cdu.CduLoopBank.set_blockage`
+        on the live plant; both stepping backends honor the change from
+        the next step (the fused kernel re-pulls ``blockage_factor``
+        every macro step).
+        """
+        self._check_running("set_cdu_blockage")
+        self._plant.cdus.set_blockage(int(cdu_index), float(severity))
+
     def _check_running(self, op: str) -> None:
         if self.state not in (FmuState.EXPERIMENT_READY, FmuState.STEPPING):
             raise FMUError(f"{op} called in state {self.state.value}")

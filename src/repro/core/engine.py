@@ -309,6 +309,9 @@ def drive_schedule(
     jobs: list[Job],
     n_steps: int,
     quanta: float,
+    *,
+    events=(),
+    on_event=None,
 ) -> Iterator[tuple[int, float]]:
     """Advance scheduling quantum by quantum, yielding ``(k, t_sample)``.
 
@@ -320,11 +323,23 @@ def drive_schedule(
     list; after each yield the scheduler and pool reflect the state at
     the end of quantum ``k`` and ``t_sample = k * quanta`` is the
     sampling instant for that quantum's physics.
+
+    ``events`` is an optional time-sorted stream of
+    :class:`~repro.core.events.FaultEvent`\\ s; each is handed to
+    ``on_event(event, t)`` at the start of the quantum containing it,
+    *before* that quantum's scheduling — so every backend applying the
+    same stream sees identical scheduling.
     """
     arrival_ptr = 0
+    event_ptr = 0
     now = 0.0
     for k in range(n_steps):
         q_end = (k + 1) * quanta
+        # --- fault events quantized to this quantum, before scheduling.
+        while event_ptr < len(events) and events[event_ptr].time_s < q_end:
+            if on_event is not None:
+                on_event(events[event_ptr], k * quanta)
+            event_ptr += 1
         # --- event-driven scheduling inside the quantum (1 s grain).
         while True:
             next_arrival = (
@@ -538,6 +553,7 @@ class RapsEngine:
         wetbulb: TimeSeries | float = 15.0,
         cooling_record: tuple[str, ...] = DEFAULT_COOLING_RECORD,
         warmup_cooling_s: float = 1800.0,
+        events=(),
     ) -> Iterator[StepState]:
         """Stream the simulation one trace quantum at a time.
 
@@ -551,7 +567,9 @@ class RapsEngine:
         recorded starts.  ``wetbulb`` may be a constant or a telemetry
         series.  The cooling plant is pre-warmed at the initial load for
         ``warmup_cooling_s`` so transients reflect workload changes, not
-        cold-start initialization.
+        cold-start initialization.  ``events`` is an optional stream of
+        :class:`~repro.core.events.FaultEvent`\\ s (node outages, CDU
+        blockages) applied while the run advances.
         """
         jobs = sorted(jobs, key=lambda j: (j.submit_time, j.job_id))
         return self._iter_steps_sorted(
@@ -560,6 +578,7 @@ class RapsEngine:
             wetbulb=wetbulb,
             cooling_record=cooling_record,
             warmup_cooling_s=warmup_cooling_s,
+            events=events,
         )
 
     def _iter_steps_sorted(
@@ -570,6 +589,7 @@ class RapsEngine:
         wetbulb: TimeSeries | float = 15.0,
         cooling_record: tuple[str, ...] = DEFAULT_COOLING_RECORD,
         warmup_cooling_s: float = 1800.0,
+        events=(),
     ) -> Iterator[StepState]:
         """:meth:`iter_steps` body for an already-sorted job list."""
         if duration_s <= 0:
@@ -609,7 +629,19 @@ class RapsEngine:
         last_gpu: np.ndarray | None = None
         slot_of_node = self.scheduler.allocator.slot_of_node
 
-        sched = drive_schedule(self.scheduler, pool, jobs, n_steps, self.quanta)
+        if events:
+            from repro.core.events import sort_events
+
+            events = sort_events(events)
+        sched = drive_schedule(
+            self.scheduler,
+            pool,
+            jobs,
+            n_steps,
+            self.quanta,
+            events=events,
+            on_event=self._fault_handler(pool) if events else None,
+        )
         steps_done = 0
         try:
             while True:
@@ -711,6 +743,7 @@ class RapsEngine:
         wetbulb: TimeSeries | float = 15.0,
         cooling_record: tuple[str, ...] = DEFAULT_COOLING_RECORD,
         warmup_cooling_s: float = 1800.0,
+        events=(),
         progress=None,
         stop_when=None,
     ) -> SimulationResult:
@@ -729,6 +762,7 @@ class RapsEngine:
             wetbulb=wetbulb,
             cooling_record=cooling_record,
             warmup_cooling_s=warmup_cooling_s,
+            events=events,
         )
         return self.collect(
             steps,
@@ -756,6 +790,33 @@ class RapsEngine:
         )
 
     # -- helpers ------------------------------------------------------------------
+
+    def _fault_handler(self, pool: _TracePool):
+        """Event applicator closure for :func:`drive_schedule`.
+
+        Node outages go to the scheduler (killed jobs are mirrored into
+        the trace pool, exactly like completions); CDU blockages go to
+        the plant's blockage input.  Both cooling backends honor a
+        runtime blockage change identically — the fused kernel pulls
+        ``blockage_factor`` from the plant at every macro step.
+        """
+
+        def apply(event, now: float) -> None:
+            if event.kind == "node-down":
+                nodes = np.asarray(event.nodes, dtype=np.int64)
+                for job in self.scheduler.fail_nodes(
+                    nodes, now, kill_running=event.kill_running
+                ):
+                    pool.stop(job)
+            elif event.kind == "node-up":
+                self.scheduler.restore_nodes(
+                    np.asarray(event.nodes, dtype=np.int64)
+                )
+            elif event.kind == "cdu-blockage":
+                if self.fmu is not None:
+                    self.fmu.set_cdu_blockage(event.cdu_index, event.severity)
+
+        return apply
 
     def _warmup_cooling(
         self, jobs: list[Job], wetbulb, warmup_s: float

@@ -107,6 +107,7 @@ class SurrogateEngine:
         wetbulb: TimeSeries | float = 15.0,
         cooling_record: tuple[str, ...] = DEFAULT_COOLING_RECORD,
         warmup_cooling_s: float = 1800.0,
+        events=(),
     ) -> Iterator[StepState]:
         """Stream surrogate-fidelity steps, one per 15 s trace quantum.
 
@@ -122,6 +123,12 @@ class SurrogateEngine:
 
         ``cooling_record`` is intersected with what the surrogate can
         produce (:data:`SURROGATE_COOLING_OUTPUTS`).
+
+        ``events`` (:class:`~repro.core.events.FaultEvent` stream) is
+        honored for node outages — scheduling is exact, so node-down/up
+        behave bit-identically to the full engine.  ``cdu-blockage``
+        events are ignored: the steady-state cooling surrogate has no
+        transient plant to block (a documented screening approximation).
         """
         if duration_s <= 0:
             raise SimulationError("duration must be positive")
@@ -136,8 +143,18 @@ class SurrogateEngine:
         gpus = np.empty(n_steps)
         utils = np.empty(n_steps)
         nrun = np.empty(n_steps, dtype=np.int64)
+        if events:
+            from repro.core.events import sort_events
+
+            events = sort_events(events)
         for k, t_sample in drive_schedule(
-            self.scheduler, pool, jobs, n_steps, self.quanta
+            self.scheduler,
+            pool,
+            jobs,
+            n_steps,
+            self.quanta,
+            events=events,
+            on_event=self._fault_handler(pool) if events else None,
         ):
             fracs[k], cpus[k], gpus[k] = pool.active_aggregates(
                 t_sample, self.quanta, total_nodes
@@ -205,6 +222,7 @@ class SurrogateEngine:
         wetbulb: TimeSeries | float = 15.0,
         cooling_record: tuple[str, ...] = DEFAULT_COOLING_RECORD,
         warmup_cooling_s: float = 1800.0,
+        events=(),
         progress=None,
         stop_when=None,
     ) -> SimulationResult:
@@ -217,6 +235,7 @@ class SurrogateEngine:
             wetbulb=wetbulb,
             cooling_record=cooling_record,
             warmup_cooling_s=warmup_cooling_s,
+            events=events,
         )
         return collect_steps(
             steps,
@@ -228,6 +247,28 @@ class SurrogateEngine:
         )
 
     # -- helpers ---------------------------------------------------------------
+
+    def _fault_handler(self, pool: _TracePool):
+        """Node-outage applicator (scheduling is exact at this fidelity).
+
+        Mirrors :meth:`RapsEngine._fault_handler
+        <repro.core.engine.RapsEngine._fault_handler>` for node events;
+        ``cdu-blockage`` is a no-op here (no transient plant).
+        """
+
+        def apply(event, now: float) -> None:
+            if event.kind == "node-down":
+                nodes = np.asarray(event.nodes, dtype=np.int64)
+                for job in self.scheduler.fail_nodes(
+                    nodes, now, kill_running=event.kill_running
+                ):
+                    pool.stop(job)
+            elif event.kind == "node-up":
+                self.scheduler.restore_nodes(
+                    np.asarray(event.nodes, dtype=np.int64)
+                )
+
+        return apply
 
     def _static_overhead_w(self) -> float:
         """Switch + CDU-pump power: the non-chain share of system power."""

@@ -9,11 +9,62 @@ roughly $0.09 per kWh.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.config.schema import EconomicsSpec
 from repro.exceptions import PowerModelError
 from repro.units import DAYS_PER_YEAR, HOURS_PER_DAY, LBS_PER_METRIC_TON
+
+
+@dataclass(frozen=True)
+class GridSignal:
+    """A time-varying grid signal: carbon intensity and tariff.
+
+    Sampled at ``times_s`` (seconds, strictly increasing);
+    ``intensity_at``/``price_at`` interpolate linearly and hold the end
+    values beyond the sampled range, so a signal shorter than a run
+    degrades gracefully to its boundary values.
+    """
+
+    times_s: np.ndarray
+    carbon_intensity_lb_per_mwh: np.ndarray
+    price_usd_per_kwh: np.ndarray
+
+    def __post_init__(self) -> None:
+        times = np.ascontiguousarray(self.times_s, dtype=np.float64)
+        carbon = np.ascontiguousarray(
+            self.carbon_intensity_lb_per_mwh, dtype=np.float64
+        )
+        price = np.ascontiguousarray(self.price_usd_per_kwh, dtype=np.float64)
+        if times.ndim != 1 or times.size < 1:
+            raise PowerModelError("signal needs a non-empty 1-D time axis")
+        if carbon.shape != times.shape or price.shape != times.shape:
+            raise PowerModelError("signal series must match the time axis")
+        if times.size > 1 and np.any(np.diff(times) <= 0):
+            raise PowerModelError("signal times must be strictly increasing")
+        if np.any(carbon < 0) or np.any(price < 0):
+            raise PowerModelError("signal values must be non-negative")
+        object.__setattr__(self, "times_s", times)
+        object.__setattr__(self, "carbon_intensity_lb_per_mwh", carbon)
+        object.__setattr__(self, "price_usd_per_kwh", price)
+
+    def intensity_at(self, times_s: np.ndarray) -> np.ndarray:
+        """lb CO2/MWh at the query times (linear interp, edges held)."""
+        return np.interp(
+            np.asarray(times_s, dtype=np.float64),
+            self.times_s,
+            self.carbon_intensity_lb_per_mwh,
+        )
+
+    def price_at(self, times_s: np.ndarray) -> np.ndarray:
+        """USD/kWh at the query times (linear interp, edges held)."""
+        return np.interp(
+            np.asarray(times_s, dtype=np.float64),
+            self.times_s,
+            self.price_usd_per_kwh,
+        )
 
 
 class EmissionsModel:
@@ -62,14 +113,17 @@ class EmissionsModel:
         *,
         chain_efficiency: float = 1.0,
         hourly_intensity_lb_per_mwh: np.ndarray | None = None,
+        signal: GridSignal | None = None,
     ) -> float:
-        """CO2 for a power series under an hourly-varying grid intensity.
+        """CO2 for a power series under a time-varying grid intensity.
 
         The paper notes the emission intensity "can vary regionally and
         even hourly"; ``hourly_intensity_lb_per_mwh`` gives the 24-hour
-        grid profile (lb CO2/MWh per local hour).  When omitted, the
-        configured flat intensity applies — equivalent to Eq. 6 on the
-        integrated energy.
+        grid profile (lb CO2/MWh per local hour), while ``signal``
+        supplies an arbitrarily sampled :class:`GridSignal` (e.g. from
+        a workload generator).  When both are omitted, the configured
+        flat intensity applies — equivalent to Eq. 6 on the integrated
+        energy.
         """
         times_s = np.asarray(times_s, dtype=np.float64)
         power_w = np.asarray(power_w, dtype=np.float64)
@@ -79,7 +133,13 @@ class EmissionsModel:
             raise PowerModelError("power must be non-negative")
         if not 0.0 < chain_efficiency <= 1.0:
             raise PowerModelError("chain_efficiency must be in (0, 1]")
-        if hourly_intensity_lb_per_mwh is None:
+        if signal is not None and hourly_intensity_lb_per_mwh is not None:
+            raise PowerModelError(
+                "give either an hourly profile or a grid signal, not both"
+            )
+        if signal is not None:
+            intensity = signal.intensity_at(times_s)
+        elif hourly_intensity_lb_per_mwh is None:
             intensity = np.full(
                 times_s.shape, self.economics.emission_intensity_lb_per_mwh
             )
@@ -99,5 +159,32 @@ class EmissionsModel:
         )
         return float(np.trapezoid(power_w * tons_per_joule, times_s))
 
+    def energy_cost_usd_timeseries(
+        self,
+        times_s: np.ndarray,
+        power_w: np.ndarray,
+        *,
+        signal: GridSignal | None = None,
+    ) -> float:
+        """USD cost of a power series under a time-varying tariff.
 
-__all__ = ["EmissionsModel"]
+        With no ``signal``, the configured flat tariff applies — the
+        trapezoidal-integration analogue of :meth:`energy_cost_usd`.
+        """
+        times_s = np.asarray(times_s, dtype=np.float64)
+        power_w = np.asarray(power_w, dtype=np.float64)
+        if times_s.shape != power_w.shape or times_s.size < 2:
+            raise PowerModelError("need matched series with >= 2 samples")
+        if np.any(power_w < 0):
+            raise PowerModelError("power must be non-negative")
+        if signal is None:
+            price = np.full(
+                times_s.shape, self.economics.electricity_usd_per_kwh
+            )
+        else:
+            price = signal.price_at(times_s)
+        usd_per_joule = price / 3.6e6  # USD/kWh -> USD/J
+        return float(np.trapezoid(power_w * usd_per_joule, times_s))
+
+
+__all__ = ["GridSignal", "EmissionsModel"]

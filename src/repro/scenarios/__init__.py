@@ -17,6 +17,7 @@ Scenario kinds (all JSON round-trippable via ``Scenario.from_dict``):
 ``verification``          one Table III operating point (idle/hpl/peak)
 ``benchmark-sequence``    Fig. 8 HPL + OpenMxP sequence at recorded starts
 ``whatif``                counterfactual conversion-chain study (IV-3)
+``generated``             parametric workload generators (+faults/weather)
 ``sweep``                 one parameter over a value list
 ``grid-sweep``            cartesian grid over several parameters at once
 ``lhs-sweep``             seeded latin-hypercube sample of a parameter box
@@ -70,6 +71,7 @@ from repro.scenarios.base import (
     register_scenario,
 )
 from repro.scenarios.campaign import Campaign
+from repro.scenarios.generated import GeneratedScenario
 from repro.scenarios.library import (
     BaseSweepScenario,
     BenchmarkSequenceScenario,
@@ -96,6 +98,7 @@ __all__ = [
     "VerificationScenario",
     "BenchmarkSequenceScenario",
     "WhatIfScenario",
+    "GeneratedScenario",
     "BaseSweepScenario",
     "SweepScenario",
     "GridSweepScenario",

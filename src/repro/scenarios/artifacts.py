@@ -267,6 +267,27 @@ def cell_doc_to_result(doc: dict[str, Any]) -> StoredScenarioResult:
     )
 
 
+def _cell_entry(index: int, scenario: Scenario) -> dict[str, Any]:
+    """One manifest cell document, with workload provenance when offered.
+
+    Scenarios that expose a ``workload_provenance()`` method (the
+    ``generated`` kind) get a ``workloads`` key mapping role fields to
+    generator spec-SHAs, so every artifact records the exact
+    content-addressed inputs that produced it.
+    """
+    entry: dict[str, Any] = {
+        "index": index,
+        "name": scenario.name,
+        "scenario": scenario.to_dict(),
+    }
+    prov = getattr(scenario, "workload_provenance", None)
+    if callable(prov):
+        workloads = prov()
+        if workloads:
+            entry["workloads"] = workloads
+    return entry
+
+
 class CampaignStore:
     """The artifact directory of one campaign (manifest + results JSONL).
 
@@ -330,10 +351,7 @@ class CampaignStore:
             },
             "system": json.loads(dumps_system(spec, indent=None)),
             "scenarios": [s.to_dict() for s in scenarios],
-            "cells": [
-                {"index": i, "name": c.name, "scenario": c.to_dict()}
-                for i, c in enumerate(cells)
-            ],
+            "cells": [_cell_entry(i, c) for i, c in enumerate(cells)],
         }
         path.mkdir(parents=True, exist_ok=True)
         (path / MANIFEST_NAME).write_text(
@@ -412,11 +430,7 @@ class CampaignStore:
             manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
             cells = manifest.setdefault("cells", [])
             index = len(cells)
-            entry: dict[str, Any] = {
-                "index": index,
-                "name": scenario.name,
-                "scenario": scenario.to_dict(),
-            }
+            entry = _cell_entry(index, scenario)
             if meta:
                 entry.update(meta)
             cells.append(entry)

@@ -11,7 +11,8 @@ returns a :class:`~repro.scenarios.result.ScenarioResult`.
 
 Concrete scenario types live in :mod:`repro.scenarios.library` and
 register themselves here by their ``kind`` tag: ``synthetic``,
-``replay``, ``verification``, ``whatif``, plus the sweep family
+``replay``, ``verification``, ``whatif``, ``generated`` (workload
+generators, :mod:`repro.scenarios.generated`), plus the sweep family
 (``sweep``, ``grid-sweep``, ``lhs-sweep``) that expands into child
 scenarios for suite and campaign execution.  The declarative contract
 is what makes the rest of the stack work: suites ship scenarios to
@@ -53,13 +54,19 @@ def register_scenario(cls: type["Scenario"]) -> type["Scenario"]:
 
 @dataclass(frozen=True)
 class RunPlan:
-    """A planned engine run: the imperative output of a declarative scenario."""
+    """A planned engine run: the imperative output of a declarative scenario.
+
+    ``events`` is an optional time-sorted stream of
+    :class:`~repro.core.events.FaultEvent`\\ s (node outages, CDU
+    blockages) the engine applies while the run advances.
+    """
 
     jobs: list[Job]
     duration_s: float
     wetbulb: float | TimeSeries = 15.0
     honor_recorded: bool = False
     chain: Any = None
+    events: tuple = ()
 
 
 @dataclass(frozen=True)
@@ -149,6 +156,7 @@ class Scenario:
             plan.jobs,
             plan.duration_s,
             wetbulb=plan.wetbulb if wetbulb is None else wetbulb,
+            events=plan.events,
             progress=progress,
             stop_when=stop_when,
         )
@@ -170,6 +178,7 @@ class Scenario:
             plan.jobs,
             plan.duration_s,
             wetbulb=plan.wetbulb if wetbulb is None else wetbulb,
+            events=plan.events,
         )
 
     def effective_fidelity(self, twin: DigitalTwin) -> str:
@@ -275,6 +284,12 @@ class Scenario:
 def _to_jsonable(value: Any) -> Any:
     if isinstance(value, Scenario):
         return value.to_dict()
+    # Deferred import: repro.workloads must not be a module-level
+    # dependency of the scenario core (generated.py imports us).
+    from repro.workloads.base import WorkloadGenerator
+
+    if isinstance(value, WorkloadGenerator):
+        return value.to_dict()
     if isinstance(value, (list, tuple)):
         return [_to_jsonable(v) for v in value]
     # Numeric checks run before the plain passthrough so numpy scalars
@@ -295,6 +310,10 @@ def _to_jsonable(value: Any) -> Any:
 
 def _from_jsonable(value: Any) -> Any:
     if isinstance(value, dict):
+        if "generator" in value:
+            from repro.workloads.base import WorkloadGenerator
+
+            return WorkloadGenerator.from_dict(value)
         return Scenario.from_dict(value)
     if isinstance(value, list):
         # Sequence fields are declared as tuples so scenarios stay

@@ -1,0 +1,118 @@
+"""The ``generated`` scenario kind: workload generators as scenarios.
+
+A :class:`GeneratedScenario` composes up to four
+:class:`~repro.workloads.base.WorkloadGenerator`\\ s — one per role —
+into a runnable, JSON-round-trippable scenario:
+
+- ``workload`` (role ``jobs``, required to run) supplies the job list;
+- ``faults`` (role ``events``) supplies a fault-injection stream;
+- ``weather`` (role ``wetbulb``) supplies the wet-bulb trace
+  (``wetbulb_c`` is the constant fallback);
+- ``grid`` (role ``grid``) supplies a carbon/price signal for
+  emissions post-processing (it does not affect the physics).
+
+Generation is memoized (:func:`~repro.workloads.base.generate_cached`),
+so sweeping engine-side parameters over a fixed workload re-generates
+nothing, and :meth:`GeneratedScenario.workload_provenance` exposes the
+spec-SHA content addresses that campaign artifacts persist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.exceptions import ScenarioError
+from repro.scenarios.base import RunPlan, Scenario, register_scenario
+from repro.scenarios.twin import DigitalTwin
+from repro.workloads.base import WorkloadGenerator, generate_cached
+
+
+def _check_role(value, role: str, field_name: str) -> None:
+    if value is None:
+        return
+    if not isinstance(value, WorkloadGenerator):
+        raise ScenarioError(
+            f"{field_name} must be a WorkloadGenerator, "
+            f"got {type(value).__name__}"
+        )
+    if value.role != role:
+        raise ScenarioError(
+            f"{field_name} needs a {role!r}-role generator, "
+            f"got {value.generator!r} (role {value.role!r})"
+        )
+
+
+@register_scenario
+@dataclass(frozen=True)
+class GeneratedScenario(Scenario):
+    """Run a parametric generated workload (with optional faults/weather)."""
+
+    kind = "generated"
+
+    workload: WorkloadGenerator | None = None
+    faults: WorkloadGenerator | None = None
+    weather: WorkloadGenerator | None = None
+    grid: WorkloadGenerator | None = None
+    wetbulb_c: float = 15.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _check_role(self.workload, "jobs", "workload")
+        _check_role(self.faults, "events", "faults")
+        _check_role(self.weather, "wetbulb", "weather")
+        _check_role(self.grid, "grid", "grid")
+        object.__setattr__(self, "wetbulb_c", float(self.wetbulb_c))
+
+    def plan(self, twin: DigitalTwin, **kwargs: Any) -> RunPlan:
+        if self.workload is None:
+            raise ScenarioError(
+                f"generated scenario {self.name!r} has no workload generator"
+            )
+        jobs = generate_cached(self.workload, twin.spec, self.duration_s)
+        events = (
+            tuple(generate_cached(self.faults, twin.spec, self.duration_s))
+            if self.faults is not None
+            else ()
+        )
+        wetbulb = (
+            generate_cached(self.weather, twin.spec, self.duration_s)
+            if self.weather is not None
+            else self.wetbulb_c
+        )
+        return RunPlan(
+            jobs=jobs,
+            duration_s=self.duration_s,
+            wetbulb=wetbulb,
+            honor_recorded=False,
+            events=events,
+        )
+
+    def grid_signal(self, twin: DigitalTwin):
+        """The generated :class:`~repro.power.emissions.GridSignal`.
+
+        Returns None when no grid generator is attached.  Feed it to
+        :meth:`EmissionsModel.co2_tons_timeseries
+        <repro.power.emissions.EmissionsModel.co2_tons_timeseries>` /
+        ``energy_cost_usd_timeseries`` over the run's power series.
+        """
+        if self.grid is None:
+            return None
+        return generate_cached(self.grid, twin.spec, self.duration_s)
+
+    def workload_provenance(self) -> dict[str, dict]:
+        """Content addresses of every attached generator, by role field.
+
+        This is what :class:`~repro.scenarios.artifacts.CampaignStore`
+        persists in its manifest next to the scenario document, so an
+        artifact records exactly which generated inputs produced it.
+        """
+        out: dict[str, dict] = {}
+        for field_name in ("workload", "faults", "weather", "grid"):
+            gen = getattr(self, field_name)
+            if gen is not None:
+                out[field_name] = gen.provenance()
+        return out
+
+
+__all__ = ["GeneratedScenario"]

@@ -40,6 +40,7 @@ from repro.exceptions import ScenarioError
 from repro.scenarios.base import RunPlan, Scenario, register_scenario
 from repro.scenarios.result import ScenarioResult
 from repro.scenarios.twin import DigitalTwin, as_twin
+from repro.seeding import spawn_rng
 from repro.scheduler.workloads import (
     benchmark_sequence,
     hpl_verification_workload,
@@ -305,6 +306,21 @@ def _format_value(value: Any) -> str:
     return str(value)
 
 
+def _apply_assignment(obj: Any, path: str, value: Any) -> Any:
+    """Functionally set a dotted field path on nested frozen dataclasses.
+
+    ``_apply_assignment(scenario, "workload.mean_arrival_s", 90.0)``
+    rebuilds the scenario with a replaced workload generator, leaving
+    every other object shared.  Paths are validated up front by
+    ``BaseSweepScenario._check_fields``.
+    """
+    head, _, rest = path.partition(".")
+    if not rest:
+        return dataclasses.replace(obj, **{head: value})
+    inner = _apply_assignment(getattr(obj, head), rest, value)
+    return dataclasses.replace(obj, **{head: inner})
+
+
 @dataclass(frozen=True)
 class BaseSweepScenario(Scenario):
     """Common machinery of the sweep scenario family.
@@ -347,20 +363,39 @@ class BaseSweepScenario(Scenario):
             if name in seen:
                 name = f"{name}#{index}"
             seen.add(name)
-            children.append(
-                dataclasses.replace(self.base, **assignments, name=name)
-            )
+            plain = {
+                k: v for k, v in assignments.items() if "." not in k
+            }
+            child = dataclasses.replace(self.base, **plain, name=name)
+            for path, value in assignments.items():
+                if "." in path:
+                    child = _apply_assignment(child, path, value)
+            children.append(child)
         return children
 
     def _check_fields(self, parameters: list[str]) -> None:
-        """Validate that every swept name is a field of the base scenario."""
-        field_names = {f.name for f in dataclasses.fields(self.base)}
+        """Validate every swept name against the base scenario.
+
+        Dotted paths (``workload.mean_arrival_s``) descend into nested
+        dataclass fields — e.g. the workload generators of a
+        ``generated`` base scenario — validating each segment.
+        """
         for parameter in parameters:
-            if parameter not in field_names:
-                raise ScenarioError(
-                    f"base scenario {self.base.kind!r} has no field "
-                    f"{parameter!r}"
-                )
+            target = self.base
+            context = f"base scenario {self.base.kind!r}"
+            for segment in parameter.split("."):
+                if not dataclasses.is_dataclass(target) or target is None:
+                    raise ScenarioError(
+                        f"{context} is not a parametric object; cannot "
+                        f"sweep {parameter!r}"
+                    )
+                field_names = {f.name for f in dataclasses.fields(target)}
+                if segment not in field_names:
+                    raise ScenarioError(
+                        f"{context} has no field {segment!r}"
+                    )
+                target = getattr(target, segment)
+                context = f"field {segment!r} of {context}"
 
     def iter_steps(self, twin: DigitalTwin | Any, **kwargs: Any):
         raise ScenarioError(
@@ -486,7 +521,7 @@ class LatinHypercubeSweepScenario(BaseSweepScenario):
                 "LatinHypercubeSweepScenario needs at least one range"
             )
         self._check_fields(self.parameters)
-        rng = np.random.default_rng(self.seed)
+        rng = spawn_rng(self.seed, "lhs-sweep")
         n = self.samples
         columns: list[list[Any]] = []
         for _, low, high in self.ranges:

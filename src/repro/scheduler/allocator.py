@@ -81,6 +81,16 @@ class NodeAllocator:
     def is_free(self, node: int) -> bool:
         return bool(self._free[node])
 
+    def free_among(self, nodes: np.ndarray) -> np.ndarray:
+        """The subset of ``nodes`` currently free (fault injection)."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        return nodes[self._free[nodes]]
+
+    def down_among(self, nodes: np.ndarray) -> np.ndarray:
+        """The subset of ``nodes`` currently down (fault injection)."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        return nodes[self._down[nodes]]
+
     # -- mutation ---------------------------------------------------------------
 
     def allocate(self, count: int, slot: int) -> np.ndarray:

@@ -69,4 +69,103 @@ class PoissonArrivals:
         return arrivals
 
 
-__all__ = ["PoissonArrivals"]
+class DiurnalArrivals:
+    """Non-homogeneous Poisson arrivals with a diurnal rate profile.
+
+    The instantaneous rate is ``lambda(t) = (1 + a cos(2 pi (t/86400 -
+    peak_hour/24))) / mean_arrival_s`` — the Eq. 5 process modulated by
+    a daily cycle peaking at ``peak_hour``.  Sampled by thinning: draw a
+    homogeneous process at the peak rate, accept each arrival with
+    probability ``lambda(t) / lambda_max``.
+    """
+
+    def __init__(
+        self,
+        mean_arrival_s: float,
+        rng: np.random.Generator,
+        *,
+        amplitude: float = 0.6,
+        peak_hour: float = 16.0,
+    ) -> None:
+        if mean_arrival_s <= 0:
+            raise SchedulingError("mean_arrival_s must be positive")
+        if not 0.0 <= amplitude < 1.0:
+            raise SchedulingError("amplitude must be in [0, 1)")
+        self.mean_arrival_s = float(mean_arrival_s)
+        self.amplitude = float(amplitude)
+        self.peak_hour = float(peak_hour)
+        self._rng = rng
+
+    def rate(self, t: np.ndarray) -> np.ndarray:
+        """lambda(t) in arrivals per second."""
+        phase = 2.0 * np.pi * (
+            np.asarray(t, dtype=np.float64) / 86400.0 - self.peak_hour / 24.0
+        )
+        return (1.0 + self.amplitude * np.cos(phase)) / self.mean_arrival_s
+
+    def sample_until(self, horizon_s: float) -> np.ndarray:
+        """All arrival times in [0, horizon) via thinning."""
+        lam_max = (1.0 + self.amplitude) / self.mean_arrival_s
+        base = PoissonArrivals(1.0 / lam_max, self._rng)
+        candidates = base.sample_until(horizon_s)
+        accept = self._rng.random(candidates.size) < (
+            self.rate(candidates) / lam_max
+        )
+        return candidates[accept]
+
+
+class MMPPArrivals:
+    """Two-state Markov-modulated Poisson process (calm/burst traffic).
+
+    The process alternates between a calm state (mean inter-arrival
+    ``calm_arrival_s``) and a burst state (``burst_arrival_s``), with
+    exponentially distributed dwell times.  Captures the bursty
+    submission patterns Poisson arrivals smooth over.
+    """
+
+    def __init__(
+        self,
+        calm_arrival_s: float,
+        burst_arrival_s: float,
+        rng: np.random.Generator,
+        *,
+        mean_calm_s: float = 7200.0,
+        mean_burst_s: float = 1800.0,
+    ) -> None:
+        for name, value in (
+            ("calm_arrival_s", calm_arrival_s),
+            ("burst_arrival_s", burst_arrival_s),
+            ("mean_calm_s", mean_calm_s),
+            ("mean_burst_s", mean_burst_s),
+        ):
+            if value <= 0:
+                raise SchedulingError(f"{name} must be positive")
+        self.calm_arrival_s = float(calm_arrival_s)
+        self.burst_arrival_s = float(burst_arrival_s)
+        self.mean_calm_s = float(mean_calm_s)
+        self.mean_burst_s = float(mean_burst_s)
+        self._rng = rng
+
+    def sample_until(self, horizon_s: float) -> np.ndarray:
+        """All arrival times in [0, horizon), starting in the calm state."""
+        times: list[float] = []
+        t = 0.0
+        burst = False
+        while t < horizon_s:
+            dwell = -np.log1p(-self._rng.random()) * (
+                self.mean_burst_s if burst else self.mean_calm_s
+            )
+            seg_end = min(t + dwell, horizon_s)
+            mean = self.burst_arrival_s if burst else self.calm_arrival_s
+            arr = t
+            while True:
+                arr += -np.log1p(-self._rng.random()) * mean
+                if arr >= seg_end:
+                    break
+                times.append(arr)
+            t += dwell
+            burst = not burst
+        return np.asarray(times, dtype=np.float64)
+
+
+__all__ = ["PoissonArrivals", "DiurnalArrivals", "MMPPArrivals"]

@@ -34,6 +34,7 @@ class SchedulerStats:
     started: int = 0
     completed: int = 0
     rejected: int = 0
+    killed: int = 0
     total_wait_s: float = 0.0
     total_node_seconds: float = 0.0
     wait_times: list[float] = field(default_factory=list)
@@ -136,6 +137,54 @@ class SchedulerEngine:
         job.mark_completed(now)
         del self.running[job.job_id]
         self.stats.completed += 1
+
+    def _kill_job(self, job: Job, now: float) -> None:
+        """Tear a running job down early (node failure under it)."""
+        self.allocator.release(job.assigned_nodes)
+        self._release_slot(job.slot)
+        job.mark_completed(now)
+        del self.running[job.job_id]
+        self.stats.killed += 1
+        # The job's (scheduled_end, job_id) heap entry goes stale; the
+        # completion loop and next_event_time() tolerate and skip it.
+
+    # -- fault injection -----------------------------------------------------
+
+    def fail_nodes(
+        self, nodes: np.ndarray, now: float, *, kill_running: bool = True
+    ) -> list[Job]:
+        """Take nodes out of service; returns the jobs killed under them.
+
+        With ``kill_running`` the jobs occupying failed nodes are killed
+        first (releasing their full allocations), then every
+        currently-free requested node is marked down.  Without it,
+        occupied nodes keep their jobs and stay in service — only the
+        free subset goes down (soft maintenance).
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        nodes = nodes[(nodes >= 0) & (nodes < self.allocator.total_nodes)]
+        killed: list[Job] = []
+        if kill_running and nodes.size:
+            hit_slots = {
+                int(s) for s in self.allocator.slot_of_node[nodes] if s >= 0
+            }
+            if hit_slots:
+                for job in list(self.running.values()):
+                    if job.slot in hit_slots:
+                        self._kill_job(job, now)
+                        killed.append(job)
+        free_now = self.allocator.free_among(nodes)
+        if free_now.size:
+            self.allocator.mark_down(free_now)
+        return killed
+
+    def restore_nodes(self, nodes: np.ndarray) -> None:
+        """Return the currently-down subset of ``nodes`` to service."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        nodes = nodes[(nodes >= 0) & (nodes < self.allocator.total_nodes)]
+        down_now = self.allocator.down_among(nodes)
+        if down_now.size:
+            self.allocator.mark_up(down_now)
 
     # -- main tick --------------------------------------------------------------------
 

@@ -14,6 +14,7 @@ from repro.config.schema import SystemSpec
 from repro.exceptions import SchedulingError
 from repro.scheduler.arrivals import PoissonArrivals
 from repro.scheduler.job import Job
+from repro.seeding import spawn_rng
 from repro.telemetry import profiles
 from repro.telemetry.dataset import TelemetryDataset
 from repro.telemetry.synthesis import SyntheticTelemetryGenerator, WorkloadDayParams
@@ -39,7 +40,7 @@ def synthetic_workload(
     """
     if duration_s <= 0:
         raise SchedulingError("duration_s must be positive")
-    rng = np.random.default_rng(seed)
+    rng = spawn_rng(seed, "synthetic-workload")
     if params is None:
         params = WorkloadDayParams.draw(rng)
     gen = SyntheticTelemetryGenerator(spec, seed=seed)

@@ -1,0 +1,61 @@
+"""Deterministic seed derivation shared by every stochastic component.
+
+One idiom, used everywhere a child stream is needed: spawn a
+``np.random.SeedSequence`` keyed by the *purpose* of the stream, not by
+its position in the draw order.  This is the pattern
+:mod:`repro.telemetry.synthesis` established for per-day replay streams
+(``SeedSequence(entropy=seed, spawn_key=(day_index,))``) — child streams
+stay bit-stable when unrelated parameters are added, reordered, or
+drawn in a different sequence, which is what makes content-addressing
+generated workloads by ``(generator, params, seed)`` sound.
+
+Key parts may be non-negative integers (used directly as spawn-key
+words) or strings (hashed to a 32-bit word with SHA-256, so the word is
+stable across processes and Python versions — ``hash()`` is salted).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import numbers
+
+import numpy as np
+
+from repro.exceptions import ExaDigiTError
+
+__all__ = ["key_word", "spawn_seed", "spawn_rng"]
+
+
+def key_word(part: int | str) -> int:
+    """One spawn-key word: non-negative ints pass through, strings hash."""
+    if isinstance(part, bool):
+        raise ExaDigiTError("seed key parts must be ints or strings, not bool")
+    if isinstance(part, numbers.Integral):
+        value = int(part)
+        if value < 0:
+            raise ExaDigiTError(f"integer seed key parts must be >= 0: {value}")
+        return value
+    if isinstance(part, str):
+        digest = hashlib.sha256(part.encode("utf-8")).digest()
+        return int.from_bytes(digest[:4], "little")
+    raise ExaDigiTError(
+        f"seed key parts must be ints or strings, got {type(part).__name__}"
+    )
+
+
+def spawn_seed(seed: int, *key: int | str) -> np.random.SeedSequence:
+    """Child ``SeedSequence`` for stream ``key`` under root ``seed``.
+
+    ``spawn_seed(seed, day_index)`` reproduces the per-day child streams
+    of :class:`repro.telemetry.synthesis.SyntheticTelemetryGenerator`
+    bit-for-bit.
+    """
+    if isinstance(seed, bool) or not isinstance(seed, numbers.Integral):
+        raise ExaDigiTError(f"seed must be an int, got {type(seed).__name__}")
+    spawn_key = tuple(key_word(part) for part in key)
+    return np.random.SeedSequence(entropy=int(seed), spawn_key=spawn_key)
+
+
+def spawn_rng(seed: int, *key: int | str) -> np.random.Generator:
+    """A ``default_rng`` over :func:`spawn_seed`'s child sequence."""
+    return np.random.default_rng(spawn_seed(seed, *key))

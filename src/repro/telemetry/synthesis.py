@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.config.schema import SystemSpec
 from repro.exceptions import TelemetryError
+from repro.seeding import spawn_rng
 from repro.telemetry import profiles
 from repro.telemetry.dataset import TelemetryDataset, TimeSeries
 from repro.telemetry.schema import TRACE_QUANTA_S, JobRecord
@@ -157,10 +158,11 @@ class SyntheticTelemetryGenerator:
     # -- internals -----------------------------------------------------------
 
     def _day_rng(self, day_index: int) -> np.random.Generator:
-        child = np.random.SeedSequence(
-            entropy=self._seed_seq.entropy, spawn_key=(day_index,)
-        )
-        return np.random.default_rng(child)
+        # The package-wide spawning idiom (repro.seeding): day k's
+        # stream is SeedSequence(entropy=seed, spawn_key=(k,)), which
+        # is also what workload generators reproduce to stay
+        # bit-compatible with synthesized telemetry.
+        return spawn_rng(int(self._seed_seq.entropy), day_index)
 
     def _draw_job_nodes(
         self, rng: np.random.Generator, params: WorkloadDayParams

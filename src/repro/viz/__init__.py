@@ -8,6 +8,8 @@ rendering device changes (see DESIGN.md substitutions):
   of racks/CDUs/CEP assets generated from the JSON system config, the
   planned "dynamic asset generation" of paper Section V,
 - :mod:`repro.viz.heatmap` — rack/CDU heat-map grids (ANSI or text),
+- :mod:`repro.viz.traces` — ASCII line charts of generated workload
+  traces (``repro workload preview``),
 - :mod:`repro.viz.campaign` — sweep-campaign heat maps and
   cross-campaign metric comparison tables,
 - :mod:`repro.viz.dashboard` — terminal dashboard with sparklines,
@@ -24,6 +26,7 @@ from repro.viz.campaign import (
     fidelity_error_heatmap,
 )
 from repro.viz.dashboard import sparkline, render_dashboard
+from repro.viz.traces import render_trace
 from repro.viz.export import (
     StepStreamWriter,
     export_result,
@@ -45,6 +48,7 @@ __all__ = [
     "fidelity_error_heatmap",
     "sparkline",
     "render_dashboard",
+    "render_trace",
     "result_to_json",
     "result_to_csv",
     "export_result",

@@ -1,0 +1,74 @@
+"""ASCII line charts for generated workload traces.
+
+``repro workload preview`` renders arrival-rate, wet-bulb, and grid
+carbon/price traces in the terminal before a stress campaign spends
+any simulation time on them — the same character-ramp aesthetic as
+:mod:`repro.viz.heatmap`, but as a time/value chart.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ExaDigiTError
+
+
+def render_trace(
+    times_s: np.ndarray,
+    values: np.ndarray,
+    *,
+    width: int = 72,
+    height: int = 12,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Render a sampled series as a fixed-size ASCII line chart.
+
+    The series is resampled to ``width`` columns by linear
+    interpolation; each column paints one ``*`` at its value row.  The
+    frame carries the value range on the left and the time range (in
+    hours) on the bottom.
+    """
+    times_s = np.asarray(times_s, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    if times_s.ndim != 1 or times_s.size < 2 or times_s.shape != values.shape:
+        raise ExaDigiTError(
+            "render_trace needs matching 1-D times/values with >= 2 samples"
+        )
+    if width < 8 or height < 3:
+        raise ExaDigiTError("render_trace needs width >= 8 and height >= 3")
+    grid_t = np.linspace(times_s[0], times_s[-1], width)
+    grid_v = np.interp(grid_t, times_s, values)
+    lo = float(np.min(grid_v))
+    hi = float(np.max(grid_v))
+    span = hi - lo if hi > lo else 1.0
+    rows = np.clip(
+        ((grid_v - lo) / span * (height - 1)).round().astype(int),
+        0,
+        height - 1,
+    )
+    canvas = [[" "] * width for _ in range(height)]
+    for col, row in enumerate(rows):
+        canvas[height - 1 - row][col] = "*"
+    label_width = max(len(f"{hi:.4g}"), len(f"{lo:.4g}"))
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row_chars in enumerate(canvas):
+        if i == 0:
+            label = f"{hi:.4g}"
+        elif i == height - 1:
+            label = f"{lo:.4g}"
+        else:
+            label = ""
+        lines.append(f"{label:>{label_width}} |{''.join(row_chars)}|")
+    t0_h = times_s[0] / 3600.0
+    t1_h = times_s[-1] / 3600.0
+    footer = f"{t0_h:.3g} h{'':{max(width - 16, 1)}}{t1_h:.4g} h"
+    lines.append(f"{'':{label_width}}  {footer}")
+    if unit:
+        lines.append(f"{'':{label_width}}  [{unit}]")
+    return "\n".join(lines)
+
+
+__all__ = ["render_trace"]

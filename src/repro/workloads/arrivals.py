@@ -1,0 +1,275 @@
+"""Job-role generators: arrival processes and telemetry-replay morphs.
+
+Each generator emits scheduler jobs with no recorded start (the
+simulated scheduler places them), drawing job bodies through the same
+Table IV-calibrated machinery as the telemetry synthesizer so power
+and size distributions stay paper-faithful.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config.schema import SystemSpec
+from repro.scheduler.arrivals import DiurnalArrivals, MMPPArrivals, PoissonArrivals
+from repro.scheduler.job import Job
+from repro.seeding import spawn_rng
+from repro.telemetry import profiles
+from repro.telemetry.synthesis import (
+    SyntheticTelemetryGenerator,
+    WorkloadDayParams,
+)
+from repro.workloads.base import (
+    WorkloadError,
+    WorkloadGenerator,
+    register_generator,
+)
+
+
+def _emit_jobs(
+    spec: SystemSpec,
+    arrival_times: np.ndarray,
+    rng: np.random.Generator,
+    params: WorkloadDayParams,
+) -> list[Job]:
+    """Job bodies for the given arrivals, via the synthesizer's priors."""
+    gen = SyntheticTelemetryGenerator(spec, seed=0)  # only sizes the bodies
+    jobs: list[Job] = []
+    for job_id, t in enumerate(arrival_times):
+        record = gen._make_job(rng, params, job_id, float(t))
+        job = Job.from_record(record)
+        job.recorded_start = None  # let the simulated scheduler place it
+        jobs.append(job)
+    return jobs
+
+
+@register_generator
+@dataclass(frozen=True)
+class DiurnalWorkload(WorkloadGenerator):
+    """Diurnal (non-homogeneous Poisson) traffic with Table IV job bodies."""
+
+    generator = "diurnal"
+    role = "jobs"
+
+    mean_arrival_s: float = 180.0
+    amplitude: float = 0.6
+    peak_hour: float = 16.0
+    mean_nodes_per_job: float = 64.0
+    mean_runtime_s: float = 1800.0
+    single_node_fraction: float = 0.32
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.mean_arrival_s <= 0:
+            raise WorkloadError("mean_arrival_s must be positive")
+        if not 0.0 <= self.amplitude < 1.0:
+            raise WorkloadError("amplitude must be in [0, 1)")
+
+    def day_params(self) -> WorkloadDayParams:
+        return WorkloadDayParams(
+            mean_arrival_s=self.mean_arrival_s,
+            mean_nodes_per_job=self.mean_nodes_per_job,
+            mean_runtime_s=self.mean_runtime_s,
+            single_node_fraction=self.single_node_fraction,
+        )
+
+    def generate(self, spec: SystemSpec, duration_s: float) -> list[Job]:
+        duration_s = self._check_duration(duration_s)
+        process = DiurnalArrivals(
+            self.mean_arrival_s,
+            self.rng("arrivals"),
+            amplitude=self.amplitude,
+            peak_hour=self.peak_hour,
+        )
+        arrivals = process.sample_until(duration_s)
+        return _emit_jobs(spec, arrivals, self.rng("jobs"), self.day_params())
+
+
+@register_generator
+@dataclass(frozen=True)
+class BurstyWorkload(WorkloadGenerator):
+    """Two-state MMPP (calm/burst) traffic with Table IV job bodies."""
+
+    generator = "mmpp"
+    role = "jobs"
+
+    calm_arrival_s: float = 600.0
+    burst_arrival_s: float = 60.0
+    mean_calm_s: float = 7200.0
+    mean_burst_s: float = 1800.0
+    mean_nodes_per_job: float = 64.0
+    mean_runtime_s: float = 1800.0
+    single_node_fraction: float = 0.32
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        for name in ("calm_arrival_s", "burst_arrival_s", "mean_calm_s",
+                     "mean_burst_s"):
+            if getattr(self, name) <= 0:
+                raise WorkloadError(f"{name} must be positive")
+
+    def day_params(self) -> WorkloadDayParams:
+        # Report the long-run mean interval for the params record.
+        p_burst = self.mean_burst_s / (self.mean_calm_s + self.mean_burst_s)
+        rate = (1.0 - p_burst) / self.calm_arrival_s + (
+            p_burst / self.burst_arrival_s
+        )
+        return WorkloadDayParams(
+            mean_arrival_s=1.0 / rate,
+            mean_nodes_per_job=self.mean_nodes_per_job,
+            mean_runtime_s=self.mean_runtime_s,
+            single_node_fraction=self.single_node_fraction,
+        )
+
+    def generate(self, spec: SystemSpec, duration_s: float) -> list[Job]:
+        duration_s = self._check_duration(duration_s)
+        process = MMPPArrivals(
+            self.calm_arrival_s,
+            self.burst_arrival_s,
+            self.rng("arrivals"),
+            mean_calm_s=self.mean_calm_s,
+            mean_burst_s=self.mean_burst_s,
+        )
+        arrivals = process.sample_until(duration_s)
+        return _emit_jobs(spec, arrivals, self.rng("jobs"), self.day_params())
+
+
+@register_generator
+@dataclass(frozen=True)
+class HeavyTailWorkload(WorkloadGenerator):
+    """Poisson arrivals with Pareto job sizes and lognormal runtimes.
+
+    Job node counts follow ``min_nodes * (1 + Pareto(alpha))`` — the
+    heavy-tailed size regime where a few near-full-system jobs dominate
+    allocated node-hours.
+    """
+
+    generator = "heavy-tail"
+    role = "jobs"
+
+    mean_arrival_s: float = 300.0
+    alpha: float = 1.5
+    min_nodes: int = 1
+    mean_runtime_s: float = 1800.0
+    runtime_cv: float = 1.2
+    mean_cpu_util: float = 0.38
+    mean_gpu_util: float = 0.62
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.mean_arrival_s <= 0:
+            raise WorkloadError("mean_arrival_s must be positive")
+        if self.alpha <= 0:
+            raise WorkloadError("alpha must be positive")
+        if self.min_nodes < 1:
+            raise WorkloadError("min_nodes must be >= 1")
+        if self.mean_runtime_s <= 0 or self.runtime_cv <= 0:
+            raise WorkloadError("runtime parameters must be positive")
+
+    def generate(self, spec: SystemSpec, duration_s: float) -> list[Job]:
+        duration_s = self._check_duration(duration_s)
+        arrivals = PoissonArrivals(
+            self.mean_arrival_s, self.rng("arrivals")
+        ).sample_until(duration_s)
+        rng = self.rng("jobs")
+        sigma2 = np.log1p(self.runtime_cv**2)
+        mu = np.log(self.mean_runtime_s) - sigma2 / 2.0
+        jobs: list[Job] = []
+        for job_id, t in enumerate(arrivals):
+            nodes = int(self.min_nodes * (1.0 + rng.pareto(self.alpha)))
+            nodes = int(np.clip(nodes, 1, spec.total_nodes))
+            runtime = float(
+                np.clip(rng.lognormal(mu, np.sqrt(sigma2)), 60.0, 86000.0)
+            )
+            cpu_lv = float(
+                np.clip(rng.normal(self.mean_cpu_util, 0.12), 0.02, 1.0)
+            )
+            gpu_lv = float(
+                np.clip(rng.normal(self.mean_gpu_util, 0.18), 0.0, 1.0)
+            )
+            cpu, gpu = profiles.noisy_application_profile(
+                runtime, rng, cpu_level=cpu_lv, gpu_level=gpu_lv
+            )
+            jobs.append(
+                Job(
+                    job_id=job_id,
+                    name=f"heavy-{job_id}",
+                    nodes_required=nodes,
+                    wall_time=runtime,
+                    cpu_util=cpu,
+                    gpu_util=gpu,
+                    submit_time=float(t),
+                )
+            )
+        return jobs
+
+
+@register_generator
+@dataclass(frozen=True)
+class JobMixMorph(WorkloadGenerator):
+    """A telemetry-replay day with its job mix morphed by scale factors.
+
+    Draws day ``day_index``'s parameters from the same per-day child
+    stream as :class:`~repro.telemetry.synthesis.SyntheticTelemetryGenerator`
+    (so with unit scales and the same seed the mix matches the replay
+    day), then scales arrival rate, job sizes, and runtimes.
+    """
+
+    generator = "telemetry-morph"
+    role = "jobs"
+
+    day_index: int = 0
+    arrival_scale: float = 1.0
+    nodes_scale: float = 1.0
+    runtime_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.day_index < 0:
+            raise WorkloadError("day_index must be >= 0")
+        for name in ("arrival_scale", "nodes_scale", "runtime_scale"):
+            if getattr(self, name) <= 0:
+                raise WorkloadError(f"{name} must be positive")
+        object.__setattr__(self, "day_index", int(self.day_index))
+
+    def day_params(self) -> WorkloadDayParams:
+        """The morphed day parameters (before job-level draws)."""
+        base = WorkloadDayParams.draw(spawn_rng(self.seed, self.day_index))
+        return dataclasses.replace(
+            base,
+            mean_arrival_s=base.mean_arrival_s / self.arrival_scale,
+            mean_nodes_per_job=max(
+                base.mean_nodes_per_job * self.nodes_scale, 1.0
+            ),
+            mean_runtime_s=base.mean_runtime_s * self.runtime_scale,
+        )
+
+    def generate(self, spec: SystemSpec, duration_s: float) -> list[Job]:
+        duration_s = self._check_duration(duration_s)
+        # Same per-day child stream as the synthesizer: params first,
+        # then job draws continue on the same stream (synthesis.day()).
+        rng = spawn_rng(self.seed, self.day_index)
+        base = WorkloadDayParams.draw(rng)
+        params = dataclasses.replace(
+            base,
+            mean_arrival_s=base.mean_arrival_s / self.arrival_scale,
+            mean_nodes_per_job=max(
+                base.mean_nodes_per_job * self.nodes_scale, 1.0
+            ),
+            mean_runtime_s=base.mean_runtime_s * self.runtime_scale,
+        )
+        arrivals = PoissonArrivals(
+            params.mean_arrival_s, rng
+        ).sample_until(duration_s)
+        return _emit_jobs(spec, arrivals, rng, params)
+
+
+__all__ = [
+    "DiurnalWorkload",
+    "BurstyWorkload",
+    "HeavyTailWorkload",
+    "JobMixMorph",
+]

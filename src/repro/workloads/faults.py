@@ -1,0 +1,133 @@
+"""Fault-injection event-stream generator.
+
+Produces :class:`~repro.core.events.FaultEvent` streams: random node
+failures (Poisson with mean time between failures, exponential outage
+durations), an optional scheduled maintenance window, and an optional
+CDU blockage routed to the cooling plant's ``set_blockage`` input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.schema import SystemSpec
+from repro.core.events import FaultEvent, sort_events
+from repro.workloads.base import (
+    WorkloadError,
+    WorkloadGenerator,
+    register_generator,
+)
+
+
+@register_generator
+@dataclass(frozen=True)
+class FaultInjection(WorkloadGenerator):
+    """Timed node outages, maintenance windows, and CDU blockages.
+
+    Node failures arrive as a Poisson process with mean interval
+    ``node_mtbf_s``; each failure takes ``nodes_per_failure`` distinct
+    random nodes down for an exponential outage with mean
+    ``mean_outage_s``.  A maintenance window (``maintenance_start_s >=
+    0``) takes the free subset of the first ``maintenance_nodes`` nodes
+    out of service for ``maintenance_s`` seconds without killing jobs.  A CDU
+    blockage (``cdu_blockage_time_s >= 0``) throttles loop
+    ``cdu_index`` by ``cdu_blockage_severity`` until
+    ``cdu_clear_time_s`` (or forever when negative).
+    """
+
+    generator = "faults"
+    role = "events"
+
+    node_mtbf_s: float = 43200.0
+    mean_outage_s: float = 3600.0
+    nodes_per_failure: int = 1
+    maintenance_start_s: float = -1.0
+    maintenance_s: float = 3600.0
+    maintenance_nodes: int = 0
+    cdu_blockage_time_s: float = -1.0
+    cdu_index: int = 0
+    cdu_blockage_severity: float = 2.0
+    cdu_clear_time_s: float = -1.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.node_mtbf_s <= 0 or self.mean_outage_s <= 0:
+            raise WorkloadError("failure time scales must be positive")
+        if self.nodes_per_failure < 1:
+            raise WorkloadError("nodes_per_failure must be >= 1")
+        if self.maintenance_nodes < 0:
+            raise WorkloadError("maintenance_nodes must be >= 0")
+        if self.cdu_blockage_severity < 1.0:
+            raise WorkloadError("cdu_blockage_severity must be >= 1")
+
+    def generate(
+        self, spec: SystemSpec, duration_s: float
+    ) -> tuple[FaultEvent, ...]:
+        duration_s = self._check_duration(duration_s)
+        events: list[FaultEvent] = []
+        rng = self.rng("failures")
+        t = 0.0
+        while True:
+            t += float(rng.exponential(self.node_mtbf_s))
+            if t >= duration_s:
+                break
+            count = min(self.nodes_per_failure, spec.total_nodes)
+            nodes = tuple(
+                int(n)
+                for n in sorted(
+                    rng.choice(spec.total_nodes, size=count, replace=False)
+                )
+            )
+            events.append(FaultEvent(time_s=t, kind="node-down", nodes=nodes))
+            up_at = t + float(rng.exponential(self.mean_outage_s))
+            if up_at < duration_s:
+                events.append(
+                    FaultEvent(time_s=up_at, kind="node-up", nodes=nodes)
+                )
+        if self.maintenance_start_s >= 0.0 and self.maintenance_nodes > 0:
+            nodes = tuple(range(min(self.maintenance_nodes, spec.total_nodes)))
+            if self.maintenance_start_s < duration_s:
+                # Maintenance drains: running jobs finish, nodes go down
+                # once free (kill_running=False).
+                events.append(
+                    FaultEvent(
+                        time_s=self.maintenance_start_s,
+                        kind="node-down",
+                        nodes=nodes,
+                        kill_running=False,
+                    )
+                )
+                up_at = self.maintenance_start_s + self.maintenance_s
+                if up_at < duration_s:
+                    events.append(
+                        FaultEvent(time_s=up_at, kind="node-up", nodes=nodes)
+                    )
+        if 0.0 <= self.cdu_blockage_time_s < duration_s:
+            if not 0 <= self.cdu_index < spec.cooling.num_cdus:
+                raise WorkloadError(
+                    f"cdu_index {self.cdu_index} out of range for "
+                    f"{spec.cooling.num_cdus} CDUs"
+                )
+            events.append(
+                FaultEvent(
+                    time_s=self.cdu_blockage_time_s,
+                    kind="cdu-blockage",
+                    cdu_index=self.cdu_index,
+                    severity=self.cdu_blockage_severity,
+                )
+            )
+            if self.cdu_clear_time_s >= self.cdu_blockage_time_s and (
+                self.cdu_clear_time_s < duration_s
+            ):
+                events.append(
+                    FaultEvent(
+                        time_s=self.cdu_clear_time_s,
+                        kind="cdu-blockage",
+                        cdu_index=self.cdu_index,
+                        severity=1.0,
+                    )
+                )
+        return sort_events(events)
+
+
+__all__ = ["FaultInjection"]

@@ -1,0 +1,124 @@
+"""Environment-role generators: weather-year wet-bulb and grid signals."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config.schema import SystemSpec
+from repro.power.emissions import GridSignal
+from repro.telemetry.dataset import TimeSeries
+from repro.telemetry.synthesis import synthesize_wetbulb
+from repro.workloads.base import (
+    WorkloadError,
+    WorkloadGenerator,
+    register_generator,
+)
+
+
+@register_generator
+@dataclass(frozen=True)
+class WeatherYear(WorkloadGenerator):
+    """A wet-bulb temperature trace for the cooling plant's inlet.
+
+    Wraps :func:`repro.telemetry.synthesis.synthesize_wetbulb` — the
+    East-Tennessee seasonal + diurnal + Ornstein-Uhlenbeck model — as a
+    parametric generator, so weather years are content-addressed and
+    sweepable (e.g. ``day_of_year`` across seasons, or a warmer
+    ``mean_annual_c`` for siting studies).
+    """
+
+    generator = "weather-year"
+    role = "wetbulb"
+
+    day_of_year: int = 100
+    mean_annual_c: float = 13.0
+    seasonal_amplitude_c: float = 9.0
+    diurnal_amplitude_c: float = 3.0
+    noise_std_c: float = 1.2
+    noise_tau_s: float = 7200.0
+    dt_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0 <= self.day_of_year < 366:
+            raise WorkloadError("day_of_year must be in [0, 366)")
+        if self.dt_s <= 0 or self.noise_tau_s <= 0:
+            raise WorkloadError("dt_s and noise_tau_s must be positive")
+        if self.noise_std_c < 0:
+            raise WorkloadError("noise_std_c must be >= 0")
+        object.__setattr__(self, "day_of_year", int(self.day_of_year))
+
+    def generate(self, spec: SystemSpec, duration_s: float) -> TimeSeries:
+        duration_s = self._check_duration(duration_s)
+        return synthesize_wetbulb(
+            duration_s,
+            self.rng("wetbulb"),
+            dt_s=self.dt_s,
+            day_of_year=self.day_of_year,
+            mean_annual_c=self.mean_annual_c,
+            seasonal_amplitude_c=self.seasonal_amplitude_c,
+            diurnal_amplitude_c=self.diurnal_amplitude_c,
+            noise_std_c=self.noise_std_c,
+            noise_tau_s=self.noise_tau_s,
+        )
+
+
+@register_generator
+@dataclass(frozen=True)
+class GridSignalGenerator(WorkloadGenerator):
+    """Diurnal carbon-intensity and electricity-price signals.
+
+    Both profiles are cosines peaking at ``peak_hour`` (evening demand
+    peak) around a configured base, plus small independent Gaussian
+    noise per sample — enough structure for carbon-aware what-if
+    studies through :class:`repro.power.emissions.EmissionsModel`.
+    """
+
+    generator = "grid-signal"
+    role = "grid"
+
+    base_intensity_lb_per_mwh: float = 852.3
+    intensity_swing: float = 0.25
+    base_price_usd_per_kwh: float = 0.09
+    price_swing: float = 0.4
+    peak_hour: float = 18.0
+    noise_frac: float = 0.02
+    dt_s: float = 900.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.base_intensity_lb_per_mwh <= 0:
+            raise WorkloadError("base_intensity_lb_per_mwh must be positive")
+        if self.base_price_usd_per_kwh <= 0:
+            raise WorkloadError("base_price_usd_per_kwh must be positive")
+        for name in ("intensity_swing", "price_swing"):
+            if not 0.0 <= getattr(self, name) < 1.0:
+                raise WorkloadError(f"{name} must be in [0, 1)")
+        if self.noise_frac < 0:
+            raise WorkloadError("noise_frac must be >= 0")
+        if self.dt_s <= 0:
+            raise WorkloadError("dt_s must be positive")
+
+    def generate(self, spec: SystemSpec, duration_s: float) -> GridSignal:
+        duration_s = self._check_duration(duration_s)
+        rng = self.rng("grid")
+        n = int(np.ceil(duration_s / self.dt_s)) + 1
+        t = self.dt_s * np.arange(n)
+        phase = np.cos(2.0 * np.pi * (t / 86400.0 - self.peak_hour / 24.0))
+        carbon = self.base_intensity_lb_per_mwh * (
+            1.0 + self.intensity_swing * phase
+        )
+        price = self.base_price_usd_per_kwh * (1.0 + self.price_swing * phase)
+        if self.noise_frac > 0:
+            carbon = carbon * (1.0 + self.noise_frac * rng.normal(size=n))
+            price = price * (1.0 + self.noise_frac * rng.normal(size=n))
+        return GridSignal(
+            times_s=t,
+            carbon_intensity_lb_per_mwh=np.maximum(carbon, 0.0),
+            price_usd_per_kwh=np.maximum(price, 0.0),
+        )
+
+
+__all__ = ["WeatherYear", "GridSignalGenerator"]

@@ -1,0 +1,234 @@
+"""Stress suites: generate -> run -> validate campaigns over workload grids.
+
+Mirrors the campaign-artifact test patterns (interrupted runs, resume,
+manifest provenance) for :class:`repro.workloads.StressSuite`, and
+exercises the validation sweep against both healthy and deliberately
+corrupted persisted cells.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.config.loader import dump_system
+from repro.exceptions import ScenarioError
+from repro.fastpath import fit_bundle
+from repro.fastpath.multifidelity import REFINE_DIR, SCREEN_DIR
+from repro.scenarios import (
+    CampaignStore,
+    GeneratedScenario,
+    GridSweepScenario,
+)
+from repro.workloads import DiurnalWorkload, StressSuite
+from tests.conftest import make_small_spec
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return make_small_spec()
+
+
+def _gen_sweep(with_cooling=False) -> GridSweepScenario:
+    return GridSweepScenario(
+        base=GeneratedScenario(
+            name="gen",
+            duration_s=900.0,
+            with_cooling=with_cooling,
+            workload=DiurnalWorkload(seed=1, mean_arrival_s=120.0),
+        ),
+        grid={"workload.mean_arrival_s": (120.0, 240.0), "seed": (0, 1)},
+    )
+
+
+class TestPlainSuite:
+    def test_run_validates_every_cell(self, tmp_path, spec):
+        suite = StressSuite.create(
+            tmp_path / "suite", [_gen_sweep()], system=spec
+        )
+        report = suite.run()
+        assert report.complete
+        assert report.validated == 4
+        assert report.failed == ()
+        assert report.passed
+        assert not suite.screened
+        assert {c.phase for c in report.cells} == {"cells"}
+        assert "4 cells validated, 0 failed" in report.report()
+
+    def test_validation_json_persisted(self, tmp_path, spec):
+        suite = StressSuite.create(
+            tmp_path / "suite", [_gen_sweep()], system=spec
+        )
+        report = suite.run()
+        doc = suite.load_validation()
+        assert doc == report.to_dict()
+        assert doc == json.loads(
+            (tmp_path / "suite" / "validation.json").read_text()
+        )
+
+    def test_manifest_carries_workload_provenance(self, tmp_path, spec):
+        StressSuite.create(tmp_path / "suite", [_gen_sweep()], system=spec)
+        manifest = json.loads(
+            (tmp_path / "suite" / "manifest.json").read_text()
+        )
+        cells = manifest["cells"]
+        assert len(cells) == 4
+        for entry, child in zip(cells, _gen_sweep().expand()):
+            assert entry["workloads"] == child.workload_provenance()
+            sha = entry["workloads"]["workload"]["spec_sha"]
+            assert sha == child.workload.spec_sha()
+        # Cells with different generator params get different addresses.
+        shas = {e["workloads"]["workload"]["spec_sha"] for e in cells}
+        assert len(shas) == 2  # two mean_arrival_s values, seed sweeps engine
+
+    def test_append_cell_records_provenance(self, tmp_path, spec):
+        # The open-ended (service) path goes through the same manifest
+        # entry builder as frozen campaigns.
+        store = CampaignStore.create_open_ended(tmp_path / "svc", spec)
+        scenario = _gen_sweep().expand()[0]
+        store.append_cell(scenario)
+        manifest = json.loads((tmp_path / "svc" / "manifest.json").read_text())
+        assert manifest["cells"][0]["workloads"] == (
+            scenario.workload_provenance()
+        )
+
+    def test_open_missing_rejected(self, tmp_path):
+        with pytest.raises(ScenarioError, match="no stress-suite campaign"):
+            StressSuite.open(tmp_path / "nope")
+
+
+class TestResume:
+    def test_interrupted_suite_resumes_without_recompute(self, tmp_path, spec):
+        suite = StressSuite.create(
+            tmp_path / "suite", [_gen_sweep()], system=spec
+        )
+        partial = suite.run(stop_after=2)
+        assert not partial.complete
+        assert partial.validated == 2
+        results = tmp_path / "suite" / "results.jsonl"
+        lines_before = results.read_text().splitlines()
+        assert len(lines_before) == 2
+
+        resumed = StressSuite.open(tmp_path / "suite")
+        report = resumed.run()
+        assert report.complete
+        assert report.validated == 4
+        lines_after = results.read_text().splitlines()
+        # Append-only resume: the interrupted cells were not re-run.
+        assert lines_after[:2] == lines_before
+        assert len(lines_after) == 4
+
+    def test_partial_validation_persists_between_sessions(self, tmp_path,
+                                                          spec):
+        suite = StressSuite.create(
+            tmp_path / "suite", [_gen_sweep()], system=spec
+        )
+        suite.run(stop_after=1)
+        doc = StressSuite.open(tmp_path / "suite").load_validation()
+        assert doc["complete"] is False
+        assert doc["validated"] == 1
+
+
+class TestScreenedSuite:
+    def test_screen_then_refine_validates_both_phases(self, tmp_path, spec):
+        bundle = fit_bundle(spec, cooling=False)
+        suite = StressSuite.create(
+            tmp_path / "suite",
+            [_gen_sweep()],
+            system=spec,
+            screen_top_k=1,
+            metric="mean_power_mw",
+            objective="max",
+            surrogates=bundle,
+        )
+        assert suite.screened
+        report = suite.run()
+        assert report.complete
+        # 4 screened cells + 1 refined cell, all validated.
+        phases = sorted(c.phase for c in report.cells)
+        assert phases == ["refine", "screen", "screen", "screen", "screen"]
+        assert report.failed == ()
+        assert CampaignStore.exists(tmp_path / "suite" / SCREEN_DIR)
+        assert CampaignStore.exists(tmp_path / "suite" / REFINE_DIR)
+
+        # Reopen with the bundle and re-validate without recomputation.
+        again = StressSuite.open(tmp_path / "suite", surrogates=bundle)
+        assert again.validate().validated == 5
+
+
+class TestValidationFailures:
+    def test_corrupted_energy_metric_is_flagged(self, tmp_path, spec):
+        suite = StressSuite.create(
+            tmp_path / "suite", [_gen_sweep()], system=spec
+        )
+        assert suite.run().passed
+        results = tmp_path / "suite" / "results.jsonl"
+        docs = [json.loads(line) for line in results.read_text().splitlines()]
+        docs[1]["metrics"]["energy_mwh"] += 1.0  # break energy balance
+        results.write_text(
+            "".join(json.dumps(d) + "\n" for d in docs), encoding="utf-8"
+        )
+
+        report = StressSuite.open(tmp_path / "suite").validate()
+        assert not report.passed
+        assert len(report.failed) == 1
+        assert report.failed[0].index == 1
+        assert any(
+            "energy balance" in failure for failure in report.failed[0].failures
+        )
+        assert "FAIL [cells:1]" in report.report()
+        # The persisted audit reflects the failure.
+        assert suite.load_validation()["failed"] == 1
+
+    def test_nan_series_is_flagged(self, tmp_path, spec):
+        suite = StressSuite.create(
+            tmp_path / "suite", [_gen_sweep()], system=spec
+        )
+        suite.run()
+        results = tmp_path / "suite" / "results.jsonl"
+        docs = [json.loads(line) for line in results.read_text().splitlines()]
+        docs[0]["series"]["system_power_w"][3] = None  # reloads as NaN
+        results.write_text(
+            "".join(json.dumps(d) + "\n" for d in docs), encoding="utf-8"
+        )
+        report = StressSuite.open(tmp_path / "suite").validate()
+        assert any(
+            "contains NaN" in failure
+            for cell in report.failed
+            for failure in cell.failures
+        )
+
+
+class TestSweepCli:
+    @pytest.fixture()
+    def mini_path(self, tmp_path):
+        path = tmp_path / "mini.json"
+        dump_system(make_small_spec(), path)
+        return path
+
+    def test_sweep_runs_and_resumes(self, tmp_path, mini_path, capsys):
+        camp = str(tmp_path / "stress")
+        argv = [
+            "workload", "sweep", camp,
+            "--system", str(mini_path),
+            "--kind", "diurnal",
+            "--set", "mean_arrival_s=120",
+            "--grid", "workload.mean_arrival_s=120,240;seed=0,1",
+            "--hours", "0.25",
+            "--no-cooling",
+        ]
+        assert cli_main(argv) == 0
+        out = capsys.readouterr().out
+        assert "4 cells validated, 0 failed" in out
+        assert (tmp_path / "stress" / "validation.json").exists()
+
+        results = tmp_path / "stress" / "results.jsonl"
+        before = results.read_text()
+        # Re-running resumes the finished suite (no --grid needed) and
+        # re-validates without touching the stored results.
+        assert cli_main(["workload", "sweep", camp]) == 0
+        out = capsys.readouterr().out
+        assert "4 cells validated, 0 failed" in out
+        assert results.read_text() == before
