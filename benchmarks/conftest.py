@@ -5,10 +5,21 @@ evaluation and asserts its *shape* (who wins, rough magnitudes,
 crossovers) while timing a representative kernel with pytest-benchmark.
 Set ``REPRO_T4_DAYS`` to lengthen the Table IV campaign (default 6 days;
 the paper replays 183).
+
+Benches with a ``BENCH_*.json`` perf trajectory share the baseline
+protocol below (:func:`load_baseline` / :func:`check_ratio` /
+:func:`record_trajectory`): a missing baseline never skips or weakens a
+``-m slow`` run — the bench measures as usual, the ratio guards are
+simply vacuous on the very first run, and the file is **self-seeded**
+so the next run (and CI) has a bar to clear.  The committed file is the
+baseline of record: it is rewritten only on first creation or under
+``REPRO_BENCH_UPDATE=1``, so neither a lucky fast run nor a regressed
+one can silently ratchet the bar.
 """
 
 from __future__ import annotations
 
+import json
 import os
 
 import pytest
@@ -17,6 +28,67 @@ from repro.config.frontier import frontier_spec
 
 
 _BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+
+#: Machine-independent regression budget on committed guard ratios: a
+#: measured ratio more than 20 % worse than the baseline fails.
+RATIO_REGRESSION = 1.2
+
+
+def bench_json_path(name: str) -> str:
+    """Absolute path of a ``BENCH_<name>.json`` trajectory file."""
+    return os.path.join(_BENCH_DIR, f"BENCH_{name}.json")
+
+
+def load_baseline(path: str) -> dict | None:
+    """The committed baseline doc, or None on a first (seeding) run."""
+    if not os.path.exists(path):
+        return None
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def check_ratio(
+    baseline: dict | None,
+    key: str,
+    measured: float,
+    *,
+    higher_is_better: bool = True,
+    budget: float = RATIO_REGRESSION,
+) -> None:
+    """Guard one hardware-independent ratio against the baseline.
+
+    Vacuous when the baseline is missing (first run — the caller then
+    seeds it via :func:`record_trajectory`) or lacks ``key`` (older
+    baseline schema); never skips the measurement itself.
+    """
+    if baseline is None:
+        return
+    committed = baseline.get(key)
+    if not committed:
+        return
+    if higher_is_better:
+        assert measured >= committed / budget, (
+            f"{key} regressed: {measured:.2f} vs committed "
+            f"{committed:.2f} (budget {budget}x)"
+        )
+    else:
+        assert measured <= committed * budget, (
+            f"{key} regressed: {measured:.2f} vs committed "
+            f"{committed:.2f} (budget {budget}x)"
+        )
+
+
+def record_trajectory(path: str, doc: dict, baseline: dict | None) -> None:
+    """Persist the trajectory doc: always on first run, else opt-in.
+
+    Self-seeding keeps CI honest — a fresh checkout's first ``-m slow``
+    run both measures and creates the bar later runs are guarded
+    against, instead of silently running guard-free forever.
+    """
+    if baseline is None or os.environ.get("REPRO_BENCH_UPDATE") == "1":
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=1)
+            fh.write("\n")
 
 
 def pytest_collection_modifyitems(items):

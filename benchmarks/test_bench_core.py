@@ -35,7 +35,14 @@ import time
 import numpy as np
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import (
+    RATIO_REGRESSION,
+    bench_json_path,
+    check_ratio,
+    emit,
+    load_baseline,
+    record_trajectory,
+)
 from repro.core.profiling import PhaseProfiler
 from repro.scenarios import (
     Campaign,
@@ -47,13 +54,9 @@ from repro.scenarios.artifacts import git_revision
 from repro.service.warmcache import WarmStateCache
 from tests.conftest import make_small_spec
 
-_BENCH_JSON = os.path.join(
-    os.path.dirname(os.path.abspath(__file__)), "BENCH_core.json"
-)
+_BENCH_JSON = bench_json_path("core")
 
 REPLAY_HOURS = 24.0
-#: Machine-independent regression budget on the committed ratios.
-RATIO_REGRESSION = 1.2
 
 
 @pytest.fixture(scope="module")
@@ -84,10 +87,7 @@ def _timed_replay(spec, *, backend=None, with_cooling=True, profiler=None):
 
 @pytest.mark.slow
 def test_bench_core_trajectory(spec):
-    baseline = None
-    if os.path.exists(_BENCH_JSON):
-        with open(_BENCH_JSON, encoding="utf-8") as fh:
-            baseline = json.load(fh)
+    baseline = load_baseline(_BENCH_JSON)
 
     # Two interleaved measurement rounds (fused / reference / uncoupled
     # back to back), keeping the per-category minimum: both sides of
@@ -181,25 +181,13 @@ def test_bench_core_trajectory(spec):
     )
     assert max_rel <= 1e-9
 
-    # --- machine-independent regression guard vs the committed baseline.
-    if baseline is not None:
-        base_speedup = baseline.get("fused_vs_reference_speedup")
-        if base_speedup:
-            assert speedup >= base_speedup / RATIO_REGRESSION, (
-                f"fused-vs-reference speedup regressed: {speedup:.2f}x vs "
-                f"committed {base_speedup:.2f}x"
-            )
-        base_overhead = baseline.get("coupled_vs_uncoupled_overhead")
-        if base_overhead:
-            assert overhead <= base_overhead * RATIO_REGRESSION, (
-                f"cooling-coupling overhead regressed: {overhead:.2f}x vs "
-                f"committed {base_overhead:.2f}x"
-            )
-
-    # The committed trajectory file is the baseline of record: it is
-    # written on first creation or on explicit request only, so neither
-    # a lucky fast run nor a regressed one can ratchet the bar.
-    if baseline is None or os.environ.get("REPRO_BENCH_UPDATE") == "1":
-        with open(_BENCH_JSON, "w", encoding="utf-8") as fh:
-            json.dump(doc, fh, indent=1)
-            fh.write("\n")
+    # --- machine-independent regression guard vs the committed
+    # baseline, then self-seed / refresh the trajectory of record.
+    check_ratio(baseline, "fused_vs_reference_speedup", speedup)
+    check_ratio(
+        baseline,
+        "coupled_vs_uncoupled_overhead",
+        overhead,
+        higher_is_better=False,
+    )
+    record_trajectory(_BENCH_JSON, doc, baseline)

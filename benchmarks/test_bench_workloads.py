@@ -29,7 +29,13 @@ import time
 import numpy as np
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import (
+    bench_json_path,
+    check_ratio,
+    emit,
+    load_baseline,
+    record_trajectory,
+)
 from repro.scenarios import GeneratedScenario, GridSweepScenario
 from repro.scenarios.artifacts import git_revision
 from repro.workloads import (
@@ -40,16 +46,12 @@ from repro.workloads import (
 )
 from tests.conftest import make_small_spec
 
-_BENCH_JSON = os.path.join(
-    os.path.dirname(os.path.abspath(__file__)), "BENCH_workloads.json"
-)
+_BENCH_JSON = bench_json_path("workloads")
 
 GEN_HOURS = 24.0
 #: Cached checkouts per timing sample (a single clone pass is too fast
 #: to time stably on its own).
 CHECKOUTS = 50
-#: Machine-independent regression budget on the committed ratio.
-RATIO_REGRESSION = 1.2
 
 
 def _timed(fn):
@@ -61,10 +63,7 @@ def _timed(fn):
 
 @pytest.mark.slow
 def test_bench_workload_trajectory():
-    baseline = None
-    if os.path.exists(_BENCH_JSON):
-        with open(_BENCH_JSON, encoding="utf-8") as fh:
-            baseline = json.load(fh)
+    baseline = load_baseline(_BENCH_JSON)
 
     spec = make_small_spec()
     gen = DiurnalWorkload(seed=0, mean_arrival_s=60.0)
@@ -143,16 +142,7 @@ def test_bench_workload_trajectory():
         f"cache checkout only {cache_speedup:.2f}x over regeneration"
     )
 
-    # --- machine-independent regression guard vs the committed baseline.
-    if baseline is not None:
-        base_speedup = baseline.get("cache_checkout_speedup")
-        if base_speedup:
-            assert cache_speedup >= base_speedup / RATIO_REGRESSION, (
-                f"cache-checkout speedup regressed: {cache_speedup:.2f}x vs "
-                f"committed {base_speedup:.2f}x"
-            )
-
-    if baseline is None or os.environ.get("REPRO_BENCH_UPDATE") == "1":
-        with open(_BENCH_JSON, "w", encoding="utf-8") as fh:
-            json.dump(doc, fh, indent=1)
-            fh.write("\n")
+    # --- machine-independent regression guard vs the committed
+    # baseline, then self-seed / refresh the trajectory of record.
+    check_ratio(baseline, "cache_checkout_speedup", cache_speedup)
+    record_trajectory(_BENCH_JSON, doc, baseline)

@@ -128,6 +128,17 @@ def _add_workers_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_execution_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--execution",
+        choices=("serial", "batched"),
+        default="serial",
+        help="cell execution backend: serial per-cell runs, or one "
+        "vectorized batched sweep across all pending cells "
+        "(bit-identical results; --workers is ignored when batched)",
+    )
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     twin = DigitalTwin(
         args.system,
@@ -445,7 +456,9 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
             surrogates=args.surrogates,
         )
     outcome = campaign.run(
-        workers=args.workers, progress=_campaign_progress
+        workers=args.workers,
+        progress=_campaign_progress,
+        execution=args.execution,
     )
     print(outcome.comparison_table())
     print(f"\nartifacts: {campaign.path}", file=sys.stderr)
@@ -520,7 +533,11 @@ def cmd_campaign_resume(args: argparse.Namespace) -> int:
         "already done",
         file=sys.stderr,
     )
-    outcome = campaign.run(workers=args.workers, progress=_campaign_progress)
+    outcome = campaign.run(
+        workers=args.workers,
+        progress=_campaign_progress,
+        execution=args.execution,
+    )
     print(outcome.comparison_table())
     return 0
 
@@ -629,6 +646,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         fidelity=args.fidelity,
         surrogates=args.surrogates,
         max_attempts=args.max_attempts,
+        execution=args.execution,
     )
 
     def banner(srv) -> None:
@@ -850,7 +868,11 @@ def cmd_workload_sweep(args: argparse.Namespace) -> int:
             name=args.name,
             surrogates=args.surrogates,
         )
-    report = suite.run(workers=args.workers, progress=_campaign_progress)
+    report = suite.run(
+        workers=args.workers,
+        progress=_campaign_progress,
+        execution=args.execution,
+    )
     print(report.report())
     print(f"\nartifacts: {args.directory}", file=sys.stderr)
     return 1 if report.failed else 0
@@ -1029,6 +1051,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the cooling model (paper: 3x faster replays)",
     )
     _add_workers_arg(cp)
+    _add_execution_arg(cp)
     cp.add_argument(
         "--kind",
         default="synthetic",
@@ -1101,6 +1124,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cp.add_argument("directory", help="campaign artifact directory")
     _add_workers_arg(cp)
+    _add_execution_arg(cp)
     cp.add_argument(
         "--surrogates",
         metavar="BUNDLE",
@@ -1247,6 +1271,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=2,
         help="dispatch attempts per job before a worker crash fails it",
     )
+    p.add_argument(
+        "--execution",
+        choices=("processes", "batched"),
+        default="processes",
+        help="job execution backend: dispatch cells to the worker pool, "
+        "or run each submission's cells as one vectorized in-process "
+        "batch (bit-identical results)",
+    )
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -1382,6 +1414,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="uncoupled cells (no cooling model)",
     )
     _add_workers_arg(wp)
+    _add_execution_arg(wp)
     wp.add_argument(
         "--screen-top",
         type=int,

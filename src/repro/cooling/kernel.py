@@ -475,6 +475,104 @@ class FusedPlantKernel:
             eps = 0.98
         return float(t_in - eps * (t_in - wetbulb))
 
+    # -- scalar substep sections -------------------------------------------------
+    #
+    # The facility half of a substep is pure Python-float state: these
+    # three sections are factored into methods so the batched kernel
+    # (:class:`repro.batch.kernel.BatchedPlantKernel`) can run them per
+    # lane while vectorizing the CDU-bank array sections across lanes.
+
+    def _alpha_for(self, h: float) -> float:
+        """The HTWS delay filter coefficient for substep ``h`` (memoized)."""
+        if self._alpha_h != h:
+            self._alpha = 1.0 - float(_exp(-h / self.delay_tau))
+            self._alpha_h = h
+        return self._alpha
+
+    def _tower_controls(self, h: float, alpha: float) -> float:
+        """Substep section 2: tower fan/pump/cell controls (all scalar).
+
+        Returns the HTW supply temperature the CDU thermal section uses.
+        """
+        htws = self.p_supply_t
+        if self.prev_htws is None:
+            self.prev_htws = htws
+        gradient = (htws - self.prev_htws) / h * 60.0
+        self.prev_htws = htws
+        err = htws - self.p_supply_sp
+        self.delay_y += alpha * ((err + 2.0 * gradient) - self.delay_y)
+        self.t_fan_speed = self.fan_pid.update(self.p_supply_sp, htws, h)
+        self.cell_stage.update(self.delay_y, h)
+        self.t_n_running = self.t_stage.count
+        q = self.t_total_flow
+        dp = self.t_res_k * q * abs(q)
+        self.t_pump_speed = self.speed_pid.update(self.t_press_sp, dp, h)
+        self.t_stage.update(self.t_pump_speed, h)
+        if self.t_n_running == 0:
+            self.t_total_flow = 0.0
+        else:
+            s = self.t_pump_speed
+            s = 0.0 if s < 0.0 else (1.0 if s > 1.0 else s)
+            if s <= 0.0:
+                self.t_total_flow = 0.0
+            else:
+                denom = self.t_kp / self.t_n_running**2 + self.t_res_k
+                self.t_total_flow = sqrt(s**2 * self.t_h0 / denom)
+        return htws
+
+    def _primary_tracking(self, demand: float, h: float) -> None:
+        """Substep sections 4-5: primary speed/flow/staging + EHX staging."""
+        self.p_n_running = self.p_stage.count
+        if demand <= 0 or self.p_n_running == 0:
+            speed = 0.0
+        else:
+            denom = self.p_kp / self.p_n_running**2 + self.p_res_k
+            speed = sqrt(demand**2 * denom / self.p_h0)
+            if speed > 1.0:
+                speed = 1.0
+        self.p_pump_speed = max(speed, self.p_min_speed)
+        q_cap = self.p_qcap[self.p_n_running]
+        self.p_total_flow = min(demand, q_cap)
+        self.p_stage.update(self.p_pump_speed, h)
+        towers_running = ceil(
+            self.cell_stage.count / max(self.cells_per_tower, 1)
+        )
+        m = towers_running
+        self.p_n_ehx = (
+            1 if m < 1 else (self.p_num_ehx if m > self.p_num_ehx else m)
+        )
+
+    def _facility_thermal(self, mix_c: float, wetbulb_c: float, h: float) -> None:
+        """Substep sections 8-9: primary + tower thermal advance."""
+        self.p_return_t = self._advance_volume_scalar(
+            self.p_return_t, mix_c, self.p_total_flow, h, self.p_mcp
+        )
+        ua = self.p_n_ehx * self.ehx_ua
+        qx, t_hot2, ehx_cold_out = self._ehx_transfer(
+            self.p_return_t,
+            self.p_total_flow,
+            self.t_supply_t,
+            self.t_total_flow,
+            ua,
+        )
+        self.p_ehx_heat = float(qx)
+        self.p_supply_t = self._advance_volume_scalar(
+            self.p_supply_t, t_hot2, self.p_total_flow, h, self.p_mcp
+        )
+        self.t_return_t = self._advance_volume_scalar(
+            self.t_return_t, ehx_cold_out, self.t_total_flow, h, self.t_mcp
+        )
+        t_ct_out = self._farm_outlet(
+            self.t_return_t,
+            wetbulb_c,
+            self.t_total_flow,
+            self.cell_stage.count,
+            self.t_fan_speed,
+        )
+        self.t_supply_t = self._advance_volume_scalar(
+            self.t_supply_t, t_ct_out, self.t_total_flow, h, self.t_mcp
+        )
+
     # -- the fused macro step ----------------------------------------------------
 
     def advance(self, plant, cdu_heat_w, wetbulb_c, h, n_sub: int) -> None:
@@ -516,15 +614,11 @@ class FusedPlantKernel:
         where, clip, neg = np.where, np.clip, np.negative
         land, lor, lnot = np.logical_and, np.logical_or, np.logical_not
         copyto = np.copyto
-        exp, expm1 = _exp, _expm1
+        exp = _exp
         advance_bank = self._advance_volume_bank
-        advance_scalar = self._advance_volume_scalar
         # Equal-percentage valve flow at the (constant) header dp.
         dp_term = float(np.sqrt(self.header_dp / self.valve_dp_rated))
-        if self._alpha_h != h:
-            self._alpha = 1.0 - float(exp(-h / self.delay_tau))
-            self._alpha_h = h
-        alpha = self._alpha
+        alpha = self._alpha_for(h)
 
         for _ in range(n_sub):
             # --- 1. CDU controls: the stacked pump-speed + valve PID bank.
@@ -556,30 +650,7 @@ class FusedPlantKernel:
             self.valve_has_prev = True
 
             # --- 2. Tower controls (all scalar state).
-            htws = self.p_supply_t
-            if self.prev_htws is None:
-                self.prev_htws = htws
-            gradient = (htws - self.prev_htws) / h * 60.0
-            self.prev_htws = htws
-            err = htws - self.p_supply_sp
-            self.delay_y += alpha * ((err + 2.0 * gradient) - self.delay_y)
-            self.t_fan_speed = self.fan_pid.update(self.p_supply_sp, htws, h)
-            self.cell_stage.update(self.delay_y, h)
-            self.t_n_running = self.t_stage.count
-            q = self.t_total_flow
-            dp = self.t_res_k * q * abs(q)
-            self.t_pump_speed = self.speed_pid.update(self.t_press_sp, dp, h)
-            self.t_stage.update(self.t_pump_speed, h)
-            if self.t_n_running == 0:
-                self.t_total_flow = 0.0
-            else:
-                s = self.t_pump_speed
-                s = 0.0 if s < 0.0 else (1.0 if s > 1.0 else s)
-                if s <= 0.0:
-                    self.t_total_flow = 0.0
-                else:
-                    denom = self.t_kp / self.t_n_running**2 + self.t_res_k
-                    self.t_total_flow = sqrt(s**2 * self.t_h0 / denom)
+            htws = self._tower_controls(h, alpha)
 
             # --- 3. Hydraulics: secondary pump points + valve draws.
             np.sqrt(blockage, out=b[0])
@@ -592,29 +663,10 @@ class FusedPlantKernel:
             mul(b[0], self.valve_cv_max, out=pri_flow)
             mul(pri_flow, dp_term, out=pri_flow)
 
-            # --- 4. Primary loop tracks the total valve demand.
+            # --- 4-5. Primary loop tracks the total valve demand; EHX
+            # staging follows the tower-cell count.
             demand = float(nsum(pri_flow))
-            self.p_n_running = self.p_stage.count
-            if demand <= 0 or self.p_n_running == 0:
-                speed = 0.0
-            else:
-                denom = self.p_kp / self.p_n_running**2 + self.p_res_k
-                speed = sqrt(demand**2 * denom / self.p_h0)
-                if speed > 1.0:
-                    speed = 1.0
-            self.p_pump_speed = max(speed, self.p_min_speed)
-            q_cap = self.p_qcap[self.p_n_running]
-            self.p_total_flow = min(demand, q_cap)
-            self.p_stage.update(self.p_pump_speed, h)
-
-            # --- 5. EHX staging follows the tower-cell count.
-            towers_running = ceil(
-                self.cell_stage.count / max(self.cells_per_tower, 1)
-            )
-            m = towers_running
-            self.p_n_ehx = (
-                1 if m < 1 else (self.p_num_ehx if m > self.p_num_ehx else m)
-            )
+            self._primary_tracking(demand, h)
 
             # --- 6. CDU thermal: racks -> hot volume -> HEX-1600 -> cold.
             sub(cold_t, pg_tref, out=b[0])
@@ -698,37 +750,8 @@ class FusedPlantKernel:
             else:
                 mix_c = self.p_return_t
 
-            # --- 8. Primary loop thermal + EHX rejection to the towers.
-            self.p_return_t = advance_scalar(
-                self.p_return_t, mix_c, self.p_total_flow, h, self.p_mcp
-            )
-            ua = self.p_n_ehx * self.ehx_ua
-            qx, t_hot2, ehx_cold_out = self._ehx_transfer(
-                self.p_return_t,
-                self.p_total_flow,
-                self.t_supply_t,
-                self.t_total_flow,
-                ua,
-            )
-            self.p_ehx_heat = float(qx)
-            self.p_supply_t = advance_scalar(
-                self.p_supply_t, t_hot2, self.p_total_flow, h, self.p_mcp
-            )
-
-            # --- 9. Tower loop thermal: EHX outlet -> farm -> supply.
-            self.t_return_t = advance_scalar(
-                self.t_return_t, ehx_cold_out, self.t_total_flow, h, self.t_mcp
-            )
-            t_ct_out = self._farm_outlet(
-                self.t_return_t,
-                wetbulb_c,
-                self.t_total_flow,
-                self.cell_stage.count,
-                self.t_fan_speed,
-            )
-            self.t_supply_t = advance_scalar(
-                self.t_supply_t, t_ct_out, self.t_total_flow, h, self.t_mcp
-            )
+            # --- 8-9. Primary + tower loop thermal (all scalar).
+            self._facility_thermal(mix_c, wetbulb_c, h)
 
         self.push(plant)
 

@@ -21,6 +21,7 @@ from repro.core.engine import RapsEngine, SimulationResult
 from repro.exceptions import TelemetryError
 from repro.power.uq import PerturbationSpec, perturb_spec
 from repro.scheduler.workloads import jobs_from_dataset
+from repro.seeding import spawn_rng
 from repro.telemetry.dataset import TelemetryDataset, TimeSeries
 
 
@@ -80,7 +81,7 @@ class PhysicalTwin:
         noise: MeasurementNoise | None = None,
         with_cooling: bool = True,
     ) -> None:
-        self._rng = np.random.default_rng(seed)
+        self._rng = spawn_rng(seed, "physical-system")
         self.nominal_spec = spec
         self.perturbation = perturbation or PerturbationSpec()
         self.noise = noise or MeasurementNoise()

@@ -19,6 +19,7 @@ import numpy as np
 from repro.config.schema import NodeSpec, RectifierSpec, SivocSpec, SystemSpec
 from repro.exceptions import PowerModelError
 from repro.power.system import SystemPowerModel
+from repro.seeding import spawn_rng
 
 
 @dataclass(frozen=True)
@@ -134,7 +135,7 @@ class UncertaintyAnalysis:
     ) -> None:
         self.spec = spec
         self.perturbation = perturbation or PerturbationSpec()
-        self._rng = np.random.default_rng(seed)
+        self._rng = spawn_rng(seed, "power-uq")
 
     def run(
         self,

@@ -147,6 +147,7 @@ class Campaign:
         *,
         progress: Callable[[Scenario, int, int], None] | None = None,
         stop_after: int | None = None,
+        execution: str = "serial",
     ) -> SuiteResult:
         """Execute the missing cells, persisting each as it finishes.
 
@@ -159,9 +160,23 @@ class Campaign:
         limits how many *new* cells run this call (used by tests to
         simulate interruption; the store stays consistent).
 
+        ``execution="batched"`` runs the pending cells through one
+        :class:`~repro.batch.engine.BatchedEngine` — a single
+        vectorized sweep in this process instead of B worker processes
+        (``workers`` is ignored).  Lanes are bit-identical to the
+        serial path, so the persisted artifacts are indistinguishable
+        from a serial run; cells the batched engine cannot lane-align
+        (sweeps, what-ifs, reduced fidelity) fall back to
+        ``scenario.run`` internally.
+
         Returns the merged suite result in cell order: stored results
         for old cells, live results for the ones just run.
         """
+        if execution not in ("serial", "batched"):
+            raise ScenarioError(
+                f"unknown execution backend {execution!r} "
+                "(expected 'serial' or 'batched')"
+            )
         total = len(self.cells)
         if total == 0:
             raise ScenarioError("campaign has no cells to run")
@@ -185,7 +200,18 @@ class Campaign:
             if progress is not None:
                 progress(scenario, done_count, total)
 
-        if workers <= 1:
+        if execution == "batched":
+            if pending:
+                from repro.batch import BatchedEngine
+
+                engine = BatchedEngine(
+                    [scenario for _, scenario in pending], self.twin
+                )
+                for (index, scenario), outcome in zip(
+                    pending, engine.run()
+                ):
+                    finish(index, scenario, outcome)
+        elif workers <= 1:
             for index, scenario in pending:
                 finish(index, scenario, scenario.run(self.twin))
         elif pending:

@@ -53,10 +53,14 @@ from typing import Any, Awaitable, Callable
 
 from repro.config.schema import SystemSpec
 from repro.exceptions import ExaDigiTError, ScenarioError
-from repro.scenarios.artifacts import _nulled_nans, spec_sha256
+from repro.scenarios.artifacts import (
+    _nulled_nans,
+    result_to_cell_doc,
+    spec_sha256,
+)
 from repro.scenarios.base import Scenario
 from repro.scenarios.library import BaseSweepScenario
-from repro.scenarios.twin import FIDELITIES, resolve_spec
+from repro.scenarios.twin import DigitalTwin, FIDELITIES, resolve_spec
 from repro.service import ws as wsproto
 from repro.service.protocol import (
     JobRecord,
@@ -98,6 +102,11 @@ class TwinServer:
     use_cache:
         Whether repeat submissions may be served from the result cache
         (per-request override: ``{"use_cache": false}`` in the POST).
+    execution:
+        ``"processes"`` (default) dispatches each cell to the worker
+        pool; ``"batched"`` runs each submission's uncached cells as
+        one vectorized :class:`~repro.batch.engine.BatchedEngine` sweep
+        in-process (bit-identical lanes, same streaming transport).
     max_retained_jobs:
         Memory bound for a long-running server: once more than this
         many jobs are terminal, the oldest terminal jobs (and their
@@ -123,6 +132,7 @@ class TwinServer:
         start_method: str = "spawn",
         max_retained_jobs: int = 4096,
         result_cache_entries: int = 128,
+        execution: str = "processes",
     ) -> None:
         if fidelity not in FIDELITIES:
             raise ExaDigiTError(
@@ -130,6 +140,12 @@ class TwinServer:
             )
         if max_attempts < 1:
             raise ExaDigiTError("max_attempts must be >= 1")
+        if execution not in ("processes", "batched"):
+            raise ExaDigiTError(
+                f"unknown execution backend {execution!r} "
+                "(expected 'processes' or 'batched')"
+            )
+        self.execution = execution
         self.spec = resolve_spec(system)
         self.spec_sha = spec_sha256(self.spec)
         self.host = host
@@ -157,6 +173,10 @@ class TwinServer:
         )
         self.max_retained_jobs = max_retained_jobs
         self.result_cache_entries = result_cache_entries
+        self.warm_entries = warm_entries
+        #: Lazily-built twin for ``execution="batched"`` submissions
+        #: (one per server, so batched sweeps share a warm-plant cache).
+        self._batch_twin: DigitalTwin | None = None
         #: Terminal job ids in completion order (memory-bound eviction).
         self._terminal_order: list[str] = []
         self.counters = {
@@ -500,6 +520,7 @@ class TwinServer:
         if use_cache is None:
             use_cache = self.use_cache_default
         records: list[JobRecord] = []
+        batch: list[tuple[JobRecord, Scenario]] = []
         for cell in cells:
             key = job_key(cell, self.spec_sha)
             job = JobRecord(
@@ -525,11 +546,123 @@ class TwinServer:
                 job.elapsed_s = 0.0
                 self.counters["cache_hits"] += 1
                 self._finish(job, JobState.DONE)
+            elif self.execution == "batched":
+                batch.append((job, cell))
             else:
                 self.queue.submit(job.id, job.cost)
             records.append(job)
+        if batch:
+            self._start_batch(batch)
         self._pump()
         return records
+
+    # -- batched execution -----------------------------------------------------
+
+    def _get_batch_twin(self) -> DigitalTwin:
+        if self._batch_twin is None:
+            from repro.service.warmcache import WarmStateCache
+
+            twin = DigitalTwin(
+                self.spec,
+                fidelity=self.fidelity,
+                warm_cache=WarmStateCache(self.warm_entries),
+            )
+            if self._surrogate_doc is not None:
+                from repro.fastpath.bundle import SurrogateBundle
+
+                twin.use_surrogates(
+                    SurrogateBundle.from_doc(self._surrogate_doc)
+                )
+            self._batch_twin = twin
+        return self._batch_twin
+
+    def _start_batch(
+        self, batch: list[tuple[JobRecord, Scenario]]
+    ) -> None:
+        """Launch one submission's uncached cells as a vectorized batch.
+
+        The ``execution="batched"`` analogue of queueing onto the
+        worker pool: every cell of the submission becomes a lane of one
+        :class:`~repro.batch.engine.BatchedEngine` run in a background
+        thread — one sweep, one process, shared warmup — instead of B
+        jobs across B worker dispatches.  Step records stream back onto
+        the event loop exactly like worker step events, so watchers see
+        the same transport either way.
+        """
+        now = time.time()
+        jobs = [job for job, _ in batch]
+        scenarios = [cell for _, cell in batch]
+        for job in jobs:
+            job.state = JobState.RUNNING
+            job.attempts += 1
+            job.started_at = now
+            self._ring(job)
+        if self._loop is not None and self._loop.is_running():
+            loop = self._loop
+
+            def post(fn, *fn_args) -> None:
+                with contextlib.suppress(RuntimeError):
+                    loop.call_soon_threadsafe(fn, *fn_args)
+
+            # run_in_executor both schedules the thread and returns the
+            # future — nothing to await here; completion flows back via
+            # the posted _on_batch_done/_on_batch_error callbacks.
+            loop.run_in_executor(
+                None, self._execute_batch, jobs, scenarios, post
+            )
+        else:
+            # No running loop (programmatic submit): run inline.
+            self._execute_batch(
+                jobs, scenarios, lambda fn, *fn_args: fn(*fn_args)
+            )
+
+    def _execute_batch(self, jobs, scenarios, post) -> None:
+        """Run one batch (executor thread); ``post`` marshals to the loop."""
+        from repro.batch import BatchedEngine
+        from repro.viz.export import step_record
+
+        def on_step(index: int, step) -> None:
+            post(self._on_batch_step, jobs[index], step_record(step))
+
+        t0 = time.perf_counter()
+        try:
+            engine = BatchedEngine(scenarios, self._get_batch_twin())
+            outcomes = engine.run(on_step=on_step)
+        except Exception as exc:  # noqa: BLE001 - report, don't die
+            post(self._on_batch_error, jobs, f"{type(exc).__name__}: {exc}")
+            return
+        # Amortized per-cell cost: the lanes ran together, so each
+        # cell's share of the batch wall time is the honest figure.
+        per_cell = (time.perf_counter() - t0) / max(len(jobs), 1)
+        for job, outcome in zip(jobs, outcomes):
+            cell = result_to_cell_doc(0, outcome)
+            cell.pop("index", None)
+            post(self._on_batch_done, job, cell, per_cell)
+
+    def _on_batch_step(self, job: JobRecord, record: dict) -> None:
+        if job.state is JobState.RUNNING:
+            job.steps.append(record)
+            self._ring(job)
+
+    def _on_batch_done(
+        self, job: JobRecord, cell: dict, elapsed_s: float
+    ) -> None:
+        if job.state.terminal:
+            return
+        if job.id in self._cancel_requested:
+            self._finish(job, JobState.CANCELLED)
+            return
+        job.cell = cell
+        job.elapsed_s = elapsed_s
+        self.counters["executed"] += 1
+        self._finish(job, JobState.DONE)
+        self._persist(job)
+
+    def _on_batch_error(self, jobs, message: str) -> None:
+        for job in jobs:
+            if not job.state.terminal:
+                job.error = message
+                self._finish(job, JobState.FAILED)
 
     def cancel(self, job_id: str) -> JobRecord:
         job = self.jobs.get(job_id)
@@ -654,6 +787,7 @@ class TwinServer:
             "system": self.spec.name,
             "spec_sha256": self.spec_sha,
             "fidelity": self.fidelity,
+            "execution": self.execution,
             "workers": {
                 "configured": self.n_workers,
                 "alive": self.pool.alive_count(),

@@ -22,6 +22,7 @@ from repro.config.schema import SystemSpec
 from repro.cooling.plant import CoolingPlant
 from repro.exceptions import ExaDigiTError
 from repro.power.system import SystemPowerModel
+from repro.seeding import spawn_rng
 from repro.surrogate.features import PolynomialFeatures
 from repro.surrogate.regression import RidgeRegression
 
@@ -50,7 +51,7 @@ def sample_power_training_rows(
     (:func:`repro.fastpath.train.fit_power_heads`), so every head is
     trained on mutually consistent rows.
     """
-    rng = np.random.default_rng(seed)
+    rng = spawn_rng(seed, "power-sampling")
     model = SystemPowerModel(spec)
     n_nodes = model.nodes.total_nodes
     xs = np.empty((n_samples, 3))
@@ -237,7 +238,7 @@ class CoolingSurrogate:
                 f"{n} rows give {split} training rows for {n_features} "
                 f"degree-{degree} features; add rows or lower the degree"
             )
-        rng = np.random.default_rng(seed)
+        rng = spawn_rng(seed, "cooling-split")
         xs = np.column_stack([power_w, wetbulb_c])
         # Shuffled split for held-out quality.
         order = rng.permutation(n)

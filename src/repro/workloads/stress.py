@@ -212,6 +212,7 @@ class StressSuite:
         *,
         progress: Callable | None = None,
         stop_after: int | None = None,
+        execution: str = "serial",
     ) -> StressReport:
         """Advance the campaign, then validate everything persisted.
 
@@ -221,10 +222,19 @@ class StressSuite:
         validation sweep always covers *all* persisted cells — also the
         ones finished in earlier sessions — and rewrites
         ``validation.json``.
+
+        ``execution="batched"`` vectorizes the pending cells through
+        the :mod:`repro.batch` engine (plain campaigns only — a
+        screened suite's surrogate phase has its own scheduling and
+        ignores the knob).
         """
-        self.campaign().run(
+        campaign = self.campaign()
+        kwargs: dict = dict(
             workers=workers, progress=progress, stop_after=stop_after
         )
+        if not self.screened:
+            kwargs["execution"] = execution
+        campaign.run(**kwargs)
         return self.validate()
 
     def validate(self) -> StressReport:

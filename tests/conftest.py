@@ -52,3 +52,115 @@ def small_spec():
 def rng():
     """Deterministic NumPy generator for tests."""
     return np.random.default_rng(12345)
+
+
+# -- bit-identity comparison ---------------------------------------------------
+
+#: The array series of a SimulationResult that every execution path
+#: (serial, parallel, streamed, batched) must reproduce exactly.
+RESULT_SERIES = (
+    "times_s",
+    "system_power_w",
+    "loss_w",
+    "sivoc_loss_w",
+    "rectifier_loss_w",
+    "chain_efficiency",
+    "utilization",
+    "num_running",
+    "cdu_power_w",
+    "cdu_heat_w",
+)
+
+
+def _assert_cooling_bitidentical(actual, expected, label: str) -> None:
+    assert set(actual) == set(expected), (
+        f"{label}: cooling keys differ: "
+        f"{sorted(set(actual) ^ set(expected))}"
+    )
+    for key in expected:
+        np.testing.assert_array_equal(
+            np.asarray(actual[key], dtype=np.float64),
+            np.asarray(expected[key], dtype=np.float64),
+            err_msg=f"{label}: cooling[{key}]",
+        )
+
+
+def _assert_result_bitidentical(actual, expected, label: str) -> None:
+    for name in RESULT_SERIES:
+        np.testing.assert_array_equal(
+            getattr(actual, name),
+            getattr(expected, name),
+            err_msg=f"{label}: {name}",
+        )
+    _assert_cooling_bitidentical(actual.cooling, expected.cooling, label)
+    assert actual.scheduler_stats == expected.scheduler_stats, (
+        f"{label}: scheduler_stats differ"
+    )
+
+
+def _assert_step_streams_bitidentical(actual, expected, label: str) -> None:
+    from repro.core.engine import StepState
+    from repro.viz.export import step_record
+
+    actual = [
+        step_record(s) if isinstance(s, StepState) else s for s in actual
+    ]
+    expected = [
+        step_record(s) if isinstance(s, StepState) else s for s in expected
+    ]
+    assert len(actual) == len(expected), (
+        f"{label}: {len(actual)} steps vs {len(expected)}"
+    )
+    for k, (a, b) in enumerate(zip(actual, expected)):
+        assert a == b, f"{label}: step {k} differs: {a!r} != {b!r}"
+
+
+def assert_bitidentical(actual, expected, *, label: str = "result") -> None:
+    """Assert two execution outcomes are **exactly** equal, bit for bit.
+
+    Accepts, on both sides: a :class:`~repro.scenarios.result.ScenarioResult`,
+    a :class:`~repro.core.engine.SimulationResult`, a cooling series
+    mapping, or a step stream (a sequence of
+    :class:`~repro.core.engine.StepState` or step-record dicts).
+    Comparisons are ``np.testing.assert_array_equal`` — never a
+    tolerance — because every alternate execution path in this repo
+    (fused kernel, change detection, warm plants, parallel workers,
+    streamed service jobs, batched lanes) promises the *same bits* as
+    the plain serial engine, not merely close ones.
+    """
+    from repro.core.engine import SimulationResult
+
+    a, b = actual, expected
+    if (
+        hasattr(a, "result")
+        and hasattr(a, "statistics")
+        and hasattr(b, "result")
+        and hasattr(b, "statistics")
+    ):
+        # ScenarioResult: sweep containers compare child by child,
+        # counterfactuals compare both replays.
+        assert len(a.children) == len(b.children), (
+            f"{label}: {len(a.children)} children vs {len(b.children)}"
+        )
+        for i, (ca, cb) in enumerate(zip(a.children, b.children)):
+            assert_bitidentical(ca, cb, label=f"{label}: child {i}")
+        if a.baseline is not None or b.baseline is not None:
+            _assert_result_bitidentical(
+                a.baseline, b.baseline, f"{label}: baseline"
+            )
+        if a.result is None and b.result is None:
+            return
+        a = a.result
+        b = b.result
+    if isinstance(a, SimulationResult) and isinstance(b, SimulationResult):
+        _assert_result_bitidentical(a, b, label)
+    elif isinstance(a, dict) and isinstance(b, dict):
+        _assert_cooling_bitidentical(a, b, label)
+    else:
+        _assert_step_streams_bitidentical(a, b, label)
+
+
+@pytest.fixture(scope="session")
+def assert_steps_bitidentical():
+    """The shared exact-equality assertion (see :func:`assert_bitidentical`)."""
+    return assert_bitidentical

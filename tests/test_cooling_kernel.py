@@ -22,10 +22,8 @@ from repro.exceptions import CoolingModelError
 from repro.scenarios import DigitalTwin, SyntheticScenario
 from repro.scenarios.library import BenchmarkSequenceScenario, ReplayScenario
 from repro.telemetry.dataset import TimeSeries
-from tests.conftest import make_small_spec
+from tests.conftest import assert_bitidentical, make_small_spec
 
-#: The acceptance criterion for recorded cooling outputs.
-RTOL = 1e-9
 
 
 def plant_state_arrays(plant: CoolingPlant) -> dict[str, np.ndarray]:
@@ -211,12 +209,11 @@ class TestScenarioSetEquivalence:
         )
 
     def _assert_equivalent(self, cooling_fused, cooling_ref):
-        assert set(cooling_fused) == set(cooling_ref)
-        for key in cooling_ref:
-            a = np.asarray(cooling_fused[key], dtype=np.float64)
-            b = np.asarray(cooling_ref[key], dtype=np.float64)
-            np.testing.assert_allclose(a, b, rtol=RTOL, atol=0.0, err_msg=key)
-            np.testing.assert_array_equal(a, b, err_msg=key)
+        # Exact equality (tests/conftest.py) is stronger than the RTOL
+        # acceptance bound, so the tolerance check is subsumed.
+        assert_bitidentical(
+            cooling_fused, cooling_ref, label="fused vs reference"
+        )
 
     def test_synthetic_fig7(self, twins):
         fused, ref = twins

@@ -22,7 +22,7 @@ from repro.core.engine import RapsEngine
 from repro.core.profiling import PhaseProfiler
 from repro.scenarios import DigitalTwin, ExperimentSuite, SyntheticScenario
 from repro.scenarios.suite import execute_scenario
-from tests.conftest import make_small_spec
+from tests.conftest import assert_bitidentical, make_small_spec
 
 
 class TestPowerChangeDetection:
@@ -54,12 +54,8 @@ class TestPowerChangeDetection:
         assert detecting.power_evals + detecting.power_reuses == (
             exhaustive.power_evals
         )
-        np.testing.assert_array_equal(
-            r_detect.system_power_w, r_full.system_power_w
-        )
-        np.testing.assert_array_equal(r_detect.loss_w, r_full.loss_w)
-        np.testing.assert_array_equal(
-            r_detect.cdu_heat_w, r_full.cdu_heat_w
+        assert_bitidentical(
+            r_detect, r_full, label="change detection vs exhaustive"
         )
 
     def test_fingerprint_sees_trace_changes(self, small_spec):
@@ -91,12 +87,7 @@ class TestIdlePowerMemo:
         engine = RapsEngine(small_spec)
         r1 = engine.run([], 600.0)
         r2 = engine.run([], 600.0)
-        np.testing.assert_array_equal(r1.system_power_w, r2.system_power_w)
-        for key in r1.cooling:
-            np.testing.assert_array_equal(
-                np.asarray(r1.cooling[key], dtype=np.float64),
-                np.asarray(r2.cooling[key], dtype=np.float64),
-            )
+        assert_bitidentical(r1, r2, label="engine reuse")
 
 
 class TestSuiteWarmCache:
@@ -143,14 +134,7 @@ class TestSuiteWarmCache:
         serial = ExperimentSuite(small_spec, scenarios).run(workers=1)
         parallel = ExperimentSuite(small_spec, scenarios).run(workers=2)
         for a, b in zip(serial, parallel):
-            np.testing.assert_array_equal(
-                a.result.system_power_w, b.result.system_power_w
-            )
-            for key in a.result.cooling:
-                np.testing.assert_array_equal(
-                    np.asarray(a.result.cooling[key], dtype=np.float64),
-                    np.asarray(b.result.cooling[key], dtype=np.float64),
-                )
+            assert_bitidentical(a, b, label="parallel vs serial")
 
 
 class TestPhaseProfiler:

@@ -27,7 +27,7 @@ from repro.scenarios.artifacts import spec_sha256
 from repro.service import TwinClient, TwinServer
 from repro.viz.export import step_record
 
-from tests.conftest import make_small_spec
+from tests.conftest import assert_bitidentical, make_small_spec
 
 
 @pytest.fixture(scope="module")
@@ -59,7 +59,7 @@ def test_submit_and_stream_ndjson_bit_identical(spec, client):
     reference = direct_records(spec, SCENARIO)
     job = client.submit(SCENARIO)
     steps = client.steps(job["id"])
-    assert steps == reference
+    assert_bitidentical(steps, reference, label="ndjson stream")
     assert client.job(job["id"])["state"] == "done"
 
 
@@ -67,8 +67,14 @@ def test_websocket_stream_matches_and_late_watcher_replays(spec, client):
     reference = direct_records(spec, SCENARIO)
     job = client.submit(SCENARIO)
     client.wait(job["id"])  # finish first: a late watcher still gets all
-    assert client.steps(job["id"], transport="ws") == reference
-    assert client.steps(job["id"]) == reference
+    assert_bitidentical(
+        client.steps(job["id"], transport="ws"),
+        reference,
+        label="ws stream",
+    )
+    assert_bitidentical(
+        client.steps(job["id"]), reference, label="late watcher replay"
+    )
 
 
 def test_repeat_submission_hits_result_cache(spec, client):
@@ -114,7 +120,11 @@ def test_sweep_submission_expands_into_jobs(spec, client):
         assert job["name"] == cell.name
         final = client.wait(job["id"])
         assert final["state"] == "done"
-        assert client.steps(job["id"]) == direct_records(spec, cell)
+        assert_bitidentical(
+            client.steps(job["id"]),
+            direct_records(spec, cell),
+            label=cell.name,
+        )
 
 
 def test_surrogate_fidelity_jobs_run_on_the_fast_path(spec, client):
@@ -126,7 +136,9 @@ def test_surrogate_fidelity_jobs_run_on_the_fast_path(spec, client):
     )
     reference = direct_records(spec, scenario)
     job = client.submit(scenario)
-    assert client.steps(job["id"]) == reference
+    assert_bitidentical(
+        client.steps(job["id"]), reference, label="surrogate job"
+    )
     summary = client.job(job["id"])
     assert summary["fidelity"] == "surrogate"
 
@@ -193,7 +205,11 @@ def test_disconnecting_watcher_does_not_kill_the_job(spec, client):
     stream.close()
     final = client.wait(job["id"])
     assert final["state"] == "done"
-    assert client.steps(job["id"]) == direct_records(spec, scenario)
+    assert_bitidentical(
+        client.steps(job["id"]),
+        direct_records(spec, scenario),
+        label="post-hangup stream",
+    )
 
 
 def test_bad_submissions_are_client_errors(client):
@@ -341,6 +357,34 @@ def test_open_ended_guards(spec, tmp_path):
 # -- load smoke (slow tier) ----------------------------------------------------
 
 
+def test_batched_server_sweep_bit_identical(spec, tmp_path):
+    """``execution="batched"``: a submitted sweep runs as lanes of one
+    vectorized engine on a live server, streaming per-step records that
+    are bit-identical to direct ``iter_steps()`` runs of each cell."""
+    sweep = GridSweepScenario(
+        base=SyntheticScenario(duration_s=600.0, with_cooling=False),
+        grid={"seed": (21, 22, 23)},
+    )
+    cells = sweep.expand()
+    references = [direct_records(spec, cell) for cell in cells]
+    with TwinServer(
+        spec, execution="batched", store=tmp_path / "store"
+    ) as server:
+        c = TwinClient(server.url)
+        assert c.health()["execution"] == "batched"
+        jobs = c.submit_all(sweep)
+        assert len(jobs) == len(cells)
+        for job, reference in zip(jobs, references):
+            c.wait(job["id"])
+            assert_bitidentical(
+                c.steps(job["id"]), reference, label=job["name"]
+            )
+            assert c.job(job["id"])["state"] == "done"
+        # Resubmission replays every cell from the result cache.
+        again = c.submit_all(sweep)
+        assert all(j["cached"] for j in again)
+
+
 @pytest.mark.slow
 def test_load_smoke_32_concurrent_clients(spec, tmp_path):
     """>=32 clients submit and stream concurrently; every stream is
@@ -376,6 +420,9 @@ def test_load_smoke_32_concurrent_clients(spec, tmp_path):
 
     assert not errors, errors[:3]
     for i in range(n_clients):
-        assert results[i] == references[i], f"client {i} stream diverged"
+        assert results[i] is not None, f"client {i} got no stream"
+        assert_bitidentical(
+            results[i], references[i], label=f"client {i} stream"
+        )
     assert health["counters"]["executed"] == n_clients
     assert health["jobs"]["done"] == n_clients
