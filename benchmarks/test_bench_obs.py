@@ -1,0 +1,144 @@
+"""Observability overhead bench: the BENCH_obs.json trajectory.
+
+The telemetry plane's contract is that it is *free when detached and
+nearly free when attached*: engine instrumentation folds its counters
+at run boundaries, so an instrumented coupled replay must stay within
+2 % of the detached wall time — and produce bit-identical numerics.
+This bench measures exactly that, plus the cost of rendering the
+``/metrics`` page, and records the cross-PR trajectory in
+``benchmarks/BENCH_obs.json``.
+
+Method: the detached and instrumented replays run in interleaved
+rounds and the guard compares the per-variant *minimum CPU time*
+(turbo/co-tenant noise inflates individual rounds upward only, so the
+minima are the honest pair).  The ratio guard is hardware-independent;
+the committed baseline additionally bounds drift via the shared
+``check_ratio`` protocol (rewritten only on first creation or under
+``REPRO_BENCH_UPDATE=1``).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import (
+    bench_json_path,
+    check_ratio,
+    emit,
+    load_baseline,
+    record_trajectory,
+)
+from repro.core.profiling import PhaseProfiler
+from repro.obs import MetricsRegistry, use_registry
+from repro.scenarios import DigitalTwin, SyntheticScenario
+from repro.scenarios.artifacts import git_revision
+from tests.conftest import assert_bitidentical, make_small_spec
+
+_BENCH_JSON = bench_json_path("obs")
+
+REPLAY_HOURS = 12.0
+ROUNDS = 3
+#: The tentpole acceptance envelope: instrumented CPU time may exceed
+#: detached by at most this factor.
+OVERHEAD_BUDGET = 1.02
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return make_small_spec()
+
+
+def _replay(spec, *, registry=None, profiler=None):
+    """One coupled replay; returns ``(cpu_s, result)``."""
+    twin = DigitalTwin(spec)
+    scenario = SyntheticScenario(
+        duration_s=REPLAY_HOURS * 3600.0, seed=0, with_cooling=True
+    )
+    plan = scenario.plan(twin)
+    engine = scenario.build_engine(twin, plan)
+    engine.profiler = profiler
+    c0 = time.process_time()
+    if registry is not None:
+        with use_registry(registry):
+            result = engine.run(
+                plan.jobs, plan.duration_s, wetbulb=plan.wetbulb
+            )
+    else:
+        result = engine.run(plan.jobs, plan.duration_s, wetbulb=plan.wetbulb)
+    return time.process_time() - c0, result
+
+
+@pytest.mark.slow
+def test_bench_obs_overhead(spec):
+    baseline = load_baseline(_BENCH_JSON)
+
+    detached_cpu: list[float] = []
+    instrumented_cpu: list[float] = []
+    detached_result = instrumented_result = None
+    registry = MetricsRegistry()
+    for _ in range(ROUNDS):
+        cpu, detached_result = _replay(spec)
+        detached_cpu.append(cpu)
+        cpu, instrumented_result = _replay(
+            spec, registry=registry, profiler=PhaseProfiler()
+        )
+        instrumented_cpu.append(cpu)
+
+    # Instrumentation must never change the numerics.
+    assert_bitidentical(
+        instrumented_result, detached_result, label="instrumented replay"
+    )
+    steps = registry.value("repro_engine_steps_total")
+    assert registry.value("repro_engine_runs_total") == ROUNDS
+    assert steps == ROUNDS * len(detached_result.times_s)
+
+    ratio = min(instrumented_cpu) / min(detached_cpu)
+    assert ratio <= OVERHEAD_BUDGET, (
+        f"instrumented replay {ratio:.4f}x detached "
+        f"(budget {OVERHEAD_BUDGET}x)"
+    )
+    check_ratio(
+        baseline, "instrumented_ratio", ratio, higher_is_better=False
+    )
+
+    # /metrics render cost on the populated registry (per call, min of
+    # a tight loop: the page is rendered per Prometheus scrape).
+    text = registry.render()
+    assert "repro_engine_steps_total" in text
+    render_s = []
+    for _ in range(5):
+        t0 = time.perf_counter()
+        for _ in range(50):
+            registry.render()
+        render_s.append((time.perf_counter() - t0) / 50)
+    render_us = min(render_s) * 1e6
+    # Hardware-dependent, so the budget is loose: a >3x jump against
+    # the committed figure still means the render path went quadratic.
+    check_ratio(
+        baseline,
+        "metrics_render_us",
+        render_us,
+        higher_is_better=False,
+        budget=3.0,
+    )
+
+    doc = {
+        "system": spec.name,
+        "replay_hours": REPLAY_HOURS,
+        "rounds": ROUNDS,
+        "detached_cpu_s": round(min(detached_cpu), 3),
+        "instrumented_cpu_s": round(min(instrumented_cpu), 3),
+        "instrumented_ratio": round(ratio, 4),
+        "overhead_budget": OVERHEAD_BUDGET,
+        "steps_per_run": int(steps // ROUNDS),
+        "metrics_render_us": round(render_us, 1),
+        "metrics_page_lines": len(text.splitlines()),
+        "git_rev": git_revision(),
+    }
+    record_trajectory(_BENCH_JSON, doc, baseline)
+    emit(
+        "Observability overhead (instrumented vs detached coupled replay)",
+        "\n".join(f"{k}: {v}" for k, v in doc.items()),
+    )

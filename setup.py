@@ -4,7 +4,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="exadigit-repro",
-    version="1.5.0",
+    version="1.8.0",
     description=(
         "Digital twin for liquid-cooled supercomputers: a Python "
         "reproduction of the ExaDigiT framework (SC 2024)"

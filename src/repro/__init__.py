@@ -87,6 +87,13 @@ from repro.fastpath import (
     SurrogateBundle,
     SurrogateEngine,
 )
+from repro.obs import (
+    FlightRecorder,
+    MetricsRegistry,
+    Tracer,
+    get_registry,
+    use_registry,
+)
 from repro.power import SystemPowerModel
 from repro.scenarios import (
     BenchmarkSequenceScenario,
@@ -119,7 +126,7 @@ from repro.workloads import (
     WorkloadGenerator,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "FRONTIER",
@@ -169,5 +176,10 @@ __all__ = [
     "WeatherYear",
     "GridSignalGenerator",
     "StressSuite",
+    "MetricsRegistry",
+    "FlightRecorder",
+    "Tracer",
+    "get_registry",
+    "use_registry",
     "__version__",
 ]

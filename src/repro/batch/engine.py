@@ -47,6 +47,7 @@ from repro.core.engine import (
     drive_schedule,
 )
 from repro.core.events import sort_events
+from repro.obs.registry import get_registry
 from repro.scenarios.base import RunPlan, Scenario
 from repro.scenarios.result import ScenarioResult
 from repro.scenarios.twin import DigitalTwin, as_twin
@@ -286,11 +287,21 @@ class BatchedEngine:
         n_cool = len(coupled)
         heat_rows: list[np.ndarray] = []
         wbs: list[float] = []
+        reg = get_registry()
+        lanes_gauge = (
+            reg.gauge("repro_batch_lanes_active") if reg.enabled else None
+        )
+        lane_steps = 0
+        padded_steps = 0
         for k in range(max_steps):
             while n_active > 0 and lanes[n_active - 1].n_steps <= k:
                 n_active -= 1
             while n_cool > 0 and coupled[n_cool - 1].n_steps <= k:
                 n_cool -= 1
+            lane_steps += n_active
+            padded_steps += len(lanes) - n_active
+            if lanes_gauge is not None:
+                lanes_gauge.set(n_active)
             active = lanes[:n_active]
             t_sample = k * self.quanta
             for lane in active:
@@ -378,6 +389,15 @@ class BatchedEngine:
                     on_step(lane.index, step)
         for lane in lanes:
             lane.gen.close()
+        if reg.enabled:
+            # Bulk fold at end of sweep; lanes drive the scheduler
+            # directly (not iter_steps), so these batch-level counters
+            # are the only registry traffic for laned execution.
+            reg.counter("repro_batch_runs_total").inc()
+            reg.counter("repro_batch_lane_steps_total").inc(lane_steps)
+            reg.counter("repro_batch_padded_lane_steps_total").inc(
+                padded_steps
+            )
 
     def _warmup(self, lanes: list[_Lane], power: BatchedPowerModel) -> None:
         """Shared cooling warmup: warm one lane per group, replicate.

@@ -168,8 +168,17 @@ def cmd_run(args: argparse.Namespace) -> int:
     progress = (
         (lambda step: [cb(step) for cb in callbacks]) if callbacks else None
     )
+    reg = None
+    if getattr(args, "verbose", False):
+        from repro.obs import MetricsRegistry, use_registry
+
+        reg = MetricsRegistry()
     try:
-        outcome = scenario.run(twin, progress=progress)
+        if reg is not None:
+            with use_registry(reg):
+                outcome = scenario.run(twin, progress=progress)
+        else:
+            outcome = scenario.run(twin, progress=progress)
     finally:
         if writer is not None:
             writer.close()
@@ -177,6 +186,14 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(outcome.statistics.report())
     print()
     print(render_dashboard(result, title=twin.spec.name))
+    if reg is not None:
+        steps = int(reg.value("repro_engine_steps_total") or 0)
+        evals = int(reg.value("repro_engine_power_evals_total") or 0)
+        reuses = int(reg.value("repro_engine_power_reuses_total") or 0)
+        print(
+            f"\nengine work: steps={steps} power_evals={evals} "
+            f"power_reuses={reuses}"
+        )
     if args.export:
         path = export_result(result, args.export)
         print(f"\nseries written to {path}")
@@ -185,23 +202,109 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _snapshot_value(metrics: dict, name: str, **labels) -> float:
+    """One sample's value out of a registry ``snapshot()`` document."""
+    family = metrics.get(name)
+    if not family:
+        return 0.0
+    for sample in family["samples"]:
+        if not labels or sample["labels"] == labels:
+            return float(sample.get("value", 0.0))
+    return 0.0
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     import json
+    from time import perf_counter
 
-    from repro.core.profiling import PhaseProfiler
-
-    twin = DigitalTwin(args.system, cooling_backend=args.cooling_backend)
     scenario = SyntheticScenario(
         duration_s=args.hours * 3600.0,
         seed=args.seed,
         with_cooling=not args.no_cooling,
     )
-    plan = scenario.plan(twin)
-    engine = scenario.build_engine(twin, plan)
-    engine.profiler = profiler = PhaseProfiler()
-    engine.run(plan.jobs, plan.duration_s, wetbulb=plan.wetbulb)
-    doc = profiler.as_dict()
-    doc["system"] = twin.spec.name
+    mode = getattr(args, "mode", "direct")
+    if mode == "direct":
+        from repro.core.profiling import PhaseProfiler
+
+        twin = DigitalTwin(
+            args.system, cooling_backend=args.cooling_backend
+        )
+        plan = scenario.plan(twin)
+        engine = scenario.build_engine(twin, plan)
+        engine.profiler = profiler = PhaseProfiler()
+        engine.run(plan.jobs, plan.duration_s, wetbulb=plan.wetbulb)
+        doc = profiler.as_dict()
+        doc["system"] = twin.spec.name
+    elif mode == "batched":
+        # The same scenario through BatchedEngine, observed through the
+        # registry the engines fold their counters into.
+        from repro.batch import BatchedEngine
+        from repro.obs import MetricsRegistry, use_registry
+
+        twin = DigitalTwin(
+            args.system, cooling_backend=args.cooling_backend
+        )
+        with use_registry(MetricsRegistry()) as reg:
+            t0 = perf_counter()
+            engine = BatchedEngine([scenario], twin)
+            engine.run()
+            wall = perf_counter() - t0
+        metrics = reg.snapshot()
+        doc = {
+            "wall_s": round(wall, 6),
+            "lane_steps": int(
+                _snapshot_value(metrics, "repro_batch_lane_steps_total")
+            ),
+            "padded_lane_steps": int(
+                _snapshot_value(
+                    metrics, "repro_batch_padded_lane_steps_total"
+                )
+            ),
+            "engine_steps": int(
+                _snapshot_value(metrics, "repro_engine_steps_total")
+            ),
+            "power_evals": engine.power_evals,
+            "power_reuses": engine.power_reuses,
+            "system": twin.spec.name,
+        }
+    else:  # serve: one ephemeral server, observed through /statusz
+        from repro.service import TwinClient, TwinServer
+
+        with TwinServer(args.system, workers=1, port=0) as server:
+            client = TwinClient(server.url)
+            t0 = perf_counter()
+            job = client.submit(scenario.to_dict(), use_cache=False)
+            client.wait(job["id"])
+            wall = perf_counter() - t0
+            metrics = client.statusz()["metrics"]
+        doc = {
+            "wall_s": round(wall, 6),
+            "jobs_executed": int(
+                _snapshot_value(
+                    metrics,
+                    "repro_service_jobs_finished_total",
+                    state="done",
+                )
+            ),
+            "steps_streamed": int(
+                _snapshot_value(
+                    metrics, "repro_service_steps_streamed_total"
+                )
+            ),
+            "job_wall_s_sum": round(
+                float(
+                    (metrics.get("repro_service_job_seconds") or {})
+                    .get("samples", [{}])[0]
+                    .get("sum", 0.0)
+                ),
+                6,
+            ),
+            "warm_hits": int(
+                _snapshot_value(metrics, "repro_service_warm_hits_total")
+            ),
+            "system": server.spec.name,
+        }
+    doc["mode"] = mode
     doc["hours"] = args.hours
     doc["cooling_backend"] = (
         None if args.no_cooling else args.cooling_backend
@@ -210,7 +313,8 @@ def cmd_profile(args: argparse.Namespace) -> int:
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
             fh.write(text + "\n")
-        print(profiler.summary())
+        if mode == "direct":
+            print(profiler.summary())
         print(f"\nprofile written to {args.out}")
     else:
         print(text)
@@ -647,6 +751,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         surrogates=args.surrogates,
         max_attempts=args.max_attempts,
         execution=args.execution,
+        metrics=args.metrics,
     )
 
     def banner(srv) -> None:
@@ -658,6 +763,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
             flush=True,
         )
+        if srv.metrics.enabled:
+            print(
+                f"telemetry: {srv.url}/metrics  {srv.url}/statusz  "
+                f"console: {srv.url}/console",
+                file=sys.stderr,
+                flush=True,
+            )
 
     try:
         asyncio.run(server.run_forever(on_start=banner))
@@ -733,6 +845,86 @@ def cmd_jobs(args: argparse.Namespace) -> int:
             f"{job['steps']:6d} {job['attempts']:8d} "
             f"{str(job['cached']).lower():>6s}  {job['name']}"
         )
+    return 0
+
+
+def _render_top(
+    doc: dict, prev_steps: float | None, prev_t: float | None
+) -> tuple[str, float, float]:
+    """One `repro top` frame from a /statusz document."""
+    server = doc["server"]
+    metrics = doc.get("metrics", {})
+    checks = server.get("checks", {})
+    workers = server["workers"]
+    queue = server["queue"]
+    jobs_by_state = server["jobs"]
+    flight = doc.get("flight", {})
+    now = doc.get("time", 0.0)
+    steps = _snapshot_value(metrics, "repro_service_steps_streamed_total")
+    rate = ""
+    if prev_steps is not None and prev_t is not None and now > prev_t:
+        rate = f"  ({(steps - prev_steps) / (now - prev_t):.1f} steps/s)"
+    clients = _snapshot_value(metrics, "repro_service_stream_clients")
+    lag = checks.get("event_loop", {}).get("lag_s", 0.0)
+    lines = [
+        f"twin service {server['system']!r} @ {doc.get('url', '?')}  "
+        f"status {server['status']}",
+        f"workers {workers['alive']}/{workers['configured']} alive   "
+        f"queue {queue['depth']}   "
+        f"running {jobs_by_state.get('running', 0)}   "
+        f"stream clients {int(clients)}   loop lag {lag:.3f}s",
+        "jobs: "
+        + "  ".join(
+            f"{state}={count}"
+            for state, count in sorted(jobs_by_state.items())
+        )
+        + f"  (total {doc.get('jobs_total', 0)})",
+        f"steps streamed {int(steps)}{rate}   cache hits "
+        f"{int(_snapshot_value(metrics, 'repro_service_cache_hits_total'))}"
+        "   warm hits "
+        f"{int(_snapshot_value(metrics, 'repro_service_warm_hits_total'))}"
+        "   requeues "
+        f"{int(_snapshot_value(metrics, 'repro_service_requeues_total'))}",
+        f"flight recorder: {flight.get('events', 0)} events buffered, "
+        f"{flight.get('dumps', 0)} crash dumps",
+    ]
+    recent = doc.get("jobs", [])[-10:]
+    if recent:
+        lines.append("")
+        lines.append(
+            f"{'id':10s} {'state':10s} {'kind':14s} {'steps':>6s} "
+            f"{'attempts':>8s}  name"
+        )
+        for job in recent:
+            lines.append(
+                f"{job['id']:10s} {job['state']:10s} {job['kind']:14s} "
+                f"{job['steps']:6d} {job['attempts']:8d}  {job['name']}"
+            )
+    return "\n".join(lines), steps, now
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    import time as _time
+
+    client = _service_client(args)
+    iterations = 1 if args.once else args.iterations
+    prev_steps = prev_t = None
+    shown = 0
+    try:
+        while True:
+            doc = client.statusz()
+            frame, prev_steps, prev_t = _render_top(
+                doc, prev_steps, prev_t
+            )
+            if not args.once and sys.stdout.isatty():
+                print("\x1b[2J\x1b[H", end="")
+            print(frame, flush=True)
+            shown += 1
+            if iterations and shown >= iterations:
+                break
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -934,6 +1126,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="cooling-plant stepping backend (bit-identical; reference "
         "is the slow oracle)",
     )
+    p.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print engine work counters (steps, power evals/reuses) "
+        "after the run",
+    )
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser(
@@ -960,6 +1158,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--out",
         metavar="PATH",
         help="write the JSON profile to PATH (default: stdout)",
+    )
+    p.add_argument(
+        "--mode",
+        choices=("direct", "batched", "serve"),
+        default="direct",
+        help="what to profile: the engine hot path directly, the same "
+        "scenario through BatchedEngine (registry counters), or an "
+        "ephemeral twin service observed through /statusz",
     )
     p.set_defaults(func=cmd_profile)
 
@@ -1279,6 +1485,13 @@ def build_parser() -> argparse.ArgumentParser:
         "or run each submission's cells as one vectorized in-process "
         "batch (bit-identical results)",
     )
+    p.add_argument(
+        "--metrics",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="expose /metrics, /statusz and the /console dashboard "
+        "(--no-metrics serves them empty at zero recording cost)",
+    )
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -1346,6 +1559,34 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"service base URL (default {DEFAULT_SERVICE_URL})",
     )
     p.set_defaults(func=cmd_jobs)
+
+    p = sub.add_parser(
+        "top",
+        help="live terminal view of a twin service (polls /statusz)",
+    )
+    p.add_argument(
+        "--url",
+        default=DEFAULT_SERVICE_URL,
+        help=f"service base URL (default {DEFAULT_SERVICE_URL})",
+    )
+    p.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between polls (default 2)",
+    )
+    p.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        help="stop after N frames (default 0: run until interrupted)",
+    )
+    p.add_argument(
+        "--once",
+        action="store_true",
+        help="print a single snapshot and exit (no screen clearing)",
+    )
+    p.set_defaults(func=cmd_top)
 
     p = sub.add_parser(
         "workload",

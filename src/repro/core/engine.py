@@ -24,6 +24,7 @@ import numpy as np
 from repro.config.schema import SystemSpec
 from repro.cooling.fmu import CoolingFMU
 from repro.exceptions import SimulationError
+from repro.obs.registry import get_registry
 from repro.power.system import PowerResult, SystemPowerModel
 from repro.scheduler.engine import SchedulerEngine, SchedulerStats
 from repro.scheduler.job import Job
@@ -734,6 +735,23 @@ class RapsEngine:
                     power_evals=self.power_evals,
                     power_reuses=self.power_reuses,
                 )
+            # Fold this run's bulk counters into the process registry.
+            # One call per *run*, never per quantum, so the detached
+            # (NullRegistry) cost is a handful of no-op calls.
+            reg = get_registry()
+            if reg.enabled:
+                reg.counter("repro_engine_runs_total").inc()
+                reg.counter("repro_engine_steps_total").inc(steps_done)
+                reg.counter("repro_engine_power_evals_total").inc(
+                    self.power_evals
+                )
+                reg.counter("repro_engine_power_reuses_total").inc(
+                    self.power_reuses
+                )
+                if prof is not None and prof.last_run is not None:
+                    fam = reg.counter("repro_engine_phase_seconds_total")
+                    for phase, secs in prof.last_run["phases"].items():
+                        fam.labels(phase=phase).inc(secs)
 
     def run(
         self,

@@ -38,6 +38,16 @@ class PhaseProfiler:
     (between :meth:`begin_run` / :meth:`end_run`) and the engine's step
     and power-reuse counters, so one document captures both *where* the
     time goes and *how much* work change detection avoided.
+
+    The profiler is **re-entrant safe**: one instance may be attached
+    across any number of ``run()`` calls.  ``totals``/``counts``/
+    ``steps``/``wall_s`` keep accumulating across runs (the historical
+    contract), while :attr:`runs` records one document per completed
+    run — steps, wall time, power counters, and that run's *own* phase
+    seconds — so per-run separation is never lost.  ``end_run``
+    tolerates engines that never evaluated power (both counters default
+    to 0, e.g. surrogate-fidelity runs) and being called without a
+    matching ``begin_run`` (wall time is then recorded as 0).
     """
 
     def __init__(self) -> None:
@@ -47,7 +57,10 @@ class PhaseProfiler:
         self.wall_s = 0.0
         self.power_evals = 0
         self.power_reuses = 0
+        #: One record per completed run (appended by :meth:`end_run`).
+        self.runs: list[dict[str, Any]] = []
         self._run_t0: float | None = None
+        self._run_totals_base: dict[str, float] = {}
 
     # -- accumulation ------------------------------------------------------------
 
@@ -58,14 +71,37 @@ class PhaseProfiler:
 
     def begin_run(self) -> None:
         self._run_t0 = time.perf_counter()
+        self._run_totals_base = dict(self.totals)
 
     def end_run(self, steps: int, *, power_evals: int = 0, power_reuses: int = 0) -> None:
+        run_wall = 0.0
         if self._run_t0 is not None:
-            self.wall_s += time.perf_counter() - self._run_t0
+            run_wall = time.perf_counter() - self._run_t0
+            self.wall_s += run_wall
             self._run_t0 = None
         self.steps += steps
         self.power_evals += power_evals
         self.power_reuses += power_reuses
+        base = self._run_totals_base
+        self.runs.append(
+            {
+                "steps": steps,
+                "wall_s": run_wall,
+                "power_evals": power_evals,
+                "power_reuses": power_reuses,
+                "phases": {
+                    name: total - base.get(name, 0.0)
+                    for name, total in self.totals.items()
+                    if total - base.get(name, 0.0) > 0.0
+                },
+            }
+        )
+        self._run_totals_base = dict(self.totals)
+
+    @property
+    def last_run(self) -> dict[str, Any] | None:
+        """The most recently completed run's record, if any."""
+        return self.runs[-1] if self.runs else None
 
     # -- reporting ---------------------------------------------------------------
 
@@ -91,6 +127,7 @@ class PhaseProfiler:
         doc["unattributed_s"] = round(max(self.wall_s - total_phased, 0.0), 6)
         doc["power_evals"] = self.power_evals
         doc["power_reuses"] = self.power_reuses
+        doc["runs"] = len(self.runs)
         return doc
 
     def to_json(self, *, indent: int | None = 2) -> str:

@@ -1,0 +1,52 @@
+"""`repro.obs`: the unified telemetry plane (stdlib-only).
+
+- :mod:`repro.obs.registry` — process-wide counters/gauges/histograms
+  with Prometheus text rendering and a zero-cost null default.
+- :mod:`repro.obs.trace` — structured spans, JSONL sinks, and the
+  bounded flight recorder the service dumps on worker crash.
+- :mod:`repro.obs.catalog` — the documented catalogue every registered
+  metric name must appear in.
+- :mod:`repro.obs.console` — resolver for the single-file browser
+  dashboard served at ``GET /console``.
+"""
+
+from repro.obs.catalog import METRICS, describe
+from repro.obs.console import load_console_html
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    NullRegistry,
+    NULL_REGISTRY,
+    OVERFLOW_LABEL,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from repro.obs.trace import (
+    FlightRecorder,
+    JsonlSpanSink,
+    NullTracer,
+    NULL_TRACER,
+    Span,
+    Tracer,
+)
+
+__all__ = [
+    "METRICS",
+    "describe",
+    "load_console_html",
+    "DEFAULT_BUCKETS",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "OVERFLOW_LABEL",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "FlightRecorder",
+    "JsonlSpanSink",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "Tracer",
+]

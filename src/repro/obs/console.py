@@ -1,0 +1,66 @@
+"""Locate the single-file ops console served at ``GET /console``.
+
+The dashboard is one self-contained HTML file, ``docs/console.html`` —
+vanilla JS, no build step, no external assets — that polls
+``/statusz`` and subscribes to a running job's websocket step feed.
+Resolution order:
+
+1. ``REPRO_CONSOLE_HTML`` environment variable (operator override),
+2. the repo's ``docs/console.html`` (resolved relative to this file,
+   for editable installs and the source tree),
+3. a minimal embedded fallback page (installed wheels without docs),
+
+so ``/console`` always answers 200 with *something* useful.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+_FALLBACK = """<!doctype html>
+<html><head><meta charset="utf-8"><title>twin console</title></head>
+<body style="font-family: monospace; background: #111; color: #ddd;">
+<h1>ExaDigiT twin console (fallback)</h1>
+<p>docs/console.html was not found next to this install; the full
+dashboard ships in the repository. Raw snapshots remain available:</p>
+<ul>
+<li><a href="/statusz" style="color:#8cf">/statusz</a></li>
+<li><a href="/metrics" style="color:#8cf">/metrics</a></li>
+<li><a href="/healthz" style="color:#8cf">/healthz</a></li>
+</ul>
+<pre id="out">loading /statusz ...</pre>
+<script>
+fetch("/statusz").then(r => r.json()).then(doc => {
+  document.getElementById("out").textContent =
+      JSON.stringify(doc.server || doc, null, 2);
+});
+</script>
+</body></html>
+"""
+
+
+def console_html_path() -> Path | None:
+    """Path of the console page, or None if only the fallback exists."""
+    override = os.environ.get("REPRO_CONSOLE_HTML")
+    if override:
+        path = Path(override)
+        if path.is_file():
+            return path
+    repo_docs = (
+        Path(__file__).resolve().parents[3] / "docs" / "console.html"
+    )
+    if repo_docs.is_file():
+        return repo_docs
+    return None
+
+
+def load_console_html() -> str:
+    """The console page HTML (operator override > repo docs > fallback)."""
+    path = console_html_path()
+    if path is not None:
+        return path.read_text(encoding="utf-8")
+    return _FALLBACK
+
+
+__all__ = ["console_html_path", "load_console_html"]

@@ -1,0 +1,533 @@
+"""Process-wide metrics: counters, gauges, histograms, Prometheus text.
+
+Design constraints, in order:
+
+1. **Detached paths pay ~nothing.**  The process-global registry
+   defaults to :class:`NullRegistry`, whose metric objects are inert
+   singletons — an uninstrumented run's only cost is a handful of
+   attribute lookups and no-op calls at run *boundaries* (hot loops
+   fold their counters in bulk at end of run, never per quantum).
+2. **Updates are cheap and atomic enough.**  ``inc``/``set``/``observe``
+   are plain Python float/int updates — the GIL makes each individually
+   atomic; families take a lock only on child *creation*.  Metrics are
+   observability, not ledger accounting: a torn read across two related
+   counters is acceptable, a slow hot path is not.
+3. **Bounded cardinality.**  A labeled family accepts at most
+   ``max_label_sets`` distinct label tuples; further label sets all
+   collapse into one ``_overflow`` child (and are counted), so a buggy
+   or hostile label source cannot grow memory without bound.
+
+Metric names are resolved against :data:`repro.obs.catalog.METRICS`, so
+instrumentation sites register by name alone::
+
+    from repro.obs import get_registry
+
+    reg = get_registry()
+    reg.counter("repro_engine_steps_total").inc(steps_done)
+    reg.counter("repro_engine_phase_seconds_total").labels(
+        phase="power").inc(dt)
+
+and a :func:`use_registry` context (or a server's own registry) makes
+them visible::
+
+    from repro.obs import MetricsRegistry, use_registry
+
+    with use_registry(MetricsRegistry()) as reg:
+        engine.run(jobs, 86400.0)
+        print(reg.render())          # Prometheus text format
+        doc = reg.snapshot()         # JSON-compatible dict
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.exceptions import ExaDigiTError
+from repro.obs.catalog import METRICS as _CATALOG
+
+#: Default histogram buckets (seconds): generic latency coverage.
+DEFAULT_BUCKETS = (
+    0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Label value all over-cap label sets collapse into.
+OVERFLOW_LABEL = "_overflow"
+
+
+def _fmt(value: float) -> str:
+    """Prometheus sample value: integral floats render as integers."""
+    f = float(value)
+    if f == int(f) and abs(f) < 1e15:
+        return str(int(f))
+    return repr(f)
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(text: str) -> str:
+    return (
+        text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+class Counter:
+    """A monotonically increasing value (one child of a family)."""
+
+    __slots__ = ("value", "_fn")
+
+    def __init__(self, fn: Callable[[], float] | None = None) -> None:
+        self.value = 0.0
+        self._fn = fn
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def get(self) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        return self.value
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+class Gauge:
+    """A value that goes up and down (one child of a family)."""
+
+    __slots__ = ("value", "_fn")
+
+    def __init__(self, fn: Callable[[], float] | None = None) -> None:
+        self.value = 0.0
+        self._fn = fn
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def get(self) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        return self.value
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+class Histogram:
+    """Fixed cumulative buckets + sum + count (one child of a family)."""
+
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: Sequence[float]) -> None:
+        self.buckets = tuple(buckets)
+        self.counts = [0] * (len(self.buckets) + 1)  # +Inf tail
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        v = float(value)
+        self.sum += v
+        self.count += 1
+        for i, le in enumerate(self.buckets):
+            if v <= le:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """``(le, cumulative_count)`` pairs, ``+Inf`` last."""
+        out: list[tuple[float, int]] = []
+        running = 0
+        for le, n in zip(self.buckets, self.counts):
+            running += n
+            out.append((le, running))
+        out.append((float("inf"), self.count))
+        return out
+
+    def reset(self) -> None:
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+
+_KIND_CHILD = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricFamily:
+    """One named metric with zero or more label dimensions.
+
+    Unlabeled families proxy ``inc``/``set``/``dec``/``observe`` to
+    their single default child; labeled families hand out children via
+    :meth:`labels`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        *,
+        buckets: Sequence[float] | None = None,
+        fn: Callable[[], float] | None = None,
+        max_label_sets: int = 64,
+    ) -> None:
+        if kind not in _KIND_CHILD:
+            raise ExaDigiTError(f"unknown metric kind {kind!r}")
+        if fn is not None and (labels or kind == "histogram"):
+            raise ExaDigiTError(
+                "fn-backed metrics must be unlabeled counters or gauges"
+            )
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.labelnames = tuple(labels)
+        self.buckets = tuple(buckets or DEFAULT_BUCKETS)
+        self.max_label_sets = max_label_sets
+        self.dropped_label_sets = 0
+        self._lock = threading.Lock()
+        self._children: dict[tuple[str, ...], Any] = {}
+        if not self.labelnames:
+            self._children[()] = self._new_child(fn)
+
+    def _new_child(self, fn: Callable[[], float] | None = None) -> Any:
+        if self.kind == "histogram":
+            return Histogram(self.buckets)
+        return _KIND_CHILD[self.kind](fn)
+
+    def labels(self, **labelvalues: str) -> Any:
+        if set(labelvalues) != set(self.labelnames):
+            raise ExaDigiTError(
+                f"{self.name}: expected labels {self.labelnames}, "
+                f"got {tuple(sorted(labelvalues))}"
+            )
+        key = tuple(str(labelvalues[n]) for n in self.labelnames)
+        child = self._children.get(key)
+        if child is not None:
+            return child
+        with self._lock:
+            child = self._children.get(key)
+            if child is not None:
+                return child
+            if len(self._children) >= self.max_label_sets:
+                self.dropped_label_sets += 1
+                overflow = (OVERFLOW_LABEL,) * len(self.labelnames)
+                child = self._children.get(overflow)
+                if child is None:
+                    # One extra slot: children are bounded at
+                    # max_label_sets + 1 including the overflow bucket.
+                    child = self._children[overflow] = self._new_child()
+                return child
+            child = self._children[key] = self._new_child()
+            return child
+
+    # -- unlabeled conveniences (delegate to the default child) ------------
+
+    def _default(self) -> Any:
+        try:
+            return self._children[()]
+        except KeyError:
+            raise ExaDigiTError(
+                f"{self.name} is labeled by {self.labelnames}; "
+                "use .labels(...)"
+            ) from None
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._default().dec(amount)
+
+    def set(self, value: float) -> None:
+        self._default().set(value)
+
+    def observe(self, value: float) -> None:
+        self._default().observe(value)
+
+    def get(self, **labelvalues: str) -> float:
+        child = self.labels(**labelvalues) if labelvalues else self._default()
+        return child.get()
+
+    # -- iteration ---------------------------------------------------------
+
+    def samples(self) -> Iterator[tuple[tuple[str, ...], Any]]:
+        # dict iteration order is insertion order; snapshot under the
+        # lock so render never races child creation.
+        with self._lock:
+            items = list(self._children.items())
+        yield from items
+
+    def reset(self) -> None:
+        with self._lock:
+            for child in self._children.values():
+                child.reset()
+
+
+class MetricsRegistry:
+    """A live registry: families by name, render/snapshot/reset."""
+
+    enabled = True
+
+    def __init__(self, *, max_label_sets: int = 64) -> None:
+        self._lock = threading.Lock()
+        self._families: dict[str, MetricFamily] = {}
+        self.max_label_sets = max_label_sets
+
+    # -- registration ------------------------------------------------------
+
+    def _family(
+        self,
+        name: str,
+        kind: str,
+        help: str | None,
+        labels: Sequence[str] | None,
+        buckets: Sequence[float] | None = None,
+        fn: Callable[[], float] | None = None,
+    ) -> MetricFamily:
+        fam = self._families.get(name)
+        if fam is not None:
+            if fam.kind != kind:
+                raise ExaDigiTError(
+                    f"{name} already registered as {fam.kind}, not {kind}"
+                )
+            return fam
+        entry = _CATALOG.get(name, {})
+        if entry and entry["kind"] != kind:
+            raise ExaDigiTError(
+                f"{name} is catalogued as a {entry['kind']}, not a {kind}"
+            )
+        with self._lock:
+            fam = self._families.get(name)
+            if fam is None:
+                fam = MetricFamily(
+                    name,
+                    kind,
+                    help if help is not None else entry.get("help", ""),
+                    labels if labels is not None else entry.get("labels", ()),
+                    buckets=buckets or entry.get("buckets"),
+                    fn=fn,
+                    max_label_sets=self.max_label_sets,
+                )
+                self._families[name] = fam
+        return fam
+
+    def counter(
+        self,
+        name: str,
+        help: str | None = None,
+        labels: Sequence[str] | None = None,
+        *,
+        fn: Callable[[], float] | None = None,
+    ) -> MetricFamily:
+        return self._family(name, "counter", help, labels, fn=fn)
+
+    def gauge(
+        self,
+        name: str,
+        help: str | None = None,
+        labels: Sequence[str] | None = None,
+        *,
+        fn: Callable[[], float] | None = None,
+    ) -> MetricFamily:
+        return self._family(name, "gauge", help, labels, fn=fn)
+
+    def histogram(
+        self,
+        name: str,
+        help: str | None = None,
+        labels: Sequence[str] | None = None,
+        *,
+        buckets: Sequence[float] | None = None,
+    ) -> MetricFamily:
+        return self._family(name, "histogram", help, labels, buckets)
+
+    # -- reading -----------------------------------------------------------
+
+    def families(self) -> list[MetricFamily]:
+        with self._lock:
+            return list(self._families.values())
+
+    def value(self, name: str, **labelvalues: str) -> float | None:
+        """One sample's current value, or None if never registered."""
+        fam = self._families.get(name)
+        if fam is None:
+            return None
+        try:
+            return fam.get(**labelvalues)
+        except ExaDigiTError:
+            return None
+
+    def render(self) -> str:
+        """The full registry in Prometheus text exposition format."""
+        lines: list[str] = []
+        for fam in sorted(self.families(), key=lambda f: f.name):
+            lines.append(f"# HELP {fam.name} {_escape_help(fam.help)}")
+            lines.append(f"# TYPE {fam.name} {fam.kind}")
+            for key, child in fam.samples():
+                labelled = "".join(
+                    f'{n}="{_escape_label(v)}",'
+                    for n, v in zip(fam.labelnames, key)
+                ).rstrip(",")
+                if fam.kind == "histogram":
+                    base = f"{{{labelled}," if labelled else "{"
+                    for le, cum in child.cumulative():
+                        le_s = "+Inf" if le == float("inf") else _fmt(le)
+                        lines.append(
+                            f'{fam.name}_bucket{base}le="{le_s}"}} {cum}'
+                        )
+                    suffix = f"{{{labelled}}}" if labelled else ""
+                    lines.append(
+                        f"{fam.name}_sum{suffix} {_fmt(child.sum)}"
+                    )
+                    lines.append(f"{fam.name}_count{suffix} {child.count}")
+                else:
+                    suffix = f"{{{labelled}}}" if labelled else ""
+                    lines.append(f"{fam.name}{suffix} {_fmt(child.get())}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-compatible dump of every family (for ``/statusz``)."""
+        doc: dict[str, Any] = {}
+        for fam in sorted(self.families(), key=lambda f: f.name):
+            samples = []
+            for key, child in fam.samples():
+                labels = dict(zip(fam.labelnames, key))
+                if fam.kind == "histogram":
+                    samples.append(
+                        {
+                            "labels": labels,
+                            "count": child.count,
+                            "sum": child.sum,
+                            "buckets": [
+                                ["+Inf" if le == float("inf") else le, cum]
+                                for le, cum in child.cumulative()
+                            ],
+                        }
+                    )
+                else:
+                    samples.append({"labels": labels, "value": child.get()})
+            doc[fam.name] = {
+                "kind": fam.kind,
+                "help": fam.help,
+                "samples": samples,
+            }
+        return doc
+
+    def reset(self) -> None:
+        """Zero every child (families and label sets stay registered)."""
+        for fam in self.families():
+            fam.reset()
+
+
+class _NullMetric:
+    """Inert metric: every update is a no-op, every read is zero."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def labels(self, **labelvalues: str) -> "_NullMetric":
+        return self
+
+    def get(self, **labelvalues: str) -> float:
+        return 0.0
+
+
+NULL_METRIC = _NullMetric()
+
+
+class NullRegistry:
+    """The default registry: accepts everything, records nothing."""
+
+    enabled = False
+
+    def counter(self, *args: Any, **kwargs: Any) -> _NullMetric:
+        return NULL_METRIC
+
+    def gauge(self, *args: Any, **kwargs: Any) -> _NullMetric:
+        return NULL_METRIC
+
+    def histogram(self, *args: Any, **kwargs: Any) -> _NullMetric:
+        return NULL_METRIC
+
+    def families(self) -> list:
+        return []
+
+    def value(self, name: str, **labelvalues: str) -> None:
+        return None
+
+    def render(self) -> str:
+        return ""
+
+    def snapshot(self) -> dict:
+        return {}
+
+    def reset(self) -> None:
+        pass
+
+
+NULL_REGISTRY = NullRegistry()
+
+_registry: MetricsRegistry | NullRegistry = NULL_REGISTRY
+
+
+def get_registry() -> MetricsRegistry | NullRegistry:
+    """The process-global registry (a :class:`NullRegistry` unless one
+    was installed via :func:`set_registry` / :func:`use_registry`)."""
+    return _registry
+
+
+def set_registry(
+    registry: MetricsRegistry | NullRegistry,
+) -> MetricsRegistry | NullRegistry:
+    """Install ``registry`` process-wide; returns the previous one."""
+    global _registry
+    previous = _registry
+    _registry = registry
+    return previous
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry | NullRegistry):
+    """Scope the process-global registry to a ``with`` block."""
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "NULL_METRIC",
+    "DEFAULT_BUCKETS",
+    "OVERFLOW_LABEL",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+]

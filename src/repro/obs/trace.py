@@ -1,0 +1,244 @@
+"""Structured trace spans and the crash flight recorder.
+
+A :class:`Tracer` turns ad-hoc timing into structured events: every
+span has a process-unique id, a parent id (tracked through a
+contextvar for ``with tracer.span(...)`` nesting), a monotonic
+timestamp for duration math, and a wall-clock timestamp for log
+correlation.  Sinks are anything with an ``emit(dict)`` method; two
+ship here:
+
+- :class:`JsonlSpanSink` — append-only JSONL file, one event per line.
+- :class:`FlightRecorder` — a bounded in-memory ring buffer of the
+  most recent events.  :class:`~repro.service.server.TwinServer` keeps
+  one and dumps it to the store on worker crash, so a post-mortem
+  starts from what the server *saw*, not from scratch.
+
+Event documents::
+
+    {"kind": "span-start", "name": "job", "span_id": "s000001",
+     "parent_id": null, "t_mono": 12.345, "t_wall": 1699...,
+     "job_id": "j000001"}
+    {"kind": "span-end", "name": "job", "span_id": "s000001",
+     "t_mono": 13.345, "t_wall": 1699..., "dur_s": 1.0,
+     "status": "ok"}
+    {"kind": "event", "name": "worker-exit", "t_mono": ...,
+     "t_wall": ..., "worker": 1}
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import json
+import time
+from collections import deque
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator
+
+
+class FlightRecorder:
+    """Bounded ring buffer of recent trace events (newest wins)."""
+
+    def __init__(self, capacity: int = 512) -> None:
+        if capacity < 1:
+            raise ValueError("flight recorder capacity must be >= 1")
+        self.capacity = capacity
+        self.total_emitted = 0
+        self._ring: deque[dict] = deque(maxlen=capacity)
+
+    def emit(self, event: dict) -> None:
+        self.total_emitted += 1
+        self._ring.append(event)
+
+    def events(self) -> list[dict]:
+        return list(self._ring)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def clear(self) -> None:
+        self._ring.clear()
+
+    def dump(self, path: str | Path) -> Path:
+        """Write the buffered events to ``path`` as JSONL."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", encoding="utf-8") as fh:
+            for event in self._ring:
+                fh.write(json.dumps(event) + "\n")
+        return path
+
+
+class JsonlSpanSink:
+    """Append trace events to a JSONL file, one document per line."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open("a", encoding="utf-8")
+
+    def emit(self, event: dict) -> None:
+        self._fh.write(json.dumps(event) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        self._fh.close()
+
+    def __enter__(self) -> "JsonlSpanSink":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class Span:
+    """One in-flight span handle (returned by :meth:`Tracer.begin`)."""
+
+    __slots__ = ("name", "span_id", "parent_id", "t0_mono", "attrs", "ended")
+
+    def __init__(
+        self,
+        name: str,
+        span_id: str,
+        parent_id: str | None,
+        t0_mono: float,
+        attrs: dict,
+    ) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.t0_mono = t0_mono
+        self.attrs = attrs
+        self.ended = False
+
+
+_current_span: contextvars.ContextVar[str | None] = contextvars.ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+
+class Tracer:
+    """Emit span-start/span-end/event documents to one or more sinks."""
+
+    def __init__(self, *sinks: Any) -> None:
+        self.sinks = list(sinks)
+        self._ids = itertools.count(1)
+
+    def add_sink(self, sink: Any) -> None:
+        self.sinks.append(sink)
+
+    def _emit(self, doc: dict) -> None:
+        for sink in self.sinks:
+            sink.emit(doc)
+
+    def event(self, name: str, **attrs: Any) -> dict:
+        """One instantaneous event (no duration)."""
+        doc = {
+            "kind": "event",
+            "name": name,
+            "t_mono": time.monotonic(),
+            "t_wall": time.time(),
+            **attrs,
+        }
+        self._emit(doc)
+        return doc
+
+    def begin(
+        self, name: str, *, parent: Span | str | None = None, **attrs: Any
+    ) -> Span:
+        """Open a span manually (for callback-driven lifecycles)."""
+        parent_id = (
+            parent.span_id
+            if isinstance(parent, Span)
+            else parent if parent is not None else _current_span.get()
+        )
+        span = Span(
+            name,
+            f"s{next(self._ids):06d}",
+            parent_id,
+            time.monotonic(),
+            attrs,
+        )
+        self._emit(
+            {
+                "kind": "span-start",
+                "name": name,
+                "span_id": span.span_id,
+                "parent_id": parent_id,
+                "t_mono": span.t0_mono,
+                "t_wall": time.time(),
+                **attrs,
+            }
+        )
+        return span
+
+    def end(self, span: Span, *, status: str = "ok", **attrs: Any) -> dict:
+        """Close a span opened with :meth:`begin` (idempotent)."""
+        if span.ended:
+            return {}
+        span.ended = True
+        now = time.monotonic()
+        doc = {
+            "kind": "span-end",
+            "name": span.name,
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+            "t_mono": now,
+            "t_wall": time.time(),
+            "dur_s": now - span.t0_mono,
+            "status": status,
+            **attrs,
+        }
+        self._emit(doc)
+        return doc
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        """``with``-scoped span; nested spans pick up the parent id."""
+        span = self.begin(name, **attrs)
+        token = _current_span.set(span.span_id)
+        try:
+            yield span
+        except BaseException:
+            _current_span.reset(token)
+            self.end(span, status="error")
+            raise
+        else:
+            _current_span.reset(token)
+            self.end(span)
+
+
+class NullTracer:
+    """Inert tracer for detached paths (mirrors :class:`Tracer`)."""
+
+    sinks: list = []
+
+    def add_sink(self, sink: Any) -> None:
+        pass
+
+    def event(self, name: str, **attrs: Any) -> dict:
+        return {}
+
+    def begin(self, name: str, **attrs: Any) -> Span:
+        return Span(name, "s000000", None, 0.0, {})
+
+    def end(self, span: Span, **attrs: Any) -> dict:
+        return {}
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        yield Span(name, "s000000", None, 0.0, {})
+
+
+NULL_TRACER = NullTracer()
+
+
+__all__ = [
+    "FlightRecorder",
+    "JsonlSpanSink",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+]

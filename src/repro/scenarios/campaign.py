@@ -37,6 +37,7 @@ from typing import Any, Callable, Iterable
 
 from repro.config.schema import SystemSpec
 from repro.exceptions import ScenarioError
+from repro.obs.registry import get_registry
 from repro.scenarios.artifacts import CampaignStore
 from repro.scenarios.base import Scenario
 from repro.scenarios.result import ScenarioResult
@@ -191,12 +192,18 @@ class Campaign:
         if stop_after is not None:
             pending = pending[: max(stop_after, 0)]
         done_count = len(stored)
+        reg = get_registry()
+        if stored:
+            reg.counter("repro_campaign_cells_skipped_total").inc(
+                len(stored)
+            )
 
         def finish(index: int, scenario: Scenario, outcome: ScenarioResult):
             nonlocal done_count
             self.store.record(index, outcome)
             merged[index] = outcome
             done_count += 1
+            reg.counter("repro_campaign_cells_done_total").inc()
             if progress is not None:
                 progress(scenario, done_count, total)
 

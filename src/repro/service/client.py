@@ -75,8 +75,43 @@ class TwinClient:
         finally:
             conn.close()
 
+    def _request_text(self, method: str, path: str) -> str:
+        """A verb whose response body is plain text, not JSON."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        try:
+            try:
+                conn.request(method, path)
+                response = conn.getresponse()
+            except OSError as exc:
+                raise ExaDigiTError(
+                    f"cannot reach twin service at "
+                    f"{self.host}:{self.port}: {exc}"
+                ) from exc
+            body = response.read().decode("utf-8")
+            if response.status >= 400:
+                raise ExaDigiTError(
+                    f"{method} {path} -> {response.status}: {body[:200]}"
+                )
+            return body
+        finally:
+            conn.close()
+
     def health(self) -> dict[str, Any]:
         return self._request("GET", "/healthz")
+
+    def statusz(self) -> dict[str, Any]:
+        """The server's full ops snapshot (``GET /statusz``)."""
+        return self._request("GET", "/statusz")
+
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition (``GET /metrics``)."""
+        return self._request_text("GET", "/metrics")
+
+    def console_html(self) -> str:
+        """The ops console page (``GET /console``)."""
+        return self._request_text("GET", "/console")
 
     def submit(
         self,

@@ -11,7 +11,14 @@ scenario.
 
 HTTP surface (all JSON)::
 
-    GET  /healthz             server, pool, queue, and cache counters
+    GET  /healthz             liveness + degradable checks (pool alive,
+                              store writable, event-loop lag)
+    GET  /metrics             Prometheus text exposition of the server's
+                              MetricsRegistry (scrape endpoint)
+    GET  /statusz             full JSON ops snapshot: health, job
+                              summaries, metrics, flight recorder
+    GET  /console             the single-file browser ops console
+                              (docs/console.html; text/html)
     POST /jobs                submit {"scenario": {...}} or a bare
                               scenario document; sweeps expand into one
                               job per cell; returns {"jobs": [...]}
@@ -53,6 +60,15 @@ from typing import Any, Awaitable, Callable
 
 from repro.config.schema import SystemSpec
 from repro.exceptions import ExaDigiTError, ScenarioError
+from repro.obs.console import load_console_html
+from repro.obs.registry import (
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+    get_registry,
+    set_registry,
+)
+from repro.obs.trace import FlightRecorder, Tracer
 from repro.scenarios.artifacts import (
     _nulled_nans,
     result_to_cell_doc,
@@ -114,6 +130,20 @@ class TwinServer:
         results live on in the store/result cache.  Watchers already
         attached to an evicted job hold the record directly and finish
         their stream normally; new lookups of its id get a 404.
+    metrics:
+        ``True`` (default) gives the server its own
+        :class:`~repro.obs.registry.MetricsRegistry`, rendered at
+        ``GET /metrics`` and snapshotted into ``GET /statusz``;
+        ``False`` serves both endpoints empty at zero recording cost;
+        an explicit registry instance is used as-is (shared registries
+        across servers are allowed).  While a metrics-enabled server
+        runs, its registry is also installed process-globally (unless
+        one is already installed), so in-process engine/batch/store
+        counters land on the same ``/metrics`` page.
+    flight_capacity:
+        Ring-buffer size of the :class:`~repro.obs.trace.FlightRecorder`
+        holding the most recent job spans and worker events; the buffer
+        is dumped to ``<store>/flight/`` whenever a worker dies.
     """
 
     def __init__(
@@ -133,6 +163,8 @@ class TwinServer:
         max_retained_jobs: int = 4096,
         result_cache_entries: int = 128,
         execution: str = "processes",
+        metrics: bool | MetricsRegistry | NullRegistry = True,
+        flight_capacity: int = 512,
     ) -> None:
         if fidelity not in FIDELITIES:
             raise ExaDigiTError(
@@ -154,8 +186,18 @@ class TwinServer:
         self.fidelity = fidelity
         self.max_attempts = max_attempts
         self.use_cache_default = use_cache
+        if metrics is True:
+            self.metrics: MetricsRegistry | NullRegistry = MetricsRegistry()
+        elif metrics is False or metrics is None:
+            self.metrics = NULL_REGISTRY
+        else:
+            self.metrics = metrics
+        self.flight = FlightRecorder(flight_capacity)
+        self.tracer = Tracer(self.flight)
         self.store = (
-            ServiceStore(store, self.spec) if store is not None else None
+            ServiceStore(store, self.spec, metrics=self.metrics)
+            if store is not None
+            else None
         )
         self._surrogate_doc = self._resolve_surrogates(surrogates)
         self.jobs: dict[str, JobRecord] = {}
@@ -204,6 +246,66 @@ class TwinServer:
         self._stop_event: asyncio.Event | None = None
         self._thread: threading.Thread | None = None
         self._thread_error: BaseException | None = None
+        #: Open job spans (job id -> Span), closed in :meth:`_finish`.
+        self._spans: dict[str, Any] = {}
+        self._flight_dumps = 0
+        self._last_flight_dump: str | None = None
+        self._heartbeat_task: asyncio.Task | None = None
+        self._hb_interval_s = 0.25
+        self._last_beat: float | None = None
+        self._installed_global_registry = False
+        self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        """Register this server's metric families (handles cached).
+
+        With a :class:`NullRegistry` every handle is the inert null
+        metric, so the hot handlers below stay branch-free.
+        """
+        m = self.metrics
+        self._m_submitted = m.counter("repro_service_jobs_submitted_total")
+        self._m_finished = m.counter("repro_service_jobs_finished_total")
+        self._m_cache_hits = m.counter("repro_service_cache_hits_total")
+        self._m_warm_hits = m.counter("repro_service_warm_hits_total")
+        self._m_warm_misses = m.counter("repro_service_warm_misses_total")
+        self._m_requeues = m.counter("repro_service_requeues_total")
+        self._m_crashes = m.counter("repro_service_worker_crashes_total")
+        self._m_respawns = m.counter("repro_service_worker_respawns_total")
+        self._m_steps = m.counter("repro_service_steps_streamed_total")
+        self._m_stream_clients = m.gauge("repro_service_stream_clients")
+        self._m_job_seconds = m.histogram("repro_service_job_seconds")
+        m.gauge("repro_service_queue_depth", fn=lambda: len(self.queue))
+        m.counter(
+            "repro_service_queue_steals_total",
+            fn=lambda: self.queue.steals,
+        )
+        m.gauge("repro_service_workers_alive", fn=self.pool.alive_count)
+        m.gauge(
+            "repro_service_jobs_running",
+            fn=lambda: sum(
+                1
+                for j in self.jobs.values()
+                if j.state is JobState.RUNNING
+            ),
+        )
+        m.gauge("repro_service_loop_lag_seconds", fn=self._loop_lag_s)
+
+    def _loop_lag_s(self) -> float:
+        """Event-loop scheduling lag seen by the heartbeat probe."""
+        loop, last = self._loop, self._last_beat
+        if loop is None or last is None or self._heartbeat_task is None:
+            return 0.0
+        try:
+            now = loop.time()
+        except RuntimeError:  # pragma: no cover - loop torn down
+            return 0.0
+        return max(0.0, now - last - self._hb_interval_s)
+
+    async def _heartbeat(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            self._last_beat = loop.time()
+            await asyncio.sleep(self._hb_interval_s)
 
     def _resolve_surrogates(self, surrogates) -> dict | None:
         if surrogates is None:
@@ -230,10 +332,26 @@ class TwinServer:
             self._handle_connection, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        self._heartbeat_task = asyncio.ensure_future(self._heartbeat())
+        # Adopt this server's registry process-wide (when none is
+        # installed) so in-process engine/batch/campaign counters from
+        # batched execution land on the same /metrics page.
+        if self.metrics.enabled and not get_registry().enabled:
+            set_registry(self.metrics)
+            self._installed_global_registry = True
         return self
 
     async def stop(self) -> None:
         """Close the listener and stop the workers."""
+        if self._installed_global_registry:
+            if get_registry() is self.metrics:
+                set_registry(NULL_REGISTRY)
+            self._installed_global_registry = False
+        if self._heartbeat_task is not None:
+            self._heartbeat_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._heartbeat_task
+            self._heartbeat_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -338,6 +456,7 @@ class TwinServer:
         if event == "step":
             if job.state is JobState.RUNNING:
                 job.steps.append(msg["record"])
+                self._m_steps.inc()
                 self._ring(job)
         elif event == "done":
             self._worker_respawns[index] = 0
@@ -346,6 +465,11 @@ class TwinServer:
             self.counters["executed"] += 1
             if msg.get("warm_hit"):
                 self.counters["warm_hits"] += 1
+                self._m_warm_hits.inc()
+            else:
+                self._m_warm_misses.inc()
+            if job.elapsed_s is not None:
+                self._m_job_seconds.observe(job.elapsed_s)
             self._finish(job, JobState.DONE)
             # Free the worker before persisting: a store failure must
             # cost a counter, never a pool slot.
@@ -367,6 +491,8 @@ class TwinServer:
         handle = self.pool.workers[index]
         job_id, handle.job_id = handle.job_id, None
         handle.ready = False
+        self._m_crashes.inc()
+        self.tracer.event("worker-exit", worker=index, job_id=job_id)
         job = self.jobs.get(job_id) if job_id else None
         if job is not None and job.state is JobState.RUNNING:
             if job.id in self._cancel_requested:
@@ -381,6 +507,7 @@ class TwinServer:
                 self._finish(job, JobState.FAILED)
             else:
                 self.counters["requeues"] += 1
+                self._m_requeues.inc()
                 job.state = JobState.QUEUED
                 job.worker = None
                 job.steps.clear()
@@ -388,6 +515,7 @@ class TwinServer:
                 self._ring(job)
         self._worker_respawns[index] += 1
         if self._worker_respawns[index] <= self.max_worker_respawns:
+            self._m_respawns.inc()
             self.pool.respawn(index)
             # The fresh worker greets with "hello" and then pulls work.
         elif self.pool.alive_count() == 0:
@@ -397,6 +525,25 @@ class TwinServer:
                 if not other.state.terminal:
                     other.error = "no live workers (respawn cap reached)"
                     self._finish(other, JobState.FAILED)
+        # Post-mortem: whatever the flight recorder saw leading up to
+        # this death goes to disk before anything else overwrites it.
+        self._dump_flight(f"worker{index}-exit")
+
+    def _dump_flight(self, reason: str) -> None:
+        """Dump the flight-recorder ring to the store (best effort)."""
+        if self.store is None or len(self.flight) == 0:
+            return
+        self._flight_dumps += 1
+        path = (
+            self.store.path
+            / "flight"
+            / f"{self._flight_dumps:03d}-{reason}.jsonl"
+        )
+        try:
+            self.flight.dump(path)
+            self._last_flight_dump = str(path)
+        except OSError:  # pragma: no cover - a full disk must not
+            pass  # take the serving loop down with it
 
     def _worker_idle(self, index: int) -> None:
         self.pool.workers[index].job_id = None
@@ -420,6 +567,12 @@ class TwinServer:
                 job.worker = handle.index
                 job.attempts += 1
                 job.started_at = time.time()
+                self.tracer.event(
+                    "dispatch",
+                    job_id=job.id,
+                    worker=handle.index,
+                    attempt=job.attempts,
+                )
                 self._ring(job)
                 self.pool.dispatch(handle.index, job_id, job.scenario_doc)
                 break
@@ -427,6 +580,16 @@ class TwinServer:
     def _finish(self, job: JobRecord, state: JobState) -> None:
         job.state = state
         job.finished_at = time.time()
+        self._m_finished.labels(state=state.value).inc()
+        span = self._spans.pop(job.id, None)
+        if span is not None:
+            self.tracer.end(
+                span,
+                status="ok" if state is JobState.DONE else state.value,
+                state=state.value,
+                attempts=job.attempts,
+                cached=job.cached,
+            )
         self._cancel_requested.discard(job.id)
         self._terminal_order.append(job.id)
         self._trim_retained_jobs()
@@ -533,6 +696,13 @@ class TwinServer:
             )
             self.jobs[job.id] = job
             self._job_order.append(job.id)
+            self._m_submitted.inc()
+            self._spans[job.id] = self.tracer.begin(
+                "job",
+                job_id=job.id,
+                key=key[:12],
+                scenario=job.scenario_doc.get("kind"),
+            )
             hit = self._cache_lookup(key) if use_cache else None
             if hit is not None:
                 cell_doc, steps = hit
@@ -545,6 +715,7 @@ class TwinServer:
                 job.steps = list(steps)
                 job.elapsed_s = 0.0
                 self.counters["cache_hits"] += 1
+                self._m_cache_hits.inc()
                 self._finish(job, JobState.DONE)
             elif self.execution == "batched":
                 batch.append((job, cell))
@@ -642,6 +813,7 @@ class TwinServer:
     def _on_batch_step(self, job: JobRecord, record: dict) -> None:
         if job.state is JobState.RUNNING:
             job.steps.append(record)
+            self._m_steps.inc()
             self._ring(job)
 
     def _on_batch_done(
@@ -655,6 +827,7 @@ class TwinServer:
         job.cell = cell
         job.elapsed_s = elapsed_s
         self.counters["executed"] += 1
+        self._m_job_seconds.observe(elapsed_s)
         self._finish(job, JobState.DONE)
         self._persist(job)
 
@@ -726,6 +899,25 @@ class TwinServer:
         if method == "GET" and path == "/healthz":
             await _respond(writer, 200, self._health_doc())
             return
+        if method == "GET" and path == "/metrics":
+            await _respond_raw(
+                writer,
+                200,
+                self.metrics.render().encode("utf-8"),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+            return
+        if method == "GET" and path == "/statusz":
+            await _respond(writer, 200, self._statusz_doc())
+            return
+        if method == "GET" and path == "/console":
+            await _respond_raw(
+                writer,
+                200,
+                load_console_html().encode("utf-8"),
+                "text/html; charset=utf-8",
+            )
+            return
         if method == "POST" and path == "/jobs":
             await self._post_jobs(body, writer)
             return
@@ -781,9 +973,59 @@ class TwinServer:
             writer, 404, {"error": f"no route {method} {path}"}
         )
 
+    def _store_writable(self) -> tuple[bool, str | None]:
+        """Probe the store directory with an actual write.
+
+        ``os.access`` lies for privileged processes, so the probe
+        creates (and removes) a real file — the same operation
+        :meth:`_persist` will need.
+        """
+        import os
+
+        probe = self.store.path / ".healthz-probe"
+        try:
+            with probe.open("w", encoding="utf-8") as fh:
+                fh.write("ok")
+            os.unlink(probe)
+            return True, None
+        except OSError as exc:
+            return False, f"{type(exc).__name__}: {exc}"
+
+    def _health_checks(self) -> dict[str, Any]:
+        """The degradable probes behind /healthz: pool, store, loop."""
+        alive = self.pool.alive_count()
+        lag = self._loop_lag_s()
+        checks: dict[str, Any] = {
+            "pool": {
+                "ok": alive >= 1,
+                "alive": alive,
+                "configured": self.n_workers,
+            },
+            "event_loop": {
+                "ok": lag < 0.5,
+                "lag_s": round(lag, 4),
+            },
+        }
+        if self.store is not None:
+            ok, error = self._store_writable()
+            store_check: dict[str, Any] = {
+                "ok": ok,
+                "path": str(self.store.path),
+            }
+            if error is not None:
+                store_check["error"] = error
+            checks["store"] = store_check
+        return checks
+
     def _health_doc(self) -> dict[str, Any]:
+        checks = self._health_checks()
         doc = {
-            "status": "ok",
+            "status": (
+                "ok"
+                if all(c["ok"] for c in checks.values())
+                else "degraded"
+            ),
+            "checks": checks,
             "system": self.spec.name,
             "spec_sha256": self.spec_sha,
             "fidelity": self.fidelity,
@@ -811,6 +1053,25 @@ class TwinServer:
                 "results": len(self.store),
             }
         return doc
+
+    def _statusz_doc(self, *, max_jobs: int = 256) -> dict[str, Any]:
+        """The JSON ops snapshot behind /statusz (and `repro top`)."""
+        recent = self._job_order[-max_jobs:]
+        return {
+            "server": self._health_doc(),
+            "time": time.time(),
+            "url": self.url,
+            "jobs_total": len(self._job_order),
+            "jobs": [self.jobs[jid].summary() for jid in recent],
+            "metrics": self.metrics.snapshot(),
+            "flight": {
+                "capacity": self.flight.capacity,
+                "events": len(self.flight),
+                "total_emitted": self.flight.total_emitted,
+                "dumps": self._flight_dumps,
+                "last_dump": self._last_flight_dump,
+            },
+        }
 
     async def _post_jobs(
         self, body: bytes, writer: asyncio.StreamWriter
@@ -845,22 +1106,28 @@ class TwinServer:
         """The transport-independent watch loop (NDJSON and ws share it)."""
         cursor = 0
         attempt = job.attempts
-        while True:
-            bell = job.bell
-            if job.attempts != attempt:
-                attempt = job.attempts
-                if cursor:
-                    await send_line(
-                        restart_event(attempt, "worker died; job requeued")
-                    )
-                cursor = 0
-            while cursor < len(job.steps):
-                await send_line(job.steps[cursor])
-                cursor += 1
-            if job.state.terminal:
-                await send_line(job.terminal_event())
-                return
-            await bell.wait()
+        self._m_stream_clients.inc()
+        try:
+            while True:
+                bell = job.bell
+                if job.attempts != attempt:
+                    attempt = job.attempts
+                    if cursor:
+                        await send_line(
+                            restart_event(
+                                attempt, "worker died; job requeued"
+                            )
+                        )
+                    cursor = 0
+                while cursor < len(job.steps):
+                    await send_line(job.steps[cursor])
+                    cursor += 1
+                if job.state.terminal:
+                    await send_line(job.terminal_event())
+                    return
+                await bell.wait()
+        finally:
+            self._m_stream_clients.dec()
 
     async def _stream_ndjson(
         self, job: JobRecord, writer: asyncio.StreamWriter
@@ -969,28 +1236,43 @@ class TwinServer:
                     await stream_task
 
 
-async def _respond(
-    writer: asyncio.StreamWriter, status: int, doc: dict
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    409: "Conflict",
+}
+
+
+async def _respond_raw(
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: bytes,
+    content_type: str,
 ) -> None:
-    reasons = {
-        200: "OK",
-        201: "Created",
-        202: "Accepted",
-        400: "Bad Request",
-        404: "Not Found",
-        409: "Conflict",
-    }
-    payload = json.dumps(doc).encode("utf-8")
     writer.write(
         (
-            f"HTTP/1.1 {status} {reasons.get(status, 'OK')}\r\n"
-            "Content-Type: application/json\r\n"
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(payload)}\r\n"
             "Connection: close\r\n\r\n"
         ).encode("ascii")
         + payload
     )
     await writer.drain()
+
+
+async def _respond(
+    writer: asyncio.StreamWriter, status: int, doc: dict
+) -> None:
+    await _respond_raw(
+        writer,
+        status,
+        json.dumps(doc).encode("utf-8"),
+        "application/json",
+    )
 
 
 __all__ = ["TwinServer"]

@@ -28,6 +28,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.exceptions import ScenarioError
+from repro.obs.registry import get_registry
 from repro.scenarios.artifacts import (
     CampaignStore,
     cell_doc_to_result,
@@ -41,9 +42,19 @@ STEPS_DIR = "steps"
 
 
 class ServiceStore:
-    """Durable record + result cache of one twin server."""
+    """Durable record + result cache of one twin server.
 
-    def __init__(self, path: str | Path, spec: SystemSpec) -> None:
+    ``metrics`` is an optional :class:`~repro.obs.registry.
+    MetricsRegistry`; the owning server passes its own so store traffic
+    (appends, replays) shows up under that server's ``/metrics``.
+    Without one, the process-global registry applies (a no-op by
+    default).
+    """
+
+    def __init__(
+        self, path: str | Path, spec: SystemSpec, *, metrics=None
+    ) -> None:
+        self._metrics = metrics if metrics is not None else get_registry()
         path = Path(path)
         sha = spec_sha256(spec)
         if CampaignStore.exists(path):
@@ -99,6 +110,7 @@ class ServiceStore:
                 record = decode_step_line(raw)
                 if record is not None:
                     steps.append(record)
+        self._metrics.counter("repro_store_replays_total").inc()
         return doc, steps
 
     def record(
@@ -129,6 +141,7 @@ class ServiceStore:
             extra["elapsed_s"] = float(elapsed_s)
         self.campaign.record(index, stored, extra=extra)
         self._index[key] = {**cell_doc, "index": index, **extra}
+        self._metrics.counter("repro_store_appends_total").inc()
         return index
 
 

@@ -267,6 +267,13 @@ class StressSuite:
         report = StressReport(
             path=str(self.path), complete=complete, cells=tuple(cells)
         )
+        invalid = sum(1 for cell in cells if not cell.passed)
+        if invalid:
+            from repro.obs.registry import get_registry
+
+            get_registry().counter(
+                "repro_stress_cells_invalid_total"
+            ).inc(invalid)
         (self.path / VALIDATION_NAME).write_text(
             json.dumps(report.to_dict(), indent=2), encoding="utf-8"
         )

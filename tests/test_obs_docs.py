@@ -1,0 +1,58 @@
+"""Lint: the metric catalogue, the code, and the docs must agree.
+
+Two directions, both cheap text scans:
+
+- every ``repro_*`` metric-name literal in ``src/repro/`` is a
+  catalogued metric (no anonymous metrics sneak in), and
+- every catalogued metric appears in ``docs/observability.md`` (no
+  metric ships undocumented).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.obs.catalog import METRICS
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src" / "repro"
+DOC = REPO_ROOT / "docs" / "observability.md"
+
+#: ``repro_``-prefixed identifiers in the source that are not metrics.
+NON_METRIC_NAMES = {
+    "repro_obs_current_span",  # the tracer's contextvar name
+    "repro_version",           # provenance field in stored artifacts
+}
+
+
+def _source_names() -> set[str]:
+    names: set[str] = set()
+    for path in SRC.rglob("*.py"):
+        names.update(re.findall(r"repro_[a-z0-9_]+", path.read_text()))
+    return names - NON_METRIC_NAMES
+
+
+def test_every_source_metric_literal_is_catalogued():
+    unknown = _source_names() - set(METRICS)
+    assert not unknown, (
+        f"metric names used in src/ but missing from the catalogue "
+        f"(repro/obs/catalog.py): {sorted(unknown)}"
+    )
+
+
+def test_every_catalogued_metric_is_documented():
+    doc = DOC.read_text()
+    missing = [name for name in METRICS if f"`{name}`" not in doc]
+    assert not missing, (
+        f"catalogued metrics missing from docs/observability.md: {missing}"
+    )
+
+
+def test_every_catalogued_metric_is_registered_somewhere():
+    names = _source_names()
+    orphans = sorted(set(METRICS) - names)
+    assert not orphans, (
+        f"catalogued metrics never referenced by any instrumentation "
+        f"site: {orphans}"
+    )
