@@ -752,6 +752,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_attempts=args.max_attempts,
         execution=args.execution,
         metrics=args.metrics,
+        history_interval=args.history_interval,
+        alert_rules=args.alert_rules,
     )
 
     def banner(srv) -> None:
@@ -767,6 +769,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
             print(
                 f"telemetry: {srv.url}/metrics  {srv.url}/statusz  "
                 f"console: {srv.url}/console",
+                file=sys.stderr,
+                flush=True,
+            )
+        if srv.alerts is not None and srv.alerts.rules:
+            print(
+                f"alerting: {len(srv.alerts.rules)} rule(s) at "
+                f"{srv.url}/alertz, history at {srv.url}/api/query",
                 file=sys.stderr,
                 flush=True,
             )
@@ -848,8 +857,35 @@ def cmd_jobs(args: argparse.Namespace) -> int:
     return 0
 
 
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def _sparkline(points: list, width: int = 40) -> str:
+    """Unicode sparkline from ``[[t, value-or-None], ...]`` points."""
+    values = [v for _, v in points if v is not None][-width:]
+    if not values:
+        return "(no data)"
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    if span <= 0:
+        return _SPARK_CHARS[0] * len(values) + f"  ({hi:g})"
+    chars = "".join(
+        _SPARK_CHARS[
+            min(
+                int((v - lo) / span * len(_SPARK_CHARS)),
+                len(_SPARK_CHARS) - 1,
+            )
+        ]
+        for v in values
+    )
+    return f"{chars}  ({lo:g}..{hi:g})"
+
+
 def _render_top(
-    doc: dict, prev_steps: float | None, prev_t: float | None
+    doc: dict,
+    prev_steps: float | None,
+    prev_t: float | None,
+    history: dict | None = None,
 ) -> tuple[str, float, float]:
     """One `repro top` frame from a /statusz document."""
     server = doc["server"]
@@ -888,6 +924,36 @@ def _render_top(
         f"flight recorder: {flight.get('events', 0)} events buffered, "
         f"{flight.get('dumps', 0)} crash dumps",
     ]
+    job_seconds = doc.get("job_seconds", {})
+    if job_seconds.get("count"):
+        lines.append(
+            f"job wall time: p50 {job_seconds.get('p50', 0) or 0:.2f}s  "
+            f"p95 {job_seconds.get('p95', 0) or 0:.2f}s  "
+            f"p99 {job_seconds.get('p99', 0) or 0:.2f}s  "
+            f"({job_seconds['count']} jobs)"
+        )
+    alerts = doc.get("alerts", {})
+    if alerts.get("enabled"):
+        firing = [
+            a for a in alerts.get("alerts", []) if a["state"] == "firing"
+        ]
+        if firing:
+            lines.append("")
+            for a in firing:
+                value = a.get("value")
+                shown = f"{value:g}" if value is not None else "?"
+                lines.append(
+                    f"ALERT [{a['severity']}] {a['rule']}: "
+                    f"{a['metric']} {a['op']} {a['threshold']:g} "
+                    f"(value {shown})"
+                )
+        else:
+            lines.append(
+                f"alerts: {len(alerts.get('alerts', []))} rule(s), "
+                "none firing"
+            )
+    for label, points in (history or {}).items():
+        lines.append(f"{label:>12s} {_sparkline(points)}")
     recent = doc.get("jobs", [])[-10:]
     if recent:
         lines.append("")
@@ -913,8 +979,22 @@ def cmd_top(args: argparse.Namespace) -> int:
     try:
         while True:
             doc = client.statusz()
+            history = None
+            if doc.get("history", {}).get("enabled"):
+                history = {}
+                try:
+                    for label, metric, agg in (
+                        ("steps/s", "repro_service_steps_streamed_total",
+                         "rate"),
+                        ("queue", "repro_service_queue_depth", "max"),
+                    ):
+                        history[label] = client.query(
+                            metric, start=-120, step=3, agg=agg
+                        )["points"]
+                except ExaDigiTError:
+                    history = None  # server predates /api/query
             frame, prev_steps, prev_t = _render_top(
-                doc, prev_steps, prev_t
+                doc, prev_steps, prev_t, history
             )
             if not args.once and sys.stdout.isatty():
                 print("\x1b[2J\x1b[H", end="")
@@ -926,6 +1006,49 @@ def cmd_top(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         pass
     return 0
+
+
+def cmd_alerts(args: argparse.Namespace) -> int:
+    """Tabulate a service's alert rules, states, and transitions."""
+    client = _service_client(args)
+    doc = client.alertz()
+    if not doc.get("enabled"):
+        print("alerting disabled (serve with --history-interval > 0)")
+        return 0
+    alerts = doc.get("alerts", [])
+    if not alerts:
+        print("(no alert rules; serve with --alert-rules FILE)")
+        return 0
+    print(
+        f"{'rule':20s} {'state':9s} {'severity':9s} "
+        f"{'value':>10s}  condition"
+    )
+    for a in alerts:
+        value = a.get("value")
+        shown = f"{value:.4g}" if value is not None else "-"
+        print(
+            f"{a['rule']:20s} {a['state']:9s} {a['severity']:9s} "
+            f"{shown:>10s}  {a['agg']}({a['metric']}"
+            f"[{a['window_s']:g}s]) {a['op']} {a['threshold']:g} "
+            f"for {a['for_s']:g}s"
+        )
+    transitions = doc.get("transitions", [])
+    if args.transitions and transitions:
+        print()
+        print("recent transitions:")
+        for t in transitions[-args.transitions:]:
+            value = t.get("value")
+            shown = f"{value:.4g}" if value is not None else "-"
+            print(
+                f"  t={t['t']:.3f}  {t['rule']:20s} -> {t['state']:9s} "
+                f"(value {shown})"
+            )
+    firing = doc.get("firing", 0)
+    print(
+        f"\n{firing} firing / {len(alerts)} rule(s), "
+        f"{doc.get('evaluations', 0)} evaluations"
+    )
+    return 1 if firing and args.fail_on_firing else 0
 
 
 def _build_generator(kind: str, assignments, seed: int):
@@ -1492,6 +1615,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="expose /metrics, /statusz and the /console dashboard "
         "(--no-metrics serves them empty at zero recording cost)",
     )
+    p.add_argument(
+        "--history-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="telemetry-history sampling period feeding /api/query and "
+        "the alert engine (default 1.0; 0 disables retention)",
+    )
+    p.add_argument(
+        "--alert-rules",
+        metavar="FILE",
+        default=None,
+        help="JSON alert-rules file evaluated every sampling tick "
+        "(see docs/observability.md; served at /alertz)",
+    )
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -1587,6 +1725,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="print a single snapshot and exit (no screen clearing)",
     )
     p.set_defaults(func=cmd_top)
+
+    p = sub.add_parser(
+        "alerts",
+        help="show a twin service's alert rules and states (/alertz)",
+    )
+    p.add_argument(
+        "--url",
+        default=DEFAULT_SERVICE_URL,
+        help=f"service base URL (default {DEFAULT_SERVICE_URL})",
+    )
+    p.add_argument(
+        "--transitions",
+        type=int,
+        default=10,
+        metavar="N",
+        help="show the last N state transitions (default 10; 0 hides)",
+    )
+    p.add_argument(
+        "--fail-on-firing",
+        action="store_true",
+        help="exit 1 when any rule is firing (for scripts/CI probes)",
+    )
+    p.set_defaults(func=cmd_alerts)
 
     p = sub.add_parser(
         "workload",

@@ -2,16 +2,28 @@
 
 - :mod:`repro.obs.registry` — process-wide counters/gauges/histograms
   with Prometheus text rendering and a zero-cost null default.
+- :mod:`repro.obs.history` — the MetricsRecorder: bounded multi-tier
+  retention of registry samples with range queries and JSONL segments.
+- :mod:`repro.obs.alerts` — declarative alert rules and the
+  pending → firing → resolved AlertManager state machine.
 - :mod:`repro.obs.trace` — structured spans, JSONL sinks, and the
-  bounded flight recorder the service dumps on worker crash.
+  bounded flight recorder the service dumps on worker crash and
+  health-degraded transitions.
 - :mod:`repro.obs.catalog` — the documented catalogue every registered
   metric name must appear in.
 - :mod:`repro.obs.console` — resolver for the single-file browser
   dashboard served at ``GET /console``.
 """
 
+from repro.obs.alerts import AlertManager, AlertRule, load_rules
 from repro.obs.catalog import METRICS, describe
 from repro.obs.console import load_console_html
+from repro.obs.history import (
+    AGGREGATIONS,
+    DEFAULT_TIERS,
+    MetricsRecorder,
+    read_telemetry_segments,
+)
 from repro.obs.registry import (
     DEFAULT_BUCKETS,
     MetricsRegistry,
@@ -35,6 +47,13 @@ __all__ = [
     "METRICS",
     "describe",
     "load_console_html",
+    "AGGREGATIONS",
+    "DEFAULT_TIERS",
+    "MetricsRecorder",
+    "read_telemetry_segments",
+    "AlertManager",
+    "AlertRule",
+    "load_rules",
     "DEFAULT_BUCKETS",
     "MetricsRegistry",
     "NullRegistry",

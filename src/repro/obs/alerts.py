@@ -1,0 +1,352 @@
+"""Declarative alert rules evaluated against recorded telemetry.
+
+An :class:`AlertRule` names a catalogued metric (histogram series via
+their derived ``_count``/``_sum`` names, labeled children via the
+recorder's ``name{label=value}`` keys), an aggregation over a trailing
+window, a threshold predicate, a ``for_s`` hold duration, and a
+severity.  Rules are plain JSON-round-trippable data::
+
+    {"name": "queue-backlog",
+     "metric": "repro_service_queue_depth",
+     "agg": "max", "window_s": 60, "op": ">", "threshold": 100,
+     "for_s": 120, "severity": "warning"}
+
+The :class:`AlertManager` runs the Prometheus-style state machine per
+rule — ``ok → pending → firing → resolved`` — against a
+:class:`~repro.obs.history.MetricsRecorder`:
+
+- the predicate starts holding → **pending** (breach observed, hold
+  timer running);
+- it holds for ``for_s`` seconds → **firing**;
+- it stops holding while firing → **resolved** (a sticky display state
+  that behaves like ``ok``: a fresh breach moves it back to pending);
+- it stops holding while only pending → back to **ok**.
+
+Every transition is emitted through the tracer (landing in the server's
+:class:`~repro.obs.trace.FlightRecorder`) and kept in a bounded local
+history for ``/alertz``; the ``repro_alerts_firing`` gauge tracks the
+live firing count.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.exceptions import ExaDigiTError
+from repro.obs.catalog import METRICS
+from repro.obs.history import AGGREGATIONS, MetricsRecorder
+from repro.obs.trace import NULL_TRACER
+
+OPS = {
+    ">": lambda v, t: v > t,
+    ">=": lambda v, t: v >= t,
+    "<": lambda v, t: v < t,
+    "<=": lambda v, t: v <= t,
+}
+
+SEVERITIES = ("info", "warning", "critical")
+
+#: Alert states (``resolved`` is ``ok`` that remembers having fired).
+OK, PENDING, FIRING, RESOLVED = "ok", "pending", "firing", "resolved"
+
+
+def _base_metric(metric: str) -> str:
+    """Catalogue base name: strip a label selector and histogram-derived
+    ``_count``/``_sum`` suffixes."""
+    base = metric.split("{", 1)[0]
+    for suffix in ("_count", "_sum"):
+        if base.endswith(suffix):
+            root = base[: -len(suffix)]
+            if METRICS.get(root, {}).get("kind") == "histogram":
+                return root
+    return base
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One declarative SLO rule; validated on construction."""
+
+    name: str
+    metric: str
+    op: str = ">"
+    threshold: float = 0.0
+    agg: str = "last"
+    window_s: float = 60.0
+    for_s: float = 0.0
+    severity: str = "warning"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ExaDigiTError("alert rule needs a name")
+        base = _base_metric(self.metric)
+        entry = METRICS.get(base)
+        if entry is None:
+            raise ExaDigiTError(
+                f"alert rule {self.name!r}: metric {self.metric!r} is not "
+                f"in the catalogue (repro/obs/catalog.py)"
+            )
+        stripped = self.metric.split("{", 1)[0]
+        if entry["kind"] == "histogram" and stripped == base:
+            raise ExaDigiTError(
+                f"alert rule {self.name!r}: {base} is a histogram; alert "
+                f"on its {base}_count or {base}_sum series"
+            )
+        if self.op not in OPS:
+            raise ExaDigiTError(
+                f"alert rule {self.name!r}: op must be one of "
+                f"{tuple(OPS)}, got {self.op!r}"
+            )
+        if self.agg not in AGGREGATIONS:
+            raise ExaDigiTError(
+                f"alert rule {self.name!r}: agg must be one of "
+                f"{AGGREGATIONS}, got {self.agg!r}"
+            )
+        if self.severity not in SEVERITIES:
+            raise ExaDigiTError(
+                f"alert rule {self.name!r}: severity must be one of "
+                f"{SEVERITIES}, got {self.severity!r}"
+            )
+        if self.window_s <= 0:
+            raise ExaDigiTError(
+                f"alert rule {self.name!r}: window_s must be > 0"
+            )
+        if self.for_s < 0:
+            raise ExaDigiTError(
+                f"alert rule {self.name!r}: for_s must be >= 0"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "metric": self.metric,
+            "op": self.op,
+            "threshold": self.threshold,
+            "agg": self.agg,
+            "window_s": self.window_s,
+            "for_s": self.for_s,
+            "severity": self.severity,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "AlertRule":
+        if not isinstance(doc, dict):
+            raise ExaDigiTError(f"alert rule must be an object, got {doc!r}")
+        known = {
+            "name", "metric", "op", "threshold", "agg", "window_s",
+            "for_s", "severity",
+        }
+        unknown = set(doc) - known
+        if unknown:
+            raise ExaDigiTError(
+                f"alert rule {doc.get('name', '?')!r}: unknown keys "
+                f"{sorted(unknown)}"
+            )
+        kwargs = dict(doc)
+        for numeric in ("threshold", "window_s", "for_s"):
+            if numeric in kwargs:
+                kwargs[numeric] = float(kwargs[numeric])
+        return cls(**kwargs)
+
+
+def load_rules(path: str | Path) -> list[AlertRule]:
+    """Parse a rules file: ``{"rules": [...]}`` or a bare JSON list."""
+    path = Path(path)
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ExaDigiTError(f"cannot read alert rules {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ExaDigiTError(f"invalid JSON in {path}: {exc}") from exc
+    if isinstance(doc, dict):
+        doc = doc.get("rules", [])
+    if not isinstance(doc, list):
+        raise ExaDigiTError(f"{path}: expected a list or {{'rules': [...]}}")
+    rules = [AlertRule.from_dict(entry) for entry in doc]
+    names = [r.name for r in rules]
+    if len(set(names)) != len(names):
+        dupes = sorted({n for n in names if names.count(n) > 1})
+        raise ExaDigiTError(f"{path}: duplicate rule names {dupes}")
+    return rules
+
+
+@dataclass
+class _RuleStatus:
+    """Mutable evaluation state for one rule."""
+
+    rule: AlertRule
+    state: str = OK
+    since: float | None = None      # breach start (pending hold timer)
+    fired_at: float | None = None
+    value: float | None = None
+    changed_at: float | None = None
+    transitions: int = 0
+
+    def doc(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule.name,
+            "metric": self.rule.metric,
+            "severity": self.rule.severity,
+            "state": self.state,
+            "value": self.value,
+            "op": self.rule.op,
+            "threshold": self.rule.threshold,
+            "agg": self.rule.agg,
+            "window_s": self.rule.window_s,
+            "for_s": self.rule.for_s,
+            "since": self.since,
+            "fired_at": self.fired_at,
+            "changed_at": self.changed_at,
+            "transitions": self.transitions,
+        }
+
+
+class AlertManager:
+    """Evaluates rules against a recorder; tracks alert state."""
+
+    def __init__(
+        self,
+        rules: list[AlertRule],
+        recorder: MetricsRecorder,
+        *,
+        tracer: Any = None,
+        registry: Any = None,
+        max_transitions: int = 256,
+    ) -> None:
+        names = [r.name for r in rules]
+        if len(set(names)) != len(names):
+            raise ExaDigiTError("duplicate alert rule names")
+        self.recorder = recorder
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._lock = threading.Lock()
+        self._status = {r.name: _RuleStatus(r) for r in rules}
+        self._transitions: deque = deque(maxlen=max_transitions)
+        self.evaluations = 0
+        registry = registry if registry is not None else recorder.registry
+        self._firing_gauge = registry.gauge("repro_alerts_firing")
+
+    @property
+    def rules(self) -> list[AlertRule]:
+        return [s.rule for s in self._status.values()]
+
+    def evaluate(self, now: float | None = None) -> list[dict[str, Any]]:
+        """One evaluation pass; returns the transitions it caused."""
+        if now is None:
+            import time
+
+            now = time.time()
+        emitted: list[dict[str, Any]] = []
+        with self._lock:
+            for status in self._status.values():
+                rule = status.rule
+                value = self.recorder.aggregate(
+                    rule.metric, rule.agg, window_s=rule.window_s, now=now
+                )
+                status.value = value
+                breach = value is not None and OPS[rule.op](
+                    value, rule.threshold
+                )
+                new_state = status.state
+                if status.state in (OK, RESOLVED):
+                    if breach:
+                        status.since = now
+                        new_state = (
+                            FIRING if rule.for_s == 0 else PENDING
+                        )
+                        if new_state == FIRING:
+                            status.fired_at = now
+                elif status.state == PENDING:
+                    if not breach:
+                        new_state = OK
+                        status.since = None
+                    elif now - status.since >= rule.for_s:
+                        new_state = FIRING
+                        status.fired_at = now
+                elif status.state == FIRING:
+                    if not breach:
+                        new_state = RESOLVED
+                        status.since = None
+                if new_state != status.state:
+                    status.state = new_state
+                    status.changed_at = now
+                    status.transitions += 1
+                    doc = {
+                        "t": now,
+                        "rule": rule.name,
+                        "state": new_state,
+                        "severity": rule.severity,
+                        "value": value,
+                        "threshold": rule.threshold,
+                    }
+                    self._transitions.append(doc)
+                    emitted.append(doc)
+            firing = sum(
+                1 for s in self._status.values() if s.state == FIRING
+            )
+            self.evaluations += 1
+        self._firing_gauge.set(firing)
+        for doc in emitted:
+            self.tracer.event(
+                "alert",
+                rule=doc["rule"],
+                state=doc["state"],
+                severity=doc["severity"],
+                value=doc["value"],
+                threshold=doc["threshold"],
+            )
+        return emitted
+
+    # -- introspection -----------------------------------------------------
+
+    def firing(self) -> list[dict[str, Any]]:
+        with self._lock:
+            return [
+                s.doc() for s in self._status.values() if s.state == FIRING
+            ]
+
+    def snapshot(self) -> dict[str, Any]:
+        """The full ``/alertz`` document."""
+        with self._lock:
+            alerts = [s.doc() for s in self._status.values()]
+            transitions = list(self._transitions)
+        return {
+            "enabled": True,
+            "rules": [r.to_dict() for r in self.rules],
+            "alerts": alerts,
+            "firing": sum(1 for a in alerts if a["state"] == FIRING),
+            "evaluations": self.evaluations,
+            "transitions": transitions,
+        }
+
+    def statusz(self) -> dict[str, Any]:
+        """The compact ``/statusz`` alerts section."""
+        with self._lock:
+            alerts = [s.doc() for s in self._status.values()]
+        return {
+            "enabled": True,
+            "firing": sum(1 for a in alerts if a["state"] == FIRING),
+            "alerts": alerts,
+        }
+
+
+def disabled_alerts_statusz() -> dict[str, Any]:
+    """The ``/statusz`` alerts section when no manager is attached."""
+    return {"enabled": False, "firing": 0, "alerts": []}
+
+
+__all__ = [
+    "AlertManager",
+    "AlertRule",
+    "OPS",
+    "SEVERITIES",
+    "OK",
+    "PENDING",
+    "FIRING",
+    "RESOLVED",
+    "disabled_alerts_statusz",
+    "load_rules",
+]

@@ -159,6 +159,15 @@ METRICS: dict[str, dict] = {
         "help": "Event-loop scheduling lag measured by the heartbeat "
                 "probe (0 when responsive).",
     },
+    # -- history / alerting ------------------------------------------------
+    "repro_history_samples_total": {
+        "kind": "counter",
+        "help": "Registry snapshots taken by the MetricsRecorder.",
+    },
+    "repro_alerts_firing": {
+        "kind": "gauge",
+        "help": "Alert rules currently in the firing state.",
+    },
 }
 
 

@@ -1,0 +1,491 @@
+"""Telemetry history: bounded retention + range queries over a registry.
+
+The registry (:mod:`repro.obs.registry`) answers "what is the value
+*now*"; this module answers "what happened over the last hour".  A
+:class:`MetricsRecorder` samples a registry on a fixed interval and
+retains the samples in bounded in-memory rings at three downsampled
+tiers::
+
+    raw   — every sample, (t, value) pairs        (default 10 min @ 1 s)
+    10s   — one aggregate bucket per 10 seconds   (default 2 h)
+    60s   — one aggregate bucket per 60 seconds   (default 24 h)
+
+Each downsampled bucket keeps ``(last, min, max, sum, count)`` so any
+of the supported aggregations can be answered from any tier without
+re-reading raw data.  Range queries pick the coarsest tier that still
+resolves the requested ``step`` and reaches back to ``start``::
+
+    recorder.query("repro_service_queue_depth",
+                   start=-300, step=10, agg="avg")
+
+Aggregations: ``last`` (gauge-style), ``avg``, ``max``, and ``rate``
+(per-second delta across each step window — the counter aggregation).
+
+Series keys are flat strings: an unlabeled metric samples under its
+name; a labeled child under ``name{label=value,...}``; a histogram
+contributes derived ``name_count`` and ``name_sum`` series (from which
+``rate`` gives throughput and mean latency trends).
+
+When given a directory the recorder also persists every sample as a
+JSONL line in rotating segment files (``segment-000001.jsonl`` …),
+bounded in count, so a restarted server can preload recent history.
+
+Everything is stdlib; sampling takes one lock and is cheap enough to
+run from an asyncio task at sub-second intervals (the obs bench guards
+the detached-vs-recording ratio).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.exceptions import ExaDigiTError
+
+#: Supported range-query aggregations.
+AGGREGATIONS = ("last", "avg", "max", "rate")
+
+#: Default retention tiers: (label, bucket period seconds, capacity).
+#: Period 0 marks the raw tier (one entry per sample).
+DEFAULT_TIERS = (
+    ("raw", 0.0, 600),
+    ("10s", 10.0, 720),
+    ("60s", 60.0, 1440),
+)
+
+#: JSONL persistence: lines per segment file / retained segment files.
+SEGMENT_LINES = 512
+SEGMENT_KEEP = 16
+
+
+def _series_key(name: str, labelnames: tuple, key: tuple) -> str:
+    if not key:
+        return name
+    inner = ",".join(f"{n}={v}" for n, v in zip(labelnames, key))
+    return f"{name}{{{inner}}}"
+
+
+class _Bucket:
+    """One downsampled aggregate bucket."""
+
+    __slots__ = ("start", "t", "last", "min", "max", "sum", "count")
+
+    def __init__(self, start: float, t: float, value: float) -> None:
+        self.start = start
+        self.t = t
+        self.last = value
+        self.min = value
+        self.max = value
+        self.sum = value
+        self.count = 1
+
+    def add(self, t: float, value: float) -> None:
+        self.t = t
+        self.last = value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.sum += value
+        self.count += 1
+
+
+class MetricsRecorder:
+    """Samples a registry into bounded multi-tier rings; answers queries.
+
+    Time never comes from the wall clock implicitly during tests: every
+    entry point takes an explicit ``now=`` (falling back to
+    ``time.time()``), so retention and query behaviour is fully
+    deterministic under test.
+    """
+
+    def __init__(
+        self,
+        registry: Any,
+        *,
+        interval_s: float = 1.0,
+        tiers: tuple = DEFAULT_TIERS,
+        persist_dir: str | Path | None = None,
+        segment_lines: int = SEGMENT_LINES,
+        segment_keep: int = SEGMENT_KEEP,
+        preload: bool = True,
+    ) -> None:
+        if interval_s <= 0:
+            raise ExaDigiTError("history interval_s must be > 0")
+        self.registry = registry
+        self.interval_s = float(interval_s)
+        self.tiers = tuple(tiers)
+        if not self.tiers or self.tiers[0][1] != 0.0:
+            raise ExaDigiTError("tiers must start with the raw tier (period 0)")
+        self.samples_total = 0
+        self._lock = threading.Lock()
+        # series key -> [deque per tier]; raw entries are (t, value)
+        # tuples, downsampled entries are _Bucket objects.
+        self._series: dict[str, list[deque]] = {}
+        self._last_sample_t: float | None = None
+        self._samples_counter = registry.counter("repro_history_samples_total")
+        # -- persistence ---------------------------------------------------
+        self.persist_dir = Path(persist_dir) if persist_dir else None
+        self.segment_lines = int(segment_lines)
+        self.segment_keep = int(segment_keep)
+        self._segment_index = 0
+        self._segment_count = 0
+        self._segment_file = None
+        if self.persist_dir is not None:
+            self.persist_dir.mkdir(parents=True, exist_ok=True)
+            existing = sorted(self.persist_dir.glob("segment-*.jsonl"))
+            if existing:
+                self._segment_index = int(existing[-1].stem.split("-")[1])
+                if preload:
+                    self._preload(existing)
+
+    # -- sampling ----------------------------------------------------------
+
+    def _collect(self) -> dict[str, float]:
+        """Flatten the registry's current state into series values."""
+        out: dict[str, float] = {}
+        for fam in self.registry.families():
+            for key, child in fam.samples():
+                if fam.kind == "histogram":
+                    out[_series_key(
+                        fam.name + "_count", fam.labelnames, key
+                    )] = float(child.count)
+                    out[_series_key(
+                        fam.name + "_sum", fam.labelnames, key
+                    )] = float(child.sum)
+                else:
+                    out[_series_key(fam.name, fam.labelnames, key)] = float(
+                        child.get()
+                    )
+        return out
+
+    def sample(self, now: float | None = None) -> int:
+        """Take one sample of every series; returns the series count."""
+        if now is None:
+            import time
+
+            now = time.time()
+        values = self._collect()
+        with self._lock:
+            self._ingest(now, values)
+            if self.persist_dir is not None:
+                self._persist(now, values)
+        self.samples_total += 1
+        self._samples_counter.inc()
+        return len(values)
+
+    def _ingest(self, now: float, values: dict[str, float]) -> None:
+        self._last_sample_t = now
+        for name, value in values.items():
+            rings = self._series.get(name)
+            if rings is None:
+                rings = self._series[name] = [
+                    deque(maxlen=cap) for _, _, cap in self.tiers
+                ]
+            rings[0].append((now, value))
+            for i, (_, period, _) in enumerate(self.tiers):
+                if period <= 0:
+                    continue
+                start = (now // period) * period
+                ring = rings[i]
+                if ring and ring[-1].start == start:
+                    ring[-1].add(now, value)
+                else:
+                    ring.append(_Bucket(start, now, value))
+
+    # -- persistence -------------------------------------------------------
+
+    def _persist(self, now: float, values: dict[str, float]) -> None:
+        try:
+            if (
+                self._segment_file is None
+                or self._segment_count >= self.segment_lines
+            ):
+                self._rotate()
+            self._segment_file.write(
+                json.dumps({"t": now, "v": values}) + "\n"
+            )
+            self._segment_file.flush()
+            self._segment_count += 1
+        except OSError:
+            # Persistence is best effort: a torn store must not take the
+            # in-memory history (or the server) down with it.
+            self._segment_file = None
+
+    def _rotate(self) -> None:
+        if self._segment_file is not None:
+            self._segment_file.close()
+        self._segment_index += 1
+        path = self.persist_dir / f"segment-{self._segment_index:06d}.jsonl"
+        self.persist_dir.mkdir(parents=True, exist_ok=True)
+        self._segment_file = path.open("w", encoding="utf-8")
+        self._segment_count = 0
+        segments = sorted(self.persist_dir.glob("segment-*.jsonl"))
+        for stale in segments[: max(0, len(segments) - self.segment_keep)]:
+            try:
+                stale.unlink()
+            except OSError:
+                pass
+
+    def _preload(self, segments: list[Path]) -> None:
+        for doc in read_telemetry_segments(segments):
+            try:
+                self._ingest(float(doc["t"]), doc["v"])
+            except (KeyError, TypeError, ValueError):
+                continue
+
+    def close(self) -> None:
+        with self._lock:
+            if self._segment_file is not None:
+                self._segment_file.close()
+                self._segment_file = None
+
+    # -- queries -----------------------------------------------------------
+
+    def series_names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._series)
+
+    def latest(self, metric: str) -> float | None:
+        """The most recent raw sample of ``metric`` (None if unseen)."""
+        with self._lock:
+            rings = self._series.get(metric)
+            if not rings or not rings[0]:
+                return None
+            return rings[0][-1][1]
+
+    def _pick_tier(self, rings: list[deque], start: float, step: float) -> int:
+        """Coarsest tier resolving ``step`` that reaches back to ``start``
+        (falling back to whichever candidate reaches farthest back)."""
+        candidates = [
+            i
+            for i, (_, period, _) in enumerate(self.tiers)
+            if period <= 0 or period <= step
+        ]
+        best = candidates[0]
+        best_oldest = None
+        for i in reversed(candidates):
+            ring = rings[i]
+            if not ring:
+                continue
+            entry = ring[0]
+            oldest = entry[0] if i == 0 else entry.start
+            if oldest <= start:
+                return i
+            if best_oldest is None or oldest < best_oldest:
+                best, best_oldest = i, oldest
+        return best
+
+    def query(
+        self,
+        metric: str,
+        *,
+        start: float | None = None,
+        end: float | None = None,
+        step: float | None = None,
+        agg: str = "last",
+        now: float | None = None,
+    ) -> dict[str, Any]:
+        """Range query: ``agg`` of ``metric`` per ``step`` window.
+
+        ``start``/``end`` are epoch seconds; non-positive values are
+        relative to ``now`` (so ``start=-300`` means "the last five
+        minutes").  Windows with no samples yield ``None`` points.
+        ``rate`` is the per-second delta across each window (clamped at
+        zero, so counter resets read as silence, not negative spikes).
+        """
+        if agg not in AGGREGATIONS:
+            raise ExaDigiTError(
+                f"unknown agg {agg!r}; expected one of {AGGREGATIONS}"
+            )
+        if now is None:
+            import time
+
+            now = self._last_sample_t if self._last_sample_t else time.time()
+        end = now + end if end is not None and end <= 0 else end
+        if end is None:
+            end = now
+        start = end + start if start is not None and start <= 0 else start
+        if start is None:
+            start = end - 300.0
+        if step is None or step <= 0:
+            step = max((end - start) / 120.0, self.interval_s)
+        if end <= start:
+            raise ExaDigiTError("query needs end > start")
+        n = min(int((end - start) / step + 0.999999), 10_000)
+        with self._lock:
+            rings = self._series.get(metric)
+            if not rings:
+                return {
+                    "metric": metric, "agg": agg, "start": start,
+                    "end": end, "step": step, "tier": None, "points": [],
+                }
+            tier_i = self._pick_tier(rings, start, step)
+            entries = list(rings[tier_i])
+        tier_label, period, _ = self.tiers[tier_i]
+        # Normalize both tiers to (t, last, min, max, sum, count) rows.
+        if tier_i == 0:
+            rows = [(t, v, v, v, v, 1) for t, v in entries]
+        else:
+            rows = [
+                (b.t, b.last, b.min, b.max, b.sum, b.count) for b in entries
+            ]
+        points: list[list] = []
+        row_i = 0
+        # Last value *before* the first window, for the first rate delta.
+        prev_t: float | None = None
+        prev_last: float | None = None
+        while row_i < len(rows) and rows[row_i][0] < start:
+            prev_t, prev_last = rows[row_i][0], rows[row_i][1]
+            row_i += 1
+        for w in range(n):
+            w_start = start + w * step
+            w_end = min(w_start + step, end + 1e-9)
+            w_rows = []
+            while row_i < len(rows) and rows[row_i][0] < w_end:
+                if rows[row_i][0] >= w_start:
+                    w_rows.append(rows[row_i])
+                row_i += 1
+            value: float | None = None
+            if w_rows:
+                if agg == "last":
+                    value = w_rows[-1][1]
+                elif agg == "avg":
+                    total = sum(r[4] for r in w_rows)
+                    count = sum(r[5] for r in w_rows)
+                    value = total / count if count else None
+                elif agg == "max":
+                    value = max(r[3] for r in w_rows)
+                elif agg == "rate":
+                    t1, v1 = w_rows[-1][0], w_rows[-1][1]
+                    if prev_last is not None and t1 > prev_t:
+                        value = max(0.0, (v1 - prev_last) / (t1 - prev_t))
+                    elif len(w_rows) > 1:
+                        t0, v0 = w_rows[0][0], w_rows[0][1]
+                        if t1 > t0:
+                            value = max(0.0, (v1 - v0) / (t1 - t0))
+                prev_t, prev_last = w_rows[-1][0], w_rows[-1][1]
+            points.append([round(w_start, 3), value])
+        return {
+            "metric": metric,
+            "agg": agg,
+            "start": start,
+            "end": end,
+            "step": step,
+            "tier": tier_label,
+            "points": points,
+        }
+
+    def aggregate(
+        self,
+        metric: str,
+        agg: str = "last",
+        *,
+        window_s: float = 60.0,
+        now: float | None = None,
+    ) -> float | None:
+        """One aggregated value over the trailing ``window_s`` — the
+        single-window form of :meth:`query`, used by alert rules."""
+        if now is None:
+            now = self._last_sample_t
+        if now is None:
+            return None
+        doc = self.query(
+            metric,
+            start=now - window_s,
+            end=now + 1e-6,
+            step=window_s + 2e-6,
+            agg=agg,
+            now=now,
+        )
+        for _, value in reversed(doc["points"]):
+            if value is not None:
+                return value
+        return None
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """Summary for ``/statusz``: sizes, coverage, segment count."""
+        with self._lock:
+            series = len(self._series)
+            tiers = []
+            for i, (label, period, cap) in enumerate(self.tiers):
+                entries = sum(len(r[i]) for r in self._series.values())
+                oldest = None
+                for rings in self._series.values():
+                    ring = rings[i]
+                    if ring:
+                        t = ring[0][0] if i == 0 else ring[0].start
+                        oldest = t if oldest is None else min(oldest, t)
+                tiers.append(
+                    {
+                        "tier": label,
+                        "period_s": period,
+                        "capacity": cap,
+                        "entries": entries,
+                        "oldest": oldest,
+                    }
+                )
+        segments = 0
+        if self.persist_dir is not None:
+            try:
+                segments = len(list(self.persist_dir.glob("segment-*.jsonl")))
+            except OSError:
+                segments = 0
+        return {
+            "enabled": True,
+            "interval_s": self.interval_s,
+            "samples": self.samples_total,
+            "series": series,
+            "tiers": tiers,
+            "segments": segments,
+        }
+
+
+def disabled_history_stats() -> dict[str, Any]:
+    """The ``/statusz`` history section when no recorder is attached —
+    same keys as :meth:`MetricsRecorder.stats` so consumers never branch
+    on shape."""
+    return {
+        "enabled": False,
+        "interval_s": 0.0,
+        "samples": 0,
+        "series": 0,
+        "tiers": [],
+        "segments": 0,
+    }
+
+
+def read_telemetry_segments(
+    segments: list[Path] | None = None, *, directory: str | Path | None = None
+) -> Iterator[dict]:
+    """Yield persisted sample docs ``{"t": ..., "v": {...}}`` in order."""
+    if segments is None:
+        if directory is None:
+            raise ExaDigiTError("need segments or directory")
+        segments = sorted(Path(directory).glob("segment-*.jsonl"))
+    for path in segments:
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            continue
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError:
+                continue
+
+
+__all__ = [
+    "AGGREGATIONS",
+    "DEFAULT_TIERS",
+    "MetricsRecorder",
+    "disabled_history_stats",
+    "read_telemetry_segments",
+]

@@ -153,6 +153,35 @@ class Histogram:
         out.append((float("inf"), self.count))
         return out
 
+    def quantile(self, q: float) -> float | None:
+        """Estimated ``q``-quantile, linearly interpolated within the
+        bucket that crosses rank ``q * count`` (the Prometheus
+        ``histogram_quantile`` estimator).
+
+        Observations in the ``+Inf`` tail clamp to the highest finite
+        bucket bound; returns ``None`` while the histogram is empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ExaDigiTError(f"quantile q must be in [0, 1], got {q}")
+        if self.count == 0:
+            return None
+        rank = q * self.count
+        cumulative = self.cumulative()
+        prev_le, prev_cum = 0.0, 0
+        for le, cum in cumulative:
+            if cum >= rank:
+                if le == float("inf"):
+                    # Everything above the last finite bound clamps
+                    # there (no upper edge to interpolate toward).
+                    return self.buckets[-1] if self.buckets else None
+                in_bucket = cum - prev_cum
+                if in_bucket <= 0:
+                    return le
+                frac = (rank - prev_cum) / in_bucket
+                return prev_le + (le - prev_le) * frac
+            prev_le, prev_cum = le, cum
+        return self.buckets[-1] if self.buckets else None
+
     def reset(self) -> None:
         self.counts = [0] * (len(self.buckets) + 1)
         self.sum = 0.0
@@ -256,6 +285,17 @@ class MetricFamily:
     def get(self, **labelvalues: str) -> float:
         child = self.labels(**labelvalues) if labelvalues else self._default()
         return child.get()
+
+    def child(self, **labelvalues: str) -> Any:
+        """The underlying child metric (default child when unlabeled)."""
+        return self.labels(**labelvalues) if labelvalues else self._default()
+
+    def quantile(self, q: float, **labelvalues: str) -> float | None:
+        """Histogram quantile of one child (None for empty histograms)."""
+        if self.kind != "histogram":
+            raise ExaDigiTError(f"{self.name} is a {self.kind}, not a "
+                                "histogram")
+        return self.child(**labelvalues).quantile(q)
 
     # -- iteration ---------------------------------------------------------
 
@@ -450,6 +490,12 @@ class _NullMetric:
 
     def get(self, **labelvalues: str) -> float:
         return 0.0
+
+    def child(self, **labelvalues: str) -> "_NullMetric":
+        return self
+
+    def quantile(self, q: float, **labelvalues: str) -> None:
+        return None
 
 
 NULL_METRIC = _NullMetric()

@@ -22,7 +22,7 @@ import json
 import os
 import socket
 from typing import Any, Iterator
-from urllib.parse import urlsplit
+from urllib.parse import urlencode, urlsplit
 
 from repro.exceptions import ExaDigiTError
 from repro.scenarios.base import Scenario
@@ -112,6 +112,33 @@ class TwinClient:
     def console_html(self) -> str:
         """The ops console page (``GET /console``)."""
         return self._request_text("GET", "/console")
+
+    def alertz(self) -> dict[str, Any]:
+        """Alert rules, states, and recent transitions (``GET /alertz``)."""
+        return self._request("GET", "/alertz")
+
+    def query(
+        self,
+        metric: str,
+        *,
+        start: float | None = None,
+        end: float | None = None,
+        step: float | None = None,
+        agg: str = "last",
+    ) -> dict[str, Any]:
+        """Range-query recorded telemetry (``GET /api/query``).
+
+        Non-positive ``start``/``end`` are relative to now, so
+        ``query(m, start=-300, step=10, agg="rate")`` is "the last five
+        minutes at 10 s resolution".  Returns the server's document:
+        ``{"metric", "agg", "start", "end", "step", "tier", "points"}``
+        where ``points`` is ``[[t, value-or-null], ...]``.
+        """
+        params = [("metric", metric), ("agg", agg)]
+        for key, value in (("start", start), ("end", end), ("step", step)):
+            if value is not None:
+                params.append((key, repr(float(value))))
+        return self._request("GET", f"/api/query?{urlencode(params)}")
 
     def submit(
         self,

@@ -16,9 +16,16 @@ HTTP surface (all JSON)::
     GET  /metrics             Prometheus text exposition of the server's
                               MetricsRegistry (scrape endpoint)
     GET  /statusz             full JSON ops snapshot: health, job
-                              summaries, metrics, flight recorder
+                              summaries, metrics, history, alerts,
+                              flight recorder
     GET  /console             the single-file browser ops console
                               (docs/console.html; text/html)
+    GET  /api/query           range query over recorded telemetry:
+                              ?metric=&start=&end=&step=&agg=
+                              (agg in last/avg/max/rate; non-positive
+                              start/end are relative to now)
+    GET  /alertz              alert rules, per-rule state, and recent
+                              pending/firing/resolved transitions
     POST /jobs                submit {"scenario": {...}} or a bare
                               scenario document; sweeps expand into one
                               job per cell; returns {"jobs": [...]}
@@ -57,10 +64,18 @@ import threading
 import time
 from pathlib import Path
 from typing import Any, Awaitable, Callable
+from urllib.parse import parse_qs, urlsplit
 
 from repro.config.schema import SystemSpec
 from repro.exceptions import ExaDigiTError, ScenarioError
+from repro.obs.alerts import (
+    AlertManager,
+    AlertRule,
+    disabled_alerts_statusz,
+    load_rules,
+)
 from repro.obs.console import load_console_html
+from repro.obs.history import MetricsRecorder, disabled_history_stats
 from repro.obs.registry import (
     MetricsRegistry,
     NULL_REGISTRY,
@@ -143,7 +158,21 @@ class TwinServer:
     flight_capacity:
         Ring-buffer size of the :class:`~repro.obs.trace.FlightRecorder`
         holding the most recent job spans and worker events; the buffer
-        is dumped to ``<store>/flight/`` whenever a worker dies.
+        is dumped to ``<store>/flight/`` whenever a worker dies or a
+        health check flips healthy→degraded.
+    history_interval:
+        Sampling period (seconds) of the
+        :class:`~repro.obs.history.MetricsRecorder` background task
+        feeding ``GET /api/query`` and the alert engine; ``0`` (or
+        ``metrics=False``) disables retention entirely.  With a store,
+        samples also persist as JSONL segments under
+        ``<store>/telemetry/``.
+    alert_rules:
+        Optional alert rules — a rules-file path, or a list of
+        :class:`~repro.obs.alerts.AlertRule` / rule dicts — evaluated
+        every sampling tick by an
+        :class:`~repro.obs.alerts.AlertManager` (``GET /alertz``).
+        Requires history to be enabled.
     """
 
     def __init__(
@@ -165,6 +194,8 @@ class TwinServer:
         execution: str = "processes",
         metrics: bool | MetricsRegistry | NullRegistry = True,
         flight_capacity: int = 512,
+        history_interval: float = 1.0,
+        alert_rules: str | Path | list | None = None,
     ) -> None:
         if fidelity not in FIDELITIES:
             raise ExaDigiTError(
@@ -199,6 +230,36 @@ class TwinServer:
             if store is not None
             else None
         )
+        self.history_interval = float(history_interval or 0.0)
+        self.history: MetricsRecorder | None = None
+        self.alerts: AlertManager | None = None
+        if self.metrics.enabled and self.history_interval > 0:
+            self.history = MetricsRecorder(
+                self.metrics,
+                interval_s=self.history_interval,
+                persist_dir=(
+                    self.store.path / "telemetry"
+                    if self.store is not None
+                    else None
+                ),
+            )
+        rules = self._resolve_alert_rules(alert_rules)
+        if rules and self.history is None:
+            raise ExaDigiTError(
+                "alert rules need recorded history: enable metrics and "
+                "a history_interval > 0"
+            )
+        if self.history is not None:
+            self.alerts = AlertManager(
+                rules,
+                self.history,
+                tracer=self.tracer,
+                registry=self.metrics,
+            )
+        #: Last observed ok/degraded per named health check, for the
+        #: healthy→degraded flight-dump trigger.
+        self._check_ok: dict[str, bool] = {}
+        self._history_task: asyncio.Task | None = None
         self._surrogate_doc = self._resolve_surrogates(surrogates)
         self.jobs: dict[str, JobRecord] = {}
         self._job_order: list[str] = []
@@ -307,6 +368,39 @@ class TwinServer:
             self._last_beat = loop.time()
             await asyncio.sleep(self._hb_interval_s)
 
+    def _resolve_alert_rules(self, alert_rules) -> list[AlertRule]:
+        if alert_rules is None:
+            return []
+        if isinstance(alert_rules, (str, Path)):
+            return load_rules(alert_rules)
+        return [
+            entry
+            if isinstance(entry, AlertRule)
+            else AlertRule.from_dict(entry)
+            for entry in alert_rules
+        ]
+
+    async def _history_loop(self) -> None:
+        """Background sampler: record telemetry, evaluate alerts, and
+        keep the degradable health probes observed even when nobody
+        polls ``/healthz``."""
+        while True:
+            await asyncio.sleep(self.history.interval_s)
+            try:
+                self._history_tick()
+            except Exception as exc:  # noqa: BLE001 - a recorder bug
+                # must not kill the sampler; leave a trace instead.
+                self.tracer.event(
+                    "history-tick-error", error=f"{type(exc).__name__}: {exc}"
+                )
+
+    def _history_tick(self, now: float | None = None) -> None:
+        """One sampler tick (separated from the loop for tests)."""
+        self.history.sample(now)
+        if self.alerts is not None:
+            self.alerts.evaluate(now)
+        self._health_checks()
+
     def _resolve_surrogates(self, surrogates) -> dict | None:
         if surrogates is None:
             return None
@@ -333,6 +427,8 @@ class TwinServer:
         )
         self.port = self._server.sockets[0].getsockname()[1]
         self._heartbeat_task = asyncio.ensure_future(self._heartbeat())
+        if self.history is not None:
+            self._history_task = asyncio.ensure_future(self._history_loop())
         # Adopt this server's registry process-wide (when none is
         # installed) so in-process engine/batch/campaign counters from
         # batched execution land on the same /metrics page.
@@ -352,6 +448,13 @@ class TwinServer:
             with contextlib.suppress(asyncio.CancelledError):
                 await self._heartbeat_task
             self._heartbeat_task = None
+        if self._history_task is not None:
+            self._history_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._history_task
+            self._history_task = None
+        if self.history is not None:
+            self.history.close()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -918,6 +1021,12 @@ class TwinServer:
                 "text/html; charset=utf-8",
             )
             return
+        if method == "GET" and path == "/api/query":
+            await self._api_query(target, writer)
+            return
+        if method == "GET" and path == "/alertz":
+            await _respond(writer, 200, self._alertz_doc())
+            return
         if method == "POST" and path == "/jobs":
             await self._post_jobs(body, writer)
             return
@@ -973,6 +1082,52 @@ class TwinServer:
             writer, 404, {"error": f"no route {method} {path}"}
         )
 
+    async def _api_query(
+        self, target: str, writer: asyncio.StreamWriter
+    ) -> None:
+        """``GET /api/query?metric=&start=&end=&step=&agg=``."""
+        if self.history is None:
+            await _respond(
+                writer,
+                400,
+                {
+                    "error": "telemetry history is disabled (serve with "
+                    "metrics on and history_interval > 0)"
+                },
+            )
+            return
+        params = {
+            k: v[-1] for k, v in parse_qs(urlsplit(target).query).items()
+        }
+        metric = params.get("metric")
+        if not metric:
+            await _respond(writer, 400, {"error": "missing ?metric="})
+            return
+        try:
+            kwargs: dict[str, float] = {}
+            for key in ("start", "end", "step"):
+                if key in params:
+                    kwargs[key] = float(params[key])
+            doc = self.history.query(
+                metric, agg=params.get("agg", "last"), **kwargs
+            )
+        except (ValueError, ExaDigiTError) as exc:
+            await _respond(writer, 400, {"error": str(exc)})
+            return
+        await _respond(writer, 200, doc)
+
+    def _alertz_doc(self) -> dict[str, Any]:
+        if self.alerts is None:
+            return {
+                "enabled": False,
+                "rules": [],
+                "alerts": [],
+                "firing": 0,
+                "evaluations": 0,
+                "transitions": [],
+            }
+        return self.alerts.snapshot()
+
     def _store_writable(self) -> tuple[bool, str | None]:
         """Probe the store directory with an actual write.
 
@@ -1015,7 +1170,31 @@ class TwinServer:
             if error is not None:
                 store_check["error"] = error
             checks["store"] = store_check
+        self._note_health_transitions(checks)
         return checks
+
+    def _note_health_transitions(self, checks: dict[str, Any]) -> None:
+        """Dump the flight recorder when any named check degrades.
+
+        A healthy→degraded flip is a post-mortem moment exactly like a
+        worker death: whatever the ring saw leading up to it goes to
+        disk before it scrolls away.  The first observation of a check
+        sets its baseline without triggering (a server that *boots*
+        degraded has no transition to dump).
+        """
+        for name, check in checks.items():
+            ok = bool(check["ok"])
+            was = self._check_ok.get(name, ok)
+            if was and not ok:
+                self.tracer.event(
+                    "health-degraded",
+                    check=name,
+                    detail={k: v for k, v in check.items() if k != "ok"},
+                )
+                self._dump_flight(f"degraded-{name}")
+            elif ok and not was:
+                self.tracer.event("health-recovered", check=name)
+            self._check_ok[name] = ok
 
     def _health_doc(self) -> dict[str, Any]:
         checks = self._health_checks()
@@ -1054,6 +1233,16 @@ class TwinServer:
             }
         return doc
 
+    def _job_seconds_doc(self) -> dict[str, Any]:
+        """Job wall-time percentiles from the job-seconds histogram."""
+        hist = self._m_job_seconds.child()
+        count = int(getattr(hist, "count", 0) or 0)
+        doc: dict[str, Any] = {"count": count}
+        for label, q in (("p50", 0.5), ("p95", 0.95), ("p99", 0.99)):
+            value = hist.quantile(q) if count else None
+            doc[label] = round(value, 4) if value is not None else None
+        return doc
+
     def _statusz_doc(self, *, max_jobs: int = 256) -> dict[str, Any]:
         """The JSON ops snapshot behind /statusz (and `repro top`)."""
         recent = self._job_order[-max_jobs:]
@@ -1064,6 +1253,17 @@ class TwinServer:
             "jobs_total": len(self._job_order),
             "jobs": [self.jobs[jid].summary() for jid in recent],
             "metrics": self.metrics.snapshot(),
+            "history": (
+                self.history.stats()
+                if self.history is not None
+                else disabled_history_stats()
+            ),
+            "alerts": (
+                self.alerts.statusz()
+                if self.alerts is not None
+                else disabled_alerts_statusz()
+            ),
+            "job_seconds": self._job_seconds_doc(),
             "flight": {
                 "capacity": self.flight.capacity,
                 "events": len(self.flight),

@@ -1,0 +1,238 @@
+"""End-to-end tests of telemetry history + alerting on a live server.
+
+The acceptance path: boot a twin server with a rules file, run a job,
+watch a rule walk pending → firing → resolved through ``/alertz``,
+range-query the same window at two steps/aggregations through
+``/api/query``, and prove the recorder changes nothing about the
+numerics (recording vs detached step streams are bit-identical).
+Also covers the degraded-health flight dump and the ``repro alerts`` /
+``repro top`` CLI surfaces.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import time
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.exceptions import ExaDigiTError
+from repro.scenarios import DigitalTwin, SyntheticScenario
+from repro.service import TwinClient, TwinServer
+from repro.viz.export import step_record
+
+from tests.conftest import assert_bitidentical, make_small_spec
+
+#: Long enough (~ seconds of wall time) for the sampler to see it running.
+COUPLED_JOB = SyntheticScenario(duration_s=12 * 3600.0, with_cooling=True)
+SHORT_JOB = SyntheticScenario(duration_s=600.0, with_cooling=False, seed=3)
+
+RULES = [
+    # Breaches while a job runs; resolves when the queue drains.
+    {"name": "jobs-running", "metric": "repro_service_jobs_running",
+     "op": ">", "threshold": 0.0, "agg": "last", "window_s": 5.0,
+     "for_s": 0.2, "severity": "critical"},
+    # Always true once sampled: exercises for_s=0 and --fail-on-firing.
+    {"name": "workers-alive", "metric": "repro_service_workers_alive",
+     "op": ">=", "threshold": 1.0, "agg": "max", "window_s": 5.0,
+     "for_s": 0.0, "severity": "info"},
+    # Never true: must sit in "ok" forever.
+    {"name": "never", "metric": "repro_service_queue_depth",
+     "op": ">", "threshold": 1e9, "agg": "max", "window_s": 5.0,
+     "for_s": 0.0, "severity": "warning"},
+]
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return make_small_spec()
+
+
+@pytest.fixture(scope="module")
+def alert_server(spec, tmp_path_factory):
+    root = tmp_path_factory.mktemp("obs-alerting")
+    rules_path = root / "rules.json"
+    rules_path.write_text(json.dumps({"rules": RULES}), encoding="utf-8")
+    with TwinServer(
+        spec,
+        workers=1,
+        store=root / "store",
+        history_interval=0.05,
+        alert_rules=rules_path,
+    ) as srv:
+        yield srv
+
+
+@pytest.fixture(scope="module")
+def client(alert_server):
+    return TwinClient(alert_server.url)
+
+
+def _alert_state(doc, rule):
+    return next(a["state"] for a in doc["alerts"] if a["rule"] == rule)
+
+
+def test_alert_lifecycle_and_query_end_to_end(alert_server, client):
+    doc = client.alertz()
+    assert doc["enabled"] is True
+    assert [r["name"] for r in doc["rules"]] == [
+        "jobs-running", "workers-alive", "never"
+    ]
+    job = client.submit(COUPLED_JOB, use_cache=False)
+    seen = set()
+    deadline = time.time() + 60.0
+    while time.time() < deadline:
+        doc = client.alertz()
+        seen.add(_alert_state(doc, "jobs-running"))
+        if _alert_state(doc, "jobs-running") == "resolved":
+            break
+        time.sleep(0.02)
+    assert _alert_state(doc, "jobs-running") == "resolved"
+    assert "firing" in seen  # observed live, not just in the log
+    # The transition log carries the full walk, in order.
+    walk = [t["state"] for t in doc["transitions"]
+            if t["rule"] == "jobs-running"]
+    assert walk == ["pending", "firing", "resolved"]
+    assert _alert_state(doc, "workers-alive") == "firing"  # for_s=0
+    assert _alert_state(doc, "never") == "ok"
+    assert doc["firing"] == 1
+    assert client.job(job["id"])["state"] == "done"
+
+    # -- /api/query: the same window at two steps and aggregations ------------
+    rate = client.query(
+        "repro_service_steps_streamed_total", start=-20, step=1.0, agg="rate"
+    )
+    last = client.query(
+        "repro_service_steps_streamed_total", start=-20, step=5.0, agg="last"
+    )
+    assert rate["start"] == last["start"] and rate["end"] == last["end"]
+    assert rate["agg"] == "rate" and last["agg"] == "last"
+    assert len(rate["points"]) == 20 and len(last["points"]) == 4
+    rates = [v for _, v in rate["points"] if v is not None]
+    assert rates and all(v >= 0.0 for v in rates)
+    streamed = [v for _, v in last["points"] if v is not None]
+    total = alert_server.metrics.value("repro_service_steps_streamed_total")
+    # The last sampled value may trail the live counter by one tick.
+    assert streamed == sorted(streamed)
+    assert 0.0 < streamed[-1] <= total
+
+    # -- /statusz: history, alerts, and job wall-time percentiles --------------
+    statusz = client.statusz()
+    hist = statusz["history"]
+    assert hist["enabled"] and hist["samples"] > 0 and hist["series"] > 0
+    assert [t["tier"] for t in hist["tiers"]] == ["raw", "10s", "60s"]
+    assert statusz["alerts"]["enabled"]
+    assert statusz["alerts"]["firing"] == 1
+    pct = statusz["job_seconds"]
+    assert pct["count"] >= 1
+    assert pct["p50"] is not None and pct["p50"] <= pct["p95"] <= pct["p99"]
+    # Samples persisted to the store as JSONL segments.
+    assert hist["segments"] >= 1
+    tdir = alert_server.store.path / "telemetry"
+    assert sorted(tdir.glob("segment-*.jsonl"))
+    # Alert transitions landed in the flight recorder via the tracer.
+    alert_events = [
+        d for d in alert_server.flight.events() if d.get("name") == "alert"
+    ]
+    assert {e["state"] for e in alert_events} >= {
+        "pending", "firing", "resolved"
+    }
+
+
+def test_recording_server_streams_bit_identical_steps(spec, tmp_path):
+    reference = [
+        step_record(s) for s in SHORT_JOB.iter_steps(DigitalTwin(spec))
+    ]
+    with TwinServer(
+        spec, workers=1, store=tmp_path / "rec", history_interval=0.01
+    ) as srv:
+        client = TwinClient(srv.url)
+        job = client.submit(SHORT_JOB, use_cache=False)
+        recorded = client.steps(job["id"])
+        assert srv.history is not None and srv.history.samples_total > 0
+    with TwinServer(spec, workers=1, history_interval=0.0) as srv:
+        client = TwinClient(srv.url)
+        job = client.submit(SHORT_JOB, use_cache=False)
+        detached = client.steps(job["id"])
+        assert srv.history is None
+    assert_bitidentical(recorded, reference, label="recording server")
+    assert_bitidentical(detached, reference, label="detached server")
+
+
+def test_history_disabled_surfaces(spec, tmp_path):
+    # Rules without history are a configuration error, loudly.
+    with pytest.raises(ExaDigiTError):
+        TwinServer(
+            spec, workers=1, history_interval=0.0,
+            alert_rules=[RULES[2]],
+        )
+    with TwinServer(spec, workers=1, history_interval=0.0) as srv:
+        client = TwinClient(srv.url)
+        with pytest.raises(ExaDigiTError, match="disabled"):
+            client.query("repro_service_queue_depth")
+        doc = client.alertz()
+        assert doc["enabled"] is False and doc["rules"] == []
+        statusz = client.statusz()
+        assert statusz["history"]["enabled"] is False
+        assert statusz["alerts"]["enabled"] is False
+        assert statusz["job_seconds"]["count"] == 0
+    # metrics=False implies no recorder either, whatever the interval.
+    with TwinServer(spec, workers=1, metrics=False) as srv:
+        assert srv.history is None and srv.alerts is None
+
+
+def test_api_query_rejects_bad_requests(alert_server, client):
+    with pytest.raises(ExaDigiTError, match="missing"):
+        client._request("GET", "/api/query")
+    with pytest.raises(ExaDigiTError, match="agg"):
+        client.query("repro_service_queue_depth", agg="median")
+    with pytest.raises(ExaDigiTError):
+        client.query("repro_service_queue_depth", start=10.0, end=10.0)
+    # An unknown-but-well-formed series is an empty result, not an error.
+    doc = client.query("repro_service_jobs_finished_total{state=nope}")
+    assert doc["tier"] is None and doc["points"] == []
+
+
+def test_degraded_health_transition_dumps_flight(spec, tmp_path):
+    with TwinServer(spec, workers=1, store=tmp_path / "store") as srv:
+        client = TwinClient(srv.url)
+        assert client.health()["status"] == "ok"
+        shutil.rmtree(tmp_path / "store")
+        doc = client.health()
+        assert doc["status"] == "degraded"
+        assert not doc["checks"]["store"]["ok"]
+        # The healthy→degraded flip itself dumped the flight ring
+        # (recreating <store>/flight en route).
+        dumps = sorted((tmp_path / "store" / "flight").glob("*.jsonl"))
+        assert any("degraded-store" in p.name for p in dumps)
+        events = [json.loads(l) for l in dumps[-1].read_text().splitlines()]
+        assert any(e.get("name") == "health-degraded" for e in events)
+        # Recovery is traced too, but never dumps a second file.
+        before = len(dumps)
+        srv.store.path.mkdir(parents=True, exist_ok=True)
+        assert client.health()["status"] == "ok"
+        assert any(
+            d.get("name") == "health-recovered" for d in srv.flight.events()
+        )
+        dumps = sorted((tmp_path / "store" / "flight").glob("*.jsonl"))
+        assert len(dumps) == before
+
+
+def test_alerts_cli_table_and_fail_on_firing(alert_server, capsys):
+    rc = cli_main(["alerts", "--url", alert_server.url])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "jobs-running" in out and "workers-alive" in out
+    assert "firing" in out
+    rc = cli_main(["alerts", "--url", alert_server.url, "--fail-on-firing"])
+    assert rc == 1  # workers-alive is always firing on a live pool
+
+
+def test_top_cli_shows_alerts_and_sparklines(alert_server, capsys):
+    rc = cli_main(["top", "--url", alert_server.url, "--once"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "ALERT" in out  # workers-alive renders as a firing line
+    assert "steps/s" in out and "queue" in out  # /api/query sparklines

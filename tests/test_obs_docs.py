@@ -1,11 +1,13 @@
-"""Lint: the metric catalogue, the code, and the docs must agree.
+"""Lint: the metric catalogue, the code, the docs, and the console agree.
 
-Two directions, both cheap text scans:
+Three cheap text scans:
 
 - every ``repro_*`` metric-name literal in ``src/repro/`` is a
-  catalogued metric (no anonymous metrics sneak in), and
+  catalogued metric (no anonymous metrics sneak in),
 - every catalogued metric appears in ``docs/observability.md`` (no
-  metric ships undocumented).
+  metric ships undocumented), and
+- every JSON field ``docs/console.html`` reads exists in the server
+  documents it polls (the console↔statusz contract).
 """
 
 from __future__ import annotations
@@ -18,6 +20,7 @@ from repro.obs.catalog import METRICS
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC = REPO_ROOT / "src" / "repro"
 DOC = REPO_ROOT / "docs" / "observability.md"
+CONSOLE = REPO_ROOT / "docs" / "console.html"
 
 #: ``repro_``-prefixed identifiers in the source that are not metrics.
 NON_METRIC_NAMES = {
@@ -56,3 +59,112 @@ def test_every_catalogued_metric_is_registered_somewhere():
         f"catalogued metrics never referenced by any instrumentation "
         f"site: {orphans}"
     )
+
+
+# -- the console↔statusz contract ----------------------------------------------
+
+#: JS properties of arrays/strings/numbers that legally terminate a
+#: field path (``alerts.alerts.length``, ``q.points.map`` …).
+JS_VALUE_PROPS = {
+    "length", "filter", "map", "slice", "reverse", "join", "push",
+    "shift", "every", "toFixed",
+}
+
+#: console variable -> how to reach its document from the statusz doc.
+#: ``msg`` (websocket step records) is deliberately absent: the step
+#: feed is covered by the streaming tests, not this lint.
+_PATH_RE = re.compile(
+    r"\b(doc|srv|metrics|pct|flight|alerts|fam|q|j|a|s)"
+    r"((?:\.[A-Za-z_][A-Za-z0-9_]*)+)"
+)
+
+
+def _console_paths() -> list[tuple[str, list[str]]]:
+    text = CONSOLE.read_text()
+    return [
+        (root, path.lstrip(".").split("."))
+        for root, path in _PATH_RE.findall(text)
+    ]
+
+
+def _assert_path(root_name, doc, path):
+    cur = doc
+    taken = []
+    for seg in path:
+        if isinstance(cur, list):
+            if seg in JS_VALUE_PROPS:
+                return
+            assert cur, (
+                f"console reads {root_name}.{'.'.join(path)} but the "
+                f"sample list at {root_name}.{'.'.join(taken)} is empty"
+            )
+            cur = cur[0]
+        if isinstance(cur, dict):
+            if seg in cur:
+                cur = cur[seg]
+                taken.append(seg)
+                continue
+            if seg in JS_VALUE_PROPS:
+                return
+            raise AssertionError(
+                f"console reads {root_name}.{'.'.join(path)} but "
+                f"{seg!r} is not in the server document "
+                f"(has: {sorted(cur)})"
+            )
+        else:
+            assert seg in JS_VALUE_PROPS, (
+                f"console reads {root_name}.{'.'.join(path)} past the "
+                f"scalar at {root_name}.{'.'.join(taken)}"
+            )
+            return
+
+
+def test_console_reads_only_fields_the_server_serves():
+    from repro.service.protocol import JobRecord
+    from repro.service.server import TwinServer
+
+    from tests.conftest import make_small_spec
+
+    # An unstarted server: cheap, and _statusz_doc() is pure assembly.
+    server = TwinServer(
+        make_small_spec(),
+        workers=1,
+        history_interval=0.5,
+        alert_rules=[{
+            "name": "lint", "metric": "repro_service_queue_depth",
+            "op": ">", "threshold": 1e9, "window_s": 5.0,
+        }],
+    )
+    server._history_tick(now=1000.0)
+    statusz = server._statusz_doc()
+    query = server.history.query(
+        "repro_service_queue_depth", start=999.0, end=1001.0, step=1.0
+    )
+    fam_doc = statusz["metrics"]["repro_history_samples_total"]
+    roots = {
+        "doc": statusz,
+        "srv": statusz["server"],
+        "metrics": statusz["metrics"],
+        "pct": statusz["job_seconds"],
+        "flight": statusz["flight"],
+        "alerts": statusz["alerts"],
+        "a": statusz["alerts"]["alerts"][0],
+        "j": JobRecord(id="j0", scenario_doc={}, key="k", cost=1.0).summary(),
+        "q": query,
+        "fam": fam_doc,
+        "s": fam_doc["samples"][0],
+    }
+    paths = _console_paths()
+    assert paths, "no console field reads found — did the regex rot?"
+    for root, path in paths:
+        _assert_path(root, roots[root], path)
+    # Metric names the console looks up must be catalogued.
+    text = CONSOLE.read_text()
+    looked_up = re.findall(r'metricValue\(metrics,\s*"([a-z0-9_]+)"', text)
+    charted = re.findall(r'chart\("([a-z0-9_]+)"', text)
+    assert looked_up, "metricValue() lookups disappeared from the console"
+    assert charted, "chart() metric names disappeared from the console"
+    for name in looked_up + charted:
+        assert name in METRICS, (
+            f"console reads metric {name!r} that is not catalogued"
+        )

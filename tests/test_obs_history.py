@@ -1,0 +1,504 @@
+"""Unit tests for telemetry history and alerting (repro.obs).
+
+Covers the MetricsRecorder (series flattening, tier retention and
+downsampling, range-query aggregations, tier selection, JSONL
+persistence + preload), Histogram.quantile, AlertRule validation and
+serialization, and the AlertManager state machine — all with explicit
+``now=`` timestamps, never the wall clock.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ExaDigiTError
+from repro.obs import (
+    AGGREGATIONS,
+    AlertManager,
+    AlertRule,
+    DEFAULT_TIERS,
+    FlightRecorder,
+    MetricsRecorder,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    Tracer,
+    load_rules,
+    read_telemetry_segments,
+)
+from repro.obs.alerts import disabled_alerts_statusz
+from repro.obs.history import disabled_history_stats
+
+
+# -- recorder: sampling and series keys ----------------------------------------
+
+
+def test_recorder_flattens_registry_into_series():
+    reg = MetricsRegistry()
+    reg.counter("repro_engine_steps_total").inc(7)
+    reg.counter(
+        "repro_engine_phase_seconds_total", labels=("phase",)
+    ).labels(phase="step").inc(1.5)
+    hist = reg.histogram("repro_service_job_seconds")
+    hist.observe(0.3)
+    hist.observe(0.7)
+    rec = MetricsRecorder(reg, interval_s=1.0)
+    n = rec.sample(now=100.0)
+    names = rec.series_names()
+    assert "repro_engine_steps_total" in names
+    assert "repro_engine_phase_seconds_total{phase=step}" in names
+    assert "repro_service_job_seconds_count" in names
+    assert "repro_service_job_seconds_sum" in names
+    assert n == len(names)
+    assert rec.latest("repro_engine_steps_total") == 7.0
+    assert rec.latest("repro_service_job_seconds_count") == 2.0
+    assert rec.latest("repro_service_job_seconds_sum") == pytest.approx(1.0)
+    assert rec.latest("never_sampled") is None
+    # The recorder's own sample counter is registered and catalogued.
+    assert reg.value("repro_history_samples_total") == 1.0
+
+
+def test_recorder_validates_interval_and_tiers():
+    reg = MetricsRegistry()
+    with pytest.raises(ExaDigiTError):
+        MetricsRecorder(reg, interval_s=0.0)
+    with pytest.raises(ExaDigiTError):
+        MetricsRecorder(reg, tiers=(("10s", 10.0, 10),))
+    assert DEFAULT_TIERS[0][1] == 0.0
+
+
+def test_raw_ring_is_bounded():
+    reg = MetricsRegistry()
+    g = reg.gauge("repro_service_queue_depth")
+    rec = MetricsRecorder(reg, interval_s=1.0, tiers=(("raw", 0.0, 5),))
+    for i in range(12):
+        g.set(float(i))
+        rec.sample(now=100.0 + i)
+    doc = rec.query(
+        "repro_service_queue_depth", start=100.0, end=112.0, step=1.0,
+        agg="last", now=112.0,
+    )
+    values = [v for _, v in doc["points"] if v is not None]
+    assert values == [7.0, 8.0, 9.0, 10.0, 11.0]  # only the last 5 kept
+
+
+def test_downsampled_buckets_aggregate_min_max_sum_count():
+    reg = MetricsRegistry()
+    g = reg.gauge("repro_service_queue_depth")
+    rec = MetricsRecorder(reg, interval_s=1.0)
+    # 20 one-second samples: values 0..9 then 100..109.
+    for i in range(10):
+        g.set(float(i))
+        rec.sample(now=1000.0 + i)
+    for i in range(10):
+        g.set(100.0 + i)
+        rec.sample(now=1010.0 + i)
+    # step=10 resolves the 10s tier: one bucket per window.
+    avg = rec.query(
+        "repro_service_queue_depth", start=1000.0, end=1020.0, step=10.0,
+        agg="avg", now=1020.0,
+    )
+    assert avg["tier"] == "10s"
+    assert [v for _, v in avg["points"]] == [4.5, 104.5]
+    mx = rec.query(
+        "repro_service_queue_depth", start=1000.0, end=1020.0, step=10.0,
+        agg="max", now=1020.0,
+    )
+    assert [v for _, v in mx["points"]] == [9.0, 109.0]
+    last = rec.query(
+        "repro_service_queue_depth", start=1000.0, end=1020.0, step=10.0,
+        agg="last", now=1020.0,
+    )
+    assert [v for _, v in last["points"]] == [9.0, 109.0]
+
+
+def test_rate_aggregation_and_counter_reset_clamp():
+    reg = MetricsRegistry()
+    c = reg.counter("repro_engine_steps_total")
+    rec = MetricsRecorder(reg, interval_s=1.0)
+    for i in range(10):
+        c.inc(5)  # 5/s
+        rec.sample(now=2000.0 + i)
+    doc = rec.query(
+        "repro_engine_steps_total", start=2002.0, end=2010.0, step=2.0,
+        agg="rate", now=2010.0,
+    )
+    # Every window after the first has a prior sample to delta against.
+    assert all(v == pytest.approx(5.0) for _, v in doc["points"])
+    # A counter reset (value drops) clamps to 0, not a negative spike.
+    reg2 = MetricsRegistry()
+    c2 = reg2.counter("repro_engine_steps_total")
+    rec2 = MetricsRecorder(reg2, interval_s=1.0)
+    c2.inc(100)
+    rec2.sample(now=3000.0)
+    reg2.reset()
+    rec2.sample(now=3001.0)
+    doc2 = rec2.query(
+        "repro_engine_steps_total", start=3000.5, end=3001.5, step=1.0,
+        agg="rate", now=3001.5,
+    )
+    assert doc2["points"][0][1] == 0.0
+
+
+def test_query_relative_times_defaults_and_gaps():
+    reg = MetricsRegistry()
+    g = reg.gauge("repro_service_queue_depth")
+    rec = MetricsRecorder(reg, interval_s=1.0)
+    g.set(1.0)
+    rec.sample(now=5000.0)
+    g.set(2.0)
+    rec.sample(now=5010.0)  # a 10 s gap: windows between are empty
+    doc = rec.query(
+        "repro_service_queue_depth", start=-20, step=2.0, agg="last",
+        now=5010.0,
+    )
+    assert doc["start"] == 4990.0 and doc["end"] == 5010.0
+    values = [v for _, v in doc["points"]]
+    assert values.count(None) == len(values) - 1  # only one non-empty window
+    # now= defaults to the last sample time when omitted.
+    doc2 = rec.query("repro_service_queue_depth", start=-20, step=2.0)
+    assert doc2["end"] == 5010.0
+
+
+def test_query_unknown_metric_and_errors():
+    reg = MetricsRegistry()
+    rec = MetricsRecorder(reg, interval_s=1.0)
+    doc = rec.query("repro_service_queue_depth", start=1.0, end=10.0)
+    assert doc["tier"] is None and doc["points"] == []
+    with pytest.raises(ExaDigiTError):
+        rec.query("x", agg="median")
+    with pytest.raises(ExaDigiTError):
+        rec.query("x", start=10.0, end=10.0, now=20.0)
+    assert tuple(AGGREGATIONS) == ("last", "avg", "max", "rate")
+
+
+def test_tier_selection_prefers_coarse_then_coverage():
+    reg = MetricsRegistry()
+    g = reg.gauge("repro_service_queue_depth")
+    # Tiny rings: raw keeps 4 samples (~4 s), 10s keeps 2 buckets (~20 s).
+    rec = MetricsRecorder(
+        reg, interval_s=1.0,
+        tiers=(("raw", 0.0, 4), ("10s", 10.0, 2)),
+    )
+    for i in range(60):
+        g.set(float(i))
+        rec.sample(now=7000.0 + i)
+    # step=10 admits both tiers; neither reaches back to 7000, so the
+    # one with the farthest coverage (10s, ~20 s vs raw's ~4 s) wins.
+    doc = rec.query(
+        "repro_service_queue_depth", start=7000.0, end=7060.0, step=10.0,
+        agg="last", now=7060.0,
+    )
+    assert doc["tier"] == "10s"
+    # A fine step excludes the 10s tier: raw is the only candidate.
+    doc2 = rec.query(
+        "repro_service_queue_depth", start=7057.0, end=7060.0, step=1.0,
+        agg="last", now=7060.0,
+    )
+    assert doc2["tier"] == "raw"
+
+
+def test_aggregate_single_window():
+    reg = MetricsRegistry()
+    g = reg.gauge("repro_service_queue_depth")
+    rec = MetricsRecorder(reg, interval_s=1.0)
+    assert rec.aggregate("repro_service_queue_depth", "last") is None
+    for i, v in enumerate((3.0, 9.0, 6.0)):
+        g.set(v)
+        rec.sample(now=8000.0 + i)
+    assert rec.aggregate(
+        "repro_service_queue_depth", "last", window_s=10.0, now=8002.0
+    ) == 6.0
+    assert rec.aggregate(
+        "repro_service_queue_depth", "max", window_s=10.0, now=8002.0
+    ) == 9.0
+    assert rec.aggregate(
+        "repro_service_queue_depth", "avg", window_s=10.0, now=8002.0
+    ) == pytest.approx(6.0)
+
+
+def test_stats_shape_matches_disabled_shape():
+    reg = MetricsRegistry()
+    reg.gauge("repro_service_queue_depth").set(1.0)
+    rec = MetricsRecorder(reg, interval_s=2.0)
+    rec.sample(now=100.0)
+    stats = rec.stats()
+    off = disabled_history_stats()
+    assert set(stats) == set(off)
+    assert stats["enabled"] is True and off["enabled"] is False
+    assert stats["interval_s"] == 2.0
+    assert stats["samples"] == 1
+    assert stats["series"] >= 1
+    assert [t["tier"] for t in stats["tiers"]] == ["raw", "10s", "60s"]
+    assert stats["tiers"][0]["oldest"] == 100.0
+
+
+# -- recorder: persistence -----------------------------------------------------
+
+
+def test_persistence_rotation_and_preload(tmp_path):
+    tdir = tmp_path / "telemetry"
+    reg = MetricsRegistry()
+    c = reg.counter("repro_engine_steps_total")
+    rec = MetricsRecorder(
+        reg, interval_s=1.0, persist_dir=tdir,
+        segment_lines=4, segment_keep=2,
+    )
+    for i in range(10):
+        c.inc()
+        rec.sample(now=100.0 + i)
+    rec.close()
+    segments = sorted(tdir.glob("segment-*.jsonl"))
+    assert len(segments) == 2  # 3 written, oldest pruned by keep=2
+    docs = list(read_telemetry_segments(directory=tdir))
+    assert all(set(d) == {"t", "v"} for d in docs)
+    assert docs[-1]["t"] == 109.0
+    assert docs[-1]["v"]["repro_engine_steps_total"] == 10.0
+    # A fresh recorder over the same directory preloads the history
+    # and continues segment numbering past the existing files.
+    reg2 = MetricsRegistry()
+    reg2.counter("repro_engine_steps_total")
+    rec2 = MetricsRecorder(reg2, interval_s=1.0, persist_dir=tdir)
+    assert rec2.latest("repro_engine_steps_total") == 10.0
+    doc = rec2.query(
+        "repro_engine_steps_total", start=104.0, end=110.0, step=1.0,
+        agg="last", now=110.0,
+    )
+    assert [v for _, v in doc["points"]] == [5.0, 6.0, 7.0, 8.0, 9.0, 10.0]
+    rec2.sample(now=120.0)
+    rec2.close()
+    newest = sorted(tdir.glob("segment-*.jsonl"))[-1]
+    assert int(newest.stem.split("-")[1]) > int(segments[-1].stem.split("-")[1])
+
+
+def test_preload_skips_corrupt_lines(tmp_path):
+    tdir = tmp_path / "telemetry"
+    tdir.mkdir()
+    (tdir / "segment-000001.jsonl").write_text(
+        'not json\n{"t": 50.0, "v": {"repro_service_queue_depth": 4.0}}\n'
+        '{"bad": "shape"}\n',
+        encoding="utf-8",
+    )
+    rec = MetricsRecorder(MetricsRegistry(), interval_s=1.0, persist_dir=tdir)
+    assert rec.latest("repro_service_queue_depth") == 4.0
+
+
+def test_read_telemetry_segments_requires_source():
+    with pytest.raises(ExaDigiTError):
+        list(read_telemetry_segments())
+
+
+# -- histogram quantiles -------------------------------------------------------
+
+
+def test_quantile_empty_and_interpolation():
+    reg = MetricsRegistry()
+    hist = reg.histogram("repro_service_job_seconds").child()
+    assert hist.quantile(0.5) is None
+    for v in (0.2, 0.4, 0.6, 0.8, 7.0):
+        hist.observe(v)
+    # rank 2.5 lands in the (0.5, 1.0] bucket holding 0.6 and 0.8:
+    # 0.5 + 0.5 * (2.5 - 2) / 2 = 0.625.
+    assert hist.quantile(0.5) == pytest.approx(0.625)
+    assert hist.quantile(1.0) == pytest.approx(10.0)  # 7.0 in (5, 10]
+    assert hist.quantile(0.0) == pytest.approx(0.05)  # first bucket edge
+
+
+def test_quantile_inf_tail_clamps_to_last_finite_bucket():
+    reg = MetricsRegistry()
+    hist = reg.histogram("repro_service_job_seconds").child()
+    hist.observe(10_000.0)  # beyond the 300 s top bucket
+    assert hist.quantile(0.5) == 300.0
+    assert hist.quantile(0.99) == 300.0
+
+
+def test_quantile_validation_and_family_access():
+    reg = MetricsRegistry()
+    fam = reg.histogram("repro_service_job_seconds")
+    fam.observe(0.3)
+    assert fam.quantile(0.5) is not None
+    with pytest.raises(ExaDigiTError):
+        fam.child().quantile(1.5)
+    with pytest.raises(ExaDigiTError):
+        reg.gauge("repro_service_queue_depth").quantile(0.5)
+    assert NULL_REGISTRY.histogram("x").quantile(0.5) is None
+    assert NULL_REGISTRY.histogram("x").child() is NULL_REGISTRY.histogram("x")
+
+
+# -- alert rules ---------------------------------------------------------------
+
+
+def test_alert_rule_validation():
+    ok = AlertRule(name="r", metric="repro_service_queue_depth")
+    assert ok.op == ">" and ok.severity == "warning"
+    with pytest.raises(ExaDigiTError):
+        AlertRule(name="", metric="repro_service_queue_depth")
+    with pytest.raises(ExaDigiTError):
+        AlertRule(name="r", metric="not_in_catalogue")
+    with pytest.raises(ExaDigiTError):  # bare histogram name
+        AlertRule(name="r", metric="repro_service_job_seconds")
+    with pytest.raises(ExaDigiTError):
+        AlertRule(name="r", metric="repro_service_queue_depth", op="!=")
+    with pytest.raises(ExaDigiTError):
+        AlertRule(name="r", metric="repro_service_queue_depth", agg="median")
+    with pytest.raises(ExaDigiTError):
+        AlertRule(
+            name="r", metric="repro_service_queue_depth", severity="fatal"
+        )
+    with pytest.raises(ExaDigiTError):
+        AlertRule(name="r", metric="repro_service_queue_depth", window_s=0.0)
+    with pytest.raises(ExaDigiTError):
+        AlertRule(name="r", metric="repro_service_queue_depth", for_s=-1.0)
+
+
+def test_alert_rule_histogram_series_and_labels():
+    # Histogram-derived series and labeled selectors validate against
+    # the catalogue base name.
+    AlertRule(name="r", metric="repro_service_job_seconds_count")
+    AlertRule(name="r", metric="repro_service_job_seconds_sum", agg="rate")
+    AlertRule(name="r", metric="repro_service_jobs_finished_total{state=failed}")
+    # _count on a non-histogram is not a derived series; it must be
+    # catalogued verbatim, and it is not.
+    with pytest.raises(ExaDigiTError):
+        AlertRule(name="r", metric="repro_service_queue_depth_count")
+
+
+def test_alert_rule_round_trip_and_load(tmp_path):
+    rule = AlertRule(
+        name="backlog", metric="repro_service_queue_depth", op=">=",
+        threshold=10, agg="max", window_s=30, for_s=5, severity="critical",
+    )
+    again = AlertRule.from_dict(rule.to_dict())
+    assert again == rule
+    assert isinstance(again.threshold, float)
+    with pytest.raises(ExaDigiTError):
+        AlertRule.from_dict({"name": "x", "metric": "repro_service_queue_depth",
+                             "nope": 1})
+    with pytest.raises(ExaDigiTError):
+        AlertRule.from_dict(["not", "a", "dict"])
+    # load_rules: wrapped and bare forms, duplicate names, bad JSON.
+    wrapped = tmp_path / "wrapped.json"
+    wrapped.write_text(json.dumps({"rules": [rule.to_dict()]}))
+    bare = tmp_path / "bare.json"
+    bare.write_text(json.dumps([rule.to_dict()]))
+    assert load_rules(wrapped) == load_rules(bare) == [rule]
+    dupes = tmp_path / "dupes.json"
+    dupes.write_text(json.dumps([rule.to_dict(), rule.to_dict()]))
+    with pytest.raises(ExaDigiTError):
+        load_rules(dupes)
+    broken = tmp_path / "broken.json"
+    broken.write_text("{nope")
+    with pytest.raises(ExaDigiTError):
+        load_rules(broken)
+    with pytest.raises(ExaDigiTError):
+        load_rules(tmp_path / "missing.json")
+
+
+# -- alert manager state machine -----------------------------------------------
+
+
+def _manager(rule_kwargs, reg=None):
+    reg = reg or MetricsRegistry()
+    gauge = reg.gauge("repro_service_queue_depth")
+    rec = MetricsRecorder(reg, interval_s=1.0)
+    defaults = dict(
+        name="backlog", metric="repro_service_queue_depth", op=">",
+        threshold=5.0, agg="last", window_s=10.0,
+    )
+    defaults.update(rule_kwargs)
+    mgr = AlertManager([AlertRule(**defaults)], rec, registry=reg)
+    return reg, gauge, rec, mgr
+
+
+def _step(gauge, rec, mgr, now, value):
+    gauge.set(value)
+    rec.sample(now=now)
+    mgr.evaluate(now=now)
+    return mgr.snapshot()["alerts"][0]["state"]
+
+
+def test_state_machine_pending_firing_resolved_cycle():
+    reg, gauge, rec, mgr = _manager({"for_s": 2.0})
+    states = [
+        _step(gauge, rec, mgr, 100.0 + i, v)
+        for i, v in enumerate((0.0, 9.0, 9.0, 9.0, 9.0, 0.0, 9.0))
+    ]
+    #          t=100  101        102        103       104       105         106
+    assert states == [
+        "ok", "pending", "pending", "firing", "firing", "resolved", "pending"
+    ]
+    snap = mgr.snapshot()
+    assert snap["enabled"] is True and snap["firing"] == 0
+    assert [t["state"] for t in snap["transitions"]] == [
+        "pending", "firing", "resolved", "pending"
+    ]
+    assert snap["evaluations"] == 7
+    assert reg.value("repro_alerts_firing") == 0.0
+
+
+def test_for_s_zero_fires_immediately_and_gauge_tracks():
+    reg, gauge, rec, mgr = _manager({"for_s": 0.0})
+    assert _step(gauge, rec, mgr, 200.0, 9.0) == "firing"
+    assert reg.value("repro_alerts_firing") == 1.0
+    assert [a["rule"] for a in mgr.firing()] == ["backlog"]
+    assert _step(gauge, rec, mgr, 201.0, 0.0) == "resolved"
+    assert reg.value("repro_alerts_firing") == 0.0
+    assert mgr.firing() == []
+
+
+def test_pending_that_stops_breaching_returns_to_ok():
+    _, gauge, rec, mgr = _manager({"for_s": 60.0})
+    assert _step(gauge, rec, mgr, 300.0, 9.0) == "pending"
+    assert _step(gauge, rec, mgr, 301.0, 0.0) == "ok"
+    assert mgr.snapshot()["transitions"][-1]["state"] == "ok"
+
+
+def test_no_data_is_not_a_breach():
+    reg = MetricsRegistry()
+    rec = MetricsRecorder(reg, interval_s=1.0)
+    rule = AlertRule(
+        name="quiet", metric="repro_service_queue_depth", op=">=",
+        threshold=0.0, window_s=10.0,
+    )
+    mgr = AlertManager([rule], rec, registry=reg)
+    assert mgr.evaluate(now=100.0) == []  # metric never sampled
+    status = mgr.snapshot()["alerts"][0]
+    assert status["state"] == "ok" and status["value"] is None
+
+
+def test_transitions_reach_the_tracer():
+    ring = FlightRecorder(capacity=64)
+    reg, gauge, rec, _ = _manager({"for_s": 0.0})
+    mgr = AlertManager(
+        [AlertRule(name="hot", metric="repro_service_queue_depth",
+                   threshold=5.0, window_s=10.0)],
+        rec, tracer=Tracer(ring), registry=reg,
+    )
+    gauge.set(9.0)
+    rec.sample(now=400.0)
+    emitted = mgr.evaluate(now=400.0)
+    assert [e["state"] for e in emitted] == ["firing"]
+    events = [d for d in ring.events() if d["name"] == "alert"]
+    assert len(events) == 1
+    assert events[0]["rule"] == "hot" and events[0]["state"] == "firing"
+
+
+def test_manager_rejects_duplicate_rule_names():
+    reg = MetricsRegistry()
+    rec = MetricsRecorder(reg, interval_s=1.0)
+    rule = AlertRule(name="r", metric="repro_service_queue_depth")
+    with pytest.raises(ExaDigiTError):
+        AlertManager([rule, rule], rec, registry=reg)
+
+
+def test_statusz_shapes_enabled_and_disabled():
+    reg, gauge, rec, mgr = _manager({})
+    doc = mgr.statusz()
+    off = disabled_alerts_statusz()
+    assert set(doc) == set(off) == {"enabled", "firing", "alerts"}
+    assert doc["enabled"] is True and off["enabled"] is False
+    (status,) = doc["alerts"]
+    assert {"rule", "metric", "state", "severity", "value", "op",
+            "threshold", "agg", "window_s", "for_s", "since", "fired_at",
+            "changed_at", "transitions"} <= set(status)
