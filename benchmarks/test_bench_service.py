@@ -1,4 +1,5 @@
-"""Twin-service acceptance bench: warm-plant speedup + 32-client load.
+"""Twin-service acceptance bench: warm-plant speedup, 32-client load,
+and the resilience-instrumentation overhead guard.
 
 Drives a real :class:`~repro.service.server.TwinServer` end to end and
 asserts the serving layer's contract:
@@ -10,37 +11,48 @@ asserts the serving layer's contract:
 - **concurrent load**: >= 32 clients submit and stream simultaneously
   (alternating NDJSON / websocket transports) and every stream is
   bit-identical to a direct ``iter_steps()`` run of its scenario.
+- **resilience overhead**: the chaos-hardening instrumentation (seq
+  numbering, admission checks, breaker accounting, zero-rate chaos
+  checks) must cost <= 5 % end to end: an interleaved min-of-rounds
+  comparison of a plain server against one with a zero-rate
+  :class:`~repro.service.resilience.ChaosPolicy` attached.
 
-Results land in ``benchmarks/BENCH_service.json`` so the latency
-trajectory is tracked across PRs.  The timed kernel is one cached
-(warm) coupled job, end to end through the server.
+Results land in ``benchmarks/BENCH_service.json`` on the shared
+baseline protocol (see ``benchmarks/conftest.py``): hardware-free
+ratios (warm speedup, overhead ratio) are guarded against the
+committed baseline, wall times are tracked as trajectory only.
 """
 
 from __future__ import annotations
 
-import json
-import os
 import threading
 import time
 
-import pytest
-
-from benchmarks.conftest import emit
+from benchmarks.conftest import (
+    bench_json_path,
+    check_ratio,
+    emit,
+    load_baseline,
+    record_trajectory,
+)
 from repro.scenarios import DigitalTwin, SyntheticScenario
 from repro.scenarios.artifacts import git_revision
-from repro.service import TwinClient, TwinServer
+from repro.service import ChaosPolicy, TwinClient, TwinServer
 from repro.viz.export import step_record
 from tests.conftest import make_small_spec
 
-_BENCH_JSON = os.path.join(
-    os.path.dirname(os.path.abspath(__file__)), "BENCH_service.json"
-)
+_BENCH_JSON = bench_json_path("service")
 
 #: Coupled warm-cache probe: short simulated window, full 1800 s warmup
 #: (the warmup is 120 plant macro-steps; the probe window only 20, so
 #: latency is warmup-dominated exactly like an interactive steering job).
 WARM_HOURS = 300.0 / 3600.0
 N_CLIENTS = 32
+#: Resilience overhead probe: streaming-heavy uncoupled jobs (the seq
+#: and chaos checks sit on the per-step hot paths), interleaved rounds.
+OVERHEAD_ROUNDS = 5
+OVERHEAD_JOBS = 3
+OVERHEAD_BUDGET = 1.05
 
 
 def _coupled(seed: int) -> SyntheticScenario:
@@ -57,7 +69,22 @@ def _submit_and_wait(client: TwinClient, scenario) -> float:
     return time.perf_counter() - t0
 
 
+def _stream_round(client: TwinClient, seeds: list[int]) -> float:
+    """Wall time to run + fully stream one batch of uncoupled jobs."""
+    t0 = time.perf_counter()
+    for seed in seeds:
+        job = client.submit(
+            SyntheticScenario(
+                duration_s=3600.0, with_cooling=False, seed=seed
+            ),
+            use_cache=False,
+        )
+        client.steps(job["id"])
+    return time.perf_counter() - t0
+
+
 def test_service_warm_cache_and_concurrent_load(frontier, benchmark):
+    baseline = load_baseline(_BENCH_JSON)
     results: dict = {"system": frontier.name}
 
     # --- warm-plant cache on the full Frontier plant (25 CDU loops).
@@ -81,6 +108,7 @@ def test_service_warm_cache_and_concurrent_load(frontier, benchmark):
     )
     assert health["counters"]["warm_hits"] >= 1
     assert speedup >= 5.0, f"warm speedup only {speedup:.1f}x"
+    check_ratio(baseline, "warm_speedup", speedup)
 
     # --- >= 32 concurrent clients, bit-identical streams (small spec
     # so 32 direct reference runs stay cheap).
@@ -125,22 +153,63 @@ def test_service_warm_cache_and_concurrent_load(frontier, benchmark):
             "load_wall_s": round(load_wall, 3),
             "load_steals": load_health["queue"]["steals"],
             "streams_bit_identical": identical,
-            "git_rev": git_revision(),
         }
     )
 
-    with open(_BENCH_JSON, "w", encoding="utf-8") as fh:
-        json.dump(results, fh, indent=2)
-        fh.write("\n")
+    # --- resilience instrumentation overhead: plain vs zero-rate
+    # chaos, interleaved rounds (shared thermal/noise environment),
+    # min-of-rounds on each side.
+    zero_rates = {
+        site: 0.0 for site in ("worker_crash", "conn_drop",
+                               "store_write", "slow_io", "loop_stall")
+    }
+    with TwinServer(spec, workers=1) as plain, TwinServer(
+        spec, workers=1, chaos=ChaosPolicy(0, zero_rates)
+    ) as chaosy:
+        plain_client = TwinClient(plain.url)
+        chaos_client = TwinClient(chaosy.url)
+        _stream_round(plain_client, [9001])  # warm both pools
+        _stream_round(chaos_client, [9001])
+        plain_walls, chaos_walls = [], []
+        for round_i in range(OVERHEAD_ROUNDS):
+            seeds = [
+                9100 + round_i * OVERHEAD_JOBS + j
+                for j in range(OVERHEAD_JOBS)
+            ]
+            plain_walls.append(_stream_round(plain_client, seeds))
+            chaos_walls.append(_stream_round(chaos_client, seeds))
+    overhead = min(chaos_walls) / min(plain_walls)
+    results.update(
+        {
+            "resilience_plain_wall_s": round(min(plain_walls), 3),
+            "resilience_chaos_wall_s": round(min(chaos_walls), 3),
+            "resilience_overhead_ratio": round(overhead, 3),
+            "git_rev": git_revision(),
+        }
+    )
+    assert overhead <= OVERHEAD_BUDGET, (
+        f"resilience instrumentation costs {overhead:.3f}x "
+        f"(budget {OVERHEAD_BUDGET}x)"
+    )
+    check_ratio(
+        baseline,
+        "resilience_overhead_ratio",
+        overhead,
+        higher_is_better=False,
+    )
+
+    record_trajectory(_BENCH_JSON, results, baseline)
 
     emit(
-        "Twin service - warm-plant cache + concurrent streaming",
+        "Twin service - warm cache, concurrent streaming, overhead",
         "\n".join(
             [
                 f"cold coupled job   {cold_s:8.2f} s  (1800 s plant warmup)",
                 f"warm coupled job   {warm_s:8.2f} s  -> {speedup:.1f}x",
                 f"{N_CLIENTS} concurrent clients drained in "
                 f"{load_wall:.2f} s ({identical}/{N_CLIENTS} bit-identical)",
+                f"resilience overhead (zero-rate chaos vs plain): "
+                f"{overhead:.3f}x (budget {OVERHEAD_BUDGET}x)",
             ]
         ),
     )

@@ -54,6 +54,7 @@ Entry point::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import os
 import sys
 
@@ -738,6 +739,7 @@ DEFAULT_SERVICE_URL = "http://127.0.0.1:8787"
 
 def cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
+    import signal
 
     from repro.service import TwinServer
 
@@ -754,9 +756,20 @@ def cmd_serve(args: argparse.Namespace) -> int:
         metrics=args.metrics,
         history_interval=args.history_interval,
         alert_rules=args.alert_rules,
+        chaos=args.chaos,
+        max_queue_depth=args.max_queue_depth,
+        max_inflight_per_client=args.max_inflight,
+        drain_grace_s=args.drain_grace_s,
     )
 
     def banner(srv) -> None:
+        # SIGTERM drains gracefully: stop admitting, finish running
+        # jobs, checkpoint the pending queue, then exit.  A restart on
+        # the same --store re-enqueues the checkpointed jobs.
+        with contextlib.suppress(NotImplementedError, RuntimeError):
+            asyncio.get_running_loop().add_signal_handler(
+                signal.SIGTERM, lambda: srv.begin_drain()
+            )
         print(
             f"twin service for {srv.spec.name!r} listening on "
             f"{srv.url} ({args.workers} workers"
@@ -779,11 +792,20 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 file=sys.stderr,
                 flush=True,
             )
+        if srv.chaos.enabled:
+            print(
+                f"CHAOS ENABLED (seed {args.chaos}): injecting "
+                "seed-deterministic faults — not for production",
+                file=sys.stderr,
+                flush=True,
+            )
 
     try:
         asyncio.run(server.run_forever(on_start=banner))
     except KeyboardInterrupt:
         print("\nservice stopped", file=sys.stderr)
+    if server.drained:
+        print("service drained cleanly", file=sys.stderr)
     return 0
 
 
@@ -835,6 +857,20 @@ def cmd_watch(args: argparse.Namespace) -> int:
         print(_json.dumps(doc), flush=True)
         if doc.get("event") == "failed":
             return 1
+    return 0
+
+
+def cmd_drain(args: argparse.Namespace) -> int:
+    client = _service_client(args)
+    doc = client.drain()
+    checkpointed = doc.get("checkpointed", [])
+    running = doc.get("running", [])
+    print(
+        f"draining: {len(checkpointed)} queued job(s) checkpointed, "
+        f"{len(running)} running job(s) finishing"
+    )
+    for jid in checkpointed:
+        print(f"  checkpointed {jid}")
     return 0
 
 
@@ -1630,6 +1666,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON alert-rules file evaluated every sampling tick "
         "(see docs/observability.md; served at /alertz)",
     )
+    p.add_argument(
+        "--chaos",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="inject seed-deterministic faults (worker crashes, store "
+        "write failures, slow I/O, connection drops, loop stalls) for "
+        "resilience testing; same seed, same fault schedule",
+    )
+    p.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=1024,
+        help="admission control: queued jobs beyond this are rejected "
+        "with 429 + Retry-After (default 1024)",
+    )
+    p.add_argument(
+        "--max-inflight",
+        type=int,
+        default=256,
+        help="admission control: per-client cap on unfinished jobs, "
+        "keyed on the X-Repro-Client header (default 256)",
+    )
+    p.add_argument(
+        "--drain-grace-s",
+        type=float,
+        default=30.0,
+        help="seconds a drain (POST /drainz or SIGTERM) waits for "
+        "running jobs before checkpointing the leftovers (default 30)",
+    )
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -1697,6 +1763,18 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"service base URL (default {DEFAULT_SERVICE_URL})",
     )
     p.set_defaults(func=cmd_jobs)
+
+    p = sub.add_parser(
+        "drain",
+        help="gracefully drain a twin service (finish running jobs, "
+        "checkpoint the queue, then exit)",
+    )
+    p.add_argument(
+        "--url",
+        default=DEFAULT_SERVICE_URL,
+        help=f"service base URL (default {DEFAULT_SERVICE_URL})",
+    )
+    p.set_defaults(func=cmd_drain)
 
     p = sub.add_parser(
         "top",

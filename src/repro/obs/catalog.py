@@ -159,6 +159,43 @@ METRICS: dict[str, dict] = {
         "help": "Event-loop scheduling lag measured by the heartbeat "
                 "probe (0 when responsive).",
     },
+    # -- service resilience ------------------------------------------------
+    "repro_retries_total": {
+        "kind": "counter",
+        "help": "Client-side retries of idempotent service operations "
+                "(TwinClient RetryPolicy), by operation.",
+        "labels": ("op",),
+    },
+    "repro_admission_rejected_total": {
+        "kind": "counter",
+        "help": "Submissions rejected by admission control (429/503 + "
+                "Retry-After), by reason: queue_full, client_inflight, "
+                "draining.",
+        "labels": ("reason",),
+    },
+    "repro_breaker_state": {
+        "kind": "gauge",
+        "help": "Worker-respawn circuit breaker state: 0 closed, "
+                "1 half-open, 2 open.",
+    },
+    "repro_jobs_timeout_total": {
+        "kind": "counter",
+        "help": "Jobs cancelled because their deadline_s expired.",
+    },
+    "repro_service_draining": {
+        "kind": "gauge",
+        "help": "1 while the server is draining (admission closed), "
+                "else 0.",
+    },
+    "repro_chaos_injected_total": {
+        "kind": "counter",
+        "help": "Faults injected by an enabled ChaosPolicy, by site.",
+        "labels": ("site",),
+    },
+    "repro_stream_resumes_total": {
+        "kind": "counter",
+        "help": "Watch streams resumed mid-job via ?from_seq=.",
+    },
     # -- history / alerting ------------------------------------------------
     "repro_history_samples_total": {
         "kind": "counter",

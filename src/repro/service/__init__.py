@@ -38,6 +38,11 @@ from repro.service.protocol import (
     estimate_cost,
     job_key,
 )
+from repro.service.resilience import (
+    ChaosPolicy,
+    CircuitBreaker,
+    RetryPolicy,
+)
 from repro.service.server import TwinServer
 from repro.service.store import ServiceStore
 from repro.service.warmcache import WarmStateCache
@@ -54,4 +59,7 @@ __all__ = [
     "JobState",
     "job_key",
     "estimate_cost",
+    "ChaosPolicy",
+    "CircuitBreaker",
+    "RetryPolicy",
 ]

@@ -5,8 +5,10 @@ store, and the client:
 
 - a **job** wraps one declarative scenario document submitted over
   HTTP; its lifecycle is the :class:`JobState` machine
-  ``queued -> running -> done | failed | cancelled`` (``running`` may
-  fall back to ``queued`` when a worker dies and the job is requeued);
+  ``queued -> running -> done | failed | cancelled | timeout``
+  (``running`` may fall back to ``queued`` when a worker dies and the
+  job is requeued; ``timeout`` is a cancellation forced by the job's
+  ``deadline_s``);
 - the **job key** is the SHA-256 of the canonical scenario JSON plus
   the serving spec's SHA-256 — the content address under which results
   and step streams are cached (two submissions of byte-identical
@@ -30,7 +32,7 @@ from typing import Any
 from repro.scenarios.base import Scenario
 
 #: Stream-terminal event names (a watcher stops after any of these).
-TERMINAL_EVENTS = ("done", "failed", "cancelled")
+TERMINAL_EVENTS = ("done", "failed", "cancelled", "timeout")
 
 
 class JobState(str, enum.Enum):
@@ -41,10 +43,16 @@ class JobState(str, enum.Enum):
     DONE = "done"
     FAILED = "failed"
     CANCELLED = "cancelled"
+    TIMEOUT = "timeout"
 
     @property
     def terminal(self) -> bool:
-        return self in (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+        return self in (
+            JobState.DONE,
+            JobState.FAILED,
+            JobState.CANCELLED,
+            JobState.TIMEOUT,
+        )
 
 
 def job_key(scenario: Scenario | dict[str, Any], spec_sha: str) -> str:
@@ -90,6 +98,12 @@ class JobRecord:
     subscribers too.  ``bell`` is an asyncio Event replaced on every
     update (the "bell" pattern): watchers snapshot it, check for new
     state, and await it when caught up.
+
+    ``seq_base`` anchors the monotonic per-job sequence numbering used
+    by resumable streams: the record at ``steps[i]`` has sequence
+    ``seq_base + i``, and a requeue advances ``seq_base`` past the
+    abandoned attempt before clearing ``steps``, so a sequence number
+    is never reused for different content within one server life.
     """
 
     id: str
@@ -101,9 +115,12 @@ class JobRecord:
     max_attempts: int = 2
     worker: int | None = None
     steps: list[dict] = field(default_factory=list)
+    seq_base: int = 0
     cell: dict[str, Any] | None = None
     error: str | None = None
     cached: bool = False
+    deadline_s: float | None = None
+    client: str | None = None
     submitted_at: float = field(default_factory=time.time)
     started_at: float | None = None
     finished_at: float | None = None
@@ -123,7 +140,9 @@ class JobRecord:
             "attempts": self.attempts,
             "worker": self.worker,
             "steps": len(self.steps),
+            "next_seq": self.seq_base + len(self.steps),
             "cached": self.cached,
+            "deadline_s": self.deadline_s,
             "error": self.error,
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
@@ -138,6 +157,12 @@ class JobRecord:
         if self.state is JobState.FAILED:
             return {
                 "event": "failed",
+                "error": self.error,
+                "job": self.summary(),
+            }
+        if self.state is JobState.TIMEOUT:
+            return {
+                "event": "timeout",
                 "error": self.error,
                 "job": self.summary(),
             }

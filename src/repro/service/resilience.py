@@ -1,0 +1,303 @@
+"""Resilience primitives for the twin service: chaos, retries, breaker.
+
+Three small, independently-testable pieces that the serving layer
+composes into its recovery paths:
+
+- :class:`ChaosPolicy` — seed-deterministic fault injection at named
+  sites.  The same discipline :mod:`repro.workloads.faults` applies to
+  *simulated* faults (every fault stream is a pure function of a seed)
+  applied to the service substrate itself: each site draws from its own
+  :func:`repro.seeding.spawn_rng` child stream, so the k-th check of a
+  site fires identically for every policy built from the same seed —
+  a failing chaos run replays exactly from its seed.  Detached servers
+  hold the :data:`NULL_CHAOS` singleton and pay one attribute load per
+  site.
+- :class:`RetryPolicy` — exponential backoff with decorrelated jitter
+  and a hard sleep budget, used by :class:`~repro.service.client.
+  TwinClient` for its idempotent verbs (submit/poll/result are safe to
+  retry because results are content-addressed by
+  :func:`~repro.service.protocol.job_key` — a duplicate submission of
+  the same scenario is a cache hit, never a second simulation).
+- :class:`CircuitBreaker` — the classic closed → open → half-open
+  machine over worker-respawn storms: a burst of worker crashes inside
+  the window opens the breaker (no respawns, no dispatch — a broken
+  deployment must not fork-bomb the host), a cooldown later one probe
+  worker is respawned, and a completed job closes the breaker again.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.exceptions import ExaDigiTError
+from repro.seeding import spawn_rng
+
+#: Named fault sites and their default per-check firing rates when a
+#: :class:`ChaosPolicy` is enabled without explicit rates.  A "check"
+#: is one pass through the site's code path (one streamed line for
+#: ``conn_drop``, one step event for ``worker_crash``/``loop_stall``,
+#: one persist for ``store_write``/``slow_io``).
+DEFAULT_RATES: dict[str, float] = {
+    "worker_crash": 0.002,
+    "conn_drop": 0.01,
+    "store_write": 0.05,
+    "slow_io": 0.05,
+    "loop_stall": 0.002,
+}
+
+#: The named fault sites, in a stable order.
+SITES: tuple[str, ...] = tuple(DEFAULT_RATES)
+
+
+class ChaosPolicy:
+    """Seed-deterministic fault schedule over the named sites.
+
+    Each site owns an independent ``spawn_rng(seed, "chaos", site)``
+    stream, so whether the k-th check of a site fires depends only on
+    ``(seed, site, k)`` — never on how checks of *other* sites
+    interleave with it.  :meth:`plan` previews a site's schedule
+    without consuming it; :meth:`fired` reports which draw indices
+    actually fired, which two runs from the same seed must agree on.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        seed: int,
+        rates: dict[str, float] | None = None,
+        *,
+        slow_io_s: float = 0.02,
+        stall_s: float = 0.05,
+    ) -> None:
+        for site in rates or {}:
+            if site not in DEFAULT_RATES:
+                raise ExaDigiTError(
+                    f"unknown chaos site {site!r}; expected one of {SITES}"
+                )
+        self.seed = int(seed)
+        self.rates = {**DEFAULT_RATES, **(rates or {})}
+        self.slow_io_s = float(slow_io_s)
+        self.stall_s = float(stall_s)
+        self._rngs = {
+            site: spawn_rng(self.seed, "chaos", site) for site in SITES
+        }
+        self._checks = {site: 0 for site in SITES}
+        self._fired: dict[str, list[int]] = {site: [] for site in SITES}
+
+    def should(self, site: str) -> bool:
+        """Whether this check of ``site`` fires (consumes one draw)."""
+        rate = self.rates[site]
+        index = self._checks[site]
+        self._checks[site] = index + 1
+        if rate <= 0.0:
+            return False
+        if float(self._rngs[site].random()) >= rate:
+            return False
+        self._fired[site].append(index)
+        return True
+
+    def plan(self, site: str, n: int) -> tuple[bool, ...]:
+        """The first ``n`` outcomes of a site, without consuming them.
+
+        A pure function of ``(seed, site)`` — a fresh stream is drawn,
+        so the preview matches what :meth:`should` returns (or already
+        returned) for checks ``0..n-1``.
+        """
+        rate = self.rates[site]
+        if rate <= 0.0:
+            return (False,) * n
+        rng = spawn_rng(self.seed, "chaos", site)
+        return tuple(float(rng.random()) < rate for _ in range(n))
+
+    def fired(self, site: str) -> tuple[int, ...]:
+        """Draw indices of ``site`` that fired so far (the schedule)."""
+        return tuple(self._fired[site])
+
+    def snapshot(self) -> dict[str, Any]:
+        """Per-site check/fire counts for ``/statusz``."""
+        return {
+            "seed": self.seed,
+            "sites": {
+                site: {
+                    "rate": self.rates[site],
+                    "checks": self._checks[site],
+                    "fired": len(self._fired[site]),
+                }
+                for site in SITES
+            },
+        }
+
+
+class _NullChaos:
+    """The disabled policy: one attribute load on every hot path."""
+
+    enabled = False
+    slow_io_s = 0.0
+    stall_s = 0.0
+
+    def should(self, site: str) -> bool:  # pragma: no cover - guarded
+        return False  # by ``.enabled`` checks at every site
+
+    def snapshot(self) -> dict[str, Any]:
+        return {}
+
+
+#: The shared disabled policy (default for every server).
+NULL_CHAOS = _NullChaos()
+
+
+def resolve_chaos(chaos: "ChaosPolicy | int | None") -> "ChaosPolicy | _NullChaos":
+    """``None`` → :data:`NULL_CHAOS`, an int seed → default-rate policy."""
+    if chaos is None:
+        return NULL_CHAOS
+    if isinstance(chaos, (ChaosPolicy, _NullChaos)):
+        return chaos
+    return ChaosPolicy(chaos)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with decorrelated jitter and a sleep budget.
+
+    ``backoffs()`` yields the sleep before each retry: the decorrelated
+    jitter recurrence ``sleep = min(cap, uniform(base, prev * mult))``,
+    which spreads concurrent clients apart instead of synchronizing
+    them into retry waves.  ``max_attempts`` counts *attempts* (so 1
+    means no retries) and ``budget_s`` bounds the total time spent
+    sleeping regardless of attempt count.  Only idempotent operations
+    may be retried — the client enforces that, this class just paces.
+    """
+
+    max_attempts: int = 4
+    base_s: float = 0.05
+    cap_s: float = 2.0
+    budget_s: float = 15.0
+    multiplier: float = 3.0
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ExaDigiTError("max_attempts must be >= 1")
+        if self.base_s <= 0 or self.cap_s < self.base_s:
+            raise ExaDigiTError("need 0 < base_s <= cap_s")
+        if self.budget_s < 0:
+            raise ExaDigiTError("budget_s must be >= 0")
+
+    @classmethod
+    def none(cls) -> "RetryPolicy":
+        """A policy that never retries (one attempt, zero sleeps)."""
+        return cls(max_attempts=1)
+
+    def backoffs(self) -> Iterator[float]:
+        """The (unbounded) jittered sleep sequence; callers budget it."""
+        rng = random.Random(self.seed)
+        prev = self.base_s
+        while True:
+            prev = min(
+                self.cap_s, rng.uniform(self.base_s, prev * self.multiplier)
+            )
+            yield prev
+
+
+class CircuitBreaker:
+    """Closed → open → half-open over a sliding failure window.
+
+    ``record_failure()`` on every worker crash; ``threshold`` crashes
+    inside ``window_s`` open the breaker.  While open,
+    ``allow_respawn()`` is False (dead workers stay down, dispatch
+    pauses).  ``cooldown_s`` after opening, the next ``allow_respawn()``
+    grants exactly one probe; ``record_success()`` (a worker finishing
+    a job) closes the breaker, another failure reopens it.
+    """
+
+    CLOSED, OPEN, HALF_OPEN = "closed", "open", "half_open"
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        window_s: float = 30.0,
+        cooldown_s: float = 5.0,
+        *,
+        clock=time.monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise ExaDigiTError("threshold must be >= 1")
+        self.threshold = threshold
+        self.window_s = float(window_s)
+        self.cooldown_s = float(cooldown_s)
+        self._clock = clock
+        self.state = self.CLOSED
+        self._failures: list[float] = []
+        self._opened_at = 0.0
+        self._probing = False
+        self.opens = 0
+
+    def value(self) -> float:
+        """Numeric state for the ``repro_breaker_state`` gauge."""
+        return {self.CLOSED: 0.0, self.HALF_OPEN: 1.0, self.OPEN: 2.0}[
+            self.state
+        ]
+
+    def _prune(self, now: float) -> None:
+        cutoff = now - self.window_s
+        self._failures = [t for t in self._failures if t >= cutoff]
+
+    def record_failure(self) -> None:
+        now = self._clock()
+        self._failures.append(now)
+        self._prune(now)
+        if self.state == self.HALF_OPEN:
+            # The probe died too: back to open, restart the cooldown.
+            self.state = self.OPEN
+            self._opened_at = now
+            self._probing = False
+            self.opens += 1
+        elif (
+            self.state == self.CLOSED
+            and len(self._failures) >= self.threshold
+        ):
+            self.state = self.OPEN
+            self._opened_at = now
+            self.opens += 1
+
+    def record_success(self) -> None:
+        self.state = self.CLOSED
+        self._failures.clear()
+        self._probing = False
+
+    def allow_respawn(self) -> bool:
+        """Whether a dead worker may be respawned right now."""
+        if self.state == self.CLOSED:
+            return True
+        now = self._clock()
+        if self.state == self.OPEN:
+            if now - self._opened_at < self.cooldown_s:
+                return False
+            self.state = self.HALF_OPEN
+            self._probing = False
+        if not self._probing:  # half-open: exactly one probe at a time
+            self._probing = True
+            return True
+        return False
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "state": self.state,
+            "recent_failures": len(self._failures),
+            "opens": self.opens,
+        }
+
+
+__all__ = [
+    "ChaosPolicy",
+    "CircuitBreaker",
+    "DEFAULT_RATES",
+    "NULL_CHAOS",
+    "RetryPolicy",
+    "SITES",
+    "resolve_chaos",
+]

@@ -34,8 +34,15 @@ HTTP surface (all JSON)::
     GET  /jobs/<id>/result    summary + persisted cell metrics (done jobs)
     POST /jobs/<id>/cancel    cancel a queued or running job
     GET  /jobs/<id>/stream    NDJSON: buffered + live step records, then
-                              a terminal event line
+                              a terminal event line (``watch`` is an
+                              alias; ``?from_seq=N`` resumes after the
+                              last sequence number already seen)
     GET  /jobs/<id>/ws        the same stream as websocket text frames
+                              (same ``?from_seq=`` resume support)
+    POST /drainz              graceful drain: stop admitting (503 +
+                              Retry-After), checkpoint the queue to the
+                              store, finish running jobs, then stop;
+                              a restart re-enqueues the checkpoint
 
 Guarantees:
 
@@ -100,11 +107,16 @@ from repro.service.protocol import (
     job_key,
     restart_event,
 )
-from repro.service.store import ServiceStore
+from repro.service.resilience import CircuitBreaker, resolve_chaos
+from repro.service.store import LiveStepStream, ServiceStore
 from repro.service.workers import WorkerPool, WorkStealingQueue
 from repro.viz.export import encode_step_line
 
 SendLine = Callable[[dict], Awaitable[None]]
+
+
+class _ChaosDrop(Exception):
+    """Injected mid-stream connection drop (chaos site ``conn_drop``)."""
 
 
 class TwinServer:
@@ -173,6 +185,24 @@ class TwinServer:
         every sampling tick by an
         :class:`~repro.obs.alerts.AlertManager` (``GET /alertz``).
         Requires history to be enabled.
+    chaos:
+        Seed-deterministic fault injection
+        (:class:`~repro.service.resilience.ChaosPolicy`, or an int seed
+        for the default rates).  ``None`` (default) installs the null
+        policy — every chaos site costs one attribute load.
+    max_queue_depth:
+        Admission bound: a submission that would be queued while the
+        work-stealing queue already holds this many entries is rejected
+        with ``429`` + ``Retry-After``.
+    max_inflight_per_client:
+        Per-client admission bound over non-terminal jobs, keyed by the
+        ``X-Repro-Client`` request header (absent header = no cap).
+    breaker:
+        Circuit breaker over worker respawn storms (defaults to a
+        fresh :class:`~repro.service.resilience.CircuitBreaker`).
+    drain_grace_s:
+        How long :meth:`begin_drain` waits for running jobs before
+        checkpointing them too and stopping the server.
     """
 
     def __init__(
@@ -196,6 +226,11 @@ class TwinServer:
         flight_capacity: int = 512,
         history_interval: float = 1.0,
         alert_rules: str | Path | list | None = None,
+        chaos=None,
+        max_queue_depth: int = 1024,
+        max_inflight_per_client: int = 256,
+        breaker: CircuitBreaker | None = None,
+        drain_grace_s: float = 30.0,
     ) -> None:
         if fidelity not in FIDELITIES:
             raise ExaDigiTError(
@@ -288,7 +323,38 @@ class TwinServer:
             "warm_hits": 0,
             "requeues": 0,
             "persist_errors": 0,
+            "timeouts": 0,
+            "admission_rejected": 0,
+            "chaos_injected": 0,
+            "stream_resumes": 0,
         }
+        self.chaos = resolve_chaos(chaos)
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        if max_queue_depth < 1 or max_inflight_per_client < 1:
+            raise ExaDigiTError("admission bounds must be >= 1")
+        self.max_queue_depth = int(max_queue_depth)
+        self.max_inflight_per_client = int(max_inflight_per_client)
+        self.drain_grace_s = float(drain_grace_s)
+        #: Drain lifecycle: ``draining`` stops admission, ``drained``
+        #: flips once the grace window closed and the checkpoint landed.
+        self.draining = False
+        self.drained = False
+        self._drain_task: asyncio.Task | None = None
+        #: Jobs parked in the drain checkpoint (excluded from dispatch,
+        #: deadlines, and the drain wait — the restart re-enqueues them).
+        self._checkpointed: set[str] = set()
+        #: Worker indices whose next exit is an injected chaos kill —
+        #: exempt from breaker and respawn-cap accounting, so chaos
+        #: exercises recovery without consuming the real crash budget.
+        self._chaos_kills: set[int] = set()
+        #: Dead workers waiting on the breaker before respawn.
+        self._pending_respawn: set[int] = set()
+        #: Running jobs whose deadline expired; the worker's cancel ack
+        #: finishes them as TIMEOUT instead of CANCELLED.
+        self._timeout_pending: set[str] = set()
+        #: Job key -> (owning job id, live step-stream writer): at most
+        #: one live append stream per content key.
+        self._live_streams: dict[str, tuple[str, LiveStepStream]] = {}
         #: Consecutive exits per worker without finishing a job; a
         #: worker past the cap stays down (a crash-looping environment
         #: must not fork-bomb the host).
@@ -350,6 +416,15 @@ class TwinServer:
             ),
         )
         m.gauge("repro_service_loop_lag_seconds", fn=self._loop_lag_s)
+        self._m_timeouts = m.counter("repro_jobs_timeout_total")
+        self._m_admission = m.counter("repro_admission_rejected_total")
+        self._m_chaos = m.counter("repro_chaos_injected_total")
+        self._m_resumes = m.counter("repro_stream_resumes_total")
+        m.gauge("repro_breaker_state", fn=self.breaker.value)
+        m.gauge(
+            "repro_service_draining",
+            fn=lambda: 1.0 if self.draining else 0.0,
+        )
 
     def _loop_lag_s(self) -> float:
         """Event-loop scheduling lag seen by the heartbeat probe."""
@@ -366,7 +441,20 @@ class TwinServer:
         loop = asyncio.get_running_loop()
         while True:
             self._last_beat = loop.time()
+            try:
+                self._tick_resilience()
+            except Exception as exc:  # noqa: BLE001 - the lag probe
+                # must keep beating even if a resilience check bugs out.
+                self.tracer.event(
+                    "resilience-tick-error",
+                    error=f"{type(exc).__name__}: {exc}",
+                )
             await asyncio.sleep(self._hb_interval_s)
+
+    def _tick_resilience(self) -> None:
+        """Per-beat resilience duties: deadlines and breaker probes."""
+        self._check_deadlines()
+        self._probe_respawns()
 
     def _resolve_alert_rules(self, alert_rules) -> list[AlertRule]:
         if alert_rules is None:
@@ -422,6 +510,7 @@ class TwinServer:
         """Bind the listening socket and spawn the worker pool."""
         self._loop = asyncio.get_running_loop()
         self.pool.start()
+        self._restore_checkpoint()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
@@ -443,6 +532,11 @@ class TwinServer:
             if get_registry() is self.metrics:
                 set_registry(NULL_REGISTRY)
             self._installed_global_registry = False
+        if self._drain_task is not None:
+            self._drain_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._drain_task
+            self._drain_task = None
         if self._heartbeat_task is not None:
             self._heartbeat_task.cancel()
             with contextlib.suppress(asyncio.CancelledError):
@@ -461,6 +555,11 @@ class TwinServer:
             self._server = None
         loop = asyncio.get_running_loop()
         await loop.run_in_executor(None, self.pool.stop)
+        # Close (not abort) any live step streams: the persisted prefix
+        # survives for resumable watchers of the next server life.
+        for _, stream in self._live_streams.values():
+            stream.close()
+        self._live_streams.clear()
 
     async def run_forever(self, *, on_start=None) -> None:
         """`repro serve` entry: start and serve until cancelled.
@@ -477,10 +576,17 @@ class TwinServer:
             await self.stop()
 
     def request_stop(self) -> None:
-        """Ask a running :meth:`run_forever` / thread server to exit."""
+        """Ask a running :meth:`run_forever` / thread server to exit.
+
+        A no-op when the server already stopped on its own (a finished
+        drain closes the loop before the owner calls :meth:`close`).
+        """
         loop, stop_event = self._loop, self._stop_event
         if loop is not None and stop_event is not None:
-            loop.call_soon_threadsafe(stop_event.set)
+            try:
+                loop.call_soon_threadsafe(stop_event.set)
+            except RuntimeError:
+                pass  # loop already closed
 
     def start_in_thread(self, timeout_s: float = 120.0) -> "TwinServer":
         """Run the server on a background thread (tests, notebooks,
@@ -560,9 +666,13 @@ class TwinServer:
             if job.state is JobState.RUNNING:
                 job.steps.append(msg["record"])
                 self._m_steps.inc()
+                self._live_append(job, msg["record"])
                 self._ring(job)
+                if self.chaos.enabled:
+                    self._chaos_step(job, index)
         elif event == "done":
             self._worker_respawns[index] = 0
+            self.breaker.record_success()
             job.cell = msg.get("cell")
             job.elapsed_s = msg.get("elapsed_s")
             self.counters["executed"] += 1
@@ -580,13 +690,45 @@ class TwinServer:
             self._persist(job)
         elif event == "cancelled":
             self._worker_respawns[index] = 0
-            self._finish(job, JobState.CANCELLED)
+            self.breaker.record_success()
+            if job.id in self._timeout_pending:
+                self._finish(job, JobState.TIMEOUT)
+            else:
+                self._finish(job, JobState.CANCELLED)
             self._worker_idle(index)
         elif event == "error":
             self._worker_respawns[index] = 0
+            self.breaker.record_success()
             job.error = msg.get("message", "worker error")
             self._finish(job, JobState.FAILED)
             self._worker_idle(index)
+
+    def _note_chaos(self, site: str) -> None:
+        self.counters["chaos_injected"] += 1
+        self._m_chaos.labels(site=site).inc()
+        self.tracer.event("chaos", site=site)
+
+    def _chaos_step(self, job: JobRecord, index: int) -> None:
+        """Chaos sites checked once per worker step event.
+
+        Both sites consume their draw on every step regardless of
+        whether the action is applied, so the per-site schedule stays a
+        pure function of ``(seed, step count)``.  A crash is only
+        *applied* while the job still has attempt budget — injected
+        faults exercise recovery, they must never consume the exactly-
+        once guarantee.
+        """
+        if self.chaos.should("worker_crash"):
+            if (
+                job.attempts < job.max_attempts
+                and index not in self._chaos_kills
+            ):
+                self._note_chaos("worker_crash")
+                self._chaos_kills.add(index)
+                self.pool.kill(index)
+        if self.chaos.should("loop_stall"):
+            self._note_chaos("loop_stall")
+            time.sleep(self.chaos.stall_s)  # a deliberate loop stall
 
     def _on_worker_exit(self, index: int) -> None:
         if self.pool.stopping:
@@ -594,14 +736,20 @@ class TwinServer:
         handle = self.pool.workers[index]
         job_id, handle.job_id = handle.job_id, None
         handle.ready = False
+        chaos_kill = index in self._chaos_kills
+        self._chaos_kills.discard(index)
         self._m_crashes.inc()
-        self.tracer.event("worker-exit", worker=index, job_id=job_id)
+        self.tracer.event(
+            "worker-exit", worker=index, job_id=job_id, chaos=chaos_kill
+        )
         job = self.jobs.get(job_id) if job_id else None
         if job is not None and job.state is JobState.RUNNING:
             if job.id in self._cancel_requested:
                 # The worker died before polling an acknowledged
                 # cancel; honor it instead of re-running the job.
                 self._finish(job, JobState.CANCELLED)
+            elif job.id in self._timeout_pending:
+                self._finish(job, JobState.TIMEOUT)
             elif job.attempts >= job.max_attempts:
                 job.error = (
                     f"worker died after {job.attempts} attempt(s); "
@@ -613,9 +761,37 @@ class TwinServer:
                 self._m_requeues.inc()
                 job.state = JobState.QUEUED
                 job.worker = None
+                # Advance the sequence numbering past the abandoned
+                # attempt before dropping it — plus one never-emitted
+                # gap seq, so a watcher that held the *entire* abandoned
+                # prefix still reconnects below the new base and gets a
+                # restart event instead of silently appending the next
+                # attempt's steps to stale ones.
+                job.seq_base += len(job.steps) + 1
                 job.steps.clear()
+                self._live_abort(job)
                 self.queue.requeue(job.id, job.cost)
                 self._ring(job)
+        if not chaos_kill:
+            self.breaker.record_failure()
+        if chaos_kill:
+            # Injected kills exercise the requeue/respawn machinery but
+            # bypass breaker and respawn-cap accounting: chaos must not
+            # consume the budget that guards against real crash loops.
+            self._m_respawns.inc()
+            self.pool.respawn(index)
+        elif not self.breaker.allow_respawn():
+            # Respawn storm: the worker stays down until the breaker's
+            # cooldown grants a probe (the heartbeat retries).
+            self._pending_respawn.add(index)
+        else:
+            self._respawn_capped(index)
+        # Post-mortem: whatever the flight recorder saw leading up to
+        # this death goes to disk before anything else overwrites it.
+        self._dump_flight(f"worker{index}-exit")
+
+    def _respawn_capped(self, index: int) -> None:
+        """Respawn one worker, honoring the per-worker respawn cap."""
         self._worker_respawns[index] += 1
         if self._worker_respawns[index] <= self.max_worker_respawns:
             self._m_respawns.inc()
@@ -625,12 +801,27 @@ class TwinServer:
             # Every worker is crash-looping (e.g. a broken deployment):
             # fail what's queued instead of queueing forever.
             for other in self.jobs.values():
-                if not other.state.terminal:
+                if (
+                    not other.state.terminal
+                    and other.id not in self._checkpointed
+                ):
                     other.error = "no live workers (respawn cap reached)"
                     self._finish(other, JobState.FAILED)
-        # Post-mortem: whatever the flight recorder saw leading up to
-        # this death goes to disk before anything else overwrites it.
-        self._dump_flight(f"worker{index}-exit")
+
+    def _probe_respawns(self) -> None:
+        """Heartbeat duty: respawn breaker-parked workers when allowed.
+
+        One worker per beat — while half-open, the breaker grants a
+        single probe anyway; once closed again, the remaining parked
+        workers recover over the next few beats.
+        """
+        if not self._pending_respawn or self.pool.stopping:
+            return
+        if not self.breaker.allow_respawn():
+            return
+        index = min(self._pending_respawn)
+        self._pending_respawn.discard(index)
+        self._respawn_capped(index)
 
     def _dump_flight(self, reason: str) -> None:
         """Dump the flight-recorder ring to the store (best effort)."""
@@ -654,6 +845,8 @@ class TwinServer:
 
     def _pump(self) -> None:
         """Dispatch queued jobs onto idle workers (work-stealing take)."""
+        if self.breaker.state == CircuitBreaker.OPEN:
+            return  # respawn storm: hold dispatch until a probe succeeds
         for handle in self.pool.workers:
             while handle.idle:
                 job_id = self.queue.take(handle.index)
@@ -670,6 +863,7 @@ class TwinServer:
                 job.worker = handle.index
                 job.attempts += 1
                 job.started_at = time.time()
+                self._open_live_stream(job)
                 self.tracer.event(
                     "dispatch",
                     job_id=job.id,
@@ -681,9 +875,17 @@ class TwinServer:
                 break
 
     def _finish(self, job: JobRecord, state: JobState) -> None:
+        if state is not JobState.DONE:
+            # A stream that won't complete is junk on disk: drop it.
+            self._live_abort(job)
         job.state = state
         job.finished_at = time.time()
         self._m_finished.labels(state=state.value).inc()
+        if state is JobState.TIMEOUT:
+            if job.error is None:
+                job.error = f"deadline_s={job.deadline_s} exceeded"
+            self.counters["timeouts"] += 1
+            self._m_timeouts.inc()
         span = self._spans.pop(job.id, None)
         if span is not None:
             self.tracer.end(
@@ -694,6 +896,8 @@ class TwinServer:
                 cached=job.cached,
             )
         self._cancel_requested.discard(job.id)
+        self._timeout_pending.discard(job.id)
+        self._checkpointed.discard(job.id)
         self._terminal_order.append(job.id)
         self._trim_retained_jobs()
         self._ring(job)
@@ -720,6 +924,43 @@ class TwinServer:
         bell, job.bell = job.bell, asyncio.Event()
         bell.set()
 
+    # -- live step streams -----------------------------------------------------
+
+    def _open_live_stream(self, job: JobRecord) -> None:
+        """Start appending this attempt's steps to the store as they land.
+
+        At most one live writer per content key: a concurrent duplicate
+        job (cache disabled) falls back to the atomic rewrite in
+        :meth:`_persist`.
+        """
+        if self.store is None or job.key in self._live_streams:
+            return
+        try:
+            stream = self.store.open_step_stream(job.key)
+        except OSError:
+            self.counters["persist_errors"] += 1
+            return
+        self._live_streams[job.key] = (job.id, stream)
+
+    def _live_append(self, job: JobRecord, record: dict) -> None:
+        entry = self._live_streams.get(job.key)
+        if entry is None or entry[0] != job.id:
+            return
+        try:
+            entry[1].append(record)
+        except OSError:
+            # Disk trouble mid-stream: drop the writer; _persist falls
+            # back to the atomic rewrite (or counts a persist error).
+            self.counters["persist_errors"] += 1
+            self._live_streams.pop(job.key, None)
+            entry[1].abort()
+
+    def _live_abort(self, job: JobRecord) -> None:
+        entry = self._live_streams.get(job.key)
+        if entry is not None and entry[0] == job.id:
+            self._live_streams.pop(job.key, None)
+            entry[1].abort()
+
     def _persist(self, job: JobRecord) -> None:
         if job.cell is None:
             return
@@ -727,7 +968,20 @@ class TwinServer:
             job.key, ({**job.cell, "key": job.key}, list(job.steps))
         )
         if self.store is not None:
+            stream_ready = False
+            entry = self._live_streams.get(job.key)
+            if entry is not None and entry[0] == job.id:
+                self._live_streams.pop(job.key, None)
+                entry[1].close()
+                stream_ready = entry[1].n_written == len(job.steps)
             try:
+                if self.chaos.enabled:
+                    if self.chaos.should("slow_io"):
+                        self._note_chaos("slow_io")
+                        time.sleep(self.chaos.slow_io_s)
+                    if self.chaos.should("store_write"):
+                        self._note_chaos("store_write")
+                        raise OSError("chaos: injected store write failure")
                 scenario = Scenario.from_dict(job.scenario_doc)
                 self.store.record(
                     job.key,
@@ -735,6 +989,7 @@ class TwinServer:
                     job.cell,
                     job.steps,
                     elapsed_s=job.elapsed_s,
+                    stream_ready=stream_ready,
                 )
             except Exception:  # noqa: BLE001 - a store failure (disk
                 # full, permissions, bad doc) must never take down the
@@ -769,13 +1024,23 @@ class TwinServer:
         return hit
 
     def submit(
-        self, scenario_doc: dict, *, use_cache: bool | None = None
+        self,
+        scenario_doc: dict,
+        *,
+        use_cache: bool | None = None,
+        deadline_s: float | None = None,
+        client: str | None = None,
+        job_id: str | None = None,
+        submitted_at: float | None = None,
     ) -> list[JobRecord]:
         """Create jobs for one submitted document (sweeps expand).
 
         Called on the event loop.  Returns the created job records in
         cell order; cached jobs are born ``done`` with their persisted
-        stream preloaded.
+        stream preloaded.  ``job_id``/``submitted_at`` are the
+        checkpoint-restore overrides: a re-enqueued job keeps the id
+        its watchers know and the submission clock its deadline counts
+        from.
         """
         scenario = Scenario.from_dict(scenario_doc)
         cells = (
@@ -789,14 +1054,24 @@ class TwinServer:
         batch: list[tuple[JobRecord, Scenario]] = []
         for cell in cells:
             key = job_key(cell, self.spec_sha)
+            jid = (
+                job_id
+                if job_id is not None and job_id not in self.jobs
+                else self._new_job_id()
+            )
+            job_id = None  # only the first cell reuses a restored id
             job = JobRecord(
-                id=self._new_job_id(),
+                id=jid,
                 scenario_doc=cell.to_dict(),
                 key=key,
                 cost=estimate_cost(cell),
                 max_attempts=self.max_attempts,
+                deadline_s=deadline_s,
+                client=client,
                 bell=asyncio.Event(),
             )
+            if submitted_at is not None:
+                job.submitted_at = float(submitted_at)
             self.jobs[job.id] = job
             self._job_order.append(job.id)
             self._m_submitted.inc()
@@ -927,6 +1202,9 @@ class TwinServer:
         if job.id in self._cancel_requested:
             self._finish(job, JobState.CANCELLED)
             return
+        if job.id in self._timeout_pending:
+            self._finish(job, JobState.TIMEOUT)
+            return
         job.cell = cell
         job.elapsed_s = elapsed_s
         self.counters["executed"] += 1
@@ -952,6 +1230,177 @@ class TwinServer:
             if job.worker is not None:
                 self.pool.cancel(job.worker, job.id)
         return job
+
+    # -- deadlines -------------------------------------------------------------
+
+    def _check_deadlines(self) -> None:
+        """Heartbeat duty: expire jobs past their ``deadline_s``."""
+        now = time.time()
+        for job in list(self.jobs.values()):
+            if (
+                job.deadline_s is None
+                or job.state.terminal
+                or job.id in self._timeout_pending
+                or job.id in self._checkpointed
+            ):
+                continue
+            if now - job.submitted_at < job.deadline_s:
+                continue
+            self._expire(job)
+
+    def _expire(self, job: JobRecord) -> None:
+        job.error = f"deadline_s={job.deadline_s} exceeded"
+        self.tracer.event("job-timeout", job_id=job.id, state=job.state.value)
+        if job.state is JobState.QUEUED:
+            self.queue.remove(job.id)
+            self._finish(job, JobState.TIMEOUT)
+        elif job.state is JobState.RUNNING:
+            # Ask the worker to stop; its cancel ack (or death) finishes
+            # the job as TIMEOUT via ``_timeout_pending``.
+            self._timeout_pending.add(job.id)
+            if job.worker is not None:
+                self.pool.cancel(job.worker, job.id)
+
+    # -- graceful drain --------------------------------------------------------
+
+    def begin_drain(self) -> dict[str, Any]:
+        """Stop admitting, checkpoint the queue, finish running jobs.
+
+        Idempotent: the first call flips ``draining`` (admission starts
+        rejecting with 503), removes every queued job from the dispatch
+        queue into the store checkpoint, and starts the grace timer for
+        running jobs.  When the grace window closes — or everything
+        finished sooner — still-running jobs are checkpointed too and
+        :meth:`request_stop` fires.  The next server started on the
+        same store consumes the checkpoint and re-enqueues the parked
+        jobs under their original ids.
+        """
+        if not self.draining:
+            self.draining = True
+            self.tracer.event("drain-begin")
+            self._checkpoint_pending()
+            if self._loop is not None and self._loop.is_running():
+                self._drain_task = asyncio.ensure_future(self._drain_wait())
+        running = sorted(
+            j.id for j in self.jobs.values() if j.state is JobState.RUNNING
+        )
+        return {
+            "draining": True,
+            "checkpointed": sorted(self._checkpointed),
+            "running": running,
+        }
+
+    def _checkpoint_pending(self) -> None:
+        """Park every queued job in the store checkpoint."""
+        if self.store is None:
+            return  # storeless drain degrades to finishing everything
+        for job in self.jobs.values():
+            if (
+                job.state is JobState.QUEUED
+                and job.id not in self._cancel_requested
+            ):
+                self.queue.remove(job.id)
+                self._checkpointed.add(job.id)
+        self._write_checkpoint()
+
+    def _write_checkpoint(self) -> None:
+        if self.store is None:
+            return
+        entries = []
+        for job_id in sorted(self._checkpointed):
+            job = self.jobs.get(job_id)
+            if job is None or job.state.terminal:
+                continue
+            entries.append(
+                {
+                    "id": job.id,
+                    "scenario": job.scenario_doc,
+                    "deadline_s": job.deadline_s,
+                    "client": job.client,
+                    "submitted_at": job.submitted_at,
+                }
+            )
+        doc = {"job_seq": self._job_seq, "jobs": entries}
+        try:
+            self.store.save_checkpoint(doc)
+        except OSError:
+            self.counters["persist_errors"] += 1
+
+    async def _drain_wait(self) -> None:
+        """Grace loop: wait out running jobs, then stop the server."""
+        deadline = time.monotonic() + self.drain_grace_s
+        while time.monotonic() < deadline:
+            busy = any(
+                not j.state.terminal and j.id not in self._checkpointed
+                for j in self.jobs.values()
+            )
+            if not busy:
+                break
+            await asyncio.sleep(0.05)
+        # Whatever outlived the grace window is parked too: it will
+        # re-run from scratch (same content key) after the restart.
+        leftovers = [
+            j
+            for j in self.jobs.values()
+            if not j.state.terminal and j.id not in self._checkpointed
+        ]
+        if self.store is not None and leftovers:
+            for job in leftovers:
+                if job.state is JobState.QUEUED:
+                    self.queue.remove(job.id)
+                self._checkpointed.add(job.id)
+            self._write_checkpoint()
+        self.tracer.event(
+            "drain-complete", checkpointed=len(self._checkpointed)
+        )
+        self.drained = True
+        self.request_stop()
+
+    def _restore_checkpoint(self) -> None:
+        """Re-enqueue jobs a drained predecessor parked in the store."""
+        if self.store is None:
+            return
+        doc = self.store.take_checkpoint()
+        if not doc:
+            return
+        self._job_seq = max(self._job_seq, int(doc.get("job_seq", 0) or 0))
+        restored = 0
+        for entry in doc.get("jobs", []):
+            if not isinstance(entry, dict) or "scenario" not in entry:
+                continue
+            try:
+                self.submit(
+                    entry["scenario"],
+                    deadline_s=entry.get("deadline_s"),
+                    client=entry.get("client"),
+                    job_id=entry.get("id"),
+                    submitted_at=entry.get("submitted_at"),
+                )
+            except ScenarioError:
+                continue  # a checkpoint from an older schema: skip
+            restored += 1
+        if restored:
+            self.tracer.event("checkpoint-restored", jobs=restored)
+
+    # -- admission control -----------------------------------------------------
+
+    def _admission_check(
+        self, client: str | None
+    ) -> tuple[str, int, int] | None:
+        """(reason, HTTP status, Retry-After seconds), or None to admit."""
+        if self.draining:
+            return ("draining", 503, 5)
+        if len(self.queue) >= self.max_queue_depth:
+            return ("queue_full", 429, 1)
+        if client is not None:
+            inflight = sum(
+                1
+                for j in self.jobs.values()
+                if j.client == client and not j.state.terminal
+            )
+            if inflight >= self.max_inflight_per_client:
+                return ("client_inflight", 429, 1)
+        return None
 
     # -- HTTP ------------------------------------------------------------------
 
@@ -1028,7 +1477,10 @@ class TwinServer:
             await _respond(writer, 200, self._alertz_doc())
             return
         if method == "POST" and path == "/jobs":
-            await self._post_jobs(body, writer)
+            await self._post_jobs(headers, body, writer)
+            return
+        if method == "POST" and path == "/drainz":
+            await _respond(writer, 202, self.begin_drain())
             return
         if method == "GET" and path == "/jobs":
             await _respond(
@@ -1072,11 +1524,25 @@ class TwinServer:
                 self.cancel(job.id)
                 await _respond(writer, 202, {"job": job.summary()})
                 return
-            if method == "GET" and tail == "stream":
-                await self._stream_ndjson(job, writer)
-                return
-            if method == "GET" and tail == "ws":
-                await self._stream_websocket(job, headers, reader, writer)
+            if method == "GET" and tail in ("stream", "watch", "ws"):
+                raw = parse_qs(urlsplit(target).query).get(
+                    "from_seq", ["0"]
+                )[-1]
+                try:
+                    from_seq = max(0, int(raw))
+                except ValueError:
+                    await _respond(
+                        writer,
+                        400,
+                        {"error": f"bad from_seq {raw!r}: expected an int"},
+                    )
+                    return
+                if tail == "ws":
+                    await self._stream_websocket(
+                        job, headers, reader, writer, from_seq=from_seq
+                    )
+                else:
+                    await self._stream_ndjson(job, writer, from_seq=from_seq)
                 return
         await _respond(
             writer, 404, {"error": f"no route {method} {path}"}
@@ -1225,6 +1691,8 @@ class TwinServer:
                 for state in JobState
             },
             "counters": dict(self.counters),
+            "draining": self.draining,
+            "breaker": self.breaker.snapshot(),
         }
         if self.store is not None:
             doc["store"] = {
@@ -1264,6 +1732,14 @@ class TwinServer:
                 else disabled_alerts_statusz()
             ),
             "job_seconds": self._job_seconds_doc(),
+            "resilience": {
+                "chaos": self.chaos.snapshot(),
+                "breaker": self.breaker.snapshot(),
+                "draining": self.draining,
+                "drained": self.drained,
+                "checkpointed": len(self._checkpointed),
+                "pending_respawns": sorted(self._pending_respawn),
+            },
             "flight": {
                 "capacity": self.flight.capacity,
                 "events": len(self.flight),
@@ -1274,7 +1750,10 @@ class TwinServer:
         }
 
     async def _post_jobs(
-        self, body: bytes, writer: asyncio.StreamWriter
+        self,
+        headers: dict[str, str],
+        body: bytes,
+        writer: asyncio.StreamWriter,
     ) -> None:
         try:
             doc = json.loads(body.decode("utf-8") or "{}")
@@ -1284,10 +1763,41 @@ class TwinServer:
         if not isinstance(doc, dict):
             await _respond(writer, 400, {"error": "body must be an object"})
             return
+        client = headers.get("x-repro-client") or None
+        rejection = self._admission_check(client)
+        if rejection is not None:
+            reason, status, retry_after = rejection
+            self.counters["admission_rejected"] += 1
+            self._m_admission.labels(reason=reason).inc()
+            await _respond(
+                writer,
+                status,
+                {"error": f"submission rejected: {reason}", "reason": reason},
+                extra_headers={"Retry-After": str(retry_after)},
+            )
+            return
         scenario_doc = doc.get("scenario", doc)
         use_cache = doc.get("use_cache") if "scenario" in doc else None
+        deadline_s = doc.get("deadline_s") if "scenario" in doc else None
+        if deadline_s is not None:
+            try:
+                deadline_s = float(deadline_s)
+            except (TypeError, ValueError):
+                deadline_s = -1.0
+            if deadline_s <= 0:
+                await _respond(
+                    writer,
+                    400,
+                    {"error": "deadline_s must be a positive number"},
+                )
+                return
         try:
-            records = self.submit(scenario_doc, use_cache=use_cache)
+            records = self.submit(
+                scenario_doc,
+                use_cache=use_cache,
+                deadline_s=deadline_s,
+                client=client,
+            )
         except ScenarioError as exc:
             await _respond(writer, 400, {"error": str(exc)})
             return
@@ -1302,26 +1812,57 @@ class TwinServer:
 
     # -- streaming transports --------------------------------------------------
 
-    async def _stream_job(self, job: JobRecord, send_line: SendLine) -> None:
-        """The transport-independent watch loop (NDJSON and ws share it)."""
+    async def _stream_job(
+        self, job: JobRecord, send_line: SendLine, *, from_seq: int = 0
+    ) -> None:
+        """The transport-independent watch loop (NDJSON and ws share it).
+
+        Every step line carries a monotonic ``seq`` (``job.seq_base`` +
+        buffer index; control events carry none) and ``from_seq`` skips
+        the already-delivered prefix, so a reconnecting watcher resumes
+        mid-stream bit-identically.  A ``from_seq`` outside the current
+        attempt's numbering — an abandoned attempt, or a previous
+        server life whose counting restarted — gets an explicit
+        ``restart`` event and the full replay from the attempt's base.
+        """
+        base = job.seq_base
         cursor = 0
-        attempt = job.attempts
         self._m_stream_clients.inc()
+        if from_seq:
+            self.counters["stream_resumes"] += 1
+            self._m_resumes.inc()
+            if base <= from_seq <= base + len(job.steps):
+                cursor = from_seq - base
+            else:
+                await send_line(
+                    restart_event(
+                        job.attempts, "sequence reset; stream restarts"
+                    )
+                )
         try:
             while True:
                 bell = job.bell
-                if job.attempts != attempt:
-                    attempt = job.attempts
+                if job.seq_base != base:
+                    # The buffered attempt was abandoned (requeue).
+                    base = job.seq_base
                     if cursor:
                         await send_line(
                             restart_event(
-                                attempt, "worker died; job requeued"
+                                job.attempts + 1,
+                                "worker died; job requeued",
                             )
                         )
                     cursor = 0
                 while cursor < len(job.steps):
-                    await send_line(job.steps[cursor])
+                    await send_line(
+                        {**job.steps[cursor], "seq": base + cursor}
+                    )
                     cursor += 1
+                    if self.chaos.enabled and self.chaos.should(
+                        "conn_drop"
+                    ):
+                        self._note_chaos("conn_drop")
+                        raise _ChaosDrop
                 if job.state.terminal:
                     await send_line(job.terminal_event())
                     return
@@ -1330,7 +1871,11 @@ class TwinServer:
             self._m_stream_clients.dec()
 
     async def _stream_ndjson(
-        self, job: JobRecord, writer: asyncio.StreamWriter
+        self,
+        job: JobRecord,
+        writer: asyncio.StreamWriter,
+        *,
+        from_seq: int = 0,
     ) -> None:
         writer.write(
             b"HTTP/1.1 200 OK\r\n"
@@ -1349,7 +1894,13 @@ class TwinServer:
             )
             await writer.drain()
 
-        await self._stream_job(job, send_line)
+        try:
+            await self._stream_job(job, send_line, from_seq=from_seq)
+        except _ChaosDrop:
+            # Vanish without the terminal chunk: the client sees a torn
+            # transfer, exactly like a mid-stream network failure.
+            writer.transport.abort()
+            return
         writer.write(b"0\r\n\r\n")
         await writer.drain()
 
@@ -1359,6 +1910,8 @@ class TwinServer:
         headers: dict[str, str],
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
+        *,
+        from_seq: int = 0,
     ) -> None:
         key = headers.get("sec-websocket-key")
         if (
@@ -1384,7 +1937,7 @@ class TwinServer:
             await writer.drain()
 
         stream_task = asyncio.ensure_future(
-            self._stream_job(job, send_line)
+            self._stream_job(job, send_line, from_seq=from_seq)
         )
         # Mark any stream failure (e.g. the client vanishing between
         # our poll and a send) as retrieved: a watcher dying must never
@@ -1423,8 +1976,14 @@ class TwinServer:
                         asyncio.CancelledError, ConnectionError
                     ):
                         await read_task
-            with contextlib.suppress(asyncio.CancelledError):
-                await stream_task
+            try:
+                with contextlib.suppress(asyncio.CancelledError):
+                    await stream_task
+            except _ChaosDrop:
+                # No close frame, no goodbye: abort the transport so
+                # the watcher sees a dead socket and resumes by seq.
+                writer.transport.abort()
+                return
             writer.write(
                 wsproto.encode_frame(b"", opcode=wsproto.OP_CLOSE)
             )
@@ -1443,6 +2002,8 @@ _REASONS = {
     400: "Bad Request",
     404: "Not Found",
     409: "Conflict",
+    429: "Too Many Requests",
+    503: "Service Unavailable",
 }
 
 
@@ -1451,12 +2012,18 @@ async def _respond_raw(
     status: int,
     payload: bytes,
     content_type: str,
+    extra_headers: dict[str, str] | None = None,
 ) -> None:
+    extras = "".join(
+        f"{name}: {value}\r\n"
+        for name, value in (extra_headers or {}).items()
+    )
     writer.write(
         (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(payload)}\r\n"
+            f"{extras}"
             "Connection: close\r\n\r\n"
         ).encode("ascii")
         + payload
@@ -1465,13 +2032,17 @@ async def _respond_raw(
 
 
 async def _respond(
-    writer: asyncio.StreamWriter, status: int, doc: dict
+    writer: asyncio.StreamWriter,
+    status: int,
+    doc: dict,
+    extra_headers: dict[str, str] | None = None,
 ) -> None:
     await _respond_raw(
         writer,
         status,
         json.dumps(doc).encode("utf-8"),
         "application/json",
+        extra_headers,
     )
 
 

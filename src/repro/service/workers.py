@@ -333,6 +333,20 @@ class WorkerPool:
         if handle.alive and handle.job_id == job_id:
             handle.conn.send({"cmd": "cancel", "job_id": job_id})
 
+    def kill(self, index: int) -> bool:
+        """SIGKILL one worker (chaos injection); True if it was alive.
+
+        The kill surfaces through the normal supervision path — pipe
+        EOF, reader-thread exit, a synthesized ``exit`` event — so the
+        server's recovery machinery (requeue, respawn, breaker) sees a
+        chaos kill exactly as it would a real crash.
+        """
+        handle = self.workers[index]
+        if handle.process is None or not handle.process.is_alive():
+            return False
+        handle.process.kill()
+        return True
+
     def alive_count(self) -> int:
         return sum(1 for h in self.workers if h.alive)
 

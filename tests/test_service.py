@@ -240,7 +240,13 @@ def test_healthz_shape(client):
         "warm_hits",
         "requeues",
         "persist_errors",
+        "timeouts",
+        "admission_rejected",
+        "chaos_injected",
+        "stream_resumes",
     }
+    assert doc["draining"] is False
+    assert doc["breaker"]["state"] == "closed"
     assert "store" in doc
 
 
